@@ -1,0 +1,251 @@
+//! Structural and probabilistic analysis of ROBDDs: evaluation, node
+//! counts, supports, satisfying fractions and probability of the function
+//! being 1 under independent variable probabilities.
+
+use crate::hash::FxHashMap;
+use crate::manager::{BddId, BddManager};
+
+impl BddManager {
+    /// Evaluates `f` under the assignment `assignment[level] = value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than the largest level actually
+    /// tested on the path followed.
+    pub fn eval(&self, f: BddId, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let level = self.level(cur).expect("non-terminal has a level");
+            cur = if assignment[level] { self.high(cur) } else { self.low(cur) };
+        }
+        cur.is_one()
+    }
+
+    /// Number of nodes reachable from `f`, **including** the terminal
+    /// nodes reached. This matches the usual "BDD size" metric.
+    pub fn node_count(&self, f: BddId) -> usize {
+        let mut seen: FxHashMap<BddId, ()> = FxHashMap::default();
+        let mut stack = vec![f];
+        while let Some(id) = stack.pop() {
+            if seen.insert(id, ()).is_some() || id.is_terminal() {
+                continue;
+            }
+            stack.push(self.low(id));
+            stack.push(self.high(id));
+        }
+        seen.len()
+    }
+
+    /// Number of *non-terminal* nodes reachable from `f`.
+    pub fn inner_node_count(&self, f: BddId) -> usize {
+        let total = self.node_count(f);
+        let terminals = if f.is_terminal() {
+            1
+        } else {
+            // At least one terminal is always reachable from a non-terminal; both iff the
+            // function is non-constant, which is always the case for a reduced non-terminal root.
+            2
+        };
+        total.saturating_sub(terminals)
+    }
+
+    /// All nodes reachable from `f` in depth-first order (each node once).
+    pub fn reachable(&self, f: BddId) -> Vec<BddId> {
+        let mut seen: FxHashMap<BddId, ()> = FxHashMap::default();
+        let mut order = Vec::new();
+        let mut stack = vec![f];
+        while let Some(id) = stack.pop() {
+            if seen.insert(id, ()).is_some() {
+                continue;
+            }
+            order.push(id);
+            if !id.is_terminal() {
+                stack.push(self.low(id));
+                stack.push(self.high(id));
+            }
+        }
+        order
+    }
+
+    /// The set of variable levels appearing in `f`, in increasing order.
+    pub fn support(&self, f: BddId) -> Vec<usize> {
+        let mut levels: Vec<usize> =
+            self.reachable(f).iter().filter_map(|&id| self.level(id)).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels
+    }
+
+    /// Fraction of the `2^num_levels` assignments that satisfy `f`
+    /// (the satisfying-assignment count normalised to a probability; equal
+    /// to [`BddManager::probability`] with all probabilities ½).
+    pub fn satisfying_fraction(&self, f: BddId) -> f64 {
+        let probs = vec![0.5; self.num_levels()];
+        self.probability(f, &probs)
+    }
+
+    /// Probability that `f` evaluates to 1 when the variable at each level
+    /// `l` is independently true with probability `probabilities[l]`.
+    ///
+    /// This is the quantity the combinatorial method extracts from the
+    /// decision diagram: a single depth-first traversal with memoization,
+    /// linear in the number of nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probabilities` is shorter than the number of levels in
+    /// the support of `f`.
+    pub fn probability(&self, f: BddId, probabilities: &[f64]) -> f64 {
+        let mut cache: FxHashMap<BddId, f64> = FxHashMap::default();
+        self.probability_memo(f, probabilities, &mut cache)
+    }
+
+    fn probability_memo(
+        &self,
+        f: BddId,
+        probabilities: &[f64],
+        cache: &mut FxHashMap<BddId, f64>,
+    ) -> f64 {
+        if f.is_one() {
+            return 1.0;
+        }
+        if f.is_zero() {
+            return 0.0;
+        }
+        if let Some(&p) = cache.get(&f) {
+            return p;
+        }
+        let level = self.level(f).expect("non-terminal has a level");
+        let p_var = probabilities[level];
+        let p_low = self.probability_memo(self.low(f), probabilities, cache);
+        let p_high = self.probability_memo(self.high(f), probabilities, cache);
+        // Variables skipped between this node and its children contribute a factor of
+        // (p + (1-p)) = 1, so they can be ignored.
+        let p = (1.0 - p_var) * p_low + p_var * p_high;
+        cache.insert(f, p);
+        p
+    }
+
+    /// Counts the satisfying assignments of `f` over all `num_levels`
+    /// variables (as an `f64`, since counts can exceed `u64` for very wide
+    /// managers).
+    pub fn sat_count(&self, f: BddId) -> f64 {
+        self.satisfying_fraction(f) * 2f64.powi(self.num_levels() as i32)
+    }
+
+    /// Returns one satisfying assignment of `f` (values indexed by level;
+    /// variables not tested on the chosen path are `false`), or `None` if
+    /// `f` is unsatisfiable.
+    pub fn any_sat(&self, f: BddId) -> Option<Vec<bool>> {
+        if f.is_zero() {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_levels()];
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let level = self.level(cur).expect("non-terminal");
+            // Prefer the child that can still reach TRUE.
+            if !self.high(cur).is_zero() {
+                assignment[level] = true;
+                cur = self.high(cur);
+            } else {
+                assignment[level] = false;
+                cur = self.low(cur);
+            }
+        }
+        debug_assert!(cur.is_one());
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(mgr: &mut BddManager) -> BddId {
+        // f = x0·x1 + x2
+        let x0 = mgr.var(0);
+        let x1 = mgr.var(1);
+        let x2 = mgr.var(2);
+        let a = mgr.and(x0, x1);
+        mgr.or(a, x2)
+    }
+
+    #[test]
+    fn eval_and_counts() {
+        let mut mgr = BddManager::new(3);
+        let f = example(&mut mgr);
+        assert!(mgr.eval(f, &[true, true, false]));
+        assert!(mgr.eval(f, &[false, false, true]));
+        assert!(!mgr.eval(f, &[true, false, false]));
+        // x0·x1 + x2 has 3 decision nodes under the natural order.
+        assert_eq!(mgr.inner_node_count(f), 3);
+        assert_eq!(mgr.node_count(f), 5);
+        assert_eq!(mgr.node_count(mgr.one()), 1);
+        assert_eq!(mgr.inner_node_count(mgr.one()), 0);
+    }
+
+    #[test]
+    fn support_and_reachable() {
+        let mut mgr = BddManager::new(5);
+        let f = example(&mut mgr);
+        assert_eq!(mgr.support(f), vec![0, 1, 2]);
+        assert_eq!(mgr.reachable(f).len(), 5);
+        let x4 = mgr.var(4);
+        assert_eq!(mgr.support(x4), vec![4]);
+        assert!(mgr.support(mgr.zero()).is_empty());
+    }
+
+    #[test]
+    fn satisfying_fraction_and_count() {
+        let mut mgr = BddManager::new(3);
+        let f = example(&mut mgr);
+        // x0 x1 + x2 is true for 5 of the 8 assignments.
+        assert!((mgr.satisfying_fraction(f) - 5.0 / 8.0).abs() < 1e-12);
+        assert!((mgr.sat_count(f) - 5.0).abs() < 1e-9);
+        assert_eq!(mgr.sat_count(mgr.one()), 8.0);
+        assert_eq!(mgr.sat_count(mgr.zero()), 0.0);
+    }
+
+    #[test]
+    fn probability_matches_enumeration() {
+        let mut mgr = BddManager::new(3);
+        let f = example(&mut mgr);
+        let probs = [0.3, 0.7, 0.2];
+        // Enumerate.
+        let mut expect = 0.0;
+        for row in 0..8u32 {
+            let a: Vec<bool> = (0..3).map(|i| (row >> i) & 1 == 1).collect();
+            if mgr.eval(f, &a) {
+                let mut p = 1.0;
+                for i in 0..3 {
+                    p *= if a[i] { probs[i] } else { 1.0 - probs[i] };
+                }
+                expect += p;
+            }
+        }
+        assert!((mgr.probability(f, &probs) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_terminal_cases() {
+        let mgr = BddManager::new(2);
+        assert_eq!(mgr.probability(mgr.one(), &[0.1, 0.2]), 1.0);
+        assert_eq!(mgr.probability(mgr.zero(), &[0.1, 0.2]), 0.0);
+    }
+
+    #[test]
+    fn any_sat_returns_witness() {
+        let mut mgr = BddManager::new(3);
+        let f = example(&mut mgr);
+        let witness = mgr.any_sat(f).unwrap();
+        assert!(mgr.eval(f, &witness));
+        assert!(mgr.any_sat(mgr.zero()).is_none());
+        // A function requiring a 0-branch choice.
+        let x0 = mgr.var(0);
+        let nx0 = mgr.not(x0);
+        let w = mgr.any_sat(nx0).unwrap();
+        assert!(mgr.eval(nx0, &w));
+        assert!(!w[0]);
+    }
+}

@@ -1,0 +1,406 @@
+//! Boolean operations on ROBDDs: NOT, AND, OR, XOR, ITE and thresholds.
+//!
+//! All binary operations use the classic Shannon-expansion `apply`
+//! algorithm with memoization keyed on the operand node pair, so the cost
+//! of an operation is bounded by the product of the operand sizes.
+
+use crate::manager::{BddId, BddManager, TERMINAL_LEVEL};
+
+/// Operation tags used as keys in the binary-operation cache.
+const OP_AND: u8 = 0;
+const OP_OR: u8 = 1;
+const OP_XOR: u8 = 2;
+const OP_NOT: u8 = 3;
+
+impl BddManager {
+    /// Logical negation.
+    pub fn not(&mut self, f: BddId) -> BddId {
+        if f.is_zero() {
+            return BddId::ONE;
+        }
+        if f.is_one() {
+            return BddId::ZERO;
+        }
+        if let Some(&r) = self.op_cache.get(&(OP_NOT, f, f)) {
+            return r;
+        }
+        let level = self.raw_level(f) as usize;
+        let low = self.low(f);
+        let high = self.high(f);
+        let nl = self.not(low);
+        let nh = self.not(high);
+        let r = self.mk(level, nl, nh);
+        self.op_cache.insert((OP_NOT, f, f), r);
+        r
+    }
+
+    /// Logical conjunction `f ∧ g`.
+    pub fn and(&mut self, f: BddId, g: BddId) -> BddId {
+        self.binary(OP_AND, f, g)
+    }
+
+    /// Logical disjunction `f ∨ g`.
+    pub fn or(&mut self, f: BddId, g: BddId) -> BddId {
+        self.binary(OP_OR, f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: BddId, g: BddId) -> BddId {
+        self.binary(OP_XOR, f, g)
+    }
+
+    /// Implication `f → g` (derived operation).
+    pub fn implies(&mut self, f: BddId, g: BddId) -> BddId {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Conjunction of an arbitrary number of operands.
+    pub fn and_many(&mut self, operands: impl IntoIterator<Item = BddId>) -> BddId {
+        let mut acc = BddId::ONE;
+        for op in operands {
+            acc = self.and(acc, op);
+            if acc.is_zero() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an arbitrary number of operands.
+    pub fn or_many(&mut self, operands: impl IntoIterator<Item = BddId>) -> BddId {
+        let mut acc = BddId::ZERO;
+        for op in operands {
+            acc = self.or(acc, op);
+            if acc.is_one() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Parity (multi-operand XOR).
+    pub fn xor_many(&mut self, operands: impl IntoIterator<Item = BddId>) -> BddId {
+        let mut acc = BddId::ZERO;
+        for op in operands {
+            acc = self.xor(acc, op);
+        }
+        acc
+    }
+
+    /// If-then-else `ite(f, g, h) = f·g + f̄·h`.
+    pub fn ite(&mut self, f: BddId, g: BddId, h: BddId) -> BddId {
+        // Terminal cases.
+        if f.is_one() {
+            return g;
+        }
+        if f.is_zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self
+            .raw_level(f)
+            .min(self.raw_level(g))
+            .min(self.raw_level(h));
+        debug_assert_ne!(top, TERMINAL_LEVEL);
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(top as usize, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// "At least `k` of the operands are true" (threshold / voter function).
+    ///
+    /// Built with a dynamic program over partial counts, which keeps the
+    /// construction polynomial in `k · n` BDD operations.
+    pub fn at_least(&mut self, k: usize, operands: &[BddId]) -> BddId {
+        let n = operands.len();
+        if k == 0 {
+            return BddId::ONE;
+        }
+        if k > n {
+            return BddId::ZERO;
+        }
+        // state[j] = BDD of "at least j of the operands processed so far are true", j = 0..=k
+        let mut state = vec![BddId::ZERO; k + 1];
+        state[0] = BddId::ONE;
+        for &op in operands {
+            // Process from high j to low j so that each round uses the previous round's values.
+            for j in (1..=k).rev() {
+                let with_op = self.and(state[j - 1], op);
+                state[j] = self.or(state[j], with_op);
+            }
+        }
+        state[k]
+    }
+
+    /// "Exactly `k` of the operands are true".
+    pub fn exactly(&mut self, k: usize, operands: &[BddId]) -> BddId {
+        let at_least_k = self.at_least(k, operands);
+        let at_least_k1 = self.at_least(k + 1, operands);
+        let not_more = self.not(at_least_k1);
+        self.and(at_least_k, not_more)
+    }
+
+    /// Existential quantification of the variable at `level`:
+    /// `∃x_level . f = f|x=0 ∨ f|x=1`.
+    pub fn exists(&mut self, f: BddId, level: usize) -> BddId {
+        let f0 = self.restrict(f, level, false);
+        let f1 = self.restrict(f, level, true);
+        self.or(f0, f1)
+    }
+
+    /// Cofactor of `f` with the variable at `level` fixed to `value`.
+    pub fn restrict(&mut self, f: BddId, level: usize, value: bool) -> BddId {
+        if f.is_terminal() {
+            return f;
+        }
+        let node_level = self.raw_level(f);
+        if node_level > level as u32 {
+            // f does not depend on the variable (it only tests lower variables).
+            return f;
+        }
+        if node_level == level as u32 {
+            return if value { self.high(f) } else { self.low(f) };
+        }
+        // node_level < level: rebuild with restricted children (memoized via mk's unique table only;
+        // an explicit cache is unnecessary for the shallow uses in this crate).
+        let low = self.low(f);
+        let high = self.high(f);
+        let rl = self.restrict(low, level, value);
+        let rh = self.restrict(high, level, value);
+        self.mk(node_level as usize, rl, rh)
+    }
+
+    fn binary(&mut self, op: u8, f: BddId, g: BddId) -> BddId {
+        // Terminal / trivial cases.
+        match op {
+            OP_AND => {
+                if f.is_zero() || g.is_zero() {
+                    return BddId::ZERO;
+                }
+                if f.is_one() {
+                    return g;
+                }
+                if g.is_one() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            OP_OR => {
+                if f.is_one() || g.is_one() {
+                    return BddId::ONE;
+                }
+                if f.is_zero() {
+                    return g;
+                }
+                if g.is_zero() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            OP_XOR => {
+                if f.is_zero() {
+                    return g;
+                }
+                if g.is_zero() {
+                    return f;
+                }
+                if f == g {
+                    return BddId::ZERO;
+                }
+                if f.is_one() {
+                    return self.not(g);
+                }
+                if g.is_one() {
+                    return self.not(f);
+                }
+            }
+            _ => unreachable!("unknown binary op"),
+        }
+        // Commutative operations: normalise the operand order for better cache hit rates.
+        let (a, b) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.op_cache.get(&(op, a, b)) {
+            return r;
+        }
+        let top = self.raw_level(a).min(self.raw_level(b));
+        let (a0, a1) = self.cofactors_at(a, top);
+        let (b0, b1) = self.cofactors_at(b, top);
+        let low = self.binary(op, a0, b0);
+        let high = self.binary(op, a1, b1);
+        let r = self.mk(top as usize, low, high);
+        self.op_cache.insert((op, a, b), r);
+        r
+    }
+
+    /// The cofactors of `f` with respect to the variable at raw level `top`
+    /// (which must be ≤ the level of `f`'s top variable).
+    pub(crate) fn cofactors_at(&self, f: BddId, top: u32) -> (BddId, BddId) {
+        if f.is_terminal() || self.raw_level(f) != top {
+            (f, f)
+        } else {
+            (self.low(f), self.high(f))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively compares a BDD against a reference closure over all
+    /// assignments of `n` variables.
+    fn check<F: Fn(&[bool]) -> bool>(mgr: &BddManager, f: BddId, n: usize, reference: F) {
+        for row in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| (row >> i) & 1 == 1).collect();
+            assert_eq!(
+                mgr.eval(f, &assignment),
+                reference(&assignment),
+                "assignment {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn basic_connectives() {
+        let mut mgr = BddManager::new(3);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let z = mgr.var(2);
+        let and = mgr.and(x, y);
+        check(&mgr, and, 3, |a| a[0] && a[1]);
+        let or = mgr.or(and, z);
+        check(&mgr, or, 3, |a| (a[0] && a[1]) || a[2]);
+        let xor = mgr.xor(x, z);
+        check(&mgr, xor, 3, |a| a[0] ^ a[2]);
+        let not = mgr.not(or);
+        check(&mgr, not, 3, |a| !((a[0] && a[1]) || a[2]));
+        let imp = mgr.implies(x, y);
+        check(&mgr, imp, 3, |a| !a[0] || a[1]);
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let mut mgr = BddManager::new(4);
+        let x = mgr.var(0);
+        let y = mgr.var(2);
+        let f = mgr.xor(x, y);
+        let nf = mgr.not(f);
+        let nnf = mgr.not(nf);
+        assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut mgr = BddManager::new(2);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let and = mgr.and(x, y);
+        let lhs = mgr.not(and);
+        let nx = mgr.not(x);
+        let ny = mgr.not(y);
+        let rhs = mgr.or(nx, ny);
+        assert_eq!(lhs, rhs, "¬(x∧y) must equal ¬x∨¬y by canonicity");
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let mut mgr = BddManager::new(3);
+        let f = mgr.var(0);
+        let g = mgr.var(1);
+        let h = mgr.var(2);
+        let ite = mgr.ite(f, g, h);
+        check(&mgr, ite, 3, |a| if a[0] { a[1] } else { a[2] });
+        // ite(f, 1, 0) = f
+        assert_eq!(mgr.ite(f, BddId::ONE, BddId::ZERO), f);
+        // ite with equal branches
+        assert_eq!(mgr.ite(f, g, g), g);
+        // terminal guards
+        assert_eq!(mgr.ite(BddId::ONE, g, h), g);
+        assert_eq!(mgr.ite(BddId::ZERO, g, h), h);
+    }
+
+    #[test]
+    fn many_operand_helpers() {
+        let mut mgr = BddManager::new(4);
+        let vars: Vec<BddId> = (0..4).map(|i| mgr.var(i)).collect();
+        let all = mgr.and_many(vars.iter().copied());
+        check(&mgr, all, 4, |a| a.iter().all(|&v| v));
+        let any = mgr.or_many(vars.iter().copied());
+        check(&mgr, any, 4, |a| a.iter().any(|&v| v));
+        let parity = mgr.xor_many(vars.iter().copied());
+        check(&mgr, parity, 4, |a| a.iter().filter(|&&v| v).count() % 2 == 1);
+        assert_eq!(mgr.and_many(std::iter::empty()), mgr.one());
+        assert_eq!(mgr.or_many(std::iter::empty()), mgr.zero());
+    }
+
+    #[test]
+    fn thresholds() {
+        let mut mgr = BddManager::new(5);
+        let vars: Vec<BddId> = (0..5).map(|i| mgr.var(i)).collect();
+        for k in 0..=6 {
+            let f = mgr.at_least(k, &vars);
+            check(&mgr, f, 5, |a| a.iter().filter(|&&v| v).count() >= k);
+        }
+        let exactly2 = mgr.exactly(2, &vars);
+        check(&mgr, exactly2, 5, |a| a.iter().filter(|&&v| v).count() == 2);
+        // 2-of-3 equals the majority function.
+        let maj_vars = &vars[0..3];
+        let maj = mgr.at_least(2, maj_vars);
+        check(&mgr, maj, 3, |a| (a[0] as u8 + a[1] as u8 + a[2] as u8) >= 2);
+    }
+
+    #[test]
+    fn restrict_and_exists() {
+        let mut mgr = BddManager::new(3);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let z = mgr.var(2);
+        let yz = mgr.and(y, z);
+        let f = mgr.or(x, yz); // f = x + y z
+        let f_x1 = mgr.restrict(f, 0, true);
+        assert_eq!(f_x1, mgr.one());
+        let f_x0 = mgr.restrict(f, 0, false);
+        assert_eq!(f_x0, yz);
+        // Restrict on a variable not in the support is the identity.
+        assert_eq!(mgr.restrict(yz, 0, true), yz);
+        // Restrict below the root.
+        let f_z0 = mgr.restrict(f, 2, false);
+        assert_eq!(f_z0, x);
+        // ∃x . f = 1 (taking x = 1 satisfies it).
+        assert_eq!(mgr.exists(f, 0), mgr.one());
+        // ∃z . yz = y
+        assert_eq!(mgr.exists(yz, 2), y);
+    }
+
+    #[test]
+    fn cache_effectiveness_same_result() {
+        // Repeating an operation must give the identical node id (canonical + cached).
+        let mut mgr = BddManager::new(8);
+        let vars: Vec<BddId> = (0..8).map(|i| mgr.var(i)).collect();
+        let f1 = mgr.at_least(3, &vars);
+        let before = mgr.peak_nodes();
+        let f2 = mgr.at_least(3, &vars);
+        assert_eq!(f1, f2);
+        assert_eq!(mgr.peak_nodes(), before, "no new nodes should be created");
+        mgr.clear_op_caches();
+        let f3 = mgr.at_least(3, &vars);
+        assert_eq!(f1, f3);
+    }
+}

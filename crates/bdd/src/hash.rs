@@ -1,0 +1,120 @@
+//! A small, fast, non-cryptographic hasher for the unique and operation
+//! caches.
+//!
+//! The decision-diagram managers perform an enormous number of hash-table
+//! lookups on short fixed-size keys (two or three `u32`s). The standard
+//! library's default SipHash is robust against adversarial keys but is
+//! noticeably slower for this workload, so a simple multiply-xor hasher in
+//! the spirit of FxHash is used instead. Keys are internal node indices, so
+//! hash-flooding is not a concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over 64-bit words (FxHash-style).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], for use with `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let build = FxBuildHasher::default();
+        let mut hasher = build.build_hasher();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&(1u32, 2u32, 3u32)), hash_of(&(1u32, 2u32, 3u32)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&(1u32, 2u32, 3u32)), hash_of(&(1u32, 3u32, 2u32)));
+        assert_ne!(hash_of(&(0u32, 0u32)), hash_of(&(0u32, 1u32)));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Crude dispersion check: low 10 bits of hashes of 0..1024 should hit many buckets.
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0u32..1024 {
+            buckets.insert(hash_of(&(i, i.wrapping_mul(3))) & 0x3ff);
+        }
+        assert!(buckets.len() > 512, "only {} distinct buckets", buckets.len());
+    }
+
+    #[test]
+    fn works_with_hashmap() {
+        let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i + 1), i);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map[&(10, 11)], 10);
+    }
+
+    #[test]
+    fn write_bytes_path() {
+        // Strings exercise the generic `write` path.
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        assert_eq!(hash_of(&"abcdefghij"), hash_of(&"abcdefghij"));
+    }
+}

@@ -1,0 +1,299 @@
+//! The [`BddManager`]: node arena, unique table and terminals.
+
+use std::fmt;
+
+use crate::hash::FxHashMap;
+
+/// Identifier of a BDD node within a [`BddManager`].
+///
+/// The identifiers `0` and `1` are reserved for the terminal nodes FALSE
+/// and TRUE respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddId(pub(crate) u32);
+
+impl BddId {
+    /// The FALSE terminal.
+    pub const ZERO: BddId = BddId(0);
+    /// The TRUE terminal.
+    pub const ONE: BddId = BddId(1);
+
+    /// Raw index of this node in the manager's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// True if this is the TRUE terminal.
+    pub fn is_one(self) -> bool {
+        self.0 == 1
+    }
+
+    /// True if this is the FALSE terminal.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for BddId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "FALSE"),
+            1 => write!(f, "TRUE"),
+            i => write!(f, "b{i}"),
+        }
+    }
+}
+
+/// Level used internally for terminal nodes (greater than every variable
+/// level, so terminals sort below all variables).
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// A BDD node: variable level plus low (value-0) and high (value-1) children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Node {
+    pub level: u32,
+    pub low: BddId,
+    pub high: BddId,
+}
+
+/// A manager owning a forest of ROBDD nodes over a fixed number of
+/// variable levels.
+///
+/// All functions created through one manager share structure via the
+/// unique table, which is what makes the representation canonical: two
+/// [`BddId`]s are equal **iff** they denote the same boolean function under
+/// the manager's variable order.
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    unique: FxHashMap<(u32, BddId, BddId), BddId>,
+    pub(crate) num_levels: u32,
+    /// Memoization caches for the apply operations (see `apply.rs`).
+    pub(crate) op_cache: FxHashMap<(u8, BddId, BddId), BddId>,
+    pub(crate) ite_cache: FxHashMap<(BddId, BddId, BddId), BddId>,
+}
+
+impl BddManager {
+    /// Creates a manager over `num_levels` boolean variable levels.
+    pub fn new(num_levels: usize) -> Self {
+        let nodes = vec![
+            // FALSE terminal
+            Node { level: TERMINAL_LEVEL, low: BddId::ZERO, high: BddId::ZERO },
+            // TRUE terminal
+            Node { level: TERMINAL_LEVEL, low: BddId::ONE, high: BddId::ONE },
+        ];
+        Self {
+            nodes,
+            unique: FxHashMap::default(),
+            num_levels: num_levels as u32,
+            op_cache: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+        }
+    }
+
+    /// The FALSE terminal.
+    pub fn zero(&self) -> BddId {
+        BddId::ZERO
+    }
+
+    /// The TRUE terminal.
+    pub fn one(&self) -> BddId {
+        BddId::ONE
+    }
+
+    /// Number of variable levels this manager was created with.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels as usize
+    }
+
+    /// Extends the manager with additional variable levels (appended after
+    /// the existing ones). Existing nodes are unaffected.
+    pub fn add_levels(&mut self, extra: usize) {
+        self.num_levels += extra as u32;
+    }
+
+    /// The level tested by `id`, or `None` for terminals.
+    pub fn level(&self, id: BddId) -> Option<usize> {
+        let l = self.nodes[id.index()].level;
+        if l == TERMINAL_LEVEL {
+            None
+        } else {
+            Some(l as usize)
+        }
+    }
+
+    /// The low (variable = 0) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    pub fn low(&self, id: BddId) -> BddId {
+        assert!(!id.is_terminal(), "terminals have no children");
+        self.nodes[id.index()].low
+    }
+
+    /// The high (variable = 1) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    pub fn high(&self, id: BddId) -> BddId {
+        assert!(!id.is_terminal(), "terminals have no children");
+        self.nodes[id.index()].high
+    }
+
+    pub(crate) fn raw_level(&self, id: BddId) -> u32 {
+        self.nodes[id.index()].level
+    }
+
+    /// Returns (creating if necessary) the canonical node `(level, low, high)`.
+    ///
+    /// Applies the ROBDD reduction rule: if `low == high` the node is
+    /// redundant and `low` is returned directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range or if either child tests a level
+    /// not strictly below `level` (which would violate the ordering
+    /// invariant).
+    pub fn mk(&mut self, level: usize, low: BddId, high: BddId) -> BddId {
+        assert!((level as u32) < self.num_levels, "level {level} out of range");
+        debug_assert!(
+            self.raw_level(low) > level as u32 && self.raw_level(high) > level as u32,
+            "children must test strictly lower levels"
+        );
+        if low == high {
+            return low;
+        }
+        let key = (level as u32, low, high);
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = BddId(self.nodes.len() as u32);
+        self.nodes.push(Node { level: level as u32, low, high });
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// The positive literal of the variable at `level`.
+    pub fn var(&mut self, level: usize) -> BddId {
+        self.mk(level, BddId::ZERO, BddId::ONE)
+    }
+
+    /// The negative literal of the variable at `level`.
+    pub fn nvar(&mut self, level: usize) -> BddId {
+        self.mk(level, BddId::ONE, BddId::ZERO)
+    }
+
+    /// A literal: positive when `positive` is true, negated otherwise.
+    pub fn literal(&mut self, level: usize, positive: bool) -> BddId {
+        if positive {
+            self.var(level)
+        } else {
+            self.nvar(level)
+        }
+    }
+
+    /// Constant node for a boolean value.
+    pub fn constant(&self, value: bool) -> BddId {
+        if value {
+            BddId::ONE
+        } else {
+            BddId::ZERO
+        }
+    }
+
+    /// Total number of nodes ever created in this manager, including the
+    /// two terminals. Because the manager never garbage-collects, this is
+    /// the *peak* number of live ROBDD nodes — the metric the paper reports
+    /// as "ROBDD peak" (it determines peak memory consumption).
+    pub fn peak_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Clears the operation caches (the unique table is kept, so canonicity
+    /// is unaffected). Useful between large independent builds to bound
+    /// cache memory.
+    pub fn clear_op_caches(&mut self) {
+        self.op_cache.clear();
+        self.ite_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let mgr = BddManager::new(2);
+        assert!(mgr.zero().is_zero());
+        assert!(mgr.one().is_one());
+        assert!(mgr.zero().is_terminal());
+        assert_eq!(mgr.level(mgr.one()), None);
+        assert_eq!(mgr.constant(true), mgr.one());
+        assert_eq!(mgr.constant(false), mgr.zero());
+        assert_eq!(format!("{}", mgr.one()), "TRUE");
+        assert_eq!(format!("{}", mgr.zero()), "FALSE");
+        assert_eq!(format!("{}", BddId(5)), "b5");
+        assert_eq!(mgr.peak_nodes(), 2);
+    }
+
+    #[test]
+    fn hash_consing_is_canonical() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(1);
+        let b = mgr.var(1);
+        assert_eq!(a, b);
+        assert_eq!(mgr.peak_nodes(), 3);
+        let n1 = mgr.mk(0, a, mgr.one());
+        let n2 = mgr.mk(0, a, mgr.one());
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn redundant_nodes_are_eliminated() {
+        let mut mgr = BddManager::new(2);
+        let x = mgr.var(1);
+        let r = mgr.mk(0, x, x);
+        assert_eq!(r, x, "node with equal children must collapse");
+    }
+
+    #[test]
+    fn literals() {
+        let mut mgr = BddManager::new(2);
+        let pos = mgr.literal(0, true);
+        let neg = mgr.literal(0, false);
+        assert_eq!(mgr.low(pos), mgr.zero());
+        assert_eq!(mgr.high(pos), mgr.one());
+        assert_eq!(mgr.low(neg), mgr.one());
+        assert_eq!(mgr.high(neg), mgr.zero());
+        assert_eq!(mgr.level(pos), Some(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_level_panics() {
+        let mut mgr = BddManager::new(1);
+        let _ = mgr.var(1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn children_of_terminals_panic() {
+        let mgr = BddManager::new(1);
+        let _ = mgr.low(mgr.one());
+    }
+
+    #[test]
+    fn add_levels_extends_range() {
+        let mut mgr = BddManager::new(1);
+        mgr.add_levels(2);
+        assert_eq!(mgr.num_levels(), 3);
+        let _ = mgr.var(2);
+    }
+}

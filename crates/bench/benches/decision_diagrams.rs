@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the decision-diagram substrates: ROBDD
+//! compilation of a benchmark fault tree, ROMDD conversion, and
+//! probability evaluation. These isolate the three phases whose sum is the
+//! Table-4 CPU time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use soc_yield_core::GeneralizedFaultTree;
+use socy_bdd::BddManager;
+use socy_benchmarks::ms;
+use socy_defect::truncation::truncate_at;
+use socy_defect::NegativeBinomial;
+use socy_mdd::MddManager;
+use socy_ordering::{compute_ordering, OrderingSpec};
+
+fn bench_phases(c: &mut Criterion) {
+    let system = ms(2);
+    let components = system.component_probabilities(1.0).expect("valid weights");
+    let lethal = NegativeBinomial::new(1.0, 4.0).expect("valid parameters");
+    let truncation = truncate_at(&lethal, 6).expect("valid truncation");
+    let g = GeneralizedFaultTree::build(&system.fault_tree, 6).expect("valid fault tree");
+    let ordering =
+        compute_ordering(g.netlist(), g.groups(), &OrderingSpec::paper_default()).unwrap();
+    let layout = g.layout(&ordering);
+
+    let mut group = c.benchmark_group("phases_ms2");
+    group.sample_size(10);
+    group.bench_function("robdd_compile", |b| {
+        b.iter(|| {
+            let mut mgr = BddManager::new(g.netlist().num_inputs());
+            mgr.build_netlist(g.netlist(), &ordering.var_level).size
+        })
+    });
+
+    // Pre-build once for the conversion and probability benchmarks.
+    let mut bdd = BddManager::new(g.netlist().num_inputs());
+    let build = bdd.build_netlist(g.netlist(), &ordering.var_level);
+    group.bench_function("romdd_convert", |b| {
+        b.iter(|| {
+            let mut mdd = MddManager::new(g.mdd_domains(&ordering));
+            let root = mdd.from_coded_bdd(&bdd, build.root, &layout);
+            mdd.node_count(root)
+        })
+    });
+
+    let mut mdd = MddManager::new(g.mdd_domains(&ordering));
+    let root = mdd.from_coded_bdd(&bdd, build.root, &layout);
+    let probabilities = g.probability_vectors(&ordering, &truncation, &components);
+    group.bench_function("probability_eval", |b| {
+        b.iter(|| mdd.probability(root, &probabilities))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmark of the variable-ordering heuristics themselves
+//! (Table-2 / Table-3 axis): how long each heuristic takes on the
+//! binary-logic description of `G`, and how large the resulting coded
+//! ROBDD is (reported via the pipeline benchmark; here we time the
+//! ordering computation in isolation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use soc_yield_core::GeneralizedFaultTree;
+use socy_benchmarks::ms;
+use socy_ordering::{compute_ordering, GroupOrdering, MvOrdering, OrderingSpec};
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering_heuristics");
+    let system = ms(4);
+    let g = GeneralizedFaultTree::build(&system.fault_tree, 6).expect("valid fault tree");
+    for mv in [MvOrdering::Wv, MvOrdering::Topology, MvOrdering::Weight, MvOrdering::H4] {
+        let spec = OrderingSpec::new(mv, GroupOrdering::MsbFirst).expect("ml combines with all");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.label()),
+            &spec,
+            |b, spec| b.iter(|| compute_ordering(g.netlist(), g.groups(), spec).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

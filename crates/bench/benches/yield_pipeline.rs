@@ -1,0 +1,84 @@
+//! Criterion benchmark of the full yield pipeline (Table-4 configuration:
+//! weight heuristic + most-significant-bit-first groups) on the smaller
+//! benchmark instances, plus the two ablations:
+//!
+//! * coded-ROBDD route vs direct ROMDD construction,
+//! * top-down vs layered conversion algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use soc_yield_core::{analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm};
+use socy_benchmarks::{esen, ms, BenchmarkSystem};
+use socy_defect::NegativeBinomial;
+
+fn options() -> AnalysisOptions {
+    AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() }
+}
+
+fn instances() -> Vec<(BenchmarkSystem, f64)> {
+    vec![(ms(2), 1.0), (ms(2), 2.0), (esen(4, 1), 1.0), (esen(4, 2), 1.0)]
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yield_pipeline");
+    group.sample_size(10);
+    for (system, lambda) in instances() {
+        let components = system.component_probabilities(1.0).expect("valid weights");
+        let lethal = NegativeBinomial::new(lambda, 4.0)
+            .expect("valid parameters")
+            .thinned(components.lethality())
+            .expect("valid lethality");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_l{}", system.name, lambda)),
+            &(system, components, lethal),
+            |b, (system, components, lethal)| {
+                b.iter(|| {
+                    analyze(&system.fault_tree, components, lethal, &options())
+                        .expect("analysis succeeds")
+                        .report
+                        .yield_lower_bound
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_construction_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("romdd_construction");
+    group.sample_size(10);
+    let system = esen(4, 1);
+    let components = system.component_probabilities(1.0).expect("valid weights");
+    let lethal = NegativeBinomial::new(1.0, 4.0)
+        .expect("valid parameters")
+        .thinned(components.lethality())
+        .expect("valid lethality");
+    group.bench_function("coded_robdd_top_down", |b| {
+        b.iter(|| analyze(&system.fault_tree, &components, &lethal, &options()).unwrap().report.romdd_size)
+    });
+    group.bench_function("coded_robdd_layered", |b| {
+        b.iter(|| {
+            analyze(
+                &system.fault_tree,
+                &components,
+                &lethal,
+                &AnalysisOptions { conversion: ConversionAlgorithm::Layered, ..options() },
+            )
+            .unwrap()
+            .report
+            .romdd_size
+        })
+    });
+    group.bench_function("direct_mdd", |b| {
+        b.iter(|| {
+            analyze_direct(&system.fault_tree, &components, &lethal, &options())
+                .unwrap()
+                .report
+                .romdd_size
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_construction_ablation);
+criterion_main!(benches);

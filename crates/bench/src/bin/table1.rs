@@ -1,0 +1,58 @@
+//! Reproduces Table 1: the benchmark inventory (number of components and
+//! number of gates of the gate-level fault-tree descriptions).
+
+use soc_yield_bench::{maybe_write_json, parse_cli};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    components: usize,
+    gates: usize,
+    paper_components: usize,
+    paper_gates: usize,
+}
+
+fn main() {
+    let (max_components, json) = parse_cli(usize::MAX);
+    // (name, C, gates) as printed in the paper's Table 1.
+    let paper: &[(&str, usize, usize)] = &[
+        ("MS2", 18, 27),
+        ("MS4", 30, 51),
+        ("MS6", 42, 75),
+        ("MS8", 54, 99),
+        ("MS10", 66, 123),
+        ("ESEN4x1", 14, 13),
+        ("ESEN4x2", 26, 26),
+        ("ESEN4x4", 34, 74),
+        ("ESEN8x1", 32, 73),
+        ("ESEN8x2", 56, 122),
+        ("ESEN8x4", 72, 314),
+    ];
+    println!("Table 1: benchmark inventory (paper values in parentheses)");
+    println!("{:<10} {:>14} {:>18}", "benchmark", "components", "fault-tree gates");
+    let mut rows = Vec::new();
+    for system in socy_benchmarks::paper_benchmarks() {
+        if system.num_components() > max_components {
+            continue;
+        }
+        let reference = paper.iter().find(|(name, _, _)| *name == system.name);
+        let (pc, pg) = reference.map(|&(_, c, g)| (c, g)).unwrap_or((0, 0));
+        println!(
+            "{:<10} {:>8} ({:>3}) {:>12} ({:>3})",
+            system.name,
+            system.num_components(),
+            pc,
+            system.num_gates(),
+            pg
+        );
+        rows.push(Row {
+            benchmark: system.name.clone(),
+            components: system.num_components(),
+            gates: system.num_gates(),
+            paper_components: pc,
+            paper_gates: pg,
+        });
+    }
+    maybe_write_json(&json, &rows);
+}

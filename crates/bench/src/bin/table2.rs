@@ -1,0 +1,57 @@
+//! Reproduces Table 2: ROMDD size (number of nodes) under the seven
+//! multiple-valued variable orderings wv, wvr, vw, vrw, t, w, h
+//! (bit groups ordered most-significant-first throughout).
+//!
+//! The `vw` / `vrw` orderings blow up quickly (the paper reports failures
+//! on the larger instances); by default this binary therefore only runs
+//! instances up to 30 components — pass `--max-components 100` to attempt
+//! them all.
+
+use soc_yield_bench::{maybe_write_json, parse_cli, paper_workloads, run_workload, ResultRow};
+use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
+
+fn main() {
+    let (max_components, json) = parse_cli(30);
+    println!("Table 2: ROMDD size per multiple-valued variable ordering (group order: ml)");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "wv", "wvr", "vw", "vrw", "t", "w", "h"
+    );
+    let mut rows: Vec<ResultRow> = Vec::new();
+    for workload in paper_workloads(max_components) {
+        let mut sizes = Vec::new();
+        for mv in MvOrdering::ALL {
+            let spec = OrderingSpec::new(mv, GroupOrdering::MsbFirst).expect("ml combines with all");
+            // The v-first orderings explode on the larger instances; skip them there
+            // (mirrors the paper's "—" entries) instead of exhausting memory.
+            let skip = matches!(mv, MvOrdering::Vw | MvOrdering::Vrw)
+                && workload.system.num_components() > 30;
+            if skip {
+                sizes.push("-".to_string());
+                continue;
+            }
+            match run_workload(&workload, spec) {
+                Ok(row) => {
+                    sizes.push(row.romdd_size.to_string());
+                    rows.push(row);
+                }
+                Err(e) => {
+                    eprintln!("{}: {spec} failed: {e}", workload.label());
+                    sizes.push("-".to_string());
+                }
+            }
+        }
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            workload.label(),
+            sizes[0],
+            sizes[1],
+            sizes[2],
+            sizes[3],
+            sizes[4],
+            sizes[5],
+            sizes[6]
+        );
+    }
+    maybe_write_json(&json, &rows);
+}

@@ -1,0 +1,38 @@
+//! Reproduces Table 3: coded-ROBDD size (number of nodes) for the bit-group
+//! orderings ml, lm and w, with the weight heuristic ordering the
+//! multiple-valued variables.
+
+use soc_yield_bench::{maybe_write_json, parse_cli, paper_workloads, run_workload, ResultRow};
+use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
+
+fn main() {
+    let (max_components, json) = parse_cli(34);
+    println!("Table 3: coded ROBDD size per bit-group ordering (MV ordering: w)");
+    println!("{:<18} {:>12} {:>12} {:>12}", "benchmark", "ml", "lm", "w");
+    let mut rows: Vec<ResultRow> = Vec::new();
+    for workload in paper_workloads(max_components) {
+        let mut sizes = Vec::new();
+        for group in [GroupOrdering::MsbFirst, GroupOrdering::LsbFirst, GroupOrdering::Weight] {
+            let spec = OrderingSpec::new(MvOrdering::Weight, group)
+                .expect("all three combine with the weight MV ordering");
+            match run_workload(&workload, spec) {
+                Ok(row) => {
+                    sizes.push(row.robdd_size.to_string());
+                    rows.push(row);
+                }
+                Err(e) => {
+                    eprintln!("{}: {spec} failed: {e}", workload.label());
+                    sizes.push("-".to_string());
+                }
+            }
+        }
+        println!(
+            "{:<18} {:>12} {:>12} {:>12}",
+            workload.label(),
+            sizes[0],
+            sizes[1],
+            sizes[2]
+        );
+    }
+    maybe_write_json(&json, &rows);
+}

@@ -1,0 +1,95 @@
+//! Reproduces Table 4: full-pipeline metrics with the paper's preferred
+//! heuristics (weight ordering for the multiple-valued variables,
+//! most-significant-bit-first groups): CPU time, peak ROBDD nodes, final
+//! coded-ROBDD size, ROMDD size and the computed yield.
+//!
+//! For the smaller instances the combinatorial result is cross-checked
+//! against a Monte-Carlo simulation (100k samples), mirroring the sanity
+//! check a practitioner would perform.
+
+use soc_yield_bench::{
+    maybe_write_json, parse_cli, paper_workloads, run_workload, ALPHA, LETHALITY,
+};
+use serde::Serialize;
+use socy_defect::NegativeBinomial;
+use socy_ordering::OrderingSpec;
+use socy_sim::{MonteCarloYield, SimulationOptions};
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    lambda: f64,
+    truncation: usize,
+    seconds: f64,
+    robdd_peak: usize,
+    robdd_size: usize,
+    romdd_size: usize,
+    yield_lower_bound: f64,
+    error_bound: f64,
+    monte_carlo_yield: Option<f64>,
+    monte_carlo_std_error: Option<f64>,
+}
+
+fn main() {
+    let (max_components, json) = parse_cli(34);
+    println!("Table 4: pipeline performance with heuristics w + ml");
+    println!(
+        "{:<18} {:>3} {:>9} {:>12} {:>12} {:>10} {:>8} {:>10}",
+        "benchmark", "M", "time (s)", "ROBDD peak", "ROBDD", "ROMDD", "yield", "MC yield"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for workload in paper_workloads(max_components) {
+        let row = match run_workload(&workload, OrderingSpec::paper_default()) {
+            Ok(row) => row,
+            Err(e) => {
+                eprintln!("{} failed: {e}", workload.label());
+                continue;
+            }
+        };
+        // Monte-Carlo cross-check on moderately sized instances.
+        let mc = if workload.system.num_components() <= 60 {
+            let components = workload
+                .system
+                .component_probabilities(LETHALITY)
+                .expect("benchmark weights are valid");
+            let raw = NegativeBinomial::new(workload.lambda / LETHALITY, ALPHA)
+                .expect("valid parameters");
+            let lethal = raw.thinned(components.lethality()).expect("valid lethality");
+            MonteCarloYield::new(
+                &workload.system.fault_tree,
+                &components,
+                &lethal,
+                SimulationOptions::default(),
+            )
+            .ok()
+            .map(|sim| sim.run(100_000, 2003))
+        } else {
+            None
+        };
+        println!(
+            "{:<18} {:>3} {:>9.2} {:>12} {:>12} {:>10} {:>8.3} {:>10}",
+            workload.label(),
+            row.truncation,
+            row.seconds,
+            row.robdd_peak,
+            row.robdd_size,
+            row.romdd_size,
+            row.yield_lower_bound,
+            mc.map(|e| format!("{:.3}", e.yield_estimate)).unwrap_or_else(|| "-".to_string()),
+        );
+        rows.push(Row {
+            benchmark: row.benchmark,
+            lambda: row.lambda,
+            truncation: row.truncation,
+            seconds: row.seconds,
+            robdd_peak: row.robdd_peak,
+            robdd_size: row.robdd_size,
+            romdd_size: row.romdd_size,
+            yield_lower_bound: row.yield_lower_bound,
+            error_bound: row.error_bound,
+            monte_carlo_yield: mc.map(|e| e.yield_estimate),
+            monte_carlo_std_error: mc.map(|e| e.standard_error),
+        });
+    }
+    maybe_write_json(&json, &rows);
+}

@@ -1,0 +1,237 @@
+//! The `ESEN n×m` benchmark family (Figure 5 of the paper).
+//!
+//! `n` is the number of network ports per side (a power of two) and `m`
+//! scales the number of IP cores attached per port. The system contains:
+//!
+//! * `n·m/2` IPA cores and `n·m/2` IPB cores,
+//! * when `m ≥ 2`, one concentrator per network port on each side
+//!   (`2n` concentrators) funnelling the IP cores onto the ports,
+//! * an extra-stage shuffle-exchange network (ESEN) with `log2(n) + 1`
+//!   stages of `n/2` switching elements, in which every switching element
+//!   of the **first and last stage has a redundant copy**.
+//!
+//! This reproduces the component counts of Table 1 exactly
+//! (14 / 26 / 34 / 32 / 56 / 72 for ESEN4x1 … ESEN8x4).
+//!
+//! **Operational condition** (the paper's exact wording is partially lost
+//! in the scanned text; the substitution is documented in DESIGN.md): the
+//! system functions while
+//!
+//! * at most one IPA and at most one IPB core are failed,
+//! * when `m ≥ 2`, at most one concentrator per side is failed,
+//! * the network provides full access among the surviving cores: every
+//!   middle-stage switching element is unfailed and every first/last-stage
+//!   position has at least one unfailed copy.
+//!
+//! Defect-sensitivity weights (relative `P_i`): IPA 1.0, IPB 2.0, switching
+//! elements 1.0, concentrators 0.5.
+
+use socy_faulttree::{Netlist, NodeId};
+
+use crate::system::BenchmarkSystem;
+
+/// Relative weight of an IPA core.
+pub const WEIGHT_IPA: f64 = 1.0;
+/// Relative weight of an IPB core.
+pub const WEIGHT_IPB: f64 = 2.0;
+/// Relative weight of a switching element.
+pub const WEIGHT_SE: f64 = 1.0;
+/// Relative weight of a concentrator.
+pub const WEIGHT_C: f64 = 0.5;
+
+/// Generates the `ESEN n×m` benchmark.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two of at least 4, or if `n·m` is odd
+/// (the paper's instances use `m ∈ {1, 2, 4}`).
+pub fn esen(n: usize, m: usize) -> BenchmarkSystem {
+    assert!(n >= 4 && n.is_power_of_two(), "ESEN requires n to be a power of two >= 4");
+    assert!(m >= 1 && (n * m) % 2 == 0, "ESEN requires n·m to be even");
+    let stages = (n.trailing_zeros() as usize) + 1;
+    let per_stage = n / 2;
+    let ips_per_side = n * m / 2;
+
+    let mut nl = Netlist::new();
+    let mut component_names: Vec<String> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut add = |nl: &mut Netlist, name: String, weight: f64| -> NodeId {
+        let id = nl.input(name.clone());
+        component_names.push(name);
+        weights.push(weight);
+        id
+    };
+
+    // IP cores.
+    let mut ipa = Vec::with_capacity(ips_per_side);
+    for i in 0..ips_per_side {
+        ipa.push(add(&mut nl, format!("IPA_{i}"), WEIGHT_IPA));
+    }
+    let mut ipb = Vec::with_capacity(ips_per_side);
+    for i in 0..ips_per_side {
+        ipb.push(add(&mut nl, format!("IPB_{i}"), WEIGHT_IPB));
+    }
+    // Concentrators (one per port per side when m >= 2).
+    let mut ca = Vec::new();
+    let mut cb = Vec::new();
+    if m >= 2 {
+        for p in 0..n {
+            ca.push(add(&mut nl, format!("CA_{p}"), WEIGHT_C));
+        }
+        for p in 0..n {
+            cb.push(add(&mut nl, format!("CB_{p}"), WEIGHT_C));
+        }
+    }
+    // Switching elements: duplicated in the first and last stage.
+    let mut se_single: Vec<Vec<NodeId>> = Vec::new(); // middle stages
+    let mut se_first: Vec<[NodeId; 2]> = Vec::new();
+    let mut se_last: Vec<[NodeId; 2]> = Vec::new();
+    for stage in 0..stages {
+        if stage == 0 {
+            for i in 0..per_stage {
+                se_first.push([
+                    add(&mut nl, format!("SE_{stage}_{i}_A"), WEIGHT_SE),
+                    add(&mut nl, format!("SE_{stage}_{i}_B"), WEIGHT_SE),
+                ]);
+            }
+        } else if stage == stages - 1 {
+            for i in 0..per_stage {
+                se_last.push([
+                    add(&mut nl, format!("SE_{stage}_{i}_A"), WEIGHT_SE),
+                    add(&mut nl, format!("SE_{stage}_{i}_B"), WEIGHT_SE),
+                ]);
+            }
+        } else {
+            let mut row = Vec::with_capacity(per_stage);
+            for i in 0..per_stage {
+                row.push(add(&mut nl, format!("SE_{stage}_{i}"), WEIGHT_SE));
+            }
+            se_single.push(row);
+        }
+    }
+
+    // Failure condition.
+    let mut failure_terms: Vec<NodeId> = Vec::new();
+    // (a) two or more IPA failures, or two or more IPB failures.
+    failure_terms.push(nl.at_least(2, ipa.clone()));
+    failure_terms.push(nl.at_least(2, ipb.clone()));
+    // (b) two or more concentrator failures on either side (m >= 2 only).
+    if m >= 2 {
+        failure_terms.push(nl.at_least(2, ca.clone()));
+        failure_terms.push(nl.at_least(2, cb.clone()));
+    }
+    // (c) any middle-stage switching element failed.
+    for row in &se_single {
+        for &se in row {
+            failure_terms.push(se);
+        }
+    }
+    // (d) both copies of a first- or last-stage switching element failed.
+    for pair in se_first.iter().chain(se_last.iter()) {
+        failure_terms.push(nl.and([pair[0], pair[1]]));
+    }
+    let f = nl.or(failure_terms);
+    nl.set_output(f);
+
+    BenchmarkSystem { name: format!("ESEN{n}x{m}"), fault_tree: nl, component_names, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_counts_match_table_1() {
+        assert_eq!(esen(4, 1).num_components(), 14);
+        assert_eq!(esen(4, 2).num_components(), 26);
+        assert_eq!(esen(4, 4).num_components(), 34);
+        assert_eq!(esen(8, 1).num_components(), 32);
+        assert_eq!(esen(8, 2).num_components(), 56);
+        assert_eq!(esen(8, 4).num_components(), 72);
+    }
+
+    #[test]
+    fn component_breakdown_for_esen8x2() {
+        let sys = esen(8, 2);
+        let count = |prefix: &str| {
+            sys.component_names.iter().filter(|n| n.starts_with(prefix)).count()
+        };
+        assert_eq!(count("IPA_"), 8);
+        assert_eq!(count("IPB_"), 8);
+        assert_eq!(count("CA_") + count("CB_"), 16);
+        assert_eq!(count("SE_"), 24);
+    }
+
+    #[test]
+    fn no_failures_operational_all_failures_not() {
+        for (n, m) in [(4, 1), (4, 2), (8, 1)] {
+            let sys = esen(n, m);
+            assert!(!sys.fault_tree.eval_output(&vec![false; sys.num_components()]));
+            assert!(sys.fault_tree.eval_output(&vec![true; sys.num_components()]));
+        }
+    }
+
+    #[test]
+    fn single_fault_tolerance_of_redundant_parts() {
+        // Any single IPA, IPB, concentrator, or first/last-stage SE failure is tolerated.
+        let sys = esen(4, 2);
+        let c = sys.num_components();
+        for i in 0..c {
+            let name = &sys.component_names[i];
+            let mut assignment = vec![false; c];
+            assignment[i] = true;
+            let failed = sys.fault_tree.eval_output(&assignment);
+            let is_middle_se = name.starts_with("SE_1_") && !name.ends_with("_A") && !name.ends_with("_B");
+            if is_middle_se {
+                assert!(failed, "middle-stage SE {name} is a single point of failure");
+            } else {
+                assert!(!failed, "single failure of {name} should be tolerated");
+            }
+        }
+    }
+
+    #[test]
+    fn two_ipa_failures_kill_the_system() {
+        let sys = esen(4, 2);
+        let mut assignment = vec![false; sys.num_components()];
+        assignment[sys.component_index("IPA_0").unwrap()] = true;
+        assignment[sys.component_index("IPA_1").unwrap()] = true;
+        assert!(sys.fault_tree.eval_output(&assignment));
+    }
+
+    #[test]
+    fn first_stage_pair_failure_kills_the_system() {
+        let sys = esen(8, 1);
+        let mut assignment = vec![false; sys.num_components()];
+        assignment[sys.component_index("SE_0_2_A").unwrap()] = true;
+        assignment[sys.component_index("SE_0_2_B").unwrap()] = true;
+        assert!(sys.fault_tree.eval_output(&assignment));
+        // Failing copies of two *different* positions is tolerated.
+        let mut assignment = vec![false; sys.num_components()];
+        assignment[sys.component_index("SE_0_2_A").unwrap()] = true;
+        assignment[sys.component_index("SE_0_3_B").unwrap()] = true;
+        assert!(!sys.fault_tree.eval_output(&assignment));
+    }
+
+    #[test]
+    fn esen4x1_has_no_concentrators() {
+        let sys = esen(4, 1);
+        assert!(sys.component_names.iter().all(|n| !n.starts_with("CA_") && !n.starts_with("CB_")));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = esen(6, 1);
+    }
+
+    #[test]
+    fn weights_follow_component_classes() {
+        let sys = esen(4, 2);
+        let w = |name: &str| sys.weights[sys.component_index(name).unwrap()];
+        assert_eq!(w("IPA_0"), WEIGHT_IPA);
+        assert_eq!(w("IPB_3"), WEIGHT_IPB);
+        assert_eq!(w("SE_1_0"), WEIGHT_SE);
+        assert_eq!(w("CA_2"), WEIGHT_C);
+    }
+}

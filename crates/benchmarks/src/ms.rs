@@ -1,0 +1,212 @@
+//! The `MSn` master/slave benchmark family (Figure 4 of the paper).
+//!
+//! The system contains one cluster of two *master* IP cores (`IPM_1`,
+//! `IPM_2`) and `n` clusters of two *slave* IP cores (`IPS_j_1`,
+//! `IPS_j_2`). Every IP core is attached to two redundant buses through
+//! its own communication modules: master `i` owns `CM_i_A` / `CM_i_B` and
+//! slave `(j, k)` owns `CS_j_k_A` / `CS_j_k_B`. Buses are assumed immune
+//! to manufacturing defects.
+//!
+//! **Operational condition** (Section 3): the system functions while at
+//! least one unfailed master can communicate *directly* (one bus, two
+//! communication modules) with at least one unfailed slave of **every**
+//! cluster.
+//!
+//! The fault tree is synthesised in failure logic (De Morgan applied once,
+//! so no inverters are required):
+//!
+//! ```text
+//! F = ∧_{i=1,2} [ IPM_i ∨ ∨_{j=1..n} ∧_{k=1,2; b=A,B} ( IPS_j_k ∨ CM_i_b ∨ CS_j_k_b ) ]
+//! ```
+//!
+//! Defect-sensitivity weights (relative `P_i`): masters 1.0, slaves 0.5,
+//! communication modules 0.1 (the exact ratios of the paper are not
+//! recoverable from the scanned text; see DESIGN.md).
+
+use socy_faulttree::{Netlist, NodeId};
+
+use crate::system::BenchmarkSystem;
+
+/// Relative weight of a master IP core.
+pub const WEIGHT_IPM: f64 = 1.0;
+/// Relative weight of a slave IP core.
+pub const WEIGHT_IPS: f64 = 0.5;
+/// Relative weight of a communication module.
+pub const WEIGHT_CM: f64 = 0.1;
+
+/// Generates the `MSn` benchmark with `n` slave clusters
+/// (`C = 6 + 6 n` components).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn ms(n: usize) -> BenchmarkSystem {
+    assert!(n >= 1, "MSn requires at least one slave cluster");
+    let mut nl = Netlist::new();
+    let mut component_names = Vec::new();
+    let mut weights = Vec::new();
+    let mut add = |nl: &mut Netlist, name: String, weight: f64| -> NodeId {
+        let id = nl.input(name.clone());
+        component_names.push(name);
+        weights.push(weight);
+        id
+    };
+
+    // Masters and their communication modules.
+    let ipm: Vec<NodeId> =
+        (1..=2).map(|i| add(&mut nl, format!("IPM_{i}"), WEIGHT_IPM)).collect();
+    let cm: Vec<[NodeId; 2]> = (1..=2)
+        .map(|i| {
+            [
+                add(&mut nl, format!("CM_{i}_A"), WEIGHT_CM),
+                add(&mut nl, format!("CM_{i}_B"), WEIGHT_CM),
+            ]
+        })
+        .collect();
+    // Slave clusters.
+    struct Slave {
+        ips: NodeId,
+        cs: [NodeId; 2],
+    }
+    let clusters: Vec<[Slave; 2]> = (1..=n)
+        .map(|j| {
+            [1usize, 2usize].map(|k| Slave {
+                ips: add(&mut nl, format!("IPS_{j}_{k}"), WEIGHT_IPS),
+                cs: [
+                    add(&mut nl, format!("CS_{j}_{k}_A"), WEIGHT_CM),
+                    add(&mut nl, format!("CS_{j}_{k}_B"), WEIGHT_CM),
+                ],
+            })
+        })
+        .collect();
+
+    // F = AND over masters of (master failed OR some cluster unreachable from it).
+    let mut master_failure_terms = Vec::with_capacity(2);
+    for i in 0..2 {
+        let mut cluster_unreachable = Vec::with_capacity(n);
+        for cluster in &clusters {
+            // Cluster unreachable from master i ⇔ every (slave, bus) path is broken.
+            let mut broken_paths = Vec::with_capacity(4);
+            for slave in cluster {
+                for bus in 0..2 {
+                    broken_paths.push(nl.or([slave.ips, cm[i][bus], slave.cs[bus]]));
+                }
+            }
+            cluster_unreachable.push(nl.and(broken_paths));
+        }
+        let any_cluster_unreachable = nl.or(cluster_unreachable);
+        master_failure_terms.push(nl.or([ipm[i], any_cluster_unreachable]));
+    }
+    let f = nl.and(master_failure_terms);
+    nl.set_output(f);
+
+    BenchmarkSystem { name: format!("MS{n}"), fault_tree: nl, component_names, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference (non-netlist) evaluation of the MSn operational condition.
+    fn operational(n: usize, failed: &dyn Fn(&str) -> bool) -> bool {
+        (1..=2).any(|i| {
+            !failed(&format!("IPM_{i}")) && (1..=n).all(|j| {
+                (1..=2).any(|k| {
+                    !failed(&format!("IPS_{j}_{k}"))
+                        && ["A", "B"].iter().any(|b| {
+                            !failed(&format!("CM_{i}_{b}")) && !failed(&format!("CS_{j}_{k}_{b}"))
+                        })
+                })
+            })
+        })
+    }
+
+    #[test]
+    fn component_count_and_names() {
+        for n in 1..=10 {
+            let sys = ms(n);
+            assert_eq!(sys.num_components(), 6 + 6 * n);
+            assert_eq!(sys.component_names.len(), 6 + 6 * n);
+            assert!(sys.component_index("IPM_1").is_some());
+            assert!(sys.component_index(&format!("CS_{n}_2_B")).is_some());
+        }
+    }
+
+    #[test]
+    fn fault_tree_matches_reference_condition_exhaustively_for_ms1() {
+        // MS1 has 12 components: exhaustive over all 4096 failure patterns.
+        let sys = ms(1);
+        let c = sys.num_components();
+        for pattern in 0u32..(1 << c) {
+            let assignment: Vec<bool> = (0..c).map(|i| (pattern >> i) & 1 == 1).collect();
+            let failed = |name: &str| assignment[sys.component_index(name).unwrap()];
+            let expect_failure = !operational(1, &failed);
+            assert_eq!(
+                sys.fault_tree.eval_output(&assignment),
+                expect_failure,
+                "pattern {pattern:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_tree_matches_reference_on_sampled_patterns_for_ms3() {
+        let sys = ms(3);
+        let c = sys.num_components();
+        // Deterministic pseudo-random sampling of failure patterns.
+        let mut state = 0x12345678u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let assignment: Vec<bool> = (0..c).map(|i| (state >> (i % 48)) & 1 == 1).collect();
+            let failed = |name: &str| assignment[sys.component_index(name).unwrap()];
+            assert_eq!(sys.fault_tree.eval_output(&assignment), !operational(3, &failed));
+        }
+    }
+
+    #[test]
+    fn no_failures_means_operational_and_total_failure_means_failed() {
+        for n in [1, 2, 5] {
+            let sys = ms(n);
+            let none = vec![false; sys.num_components()];
+            assert!(!sys.fault_tree.eval_output(&none));
+            let all = vec![true; sys.num_components()];
+            assert!(sys.fault_tree.eval_output(&all));
+        }
+    }
+
+    #[test]
+    fn single_component_failures_are_tolerated() {
+        // The architecture is single-fault tolerant: any single failed component
+        // leaves the system operational.
+        let sys = ms(4);
+        let c = sys.num_components();
+        for i in 0..c {
+            let mut assignment = vec![false; c];
+            assignment[i] = true;
+            assert!(
+                !sys.fault_tree.eval_output(&assignment),
+                "single failure of {} should be tolerated",
+                sys.component_names[i]
+            );
+        }
+    }
+
+    #[test]
+    fn both_masters_failing_kills_the_system() {
+        let sys = ms(2);
+        let mut assignment = vec![false; sys.num_components()];
+        assignment[sys.component_index("IPM_1").unwrap()] = true;
+        assignment[sys.component_index("IPM_2").unwrap()] = true;
+        assert!(sys.fault_tree.eval_output(&assignment));
+    }
+
+    #[test]
+    fn weights_follow_component_classes() {
+        let sys = ms(2);
+        let w = |name: &str| sys.weights[sys.component_index(name).unwrap()];
+        assert_eq!(w("IPM_1"), WEIGHT_IPM);
+        assert_eq!(w("IPS_1_2"), WEIGHT_IPS);
+        assert_eq!(w("CM_2_B"), WEIGHT_CM);
+        assert_eq!(w("CS_2_1_A"), WEIGHT_CM);
+    }
+}

@@ -1,0 +1,87 @@
+//! The common description of a generated benchmark system.
+
+use socy_defect::{ComponentProbabilities, DefectError};
+use socy_faulttree::Netlist;
+
+/// A generated benchmark system-on-chip: fault tree, component names and
+/// relative defect-sensitivity weights.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSystem {
+    /// Benchmark name as used by the paper's tables (e.g. `MS4`, `ESEN8x2`).
+    pub name: String,
+    /// Gate-level fault tree `F` over one input per component
+    /// (input variable `i` ⇔ component `i`; `F = 1` ⇔ system not functioning).
+    pub fault_tree: Netlist,
+    /// Component names, indexed like the fault-tree input variables.
+    pub component_names: Vec<String>,
+    /// Relative weights of the per-component lethal-hit probabilities
+    /// (proportional to `P_i`), indexed like the input variables.
+    pub weights: Vec<f64>,
+}
+
+impl BenchmarkSystem {
+    /// Number of components `C` (Table 1's first column).
+    pub fn num_components(&self) -> usize {
+        self.fault_tree.num_inputs()
+    }
+
+    /// Number of gates of the gate-level fault-tree description
+    /// (Table 1's second column; our synthesis differs slightly from the
+    /// paper's unavailable netlists, see DESIGN.md).
+    pub fn num_gates(&self) -> usize {
+        self.fault_tree.num_gates()
+    }
+
+    /// The per-component probabilities `P_i` obtained by scaling the
+    /// relative weights so that the overall lethality `P_L` equals `p_l`
+    /// (the paper uses `P_L = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DefectError`] if `p_l` is not in `(0, 1]`.
+    pub fn component_probabilities(&self, p_l: f64) -> Result<ComponentProbabilities, DefectError> {
+        ComponentProbabilities::from_weights(&self.weights, p_l)
+    }
+
+    /// Index of the component with the given name, if present.
+    pub fn component_index(&self, name: &str) -> Option<usize> {
+        self.component_names.iter().position(|n| n == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchmarkSystem {
+        let mut nl = Netlist::new();
+        let a = nl.input("A");
+        let b = nl.input("B");
+        let f = nl.and([a, b]);
+        nl.set_output(f);
+        BenchmarkSystem {
+            name: "TINY".to_string(),
+            fault_tree: nl,
+            component_names: vec!["A".to_string(), "B".to_string()],
+            weights: vec![1.0, 3.0],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let sys = tiny();
+        assert_eq!(sys.num_components(), 2);
+        assert_eq!(sys.num_gates(), 1);
+        assert_eq!(sys.component_index("B"), Some(1));
+        assert_eq!(sys.component_index("Z"), None);
+    }
+
+    #[test]
+    fn probabilities_follow_weights() {
+        let sys = tiny();
+        let probs = sys.component_probabilities(1.0).unwrap();
+        assert!((probs.raw(1) / probs.raw(0) - 3.0).abs() < 1e-12);
+        assert!((probs.lethality() - 1.0).abs() < 1e-12);
+        assert!(sys.component_probabilities(0.0).is_err());
+    }
+}

@@ -1,0 +1,505 @@
+//! The end-to-end yield analysis pipeline.
+//!
+//! [`analyze`] runs the method exactly as published: select `M`, build the
+//! generalized fault tree `G` in binary logic, order the variables, build
+//! the coded ROBDD, convert it to the ROMDD, and evaluate `P(G = 1)` to
+//! obtain the yield lower bound `Y_M = 1 − P(G = 1)`.
+//!
+//! [`analyze_direct`] is an alternative pipeline that skips the coded
+//! ROBDD and builds the ROMDD directly with multiple-valued operations; it
+//! is used for cross-validation and as an ablation of the paper's design
+//! decision that "coded ROBDDs are the most efficient way of handling
+//! ROMDDs".
+
+use std::time::{Duration, Instant};
+
+use socy_bdd::BddManager;
+use socy_defect::truncation::{select_truncation, truncate_at, Truncation};
+use socy_defect::{ComponentProbabilities, DefectDistribution};
+use socy_faulttree::Netlist;
+use socy_mdd::{MddId, MddManager};
+use socy_ordering::{compute_ordering, ComputedOrdering, OrderingSpec};
+
+use crate::encode::GeneralizedFaultTree;
+use crate::error::CoreError;
+
+/// Which coded-ROBDD → ROMDD conversion algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConversionAlgorithm {
+    /// Top-down memoized conversion (default).
+    #[default]
+    TopDown,
+    /// The paper's bottom-up layer-by-layer procedure.
+    Layered,
+}
+
+/// Options controlling the yield analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisOptions {
+    /// Absolute error requirement `ε` used to select the truncation `M`.
+    pub epsilon: f64,
+    /// Variable-ordering specification (multiple-valued ordering + bit-group
+    /// ordering).
+    pub spec: OrderingSpec,
+    /// Conversion algorithm for the coded ROBDD → ROMDD step.
+    pub conversion: ConversionAlgorithm,
+    /// If set, use this truncation point instead of deriving it from
+    /// `epsilon` (the reported error bound is still computed).
+    pub fixed_truncation: Option<usize>,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-4,
+            spec: OrderingSpec::paper_default(),
+            conversion: ConversionAlgorithm::TopDown,
+            fixed_truncation: None,
+        }
+    }
+}
+
+/// Measurements and results reported by the analysis — the columns of the
+/// paper's Table 4 plus a few extras.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldReport {
+    /// The yield lower bound `Y_M`.
+    pub yield_lower_bound: f64,
+    /// Guaranteed absolute error `1 − Σ_{k ≤ M} Q'_k`.
+    pub error_bound: f64,
+    /// Truncation point `M` (number of lethal defects analysed).
+    pub truncation: usize,
+    /// Number of components `C`.
+    pub num_components: usize,
+    /// Number of gates in the binary-logic description of `G`.
+    pub g_gates: usize,
+    /// Number of binary variables of the coded ROBDD.
+    pub binary_variables: usize,
+    /// Size (reachable nodes) of the final coded ROBDD.
+    pub coded_robdd_size: usize,
+    /// Peak number of ROBDD nodes allocated while compiling `G`.
+    pub robdd_peak: usize,
+    /// Size (reachable nodes) of the ROMDD.
+    pub romdd_size: usize,
+    /// Ordering specification that was used.
+    pub spec: OrderingSpec,
+    /// Wall-clock time spent building the coded ROBDD.
+    pub robdd_time: Duration,
+    /// Wall-clock time spent converting to the ROMDD.
+    pub conversion_time: Duration,
+    /// Total wall-clock time of the analysis.
+    pub total_time: Duration,
+}
+
+/// Result of [`analyze`]: the report plus the artifacts (ROMDD manager,
+/// root, probability vectors) for further inspection.
+#[derive(Debug)]
+pub struct YieldAnalysis {
+    /// Summary measurements (Table 4 columns).
+    pub report: YieldReport,
+    /// The ROMDD manager holding the diagram of `G`.
+    pub mdd: MddManager,
+    /// Root of the ROMDD of `G`.
+    pub romdd_root: MddId,
+    /// Per-level value distributions used for the probability evaluation.
+    pub probabilities: Vec<Vec<f64>>,
+    /// Multiple-valued variable order (0 = `w`, `l` = `v_l`).
+    pub mv_order: Vec<usize>,
+    /// Human-readable names of the diagram levels.
+    pub mv_names: Vec<String>,
+}
+
+fn prepare(
+    fault_tree: &Netlist,
+    components: &ComponentProbabilities,
+    lethal: &dyn DefectDistribution,
+    options: &AnalysisOptions,
+) -> Result<(GeneralizedFaultTree, ComputedOrdering, Truncation), CoreError> {
+    fault_tree.output()?;
+    if fault_tree.num_inputs() != components.len() {
+        return Err(CoreError::ComponentCountMismatch {
+            fault_tree: fault_tree.num_inputs(),
+            components: components.len(),
+        });
+    }
+    let truncation = match options.fixed_truncation {
+        Some(m) => truncate_at(lethal, m)?,
+        None => select_truncation(lethal, options.epsilon)?,
+    };
+    let g = GeneralizedFaultTree::build(fault_tree, truncation.truncation())?;
+    let ordering = compute_ordering(g.netlist(), g.groups(), &options.spec)?;
+    Ok((g, ordering, truncation))
+}
+
+/// Runs the combinatorial yield method (coded ROBDD → ROMDD pipeline).
+///
+/// `fault_tree` is the gate-level fault tree `F` over the component failed
+/// states (input variable `i` ⇔ component `i`), `components` the lethal-hit
+/// probabilities `P_i`, and `lethal` the distribution of the number of
+/// **lethal** defects `Q'` (use
+/// [`socy_defect::NegativeBinomial::thinned`] or
+/// [`socy_defect::lethal::thin_empirical`] to obtain it from a raw defect
+/// distribution).
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] when the fault tree is malformed, the component
+/// count disagrees with the probability model, the truncation point cannot
+/// be reached, or the ordering specification is invalid.
+pub fn analyze(
+    fault_tree: &Netlist,
+    components: &ComponentProbabilities,
+    lethal: &dyn DefectDistribution,
+    options: &AnalysisOptions,
+) -> Result<YieldAnalysis, CoreError> {
+    let start = Instant::now();
+    let (g, ordering, truncation) = prepare(fault_tree, components, lethal, options)?;
+
+    // Coded ROBDD of G.
+    let robdd_start = Instant::now();
+    let mut bdd = BddManager::new(g.netlist().num_inputs());
+    let build = bdd.build_netlist(g.netlist(), &ordering.var_level);
+    let robdd_time = robdd_start.elapsed();
+
+    // ROMDD conversion.
+    let layout = g.layout(&ordering);
+    let conversion_start = Instant::now();
+    let mut mdd = MddManager::new(g.mdd_domains(&ordering));
+    let romdd_root = match options.conversion {
+        ConversionAlgorithm::TopDown => mdd.from_coded_bdd(&bdd, build.root, &layout),
+        ConversionAlgorithm::Layered => mdd.from_coded_bdd_layered(&bdd, build.root, &layout),
+    };
+    let conversion_time = conversion_start.elapsed();
+
+    // Probability evaluation.
+    let probabilities = g.probability_vectors(&ordering, &truncation, components);
+    let p_g = mdd.probability(romdd_root, &probabilities);
+    let yield_lower_bound = 1.0 - p_g;
+
+    let report = YieldReport {
+        yield_lower_bound,
+        error_bound: truncation.error_bound(),
+        truncation: truncation.truncation(),
+        num_components: g.num_components(),
+        g_gates: g.netlist().num_gates(),
+        binary_variables: g.netlist().num_inputs(),
+        coded_robdd_size: build.size,
+        robdd_peak: build.peak,
+        romdd_size: mdd.node_count(romdd_root),
+        spec: options.spec,
+        robdd_time,
+        conversion_time,
+        total_time: start.elapsed(),
+    };
+    let mv_names = g.mv_names(&ordering);
+    Ok(YieldAnalysis {
+        report,
+        mdd,
+        romdd_root,
+        probabilities,
+        mv_order: ordering.mv_order,
+        mv_names,
+    })
+}
+
+/// Runs the yield analysis building the ROMDD *directly* with
+/// multiple-valued operations (no coded ROBDD). The report's
+/// `coded_robdd_size` and `robdd_peak` fields are zero in this mode; the
+/// `romdd_size` and the yield must agree with [`analyze`].
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_direct(
+    fault_tree: &Netlist,
+    components: &ComponentProbabilities,
+    lethal: &dyn DefectDistribution,
+    options: &AnalysisOptions,
+) -> Result<YieldAnalysis, CoreError> {
+    let start = Instant::now();
+    let (g, ordering, truncation) = prepare(fault_tree, components, lethal, options)?;
+    let m = g.truncation();
+
+    // Position of each multiple-valued variable in the diagram order.
+    let mut position = vec![0usize; ordering.mv_order.len()];
+    for (pos, &mv) in ordering.mv_order.iter().enumerate() {
+        position[mv] = pos;
+    }
+
+    let conversion_start = Instant::now();
+    let mut mdd = MddManager::new(g.mdd_domains(&ordering));
+    let w_level = position[0];
+    // x_i = OR_l ( I_{>=l}(w) AND I_{i}(v_l) )   (domain value i-1 encodes component i)
+    let mut x = Vec::with_capacity(g.num_components());
+    for component in 0..g.num_components() {
+        let mut terms = Vec::with_capacity(m);
+        for l in 1..=m {
+            let ge = mdd.value_at_least(w_level, l);
+            let hit = mdd.value_is(position[l], component);
+            terms.push(mdd.and(ge, hit));
+        }
+        x.push(mdd.or_many(terms));
+    }
+    // F over the x_i, evaluated gate by gate with MDD operations.
+    let f_root = build_fault_tree_mdd(&mut mdd, fault_tree, &x)?;
+    let clamp = mdd.value_is(w_level, m + 1);
+    let romdd_root = mdd.or(clamp, f_root);
+    let conversion_time = conversion_start.elapsed();
+
+    let probabilities = g.probability_vectors(&ordering, &truncation, components);
+    let p_g = mdd.probability(romdd_root, &probabilities);
+    let report = YieldReport {
+        yield_lower_bound: 1.0 - p_g,
+        error_bound: truncation.error_bound(),
+        truncation: truncation.truncation(),
+        num_components: g.num_components(),
+        g_gates: g.netlist().num_gates(),
+        binary_variables: g.netlist().num_inputs(),
+        coded_robdd_size: 0,
+        robdd_peak: 0,
+        romdd_size: mdd.node_count(romdd_root),
+        spec: options.spec,
+        robdd_time: Duration::ZERO,
+        conversion_time,
+        total_time: start.elapsed(),
+    };
+    let mv_names = g.mv_names(&ordering);
+    Ok(YieldAnalysis {
+        report,
+        mdd,
+        romdd_root,
+        probabilities,
+        mv_order: ordering.mv_order,
+        mv_names,
+    })
+}
+
+/// Evaluates the fault tree `F` gate by gate over MDD operands (one per
+/// component / input variable).
+fn build_fault_tree_mdd(
+    mdd: &mut MddManager,
+    fault_tree: &Netlist,
+    inputs: &[MddId],
+) -> Result<MddId, CoreError> {
+    use socy_faulttree::GateKind;
+    let output = fault_tree.output()?;
+    let mut results: Vec<MddId> = Vec::with_capacity(fault_tree.len());
+    for (id, gate) in fault_tree.iter() {
+        let value = match gate.kind {
+            GateKind::Input => {
+                inputs[fault_tree.var_of(id).expect("input has a variable").index()]
+            }
+            GateKind::Const(c) => mdd.constant(c),
+            GateKind::Not => {
+                let a = results[gate.fanin[0].index()];
+                mdd.not(a)
+            }
+            GateKind::And => {
+                let ops: Vec<MddId> = gate.fanin.iter().map(|f| results[f.index()]).collect();
+                mdd.and_many(ops)
+            }
+            GateKind::Or => {
+                let ops: Vec<MddId> = gate.fanin.iter().map(|f| results[f.index()]).collect();
+                mdd.or_many(ops)
+            }
+            GateKind::Xor => {
+                let ops: Vec<MddId> = gate.fanin.iter().map(|f| results[f.index()]).collect();
+                let mut acc = mdd.zero();
+                for op in ops {
+                    acc = mdd.xor(acc, op);
+                }
+                acc
+            }
+            GateKind::AtLeast(k) => {
+                let ops: Vec<MddId> = gate.fanin.iter().map(|f| results[f.index()]).collect();
+                mdd.at_least(k as usize, &ops)
+            }
+        };
+        results.push(value);
+    }
+    Ok(results[output.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socy_defect::{Empirical, NegativeBinomial};
+    use socy_ordering::{GroupOrdering, MvOrdering};
+
+    /// F = x1·x2 + x3 (Figure 2).
+    fn figure2() -> Netlist {
+        let mut nl = Netlist::new();
+        let x1 = nl.input("x1");
+        let x2 = nl.input("x2");
+        let x3 = nl.input("x3");
+        let a = nl.and([x1, x2]);
+        let f = nl.or([a, x3]);
+        nl.set_output(f);
+        nl
+    }
+
+    fn hand_yield(q: &[f64], p: &[f64], m: usize) -> f64 {
+        // Direct enumeration of Y_M = Σ_k Q'_k Y_k for F = x1 x2 + x3.
+        let c = p.len();
+        let mut total = 0.0;
+        for k in 0..=m {
+            // enumerate component choices for k defects
+            let combos = c.pow(k as u32);
+            let mut yk = 0.0;
+            for combo in 0..combos {
+                let mut rest = combo;
+                let mut failed = vec![false; c];
+                let mut weight = 1.0;
+                for _ in 0..k {
+                    let comp = rest % c;
+                    rest /= c;
+                    failed[comp] = true;
+                    weight *= p[comp];
+                }
+                let f_val = (failed[0] && failed[1]) || failed[2];
+                if !f_val {
+                    yk += weight;
+                }
+            }
+            total += q[k] * yk;
+        }
+        total
+    }
+
+    #[test]
+    fn pipeline_matches_hand_enumeration() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = Empirical::new(vec![0.5, 0.3, 0.15, 0.05]).unwrap();
+        let options = AnalysisOptions {
+            fixed_truncation: Some(2),
+            ..AnalysisOptions::default()
+        };
+        let analysis = analyze(&f, &comps, &lethal, &options).unwrap();
+        let expect = hand_yield(&[0.5, 0.3, 0.15], &[0.2, 0.3, 0.5], 2);
+        assert!(
+            (analysis.report.yield_lower_bound - expect).abs() < 1e-12,
+            "got {}, expected {expect}",
+            analysis.report.yield_lower_bound
+        );
+        assert_eq!(analysis.report.truncation, 2);
+        assert!((analysis.report.error_bound - 0.05).abs() < 1e-12);
+        assert!(analysis.report.coded_robdd_size > 0);
+        assert!(analysis.report.robdd_peak >= analysis.report.coded_robdd_size);
+        assert!(analysis.report.romdd_size > 0);
+        assert_eq!(analysis.report.num_components, 3);
+        assert_eq!(analysis.mv_order.len(), 3);
+        assert_eq!(analysis.mv_names.len(), 3);
+        assert_eq!(analysis.probabilities.len(), 3);
+    }
+
+    #[test]
+    fn direct_mdd_agrees_with_coded_robdd_pipeline() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 0.25).unwrap();
+        let options = AnalysisOptions::default();
+        let coded = analyze(&f, &comps, &lethal, &options).unwrap();
+        let direct = analyze_direct(&f, &comps, &lethal, &options).unwrap();
+        assert!(
+            (coded.report.yield_lower_bound - direct.report.yield_lower_bound).abs() < 1e-12
+        );
+        // Both construct the same canonical ROMDD, so the sizes must agree too.
+        assert_eq!(coded.report.romdd_size, direct.report.romdd_size);
+    }
+
+    #[test]
+    fn layered_conversion_agrees_with_top_down() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.4, 0.4, 0.2]).unwrap();
+        let lethal = NegativeBinomial::new(2.0, 0.25).unwrap();
+        let top_down = analyze(&f, &comps, &lethal, &AnalysisOptions::default()).unwrap();
+        let layered = analyze(
+            &f,
+            &comps,
+            &lethal,
+            &AnalysisOptions {
+                conversion: ConversionAlgorithm::Layered,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(top_down.report.romdd_size, layered.report.romdd_size);
+        assert!(
+            (top_down.report.yield_lower_bound - layered.report.yield_lower_bound).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn all_orderings_give_the_same_yield() {
+        // The yield is a property of the function, not of the variable order.
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.25, 0.25, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 0.5).unwrap();
+        let mut yields = Vec::new();
+        for mv in MvOrdering::ALL {
+            for group in [GroupOrdering::MsbFirst, GroupOrdering::LsbFirst] {
+                let spec = OrderingSpec::new(mv, group).unwrap();
+                let options = AnalysisOptions { spec, ..AnalysisOptions::default() };
+                let analysis = analyze(&f, &comps, &lethal, &options).unwrap();
+                yields.push(analysis.report.yield_lower_bound);
+            }
+        }
+        for y in &yields {
+            assert!((y - yields[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_bound_meets_epsilon() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![1.0 / 3.0; 3]).unwrap();
+        let lethal = NegativeBinomial::new(2.0, 0.25).unwrap();
+        for &eps in &[1e-2, 1e-4, 1e-6] {
+            let options = AnalysisOptions { epsilon: eps, ..AnalysisOptions::default() };
+            let analysis = analyze(&f, &comps, &lethal, &options).unwrap();
+            assert!(analysis.report.error_bound <= eps);
+        }
+        // A tighter epsilon never decreases the truncation point.
+        let loose = analyze(
+            &f,
+            &comps,
+            &lethal,
+            &AnalysisOptions { epsilon: 1e-2, ..AnalysisOptions::default() },
+        )
+        .unwrap();
+        let tight = analyze(
+            &f,
+            &comps,
+            &lethal,
+            &AnalysisOptions { epsilon: 1e-6, ..AnalysisOptions::default() },
+        )
+        .unwrap();
+        assert!(tight.report.truncation >= loose.report.truncation);
+    }
+
+    #[test]
+    fn component_count_mismatch_is_detected() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.5, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 0.25).unwrap();
+        let err = analyze(&f, &comps, &lethal, &AnalysisOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::ComponentCountMismatch { .. }));
+    }
+
+    #[test]
+    fn lethality_below_one_uses_thinned_distribution() {
+        // With P_L = 0.5 the lethal distribution is thinner, so the same epsilon
+        // needs a smaller truncation point than with P_L = 1.
+        let f = figure2();
+        let raw = NegativeBinomial::new(2.0, 0.25).unwrap();
+        let comps_full = ComponentProbabilities::from_weights(&[1.0, 1.0, 1.0], 1.0).unwrap();
+        let comps_half = ComponentProbabilities::from_weights(&[1.0, 1.0, 1.0], 0.5).unwrap();
+        let lethal_full = raw.thinned(comps_full.lethality()).unwrap();
+        let lethal_half = raw.thinned(comps_half.lethality()).unwrap();
+        let a_full = analyze(&f, &comps_full, &lethal_full, &AnalysisOptions::default()).unwrap();
+        let a_half = analyze(&f, &comps_half, &lethal_half, &AnalysisOptions::default()).unwrap();
+        assert!(a_half.report.truncation < a_full.report.truncation);
+        assert!(a_half.report.yield_lower_bound > a_full.report.yield_lower_bound);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the yield-analysis pipeline.
+
+use std::fmt;
+
+use socy_defect::DefectError;
+use socy_faulttree::NetlistError;
+use socy_ordering::OrderingError;
+
+/// Errors produced by the end-to-end yield analysis.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The fault tree is malformed (e.g. no designated output).
+    FaultTree(NetlistError),
+    /// The defect model is malformed or the truncation point could not be
+    /// reached.
+    Defect(DefectError),
+    /// The ordering specification is invalid for the given problem.
+    Ordering(OrderingError),
+    /// The fault tree and the component model disagree on the number of
+    /// components.
+    ComponentCountMismatch {
+        /// Inputs of the fault tree.
+        fault_tree: usize,
+        /// Entries of the component probability model.
+        components: usize,
+    },
+    /// The fault tree has no components at all.
+    EmptySystem,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::FaultTree(e) => write!(f, "fault tree error: {e}"),
+            CoreError::Defect(e) => write!(f, "defect model error: {e}"),
+            CoreError::Ordering(e) => write!(f, "ordering error: {e}"),
+            CoreError::ComponentCountMismatch { fault_tree, components } => write!(
+                f,
+                "fault tree has {fault_tree} components but the probability model has {components}"
+            ),
+            CoreError::EmptySystem => write!(f, "the system has no components"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::FaultTree(e) => Some(e),
+            CoreError::Defect(e) => Some(e),
+            CoreError::Ordering(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::FaultTree(e)
+    }
+}
+
+impl From<DefectError> for CoreError {
+    fn from(e: DefectError) -> Self {
+        CoreError::Defect(e)
+    }
+}
+
+impl From<OrderingError> for CoreError {
+    fn from(e: OrderingError) -> Self {
+        CoreError::Ordering(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = NetlistError::NoOutput.into();
+        assert!(format!("{e}").contains("fault tree"));
+        let e: CoreError = DefectError::EmptyDistribution.into();
+        assert!(format!("{e}").contains("defect"));
+        let e: CoreError =
+            OrderingError::GroupsDoNotPartitionInputs { covered: 1, inputs: 2 }.into();
+        assert!(format!("{e}").contains("ordering"));
+        let e = CoreError::ComponentCountMismatch { fault_tree: 3, components: 2 };
+        assert!(format!("{e}").contains('3'));
+        assert!(format!("{}", CoreError::EmptySystem).contains("no components"));
+        use std::error::Error;
+        assert!(CoreError::EmptySystem.source().is_none());
+        assert!(CoreError::from(NetlistError::NoOutput).source().is_some());
+    }
+}

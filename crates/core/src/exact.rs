@@ -1,0 +1,187 @@
+//! Exact (exponential-cost) yield computation for small systems.
+//!
+//! For systems with up to ~20 components the conditional yields `Y_k`
+//! can be computed exactly by working over the subset lattice of the
+//! component set: the probability that the set of components hit by `k`
+//! lethal defects is *contained in* `S` equals `P'(S)^k`, so a Möbius
+//! transform over the lattice yields the probability that the hit set is
+//! *exactly* `S`, and summing over the operational subsets gives `Y_k`.
+//!
+//! This module is the reference oracle the ROMDD pipeline is validated
+//! against in the test-suites and benchmark harness.
+
+use socy_defect::{ComponentProbabilities, Truncation};
+use socy_faulttree::Netlist;
+
+use crate::error::CoreError;
+
+/// Maximum number of components supported by the exact baseline
+/// (the cost is `O(2^C · C)` per value of `k`).
+pub const MAX_EXACT_COMPONENTS: usize = 22;
+
+/// Computes the exact conditional yields `Y_k = P(system functioning | k
+/// lethal defects)` for `k = 0 ..= max_defects`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ComponentCountMismatch`] if the fault tree and the
+/// component model disagree, [`CoreError::EmptySystem`] if the system has
+/// more than [`MAX_EXACT_COMPONENTS`] components (the computation would be
+/// intractable) or none at all, and [`CoreError::FaultTree`] when the fault
+/// tree has no output.
+pub fn exact_conditional_yields(
+    fault_tree: &Netlist,
+    components: &ComponentProbabilities,
+    max_defects: usize,
+) -> Result<Vec<f64>, CoreError> {
+    fault_tree.output()?;
+    let c = fault_tree.num_inputs();
+    if c != components.len() {
+        return Err(CoreError::ComponentCountMismatch {
+            fault_tree: c,
+            components: components.len(),
+        });
+    }
+    if c == 0 || c > MAX_EXACT_COMPONENTS {
+        return Err(CoreError::EmptySystem);
+    }
+    let size = 1usize << c;
+    // Failure of the system for every hit set S (truth table row index = bitmask of failed components).
+    let failed = fault_tree.truth_table();
+    // P'(S) for every subset S.
+    let mut subset_prob = vec![0.0f64; size];
+    for s in 1..size {
+        let lowest = s.trailing_zeros() as usize;
+        subset_prob[s] = subset_prob[s & (s - 1)] + components.conditional(lowest);
+    }
+    let mut yields = Vec::with_capacity(max_defects + 1);
+    for k in 0..=max_defects {
+        // f[S] = P(hit set ⊆ S) = P'(S)^k.
+        let mut f: Vec<f64> = subset_prob.iter().map(|p| p.powi(k as i32)).collect();
+        // In-place Möbius transform over the subset lattice:
+        // afterwards f[S] = P(hit set = S).
+        for bit in 0..c {
+            for s in 0..size {
+                if s & (1 << bit) != 0 {
+                    f[s] -= f[s ^ (1 << bit)];
+                }
+            }
+        }
+        let yk: f64 = (0..size).filter(|&s| !failed[s]).map(|s| f[s]).sum();
+        // Guard against tiny negative values from cancellation.
+        yields.push(yk.clamp(0.0, 1.0));
+    }
+    Ok(yields)
+}
+
+/// Computes the exact truncated yield `Y_M = Σ_{k ≤ M} Q'_k Y_k` for the
+/// truncation `truncation` (whose masses are the lethal-defect
+/// probabilities `Q'_k`).
+///
+/// # Errors
+///
+/// Same as [`exact_conditional_yields`].
+pub fn exact_yield(
+    fault_tree: &Netlist,
+    components: &ComponentProbabilities,
+    truncation: &Truncation,
+) -> Result<f64, CoreError> {
+    let yields = exact_conditional_yields(fault_tree, components, truncation.truncation())?;
+    Ok(truncation
+        .masses()
+        .iter()
+        .zip(yields.iter())
+        .map(|(q, y)| q * y)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, AnalysisOptions};
+    use socy_defect::truncation::truncate_at;
+    use socy_defect::{Empirical, NegativeBinomial};
+
+    fn figure2() -> Netlist {
+        let mut nl = Netlist::new();
+        let x1 = nl.input("x1");
+        let x2 = nl.input("x2");
+        let x3 = nl.input("x3");
+        let a = nl.and([x1, x2]);
+        let f = nl.or([a, x3]);
+        nl.set_output(f);
+        nl
+    }
+
+    #[test]
+    fn conditional_yields_for_figure2() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let y = exact_conditional_yields(&f, &comps, 2).unwrap();
+        // Y_0 = 1 (no defects, nothing failed).
+        assert!((y[0] - 1.0).abs() < 1e-12);
+        // Y_1: single defect; system fails only if component 3 is hit → Y_1 = 1 - 0.5.
+        assert!((y[1] - 0.5).abs() < 1e-12);
+        // Y_2: fails if either defect hit c3, or the two defects hit {c1, c2}.
+        // P(neither hits c3) = 0.25; within that, failure iff {c1,c2} both hit:
+        // P = 2·0.2·0.3 = 0.12 (unconditioned) → Y_2 = 0.25 - 0.12 = 0.13.
+        assert!((y[2] - 0.13).abs() < 1e-12, "Y_2 = {}", y[2]);
+    }
+
+    #[test]
+    fn exact_yield_matches_romdd_pipeline_small_system() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 0.25).unwrap();
+        let options = AnalysisOptions::default();
+        let analysis = analyze(&f, &comps, &lethal, &options).unwrap();
+        let trunc = truncate_at(&lethal, analysis.report.truncation).unwrap();
+        let exact = exact_yield(&f, &comps, &trunc).unwrap();
+        assert!(
+            (exact - analysis.report.yield_lower_bound).abs() < 1e-10,
+            "exact {exact} vs romdd {}",
+            analysis.report.yield_lower_bound
+        );
+    }
+
+    #[test]
+    fn exact_yield_matches_romdd_pipeline_voter_system() {
+        // 2-of-3 voter with unequal probabilities and a point-mass defect count.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let f = nl.at_least(2, [a, b, c]);
+        nl.set_output(f);
+        let comps = ComponentProbabilities::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let lethal = Empirical::new(vec![0.2, 0.2, 0.2, 0.2, 0.2]).unwrap();
+        let options = AnalysisOptions { epsilon: 1e-9, ..AnalysisOptions::default() };
+        let analysis = analyze(&nl, &comps, &lethal, &options).unwrap();
+        let trunc = truncate_at(&lethal, analysis.report.truncation).unwrap();
+        let exact = exact_yield(&nl, &comps, &trunc).unwrap();
+        assert!((exact - analysis.report.yield_lower_bound).abs() < 1e-10);
+    }
+
+    #[test]
+    fn input_validation() {
+        let f = figure2();
+        let wrong = ComponentProbabilities::new(vec![0.5, 0.5]).unwrap();
+        assert!(matches!(
+            exact_conditional_yields(&f, &wrong, 2),
+            Err(CoreError::ComponentCountMismatch { .. })
+        ));
+        let no_output = Netlist::new();
+        let comps = ComponentProbabilities::new(vec![1.0]).unwrap();
+        assert!(exact_conditional_yields(&no_output, &comps, 2).is_err());
+    }
+
+    #[test]
+    fn yields_are_monotone_in_defect_count() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![1.0 / 3.0; 3]).unwrap();
+        let y = exact_conditional_yields(&f, &comps, 6).unwrap();
+        for k in 1..y.len() {
+            assert!(y[k] <= y[k - 1] + 1e-12, "Y_k must not increase with k");
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Operational-reliability evaluation accounting for manufacturing defects
+//! — the extension the paper announces as future work in its conclusions.
+//!
+//! After manufacturing (and the implicit test screening captured by the
+//! yield model), the surviving chips are put in operation and components
+//! may additionally fail *in the field*. Assuming the field failures of
+//! the components are independent of each other and of the manufacturing
+//! defects, the probability that the system is functioning at operational
+//! time `t` — conditioned on nothing (i.e. across the whole production) —
+//! is
+//!
+//! ```text
+//! R_M(t) = P( F( x_1 ∨ b_1, …, x_C ∨ b_C ) = 0, ≤ M lethal defects )
+//! ```
+//!
+//! where `x_i` is the manufacturing-defect failed state of component `i`
+//! (exactly as in the yield model) and `b_i` is an independent Bernoulli
+//! variable with `P(b_i = 1) = u_i(t)`, the field unreliability of
+//! component `i` at time `t`.
+//!
+//! The same decision-diagram machinery evaluates this quantity: the
+//! generalized fault tree is extended with one extra two-valued variable
+//! per component, ordered after the defect variables, and the probability
+//! is read off the ROMDD exactly as for the yield. Dividing by the yield
+//! gives the conditional reliability of the chips that were functioning
+//! when shipped.
+
+use socy_bdd::BddManager;
+use socy_defect::truncation::{select_truncation, truncate_at};
+use socy_defect::{ComponentProbabilities, DefectDistribution};
+use socy_faulttree::Netlist;
+use socy_mdd::coded::MvVarLayout;
+use socy_mdd::{CodedLayout, MddManager};
+use socy_ordering::compute_ordering;
+
+use crate::analysis::AnalysisOptions;
+use crate::encode::GeneralizedFaultTree;
+use crate::error::CoreError;
+
+/// Result of the combined yield / operational-reliability analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityReport {
+    /// Lower bound on the yield `Y_M` (probability that a produced chip
+    /// works at `t = 0`).
+    pub yield_lower_bound: f64,
+    /// Lower bound on `R_M(t)`: the probability that a produced chip works
+    /// at the evaluated operational time (manufacturing defects *and*
+    /// field failures considered).
+    pub reliability_lower_bound: f64,
+    /// `R_M(t) / Y_M`: reliability conditioned on the chip having been
+    /// functional when shipped.
+    pub conditional_reliability: f64,
+    /// Truncation point `M`.
+    pub truncation: usize,
+    /// Guaranteed absolute error bound (applies to both bounds).
+    pub error_bound: f64,
+    /// Size of the extended ROMDD.
+    pub romdd_size: usize,
+}
+
+/// Evaluates yield and operational reliability for `fault_tree` under the
+/// lethal-defect model `(lethal, components)` and per-component field
+/// unreliabilities `field_unreliability[i] = P(component i fails in the
+/// field by the evaluated time)`.
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] under the same conditions as
+/// [`crate::analyze`], plus [`CoreError::ComponentCountMismatch`] when
+/// `field_unreliability` does not have one entry per component, and
+/// [`CoreError::Defect`] when an unreliability is outside `[0, 1]`.
+pub fn analyze_reliability(
+    fault_tree: &Netlist,
+    components: &ComponentProbabilities,
+    lethal: &dyn DefectDistribution,
+    field_unreliability: &[f64],
+    options: &AnalysisOptions,
+) -> Result<ReliabilityReport, CoreError> {
+    fault_tree.output()?;
+    let c = fault_tree.num_inputs();
+    if c != components.len() || c != field_unreliability.len() {
+        return Err(CoreError::ComponentCountMismatch {
+            fault_tree: c,
+            components: components.len().min(field_unreliability.len()),
+        });
+    }
+    for &u in field_unreliability {
+        if !(u.is_finite() && (0.0..=1.0).contains(&u)) {
+            return Err(CoreError::Defect(socy_defect::DefectError::InvalidProbability {
+                name: "field_unreliability",
+                value: u,
+            }));
+        }
+    }
+    let truncation = match options.fixed_truncation {
+        Some(m) => truncate_at(lethal, m)?,
+        None => select_truncation(lethal, options.epsilon)?,
+    };
+
+    // Extended fault tree: F'(x_1.., b_1..) = F(x_1 ∨ b_1, …, x_C ∨ b_C), where the
+    // b_i are fresh inputs appended after the original components.
+    let mut extended = Netlist::new();
+    let defect_inputs: Vec<_> = (0..c)
+        .map(|i| extended.input(format!("x{i}")))
+        .collect();
+    let field_inputs: Vec<_> = (0..c)
+        .map(|i| extended.input(format!("b{i}")))
+        .collect();
+    let substitution: Vec<_> = defect_inputs
+        .iter()
+        .zip(field_inputs.iter())
+        .map(|(&x, &b)| extended.or([x, b]))
+        .collect();
+    let root = extended.import(fault_tree, &substitution);
+    extended.set_output(root);
+
+    // The yield part reuses the ordinary pipeline on the *original* fault tree to
+    // obtain orderings for the defect variables; the field variables are then
+    // appended below them in the diagram order (they are the "most local" ones).
+    let g = GeneralizedFaultTree::build(fault_tree, truncation.truncation())?;
+    let ordering = compute_ordering(g.netlist(), g.groups(), &options.spec)?;
+
+    // Build G'(w, v_1..v_M, b_1..b_C) in binary logic: reuse G's netlist structure by
+    // rebuilding it against the extended fault tree, with the b_i appended as inputs.
+    let m = truncation.truncation();
+    let g_ext = build_extended_g(fault_tree, m)?;
+
+    // Levels: the binary variables of w/v keep the levels computed by the ordering;
+    // the b_i bits are appended afterwards in component order.
+    let base_bits = g.netlist().num_inputs();
+    let mut var_level = vec![0usize; g_ext.netlist.num_inputs()];
+    var_level[..base_bits].copy_from_slice(&ordering.var_level);
+    for (offset, level_slot) in var_level[base_bits..].iter_mut().enumerate() {
+        *level_slot = base_bits + offset;
+    }
+
+    // Coded ROBDD of G'.
+    let mut bdd = BddManager::new(g_ext.netlist.num_inputs());
+    let build = bdd.build_netlist(&g_ext.netlist, &var_level);
+
+    // Layout: the yield layout plus one boolean variable per component.
+    let mut vars = g.layout(&ordering).vars;
+    for i in 0..c {
+        vars.push(MvVarLayout {
+            domain: 2,
+            bit_levels: vec![base_bits + i],
+            codes: vec![vec![false], vec![true]],
+        });
+    }
+    let layout = CodedLayout::new(vars).expect("extended layout is structurally valid");
+
+    let mut mdd = MddManager::new(layout.domains());
+    let romdd_root = mdd.from_coded_bdd(&bdd, build.root, &layout);
+
+    // Probability vectors: defect variables as for the yield, then the field
+    // unreliabilities.
+    let mut probabilities = g.probability_vectors(&ordering, &truncation, components);
+    for &u in field_unreliability {
+        probabilities.push(vec![1.0 - u, u]);
+    }
+    let p_fail_with_field = mdd.probability(romdd_root, &probabilities);
+    let reliability_lower_bound = 1.0 - p_fail_with_field;
+
+    // Yield: same diagram with the field failures switched off.
+    let mut yield_probabilities = probabilities.clone();
+    for slot in yield_probabilities.iter_mut().skip(g.groups().num_vars()) {
+        *slot = vec![1.0, 0.0];
+    }
+    let yield_lower_bound = 1.0 - mdd.probability(romdd_root, &yield_probabilities);
+
+    Ok(ReliabilityReport {
+        yield_lower_bound,
+        reliability_lower_bound,
+        conditional_reliability: if yield_lower_bound > 0.0 {
+            reliability_lower_bound / yield_lower_bound
+        } else {
+            0.0
+        },
+        truncation: truncation.truncation(),
+        error_bound: truncation.error_bound(),
+        romdd_size: mdd.node_count(romdd_root),
+    })
+}
+
+/// The extended generalized fault tree `G'` over the binary defect
+/// variables of `G` plus one field-failure input per component.
+struct ExtendedG {
+    netlist: Netlist,
+}
+
+fn build_extended_g(fault_tree: &Netlist, truncation: usize) -> Result<ExtendedG, CoreError> {
+    let base = GeneralizedFaultTree::build(fault_tree, truncation)?;
+    let c = fault_tree.num_inputs();
+    // Start from the binary netlist of G (for its defect-variable inputs), append one
+    // field-failure input per component, rebuild the per-component "hit by a defect"
+    // drivers, and form G' = I_{M+1}(w) ∨ F(x_i ∨ b_i). The rebuilt drivers duplicate
+    // gates already present in G — that only adds netlist nodes, not logic errors, and
+    // the ROBDD construction collapses the duplication anyway.
+    let mut netlist = base.netlist().clone();
+    let b_inputs: Vec<_> = (0..c).map(|i| netlist.input(format!("b{i}"))).collect();
+    let x_drivers = rebuild_x_drivers(&mut netlist, &base, c, truncation);
+    let substitution: Vec<_> = x_drivers
+        .iter()
+        .zip(b_inputs.iter())
+        .map(|(&xi, &bi)| netlist.or([xi, bi]))
+        .collect();
+    let f_prime = netlist.import(fault_tree, &substitution);
+    // I_{M+1}(w): rebuild the clamp minterm over the w bits.
+    let clamp = rebuild_clamp(&mut netlist, &base, truncation);
+    let new_output = netlist.or([clamp, f_prime]);
+    netlist.set_output(new_output);
+    Ok(ExtendedG { netlist })
+}
+
+/// Rebuilds the per-component "hit by one of the first M defects" drivers
+/// inside `netlist` (which already contains the defect-variable inputs of
+/// `base`).
+fn rebuild_x_drivers(
+    netlist: &mut Netlist,
+    base: &GeneralizedFaultTree,
+    c: usize,
+    truncation: usize,
+) -> Vec<socy_faulttree::NodeId> {
+    let groups = base.groups();
+    let w_bits: Vec<_> = groups.w.iter().map(|v| netlist.node_of(*v)).collect();
+    let w_width = w_bits.len();
+    let v_bits: Vec<Vec<_>> = groups
+        .v
+        .iter()
+        .map(|g| g.iter().map(|v| netlist.node_of(*v)).collect())
+        .collect();
+    let v_width = v_bits.first().map(|g: &Vec<_>| g.len()).unwrap_or(0);
+    let w_neg: Vec<_> = w_bits.iter().map(|&b| netlist.not(b)).collect();
+    let v_neg: Vec<Vec<_>> =
+        v_bits.iter().map(|bits| bits.iter().map(|&b| netlist.not(b)).collect()).collect();
+    let minterm = |netlist: &mut Netlist,
+                   bits: &[socy_faulttree::NodeId],
+                   negs: &[socy_faulttree::NodeId],
+                   width: usize,
+                   value: usize| {
+        let literals: Vec<_> = (0..width)
+            .map(|j| if (value >> (width - 1 - j)) & 1 == 1 { bits[j] } else { negs[j] })
+            .collect();
+        netlist.and(literals)
+    };
+    let m = truncation;
+    let mut z_ge = vec![minterm(netlist, &w_bits, &w_neg, w_width, m + 1); m + 2];
+    for k in (1..=m).rev() {
+        let mk = minterm(netlist, &w_bits, &w_neg, w_width, k);
+        z_ge[k] = netlist.or([z_ge[k + 1], mk]);
+    }
+    (0..c)
+        .map(|component| {
+            let terms: Vec<_> = (1..=m)
+                .map(|l| {
+                    let hit =
+                        minterm(netlist, &v_bits[l - 1], &v_neg[l - 1], v_width, component);
+                    netlist.and([z_ge[l], hit])
+                })
+                .collect();
+            netlist.or(terms)
+        })
+        .collect()
+}
+
+/// Rebuilds the `w = M + 1` clamp minterm inside `netlist`.
+fn rebuild_clamp(
+    netlist: &mut Netlist,
+    base: &GeneralizedFaultTree,
+    truncation: usize,
+) -> socy_faulttree::NodeId {
+    let w_bits: Vec<_> = base.groups().w.iter().map(|v| netlist.node_of(*v)).collect();
+    let width = w_bits.len();
+    let value = truncation + 1;
+    let literals: Vec<_> = (0..width)
+        .map(|j| {
+            let bit = w_bits[j];
+            if (value >> (width - 1 - j)) & 1 == 1 {
+                bit
+            } else {
+                netlist.not(bit)
+            }
+        })
+        .collect();
+    netlist.and(literals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use socy_defect::{Empirical, NegativeBinomial};
+
+    fn figure2() -> Netlist {
+        let mut nl = Netlist::new();
+        let x1 = nl.input("x1");
+        let x2 = nl.input("x2");
+        let x3 = nl.input("x3");
+        let a = nl.and([x1, x2]);
+        let f = nl.or([a, x3]);
+        nl.set_output(f);
+        nl
+    }
+
+    #[test]
+    fn zero_field_unreliability_recovers_the_yield() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+        let plain = analyze(&f, &comps, &lethal, &options).unwrap();
+        let report =
+            analyze_reliability(&f, &comps, &lethal, &[0.0, 0.0, 0.0], &options).unwrap();
+        assert!((report.reliability_lower_bound - plain.report.yield_lower_bound).abs() < 1e-10);
+        assert!((report.yield_lower_bound - plain.report.yield_lower_bound).abs() < 1e-10);
+        assert!((report.conditional_reliability - 1.0).abs() < 1e-10);
+        assert_eq!(report.truncation, plain.report.truncation);
+    }
+
+    #[test]
+    fn reliability_matches_hand_enumeration() {
+        // Point-mass defect model (exactly one lethal defect) keeps the hand
+        // computation small: the chip fails iff the defect hits component 3, or it
+        // hits {1 or 2} and the *other* of {1,2} fails in the field, or component 3
+        // fails in the field, or both 1 and 2 fail in the field… — easiest to just
+        // enumerate defect target × field-failure patterns.
+        let f = figure2();
+        let p = [0.2, 0.3, 0.5];
+        let u = [0.1, 0.2, 0.05];
+        let comps = ComponentProbabilities::new(p.to_vec()).unwrap();
+        let lethal = Empirical::point_mass(1);
+        let options =
+            AnalysisOptions { fixed_truncation: Some(1), ..AnalysisOptions::default() };
+        let report = analyze_reliability(&f, &comps, &lethal, &u, &options).unwrap();
+        let mut expect = 0.0;
+        for target in 0..3 {
+            for pattern in 0..8u32 {
+                let mut failed = [false; 3];
+                failed[target] = true;
+                let mut weight = p[target];
+                for i in 0..3 {
+                    let field = (pattern >> i) & 1 == 1;
+                    weight *= if field { u[i] } else { 1.0 - u[i] };
+                    failed[i] |= field;
+                }
+                if !((failed[0] && failed[1]) || failed[2]) {
+                    expect += weight;
+                }
+            }
+        }
+        assert!(
+            (report.reliability_lower_bound - expect).abs() < 1e-10,
+            "got {}, expected {expect}",
+            report.reliability_lower_bound
+        );
+        assert!(report.reliability_lower_bound <= report.yield_lower_bound + 1e-12);
+        assert!(report.conditional_reliability <= 1.0 + 1e-12);
+        assert!(report.romdd_size > 0);
+    }
+
+    #[test]
+    fn reliability_decreases_with_field_unreliability() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![1.0 / 3.0; 3]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+        let low = analyze_reliability(&f, &comps, &lethal, &[0.01; 3], &options).unwrap();
+        let high = analyze_reliability(&f, &comps, &lethal, &[0.2; 3], &options).unwrap();
+        assert!(high.reliability_lower_bound < low.reliability_lower_bound);
+        assert!((high.yield_lower_bound - low.yield_lower_bound).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = AnalysisOptions::default();
+        assert!(matches!(
+            analyze_reliability(&f, &comps, &lethal, &[0.1, 0.1], &options),
+            Err(CoreError::ComponentCountMismatch { .. })
+        ));
+        assert!(matches!(
+            analyze_reliability(&f, &comps, &lethal, &[0.1, 0.1, 1.5], &options),
+            Err(CoreError::Defect(_))
+        ));
+    }
+}

@@ -1,0 +1,189 @@
+//! Closed-form yields for elementary redundancy structures under the
+//! lethal-defect model.
+//!
+//! These formulas serve as independent oracles for the ROMDD pipeline (no
+//! decision diagrams involved) and as the "ad-hoc evaluation" alternative
+//! the paper mentions for regular structures.
+//!
+//! All formulas condition on the number of lethal defects `k` and use the
+//! fact that, given `k`, the components hit are i.i.d. draws from the
+//! conditional distribution `P'`.
+
+use socy_defect::{ComponentProbabilities, Truncation};
+
+use crate::error::CoreError;
+
+/// Yield of a *series* system (the system functions only when **no**
+/// component is failed).
+///
+/// Under the lethal-defect model every lethal defect fails some component,
+/// so the truncated yield is simply `Q'_0` (the probability of zero lethal
+/// defects within the truncation window).
+pub fn series_yield(truncation: &Truncation) -> f64 {
+    truncation.masses().first().copied().unwrap_or(0.0)
+}
+
+/// Yield of a *parallel* system over all `C` components (the system
+/// functions while **at least one** component is unfailed), truncated at
+/// `M` lethal defects.
+///
+/// `P(all C components hit | k defects)` is computed by inclusion–exclusion
+/// over the set of missed components, which costs `O(2^C)`; intended for
+/// small component counts (used as a test oracle).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptySystem`] when the component model has more
+/// than 24 components.
+pub fn parallel_yield(
+    components: &ComponentProbabilities,
+    truncation: &Truncation,
+) -> Result<f64, CoreError> {
+    let c = components.len();
+    if c > 24 {
+        return Err(CoreError::EmptySystem);
+    }
+    let mut total = 0.0;
+    for (k, q) in truncation.masses().iter().enumerate() {
+        // P(every component hit) = Σ_{U ⊆ comps} (-1)^{|U|} (1 - P'(U))^k,
+        // where U ranges over sets of components required to be missed.
+        let mut all_hit = 0.0;
+        for u in 0..(1usize << c) {
+            let missed: f64 = (0..c)
+                .filter(|i| u & (1 << i) != 0)
+                .map(|i| components.conditional(i))
+                .sum();
+            let sign = if (u.count_ones() % 2) == 0 { 1.0 } else { -1.0 };
+            all_hit += sign * (1.0 - missed).powi(k as i32);
+        }
+        total += q * (1.0 - all_hit.clamp(0.0, 1.0));
+    }
+    Ok(total)
+}
+
+/// Yield of a *k-out-of-n* system with **equally likely** components (the
+/// system functions while at least `required` of the `n` components are
+/// unfailed), truncated at `M` lethal defects.
+///
+/// The number of *distinct* components hit by `m` uniform draws follows the
+/// classical occupancy distribution
+/// `P(j distinct) = C(n, j) Σ_t (-1)^t C(j, t) ((j - t)/n)^m`.
+pub fn k_of_n_yield_iid(n: usize, required: usize, truncation: &Truncation) -> f64 {
+    assert!(n >= 1 && required <= n, "invalid k-of-n parameters");
+    let max_failed = n - required; // the system survives while at most this many components failed
+    let mut total = 0.0;
+    for (m, q) in truncation.masses().iter().enumerate() {
+        let mut survive = 0.0;
+        for j in 0..=max_failed.min(m) {
+            survive += occupancy_probability(n, j, m);
+        }
+        total += q * survive;
+    }
+    total
+}
+
+/// Probability that `m` uniform draws over `n` cells occupy exactly `j`
+/// distinct cells.
+fn occupancy_probability(n: usize, j: usize, m: usize) -> f64 {
+    if j > m && !(j == 0 && m == 0) {
+        return if j == 0 && m == 0 { 1.0 } else { 0.0 };
+    }
+    if j == 0 {
+        return if m == 0 { 1.0 } else { 0.0 };
+    }
+    let ln_choose_nj = socy_defect::math::ln_binomial(n, j);
+    let mut inner = 0.0f64;
+    for t in 0..=j {
+        let sign = if t % 2 == 0 { 1.0 } else { -1.0 };
+        let frac = (j - t) as f64 / n as f64;
+        inner += sign * socy_defect::math::ln_binomial(j, t).exp() * frac.powi(m as i32);
+    }
+    (ln_choose_nj.exp()) * inner.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, AnalysisOptions};
+    use socy_defect::truncation::truncate_at;
+    use socy_defect::{DefectDistribution, NegativeBinomial};
+    use socy_faulttree::Netlist;
+
+    fn lethal() -> NegativeBinomial {
+        NegativeBinomial::new(1.0, 0.25).unwrap()
+    }
+
+    #[test]
+    fn series_yield_is_q0() {
+        let trunc = truncate_at(&lethal(), 6).unwrap();
+        assert!((series_yield(&trunc) - lethal().pmf(0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn series_matches_romdd_pipeline() {
+        // Series system of 4 components: F = OR of all failures.
+        let mut nl = Netlist::new();
+        let inputs: Vec<_> = (0..4).map(|i| nl.input(format!("x{i}"))).collect();
+        let f = nl.or(inputs);
+        nl.set_output(f);
+        let comps = ComponentProbabilities::new(vec![0.25; 4]).unwrap();
+        let analysis = analyze(&nl, &comps, &lethal(), &AnalysisOptions::default()).unwrap();
+        let trunc = truncate_at(&lethal(), analysis.report.truncation).unwrap();
+        assert!((analysis.report.yield_lower_bound - series_yield(&trunc)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn parallel_matches_romdd_pipeline() {
+        // Parallel system of 3 components: F = AND of all failures.
+        let mut nl = Netlist::new();
+        let inputs: Vec<_> = (0..3).map(|i| nl.input(format!("x{i}"))).collect();
+        let f = nl.and(inputs);
+        nl.set_output(f);
+        let comps = ComponentProbabilities::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let analysis = analyze(&nl, &comps, &lethal(), &AnalysisOptions::default()).unwrap();
+        let trunc = truncate_at(&lethal(), analysis.report.truncation).unwrap();
+        let closed = parallel_yield(&comps, &trunc).unwrap();
+        assert!(
+            (analysis.report.yield_lower_bound - closed).abs() < 1e-10,
+            "pipeline {} vs closed form {closed}",
+            analysis.report.yield_lower_bound
+        );
+    }
+
+    #[test]
+    fn k_of_n_matches_romdd_pipeline() {
+        // 3-of-5 system with equal probabilities: F = at_least(3 failures of 5).
+        let n = 5;
+        let mut nl = Netlist::new();
+        let inputs: Vec<_> = (0..n).map(|i| nl.input(format!("x{i}"))).collect();
+        let f = nl.at_least(3, inputs);
+        nl.set_output(f);
+        let comps = ComponentProbabilities::new(vec![1.0 / n as f64; n]).unwrap();
+        let analysis = analyze(&nl, &comps, &lethal(), &AnalysisOptions::default()).unwrap();
+        let trunc = truncate_at(&lethal(), analysis.report.truncation).unwrap();
+        // System functions while at least 3 components are unfailed (at most 2 failed).
+        let closed = k_of_n_yield_iid(n, 3, &trunc);
+        assert!(
+            (analysis.report.yield_lower_bound - closed).abs() < 1e-10,
+            "pipeline {} vs closed form {closed}",
+            analysis.report.yield_lower_bound
+        );
+    }
+
+    #[test]
+    fn parallel_rejects_huge_systems() {
+        let comps = ComponentProbabilities::new(vec![1.0 / 30.0; 30]).unwrap();
+        let trunc = truncate_at(&lethal(), 3).unwrap();
+        assert!(parallel_yield(&comps, &trunc).is_err());
+    }
+
+    #[test]
+    fn occupancy_distribution_sums_to_one() {
+        for &(n, m) in &[(3usize, 4usize), (5, 2), (6, 6)] {
+            let total: f64 = (0..=n.min(m)).map(|j| occupancy_probability(n, j, m)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} m={m} total={total}");
+        }
+        assert_eq!(occupancy_probability(4, 0, 0), 1.0);
+        assert_eq!(occupancy_probability(4, 0, 3), 0.0);
+    }
+}

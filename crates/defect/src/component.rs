@@ -1,0 +1,173 @@
+//! Per-component defect-hit probabilities.
+//!
+//! The paper's model assigns to every component `i` a probability `P_i`
+//! that a given manufacturing defect lands on component `i` **and** is
+//! lethal. The sum `P_L = Σ_i P_i` is the probability that a given defect
+//! is lethal at all, and the conditional probabilities `P'_i = P_i / P_L`
+//! drive the lethal-defect model used by the combinatorial method.
+
+use crate::error::DefectError;
+
+/// Raw per-component lethal-hit probabilities `P_i` together with the
+/// derived lethal-defect model quantities `P_L` and `P'_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentProbabilities {
+    raw: Vec<f64>,
+    lethality: f64,
+    conditional: Vec<f64>,
+}
+
+impl ComponentProbabilities {
+    /// Builds the component model from the raw probabilities `P_i`
+    /// (indexed from component 0; the paper indexes components from 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the vector is empty, if any `P_i` is outside
+    /// `[0, 1]`, or if the total `P_L` is not in `(0, 1]`.
+    pub fn new(raw: Vec<f64>) -> Result<Self, DefectError> {
+        if raw.is_empty() {
+            return Err(DefectError::EmptyDistribution);
+        }
+        for &p in &raw {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(DefectError::InvalidProbability { name: "P_i", value: p });
+            }
+        }
+        let lethality: f64 = raw.iter().sum();
+        if !(lethality > 0.0 && lethality <= 1.0 + 1e-9) {
+            return Err(DefectError::InvalidMass { total: lethality });
+        }
+        // Guard against tiny floating-point excess over 1 from the summation, so
+        // that downstream thinning (which requires P_L ∈ (0, 1]) accepts the value.
+        let lethality = lethality.min(1.0);
+        let conditional = raw.iter().map(|p| p / lethality).collect();
+        Ok(Self { raw, lethality, conditional })
+    }
+
+    /// Builds a component model from *relative weights* (e.g. relative
+    /// component areas) scaled so that the overall lethality is `p_l`.
+    ///
+    /// This is how the paper's benchmarks specify their probabilities: area
+    /// ratios such as `P_IPS / P_IPM` plus a global `P_L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weights` is empty or contains negative /
+    /// non-finite values, if all weights are zero, or if `p_l` is not in
+    /// `(0, 1]`.
+    pub fn from_weights(weights: &[f64], p_l: f64) -> Result<Self, DefectError> {
+        if weights.is_empty() {
+            return Err(DefectError::EmptyDistribution);
+        }
+        if !(p_l.is_finite() && p_l > 0.0 && p_l <= 1.0) {
+            return Err(DefectError::InvalidProbability { name: "p_l", value: p_l });
+        }
+        for &w in weights {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(DefectError::InvalidProbability { name: "weight", value: w });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(DefectError::InvalidMass { total });
+        }
+        let raw: Vec<f64> = weights.iter().map(|w| w / total * p_l).collect();
+        Self::new(raw)
+    }
+
+    /// Number of components `C`.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True if the model has no components (never the case for a validated
+    /// instance; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Raw probability `P_i` that a given defect is lethal on component `i`.
+    pub fn raw(&self, i: usize) -> f64 {
+        self.raw[i]
+    }
+
+    /// All raw probabilities `P_i`.
+    pub fn raw_slice(&self) -> &[f64] {
+        &self.raw
+    }
+
+    /// Probability `P_L = Σ_i P_i` that a given defect is lethal.
+    pub fn lethality(&self) -> f64 {
+        self.lethality
+    }
+
+    /// Conditional probability `P'_i = P_i / P_L` that a lethal defect hits
+    /// component `i`.
+    pub fn conditional(&self, i: usize) -> f64 {
+        self.conditional[i]
+    }
+
+    /// All conditional probabilities `P'_i` (they sum to 1).
+    pub fn conditional_slice(&self) -> &[f64] {
+        &self.conditional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let c = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!((c.lethality() - 1.0).abs() < 1e-12);
+        assert!((c.conditional(2) - 0.5).abs() < 1e-12);
+        assert_eq!(c.raw(0), 0.2);
+        assert_eq!(c.raw_slice().len(), 3);
+    }
+
+    #[test]
+    fn partial_lethality() {
+        let c = ComponentProbabilities::new(vec![0.1, 0.2]).unwrap();
+        assert!((c.lethality() - 0.3).abs() < 1e-12);
+        let cond: f64 = c.conditional_slice().iter().sum();
+        assert!((cond - 1.0).abs() < 1e-12);
+        assert!((c.conditional(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ComponentProbabilities::new(vec![]).is_err());
+        assert!(ComponentProbabilities::new(vec![0.0, 0.0]).is_err());
+        assert!(ComponentProbabilities::new(vec![-0.1, 0.2]).is_err());
+        assert!(ComponentProbabilities::new(vec![0.9, 0.9]).is_err());
+        assert!(ComponentProbabilities::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn from_weights_scales_to_p_l() {
+        // MS-style weights: IPM=1, IPS=0.5, CM=0.1 with P_L = 1.
+        let c = ComponentProbabilities::from_weights(&[1.0, 0.5, 0.1], 1.0).unwrap();
+        assert!((c.lethality() - 1.0).abs() < 1e-12);
+        assert!((c.raw(0) / c.raw(1) - 2.0).abs() < 1e-12);
+        assert!((c.raw(0) / c.raw(2) - 10.0).abs() < 1e-9);
+
+        let half = ComponentProbabilities::from_weights(&[1.0, 1.0], 0.5).unwrap();
+        assert!((half.lethality() - 0.5).abs() < 1e-12);
+        assert!((half.raw(0) - 0.25).abs() < 1e-12);
+        // Conditionals are unaffected by P_L.
+        assert!((half.conditional(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_validation() {
+        assert!(ComponentProbabilities::from_weights(&[], 1.0).is_err());
+        assert!(ComponentProbabilities::from_weights(&[1.0], 0.0).is_err());
+        assert!(ComponentProbabilities::from_weights(&[1.0], 1.5).is_err());
+        assert!(ComponentProbabilities::from_weights(&[0.0, 0.0], 1.0).is_err());
+        assert!(ComponentProbabilities::from_weights(&[-1.0, 2.0], 1.0).is_err());
+    }
+}

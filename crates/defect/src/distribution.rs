@@ -1,0 +1,390 @@
+//! Distributions of the number of manufacturing defects on a chip.
+//!
+//! The paper's model is parameterised by an arbitrary distribution
+//! `Q_k = P(number of defects = k)`. The negative binomial distribution
+//! (Eq. 2 of the paper) is the reference case used by all experiments; a
+//! Poisson distribution and an arbitrary empirical distribution are also
+//! provided. All distributions are *compound-Poisson-compatible* in the
+//! sense used by the paper: thinning each defect independently with
+//! probability `P_L` yields the lethal-defect distribution.
+
+use crate::error::DefectError;
+use crate::math::{ln_factorial, ln_gamma};
+
+/// A discrete distribution over the number of manufacturing defects.
+///
+/// Implementors provide the probability-mass function `Q_k`; everything
+/// else (CDF, truncated mass vectors, mean estimates) is derived.
+pub trait DefectDistribution {
+    /// Probability that exactly `k` defects are produced, `Q_k`.
+    fn pmf(&self, k: usize) -> f64;
+
+    /// Expected number of defects, if finite and known in closed form.
+    fn mean(&self) -> Option<f64>;
+
+    /// Cumulative probability `P(K <= k)`.
+    fn cdf(&self, k: usize) -> f64 {
+        (0..=k).map(|i| self.pmf(i)).sum()
+    }
+
+    /// The first `len` probability masses `Q_0 .. Q_{len-1}` as a vector.
+    fn masses(&self, len: usize) -> Vec<f64> {
+        (0..len).map(|k| self.pmf(k)).collect()
+    }
+
+    /// Smallest `m` such that `P(K <= m) >= 1 - epsilon`, bounded by
+    /// `max_defects`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefectError::TruncationNotReached`] if the requested mass is
+    /// not accumulated within `max_defects` terms.
+    fn quantile_upper(&self, epsilon: f64, max_defects: usize) -> Result<usize, DefectError> {
+        let mut acc = 0.0;
+        for m in 0..=max_defects {
+            acc += self.pmf(m);
+            if acc >= 1.0 - epsilon {
+                return Ok(m);
+            }
+        }
+        Err(DefectError::TruncationNotReached { epsilon, max_defects, accumulated: acc })
+    }
+}
+
+/// The negative binomial distribution of Eq. (2) of the paper:
+///
+/// ```text
+/// Q_k = Γ(α + k) / (k! Γ(α)) · (λ/α)^k / (1 + λ/α)^(α + k)
+/// ```
+///
+/// `λ` is the expected number of defects and `α` the clustering parameter
+/// (clustering increases as `α` decreases). This is the "widely used"
+/// defect model referenced throughout the yield literature the paper cites
+/// (Koren, Stapper et al.).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegativeBinomial {
+    lambda: f64,
+    alpha: f64,
+}
+
+impl NegativeBinomial {
+    /// Creates a negative binomial defect distribution with mean `lambda`
+    /// and clustering parameter `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either parameter is not strictly positive or not
+    /// finite.
+    pub fn new(lambda: f64, alpha: f64) -> Result<Self, DefectError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DefectError::NonPositiveParameter { name: "lambda", value: lambda });
+        }
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(DefectError::NonPositiveParameter { name: "alpha", value: alpha });
+        }
+        Ok(Self { lambda, alpha })
+    }
+
+    /// Expected number of defects `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Clustering parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The lethal-defect distribution obtained by thinning every defect
+    /// independently with probability `p_l`.
+    ///
+    /// As shown by Koren, Koren and Stapper (cited as \[15\] in the paper),
+    /// the result is again negative binomial with the *same* clustering
+    /// parameter and mean `λ' = λ·p_l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `p_l` is not in `(0, 1]`.
+    pub fn thinned(&self, p_l: f64) -> Result<Self, DefectError> {
+        if !(p_l.is_finite() && p_l > 0.0 && p_l <= 1.0) {
+            return Err(DefectError::InvalidProbability { name: "p_l", value: p_l });
+        }
+        Self::new(self.lambda * p_l, self.alpha)
+    }
+}
+
+impl DefectDistribution for NegativeBinomial {
+    fn pmf(&self, k: usize) -> f64 {
+        let a = self.alpha;
+        let r = self.lambda / a;
+        let kf = k as f64;
+        let ln = ln_gamma(a + kf) - ln_factorial(k) - ln_gamma(a) + kf * r.ln()
+            - (a + kf) * (1.0 + r).ln();
+        ln.exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.lambda)
+    }
+}
+
+/// Poisson distribution of the number of defects (the `α → ∞` limit of the
+/// negative binomial, i.e. no clustering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson defect distribution with mean `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lambda` is not strictly positive or not finite.
+    pub fn new(lambda: f64) -> Result<Self, DefectError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DefectError::NonPositiveParameter { name: "lambda", value: lambda });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Expected number of defects `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The lethal-defect distribution obtained by thinning every defect
+    /// independently with probability `p_l`: Poisson with mean `λ·p_l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `p_l` is not in `(0, 1]`.
+    pub fn thinned(&self, p_l: f64) -> Result<Self, DefectError> {
+        if !(p_l.is_finite() && p_l > 0.0 && p_l <= 1.0) {
+            return Err(DefectError::InvalidProbability { name: "p_l", value: p_l });
+        }
+        Self::new(self.lambda * p_l)
+    }
+}
+
+impl DefectDistribution for Poisson {
+    fn pmf(&self, k: usize) -> f64 {
+        let kf = k as f64;
+        (-self.lambda + kf * self.lambda.ln() - ln_factorial(k)).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.lambda)
+    }
+}
+
+/// An arbitrary (finitely supported) distribution of the number of defects,
+/// e.g. measured fab data supplied by a manufacturer, or the output of the
+/// generic lethal-defect mapping of [`crate::lethal::thin_empirical`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    /// `probs[k]` is `Q_k`; any mass beyond the last entry is implicitly zero.
+    probs: Vec<f64>,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution from `Q_0, Q_1, ...`.
+    ///
+    /// The mass may sum to slightly less than one (the remainder is treated
+    /// as mass on "more defects than represented", which is exactly the
+    /// role it plays in the truncated yield computation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the vector is empty, contains values outside
+    /// `[0, 1]`, or has total mass outside `(0, 1 + 1e-9]`.
+    pub fn new(probs: Vec<f64>) -> Result<Self, DefectError> {
+        if probs.is_empty() {
+            return Err(DefectError::EmptyDistribution);
+        }
+        for (k, &p) in probs.iter().enumerate() {
+            if !(p.is_finite() && (0.0..=1.0 + 1e-12).contains(&p)) {
+                return Err(DefectError::InvalidProbability { name: "probs[k]", value: p as f64 })
+                    .map_err(|e| match e {
+                        DefectError::InvalidProbability { value, .. } => {
+                            DefectError::InvalidProbability {
+                                name: if k == 0 { "probs[0]" } else { "probs[k]" },
+                                value,
+                            }
+                        }
+                        other => other,
+                    });
+            }
+        }
+        let total: f64 = probs.iter().sum();
+        if !(total > 0.0 && total <= 1.0 + 1e-9) {
+            return Err(DefectError::InvalidMass { total });
+        }
+        Ok(Self { probs })
+    }
+
+    /// Creates a distribution placing all of its mass on exactly `k` defects.
+    pub fn point_mass(k: usize) -> Self {
+        let mut probs = vec![0.0; k + 1];
+        probs[k] = 1.0;
+        Self { probs }
+    }
+
+    /// The underlying probability vector.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of explicitly represented probability entries.
+    pub fn support_len(&self) -> usize {
+        self.probs.len()
+    }
+}
+
+impl DefectDistribution for Empirical {
+    fn pmf(&self, k: usize) -> f64 {
+        self.probs.get(k).copied().unwrap_or(0.0)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.probs.iter().enumerate().map(|(k, p)| k as f64 * p).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn negative_binomial_rejects_bad_parameters() {
+        assert!(NegativeBinomial::new(0.0, 1.0).is_err());
+        assert!(NegativeBinomial::new(1.0, 0.0).is_err());
+        assert!(NegativeBinomial::new(-1.0, 2.0).is_err());
+        assert!(NegativeBinomial::new(f64::NAN, 2.0).is_err());
+        assert!(NegativeBinomial::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn negative_binomial_mass_sums_to_one() {
+        for &(l, a) in &[(0.5, 0.25), (1.0, 0.25), (2.0, 0.25), (2.0, 2.0), (5.0, 10.0)] {
+            let d = NegativeBinomial::new(l, a).unwrap();
+            let total: f64 = (0..2000).map(|k| d.pmf(k)).sum();
+            assert!(close(total, 1.0, 1e-9), "λ={l} α={a} total={total}");
+        }
+    }
+
+    #[test]
+    fn negative_binomial_mean_matches_lambda() {
+        let d = NegativeBinomial::new(1.7, 0.4).unwrap();
+        let est: f64 = (0..5000).map(|k| k as f64 * d.pmf(k)).sum();
+        assert!(close(est, 1.7, 1e-6));
+        assert_eq!(d.mean(), Some(1.7));
+    }
+
+    #[test]
+    fn negative_binomial_q0_closed_form() {
+        // Q_0 = (1 + λ/α)^(-α)
+        let d = NegativeBinomial::new(2.0, 0.25).unwrap();
+        assert!(close(d.pmf(0), (1.0f64 + 8.0).powf(-0.25), 1e-12));
+    }
+
+    #[test]
+    fn negative_binomial_thinning_matches_generic_binomial_thinning() {
+        // Thinning each defect with probability p should yield NB(λ p, α).
+        let d = NegativeBinomial::new(2.0, 0.25).unwrap();
+        let p = 0.3;
+        let thinned = d.thinned(p).unwrap();
+        // Compare against the explicit sum Q'_k = Σ_m Q_m C(m,k) p^k (1-p)^{m-k}.
+        for k in 0..10 {
+            let explicit: f64 =
+                (k..1500).map(|m| d.pmf(m) * crate::math::binomial_pmf(m, k, p)).sum();
+            assert!(
+                close(thinned.pmf(k), explicit, 1e-9),
+                "k={k}: closed={} explicit={}",
+                thinned.pmf(k),
+                explicit
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_mass_and_mean() {
+        let d = Poisson::new(3.0).unwrap();
+        let total: f64 = (0..200).map(|k| d.pmf(k)).sum();
+        assert!(close(total, 1.0, 1e-12));
+        assert!(close(d.pmf(0), (-3.0f64).exp(), 1e-12));
+        assert_eq!(d.mean(), Some(3.0));
+        assert!(Poisson::new(0.0).is_err());
+    }
+
+    #[test]
+    fn poisson_thinning() {
+        let d = Poisson::new(4.0).unwrap();
+        let t = d.thinned(0.25).unwrap();
+        assert!(close(t.lambda(), 1.0, 1e-15));
+        assert!(d.thinned(0.0).is_err());
+        assert!(d.thinned(1.5).is_err());
+    }
+
+    #[test]
+    fn poisson_is_limit_of_negative_binomial() {
+        let p = Poisson::new(1.0).unwrap();
+        let nb = NegativeBinomial::new(1.0, 1e6).unwrap();
+        for k in 0..10 {
+            assert!(close(p.pmf(k), nb.pmf(k), 1e-5), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empirical_basic() {
+        let d = Empirical::new(vec![0.5, 0.3, 0.2]).unwrap();
+        assert_eq!(d.pmf(1), 0.3);
+        assert_eq!(d.pmf(7), 0.0);
+        assert!(close(d.mean().unwrap(), 0.7, 1e-15));
+        assert!(close(d.cdf(1), 0.8, 1e-15));
+        assert_eq!(d.support_len(), 3);
+    }
+
+    #[test]
+    fn empirical_validation() {
+        assert!(Empirical::new(vec![]).is_err());
+        assert!(Empirical::new(vec![0.5, 0.7]).is_err());
+        assert!(Empirical::new(vec![-0.1, 0.5]).is_err());
+        assert!(Empirical::new(vec![0.0, 0.0]).is_err());
+        // Sub-stochastic vectors are allowed (deficit = "more defects").
+        assert!(Empirical::new(vec![0.2, 0.3]).is_ok());
+    }
+
+    #[test]
+    fn empirical_point_mass() {
+        let d = Empirical::point_mass(3);
+        assert_eq!(d.pmf(3), 1.0);
+        assert_eq!(d.pmf(2), 0.0);
+        assert_eq!(d.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_upper_works() {
+        let d = Poisson::new(1.0).unwrap();
+        let m = d.quantile_upper(1e-4, 100).unwrap();
+        // P(K <= m) >= 1 - 1e-4 and the previous index does not satisfy it.
+        assert!(d.cdf(m) >= 1.0 - 1e-4);
+        assert!(m == 0 || d.cdf(m - 1) < 1.0 - 1e-4);
+        // Unreachable bound errors out.
+        assert!(d.quantile_upper(1e-12, 1).is_err());
+    }
+
+    #[test]
+    fn masses_returns_prefix() {
+        let d = Poisson::new(2.0).unwrap();
+        let m = d.masses(4);
+        assert_eq!(m.len(), 4);
+        for (k, v) in m.iter().enumerate() {
+            assert_eq!(*v, d.pmf(k));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Mapping from the raw defect model to the lethal-defect model (Eq. 1).
+//!
+//! Only lethal defects matter to yield, and since not every defect is
+//! lethal the lethal-defect count distribution `Q'` is shifted towards
+//! smaller values compared to the raw count distribution `Q`. Analysing
+//! `Q'` therefore gives better accuracy for the same truncation point `M`.
+//!
+//! Two routes are provided:
+//!
+//! * **Closed form** for negative binomial / Poisson defects
+//!   ([`NegativeBinomial::thinned`](crate::NegativeBinomial::thinned),
+//!   [`Poisson::thinned`](crate::Poisson::thinned)): the thinned
+//!   distribution stays in the same family with mean `λ' = λ·P_L`.
+//! * **Generic numeric mapping** ([`thin_empirical`]) implementing Eq. (1)
+//!   directly for an arbitrary distribution: `Q'_k = Σ_{m ≥ k} Q_m ·
+//!   C(m,k) · P_L^k (1 − P_L)^{m−k}`.
+
+use crate::distribution::{DefectDistribution, Empirical};
+use crate::error::DefectError;
+use crate::math::binomial_pmf;
+
+/// Applies the binomial thinning of Eq. (1) numerically to an arbitrary
+/// defect distribution.
+///
+/// The raw distribution is truncated at the smallest `m_max` such that
+/// `P(K <= m_max) >= 1 - tail_tolerance` (at most `hard_cap` terms), and
+/// `Q'_k` is returned for `k = 0 .. k_len-1`.
+///
+/// # Errors
+///
+/// Returns an error if `p_l` is not in `(0, 1]`, if the tail mass cannot be
+/// accumulated within `hard_cap` terms, or if the resulting probability
+/// vector fails validation.
+pub fn thin_empirical<D: DefectDistribution + ?Sized>(
+    raw: &D,
+    p_l: f64,
+    k_len: usize,
+    tail_tolerance: f64,
+    hard_cap: usize,
+) -> Result<Empirical, DefectError> {
+    if !(p_l.is_finite() && p_l > 0.0 && p_l <= 1.0) {
+        return Err(DefectError::InvalidProbability { name: "p_l", value: p_l });
+    }
+    let m_max = raw.quantile_upper(tail_tolerance, hard_cap)?;
+    let mut out = vec![0.0f64; k_len.max(1)];
+    for m in 0..=m_max {
+        let qm = raw.pmf(m);
+        if qm == 0.0 {
+            continue;
+        }
+        for (k, slot) in out.iter_mut().enumerate() {
+            if k > m {
+                break;
+            }
+            *slot += qm * binomial_pmf(m, k, p_l);
+        }
+    }
+    Empirical::new(out)
+}
+
+/// Convenience wrapper: thins `raw` by `p_l` and returns the lethal-defect
+/// masses `Q'_0 .. Q'_{k_len-1}` with default tail handling (tolerance
+/// `1e-12`, at most `100_000` raw terms).
+///
+/// # Errors
+///
+/// Same as [`thin_empirical`].
+pub fn lethal_masses<D: DefectDistribution + ?Sized>(
+    raw: &D,
+    p_l: f64,
+    k_len: usize,
+) -> Result<Vec<f64>, DefectError> {
+    Ok(thin_empirical(raw, p_l, k_len, 1e-12, 100_000)?.probabilities().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{NegativeBinomial, Poisson};
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn generic_thinning_matches_negative_binomial_closed_form() {
+        let raw = NegativeBinomial::new(2.0, 0.25).unwrap();
+        let p_l = 0.5;
+        let closed = raw.thinned(p_l).unwrap();
+        let numeric = thin_empirical(&raw, p_l, 12, 1e-13, 200_000).unwrap();
+        for k in 0..12 {
+            assert!(
+                close(closed.pmf(k), numeric.pmf(k), 1e-9),
+                "k={k}: closed={} numeric={}",
+                closed.pmf(k),
+                numeric.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn generic_thinning_matches_poisson_closed_form() {
+        let raw = Poisson::new(3.0).unwrap();
+        let p_l = 0.2;
+        let closed = raw.thinned(p_l).unwrap();
+        let numeric = thin_empirical(&raw, p_l, 10, 1e-13, 10_000).unwrap();
+        for k in 0..10 {
+            assert!(close(closed.pmf(k), numeric.pmf(k), 1e-10), "k={k}");
+        }
+    }
+
+    #[test]
+    fn thinning_with_p_l_one_is_identity() {
+        let raw = Poisson::new(1.5).unwrap();
+        let numeric = thin_empirical(&raw, 1.0, 8, 1e-13, 10_000).unwrap();
+        for k in 0..8 {
+            assert!(close(raw.pmf(k), numeric.pmf(k), 1e-12), "k={k}");
+        }
+    }
+
+    #[test]
+    fn thinning_of_point_mass() {
+        // Exactly 3 raw defects, each lethal with probability 0.5 ⇒ Binomial(3, 0.5).
+        let raw = Empirical::point_mass(3);
+        let numeric = thin_empirical(&raw, 0.5, 5, 1e-13, 10).unwrap();
+        let expect = [0.125, 0.375, 0.375, 0.125, 0.0];
+        for (k, e) in expect.iter().enumerate() {
+            assert!(close(numeric.pmf(k), *e, 1e-12), "k={k}");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        let raw = Poisson::new(1.0).unwrap();
+        assert!(thin_empirical(&raw, 0.0, 4, 1e-12, 100).is_err());
+        assert!(thin_empirical(&raw, 1.2, 4, 1e-12, 100).is_err());
+        // hard cap too small to reach the tail tolerance
+        assert!(thin_empirical(&raw, 0.5, 4, 1e-12, 0).is_err());
+    }
+
+    #[test]
+    fn lethal_masses_wrapper() {
+        let raw = NegativeBinomial::new(1.0, 0.25).unwrap();
+        let v = lethal_masses(&raw, 1.0, 6).unwrap();
+        assert_eq!(v.len(), 6);
+        for (k, p) in v.iter().enumerate() {
+            assert!(close(*p, raw.pmf(k), 1e-10));
+        }
+    }
+}

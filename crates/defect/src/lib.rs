@@ -1,0 +1,48 @@
+//! Manufacturing-defect models for yield analysis of systems-on-chip.
+//!
+//! This crate implements the probabilistic substrate of the DSN'03 paper
+//! *"A Combinatorial Method for the Evaluation of Yield of Fault-Tolerant
+//! Systems-on-Chip"*:
+//!
+//! * distributions of the **number of manufacturing defects** on a chip
+//!   ([`NegativeBinomial`], [`Poisson`], [`Empirical`]), all behind the
+//!   [`DefectDistribution`] trait;
+//! * the mapping from the *raw* defect model `(Q_k, P_i)` to the
+//!   computationally convenient **lethal-defect** model `(Q'_k, P'_i)`
+//!   (module [`lethal`]);
+//! * the selection of the **truncation point** `M` guaranteeing an absolute
+//!   yield error below a user-supplied `ε` (module [`truncation`]);
+//! * per-component lethal-defect probabilities ([`ComponentProbabilities`]).
+//!
+//! # Example
+//!
+//! ```
+//! use socy_defect::{NegativeBinomial, DefectDistribution, ComponentProbabilities};
+//! use socy_defect::truncation::select_truncation;
+//!
+//! // Negative-binomial defects, expected 1 defect per chip, clustering α = 0.25.
+//! let defects = NegativeBinomial::new(1.0, 0.25)?;
+//! // Three components with raw lethal-hit probabilities P_i.
+//! let comps = ComponentProbabilities::new(vec![0.4, 0.4, 0.2])?;
+//! // Lethal-defect distribution (still negative binomial, λ' = λ·P_L).
+//! let lethal = defects.thinned(comps.lethality())?;
+//! // Truncation point for a 1e-4 absolute error bound.
+//! let m = select_truncation(&lethal, 1e-4)?;
+//! assert!(m.truncation() >= 1);
+//! # Ok::<(), socy_defect::DefectError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod distribution;
+pub mod error;
+pub mod lethal;
+pub mod math;
+pub mod truncation;
+
+pub use component::ComponentProbabilities;
+pub use distribution::{DefectDistribution, Empirical, NegativeBinomial, Poisson};
+pub use error::DefectError;
+pub use truncation::{select_truncation, Truncation};

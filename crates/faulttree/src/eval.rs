@@ -1,0 +1,183 @@
+//! Evaluation of a netlist under a complete input assignment.
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError, NodeId};
+
+impl Netlist {
+    /// Evaluates every node of the netlist under the assignment
+    /// `inputs[v] = value of variable v` and returns the vector of node
+    /// values (indexed by node id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::AssignmentLength`] if `inputs` does not have
+    /// exactly [`Netlist::num_inputs`] entries.
+    pub fn eval_all(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if inputs.len() != self.num_inputs() {
+            return Err(NetlistError::AssignmentLength {
+                got: inputs.len(),
+                expected: self.num_inputs(),
+            });
+        }
+        let mut values = vec![false; self.len()];
+        for (id, gate) in self.iter() {
+            let v = match gate.kind {
+                GateKind::Input => inputs[self.var_of(id).expect("input has a var").index()],
+                GateKind::Const(c) => c,
+                GateKind::Not => !values[gate.fanin[0].index()],
+                GateKind::And => gate.fanin.iter().all(|f| values[f.index()]),
+                GateKind::Or => gate.fanin.iter().any(|f| values[f.index()]),
+                GateKind::Xor => {
+                    gate.fanin.iter().filter(|f| values[f.index()]).count() % 2 == 1
+                }
+                GateKind::AtLeast(k) => {
+                    gate.fanin.iter().filter(|f| values[f.index()]).count() >= k as usize
+                }
+            };
+            values[id.index()] = v;
+        }
+        Ok(values)
+    }
+
+    /// Evaluates a single node under the assignment.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Netlist::eval_all`].
+    pub fn eval_node(&self, node: NodeId, inputs: &[bool]) -> Result<bool, NetlistError> {
+        Ok(self.eval_all(inputs)?[node.index()])
+    }
+
+    /// Evaluates the designated output under the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output has been designated or the assignment length is
+    /// wrong; use [`Netlist::try_eval_output`] for a fallible version.
+    pub fn eval_output(&self, inputs: &[bool]) -> bool {
+        self.try_eval_output(inputs).expect("netlist evaluation failed")
+    }
+
+    /// Fallible version of [`Netlist::eval_output`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NoOutput`] when no output is designated, or
+    /// [`NetlistError::AssignmentLength`] on a malformed assignment.
+    pub fn try_eval_output(&self, inputs: &[bool]) -> Result<bool, NetlistError> {
+        let out = self.output()?;
+        self.eval_node(out, inputs)
+    }
+
+    /// Exhaustively enumerates the truth table of the output over all
+    /// `2^num_inputs` assignments (little-endian: bit `i` of the row index
+    /// is the value of variable `i`). Intended for testing and for the
+    /// exact baselines; only use with small input counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than 24 inputs (the table would be
+    /// unreasonably large) or no designated output.
+    pub fn truth_table(&self) -> Vec<bool> {
+        let n = self.num_inputs();
+        assert!(n <= 24, "truth_table is limited to 24 inputs, got {n}");
+        let out = self.output().expect("netlist has no output");
+        let mut table = Vec::with_capacity(1usize << n);
+        let mut assignment = vec![false; n];
+        for row in 0u64..(1u64 << n) {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = (row >> i) & 1 == 1;
+            }
+            table.push(self.eval_node(out, &assignment).expect("assignment length is correct"));
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Netlist {
+        // F = (a AND b) OR NOT c
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let g1 = nl.and([a, b]);
+        let nc = nl.not(c);
+        let f = nl.or([g1, nc]);
+        nl.set_output(f);
+        nl
+    }
+
+    #[test]
+    fn evaluation_matches_formula() {
+        let nl = example();
+        for row in 0..8u32 {
+            let a = row & 1 == 1;
+            let b = row & 2 != 0;
+            let c = row & 4 != 0;
+            let expect = (a && b) || !c;
+            assert_eq!(nl.eval_output(&[a, b, c]), expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn eval_all_exposes_internal_nodes() {
+        let nl = example();
+        let values = nl.eval_all(&[true, false, false]).unwrap();
+        // n3 = a AND b = false, n4 = NOT c = true, n5 = OR = true
+        assert_eq!(values[3], false);
+        assert_eq!(values[4], true);
+        assert_eq!(values[5], true);
+    }
+
+    #[test]
+    fn wrong_assignment_length() {
+        let nl = example();
+        assert!(matches!(
+            nl.eval_all(&[true]),
+            Err(NetlistError::AssignmentLength { got: 1, expected: 3 })
+        ));
+        assert!(nl.try_eval_output(&[true, false, true, false]).is_err());
+    }
+
+    #[test]
+    fn xor_and_atleast_semantics() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let x = nl.xor([a, b, c]);
+        let v = nl.at_least(2, [a, b, c]);
+        let both = nl.and([x, v]);
+        nl.set_output(both);
+        // xor true for odd parity; at_least(2) true for >= 2 ones; both true only for exactly 3 ones.
+        assert!(nl.eval_output(&[true, true, true]));
+        assert!(!nl.eval_output(&[true, true, false]));
+        assert!(!nl.eval_output(&[true, false, false]));
+        assert!(!nl.eval_output(&[false, false, false]));
+    }
+
+    #[test]
+    fn truth_table_enumerates_all_rows() {
+        let nl = example();
+        let table = nl.truth_table();
+        assert_eq!(table.len(), 8);
+        let ones = table.iter().filter(|&&v| v).count();
+        // (a AND b) OR NOT c: rows with c=0 (4 rows) plus (a,b,c)=(1,1,1) → 5 ones.
+        assert_eq!(ones, 5);
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let t = nl.constant(true);
+        let g = nl.and([a, t]);
+        nl.set_output(g);
+        assert!(nl.eval_output(&[true]));
+        assert!(!nl.eval_output(&[false]));
+    }
+}

@@ -1,0 +1,85 @@
+//! Gate kinds supported by the netlist representation.
+
+use std::fmt;
+
+/// The logical function computed by a netlist node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// A primary input variable (leaf).
+    Input,
+    /// A boolean constant.
+    Const(bool),
+    /// Logical negation of a single fan-in.
+    Not,
+    /// Conjunction of all fan-ins (true for an empty fan-in).
+    And,
+    /// Disjunction of all fan-ins (false for an empty fan-in).
+    Or,
+    /// Exclusive-or (parity) of all fan-ins.
+    Xor,
+    /// True when at least `k` of the fan-ins are true ("k-of-n" voter).
+    AtLeast(u32),
+}
+
+impl GateKind {
+    /// Short lowercase mnemonic used by the textual netlist format and by
+    /// `Display` implementations.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            GateKind::Input => "input".to_string(),
+            GateKind::Const(true) => "const1".to_string(),
+            GateKind::Const(false) => "const0".to_string(),
+            GateKind::Not => "not".to_string(),
+            GateKind::And => "and".to_string(),
+            GateKind::Or => "or".to_string(),
+            GateKind::Xor => "xor".to_string(),
+            GateKind::AtLeast(k) => format!("atleast{k}"),
+        }
+    }
+
+    /// Whether this node kind carries fan-ins (everything except inputs and
+    /// constants).
+    pub fn has_fanin(&self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Const(_))
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A node of the netlist: its [`GateKind`] plus the ordered list of fan-in
+/// node identifiers. Fan-in order is semantically irrelevant for the gate
+/// function but **is** preserved, because the variable-ordering heuristics
+/// of the paper (topology, weight, H4) are sensitive to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The logical function of the node.
+    pub kind: GateKind,
+    /// Fan-in node identifiers, in declaration order.
+    pub fanin: Vec<crate::netlist::NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(GateKind::And.mnemonic(), "and");
+        assert_eq!(GateKind::Const(true).mnemonic(), "const1");
+        assert_eq!(GateKind::Const(false).mnemonic(), "const0");
+        assert_eq!(GateKind::AtLeast(3).mnemonic(), "atleast3");
+        assert_eq!(format!("{}", GateKind::Xor), "xor");
+    }
+
+    #[test]
+    fn fanin_classification() {
+        assert!(!GateKind::Input.has_fanin());
+        assert!(!GateKind::Const(true).has_fanin());
+        assert!(GateKind::Not.has_fanin());
+        assert!(GateKind::AtLeast(2).has_fanin());
+    }
+}

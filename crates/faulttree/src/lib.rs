@@ -1,0 +1,47 @@
+//! Gate-level fault-tree / boolean-netlist representation.
+//!
+//! The combinatorial yield method of the DSN'03 paper starts from a
+//! *gate-level description* of the fault-tree function `F(x_1, …, x_C)`
+//! (value 1 ⇔ the system is **not** functioning). This crate provides that
+//! substrate:
+//!
+//! * a [`Netlist`] — an arena-based DAG of gates ([`Gate`]) over named
+//!   boolean input variables;
+//! * a convenient builder API ([`Netlist::input`], [`Netlist::and`],
+//!   [`Netlist::or`], [`Netlist::not`], [`Netlist::at_least`], …);
+//! * evaluation under a complete input assignment (module [`eval`]);
+//! * structural traversals — topological order, depth-first left-most input
+//!   order, supports, depths, gate counts — used both by the variable-ordering
+//!   heuristics and by the decision-diagram builders (module [`topo`]);
+//! * a small textual format for serialising netlists (module [`text`]).
+//!
+//! # Example
+//!
+//! ```
+//! use socy_faulttree::Netlist;
+//!
+//! // F = x1·x2 + x3  (the fault tree of the paper's Figure 2 example)
+//! let mut nl = Netlist::new();
+//! let x1 = nl.input("x1");
+//! let x2 = nl.input("x2");
+//! let x3 = nl.input("x3");
+//! let a = nl.and([x1, x2]);
+//! let f = nl.or([a, x3]);
+//! nl.set_output(f);
+//!
+//! assert_eq!(nl.num_inputs(), 3);
+//! assert!(nl.eval_output(&[true, true, false]));
+//! assert!(!nl.eval_output(&[true, false, false]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod gate;
+pub mod netlist;
+pub mod text;
+pub mod topo;
+
+pub use gate::{Gate, GateKind};
+pub use netlist::{Netlist, NetlistError, NodeId, VarId};

@@ -1,0 +1,498 @@
+//! The [`Netlist`] arena: a DAG of gates over named boolean inputs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::{Gate, GateKind};
+
+/// Identifier of a node (gate or input) within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The index of this node inside the netlist arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a primary input variable (dense, `0 .. num_inputs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Creates a variable identifier from a dense index.
+    pub fn new(index: usize) -> Self {
+        VarId(index as u32)
+    }
+
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Errors produced when constructing or querying a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// No output node has been designated.
+    NoOutput,
+    /// A referenced node does not exist in the arena.
+    UnknownNode(u32),
+    /// An input assignment had the wrong length.
+    AssignmentLength {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of primary inputs expected.
+        expected: usize,
+    },
+    /// A textual netlist could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::NoOutput => write!(f, "netlist has no designated output"),
+            NetlistError::UnknownNode(id) => write!(f, "unknown node id n{id}"),
+            NetlistError::AssignmentLength { got, expected } => {
+                write!(f, "input assignment has {got} values, expected {expected}")
+            }
+            NetlistError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// An arena-based gate-level netlist with a single designated output.
+///
+/// Nodes are appended in construction order, so every node's fan-ins have
+/// smaller indices than the node itself; the arena order is therefore a
+/// valid topological order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    nodes: Vec<Gate>,
+    /// For input nodes: their variable id; parallel to `nodes` (u32::MAX otherwise).
+    input_var: Vec<u32>,
+    /// Input variable id -> node id.
+    var_node: Vec<NodeId>,
+    /// Input variable id -> name.
+    var_name: Vec<String>,
+    /// Name -> variable id (for lookups and the text format).
+    name_index: HashMap<String, VarId>,
+    output: Option<NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, kind: GateKind, fanin: Vec<NodeId>) -> NodeId {
+        debug_assert!(fanin.iter().all(|id| id.index() < self.nodes.len()));
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Gate { kind, fanin });
+        self.input_var.push(u32::MAX);
+        id
+    }
+
+    /// Adds a primary input with the given name and returns its node id.
+    ///
+    /// Input variables receive dense [`VarId`]s in creation order. Creating
+    /// two inputs with the same name creates two distinct variables; use
+    /// [`Netlist::input_by_name`] to reuse an existing one.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        let var = VarId(self.var_node.len() as u32);
+        let id = self.push(GateKind::Input, Vec::new());
+        self.input_var[id.index()] = var.0;
+        self.var_node.push(id);
+        self.var_name.push(name.clone());
+        self.name_index.entry(name).or_insert(var);
+        id
+    }
+
+    /// Returns the node of the input named `name`, creating it if needed.
+    pub fn input_by_name(&mut self, name: &str) -> NodeId {
+        match self.name_index.get(name) {
+            Some(var) => self.var_node[var.index()],
+            None => self.input(name),
+        }
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(GateKind::Const(value), Vec::new())
+    }
+
+    /// Adds an AND gate over `fanin` (in the given order).
+    ///
+    /// A zero-fan-in AND is the constant 1; a single-fan-in AND returns the
+    /// fan-in node unchanged (no gate is materialised).
+    pub fn and(&mut self, fanin: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let fanin: Vec<NodeId> = fanin.into_iter().collect();
+        match fanin.len() {
+            0 => self.constant(true),
+            1 => fanin[0],
+            _ => self.push(GateKind::And, fanin),
+        }
+    }
+
+    /// Adds an OR gate over `fanin` (in the given order).
+    ///
+    /// A zero-fan-in OR is the constant 0; a single-fan-in OR returns the
+    /// fan-in node unchanged.
+    pub fn or(&mut self, fanin: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let fanin: Vec<NodeId> = fanin.into_iter().collect();
+        match fanin.len() {
+            0 => self.constant(false),
+            1 => fanin[0],
+            _ => self.push(GateKind::Or, fanin),
+        }
+    }
+
+    /// Adds a NOT gate.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.push(GateKind::Not, vec![a])
+    }
+
+    /// Adds an XOR (parity) gate over `fanin`.
+    pub fn xor(&mut self, fanin: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let fanin: Vec<NodeId> = fanin.into_iter().collect();
+        match fanin.len() {
+            0 => self.constant(false),
+            1 => fanin[0],
+            _ => self.push(GateKind::Xor, fanin),
+        }
+    }
+
+    /// Adds an "at least `k` of n" voter gate over `fanin`.
+    ///
+    /// Degenerate thresholds are simplified: `k == 0` is the constant 1,
+    /// `k > n` is the constant 0, `k == n` is an AND and `k == 1` an OR.
+    pub fn at_least(&mut self, k: usize, fanin: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let fanin: Vec<NodeId> = fanin.into_iter().collect();
+        let n = fanin.len();
+        if k == 0 {
+            return self.constant(true);
+        }
+        if k > n {
+            return self.constant(false);
+        }
+        if k == n {
+            return self.and(fanin);
+        }
+        if k == 1 {
+            return self.or(fanin);
+        }
+        self.push(GateKind::AtLeast(k as u32), fanin)
+    }
+
+    /// Designates `node` as the netlist output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this netlist.
+    pub fn set_output(&mut self, node: NodeId) {
+        assert!(node.index() < self.nodes.len(), "output node out of range");
+        self.output = Some(node);
+    }
+
+    /// The designated output node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NoOutput`] if no output was designated.
+    pub fn output(&self) -> Result<NodeId, NetlistError> {
+        self.output.ok_or(NetlistError::NoOutput)
+    }
+
+    /// Number of nodes (inputs + constants + gates) in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of primary input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.var_node.len()
+    }
+
+    /// Number of logic gates (nodes that are neither inputs nor constants).
+    /// This is the "number of gates" metric reported in Table 1 of the paper.
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|g| g.kind.has_fanin()).count()
+    }
+
+    /// The gate stored at `id`.
+    pub fn gate(&self, id: NodeId) -> &Gate {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterator over `(NodeId, &Gate)` in arena (topological) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Gate)> {
+        self.nodes.iter().enumerate().map(|(i, g)| (NodeId(i as u32), g))
+    }
+
+    /// The variable id of an input node, or `None` for non-input nodes.
+    pub fn var_of(&self, id: NodeId) -> Option<VarId> {
+        let v = self.input_var[id.index()];
+        if v == u32::MAX {
+            None
+        } else {
+            Some(VarId(v))
+        }
+    }
+
+    /// The node corresponding to input variable `var`.
+    pub fn node_of(&self, var: VarId) -> NodeId {
+        self.var_node[var.index()]
+    }
+
+    /// The name of input variable `var`.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.var_name[var.index()]
+    }
+
+    /// Looks up an input variable by name (first variable created with that
+    /// name, if several share it).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// All input variable names, indexed by [`VarId`].
+    pub fn var_names(&self) -> &[String] {
+        &self.var_name
+    }
+
+    /// Copies the logic of `source` into this netlist, substituting
+    /// `substitution[v]` for each primary input variable `v` of `source`,
+    /// and returns the node corresponding to `source`'s designated output.
+    ///
+    /// This is how the generalized fault tree `G` is assembled: the
+    /// original fault tree `F(x_1, …, x_C)` is instantiated with each
+    /// `x_i` driven by the filter-gate logic over the defect variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` has no designated output or if `substitution`
+    /// does not provide a node for every input of `source`.
+    pub fn import(&mut self, source: &Netlist, substitution: &[NodeId]) -> NodeId {
+        let output = source.output().expect("source netlist must have an output");
+        assert_eq!(
+            substitution.len(),
+            source.num_inputs(),
+            "substitution must cover every input of the source netlist"
+        );
+        let mut mapped: Vec<NodeId> = Vec::with_capacity(source.len());
+        for (id, gate) in source.iter() {
+            let new_id = match gate.kind {
+                GateKind::Input => {
+                    substitution[source.var_of(id).expect("input has a variable").index()]
+                }
+                GateKind::Const(c) => self.constant(c),
+                GateKind::Not => self.not(mapped[gate.fanin[0].index()]),
+                GateKind::And => {
+                    let fanin: Vec<NodeId> =
+                        gate.fanin.iter().map(|f| mapped[f.index()]).collect();
+                    self.and(fanin)
+                }
+                GateKind::Or => {
+                    let fanin: Vec<NodeId> =
+                        gate.fanin.iter().map(|f| mapped[f.index()]).collect();
+                    self.or(fanin)
+                }
+                GateKind::Xor => {
+                    let fanin: Vec<NodeId> =
+                        gate.fanin.iter().map(|f| mapped[f.index()]).collect();
+                    self.xor(fanin)
+                }
+                GateKind::AtLeast(k) => {
+                    let fanin: Vec<NodeId> =
+                        gate.fanin.iter().map(|f| mapped[f.index()]).collect();
+                    self.at_least(k as usize, fanin)
+                }
+            };
+            mapped.push(new_id);
+        }
+        mapped[output.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_netlist() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let g = nl.and([a, b]);
+        nl.set_output(g);
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(nl.len(), 3);
+        assert!(!nl.is_empty());
+        assert_eq!(nl.output().unwrap(), g);
+        assert_eq!(nl.var_of(a), Some(VarId::new(0)));
+        assert_eq!(nl.var_of(g), None);
+        assert_eq!(nl.node_of(VarId::new(1)), b);
+        assert_eq!(nl.var_name(VarId::new(1)), "b");
+        assert_eq!(nl.var_by_name("a"), Some(VarId::new(0)));
+        assert_eq!(nl.var_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn gate_simplifications() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        // Single-operand gates collapse to the operand.
+        assert_eq!(nl.and([a]), a);
+        assert_eq!(nl.or([a]), a);
+        assert_eq!(nl.xor([a]), a);
+        // Empty gates collapse to constants.
+        let t = nl.and(std::iter::empty());
+        let f = nl.or(std::iter::empty());
+        assert_eq!(nl.gate(t).kind, GateKind::Const(true));
+        assert_eq!(nl.gate(f).kind, GateKind::Const(false));
+    }
+
+    #[test]
+    fn at_least_simplifications() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let always = nl.at_least(0, [a, b]);
+        assert_eq!(nl.gate(always).kind, GateKind::Const(true));
+        let never = nl.at_least(3, [a, b]);
+        assert_eq!(nl.gate(never).kind, GateKind::Const(false));
+        let all = nl.at_least(2, [a, b]);
+        assert_eq!(nl.gate(all).kind, GateKind::And);
+        let any = nl.at_least(1, [a, b]);
+        assert_eq!(nl.gate(any).kind, GateKind::Or);
+        let vote = nl.at_least(2, [a, b, c]);
+        assert_eq!(nl.gate(vote).kind, GateKind::AtLeast(2));
+    }
+
+    #[test]
+    fn no_output_is_an_error() {
+        let nl = Netlist::new();
+        assert_eq!(nl.output().unwrap_err(), NetlistError::NoOutput);
+    }
+
+    #[test]
+    fn input_by_name_reuses_variables() {
+        let mut nl = Netlist::new();
+        let a1 = nl.input_by_name("a");
+        let a2 = nl.input_by_name("a");
+        let b = nl.input_by_name("b");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(nl.num_inputs(), 2);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", VarId(7)), "v7");
+        let err = NetlistError::AssignmentLength { got: 2, expected: 3 };
+        assert!(format!("{err}").contains("expected 3"));
+    }
+
+    #[test]
+    fn import_substitutes_inputs() {
+        // Source: F = (x1 AND x2) OR x3.
+        let mut src = Netlist::new();
+        let x1 = src.input("x1");
+        let x2 = src.input("x2");
+        let x3 = src.input("x3");
+        let a = src.and([x1, x2]);
+        let f = src.or([a, x3]);
+        src.set_output(f);
+
+        // Destination: substitute x1 -> p AND q, x2 -> NOT p, x3 -> r.
+        let mut dst = Netlist::new();
+        let p = dst.input("p");
+        let q = dst.input("q");
+        let r = dst.input("r");
+        let pq = dst.and([p, q]);
+        let np = dst.not(p);
+        let g = dst.import(&src, &[pq, np, r]);
+        dst.set_output(g);
+
+        for row in 0..8u32 {
+            let pv = row & 1 == 1;
+            let qv = row & 2 != 0;
+            let rv = row & 4 != 0;
+            let expect = ((pv && qv) && !pv) || rv;
+            assert_eq!(dst.eval_output(&[pv, qv, rv]), expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn import_handles_all_gate_kinds() {
+        let mut src = Netlist::new();
+        let a = src.input("a");
+        let b = src.input("b");
+        let c = src.input("c");
+        let v = src.at_least(2, [a, b, c]);
+        let x = src.xor([a, c]);
+        let k = src.constant(false);
+        let n = src.not(b);
+        let f = src.or([v, x, k, n]);
+        src.set_output(f);
+
+        let mut dst = Netlist::new();
+        let p = dst.input("p");
+        let q = dst.input("q");
+        let r = dst.input("r");
+        let g = dst.import(&src, &[p, q, r]);
+        dst.set_output(g);
+        assert_eq!(dst.truth_table(), src.truth_table());
+    }
+
+    #[test]
+    #[should_panic]
+    fn import_checks_substitution_length() {
+        let mut src = Netlist::new();
+        let a = src.input("a");
+        src.set_output(a);
+        let mut dst = Netlist::new();
+        let _ = dst.import(&src, &[]);
+    }
+
+    #[test]
+    fn arena_order_is_topological() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let g1 = nl.or([a, b]);
+        let g2 = nl.not(g1);
+        nl.set_output(g2);
+        for (id, gate) in nl.iter() {
+            for f in &gate.fanin {
+                assert!(f.index() < id.index());
+            }
+        }
+    }
+}

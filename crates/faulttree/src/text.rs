@@ -1,0 +1,206 @@
+//! A small line-oriented textual format for netlists.
+//!
+//! The format is intended for exchanging benchmark fault trees and for
+//! making tests readable; it is deliberately simple:
+//!
+//! ```text
+//! # comment
+//! input x1
+//! input x2
+//! input x3
+//! g1 = and x1 x2
+//! f  = or g1 x3
+//! output f
+//! ```
+//!
+//! Supported operators: `and`, `or`, `not`, `xor`, `atleast<K>` (e.g.
+//! `atleast2`), `const0`, `const1`. Every operand must have been defined on
+//! an earlier line. Exactly one `output` line is required.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError, NodeId};
+
+impl Netlist {
+    /// Serialises the netlist to the textual format.
+    ///
+    /// Internal gate nodes are named `g<node-id>`; inputs keep their names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NoOutput`] if no output has been designated.
+    pub fn to_text(&self) -> Result<String, NetlistError> {
+        let out = self.output()?;
+        let mut text = String::new();
+        let name = |id: NodeId| -> String {
+            match self.var_of(id) {
+                Some(v) => self.var_name(v).to_string(),
+                None => format!("g{}", id.index()),
+            }
+        };
+        for (id, gate) in self.iter() {
+            match gate.kind {
+                GateKind::Input => {
+                    writeln!(text, "input {}", name(id)).expect("write to string");
+                }
+                GateKind::Const(c) => {
+                    writeln!(text, "{} = const{}", name(id), u8::from(c)).expect("write to string");
+                }
+                _ => {
+                    let operands: Vec<String> = gate.fanin.iter().map(|f| name(*f)).collect();
+                    writeln!(text, "{} = {} {}", name(id), gate.kind.mnemonic(), operands.join(" "))
+                        .expect("write to string");
+                }
+            }
+        }
+        writeln!(text, "output {}", name(out)).expect("write to string");
+        Ok(text)
+    }
+
+    /// Parses a netlist from the textual format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Parse`] on malformed lines, unknown operand
+    /// names, unknown operators, duplicate definitions, or a missing
+    /// `output` directive.
+    pub fn from_text(text: &str) -> Result<Self, NetlistError> {
+        let mut nl = Netlist::new();
+        let mut names: HashMap<String, NodeId> = HashMap::new();
+        let mut output: Option<NodeId> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| NetlistError::Parse(format!("line {}: {msg}", lineno + 1));
+            if let Some(rest) = line.strip_prefix("input ") {
+                let name = rest.trim();
+                if name.is_empty() || names.contains_key(name) {
+                    return Err(err(format!("bad or duplicate input name `{name}`")));
+                }
+                let id = nl.input(name);
+                names.insert(name.to_string(), id);
+            } else if let Some(rest) = line.strip_prefix("output ") {
+                let name = rest.trim();
+                let id = *names.get(name).ok_or_else(|| err(format!("unknown node `{name}`")))?;
+                output = Some(id);
+            } else if let Some((lhs, rhs)) = line.split_once('=') {
+                let target = lhs.trim();
+                if target.is_empty() || names.contains_key(target) {
+                    return Err(err(format!("bad or duplicate node name `{target}`")));
+                }
+                let mut parts = rhs.trim().split_whitespace();
+                let op = parts.next().ok_or_else(|| err("missing operator".to_string()))?;
+                let operands: Result<Vec<NodeId>, NetlistError> = parts
+                    .map(|p| {
+                        names.get(p).copied().ok_or_else(|| err(format!("unknown operand `{p}`")))
+                    })
+                    .collect();
+                let operands = operands?;
+                let id = match op {
+                    "and" => nl.and(operands),
+                    "or" => nl.or(operands),
+                    "xor" => nl.xor(operands),
+                    "not" => {
+                        if operands.len() != 1 {
+                            return Err(err("`not` takes exactly one operand".to_string()));
+                        }
+                        nl.not(operands[0])
+                    }
+                    "const0" => nl.constant(false),
+                    "const1" => nl.constant(true),
+                    _ => {
+                        if let Some(k) = op.strip_prefix("atleast") {
+                            let k: usize = k
+                                .parse()
+                                .map_err(|_| err(format!("bad threshold in `{op}`")))?;
+                            nl.at_least(k, operands)
+                        } else {
+                            return Err(err(format!("unknown operator `{op}`")));
+                        }
+                    }
+                };
+                names.insert(target.to_string(), id);
+            } else {
+                return Err(err(format!("unrecognised line `{line}`")));
+            }
+        }
+        let out = output.ok_or_else(|| NetlistError::Parse("missing `output` line".to_string()))?;
+        nl.set_output(out);
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "
+# the Figure-2 fault tree
+input x1
+input x2
+input x3
+g1 = and x1 x2
+f = or g1 x3
+output f
+";
+
+    #[test]
+    fn parse_and_evaluate() {
+        let nl = Netlist::from_text(EXAMPLE).unwrap();
+        assert_eq!(nl.num_inputs(), 3);
+        assert_eq!(nl.num_gates(), 2);
+        assert!(nl.eval_output(&[true, true, false]));
+        assert!(nl.eval_output(&[false, false, true]));
+        assert!(!nl.eval_output(&[true, false, false]));
+    }
+
+    #[test]
+    fn round_trip() {
+        let nl = Netlist::from_text(EXAMPLE).unwrap();
+        let text = nl.to_text().unwrap();
+        let back = Netlist::from_text(&text).unwrap();
+        assert_eq!(back.num_inputs(), nl.num_inputs());
+        assert_eq!(back.truth_table(), nl.truth_table());
+    }
+
+    #[test]
+    fn round_trip_with_exotic_gates() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let d = nl.input("d");
+        let v = nl.at_least(3, [a, b, c, d]);
+        let x = nl.xor([a, d]);
+        let na = nl.not(a);
+        let k = nl.constant(true);
+        let g = nl.or([v, x, na, k]);
+        nl.set_output(g);
+        let text = nl.to_text().unwrap();
+        let back = Netlist::from_text(&text).unwrap();
+        assert_eq!(back.truth_table(), nl.truth_table());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Netlist::from_text("input a\noutput b").is_err());
+        assert!(Netlist::from_text("input a\ninput a\noutput a").is_err());
+        assert!(Netlist::from_text("input a\ng = frobnicate a\noutput g").is_err());
+        assert!(Netlist::from_text("input a\ng = not a a\noutput g").is_err());
+        assert!(Netlist::from_text("input a\ng = atleastX a\noutput g").is_err());
+        assert!(Netlist::from_text("input a").is_err());
+        assert!(Netlist::from_text("gibberish line").is_err());
+        assert!(Netlist::from_text("input a\na = and a a\noutput a").is_err());
+    }
+
+    #[test]
+    fn to_text_requires_output() {
+        let mut nl = Netlist::new();
+        nl.input("a");
+        assert!(nl.to_text().is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Structural traversals of a netlist.
+//!
+//! These are the building blocks of the paper's variable-ordering
+//! heuristics: depth-first left-most input orders, cone supports, fan-out
+//! counts and weights. They are also used by the decision-diagram builders
+//! to process gates in dependency order.
+
+use std::collections::HashSet;
+
+use crate::netlist::{Netlist, NodeId, VarId};
+
+impl Netlist {
+    /// Nodes in the transitive fan-in cone of `root` (including `root`),
+    /// in arena (topological) order.
+    pub fn cone(&self, root: NodeId) -> Vec<NodeId> {
+        let mut in_cone = vec![false; self.len()];
+        in_cone[root.index()] = true;
+        // Walk the arena backwards: a node is in the cone if some marked node lists it as fan-in.
+        for idx in (0..=root.index()).rev() {
+            if in_cone[idx] {
+                for f in &self.nodes_fanin(NodeId(idx as u32)) {
+                    in_cone[f.index()] = true;
+                }
+            }
+        }
+        (0..self.len()).filter(|&i| in_cone[i]).map(|i| NodeId(i as u32)).collect()
+    }
+
+    fn nodes_fanin(&self, id: NodeId) -> Vec<NodeId> {
+        self.gate(id).fanin.clone()
+    }
+
+    /// The set of input variables in the transitive fan-in cone of `root`.
+    pub fn support(&self, root: NodeId) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self
+            .cone(root)
+            .into_iter()
+            .filter_map(|id| self.var_of(id))
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Depth-first, left-most traversal from `root`, returning input
+    /// variables in the order they are first encountered. This is exactly
+    /// the "topology" ordering heuristic of the paper when applied to the
+    /// output node.
+    pub fn dfs_input_order(&self, root: NodeId) -> Vec<VarId> {
+        self.dfs_input_order_with(root, |_, fanin| fanin.to_vec())
+    }
+
+    /// Depth-first, left-most traversal where the fan-in of every gate is
+    /// re-ordered by `reorder` before being descended into. `reorder`
+    /// receives the gate node id and its fan-in list and must return a
+    /// permutation of that list. This is the hook used by the *weight* and
+    /// *H4* heuristics.
+    pub fn dfs_input_order_with<R>(&self, root: NodeId, mut reorder: R) -> Vec<VarId>
+    where
+        R: FnMut(NodeId, &[NodeId]) -> Vec<NodeId>,
+    {
+        let mut visited: HashSet<NodeId> = HashSet::new();
+        let mut order = Vec::new();
+        // Explicit stack of (node, prepared-children, next-child-index).
+        enum Frame {
+            Enter(NodeId),
+            Visit { children: Vec<NodeId>, next: usize },
+        }
+        let mut stack = vec![Frame::Enter(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(id) => {
+                    if !visited.insert(id) {
+                        continue;
+                    }
+                    if let Some(var) = self.var_of(id) {
+                        order.push(var);
+                        continue;
+                    }
+                    let gate = self.gate(id);
+                    if !gate.kind.has_fanin() {
+                        continue;
+                    }
+                    let children = reorder(id, &gate.fanin);
+                    debug_assert_eq!(children.len(), gate.fanin.len());
+                    stack.push(Frame::Visit { children, next: 0 });
+                }
+                Frame::Visit { children, next } => {
+                    if next < children.len() {
+                        let child = children[next];
+                        stack.push(Frame::Visit { children, next: next + 1 });
+                        stack.push(Frame::Enter(child));
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Number of gates that list each node in their fan-in (fan-out count),
+    /// indexed by node id. The designated output is not counted as fan-out.
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.len()];
+        for (_, gate) in self.iter() {
+            for f in &gate.fanin {
+                counts[f.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Logic depth of every node (inputs and constants have depth 0, a gate
+    /// has depth `1 + max(depth of fan-ins)`).
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depths = vec![0usize; self.len()];
+        for (id, gate) in self.iter() {
+            if gate.kind.has_fanin() {
+                depths[id.index()] =
+                    1 + gate.fanin.iter().map(|f| depths[f.index()]).max().unwrap_or(0);
+            }
+        }
+        depths
+    }
+
+    /// Logic depth of the designated output, or 0 when there is none.
+    pub fn depth(&self) -> usize {
+        match self.output() {
+            Ok(out) => self.depths()[out.index()],
+            Err(_) => 0,
+        }
+    }
+
+    /// The *weight* of every node as defined by the weight heuristic of the
+    /// paper (Minato et al.): inputs and constants weigh 1, and every gate
+    /// weighs the sum of the weights of its fan-ins.
+    pub fn weights(&self) -> Vec<u64> {
+        let mut weights = vec![1u64; self.len()];
+        for (id, gate) in self.iter() {
+            if gate.kind.has_fanin() {
+                weights[id.index()] =
+                    gate.fanin.iter().map(|f| weights[f.index()]).sum::<u64>().max(1);
+            }
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// F = (a AND b) OR (c AND (a XOR d))
+    fn example() -> (Netlist, [NodeId; 4]) {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let d = nl.input("d");
+        let g1 = nl.and([a, b]);
+        let g2 = nl.xor([a, d]);
+        let g3 = nl.and([c, g2]);
+        let f = nl.or([g1, g3]);
+        nl.set_output(f);
+        (nl, [a, b, c, d])
+    }
+
+    #[test]
+    fn support_and_cone() {
+        let (nl, [a, b, _c, _d]) = example();
+        let out = nl.output().unwrap();
+        let support = nl.support(out);
+        assert_eq!(support.len(), 4);
+        // Cone of the first AND gate only contains a and b.
+        let g1 = NodeId(4);
+        let s1 = nl.support(g1);
+        assert_eq!(s1, vec![nl.var_of(a).unwrap(), nl.var_of(b).unwrap()]);
+        assert_eq!(nl.cone(g1).len(), 3);
+    }
+
+    #[test]
+    fn dfs_order_is_leftmost() {
+        let (nl, _) = example();
+        let out = nl.output().unwrap();
+        let order = nl.dfs_input_order(out);
+        let names: Vec<&str> = order.iter().map(|v| nl.var_name(*v)).collect();
+        // OR(AND(a,b), AND(c, XOR(a,d))) visited left-most: a, b, c, (a already seen), d
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn dfs_order_with_reversal() {
+        let (nl, _) = example();
+        let out = nl.output().unwrap();
+        let order = nl.dfs_input_order_with(out, |_, fanin| {
+            let mut v = fanin.to_vec();
+            v.reverse();
+            v
+        });
+        let names: Vec<&str> = order.iter().map(|v| nl.var_name(*v)).collect();
+        // Reversing every fan-in visits the right AND first, and inside it the XOR first.
+        assert_eq!(names, vec!["d", "a", "c", "b"]);
+    }
+
+    #[test]
+    fn weights_match_hand_computation() {
+        let (nl, _) = example();
+        let w = nl.weights();
+        // inputs weigh 1; g1 = 2; g2 = 2; g3 = 3; output = 5
+        assert_eq!(w[4], 2);
+        assert_eq!(w[5], 2);
+        assert_eq!(w[6], 3);
+        assert_eq!(w[7], 5);
+    }
+
+    #[test]
+    fn depths_and_fanout() {
+        let (nl, [a, ..]) = example();
+        let d = nl.depths();
+        assert_eq!(d[a.index()], 0);
+        assert_eq!(nl.depth(), 3);
+        let fo = nl.fanout_counts();
+        // `a` feeds both g1 and g2.
+        assert_eq!(fo[a.index()], 2);
+        // output feeds nothing.
+        assert_eq!(fo[nl.output().unwrap().index()], 0);
+    }
+
+    #[test]
+    fn depth_without_output_is_zero() {
+        let mut nl = Netlist::new();
+        nl.input("a");
+        assert_eq!(nl.depth(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Boolean operations on (boolean-valued) ROMDDs.
+//!
+//! These are used to build ROMDDs *directly* from a multiple-valued gate
+//! description — the cross-check path for the coded-ROBDD route the paper
+//! recommends — and by tests.
+
+use crate::manager::{MddId, MddManager, TERMINAL_LEVEL};
+
+const OP_AND: u8 = 0;
+const OP_OR: u8 = 1;
+const OP_XOR: u8 = 2;
+const OP_NOT: u8 = 3;
+
+impl MddManager {
+    /// Logical negation of a boolean-valued ROMDD.
+    pub fn not(&mut self, f: MddId) -> MddId {
+        if f.is_zero() {
+            return MddId::ONE;
+        }
+        if f.is_one() {
+            return MddId::ZERO;
+        }
+        if let Some(&r) = self.op_cache.get(&(OP_NOT, f, f)) {
+            return r;
+        }
+        let level = self.level(f).expect("non-terminal");
+        let children: Vec<MddId> = self.children(f).to_vec();
+        let new_children: Vec<MddId> = children.into_iter().map(|c| self.not(c)).collect();
+        let r = self.mk(level, new_children);
+        self.op_cache.insert((OP_NOT, f, f), r);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: MddId, g: MddId) -> MddId {
+        self.binary(OP_AND, f, g)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: MddId, g: MddId) -> MddId {
+        self.binary(OP_OR, f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: MddId, g: MddId) -> MddId {
+        self.binary(OP_XOR, f, g)
+    }
+
+    /// Conjunction of many operands.
+    pub fn and_many(&mut self, operands: impl IntoIterator<Item = MddId>) -> MddId {
+        let mut acc = MddId::ONE;
+        for op in operands {
+            acc = self.and(acc, op);
+            if acc.is_zero() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many operands.
+    pub fn or_many(&mut self, operands: impl IntoIterator<Item = MddId>) -> MddId {
+        let mut acc = MddId::ZERO;
+        for op in operands {
+            acc = self.or(acc, op);
+            if acc.is_one() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// "At least `k` of the operands are true".
+    pub fn at_least(&mut self, k: usize, operands: &[MddId]) -> MddId {
+        let n = operands.len();
+        if k == 0 {
+            return MddId::ONE;
+        }
+        if k > n {
+            return MddId::ZERO;
+        }
+        let mut state = vec![MddId::ZERO; k + 1];
+        state[0] = MddId::ONE;
+        for &op in operands {
+            for j in (1..=k).rev() {
+                let with_op = self.and(state[j - 1], op);
+                state[j] = self.or(state[j], with_op);
+            }
+        }
+        state[k]
+    }
+
+    fn binary(&mut self, op: u8, f: MddId, g: MddId) -> MddId {
+        match op {
+            OP_AND => {
+                if f.is_zero() || g.is_zero() {
+                    return MddId::ZERO;
+                }
+                if f.is_one() {
+                    return g;
+                }
+                if g.is_one() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            OP_OR => {
+                if f.is_one() || g.is_one() {
+                    return MddId::ONE;
+                }
+                if f.is_zero() {
+                    return g;
+                }
+                if g.is_zero() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            OP_XOR => {
+                if f.is_zero() {
+                    return g;
+                }
+                if g.is_zero() {
+                    return f;
+                }
+                if f == g {
+                    return MddId::ZERO;
+                }
+                if f.is_one() {
+                    return self.not(g);
+                }
+                if g.is_one() {
+                    return self.not(f);
+                }
+            }
+            _ => unreachable!("unknown op"),
+        }
+        let (a, b) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.op_cache.get(&(op, a, b)) {
+            return r;
+        }
+        let la = self.raw_level(a);
+        let lb = self.raw_level(b);
+        let top = la.min(lb);
+        debug_assert_ne!(top, TERMINAL_LEVEL);
+        let domain = self.domain(top as usize);
+        let mut children = Vec::with_capacity(domain);
+        for v in 0..domain {
+            let ca = if la == top { self.child(a, v) } else { a };
+            let cb = if lb == top { self.child(b, v) } else { b };
+            children.push(self.binary(op, ca, cb));
+        }
+        let r = self.mk(top as usize, children);
+        self.op_cache.insert((op, a, b), r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive comparison over all assignments of the manager's variables.
+    fn check<F: Fn(&[usize]) -> bool>(mgr: &MddManager, f: MddId, reference: F) {
+        let domains = mgr.domains().to_vec();
+        let mut assignment = vec![0usize; domains.len()];
+        loop {
+            assert_eq!(mgr.eval(f, &assignment), reference(&assignment), "{assignment:?}");
+            // Advance mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == domains.len() {
+                    return;
+                }
+                assignment[i] += 1;
+                if assignment[i] < domains[i] {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn connectives_on_multivalued_variables() {
+        let mut mgr = MddManager::new(vec![3, 4, 2]);
+        let a = mgr.value_is(0, 2);
+        let b = mgr.value_at_least(1, 2);
+        let c = mgr.value_is(2, 1);
+        let and = mgr.and(a, b);
+        check(&mgr, and, |x| x[0] == 2 && x[1] >= 2);
+        let or = mgr.or(and, c);
+        check(&mgr, or, |x| (x[0] == 2 && x[1] >= 2) || x[2] == 1);
+        let xor = mgr.xor(a, c);
+        check(&mgr, xor, |x| (x[0] == 2) ^ (x[2] == 1));
+        let not = mgr.not(or);
+        check(&mgr, not, |x| !((x[0] == 2 && x[1] >= 2) || x[2] == 1));
+    }
+
+    #[test]
+    fn de_morgan_canonicity() {
+        let mut mgr = MddManager::new(vec![3, 3]);
+        let a = mgr.value_at_least(0, 1);
+        let b = mgr.value_is(1, 0);
+        let and = mgr.and(a, b);
+        let lhs = mgr.not(and);
+        let na = mgr.not(a);
+        let nb = mgr.not(b);
+        let rhs = mgr.or(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn many_and_threshold() {
+        let mut mgr = MddManager::new(vec![2, 2, 2, 2]);
+        let lits: Vec<MddId> = (0..4).map(|i| mgr.value_is(i, 1)).collect();
+        let all = mgr.and_many(lits.iter().copied());
+        check(&mgr, all, |x| x.iter().all(|&v| v == 1));
+        let any = mgr.or_many(lits.iter().copied());
+        check(&mgr, any, |x| x.iter().any(|&v| v == 1));
+        let two = mgr.at_least(2, &lits);
+        check(&mgr, two, |x| x.iter().filter(|&&v| v == 1).count() >= 2);
+        assert_eq!(mgr.at_least(0, &lits), mgr.one());
+        assert_eq!(mgr.at_least(5, &lits), mgr.zero());
+        assert_eq!(mgr.and_many(std::iter::empty()), mgr.one());
+        assert_eq!(mgr.or_many(std::iter::empty()), mgr.zero());
+    }
+
+    #[test]
+    fn xor_terminal_cases() {
+        let mut mgr = MddManager::new(vec![3]);
+        let a = mgr.value_is(0, 1);
+        assert_eq!(mgr.xor(a, mgr.zero()), a);
+        assert_eq!(mgr.xor(mgr.zero(), a), a);
+        assert_eq!(mgr.xor(a, a), mgr.zero());
+        let na = mgr.not(a);
+        assert_eq!(mgr.xor(a, mgr.one()), na);
+    }
+}

@@ -1,0 +1,307 @@
+//! Description of how a coded ROBDD encodes multiple-valued variables.
+//!
+//! A *coded ROBDD* of a multiple-valued function is an ordinary ROBDD over
+//! groups of binary variables, one group per multiple-valued variable. To
+//! be convertible into the ROMDD the paper requires that the binary
+//! variables of each group are kept **contiguous** in the ROBDD order and
+//! that the groups appear in the same order as the multiple-valued
+//! variables. [`CodedLayout`] captures that structure: per multiple-valued
+//! variable, the domain size, the ROBDD levels of its bits and the
+//! codeword assigned to every domain value.
+
+use std::fmt;
+
+/// Layout of one multiple-valued variable inside the coded ROBDD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvVarLayout {
+    /// Domain size of the multiple-valued variable.
+    pub domain: usize,
+    /// ROBDD levels of the binary variables encoding this variable, in
+    /// *code order*: `bit_levels[j]` is the level holding bit `j` of every
+    /// codeword.
+    pub bit_levels: Vec<usize>,
+    /// `codes[value][j]` is the value of bit `j` (aligned with
+    /// `bit_levels`) in the codeword assigned to `value`.
+    pub codes: Vec<Vec<bool>>,
+}
+
+impl MvVarLayout {
+    /// The assignment (sorted by increasing ROBDD level) of this group's
+    /// bits that encodes `value`.
+    pub fn assignment_for(&self, value: usize) -> Vec<(usize, bool)> {
+        let mut pairs: Vec<(usize, bool)> =
+            self.bit_levels.iter().copied().zip(self.codes[value].iter().copied()).collect();
+        pairs.sort_by_key(|&(level, _)| level);
+        pairs
+    }
+
+    /// Smallest ROBDD level used by this group.
+    pub fn min_level(&self) -> usize {
+        *self.bit_levels.iter().min().expect("group has at least one bit")
+    }
+
+    /// Largest ROBDD level used by this group.
+    pub fn max_level(&self) -> usize {
+        *self.bit_levels.iter().max().expect("group has at least one bit")
+    }
+}
+
+/// Errors detected when validating a [`CodedLayout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A variable has no values or no bits.
+    EmptyVariable {
+        /// Index of the offending multiple-valued variable.
+        var: usize,
+    },
+    /// The number of codewords does not match the domain size, or a
+    /// codeword has the wrong width.
+    CodeShape {
+        /// Index of the offending multiple-valued variable.
+        var: usize,
+    },
+    /// Two domain values share the same codeword.
+    DuplicateCode {
+        /// Index of the offending multiple-valued variable.
+        var: usize,
+    },
+    /// A ROBDD level is used by more than one bit.
+    OverlappingLevels,
+    /// Groups are not contiguous and ordered like the multiple-valued
+    /// variables (a later variable uses a level below an earlier one).
+    GroupsNotOrdered {
+        /// Index of the first variable of the offending pair.
+        var: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::EmptyVariable { var } => {
+                write!(f, "multiple-valued variable {var} has an empty domain or no bits")
+            }
+            LayoutError::CodeShape { var } => {
+                write!(f, "codeword table of variable {var} has the wrong shape")
+            }
+            LayoutError::DuplicateCode { var } => {
+                write!(f, "variable {var} assigns the same codeword to two values")
+            }
+            LayoutError::OverlappingLevels => write!(f, "two bits share the same ROBDD level"),
+            LayoutError::GroupsNotOrdered { var } => write!(
+                f,
+                "bit group of variable {var} is not strictly below the group of variable {}",
+                var + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Full layout of a coded ROBDD: one [`MvVarLayout`] per multiple-valued
+/// variable, in multiple-valued variable order (level 0 first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedLayout {
+    /// Per-variable layouts, indexed by multiple-valued level.
+    pub vars: Vec<MvVarLayout>,
+}
+
+impl CodedLayout {
+    /// Creates a layout and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayoutError`] describing the first violated structural
+    /// requirement (shape, distinct codes, non-overlapping levels, groups
+    /// contiguous and ordered).
+    pub fn new(vars: Vec<MvVarLayout>) -> Result<Self, LayoutError> {
+        for (i, var) in vars.iter().enumerate() {
+            if var.domain == 0 || var.bit_levels.is_empty() {
+                return Err(LayoutError::EmptyVariable { var: i });
+            }
+            if var.codes.len() != var.domain
+                || var.codes.iter().any(|c| c.len() != var.bit_levels.len())
+            {
+                return Err(LayoutError::CodeShape { var: i });
+            }
+            let mut sorted = var.codes.clone();
+            sorted.sort();
+            sorted.dedup();
+            if sorted.len() != var.codes.len() {
+                return Err(LayoutError::DuplicateCode { var: i });
+            }
+        }
+        let mut all_levels: Vec<usize> =
+            vars.iter().flat_map(|v| v.bit_levels.iter().copied()).collect();
+        let n = all_levels.len();
+        all_levels.sort_unstable();
+        all_levels.dedup();
+        if all_levels.len() != n {
+            return Err(LayoutError::OverlappingLevels);
+        }
+        for i in 0..vars.len().saturating_sub(1) {
+            if vars[i].max_level() >= vars[i + 1].min_level() {
+                return Err(LayoutError::GroupsNotOrdered { var: i });
+            }
+        }
+        Ok(Self { vars })
+    }
+
+    /// Builds the standard minimal-width binary layout the paper uses:
+    /// variable `i` (domain `domains[i]`) is encoded on
+    /// `ceil(log2(domain))` bits holding the plain binary representation of
+    /// the value, with groups laid out consecutively starting at ROBDD
+    /// level 0 and bits within each group ordered most-significant-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a domain size is zero.
+    pub fn binary_msb_first(domains: &[usize]) -> Self {
+        let mut vars = Vec::with_capacity(domains.len());
+        let mut next_level = 0usize;
+        for &domain in domains {
+            assert!(domain >= 1, "domain sizes must be positive");
+            let width = bits_for(domain);
+            let bit_levels: Vec<usize> = (next_level..next_level + width).collect();
+            next_level += width;
+            let codes = (0..domain)
+                .map(|value| (0..width).map(|j| (value >> (width - 1 - j)) & 1 == 1).collect())
+                .collect();
+            vars.push(MvVarLayout { domain, bit_levels, codes });
+        }
+        Self::new(vars).expect("binary layout is structurally valid")
+    }
+
+    /// Number of multiple-valued variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Total number of binary (ROBDD) variables used.
+    pub fn num_bits(&self) -> usize {
+        self.vars.iter().map(|v| v.bit_levels.len()).sum()
+    }
+
+    /// Domain sizes of the multiple-valued variables, in order.
+    pub fn domains(&self) -> Vec<usize> {
+        self.vars.iter().map(|v| v.domain).collect()
+    }
+
+    /// Maps each ROBDD level to the index of the multiple-valued variable
+    /// that owns it (`None` for unused levels).
+    pub fn mv_of_bit(&self) -> Vec<Option<usize>> {
+        let max_level = self.vars.iter().map(|v| v.max_level()).max().unwrap_or(0);
+        let mut map = vec![None; max_level + 1];
+        for (i, var) in self.vars.iter().enumerate() {
+            for &l in &var.bit_levels {
+                map[l] = Some(i);
+            }
+        }
+        map
+    }
+
+    /// The binary assignment (sorted by ROBDD level) encoding
+    /// `value` for multiple-valued variable `var`.
+    pub fn assignment_for(&self, var: usize, value: usize) -> Vec<(usize, bool)> {
+        self.vars[var].assignment_for(value)
+    }
+}
+
+/// Number of bits needed to represent values `0 .. domain-1`
+/// (at least 1 even for singleton domains).
+pub fn bits_for(domain: usize) -> usize {
+    if domain <= 2 {
+        1
+    } else {
+        (usize::BITS - (domain - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_domains() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+    }
+
+    #[test]
+    fn binary_layout_structure() {
+        let layout = CodedLayout::binary_msb_first(&[4, 3, 2]);
+        assert_eq!(layout.num_vars(), 3);
+        assert_eq!(layout.num_bits(), 2 + 2 + 1);
+        assert_eq!(layout.domains(), vec![4, 3, 2]);
+        assert_eq!(layout.vars[0].bit_levels, vec![0, 1]);
+        assert_eq!(layout.vars[1].bit_levels, vec![2, 3]);
+        assert_eq!(layout.vars[2].bit_levels, vec![4]);
+        // Value 2 of a 4-valued variable is binary 10, MSB first.
+        assert_eq!(layout.vars[0].codes[2], vec![true, false]);
+        // Assignment is sorted by level.
+        assert_eq!(layout.assignment_for(0, 2), vec![(0, true), (1, false)]);
+        let map = layout.mv_of_bit();
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[3], Some(1));
+        assert_eq!(map[4], Some(2));
+    }
+
+    #[test]
+    fn validation_rejects_bad_layouts() {
+        // Duplicate code.
+        let bad = CodedLayout::new(vec![MvVarLayout {
+            domain: 2,
+            bit_levels: vec![0],
+            codes: vec![vec![true], vec![true]],
+        }]);
+        assert_eq!(bad.unwrap_err(), LayoutError::DuplicateCode { var: 0 });
+        // Wrong code shape.
+        let bad = CodedLayout::new(vec![MvVarLayout {
+            domain: 2,
+            bit_levels: vec![0],
+            codes: vec![vec![true]],
+        }]);
+        assert_eq!(bad.unwrap_err(), LayoutError::CodeShape { var: 0 });
+        // Overlapping levels.
+        let bad = CodedLayout::new(vec![
+            MvVarLayout { domain: 2, bit_levels: vec![0], codes: vec![vec![false], vec![true]] },
+            MvVarLayout { domain: 2, bit_levels: vec![0], codes: vec![vec![false], vec![true]] },
+        ]);
+        assert_eq!(bad.unwrap_err(), LayoutError::OverlappingLevels);
+        // Out-of-order groups.
+        let bad = CodedLayout::new(vec![
+            MvVarLayout { domain: 2, bit_levels: vec![1], codes: vec![vec![false], vec![true]] },
+            MvVarLayout { domain: 2, bit_levels: vec![0], codes: vec![vec![false], vec![true]] },
+        ]);
+        assert_eq!(bad.unwrap_err(), LayoutError::GroupsNotOrdered { var: 0 });
+        // Empty variable.
+        let bad = CodedLayout::new(vec![MvVarLayout {
+            domain: 0,
+            bit_levels: vec![],
+            codes: vec![],
+        }]);
+        assert_eq!(bad.unwrap_err(), LayoutError::EmptyVariable { var: 0 });
+        // Error messages are non-empty.
+        assert!(!format!("{}", LayoutError::OverlappingLevels).is_empty());
+    }
+
+    #[test]
+    fn lsb_first_groups_are_also_valid() {
+        // Within-group bit order is free; only group contiguity matters.
+        let layout = CodedLayout::new(vec![MvVarLayout {
+            domain: 3,
+            bit_levels: vec![1, 0], // LSB at level 1, MSB at level 0... order given by codes
+            codes: vec![vec![false, false], vec![true, false], vec![false, true]],
+        }]);
+        assert!(layout.is_ok());
+        let layout = layout.unwrap();
+        // Value 1 has bit_levels[0]=1 → true, bit_levels[1]=0 → false; sorted by level:
+        assert_eq!(layout.assignment_for(0, 1), vec![(0, false), (1, true)]);
+    }
+}

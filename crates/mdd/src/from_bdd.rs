@@ -1,0 +1,245 @@
+//! Top-down conversion of a coded ROBDD into the ROMDD.
+//!
+//! The paper builds the ROMDD from the coded ROBDD bottom-up, layer by
+//! layer (implemented in [`crate::layered`]). This module provides an
+//! equivalent *top-down, memoized* converter which is simpler to reason
+//! about and never materialises nodes that end up unreachable; the two
+//! implementations are cross-checked against each other in the test suites
+//! (they must produce the identical canonical ROMDD).
+//!
+//! The key observation making the conversion possible is the layering
+//! requirement: because all bits encoding multiple-valued variable `x_k`
+//! sit above all bits of `x_{k+1}, …` in the ROBDD order, every ROBDD node
+//! reached after assigning a full group of bits represents a function of
+//! the *remaining* multiple-valued variables only, so it maps to a unique
+//! ROMDD node — the memoization key is just the ROBDD node id.
+
+use socy_bdd::hash::FxHashMap;
+use socy_bdd::{BddId, BddManager};
+
+use crate::coded::CodedLayout;
+use crate::manager::{MddId, MddManager};
+
+impl MddManager {
+    /// Converts the coded ROBDD rooted at `root` (owned by `bdd`) into an
+    /// ROMDD in this manager.
+    ///
+    /// The manager's domains must match `layout.domains()`, and the ROBDD
+    /// variable order must respect the layout's grouping (which
+    /// [`CodedLayout::new`] validates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager's domains do not match the layout, or if the
+    /// ROBDD tests a level that the layout does not assign to any
+    /// multiple-valued variable.
+    pub fn from_coded_bdd(
+        &mut self,
+        bdd: &BddManager,
+        root: BddId,
+        layout: &CodedLayout,
+    ) -> MddId {
+        assert_eq!(
+            self.domains(),
+            layout.domains().as_slice(),
+            "MddManager domains must match the coded layout"
+        );
+        let mv_of_bit = layout.mv_of_bit();
+        let mut memo: FxHashMap<BddId, MddId> = FxHashMap::default();
+        self.convert(bdd, root, layout, &mv_of_bit, &mut memo)
+    }
+
+    fn convert(
+        &mut self,
+        bdd: &BddManager,
+        node: BddId,
+        layout: &CodedLayout,
+        mv_of_bit: &[Option<usize>],
+        memo: &mut FxHashMap<BddId, MddId>,
+    ) -> MddId {
+        if node.is_zero() {
+            return MddId::ZERO;
+        }
+        if node.is_one() {
+            return MddId::ONE;
+        }
+        if let Some(&m) = memo.get(&node) {
+            return m;
+        }
+        let bit_level = bdd.level(node).expect("non-terminal");
+        let mv = mv_of_bit
+            .get(bit_level)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("ROBDD level {bit_level} is not mapped by the layout"));
+        let domain = layout.vars[mv].domain;
+        let mut children = Vec::with_capacity(domain);
+        for value in 0..domain {
+            let below = follow_code(bdd, node, &layout.assignment_for(mv, value));
+            children.push(self.convert(bdd, below, layout, mv_of_bit, memo));
+        }
+        let result = self.mk(mv, children);
+        memo.insert(node, result);
+        result
+    }
+}
+
+/// Walks down from `node` assigning the group bits given by `assignment`
+/// (sorted by increasing ROBDD level) and returns the node reached below
+/// the group. Bits that the ROBDD does not test are simply skipped.
+pub(crate) fn follow_code(bdd: &BddManager, node: BddId, assignment: &[(usize, bool)]) -> BddId {
+    let mut cur = node;
+    for &(level, value) in assignment {
+        if cur.is_terminal() {
+            break;
+        }
+        match bdd.level(cur) {
+            Some(l) if l == level => {
+                cur = if value { bdd.high(cur) } else { bdd.low(cur) };
+            }
+            // The ROBDD skips this bit (function does not depend on it), or the
+            // current node already lies below this group.
+            _ => {}
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coded::MvVarLayout;
+
+    /// Builds the coded ROBDD of a function of multiple-valued variables by
+    /// explicit case analysis on all assignments (small inputs only), then
+    /// converts it and compares against direct evaluation.
+    fn coded_bdd_of<F: Fn(&[usize]) -> bool>(
+        layout: &CodedLayout,
+        f: &F,
+    ) -> (BddManager, BddId) {
+        let mut bdd = BddManager::new(layout.num_bits());
+        let domains = layout.domains();
+        let mut root = bdd.zero();
+        let mut assignment = vec![0usize; domains.len()];
+        loop {
+            if f(&assignment) {
+                // minterm over the coded bits
+                let mut term = bdd.one();
+                for (var, &value) in assignment.iter().enumerate() {
+                    for (level, bit) in layout.assignment_for(var, value) {
+                        let lit = bdd.literal(level, bit);
+                        term = bdd.and(term, lit);
+                    }
+                }
+                root = bdd.or(root, term);
+            }
+            let mut i = 0;
+            loop {
+                if i == domains.len() {
+                    return (bdd, root);
+                }
+                assignment[i] += 1;
+                if assignment[i] < domains[i] {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    fn exhaustive_check<F: Fn(&[usize]) -> bool>(layout: &CodedLayout, f: F) {
+        let (bdd, root) = coded_bdd_of(layout, &f);
+        let mut mdd = MddManager::new(layout.domains());
+        let converted = mdd.from_coded_bdd(&bdd, root, layout);
+        let domains = layout.domains();
+        let mut assignment = vec![0usize; domains.len()];
+        loop {
+            assert_eq!(
+                mdd.eval(converted, &assignment),
+                f(&assignment),
+                "assignment {assignment:?}"
+            );
+            let mut i = 0;
+            loop {
+                if i == domains.len() {
+                    return;
+                }
+                assignment[i] += 1;
+                if assignment[i] < domains[i] {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn converts_simple_indicator() {
+        let layout = CodedLayout::binary_msb_first(&[3]);
+        exhaustive_check(&layout, |a| a[0] == 2);
+        exhaustive_check(&layout, |a| a[0] >= 1);
+    }
+
+    #[test]
+    fn converts_multi_variable_functions() {
+        let layout = CodedLayout::binary_msb_first(&[3, 4, 2]);
+        exhaustive_check(&layout, |a| (a[0] == 2 && a[1] >= 2) || a[2] == 1);
+        exhaustive_check(&layout, |a| a[0] + a[1] + a[2] >= 4);
+        exhaustive_check(&layout, |a| (a[0] ^ a[1]) % 2 == 1);
+    }
+
+    #[test]
+    fn converts_functions_with_dont_care_codes() {
+        // Domain 5 uses 3 bits, so codes 5..7 are don't-cares that must never be followed.
+        let layout = CodedLayout::binary_msb_first(&[5, 3]);
+        exhaustive_check(&layout, |a| a[0] == 4 || (a[0] == 0 && a[1] == 2));
+        exhaustive_check(&layout, |a| a[0] % 2 == a[1] % 2);
+    }
+
+    #[test]
+    fn converts_constants() {
+        let layout = CodedLayout::binary_msb_first(&[3, 3]);
+        exhaustive_check(&layout, |_| true);
+        exhaustive_check(&layout, |_| false);
+    }
+
+    #[test]
+    fn lsb_first_group_order() {
+        // Same function, bits within the group ordered least-significant-first.
+        let domain = 4usize;
+        let codes_lsb: Vec<Vec<bool>> =
+            (0..domain).map(|v| vec![v & 1 == 1, v >> 1 & 1 == 1]).collect();
+        let layout = CodedLayout::new(vec![
+            MvVarLayout { domain, bit_levels: vec![0, 1], codes: codes_lsb.clone() },
+            MvVarLayout {
+                domain,
+                bit_levels: vec![2, 3],
+                codes: codes_lsb,
+            },
+        ])
+        .unwrap();
+        exhaustive_check(&layout, |a| a[0] > a[1]);
+    }
+
+    #[test]
+    fn conversion_is_canonical() {
+        // Converting the same coded ROBDD twice yields the identical root id.
+        let layout = CodedLayout::binary_msb_first(&[3, 3]);
+        let (bdd, root) = coded_bdd_of(&layout, &|a: &[usize]| a[0] == a[1]);
+        let mut mdd = MddManager::new(layout.domains());
+        let a = mdd.from_coded_bdd(&bdd, root, &layout);
+        let b = mdd.from_coded_bdd(&bdd, root, &layout);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn domain_mismatch_panics() {
+        let layout = CodedLayout::binary_msb_first(&[3]);
+        let (bdd, root) = coded_bdd_of(&layout, &|a: &[usize]| a[0] == 1);
+        let mut mdd = MddManager::new(vec![4]);
+        let _ = mdd.from_coded_bdd(&bdd, root, &layout);
+    }
+}

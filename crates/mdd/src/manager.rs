@@ -1,0 +1,368 @@
+//! The [`MddManager`]: multi-valued variable domains, node arena, unique
+//! table, indicator constructors and evaluation.
+
+use std::fmt;
+
+use socy_bdd::hash::FxHashMap;
+
+/// Identifier of an ROMDD node within an [`MddManager`].
+///
+/// Identifiers `0` and `1` denote the boolean terminal nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MddId(pub(crate) u32);
+
+impl MddId {
+    /// The FALSE terminal.
+    pub const ZERO: MddId = MddId(0);
+    /// The TRUE terminal.
+    pub const ONE: MddId = MddId(1);
+
+    /// Raw index of this node in the manager's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// True if this is the TRUE terminal.
+    pub fn is_one(self) -> bool {
+        self.0 == 1
+    }
+
+    /// True if this is the FALSE terminal.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for MddId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "FALSE"),
+            1 => write!(f, "TRUE"),
+            i => write!(f, "m{i}"),
+        }
+    }
+}
+
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Node {
+    pub level: u32,
+    pub children: Box<[MddId]>,
+}
+
+/// A manager owning a forest of ROMDD nodes over a fixed sequence of
+/// multiple-valued variables (one per level, each with its own finite
+/// domain size).
+#[derive(Debug, Clone)]
+pub struct MddManager {
+    pub(crate) nodes: Vec<Node>,
+    unique: FxHashMap<(u32, Box<[MddId]>), MddId>,
+    domains: Vec<usize>,
+    pub(crate) op_cache: FxHashMap<(u8, MddId, MddId), MddId>,
+}
+
+impl MddManager {
+    /// Creates a manager for multiple-valued variables with the given
+    /// domain sizes: the variable at level `i` ranges over
+    /// `0 .. domains[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any domain size is zero.
+    pub fn new(domains: Vec<usize>) -> Self {
+        assert!(domains.iter().all(|&d| d >= 1), "every domain must have at least one value");
+        let nodes = vec![
+            Node { level: TERMINAL_LEVEL, children: Box::new([]) },
+            Node { level: TERMINAL_LEVEL, children: Box::new([]) },
+        ];
+        Self {
+            nodes,
+            unique: FxHashMap::default(),
+            domains,
+            op_cache: FxHashMap::default(),
+        }
+    }
+
+    /// The FALSE terminal.
+    pub fn zero(&self) -> MddId {
+        MddId::ZERO
+    }
+
+    /// The TRUE terminal.
+    pub fn one(&self) -> MddId {
+        MddId::ONE
+    }
+
+    /// Boolean constant terminal.
+    pub fn constant(&self, value: bool) -> MddId {
+        if value {
+            MddId::ONE
+        } else {
+            MddId::ZERO
+        }
+    }
+
+    /// Number of multiple-valued variable levels.
+    pub fn num_levels(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Domain size of the variable at `level`.
+    pub fn domain(&self, level: usize) -> usize {
+        self.domains[level]
+    }
+
+    /// All domain sizes, indexed by level.
+    pub fn domains(&self) -> &[usize] {
+        &self.domains
+    }
+
+    /// The level tested by `id`, or `None` for terminals.
+    pub fn level(&self, id: MddId) -> Option<usize> {
+        let l = self.nodes[id.index()].level;
+        if l == TERMINAL_LEVEL {
+            None
+        } else {
+            Some(l as usize)
+        }
+    }
+
+    pub(crate) fn raw_level(&self, id: MddId) -> u32 {
+        self.nodes[id.index()].level
+    }
+
+    /// The child followed when the variable at the node's level takes
+    /// `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal or `value` is outside the variable's
+    /// domain.
+    pub fn child(&self, id: MddId, value: usize) -> MddId {
+        assert!(!id.is_terminal(), "terminals have no children");
+        self.nodes[id.index()].children[value]
+    }
+
+    /// All children of a non-terminal node, indexed by domain value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    pub fn children(&self, id: MddId) -> &[MddId] {
+        assert!(!id.is_terminal(), "terminals have no children");
+        &self.nodes[id.index()].children
+    }
+
+    /// Returns (creating if necessary) the canonical node at `level` with
+    /// the given children (one per domain value).
+    ///
+    /// Applies the ROMDD reduction rule: if all children are identical the
+    /// node is redundant and the child is returned directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range, the child count does not match
+    /// the domain size, or a child tests a level that is not strictly
+    /// greater than `level`.
+    pub fn mk(&mut self, level: usize, children: Vec<MddId>) -> MddId {
+        assert!(level < self.domains.len(), "level {level} out of range");
+        assert_eq!(
+            children.len(),
+            self.domains[level],
+            "child count must equal the domain size of level {level}"
+        );
+        debug_assert!(
+            children.iter().all(|c| self.raw_level(*c) > level as u32),
+            "children must test strictly lower levels"
+        );
+        if children.iter().all(|&c| c == children[0]) {
+            return children[0];
+        }
+        let key = (level as u32, children.clone().into_boxed_slice());
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = MddId(self.nodes.len() as u32);
+        self.nodes.push(Node { level: level as u32, children: key.1.clone() });
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// Indicator of `x_level == value` (the paper's "filter gate" `= i`).
+    pub fn value_is(&mut self, level: usize, value: usize) -> MddId {
+        let d = self.domains[level];
+        assert!(value < d, "value {value} outside domain of level {level}");
+        let children =
+            (0..d).map(|v| if v == value { MddId::ONE } else { MddId::ZERO }).collect();
+        self.mk(level, children)
+    }
+
+    /// Indicator of `x_level >= value` (the paper's "filter gate" `≥ l`).
+    pub fn value_at_least(&mut self, level: usize, value: usize) -> MddId {
+        let d = self.domains[level];
+        let children =
+            (0..d).map(|v| if v >= value { MddId::ONE } else { MddId::ZERO }).collect();
+        self.mk(level, children)
+    }
+
+    /// Indicator of an arbitrary predicate on the value of `x_level`.
+    pub fn value_pred<P: FnMut(usize) -> bool>(&mut self, level: usize, mut pred: P) -> MddId {
+        let d = self.domains[level];
+        let children =
+            (0..d).map(|v| if pred(v) { MddId::ONE } else { MddId::ZERO }).collect();
+        self.mk(level, children)
+    }
+
+    /// Evaluates the boolean function rooted at `f` under the assignment
+    /// `assignment[level] = value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than a level tested on the
+    /// followed path or contains an out-of-domain value at such a level.
+    pub fn eval(&self, f: MddId, assignment: &[usize]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let level = self.level(cur).expect("non-terminal");
+            cur = self.child(cur, assignment[level]);
+        }
+        cur.is_one()
+    }
+
+    /// Number of nodes reachable from `f`, including terminals.
+    pub fn node_count(&self, f: MddId) -> usize {
+        self.reachable(f).len()
+    }
+
+    /// Number of non-terminal nodes reachable from `f`.
+    pub fn inner_node_count(&self, f: MddId) -> usize {
+        self.reachable(f).iter().filter(|id| !id.is_terminal()).count()
+    }
+
+    /// All nodes reachable from `f` (each exactly once), root first.
+    pub fn reachable(&self, f: MddId) -> Vec<MddId> {
+        let mut seen: FxHashMap<MddId, ()> = FxHashMap::default();
+        let mut order = Vec::new();
+        let mut stack = vec![f];
+        while let Some(id) = stack.pop() {
+            if seen.insert(id, ()).is_some() {
+                continue;
+            }
+            order.push(id);
+            if !id.is_terminal() {
+                for &c in self.children(id).iter() {
+                    stack.push(c);
+                }
+            }
+        }
+        order
+    }
+
+    /// Total number of nodes ever created (the manager never collects
+    /// garbage, so this is also the peak).
+    pub fn peak_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The set of levels appearing in `f`, in increasing order.
+    pub fn support(&self, f: MddId) -> Vec<usize> {
+        let mut levels: Vec<usize> =
+            self.reachable(f).iter().filter_map(|&id| self.level(id)).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_domains() {
+        let mgr = MddManager::new(vec![2, 3, 4]);
+        assert_eq!(mgr.num_levels(), 3);
+        assert_eq!(mgr.domain(1), 3);
+        assert_eq!(mgr.domains(), &[2, 3, 4]);
+        assert!(mgr.one().is_one());
+        assert!(mgr.zero().is_zero());
+        assert_eq!(mgr.constant(true), mgr.one());
+        assert_eq!(mgr.level(mgr.one()), None);
+        assert_eq!(mgr.peak_nodes(), 2);
+        assert_eq!(format!("{}", MddId(7)), "m7");
+        assert_eq!(format!("{}", MddId::ONE), "TRUE");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_domain_rejected() {
+        let _ = MddManager::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn mk_reduces_redundant_nodes() {
+        let mut mgr = MddManager::new(vec![3]);
+        let r = mgr.mk(0, vec![MddId::ONE, MddId::ONE, MddId::ONE]);
+        assert_eq!(r, MddId::ONE);
+        let n = mgr.mk(0, vec![MddId::ZERO, MddId::ONE, MddId::ONE]);
+        assert!(!n.is_terminal());
+        let again = mgr.mk(0, vec![MddId::ZERO, MddId::ONE, MddId::ONE]);
+        assert_eq!(n, again, "hash consing must return the same node");
+        assert_eq!(mgr.children(n), &[MddId::ZERO, MddId::ONE, MddId::ONE]);
+        assert_eq!(mgr.child(n, 2), MddId::ONE);
+        assert_eq!(mgr.level(n), Some(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mk_checks_child_count() {
+        let mut mgr = MddManager::new(vec![3]);
+        let _ = mgr.mk(0, vec![MddId::ZERO, MddId::ONE]);
+    }
+
+    #[test]
+    fn indicators() {
+        let mut mgr = MddManager::new(vec![4]);
+        let is2 = mgr.value_is(0, 2);
+        for v in 0..4 {
+            assert_eq!(mgr.eval(is2, &[v]), v == 2);
+        }
+        let ge1 = mgr.value_at_least(0, 1);
+        for v in 0..4 {
+            assert_eq!(mgr.eval(ge1, &[v]), v >= 1);
+        }
+        let even = mgr.value_pred(0, |v| v % 2 == 0);
+        for v in 0..4 {
+            assert_eq!(mgr.eval(even, &[v]), v % 2 == 0);
+        }
+        let ge0 = mgr.value_at_least(0, 0);
+        assert_eq!(ge0, mgr.one(), "x >= 0 is a tautology and must reduce to TRUE");
+    }
+
+    #[test]
+    fn counting_and_support() {
+        let mut mgr = MddManager::new(vec![2, 3]);
+        let a = mgr.value_is(1, 2);
+        let n = mgr.mk(0, vec![MddId::ZERO, a]);
+        assert_eq!(mgr.inner_node_count(n), 2);
+        assert_eq!(mgr.node_count(n), 4);
+        assert_eq!(mgr.support(n), vec![0, 1]);
+        assert_eq!(mgr.support(mgr.one()), Vec::<usize>::new());
+        assert_eq!(mgr.inner_node_count(mgr.zero()), 0);
+    }
+
+    #[test]
+    fn eval_skips_untested_levels() {
+        let mut mgr = MddManager::new(vec![5, 2]);
+        // Function depends only on level 1.
+        let f = mgr.value_is(1, 1);
+        assert!(mgr.eval(f, &[4, 1]));
+        assert!(!mgr.eval(f, &[0, 0]));
+    }
+}

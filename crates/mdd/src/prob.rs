@@ -1,0 +1,179 @@
+//! Probability evaluation on ROMDDs.
+//!
+//! This is the computation at the heart of the yield method: given the
+//! ROMDD of `G(W, V_1, …, V_M)` and the (independent) distributions of the
+//! multiple-valued random variables, a single depth-first traversal
+//! computes `P(G = 1)` — exactly the procedure illustrated with the
+//! paper's Figure 2 example.
+
+use socy_bdd::hash::FxHashMap;
+
+use crate::manager::{MddId, MddManager};
+
+impl MddManager {
+    /// Probability that the boolean function rooted at `f` evaluates to 1
+    /// when the variable at every level `l` independently takes value `v`
+    /// with probability `probabilities[l][v]`.
+    ///
+    /// Every `probabilities[l]` must have exactly `domain(l)` entries and
+    /// (for a meaningful result) sum to 1; levels skipped by the diagram
+    /// then contribute a factor of 1 automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probabilities` is shorter than a level appearing in `f`
+    /// or an entry has the wrong arity.
+    pub fn probability(&self, f: MddId, probabilities: &[Vec<f64>]) -> f64 {
+        let mut cache: FxHashMap<MddId, f64> = FxHashMap::default();
+        self.probability_memo(f, probabilities, &mut cache)
+    }
+
+    fn probability_memo(
+        &self,
+        f: MddId,
+        probabilities: &[Vec<f64>],
+        cache: &mut FxHashMap<MddId, f64>,
+    ) -> f64 {
+        if f.is_one() {
+            return 1.0;
+        }
+        if f.is_zero() {
+            return 0.0;
+        }
+        if let Some(&p) = cache.get(&f) {
+            return p;
+        }
+        let level = self.level(f).expect("non-terminal");
+        let dist = &probabilities[level];
+        assert_eq!(
+            dist.len(),
+            self.domain(level),
+            "probability vector arity mismatch at level {level}"
+        );
+        let mut p = 0.0;
+        for (value, &pv) in dist.iter().enumerate() {
+            if pv == 0.0 {
+                continue;
+            }
+            p += pv * self.probability_memo(self.child(f, value), probabilities, cache);
+        }
+        cache.insert(f, p);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_of_indicators() {
+        let mut mgr = MddManager::new(vec![3]);
+        let dist = vec![vec![0.2, 0.3, 0.5]];
+        let is1 = mgr.value_is(0, 1);
+        assert!((mgr.probability(is1, &dist) - 0.3).abs() < 1e-12);
+        let ge1 = mgr.value_at_least(0, 1);
+        assert!((mgr.probability(ge1, &dist) - 0.8).abs() < 1e-12);
+        assert_eq!(mgr.probability(mgr.one(), &dist), 1.0);
+        assert_eq!(mgr.probability(mgr.zero(), &dist), 0.0);
+    }
+
+    #[test]
+    fn probability_of_composite_function() {
+        // Two variables; f = (x0 >= 1) AND (x1 == 2), independent.
+        let mut mgr = MddManager::new(vec![2, 3]);
+        let a = mgr.value_at_least(0, 1);
+        let b = mgr.value_is(1, 2);
+        let f = mgr.and(a, b);
+        let dist = vec![vec![0.4, 0.6], vec![0.1, 0.2, 0.7]];
+        assert!((mgr.probability(f, &dist) - 0.6 * 0.7).abs() < 1e-12);
+        let g = mgr.or(a, b);
+        // P(a or b) = 1 - P(!a)P(!b) by independence.
+        assert!((mgr.probability(g, &dist) - (1.0 - 0.4 * 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_matches_enumeration() {
+        let mut mgr = MddManager::new(vec![3, 2, 4]);
+        let a = mgr.value_is(0, 2);
+        let b = mgr.value_is(1, 1);
+        let c = mgr.value_at_least(2, 3);
+        let ab = mgr.and(a, b);
+        let f = mgr.or(ab, c);
+        let dist = vec![
+            vec![0.5, 0.25, 0.25],
+            vec![0.9, 0.1],
+            vec![0.4, 0.3, 0.2, 0.1],
+        ];
+        // Brute-force enumeration.
+        let mut expect = 0.0;
+        for x0 in 0..3 {
+            for x1 in 0..2 {
+                for x2 in 0..4 {
+                    if mgr.eval(f, &[x0, x1, x2]) {
+                        expect += dist[0][x0] * dist[1][x1] * dist[2][x2];
+                    }
+                }
+            }
+        }
+        assert!((mgr.probability(f, &dist) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_figure_2_structure() {
+        // The paper's Figure 2: F(x1,x2,x3) = x1·x2 + x3 with M = 2 defects and
+        // C = 3 components. Variables of G in the order v1, v2, w with domains
+        // {1,2,3} (coded 0..2) for v's and {0,1,2,3} for w.
+        //
+        // Here we build G directly with MDD operations and check the probability
+        // against a hand enumeration; the end-to-end pipeline test in the core
+        // crate reproduces the same number through the coded-ROBDD route.
+        let m = 2usize;
+        let domains = vec![3, 3, m + 2]; // v1, v2, w
+        let mut mgr = MddManager::new(domains);
+        let w_level = 2;
+        // x_i = OR_l ( I_{>= l}(w) AND I_i(v_l) )
+        let mut x = Vec::new();
+        for comp in 0..3usize {
+            let mut terms = Vec::new();
+            for l in 1..=m {
+                let ge = mgr.value_at_least(w_level, l);
+                let hit = mgr.value_is(l - 1, comp);
+                terms.push(mgr.and(ge, hit));
+            }
+            x.push(mgr.or_many(terms));
+        }
+        // F = x1 x2 + x3, G = I_{M+1}(w) OR F(...)
+        let x12 = mgr.and(x[0], x[1]);
+        let f_sub = mgr.or(x12, x[2]);
+        let clamp = mgr.value_is(w_level, m + 1);
+        let g = mgr.or(clamp, f_sub);
+
+        let q = vec![0.5, 0.3, 0.15, 0.05]; // Q'_0, Q'_1, Q'_2, P(W = M+1)
+        let p = vec![0.2, 0.3, 0.5]; // P'_1..P'_3
+        let dist = vec![p.clone(), p.clone(), q.clone()];
+        let p_g = mgr.probability(g, &dist);
+
+        // Hand enumeration of 1 - Y_M = P(G = 1).
+        let mut expect = q[3]; // W = M+1 always makes G = 1
+        for w in 0..=m {
+            // enumerate v1, v2 (only the first w defects matter)
+            for v1 in 0..3 {
+                for v2 in 0..3 {
+                    let mut failed = [false; 3];
+                    if w >= 1 {
+                        failed[v1] = true;
+                    }
+                    if w >= 2 {
+                        failed[v2] = true;
+                    }
+                    let f_val = (failed[0] && failed[1]) || failed[2];
+                    if f_val {
+                        expect += q[w] * p[v1] * p[v2];
+                    }
+                }
+            }
+        }
+        assert!((p_g - expect).abs() < 1e-12, "got {p_g}, expected {expect}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Binary-variable ordering heuristics over gate-level netlists.
+//!
+//! All three heuristics derive an input-variable order from a depth-first,
+//! left-most traversal of the gate DAG; they differ in how the fan-in of
+//! each gate is (re)ordered before being descended into:
+//!
+//! * **topology** — fan-ins are visited in their original order;
+//! * **weight** — fan-ins are statically sorted by increasing *weight*,
+//!   where inputs weigh 1 and a gate weighs the sum of its fan-in weights;
+//! * **H4** — fan-ins are sorted *dynamically* when the gate is first
+//!   visited, by (1) the number of not-yet-visited inputs in their
+//!   dependency cone and then (2) the sum of the already-assigned indices
+//!   of visited inputs in their cone.
+//!
+//! Ties always preserve the original fan-in order, as the paper specifies.
+
+use socy_faulttree::{Netlist, NodeId, VarId};
+
+/// The binary-variable ordering heuristics evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitHeuristic {
+    /// Depth-first left-most traversal with original fan-in order.
+    Topology,
+    /// Fan-ins statically reordered by increasing weight (Minato et al.).
+    Weight,
+    /// Fan-ins dynamically reordered by visited-input criteria (Bouissou et al.).
+    H4,
+}
+
+impl BitHeuristic {
+    /// Short mnemonic used in tables (`t`, `w`, `h`).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BitHeuristic::Topology => "t",
+            BitHeuristic::Weight => "w",
+            BitHeuristic::H4 => "h",
+        }
+    }
+}
+
+/// Computes the input-variable order produced by `heuristic` on the
+/// designated output cone of `netlist`.
+///
+/// Input variables that do not appear in the output cone are appended at
+/// the end in their declaration order, so the result is always a
+/// permutation of all input variables.
+///
+/// # Panics
+///
+/// Panics if the netlist has no designated output.
+pub fn heuristic_input_order(netlist: &Netlist, heuristic: BitHeuristic) -> Vec<VarId> {
+    let output = netlist.output().expect("netlist must have a designated output");
+    let mut order = match heuristic {
+        BitHeuristic::Topology => netlist.dfs_input_order(output),
+        BitHeuristic::Weight => {
+            let weights = netlist.weights();
+            netlist.dfs_input_order_with(output, |_, fanin| {
+                let mut indexed: Vec<(usize, NodeId)> = fanin.iter().copied().enumerate().collect();
+                indexed.sort_by_key(|&(pos, id)| (weights[id.index()], pos));
+                indexed.into_iter().map(|(_, id)| id).collect()
+            })
+        }
+        BitHeuristic::H4 => h4_order(netlist, output),
+    };
+    // Append inputs outside the output cone, keeping declaration order.
+    let mut present = vec![false; netlist.num_inputs()];
+    for v in &order {
+        present[v.index()] = true;
+    }
+    for i in 0..netlist.num_inputs() {
+        if !present[i] {
+            order.push(VarId::new(i));
+        }
+    }
+    order
+}
+
+/// Dependency-cone input sets per node, as bitsets over input variables.
+fn supports(netlist: &Netlist) -> Vec<Vec<u64>> {
+    let words = netlist.num_inputs().div_ceil(64);
+    let mut sets: Vec<Vec<u64>> = vec![vec![0u64; words]; netlist.len()];
+    for (id, gate) in netlist.iter() {
+        if let Some(var) = netlist.var_of(id) {
+            sets[id.index()][var.index() / 64] |= 1u64 << (var.index() % 64);
+            continue;
+        }
+        // Arena order is topological, so fan-ins are already computed. To appease the
+        // borrow checker the fan-in sets are OR-ed via split indexing.
+        for f in &gate.fanin {
+            let (lo, hi) = sets.split_at_mut(id.index());
+            debug_assert!(f.index() < id.index());
+            for (w, word) in lo[f.index()].iter().enumerate() {
+                hi[0][w] |= word;
+            }
+        }
+    }
+    sets
+}
+
+/// The H4 traversal: depth-first left-most with dynamic fan-in sorting.
+fn h4_order(netlist: &Netlist, output: NodeId) -> Vec<VarId> {
+    let supports = supports(netlist);
+    let num_inputs = netlist.num_inputs();
+    let mut visited_node = vec![false; netlist.len()];
+    // Index assigned to each visited input (usize::MAX = not yet visited).
+    let mut input_index = vec![usize::MAX; num_inputs];
+    let mut order: Vec<VarId> = Vec::new();
+
+    // Recursive traversal implemented with an explicit stack of work items.
+    enum Frame {
+        Enter(NodeId),
+        Children { children: Vec<NodeId>, next: usize },
+    }
+    let mut stack = vec![Frame::Enter(output)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(id) => {
+                if visited_node[id.index()] {
+                    continue;
+                }
+                visited_node[id.index()] = true;
+                if let Some(var) = netlist.var_of(id) {
+                    input_index[var.index()] = order.len();
+                    order.push(var);
+                    continue;
+                }
+                let gate = netlist.gate(id);
+                if !gate.kind.has_fanin() {
+                    continue;
+                }
+                // Sort the fan-in by (non-visited inputs in cone, sum of visited indices, original position).
+                let mut keyed: Vec<(usize, u64, usize, NodeId)> = gate
+                    .fanin
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(pos, child)| {
+                        let set = &supports[child.index()];
+                        let mut non_visited = 0usize;
+                        let mut index_sum = 0u64;
+                        for input in iter_bits(set) {
+                            if input_index[input] == usize::MAX {
+                                non_visited += 1;
+                            } else {
+                                index_sum += input_index[input] as u64;
+                            }
+                        }
+                        (non_visited, index_sum, pos, child)
+                    })
+                    .collect();
+                keyed.sort_by_key(|&(non_visited, index_sum, pos, _)| (non_visited, index_sum, pos));
+                let children: Vec<NodeId> = keyed.into_iter().map(|(_, _, _, id)| id).collect();
+                stack.push(Frame::Children { children, next: 0 });
+            }
+            Frame::Children { children, next } => {
+                if next < children.len() {
+                    let child = children[next];
+                    stack.push(Frame::Children { children, next: next + 1 });
+                    stack.push(Frame::Enter(child));
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Iterates over the set bit positions of a bitset.
+fn iter_bits(set: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    set.iter().enumerate().flat_map(|(w, &word)| {
+        (0..64).filter_map(move |b| if word & (1u64 << b) != 0 { Some(w * 64 + b) } else { None })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(netlist: &Netlist, order: &[VarId]) -> Vec<String> {
+        order.iter().map(|v| netlist.var_name(*v).to_string()).collect()
+    }
+
+    /// F = or(and(a, b, c), and(d, e))  — the weight heuristic should visit the
+    /// lighter AND (d, e) first even though it is declared second.
+    fn weighted_example() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let d = nl.input("d");
+        let e = nl.input("e");
+        let heavy = nl.and([a, b, c]);
+        let light = nl.and([d, e]);
+        let f = nl.or([heavy, light]);
+        nl.set_output(f);
+        nl
+    }
+
+    #[test]
+    fn topology_keeps_declaration_order() {
+        let nl = weighted_example();
+        let order = heuristic_input_order(&nl, BitHeuristic::Topology);
+        assert_eq!(names(&nl, &order), vec!["a", "b", "c", "d", "e"]);
+        assert_eq!(BitHeuristic::Topology.mnemonic(), "t");
+    }
+
+    #[test]
+    fn weight_visits_light_cone_first() {
+        let nl = weighted_example();
+        let order = heuristic_input_order(&nl, BitHeuristic::Weight);
+        assert_eq!(names(&nl, &order), vec!["d", "e", "a", "b", "c"]);
+        assert_eq!(BitHeuristic::Weight.mnemonic(), "w");
+    }
+
+    #[test]
+    fn weight_is_stable_on_ties() {
+        // Two AND gates of equal weight keep their original order.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let d = nl.input("d");
+        let g1 = nl.and([a, b]);
+        let g2 = nl.and([c, d]);
+        let f = nl.or([g1, g2]);
+        nl.set_output(f);
+        let order = heuristic_input_order(&nl, BitHeuristic::Weight);
+        assert_eq!(names(&nl, &order), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn h4_prefers_cones_with_fewer_unvisited_inputs() {
+        // F = or(and(a, b), Q) with Q = or(and(d, e), and(b, c)).
+        // When Q is first visited, a and b are already visited, so the cone
+        // {b, c} (one unvisited input) must be descended before {d, e} (two).
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let d = nl.input("d");
+        let e = nl.input("e");
+        let c = nl.input("c");
+        let g1 = nl.and([a, b]);
+        let g2 = nl.and([d, e]);
+        let g3 = nl.and([b, c]);
+        let q = nl.or([g2, g3]);
+        let f = nl.or([g1, q]);
+        nl.set_output(f);
+        let h = heuristic_input_order(&nl, BitHeuristic::H4);
+        assert_eq!(names(&nl, &h), vec!["a", "b", "c", "d", "e"]);
+        // Topology descends Q's fan-in in declaration order and visits d, e before c.
+        let t = heuristic_input_order(&nl, BitHeuristic::Topology);
+        assert_eq!(names(&nl, &t), vec!["a", "b", "d", "e", "c"]);
+        assert_eq!(BitHeuristic::H4.mnemonic(), "h");
+    }
+
+    #[test]
+    fn h4_breaks_ties_by_index_sum() {
+        // F = or(and(a, b), Q) with Q = or(and(b, x), and(a, y)).
+        // When Q is first visited, a has index 0 and b index 1; both of Q's
+        // fan-ins have one unvisited input, so the sum-of-visited-indices
+        // criterion prefers the cone containing a (sum 0) over b (sum 1).
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.input("x");
+        let y = nl.input("y");
+        let g1 = nl.and([a, b]);
+        let g2 = nl.and([b, x]);
+        let g3 = nl.and([a, y]);
+        let q = nl.or([g2, g3]);
+        let f = nl.or([g1, q]);
+        nl.set_output(f);
+        let h = heuristic_input_order(&nl, BitHeuristic::H4);
+        assert_eq!(names(&nl, &h), vec!["a", "b", "y", "x"]);
+        // Without the dynamic criterion the x-cone would be visited first.
+        let t = heuristic_input_order(&nl, BitHeuristic::Topology);
+        assert_eq!(names(&nl, &t), vec!["a", "b", "x", "y"]);
+    }
+
+    #[test]
+    fn unused_inputs_are_appended() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let unused = nl.input("unused");
+        let b = nl.input("b");
+        let f = nl.or([a, b]);
+        nl.set_output(f);
+        for h in [BitHeuristic::Topology, BitHeuristic::Weight, BitHeuristic::H4] {
+            let order = heuristic_input_order(&nl, h);
+            assert_eq!(order.len(), 3, "{h:?}");
+            assert_eq!(*order.last().unwrap(), nl.var_of(unused).unwrap(), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn all_heuristics_return_permutations() {
+        let nl = weighted_example();
+        for h in [BitHeuristic::Topology, BitHeuristic::Weight, BitHeuristic::H4] {
+            let mut order = heuristic_input_order(&nl, h);
+            order.sort();
+            let expect: Vec<VarId> = (0..nl.num_inputs()).map(VarId::new).collect();
+            assert_eq!(order, expect, "{h:?}");
+        }
+    }
+}

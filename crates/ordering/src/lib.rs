@@ -1,0 +1,31 @@
+//! Variable-ordering heuristics for the coded ROBDD / ROMDD of the
+//! generalized fault tree.
+//!
+//! Decision-diagram sizes depend critically on the variable order. The
+//! DSN'03 paper evaluates:
+//!
+//! * three **binary-variable heuristics** applied to the gate-level
+//!   description of `G(w, v_1, …, v_M)` in binary logic —
+//!   *topology* (depth-first left-most input order, Nikolskaia et al.),
+//!   *weight* (Minato et al.) and *H4* (Bouissou et al.) — see
+//!   [`BitHeuristic`] and [`heuristic_input_order`];
+//! * seven **multiple-valued variable orderings** `wv`, `wvr`, `vw`,
+//!   `vrw`, `t`, `w`, `h` (Table 2) — see [`MvOrdering`];
+//! * five **bit-group orderings** within the group of binary variables
+//!   encoding each multiple-valued variable: `ml`, `lm`, `t`, `w`, `h`
+//!   (Table 3) — see [`GroupOrdering`].
+//!
+//! [`compute_ordering`] combines a multiple-valued ordering and a group
+//! ordering (an [`OrderingSpec`]) into the final assignment of ROBDD
+//! levels to binary variables, the object the BDD builder consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heuristic;
+pub mod mv;
+pub mod spec;
+
+pub use heuristic::{heuristic_input_order, BitHeuristic};
+pub use mv::{compute_ordering, ComputedOrdering, MvGroups};
+pub use spec::{GroupOrdering, MvOrdering, OrderingError, OrderingSpec};

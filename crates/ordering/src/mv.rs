@@ -1,0 +1,315 @@
+//! Combining a multiple-valued ordering with a bit-group ordering into the
+//! concrete assignment of ROBDD levels to binary variables.
+
+use socy_faulttree::{Netlist, VarId};
+
+use crate::heuristic::{heuristic_input_order, BitHeuristic};
+use crate::spec::{GroupOrdering, MvOrdering, OrderingError, OrderingSpec};
+
+/// The binary variables encoding each multiple-valued variable of
+/// `G(w, v_1, …, v_M)`.
+///
+/// Bits are listed most-significant-first inside every group; multiple-
+/// valued variable index 0 is `w` and index `l` (1-based) is `v_l`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvGroups {
+    /// Bits encoding `w`, most significant first.
+    pub w: Vec<VarId>,
+    /// Bits encoding `v_1, …, v_M`, each most significant first.
+    pub v: Vec<Vec<VarId>>,
+}
+
+impl MvGroups {
+    /// Number of multiple-valued variables (`M + 1`).
+    pub fn num_vars(&self) -> usize {
+        1 + self.v.len()
+    }
+
+    /// The bit group of multiple-valued variable `index`
+    /// (0 = `w`, `l` = `v_l`).
+    pub fn group(&self, index: usize) -> &[VarId] {
+        if index == 0 {
+            &self.w
+        } else {
+            &self.v[index - 1]
+        }
+    }
+
+    /// Total number of binary variables covered by the groups.
+    pub fn num_bits(&self) -> usize {
+        self.w.len() + self.v.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// The result of applying an [`OrderingSpec`]: the order of the
+/// multiple-valued variables plus the ROBDD level of every binary variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputedOrdering {
+    /// Multiple-valued variable indices (0 = `w`, `l` = `v_l`) in diagram
+    /// order: `mv_order[0]` is tested first.
+    pub mv_order: Vec<usize>,
+    /// `var_level[b]` is the ROBDD level assigned to binary variable `b`
+    /// (indexed by [`VarId`]).
+    pub var_level: Vec<usize>,
+}
+
+impl ComputedOrdering {
+    /// Inverse of `var_level`: the binary variable placed at each level.
+    pub fn level_var(&self) -> Vec<VarId> {
+        let mut inv = vec![VarId::new(0); self.var_level.len()];
+        for (var, &level) in self.var_level.iter().enumerate() {
+            inv[level] = VarId::new(var);
+        }
+        inv
+    }
+}
+
+/// Computes the multiple-valued variable order and binary-variable level
+/// assignment for the binary-logic netlist of `G` under `spec`.
+///
+/// `netlist` is the gate-level description of `G` in binary logic (its
+/// primary inputs are exactly the bits listed in `groups`).
+///
+/// # Errors
+///
+/// Returns [`OrderingError::IncompatibleCombination`] for spec combinations
+/// the paper disallows and [`OrderingError::GroupsDoNotPartitionInputs`]
+/// when `groups` does not cover every netlist input exactly once.
+pub fn compute_ordering(
+    netlist: &Netlist,
+    groups: &MvGroups,
+    spec: &OrderingSpec,
+) -> Result<ComputedOrdering, OrderingError> {
+    if !spec.is_allowed() {
+        return Err(OrderingError::IncompatibleCombination { mv: spec.mv, group: spec.group });
+    }
+    let num_inputs = netlist.num_inputs();
+    // Validate that the groups partition the inputs.
+    let mut seen = vec![false; num_inputs];
+    let mut covered = 0usize;
+    for index in 0..groups.num_vars() {
+        for var in groups.group(index) {
+            if var.index() >= num_inputs || seen[var.index()] {
+                return Err(OrderingError::GroupsDoNotPartitionInputs {
+                    covered: groups.num_bits(),
+                    inputs: num_inputs,
+                });
+            }
+            seen[var.index()] = true;
+            covered += 1;
+        }
+    }
+    if covered != num_inputs {
+        return Err(OrderingError::GroupsDoNotPartitionInputs { covered, inputs: num_inputs });
+    }
+
+    // Heuristic positions of the binary variables, when any part of the spec needs them.
+    let heuristic = spec.mv.heuristic().or_else(|| spec.group.heuristic());
+    let positions: Option<Vec<usize>> = heuristic.map(|h| bit_positions(netlist, h));
+
+    let m = groups.v.len();
+    let mv_order: Vec<usize> = match spec.mv {
+        MvOrdering::Wv => std::iter::once(0).chain(1..=m).collect(),
+        MvOrdering::Wvr => std::iter::once(0).chain((1..=m).rev()).collect(),
+        MvOrdering::Vw => (1..=m).chain(std::iter::once(0)).collect(),
+        MvOrdering::Vrw => (1..=m).rev().chain(std::iter::once(0)).collect(),
+        MvOrdering::Topology | MvOrdering::Weight | MvOrdering::H4 => {
+            let positions = positions.as_ref().expect("heuristic positions were computed");
+            let mut keyed: Vec<(f64, usize)> = (0..groups.num_vars())
+                .map(|index| {
+                    let group = groups.group(index);
+                    let avg = group
+                        .iter()
+                        .map(|v| positions[v.index()] as f64)
+                        .sum::<f64>()
+                        / group.len() as f64;
+                    (avg, index)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("averages are finite").then(a.1.cmp(&b.1)));
+            keyed.into_iter().map(|(_, index)| index).collect()
+        }
+    };
+
+    // Assign levels group by group following the multiple-valued order.
+    let mut var_level = vec![usize::MAX; num_inputs];
+    let mut next_level = 0usize;
+    for &mv in &mv_order {
+        let group = groups.group(mv);
+        let ordered: Vec<VarId> = match spec.group {
+            GroupOrdering::MsbFirst => group.to_vec(),
+            GroupOrdering::LsbFirst => group.iter().rev().copied().collect(),
+            GroupOrdering::Topology | GroupOrdering::Weight | GroupOrdering::H4 => {
+                let positions = positions.as_ref().expect("heuristic positions were computed");
+                let mut sorted = group.to_vec();
+                sorted.sort_by_key(|v| positions[v.index()]);
+                sorted
+            }
+        };
+        for var in ordered {
+            var_level[var.index()] = next_level;
+            next_level += 1;
+        }
+    }
+    debug_assert!(var_level.iter().all(|&l| l != usize::MAX));
+    Ok(ComputedOrdering { mv_order, var_level })
+}
+
+/// Position of every binary variable in the order produced by `heuristic`.
+fn bit_positions(netlist: &Netlist, heuristic: BitHeuristic) -> Vec<usize> {
+    let order = heuristic_input_order(netlist, heuristic);
+    let mut positions = vec![0usize; netlist.num_inputs()];
+    for (pos, var) in order.iter().enumerate() {
+        positions[var.index()] = pos;
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy "G" netlist: w is encoded on bits (w1, w0), v_1 and v_2 on one bit
+    /// each; the function is or(and(w1, v1), and(w0, v2)).
+    fn toy() -> (Netlist, MvGroups) {
+        let mut nl = Netlist::new();
+        let w1 = nl.input("w1");
+        let w0 = nl.input("w0");
+        let v1 = nl.input("v1");
+        let v2 = nl.input("v2");
+        let a = nl.and([w1, v1]);
+        let b = nl.and([w0, v2]);
+        let f = nl.or([a, b]);
+        nl.set_output(f);
+        let groups = MvGroups {
+            w: vec![nl.var_of(w1).unwrap(), nl.var_of(w0).unwrap()],
+            v: vec![vec![nl.var_of(v1).unwrap()], vec![nl.var_of(v2).unwrap()]],
+        };
+        (nl, groups)
+    }
+
+    #[test]
+    fn group_accessors() {
+        let (_, groups) = toy();
+        assert_eq!(groups.num_vars(), 3);
+        assert_eq!(groups.num_bits(), 4);
+        assert_eq!(groups.group(0).len(), 2);
+        assert_eq!(groups.group(2).len(), 1);
+    }
+
+    #[test]
+    fn static_mv_orderings() {
+        let (nl, groups) = toy();
+        let check = |mv: MvOrdering, expect: Vec<usize>| {
+            let spec = OrderingSpec::new(mv, GroupOrdering::MsbFirst).unwrap();
+            let computed = compute_ordering(&nl, &groups, &spec).unwrap();
+            assert_eq!(computed.mv_order, expect, "{mv:?}");
+        };
+        check(MvOrdering::Wv, vec![0, 1, 2]);
+        check(MvOrdering::Wvr, vec![0, 2, 1]);
+        check(MvOrdering::Vw, vec![1, 2, 0]);
+        check(MvOrdering::Vrw, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn level_assignment_msb_and_lsb() {
+        let (nl, groups) = toy();
+        // wv + ml: levels are w1, w0, v1, v2 → var_level = [0, 1, 2, 3].
+        let spec = OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).unwrap();
+        let computed = compute_ordering(&nl, &groups, &spec).unwrap();
+        assert_eq!(computed.var_level, vec![0, 1, 2, 3]);
+        // wv + lm: the w group is reversed → w0 at level 0, w1 at level 1.
+        let spec = OrderingSpec::new(MvOrdering::Wv, GroupOrdering::LsbFirst).unwrap();
+        let computed = compute_ordering(&nl, &groups, &spec).unwrap();
+        assert_eq!(computed.var_level, vec![1, 0, 2, 3]);
+        // Inverse mapping is consistent.
+        let level_var = computed.level_var();
+        assert_eq!(level_var[0], VarId::new(1));
+        assert_eq!(level_var[1], VarId::new(0));
+    }
+
+    #[test]
+    fn heuristic_mv_ordering_uses_average_positions() {
+        let (nl, groups) = toy();
+        // Topology order of the inputs is w1, v1, w0, v2 (positions 0,2,1,3).
+        // Averages: w = (0 + 2)/2 = 1, v1 = 1? — careful: positions are w1:0, v1:1, w0:2, v2:3.
+        // So w average = 1.0, v1 = 1.0, v2 = 3.0; tie between w and v1 is broken by index (w first).
+        let spec = OrderingSpec::new(MvOrdering::Topology, GroupOrdering::MsbFirst).unwrap();
+        let computed = compute_ordering(&nl, &groups, &spec).unwrap();
+        assert_eq!(computed.mv_order, vec![0, 1, 2]);
+        // Group ordering `t` sorts the w bits by their topology positions (w1 before w0 here,
+        // same as ml for this netlist).
+        let spec = OrderingSpec::new(MvOrdering::Topology, GroupOrdering::Topology).unwrap();
+        let with_t = compute_ordering(&nl, &groups, &spec).unwrap();
+        assert_eq!(with_t.var_level, computed.var_level);
+    }
+
+    #[test]
+    fn heuristic_group_ordering_can_differ_from_msb() {
+        // Make a netlist where the LSB of w is encountered first so that the
+        // heuristic group order differs from ml.
+        let mut nl = Netlist::new();
+        let w1 = nl.input("w1");
+        let w0 = nl.input("w0");
+        let v1 = nl.input("v1");
+        let a = nl.and([w0, v1]); // w0 encountered before w1
+        let f = nl.or([a, w1]);
+        nl.set_output(f);
+        let groups = MvGroups {
+            w: vec![nl.var_of(w1).unwrap(), nl.var_of(w0).unwrap()],
+            v: vec![vec![nl.var_of(v1).unwrap()]],
+        };
+        let ml = compute_ordering(
+            &nl,
+            &groups,
+            &OrderingSpec::new(MvOrdering::Topology, GroupOrdering::MsbFirst).unwrap(),
+        )
+        .unwrap();
+        let t = compute_ordering(
+            &nl,
+            &groups,
+            &OrderingSpec::new(MvOrdering::Topology, GroupOrdering::Topology).unwrap(),
+        )
+        .unwrap();
+        assert_ne!(ml.var_level, t.var_level);
+        // Under `t` the w0 bit must precede the w1 bit.
+        assert!(t.var_level[w0.index()] < t.var_level[w1.index()]);
+        let _ = (w1, w0, v1);
+    }
+
+    #[test]
+    fn errors_for_bad_groups_and_specs() {
+        let (nl, groups) = toy();
+        // Incompatible spec.
+        let bad_spec = OrderingSpec { mv: MvOrdering::Wv, group: GroupOrdering::Weight };
+        assert!(matches!(
+            compute_ordering(&nl, &groups, &bad_spec),
+            Err(OrderingError::IncompatibleCombination { .. })
+        ));
+        // Groups missing a variable.
+        let missing = MvGroups { w: groups.w.clone(), v: vec![groups.v[0].clone()] };
+        let spec = OrderingSpec::paper_default();
+        assert!(matches!(
+            compute_ordering(&nl, &missing, &spec),
+            Err(OrderingError::GroupsDoNotPartitionInputs { .. })
+        ));
+        // Groups with a duplicated variable.
+        let dup = MvGroups { w: groups.w.clone(), v: vec![groups.w.clone(), groups.v[1].clone()] };
+        assert!(matches!(
+            compute_ordering(&nl, &dup, &spec),
+            Err(OrderingError::GroupsDoNotPartitionInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn levels_are_a_permutation() {
+        let (nl, groups) = toy();
+        for mv in MvOrdering::ALL {
+            let spec = OrderingSpec::new(mv, GroupOrdering::MsbFirst).unwrap();
+            let computed = compute_ordering(&nl, &groups, &spec).unwrap();
+            let mut levels = computed.var_level.clone();
+            levels.sort_unstable();
+            assert_eq!(levels, vec![0, 1, 2, 3], "{mv:?}");
+        }
+    }
+}

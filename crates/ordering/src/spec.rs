@@ -1,0 +1,284 @@
+//! Ordering specifications: the named multiple-valued variable orderings
+//! and bit-group orderings of the paper, plus validity rules for their
+//! combinations.
+
+use std::fmt;
+
+use crate::heuristic::BitHeuristic;
+
+/// Orderings of the multiple-valued variables `w, v_1, …, v_M`
+/// (Section 2 / Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MvOrdering {
+    /// `w, v_1, …, v_M`.
+    Wv,
+    /// `w, v_M, …, v_1`.
+    Wvr,
+    /// `v_1, …, v_M, w`.
+    Vw,
+    /// `v_M, …, v_1, w`.
+    Vrw,
+    /// Heuristic ordering derived from the *topology* heuristic on the
+    /// binary-logic gate description of `G`.
+    Topology,
+    /// Heuristic ordering derived from the *weight* heuristic.
+    Weight,
+    /// Heuristic ordering derived from the *H4* heuristic.
+    H4,
+}
+
+impl MvOrdering {
+    /// All seven orderings in the order used by Table 2.
+    pub const ALL: [MvOrdering; 7] = [
+        MvOrdering::Wv,
+        MvOrdering::Wvr,
+        MvOrdering::Vw,
+        MvOrdering::Vrw,
+        MvOrdering::Topology,
+        MvOrdering::Weight,
+        MvOrdering::H4,
+    ];
+
+    /// Mnemonic used by the paper's tables.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            MvOrdering::Wv => "wv",
+            MvOrdering::Wvr => "wvr",
+            MvOrdering::Vw => "vw",
+            MvOrdering::Vrw => "vrw",
+            MvOrdering::Topology => "t",
+            MvOrdering::Weight => "w",
+            MvOrdering::H4 => "h",
+        }
+    }
+
+    /// The binary-variable heuristic this ordering is based on, if any.
+    pub fn heuristic(&self) -> Option<BitHeuristic> {
+        match self {
+            MvOrdering::Topology => Some(BitHeuristic::Topology),
+            MvOrdering::Weight => Some(BitHeuristic::Weight),
+            MvOrdering::H4 => Some(BitHeuristic::H4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MvOrdering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// Orderings of the binary variables *within* the group encoding each
+/// multiple-valued variable (Table 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupOrdering {
+    /// Most-significant bit first (`ml`).
+    MsbFirst,
+    /// Least-significant bit first (`lm`).
+    LsbFirst,
+    /// Bits sorted by their index under the *topology* heuristic.
+    Topology,
+    /// Bits sorted by their index under the *weight* heuristic.
+    Weight,
+    /// Bits sorted by their index under the *H4* heuristic.
+    H4,
+}
+
+impl GroupOrdering {
+    /// All five group orderings.
+    pub const ALL: [GroupOrdering; 5] = [
+        GroupOrdering::MsbFirst,
+        GroupOrdering::LsbFirst,
+        GroupOrdering::Topology,
+        GroupOrdering::Weight,
+        GroupOrdering::H4,
+    ];
+
+    /// Mnemonic used by the paper's tables.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            GroupOrdering::MsbFirst => "ml",
+            GroupOrdering::LsbFirst => "lm",
+            GroupOrdering::Topology => "t",
+            GroupOrdering::Weight => "w",
+            GroupOrdering::H4 => "h",
+        }
+    }
+
+    /// The binary-variable heuristic this ordering is based on, if any.
+    pub fn heuristic(&self) -> Option<BitHeuristic> {
+        match self {
+            GroupOrdering::Topology => Some(BitHeuristic::Topology),
+            GroupOrdering::Weight => Some(BitHeuristic::Weight),
+            GroupOrdering::H4 => Some(BitHeuristic::H4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GroupOrdering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A complete ordering specification: how to order the multiple-valued
+/// variables and how to order the bits inside each encoding group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrderingSpec {
+    /// Ordering of the multiple-valued variables.
+    pub mv: MvOrdering,
+    /// Ordering of the bits within each group.
+    pub group: GroupOrdering,
+}
+
+impl OrderingSpec {
+    /// Creates a specification, enforcing the paper's combination rules:
+    /// `ml` and `lm` group orderings combine with any multiple-valued
+    /// ordering, while a heuristic group ordering is only allowed together
+    /// with the *same* heuristic multiple-valued ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrderingError::IncompatibleCombination`] for disallowed
+    /// pairs.
+    pub fn new(mv: MvOrdering, group: GroupOrdering) -> Result<Self, OrderingError> {
+        let spec = Self { mv, group };
+        if spec.is_allowed() {
+            Ok(spec)
+        } else {
+            Err(OrderingError::IncompatibleCombination { mv, group })
+        }
+    }
+
+    /// Whether this combination is one the paper permits.
+    pub fn is_allowed(&self) -> bool {
+        match self.group.heuristic() {
+            None => true,
+            Some(h) => self.mv.heuristic() == Some(h),
+        }
+    }
+
+    /// The default specification used by Table 4: weight heuristic for the
+    /// multiple-valued variables, most-significant-bit-first groups.
+    pub fn paper_default() -> Self {
+        Self { mv: MvOrdering::Weight, group: GroupOrdering::MsbFirst }
+    }
+
+    /// The seven specifications evaluated in Table 2 (all multiple-valued
+    /// orderings, each with `ml` bit groups).
+    pub fn table2_specs() -> Vec<Self> {
+        MvOrdering::ALL
+            .iter()
+            .map(|&mv| Self { mv, group: GroupOrdering::MsbFirst })
+            .collect()
+    }
+
+    /// The three specifications evaluated in Table 3 (`w` multiple-valued
+    /// ordering with `ml`, `lm` and `w` bit groups).
+    pub fn table3_specs() -> Vec<Self> {
+        vec![
+            Self { mv: MvOrdering::Weight, group: GroupOrdering::MsbFirst },
+            Self { mv: MvOrdering::Weight, group: GroupOrdering::LsbFirst },
+            Self { mv: MvOrdering::Weight, group: GroupOrdering::Weight },
+        ]
+    }
+
+    /// A short `mv/group` label such as `w/ml`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.mv.mnemonic(), self.group.mnemonic())
+    }
+}
+
+impl fmt::Display for OrderingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Errors produced when constructing or applying ordering specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderingError {
+    /// A heuristic group ordering was combined with an incompatible
+    /// multiple-valued ordering.
+    IncompatibleCombination {
+        /// The multiple-valued ordering.
+        mv: MvOrdering,
+        /// The group ordering.
+        group: GroupOrdering,
+    },
+    /// The variable groups handed to [`crate::compute_ordering`] do not
+    /// partition the netlist inputs.
+    GroupsDoNotPartitionInputs {
+        /// Number of binary variables covered by the groups.
+        covered: usize,
+        /// Number of primary inputs in the netlist.
+        inputs: usize,
+    },
+}
+
+impl fmt::Display for OrderingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderingError::IncompatibleCombination { mv, group } => write!(
+                f,
+                "group ordering `{group}` may only be combined with the matching \
+                 multiple-valued ordering, not `{mv}`"
+            ),
+            OrderingError::GroupsDoNotPartitionInputs { covered, inputs } => write!(
+                f,
+                "variable groups cover {covered} binary variables but the netlist has {inputs} inputs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OrderingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_match_paper() {
+        assert_eq!(MvOrdering::Wvr.mnemonic(), "wvr");
+        assert_eq!(MvOrdering::Weight.to_string(), "w");
+        assert_eq!(GroupOrdering::MsbFirst.to_string(), "ml");
+        assert_eq!(GroupOrdering::LsbFirst.mnemonic(), "lm");
+        assert_eq!(OrderingSpec::paper_default().label(), "w/ml");
+    }
+
+    #[test]
+    fn combination_rules() {
+        // ml / lm combine with everything.
+        for mv in MvOrdering::ALL {
+            assert!(OrderingSpec::new(mv, GroupOrdering::MsbFirst).is_ok());
+            assert!(OrderingSpec::new(mv, GroupOrdering::LsbFirst).is_ok());
+        }
+        // Heuristic groups only with the matching heuristic MV ordering.
+        assert!(OrderingSpec::new(MvOrdering::Weight, GroupOrdering::Weight).is_ok());
+        assert!(OrderingSpec::new(MvOrdering::Topology, GroupOrdering::Topology).is_ok());
+        assert!(OrderingSpec::new(MvOrdering::H4, GroupOrdering::H4).is_ok());
+        assert!(OrderingSpec::new(MvOrdering::Weight, GroupOrdering::H4).is_err());
+        assert!(OrderingSpec::new(MvOrdering::Wv, GroupOrdering::Weight).is_err());
+        let err = OrderingSpec::new(MvOrdering::Wv, GroupOrdering::Weight).unwrap_err();
+        assert!(format!("{err}").contains("may only be combined"));
+    }
+
+    #[test]
+    fn table_spec_lists() {
+        assert_eq!(OrderingSpec::table2_specs().len(), 7);
+        assert_eq!(OrderingSpec::table3_specs().len(), 3);
+        assert!(OrderingSpec::table2_specs().iter().all(|s| s.is_allowed()));
+        assert!(OrderingSpec::table3_specs().iter().all(|s| s.is_allowed()));
+    }
+
+    #[test]
+    fn heuristic_accessors() {
+        assert_eq!(MvOrdering::Weight.heuristic(), Some(BitHeuristic::Weight));
+        assert_eq!(MvOrdering::Wv.heuristic(), None);
+        assert_eq!(GroupOrdering::H4.heuristic(), Some(BitHeuristic::H4));
+        assert_eq!(GroupOrdering::LsbFirst.heuristic(), None);
+    }
+}

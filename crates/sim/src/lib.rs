@@ -1,0 +1,301 @@
+//! Monte-Carlo yield simulation.
+//!
+//! The paper motivates the combinatorial method by noting that simulation
+//! "tends to be expensive and does not provide strict error control". This
+//! crate implements that baseline so the claim can be examined: defects are
+//! sampled from the lethal-defect model and the fault tree is evaluated on
+//! the sampled failure pattern, yielding an estimate of `Y` together with
+//! its standard error and a confidence interval — statistical error bars
+//! rather than the method's guaranteed absolute bound.
+//!
+//! # Example
+//!
+//! ```
+//! use socy_faulttree::Netlist;
+//! use socy_defect::{ComponentProbabilities, NegativeBinomial};
+//! use socy_sim::{MonteCarloYield, SimulationOptions};
+//!
+//! let mut f = Netlist::new();
+//! let a = f.input("a");
+//! let b = f.input("b");
+//! let both = f.and([a, b]);
+//! f.set_output(both);
+//! let comps = ComponentProbabilities::new(vec![0.5, 0.5])?;
+//! let lethal = NegativeBinomial::new(1.0, 0.25)?;
+//! let sim = MonteCarloYield::new(&f, &comps, &lethal, SimulationOptions::default())?;
+//! let estimate = sim.run(20_000, 42);
+//! assert!(estimate.yield_estimate > 0.0 && estimate.yield_estimate < 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use socy_defect::{ComponentProbabilities, DefectDistribution, DefectError};
+use socy_faulttree::{Netlist, NetlistError};
+
+/// Options controlling the Monte-Carlo simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationOptions {
+    /// Probability mass beyond which the lethal-defect count distribution
+    /// is truncated when building the sampling table.
+    pub tail_tolerance: f64,
+    /// Hard cap on the number of lethal defects representable by the
+    /// sampling table.
+    pub max_defects: usize,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        Self { tail_tolerance: 1e-12, max_defects: 4096 }
+    }
+}
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldEstimate {
+    /// Fraction of sampled chips that were functioning.
+    pub yield_estimate: f64,
+    /// Standard error of the estimate (`sqrt(p(1-p)/n)`).
+    pub standard_error: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+impl YieldEstimate {
+    /// A symmetric normal-approximation confidence interval at `z` standard
+    /// errors (e.g. `z = 1.96` for ~95%), clamped to `[0, 1]`.
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.standard_error;
+        ((self.yield_estimate - half).max(0.0), (self.yield_estimate + half).min(1.0))
+    }
+}
+
+/// A prepared Monte-Carlo yield simulator for one system.
+#[derive(Debug, Clone)]
+pub struct MonteCarloYield {
+    fault_tree: Netlist,
+    /// Cumulative distribution of the lethal-defect count.
+    count_cdf: Vec<f64>,
+    /// Cumulative distribution of the component hit by a lethal defect.
+    component_cdf: Vec<f64>,
+}
+
+/// Errors produced when preparing a simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// The fault tree is malformed.
+    FaultTree(NetlistError),
+    /// The defect model is malformed.
+    Defect(DefectError),
+    /// Component count mismatch between fault tree and probability model.
+    ComponentCountMismatch {
+        /// Inputs of the fault tree.
+        fault_tree: usize,
+        /// Entries of the component model.
+        components: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::FaultTree(e) => write!(f, "fault tree error: {e}"),
+            SimError::Defect(e) => write!(f, "defect model error: {e}"),
+            SimError::ComponentCountMismatch { fault_tree, components } => write!(
+                f,
+                "fault tree has {fault_tree} components but the probability model has {components}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::FaultTree(e)
+    }
+}
+
+impl From<DefectError> for SimError {
+    fn from(e: DefectError) -> Self {
+        SimError::Defect(e)
+    }
+}
+
+impl MonteCarloYield {
+    /// Prepares a simulator for `fault_tree` under the lethal-defect model
+    /// `(lethal, components)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the fault tree has no output, the
+    /// component counts disagree, or the defect-count distribution cannot
+    /// be truncated within `options.max_defects`.
+    pub fn new(
+        fault_tree: &Netlist,
+        components: &ComponentProbabilities,
+        lethal: &dyn DefectDistribution,
+        options: SimulationOptions,
+    ) -> Result<Self, SimError> {
+        fault_tree.output()?;
+        if fault_tree.num_inputs() != components.len() {
+            return Err(SimError::ComponentCountMismatch {
+                fault_tree: fault_tree.num_inputs(),
+                components: components.len(),
+            });
+        }
+        let support = lethal.quantile_upper(options.tail_tolerance, options.max_defects)?;
+        let mut count_cdf = Vec::with_capacity(support + 1);
+        let mut acc = 0.0;
+        for k in 0..=support {
+            acc += lethal.pmf(k);
+            count_cdf.push(acc.min(1.0));
+        }
+        let mut component_cdf = Vec::with_capacity(components.len());
+        let mut acc = 0.0;
+        for i in 0..components.len() {
+            acc += components.conditional(i);
+            component_cdf.push(acc.min(1.0));
+        }
+        Ok(Self { fault_tree: fault_tree.clone(), count_cdf, component_cdf })
+    }
+
+    /// Draws `samples` chips with the given RNG `seed` and returns the
+    /// yield estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn run(&self, samples: usize, seed: u64) -> YieldEstimate {
+        assert!(samples > 0, "at least one sample is required");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut functioning = 0usize;
+        let mut failed = vec![false; self.fault_tree.num_inputs()];
+        for _ in 0..samples {
+            failed.iter_mut().for_each(|f| *f = false);
+            let defects = sample_cdf(&self.count_cdf, rng.gen::<f64>());
+            for _ in 0..defects {
+                let component = sample_cdf(&self.component_cdf, rng.gen::<f64>());
+                failed[component] = true;
+            }
+            if !self.fault_tree.eval_output(&failed) {
+                functioning += 1;
+            }
+        }
+        let p = functioning as f64 / samples as f64;
+        YieldEstimate {
+            yield_estimate: p,
+            standard_error: (p * (1.0 - p) / samples as f64).sqrt(),
+            samples,
+        }
+    }
+}
+
+/// Inverse-CDF sampling: the smallest index whose cumulative probability
+/// exceeds `u`.
+fn sample_cdf(cdf: &[f64], u: f64) -> usize {
+    match cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("probabilities are finite")) {
+        Ok(i) => (i + 1).min(cdf.len() - 1),
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socy_defect::{Empirical, NegativeBinomial, Poisson};
+
+    fn one_of_two() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let f = nl.and([a, b]);
+        nl.set_output(f);
+        nl
+    }
+
+    #[test]
+    fn estimates_match_closed_form_for_one_of_two() {
+        // With exactly one lethal defect per chip the 1-of-2 system always survives;
+        // with a point mass at 2 it fails iff the two defects hit different components.
+        let nl = one_of_two();
+        let comps = ComponentProbabilities::new(vec![0.5, 0.5]).unwrap();
+        let always_one = Empirical::point_mass(1);
+        let sim =
+            MonteCarloYield::new(&nl, &comps, &always_one, SimulationOptions::default()).unwrap();
+        let est = sim.run(5000, 1);
+        assert_eq!(est.yield_estimate, 1.0);
+
+        let always_two = Empirical::point_mass(2);
+        let sim =
+            MonteCarloYield::new(&nl, &comps, &always_two, SimulationOptions::default()).unwrap();
+        let est = sim.run(200_000, 2);
+        // True yield = P(both defects on the same component) = 0.5.
+        assert!((est.yield_estimate - 0.5).abs() < 0.01, "{}", est.yield_estimate);
+        assert!(est.standard_error > 0.0);
+        let (lo, hi) = est.confidence_interval(3.0);
+        assert!(lo <= 0.5 && 0.5 <= hi);
+    }
+
+    #[test]
+    fn estimate_converges_to_analytic_yield() {
+        // Series system of 3 components: yield = Q'_0.
+        let mut nl = Netlist::new();
+        let inputs: Vec<_> = (0..3).map(|i| nl.input(format!("x{i}"))).collect();
+        let f = nl.or(inputs);
+        nl.set_output(f);
+        let comps = ComponentProbabilities::new(vec![1.0 / 3.0; 3]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 0.25).unwrap();
+        let sim = MonteCarloYield::new(&nl, &comps, &lethal, SimulationOptions::default()).unwrap();
+        let est = sim.run(200_000, 7);
+        let expect = lethal.pmf(0);
+        assert!(
+            (est.yield_estimate - expect).abs() < 4.0 * est.standard_error + 1e-3,
+            "estimate {} vs expected {expect}",
+            est.yield_estimate
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let nl = one_of_two();
+        let comps = ComponentProbabilities::new(vec![0.3, 0.7]).unwrap();
+        let lethal = Poisson::new(1.5).unwrap();
+        let sim = MonteCarloYield::new(&nl, &comps, &lethal, SimulationOptions::default()).unwrap();
+        assert_eq!(sim.run(10_000, 99).yield_estimate, sim.run(10_000, 99).yield_estimate);
+        // Different seeds (almost surely) differ.
+        assert_ne!(sim.run(10_000, 1).yield_estimate, sim.run(10_000, 2).yield_estimate);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let nl = one_of_two();
+        let wrong = ComponentProbabilities::new(vec![1.0]).unwrap();
+        let lethal = Poisson::new(1.0).unwrap();
+        assert!(matches!(
+            MonteCarloYield::new(&nl, &wrong, &lethal, SimulationOptions::default()),
+            Err(SimError::ComponentCountMismatch { .. })
+        ));
+        let no_output = Netlist::new();
+        let comps = ComponentProbabilities::new(vec![1.0]).unwrap();
+        assert!(MonteCarloYield::new(&no_output, &comps, &lethal, SimulationOptions::default())
+            .is_err());
+        let err = SimError::ComponentCountMismatch { fault_tree: 2, components: 1 };
+        assert!(format!("{err}").contains("2"));
+    }
+
+    #[test]
+    fn sample_cdf_boundaries() {
+        let cdf = vec![0.25, 0.75, 1.0];
+        assert_eq!(sample_cdf(&cdf, 0.0), 0);
+        assert_eq!(sample_cdf(&cdf, 0.2), 0);
+        assert_eq!(sample_cdf(&cdf, 0.3), 1);
+        assert_eq!(sample_cdf(&cdf, 0.9), 2);
+        assert_eq!(sample_cdf(&cdf, 1.0), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Design-space exploration: how much redundancy is enough?
+//!
+//! A designer of an ESEN-based system-on-chip wants to know how the yield
+//! responds to the defect density (λ) and to the defect clustering (α),
+//! and whether investing area in the redundant switching elements pays
+//! off. This example sweeps both parameters with the combinatorial method
+//! and prints yield curves — the kind of study the paper argues needs
+//! "precise error control" rather than simulation.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use soc_yield::benchmarks::esen;
+use soc_yield::defect::NegativeBinomial;
+use soc_yield::{analyze, AnalysisOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = esen(4, 2);
+    let components = system.component_probabilities(1.0)?;
+
+    println!("Design-space study on {} (C = {})\n", system.name, system.num_components());
+
+    // Sweep the expected number of defects at fixed clustering.
+    println!("Yield vs expected lethal defects (α = 4):");
+    println!("{:>8} {:>6} {:>10} {:>12}", "λ'", "M", "yield", "error bound");
+    for lambda in [0.25, 0.5, 1.0, 1.5, 2.0] {
+        let lethal = NegativeBinomial::new(lambda, 4.0)?.thinned(components.lethality())?;
+        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+        let analysis = analyze(&system.fault_tree, &components, &lethal, &options)?;
+        println!(
+            "{:>8} {:>6} {:>10.4} {:>12.1e}",
+            lambda,
+            analysis.report.truncation,
+            analysis.report.yield_lower_bound,
+            analysis.report.error_bound
+        );
+    }
+
+    // Sweep the clustering parameter at fixed defect density.
+    println!("\nYield vs clustering parameter (λ' = 1):");
+    println!("{:>8} {:>6} {:>10}", "α", "M", "yield");
+    for alpha in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let lethal = NegativeBinomial::new(1.0, alpha)?.thinned(components.lethality())?;
+        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+        let analysis = analyze(&system.fault_tree, &components, &lethal, &options)?;
+        println!(
+            "{:>8} {:>6} {:>10.4}",
+            alpha,
+            analysis.report.truncation,
+            analysis.report.yield_lower_bound
+        );
+    }
+    println!(
+        "\nStronger clustering (small α) concentrates defects on fewer dies, which \
+         *raises* the yield of the fault-tolerant design for the same defect density — \
+         the effect the compound-Poisson defect models the paper builds on capture."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Variable-ordering study on one benchmark instance.
+//!
+//! Decision-diagram sizes — and therefore the memory the method needs —
+//! depend heavily on the variable order. This example reproduces, for a
+//! single instance (ESEN4x2 at λ' = 1), the comparison behind the paper's
+//! Tables 2 and 3: every multiple-valued variable ordering and every
+//! bit-group ordering, plus the direct-ROMDD construction ablation.
+//!
+//! Run with: `cargo run --release --example ordering_study`
+
+use soc_yield::benchmarks::esen;
+use soc_yield::defect::NegativeBinomial;
+use soc_yield::{analyze, analyze_direct, AnalysisOptions, GroupOrdering, MvOrdering, OrderingSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = esen(4, 2);
+    let components = system.component_probabilities(1.0)?;
+    let lethal = NegativeBinomial::new(1.0, 4.0)?.thinned(components.lethality())?;
+
+    println!("Ordering study on {} (C = {})\n", system.name, system.num_components());
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>10}",
+        "ordering", "ROBDD size", "ROBDD peak", "ROMDD size", "yield"
+    );
+    // Multiple-valued variable orderings (bit groups MSB-first), Table-2 style.
+    for mv in MvOrdering::ALL {
+        let spec = OrderingSpec::new(mv, GroupOrdering::MsbFirst)?;
+        let options = AnalysisOptions { epsilon: 1e-3, spec, ..AnalysisOptions::default() };
+        let analysis = analyze(&system.fault_tree, &components, &lethal, &options)?;
+        println!(
+            "{:<10} {:>14} {:>14} {:>12} {:>10.4}",
+            spec.label(),
+            analysis.report.coded_robdd_size,
+            analysis.report.robdd_peak,
+            analysis.report.romdd_size,
+            analysis.report.yield_lower_bound
+        );
+    }
+    // Bit-group orderings under the weight heuristic, Table-3 style.
+    for group in [GroupOrdering::LsbFirst, GroupOrdering::Weight] {
+        let spec = OrderingSpec::new(MvOrdering::Weight, group)?;
+        let options = AnalysisOptions { epsilon: 1e-3, spec, ..AnalysisOptions::default() };
+        let analysis = analyze(&system.fault_tree, &components, &lethal, &options)?;
+        println!(
+            "{:<10} {:>14} {:>14} {:>12} {:>10.4}",
+            spec.label(),
+            analysis.report.coded_robdd_size,
+            analysis.report.robdd_peak,
+            analysis.report.romdd_size,
+            analysis.report.yield_lower_bound
+        );
+    }
+    // Ablation: construct the ROMDD directly (no coded ROBDD).
+    let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+    let direct = analyze_direct(&system.fault_tree, &components, &lethal, &options)?;
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>10.4}   (direct ROMDD construction)",
+        "w/ml",
+        "-",
+        "-",
+        direct.report.romdd_size,
+        direct.report.yield_lower_bound
+    );
+    println!(
+        "\nAll orderings yield the same value (the function is the same); only the \
+         diagram sizes — and hence memory and time — differ."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! # soc-yield
+//!
+//! A Rust reproduction of *"A Combinatorial Method for the Evaluation of
+//! Yield of Fault-Tolerant Systems-on-Chip"* (Munteanu, Suñé,
+//! Rodríguez-Montañés, Carrasco — DSN 2003).
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names, so downstream users only need a single dependency:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`defect`] | `socy-defect` | defect-count distributions, lethal-defect mapping, truncation |
+//! | [`faulttree`] | `socy-faulttree` | gate-level fault-tree netlists |
+//! | [`bdd`] | `socy-bdd` | ROBDD engine |
+//! | [`mdd`] | `socy-mdd` | ROMDD engine + coded-ROBDD conversion |
+//! | [`ordering`] | `socy-ordering` | variable-ordering heuristics |
+//! | [`core`] | `soc-yield-core` | the combinatorial yield method |
+//! | [`sim`] | `socy-sim` | Monte-Carlo yield simulation baseline |
+//! | [`benchmarks`] | `socy-benchmarks` | the MSn / ESEN benchmark generators |
+//!
+//! The most common entry points are also re-exported at the top level.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use soc_yield::{analyze, AnalysisOptions};
+//! use soc_yield::defect::{ComponentProbabilities, NegativeBinomial};
+//! use soc_yield::faulttree::Netlist;
+//!
+//! // Fault tree of a triple-modular-redundant system: it fails when at
+//! // least two of the three replicas fail.
+//! let mut f = Netlist::new();
+//! let a = f.input("replica_a");
+//! let b = f.input("replica_b");
+//! let c = f.input("replica_c");
+//! let vote = f.at_least(2, [a, b, c]);
+//! f.set_output(vote);
+//!
+//! let components = ComponentProbabilities::new(vec![1.0 / 3.0; 3])?;
+//! let lethal_defects = NegativeBinomial::new(1.0, 4.0)?;
+//! let analysis = analyze(&f, &components, &lethal_defects, &AnalysisOptions::default())?;
+//! println!("yield ≥ {:.4} (±{:.1e})",
+//!          analysis.report.yield_lower_bound,
+//!          analysis.report.error_bound);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use soc_yield_core as core;
+pub use socy_bdd as bdd;
+pub use socy_benchmarks as benchmarks;
+pub use socy_defect as defect;
+pub use socy_faulttree as faulttree;
+pub use socy_mdd as mdd;
+pub use socy_ordering as ordering;
+pub use socy_sim as sim;
+
+pub use soc_yield_core::{
+    analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, YieldAnalysis, YieldReport,
+};
+pub use socy_defect::{ComponentProbabilities, DefectDistribution, NegativeBinomial, Poisson};
+pub use socy_faulttree::Netlist;
+pub use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};

@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! end-to-end pipeline invariants.
+
+use proptest::prelude::*;
+
+use soc_yield::bdd::BddManager;
+use soc_yield::defect::truncation::truncate_at;
+use soc_yield::defect::{ComponentProbabilities, DefectDistribution, NegativeBinomial, Poisson};
+use soc_yield::mdd::{CodedLayout, MddManager};
+use soc_yield::{analyze, AnalysisOptions, Netlist};
+
+/// Strategy for a small random fault tree over `c` components together with
+/// a closure-free description we can evaluate independently.
+fn arb_fault_tree(max_components: usize) -> impl Strategy<Value = (Netlist, usize)> {
+    (2..=max_components, 1usize..6, any::<u64>()).prop_map(|(c, gates, seed)| {
+        let mut nl = Netlist::new();
+        let mut nodes: Vec<_> = (0..c).map(|i| nl.input(format!("x{i}"))).collect();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..gates {
+            let arity = 2 + (next() % 2) as usize;
+            let fanin: Vec<_> =
+                (0..arity).map(|_| nodes[(next() % nodes.len() as u64) as usize]).collect();
+            let gate = match next() % 3 {
+                0 => nl.and(fanin),
+                1 => nl.or(fanin),
+                _ => {
+                    let inner = nl.or(fanin);
+                    nl.not(inner)
+                }
+            };
+            nodes.push(gate);
+        }
+        let out = *nodes.last().expect("non-empty");
+        nl.set_output(out);
+        (nl, c)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The BDD of a random netlist agrees with direct netlist evaluation on
+    /// random assignments, for any variable-level permutation.
+    #[test]
+    fn bdd_compilation_is_sound((netlist, c) in arb_fault_tree(6), assignments in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 6), 1..8)) {
+        let mut mgr = BddManager::new(c);
+        let order: Vec<usize> = (0..c).collect();
+        let build = mgr.build_netlist(&netlist, &order);
+        for assignment in assignments {
+            let a = &assignment[..c];
+            prop_assert_eq!(mgr.eval(build.root, a), netlist.eval_output(a));
+        }
+    }
+
+    /// BDD probability evaluation equals exhaustive enumeration.
+    #[test]
+    fn bdd_probability_matches_enumeration((netlist, c) in arb_fault_tree(5), probs in proptest::collection::vec(0.0f64..1.0, 5)) {
+        let mut mgr = BddManager::new(c);
+        let order: Vec<usize> = (0..c).collect();
+        let build = mgr.build_netlist(&netlist, &order);
+        let p = &probs[..c];
+        let mut expect = 0.0;
+        for row in 0u32..(1 << c) {
+            let a: Vec<bool> = (0..c).map(|i| (row >> i) & 1 == 1).collect();
+            if netlist.eval_output(&a) {
+                let mut w = 1.0;
+                for i in 0..c {
+                    w *= if a[i] { p[i] } else { 1.0 - p[i] };
+                }
+                expect += w;
+            }
+        }
+        prop_assert!((mgr.probability(build.root, p) - expect).abs() < 1e-9);
+    }
+
+    /// The coded-ROBDD → ROMDD conversion preserves the function for random
+    /// multi-valued functions represented by random netlist-built BDDs.
+    #[test]
+    fn conversion_preserves_functions(domains in proptest::collection::vec(2usize..5, 1..4), seed in any::<u64>()) {
+        let layout = CodedLayout::binary_msb_first(&domains);
+        // Random boolean function of the multi-valued variables via a hash of the assignment.
+        let f = |a: &[usize]| -> bool {
+            let mut h = seed | 1;
+            for &v in a {
+                h = h.wrapping_mul(0x100000001b3).wrapping_add(v as u64 + 1);
+                h ^= h >> 29;
+            }
+            h % 3 == 0
+        };
+        // Build the coded ROBDD by summing minterms.
+        let mut bdd = BddManager::new(layout.num_bits());
+        let mut root = bdd.zero();
+        let mut assignment = vec![0usize; domains.len()];
+        'outer: loop {
+            if f(&assignment) {
+                let mut term = bdd.one();
+                for (var, &value) in assignment.iter().enumerate() {
+                    for (level, bit) in layout.assignment_for(var, value) {
+                        let lit = bdd.literal(level, bit);
+                        term = bdd.and(term, lit);
+                    }
+                }
+                root = bdd.or(root, term);
+            }
+            let mut i = 0;
+            loop {
+                if i == domains.len() { break 'outer; }
+                assignment[i] += 1;
+                if assignment[i] < domains[i] { break; }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+        // Convert with both algorithms and compare against the reference.
+        let mut mdd = MddManager::new(domains.clone());
+        let top_down = mdd.from_coded_bdd(&bdd, root, &layout);
+        let layered = mdd.from_coded_bdd_layered(&bdd, root, &layout);
+        prop_assert_eq!(top_down, layered);
+        let mut assignment = vec![0usize; domains.len()];
+        'outer2: loop {
+            prop_assert_eq!(mdd.eval(top_down, &assignment), f(&assignment));
+            let mut i = 0;
+            loop {
+                if i == domains.len() { break 'outer2; }
+                assignment[i] += 1;
+                if assignment[i] < domains[i] { break; }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Thinning a Poisson or negative binomial distribution preserves total
+    /// mass and matches the closed form.
+    #[test]
+    fn thinning_is_consistent(lambda in 0.1f64..4.0, alpha in 0.2f64..8.0, p_l in 0.05f64..1.0) {
+        let nb = NegativeBinomial::new(lambda, alpha).unwrap();
+        let closed = nb.thinned(p_l).unwrap();
+        let numeric = soc_yield::defect::lethal::thin_empirical(&nb, p_l, 10, 1e-12, 200_000).unwrap();
+        for k in 0..10 {
+            prop_assert!((closed.pmf(k) - numeric.pmf(k)).abs() < 1e-7);
+        }
+        let poisson = Poisson::new(lambda).unwrap();
+        let thinned = poisson.thinned(p_l).unwrap();
+        prop_assert!((thinned.lambda() - lambda * p_l).abs() < 1e-12);
+    }
+
+    /// The truncated yield is a valid probability, decreases (weakly) as the
+    /// defect density grows, and respects the error bound.
+    #[test]
+    fn yield_is_well_behaved(lambda in 0.2f64..2.0, weights in proptest::collection::vec(0.1f64..3.0, 2..5)) {
+        // 1-out-of-n system: fails only when every component fails.
+        let mut nl = Netlist::new();
+        let inputs: Vec<_> = (0..weights.len()).map(|i| nl.input(format!("x{i}"))).collect();
+        let all = nl.and(inputs);
+        nl.set_output(all);
+        let comps = ComponentProbabilities::from_weights(&weights, 1.0).unwrap();
+        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+        let low = analyze(&nl, &comps, &NegativeBinomial::new(lambda, 4.0).unwrap(), &options).unwrap();
+        let high = analyze(&nl, &comps, &NegativeBinomial::new(lambda * 1.5, 4.0).unwrap(), &options).unwrap();
+        prop_assert!(low.report.yield_lower_bound >= 0.0 && low.report.yield_lower_bound <= 1.0);
+        prop_assert!(low.report.error_bound <= 1e-3);
+        prop_assert!(high.report.yield_lower_bound <= low.report.yield_lower_bound + 1e-3);
+    }
+
+    /// Exact baseline and decision-diagram pipeline agree on random small systems.
+    #[test]
+    fn exact_and_romdd_agree((netlist, c) in arb_fault_tree(5), lambda in 0.3f64..1.5) {
+        let comps = ComponentProbabilities::new(vec![1.0 / c as f64; c]).unwrap();
+        let lethal = NegativeBinomial::new(lambda, 4.0).unwrap();
+        let options = AnalysisOptions { epsilon: 1e-2, ..AnalysisOptions::default() };
+        let analysis = analyze(&netlist, &comps, &lethal, &options).unwrap();
+        let trunc = truncate_at(&lethal, analysis.report.truncation).unwrap();
+        let exact = soc_yield::core::exact::exact_yield(&netlist, &comps, &trunc).unwrap();
+        prop_assert!((analysis.report.yield_lower_bound - exact).abs() < 1e-9);
+    }
+}
