@@ -106,10 +106,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .raw_level(f)
-            .min(self.raw_level(g))
-            .min(self.raw_level(h));
+        let top = self.raw_level(f).min(self.raw_level(g)).min(self.raw_level(h));
         debug_assert_ne!(top, TERMINAL_LEVEL);
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);

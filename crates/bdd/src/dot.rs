@@ -27,13 +27,8 @@ impl BddManager {
             };
             writeln!(out, "  node{} [label=\"{label}\", shape=circle];", id.index())
                 .expect("write to string");
-            writeln!(
-                out,
-                "  node{} -> node{} [style=dashed];",
-                id.index(),
-                self.low(id).index()
-            )
-            .expect("write to string");
+            writeln!(out, "  node{} -> node{} [style=dashed];", id.index(), self.low(id).index())
+                .expect("write to string");
             writeln!(out, "  node{} -> node{};", id.index(), self.high(id).index())
                 .expect("write to string");
         }

@@ -73,10 +73,7 @@ mod tests {
     use std::hash::{BuildHasher, Hash};
 
     fn hash_of<T: Hash>(value: &T) -> u64 {
-        let build = FxBuildHasher::default();
-        let mut hasher = build.build_hasher();
-        value.hash(&mut hasher);
-        hasher.finish()
+        FxBuildHasher::default().hash_one(value)
     }
 
     #[test]

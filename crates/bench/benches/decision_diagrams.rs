@@ -46,9 +46,7 @@ fn bench_phases(c: &mut Criterion) {
     let mut mdd = MddManager::new(g.mdd_domains(&ordering));
     let root = mdd.from_coded_bdd(&bdd, build.root, &layout);
     let probabilities = g.probability_vectors(&ordering, &truncation, &components);
-    group.bench_function("probability_eval", |b| {
-        b.iter(|| mdd.probability(root, &probabilities))
-    });
+    group.bench_function("probability_eval", |b| b.iter(|| mdd.probability(root, &probabilities)));
     group.finish();
 }
 

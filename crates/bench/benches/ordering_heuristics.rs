@@ -16,11 +16,9 @@ fn bench_ordering(c: &mut Criterion) {
     let g = GeneralizedFaultTree::build(&system.fault_tree, 6).expect("valid fault tree");
     for mv in [MvOrdering::Wv, MvOrdering::Topology, MvOrdering::Weight, MvOrdering::H4] {
         let spec = OrderingSpec::new(mv, GroupOrdering::MsbFirst).expect("ml combines with all");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(spec.label()),
-            &spec,
-            |b, spec| b.iter(|| compute_ordering(g.netlist(), g.groups(), spec).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(spec.label()), &spec, |b, spec| {
+            b.iter(|| compute_ordering(g.netlist(), g.groups(), spec).unwrap())
+        });
     }
     group.finish();
 }

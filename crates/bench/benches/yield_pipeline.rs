@@ -54,7 +54,9 @@ fn bench_construction_ablation(c: &mut Criterion) {
         .thinned(components.lethality())
         .expect("valid lethality");
     group.bench_function("coded_robdd_top_down", |b| {
-        b.iter(|| analyze(&system.fault_tree, &components, &lethal, &options()).unwrap().report.romdd_size)
+        b.iter(|| {
+            analyze(&system.fault_tree, &components, &lethal, &options()).unwrap().report.romdd_size
+        })
     });
     group.bench_function("coded_robdd_layered", |b| {
         b.iter(|| {

@@ -1,8 +1,8 @@
 //! Reproduces Table 1: the benchmark inventory (number of components and
 //! number of gates of the gate-level fault-tree descriptions).
 
-use soc_yield_bench::{maybe_write_json, parse_cli};
 use serde::Serialize;
+use soc_yield_bench::{maybe_write_json, parse_cli};
 
 #[derive(Serialize)]
 struct Row {

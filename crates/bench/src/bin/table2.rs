@@ -7,7 +7,7 @@
 //! instances up to 30 components — pass `--max-components 100` to attempt
 //! them all.
 
-use soc_yield_bench::{maybe_write_json, parse_cli, paper_workloads, run_workload, ResultRow};
+use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, run_workload, ResultRow};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
@@ -21,7 +21,8 @@ fn main() {
     for workload in paper_workloads(max_components) {
         let mut sizes = Vec::new();
         for mv in MvOrdering::ALL {
-            let spec = OrderingSpec::new(mv, GroupOrdering::MsbFirst).expect("ml combines with all");
+            let spec =
+                OrderingSpec::new(mv, GroupOrdering::MsbFirst).expect("ml combines with all");
             // The v-first orderings explode on the larger instances; skip them there
             // (mirrors the paper's "—" entries) instead of exhausting memory.
             let skip = matches!(mv, MvOrdering::Vw | MvOrdering::Vrw)

@@ -2,7 +2,7 @@
 //! orderings ml, lm and w, with the weight heuristic ordering the
 //! multiple-valued variables.
 
-use soc_yield_bench::{maybe_write_json, parse_cli, paper_workloads, run_workload, ResultRow};
+use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, run_workload, ResultRow};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
@@ -26,13 +26,7 @@ fn main() {
                 }
             }
         }
-        println!(
-            "{:<18} {:>12} {:>12} {:>12}",
-            workload.label(),
-            sizes[0],
-            sizes[1],
-            sizes[2]
-        );
+        println!("{:<18} {:>12} {:>12} {:>12}", workload.label(), sizes[0], sizes[1], sizes[2]);
     }
     maybe_write_json(&json, &rows);
 }

@@ -7,10 +7,10 @@
 //! against a Monte-Carlo simulation (100k samples), mirroring the sanity
 //! check a practitioner would perform.
 
-use soc_yield_bench::{
-    maybe_write_json, parse_cli, paper_workloads, run_workload, ALPHA, LETHALITY,
-};
 use serde::Serialize;
+use soc_yield_bench::{
+    maybe_write_json, paper_workloads, parse_cli, run_workload, ALPHA, LETHALITY,
+};
 use socy_defect::NegativeBinomial;
 use socy_ordering::OrderingSpec;
 use socy_sim::{MonteCarloYield, SimulationOptions};

@@ -68,10 +68,8 @@ pub fn paper_workloads(max_components: usize) -> Vec<Workload> {
         }
     }
     for system in socy_benchmarks::paper_benchmarks() {
-        let small_enough = match system.name.as_str() {
-            "MS2" | "MS4" | "ESEN4x1" | "ESEN4x2" | "ESEN4x4" => true,
-            _ => false,
-        };
+        let small_enough =
+            matches!(system.name.as_str(), "MS2" | "MS4" | "ESEN4x1" | "ESEN4x2" | "ESEN4x4");
         if small_enough && system.num_components() <= max_components {
             workloads.push(Workload { system, lambda: 2.0 });
         }

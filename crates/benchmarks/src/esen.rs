@@ -47,7 +47,7 @@ pub const WEIGHT_C: f64 = 0.5;
 /// (the paper's instances use `m ∈ {1, 2, 4}`).
 pub fn esen(n: usize, m: usize) -> BenchmarkSystem {
     assert!(n >= 4 && n.is_power_of_two(), "ESEN requires n to be a power of two >= 4");
-    assert!(m >= 1 && (n * m) % 2 == 0, "ESEN requires n·m to be even");
+    assert!(m >= 1 && (n * m).is_multiple_of(2), "ESEN requires n·m to be even");
     let stages = (n.trailing_zeros() as usize) + 1;
     let per_stage = n / 2;
     let ips_per_side = n * m / 2;
@@ -153,9 +153,8 @@ mod tests {
     #[test]
     fn component_breakdown_for_esen8x2() {
         let sys = esen(8, 2);
-        let count = |prefix: &str| {
-            sys.component_names.iter().filter(|n| n.starts_with(prefix)).count()
-        };
+        let count =
+            |prefix: &str| sys.component_names.iter().filter(|n| n.starts_with(prefix)).count();
         assert_eq!(count("IPA_"), 8);
         assert_eq!(count("IPB_"), 8);
         assert_eq!(count("CA_") + count("CB_"), 16);
@@ -181,7 +180,8 @@ mod tests {
             let mut assignment = vec![false; c];
             assignment[i] = true;
             let failed = sys.fault_tree.eval_output(&assignment);
-            let is_middle_se = name.starts_with("SE_1_") && !name.ends_with("_A") && !name.ends_with("_B");
+            let is_middle_se =
+                name.starts_with("SE_1_") && !name.ends_with("_A") && !name.ends_with("_B");
             if is_middle_se {
                 assert!(failed, "middle-stage SE {name} is a single point of failure");
             } else {

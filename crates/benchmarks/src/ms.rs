@@ -53,8 +53,7 @@ pub fn ms(n: usize) -> BenchmarkSystem {
     };
 
     // Masters and their communication modules.
-    let ipm: Vec<NodeId> =
-        (1..=2).map(|i| add(&mut nl, format!("IPM_{i}"), WEIGHT_IPM)).collect();
+    let ipm: Vec<NodeId> = (1..=2).map(|i| add(&mut nl, format!("IPM_{i}"), WEIGHT_IPM)).collect();
     let cm: Vec<[NodeId; 2]> = (1..=2)
         .map(|i| {
             [
@@ -88,8 +87,8 @@ pub fn ms(n: usize) -> BenchmarkSystem {
             // Cluster unreachable from master i ⇔ every (slave, bus) path is broken.
             let mut broken_paths = Vec::with_capacity(4);
             for slave in cluster {
-                for bus in 0..2 {
-                    broken_paths.push(nl.or([slave.ips, cm[i][bus], slave.cs[bus]]));
+                for (&master_side, &slave_side) in cm[i].iter().zip(&slave.cs) {
+                    broken_paths.push(nl.or([slave.ips, master_side, slave_side]));
                 }
             }
             cluster_unreachable.push(nl.and(broken_paths));
@@ -110,14 +109,16 @@ mod tests {
     /// Reference (non-netlist) evaluation of the MSn operational condition.
     fn operational(n: usize, failed: &dyn Fn(&str) -> bool) -> bool {
         (1..=2).any(|i| {
-            !failed(&format!("IPM_{i}")) && (1..=n).all(|j| {
-                (1..=2).any(|k| {
-                    !failed(&format!("IPS_{j}_{k}"))
-                        && ["A", "B"].iter().any(|b| {
-                            !failed(&format!("CM_{i}_{b}")) && !failed(&format!("CS_{j}_{k}_{b}"))
-                        })
+            !failed(&format!("IPM_{i}"))
+                && (1..=n).all(|j| {
+                    (1..=2).any(|k| {
+                        !failed(&format!("IPS_{j}_{k}"))
+                            && ["A", "B"].iter().any(|b| {
+                                !failed(&format!("CM_{i}_{b}"))
+                                    && !failed(&format!("CS_{j}_{k}_{b}"))
+                            })
+                    })
                 })
-            })
         })
     }
 

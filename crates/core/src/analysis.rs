@@ -233,9 +233,9 @@ pub fn analyze_direct(
     let mut x = Vec::with_capacity(g.num_components());
     for component in 0..g.num_components() {
         let mut terms = Vec::with_capacity(m);
-        for l in 1..=m {
+        for (l, &pos) in position.iter().enumerate().skip(1).take(m) {
             let ge = mdd.value_at_least(w_level, l);
-            let hit = mdd.value_is(position[l], component);
+            let hit = mdd.value_is(pos, component);
             terms.push(mdd.and(ge, hit));
         }
         x.push(mdd.or_many(terms));
@@ -286,9 +286,7 @@ fn build_fault_tree_mdd(
     let mut results: Vec<MddId> = Vec::with_capacity(fault_tree.len());
     for (id, gate) in fault_tree.iter() {
         let value = match gate.kind {
-            GateKind::Input => {
-                inputs[fault_tree.var_of(id).expect("input has a variable").index()]
-            }
+            GateKind::Input => inputs[fault_tree.var_of(id).expect("input has a variable").index()],
             GateKind::Const(c) => mdd.constant(c),
             GateKind::Not => {
                 let a = results[gate.fanin[0].index()];
@@ -342,7 +340,7 @@ mod tests {
         // Direct enumeration of Y_M = Σ_k Q'_k Y_k for F = x1 x2 + x3.
         let c = p.len();
         let mut total = 0.0;
-        for k in 0..=m {
+        for (k, &qk) in q.iter().enumerate().take(m + 1) {
             // enumerate component choices for k defects
             let combos = c.pow(k as u32);
             let mut yk = 0.0;
@@ -361,7 +359,7 @@ mod tests {
                     yk += weight;
                 }
             }
-            total += q[k] * yk;
+            total += qk * yk;
         }
         total
     }
@@ -371,10 +369,7 @@ mod tests {
         let f = figure2();
         let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
         let lethal = Empirical::new(vec![0.5, 0.3, 0.15, 0.05]).unwrap();
-        let options = AnalysisOptions {
-            fixed_truncation: Some(2),
-            ..AnalysisOptions::default()
-        };
+        let options = AnalysisOptions { fixed_truncation: Some(2), ..AnalysisOptions::default() };
         let analysis = analyze(&f, &comps, &lethal, &options).unwrap();
         let expect = hand_yield(&[0.5, 0.3, 0.15], &[0.2, 0.3, 0.5], 2);
         assert!(
@@ -401,9 +396,7 @@ mod tests {
         let options = AnalysisOptions::default();
         let coded = analyze(&f, &comps, &lethal, &options).unwrap();
         let direct = analyze_direct(&f, &comps, &lethal, &options).unwrap();
-        assert!(
-            (coded.report.yield_lower_bound - direct.report.yield_lower_bound).abs() < 1e-12
-        );
+        assert!((coded.report.yield_lower_bound - direct.report.yield_lower_bound).abs() < 1e-12);
         // Both construct the same canonical ROMDD, so the sizes must agree too.
         assert_eq!(coded.report.romdd_size, direct.report.romdd_size);
     }

@@ -67,10 +67,8 @@ impl GeneralizedFaultTree {
 
         // Pre-build the complement of every input bit once, so literals share gates.
         let w_neg: Vec<NodeId> = w_bits.iter().map(|&b| netlist.not(b)).collect();
-        let v_neg: Vec<Vec<NodeId>> = v_bits
-            .iter()
-            .map(|bits| bits.iter().map(|&b| netlist.not(b)).collect())
-            .collect();
+        let v_neg: Vec<Vec<NodeId>> =
+            v_bits.iter().map(|bits| bits.iter().map(|&b| netlist.not(b)).collect()).collect();
 
         // Literal of bit j (MSB first) of a value: the bit itself when the code bit
         // is 1, its complement otherwise.
@@ -285,10 +283,7 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let empty = Netlist::new();
-        assert!(matches!(
-            GeneralizedFaultTree::build(&empty, 2),
-            Err(CoreError::FaultTree(_))
-        ));
+        assert!(matches!(GeneralizedFaultTree::build(&empty, 2), Err(CoreError::FaultTree(_))));
         let mut constant_only = Netlist::new();
         let c = constant_only.constant(false);
         constant_only.set_output(c);
@@ -321,9 +316,9 @@ mod tests {
                 for (j, var) in g.groups().w.iter().enumerate() {
                     assignment[var.index()] = (w >> (w_width - 1 - j)) & 1 == 1;
                 }
-                for l in 0..m {
-                    for (j, var) in g.groups().v[l].iter().enumerate() {
-                        assignment[var.index()] = (v[l] >> (v_width - 1 - j)) & 1 == 1;
+                for (&vl, group) in v.iter().zip(&g.groups().v) {
+                    for (j, var) in group.iter().enumerate() {
+                        assignment[var.index()] = (vl >> (v_width - 1 - j)) & 1 == 1;
                     }
                 }
                 let got = g.netlist().eval_output(&assignment);

@@ -87,12 +87,7 @@ pub fn exact_yield(
     truncation: &Truncation,
 ) -> Result<f64, CoreError> {
     let yields = exact_conditional_yields(fault_tree, components, truncation.truncation())?;
-    Ok(truncation
-        .masses()
-        .iter()
-        .zip(yields.iter())
-        .map(|(q, y)| q * y)
-        .sum())
+    Ok(truncation.masses().iter().zip(yields.iter()).map(|(q, y)| q * y).sum())
 }
 
 #[cfg(test)]

@@ -100,17 +100,10 @@ pub fn analyze_reliability(
     // Extended fault tree: F'(x_1.., b_1..) = F(x_1 ∨ b_1, …, x_C ∨ b_C), where the
     // b_i are fresh inputs appended after the original components.
     let mut extended = Netlist::new();
-    let defect_inputs: Vec<_> = (0..c)
-        .map(|i| extended.input(format!("x{i}")))
-        .collect();
-    let field_inputs: Vec<_> = (0..c)
-        .map(|i| extended.input(format!("b{i}")))
-        .collect();
-    let substitution: Vec<_> = defect_inputs
-        .iter()
-        .zip(field_inputs.iter())
-        .map(|(&x, &b)| extended.or([x, b]))
-        .collect();
+    let defect_inputs: Vec<_> = (0..c).map(|i| extended.input(format!("x{i}"))).collect();
+    let field_inputs: Vec<_> = (0..c).map(|i| extended.input(format!("b{i}"))).collect();
+    let substitution: Vec<_> =
+        defect_inputs.iter().zip(field_inputs.iter()).map(|(&x, &b)| extended.or([x, b])).collect();
     let root = extended.import(fault_tree, &substitution);
     extended.set_output(root);
 
@@ -199,11 +192,8 @@ fn build_extended_g(fault_tree: &Netlist, truncation: usize) -> Result<ExtendedG
     let mut netlist = base.netlist().clone();
     let b_inputs: Vec<_> = (0..c).map(|i| netlist.input(format!("b{i}"))).collect();
     let x_drivers = rebuild_x_drivers(&mut netlist, &base, c, truncation);
-    let substitution: Vec<_> = x_drivers
-        .iter()
-        .zip(b_inputs.iter())
-        .map(|(&xi, &bi)| netlist.or([xi, bi]))
-        .collect();
+    let substitution: Vec<_> =
+        x_drivers.iter().zip(b_inputs.iter()).map(|(&xi, &bi)| netlist.or([xi, bi])).collect();
     let f_prime = netlist.import(fault_tree, &substitution);
     // I_{M+1}(w): rebuild the clamp minterm over the w bits.
     let clamp = rebuild_clamp(&mut netlist, &base, truncation);
@@ -224,11 +214,8 @@ fn rebuild_x_drivers(
     let groups = base.groups();
     let w_bits: Vec<_> = groups.w.iter().map(|v| netlist.node_of(*v)).collect();
     let w_width = w_bits.len();
-    let v_bits: Vec<Vec<_>> = groups
-        .v
-        .iter()
-        .map(|g| g.iter().map(|v| netlist.node_of(*v)).collect())
-        .collect();
+    let v_bits: Vec<Vec<_>> =
+        groups.v.iter().map(|g| g.iter().map(|v| netlist.node_of(*v)).collect()).collect();
     let v_width = v_bits.first().map(|g: &Vec<_>| g.len()).unwrap_or(0);
     let w_neg: Vec<_> = w_bits.iter().map(|&b| netlist.not(b)).collect();
     let v_neg: Vec<Vec<_>> =
@@ -253,8 +240,7 @@ fn rebuild_x_drivers(
         .map(|component| {
             let terms: Vec<_> = (1..=m)
                 .map(|l| {
-                    let hit =
-                        minterm(netlist, &v_bits[l - 1], &v_neg[l - 1], v_width, component);
+                    let hit = minterm(netlist, &v_bits[l - 1], &v_neg[l - 1], v_width, component);
                     netlist.and([z_ge[l], hit])
                 })
                 .collect();
@@ -309,8 +295,7 @@ mod tests {
         let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
         let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
         let plain = analyze(&f, &comps, &lethal, &options).unwrap();
-        let report =
-            analyze_reliability(&f, &comps, &lethal, &[0.0, 0.0, 0.0], &options).unwrap();
+        let report = analyze_reliability(&f, &comps, &lethal, &[0.0, 0.0, 0.0], &options).unwrap();
         assert!((report.reliability_lower_bound - plain.report.yield_lower_bound).abs() < 1e-10);
         assert!((report.yield_lower_bound - plain.report.yield_lower_bound).abs() < 1e-10);
         assert!((report.conditional_reliability - 1.0).abs() < 1e-10);
@@ -329,8 +314,7 @@ mod tests {
         let u = [0.1, 0.2, 0.05];
         let comps = ComponentProbabilities::new(p.to_vec()).unwrap();
         let lethal = Empirical::point_mass(1);
-        let options =
-            AnalysisOptions { fixed_truncation: Some(1), ..AnalysisOptions::default() };
+        let options = AnalysisOptions { fixed_truncation: Some(1), ..AnalysisOptions::default() };
         let report = analyze_reliability(&f, &comps, &lethal, &u, &options).unwrap();
         let mut expect = 0.0;
         for target in 0..3 {

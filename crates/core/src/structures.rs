@@ -49,10 +49,8 @@ pub fn parallel_yield(
         // where U ranges over sets of components required to be missed.
         let mut all_hit = 0.0;
         for u in 0..(1usize << c) {
-            let missed: f64 = (0..c)
-                .filter(|i| u & (1 << i) != 0)
-                .map(|i| components.conditional(i))
-                .sum();
+            let missed: f64 =
+                (0..c).filter(|i| u & (1 << i) != 0).map(|i| components.conditional(i)).sum();
             let sign = if (u.count_ones() % 2) == 0 { 1.0 } else { -1.0 };
             all_hit += sign * (1.0 - missed).powi(k as i32);
         }
@@ -168,6 +166,51 @@ mod tests {
             "pipeline {} vs closed form {closed}",
             analysis.report.yield_lower_bound
         );
+    }
+
+    #[test]
+    fn series_matches_exact_baseline() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<_> = (0..4).map(|i| nl.input(format!("x{i}"))).collect();
+        let f = nl.or(inputs);
+        nl.set_output(f);
+        let comps = ComponentProbabilities::new(vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+        let trunc = truncate_at(&lethal(), 8).unwrap();
+        let exact = crate::exact::exact_yield(&nl, &comps, &trunc).unwrap();
+        assert!((series_yield(&trunc) - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_exact_baseline() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<_> = (0..3).map(|i| nl.input(format!("x{i}"))).collect();
+        let f = nl.and(inputs);
+        nl.set_output(f);
+        let comps = ComponentProbabilities::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let trunc = truncate_at(&lethal(), 8).unwrap();
+        let exact = crate::exact::exact_yield(&nl, &comps, &trunc).unwrap();
+        let closed = parallel_yield(&comps, &trunc).unwrap();
+        assert!((closed - exact).abs() < 1e-12, "closed form {closed} vs exact {exact}");
+    }
+
+    #[test]
+    fn k_of_n_matches_exact_baseline() {
+        // 2-of-4 and 3-of-5 systems with equally likely components.
+        for &(n, required) in &[(4usize, 2usize), (5, 3)] {
+            let mut nl = Netlist::new();
+            let inputs: Vec<_> = (0..n).map(|i| nl.input(format!("x{i}"))).collect();
+            // The system fails when more than n - required components fail.
+            let f = nl.at_least(n - required + 1, inputs);
+            nl.set_output(f);
+            let comps = ComponentProbabilities::new(vec![1.0 / n as f64; n]).unwrap();
+            let trunc = truncate_at(&lethal(), 7).unwrap();
+            let exact = crate::exact::exact_yield(&nl, &comps, &trunc).unwrap();
+            let closed = k_of_n_yield_iid(n, required, &trunc);
+            assert!(
+                (closed - exact).abs() < 1e-12,
+                "{required}-of-{n}: closed form {closed} vs exact {exact}"
+            );
+        }
     }
 
     #[test]

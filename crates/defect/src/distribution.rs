@@ -204,16 +204,10 @@ impl Empirical {
         }
         for (k, &p) in probs.iter().enumerate() {
             if !(p.is_finite() && (0.0..=1.0 + 1e-12).contains(&p)) {
-                return Err(DefectError::InvalidProbability { name: "probs[k]", value: p as f64 })
-                    .map_err(|e| match e {
-                        DefectError::InvalidProbability { value, .. } => {
-                            DefectError::InvalidProbability {
-                                name: if k == 0 { "probs[0]" } else { "probs[k]" },
-                                value,
-                            }
-                        }
-                        other => other,
-                    });
+                return Err(DefectError::InvalidProbability {
+                    name: if k == 0 { "probs[0]" } else { "probs[k]" },
+                    value: p,
+                });
             }
         }
         let total: f64 = probs.iter().sum();

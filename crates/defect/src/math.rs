@@ -17,10 +17,12 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x.is_finite() && x > 0.0, "ln_gamma requires a finite positive argument, got {x}");
     // Lanczos coefficients for g = 7.
     const G: f64 = 7.0;
+    // Published full-precision values; f64 rounds the excess digits.
+    #[allow(clippy::excessive_precision)]
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
+        -1_259.139_216_722_402_8,
         771.323_428_777_653_13,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,

@@ -93,11 +93,7 @@ pub fn select_truncation_capped<D: DefectDistribution + ?Sized>(
         masses.push(q);
         acc += q;
         if acc >= 1.0 - epsilon {
-            return Ok(Truncation {
-                truncation: m,
-                masses,
-                error_bound: (1.0 - acc).max(0.0),
-            });
+            return Ok(Truncation { truncation: m, masses, error_bound: (1.0 - acc).max(0.0) });
         }
     }
     Err(DefectError::TruncationNotReached {
@@ -186,6 +182,69 @@ mod tests {
         let t = select_truncation(&d, 1e-9).unwrap();
         assert_eq!(t.truncation(), 4);
         assert_eq!(t.error_bound(), 0.0);
+    }
+
+    /// Independent scan for `min{m : Σ_{k≤m} Q'_k ≥ 1 − ε}`, the paper's
+    /// definition of the truncation point.
+    fn minimal_truncation<D: DefectDistribution>(d: &D, epsilon: f64) -> usize {
+        let mut acc = 0.0;
+        for m in 0..DEFAULT_MAX_TRUNCATION {
+            acc += d.pmf(m);
+            if acc >= 1.0 - epsilon {
+                return m;
+            }
+        }
+        panic!("mass 1 - ε not reached within the default cap");
+    }
+
+    #[test]
+    fn poisson_truncation_matches_definition() {
+        for &lambda in &[0.3, 1.0, 2.5] {
+            for &epsilon in &[1e-2, 1e-4, 1e-6] {
+                let d = Poisson::new(lambda).unwrap();
+                let t = select_truncation(&d, epsilon).unwrap();
+                assert_eq!(
+                    t.truncation(),
+                    minimal_truncation(&d, epsilon),
+                    "λ={lambda} ε={epsilon}"
+                );
+                for (k, &q) in t.masses().iter().enumerate() {
+                    assert!((q - d.pmf(k)).abs() < 1e-15, "mass Q'_{k} differs from the pmf");
+                }
+                let acc: f64 = t.masses().iter().sum();
+                assert!((t.error_bound() - (1.0 - acc).max(0.0)).abs() < 1e-12);
+                assert!(t.error_bound() <= epsilon);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_binomial_truncation_matches_definition() {
+        for &(lambda, alpha) in &[(0.5, 0.25), (1.0, 4.0), (2.0, 1.0)] {
+            for &epsilon in &[1e-2, 1e-4, 1e-6] {
+                let d = NegativeBinomial::new(lambda, alpha).unwrap();
+                let t = select_truncation(&d, epsilon).unwrap();
+                assert_eq!(
+                    t.truncation(),
+                    minimal_truncation(&d, epsilon),
+                    "λ={lambda} α={alpha} ε={epsilon}"
+                );
+                for (k, &q) in t.masses().iter().enumerate() {
+                    assert!((q - d.pmf(k)).abs() < 1e-15, "mass Q'_{k} differs from the pmf");
+                }
+                assert!(t.error_bound() <= epsilon);
+            }
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_truncation_points() {
+        // Table 4 uses α = 4 and ε = 1e-3 and reports M = 6 for λ' = 1 and
+        // M = 10 for λ' = 2.
+        let t1 = select_truncation(&NegativeBinomial::new(1.0, 4.0).unwrap(), 1e-3).unwrap();
+        assert_eq!(t1.truncation(), 6);
+        let t2 = select_truncation(&NegativeBinomial::new(2.0, 4.0).unwrap(), 1e-3).unwrap();
+        assert_eq!(t2.truncation(), 10);
     }
 
     #[test]

@@ -27,9 +27,7 @@ impl Netlist {
                 GateKind::Not => !values[gate.fanin[0].index()],
                 GateKind::And => gate.fanin.iter().all(|f| values[f.index()]),
                 GateKind::Or => gate.fanin.iter().any(|f| values[f.index()]),
-                GateKind::Xor => {
-                    gate.fanin.iter().filter(|f| values[f.index()]).count() % 2 == 1
-                }
+                GateKind::Xor => gate.fanin.iter().filter(|f| values[f.index()]).count() % 2 == 1,
                 GateKind::AtLeast(k) => {
                     gate.fanin.iter().filter(|f| values[f.index()]).count() >= k as usize
                 }
@@ -128,9 +126,9 @@ mod tests {
         let nl = example();
         let values = nl.eval_all(&[true, false, false]).unwrap();
         // n3 = a AND b = false, n4 = NOT c = true, n5 = OR = true
-        assert_eq!(values[3], false);
-        assert_eq!(values[4], true);
-        assert_eq!(values[5], true);
+        assert!(!values[3]);
+        assert!(values[4]);
+        assert!(values[5]);
     }
 
     #[test]

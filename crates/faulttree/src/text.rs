@@ -50,8 +50,14 @@ impl Netlist {
                 }
                 _ => {
                     let operands: Vec<String> = gate.fanin.iter().map(|f| name(*f)).collect();
-                    writeln!(text, "{} = {} {}", name(id), gate.kind.mnemonic(), operands.join(" "))
-                        .expect("write to string");
+                    writeln!(
+                        text,
+                        "{} = {} {}",
+                        name(id),
+                        gate.kind.mnemonic(),
+                        operands.join(" ")
+                    )
+                    .expect("write to string");
                 }
             }
         }
@@ -92,7 +98,7 @@ impl Netlist {
                 if target.is_empty() || names.contains_key(target) {
                     return Err(err(format!("bad or duplicate node name `{target}`")));
                 }
-                let mut parts = rhs.trim().split_whitespace();
+                let mut parts = rhs.split_whitespace();
                 let op = parts.next().ok_or_else(|| err("missing operator".to_string()))?;
                 let operands: Result<Vec<NodeId>, NetlistError> = parts
                     .map(|p| {
@@ -114,9 +120,8 @@ impl Netlist {
                     "const1" => nl.constant(true),
                     _ => {
                         if let Some(k) = op.strip_prefix("atleast") {
-                            let k: usize = k
-                                .parse()
-                                .map_err(|_| err(format!("bad threshold in `{op}`")))?;
+                            let k: usize =
+                                k.parse().map_err(|_| err(format!("bad threshold in `{op}`")))?;
                             nl.at_least(k, operands)
                         } else {
                             return Err(err(format!("unknown operator `{op}`")));

@@ -32,11 +32,8 @@ impl Netlist {
 
     /// The set of input variables in the transitive fan-in cone of `root`.
     pub fn support(&self, root: NodeId) -> Vec<VarId> {
-        let mut vars: Vec<VarId> = self
-            .cone(root)
-            .into_iter()
-            .filter_map(|id| self.var_of(id))
-            .collect();
+        let mut vars: Vec<VarId> =
+            self.cone(root).into_iter().filter_map(|id| self.var_of(id)).collect();
         vars.sort();
         vars.dedup();
         vars

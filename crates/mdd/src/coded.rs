@@ -281,11 +281,8 @@ mod tests {
         ]);
         assert_eq!(bad.unwrap_err(), LayoutError::GroupsNotOrdered { var: 0 });
         // Empty variable.
-        let bad = CodedLayout::new(vec![MvVarLayout {
-            domain: 0,
-            bit_levels: vec![],
-            codes: vec![],
-        }]);
+        let bad =
+            CodedLayout::new(vec![MvVarLayout { domain: 0, bit_levels: vec![], codes: vec![] }]);
         assert_eq!(bad.unwrap_err(), LayoutError::EmptyVariable { var: 0 });
         // Error messages are non-empty.
         assert!(!format!("{}", LayoutError::OverlappingLevels).is_empty());

@@ -33,12 +33,7 @@ impl MddManager {
     /// Panics if the manager's domains do not match the layout, or if the
     /// ROBDD tests a level that the layout does not assign to any
     /// multiple-valued variable.
-    pub fn from_coded_bdd(
-        &mut self,
-        bdd: &BddManager,
-        root: BddId,
-        layout: &CodedLayout,
-    ) -> MddId {
+    pub fn from_coded_bdd(&mut self, bdd: &BddManager, root: BddId, layout: &CodedLayout) -> MddId {
         assert_eq!(
             self.domains(),
             layout.domains().as_slice(),
@@ -113,10 +108,7 @@ mod tests {
     /// Builds the coded ROBDD of a function of multiple-valued variables by
     /// explicit case analysis on all assignments (small inputs only), then
     /// converts it and compares against direct evaluation.
-    fn coded_bdd_of<F: Fn(&[usize]) -> bool>(
-        layout: &CodedLayout,
-        f: &F,
-    ) -> (BddManager, BddId) {
+    fn coded_bdd_of<F: Fn(&[usize]) -> bool>(layout: &CodedLayout, f: &F) -> (BddManager, BddId) {
         let mut bdd = BddManager::new(layout.num_bits());
         let domains = layout.domains();
         let mut root = bdd.zero();
@@ -213,11 +205,7 @@ mod tests {
             (0..domain).map(|v| vec![v & 1 == 1, v >> 1 & 1 == 1]).collect();
         let layout = CodedLayout::new(vec![
             MvVarLayout { domain, bit_levels: vec![0, 1], codes: codes_lsb.clone() },
-            MvVarLayout {
-                domain,
-                bit_levels: vec![2, 3],
-                codes: codes_lsb,
-            },
+            MvVarLayout { domain, bit_levels: vec![2, 3], codes: codes_lsb },
         ])
         .unwrap();
         exhaustive_check(&layout, |a| a[0] > a[1]);

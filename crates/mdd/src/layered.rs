@@ -110,10 +110,7 @@ mod tests {
     use crate::coded::MvVarLayout;
 
     /// Builds a coded ROBDD of `f` by summing minterms (small inputs only).
-    fn coded_bdd_of<F: Fn(&[usize]) -> bool>(
-        layout: &CodedLayout,
-        f: &F,
-    ) -> (BddManager, BddId) {
+    fn coded_bdd_of<F: Fn(&[usize]) -> bool>(layout: &CodedLayout, f: &F) -> (BddManager, BddId) {
         let mut bdd = BddManager::new(layout.num_bits());
         let domains = layout.domains();
         let mut root = bdd.zero();

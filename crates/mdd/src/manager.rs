@@ -81,12 +81,7 @@ impl MddManager {
             Node { level: TERMINAL_LEVEL, children: Box::new([]) },
             Node { level: TERMINAL_LEVEL, children: Box::new([]) },
         ];
-        Self {
-            nodes,
-            unique: FxHashMap::default(),
-            domains,
-            op_cache: FxHashMap::default(),
-        }
+        Self { nodes, unique: FxHashMap::default(), domains, op_cache: FxHashMap::default() }
     }
 
     /// The FALSE terminal.
@@ -198,24 +193,21 @@ impl MddManager {
     pub fn value_is(&mut self, level: usize, value: usize) -> MddId {
         let d = self.domains[level];
         assert!(value < d, "value {value} outside domain of level {level}");
-        let children =
-            (0..d).map(|v| if v == value { MddId::ONE } else { MddId::ZERO }).collect();
+        let children = (0..d).map(|v| if v == value { MddId::ONE } else { MddId::ZERO }).collect();
         self.mk(level, children)
     }
 
     /// Indicator of `x_level >= value` (the paper's "filter gate" `≥ l`).
     pub fn value_at_least(&mut self, level: usize, value: usize) -> MddId {
         let d = self.domains[level];
-        let children =
-            (0..d).map(|v| if v >= value { MddId::ONE } else { MddId::ZERO }).collect();
+        let children = (0..d).map(|v| if v >= value { MddId::ONE } else { MddId::ZERO }).collect();
         self.mk(level, children)
     }
 
     /// Indicator of an arbitrary predicate on the value of `x_level`.
     pub fn value_pred<P: FnMut(usize) -> bool>(&mut self, level: usize, mut pred: P) -> MddId {
         let d = self.domains[level];
-        let children =
-            (0..d).map(|v| if pred(v) { MddId::ONE } else { MddId::ZERO }).collect();
+        let children = (0..d).map(|v| if pred(v) { MddId::ONE } else { MddId::ZERO }).collect();
         self.mk(level, children)
     }
 

@@ -100,11 +100,7 @@ mod tests {
         let c = mgr.value_at_least(2, 3);
         let ab = mgr.and(a, b);
         let f = mgr.or(ab, c);
-        let dist = vec![
-            vec![0.5, 0.25, 0.25],
-            vec![0.9, 0.1],
-            vec![0.4, 0.3, 0.2, 0.1],
-        ];
+        let dist = vec![vec![0.5, 0.25, 0.25], vec![0.9, 0.1], vec![0.4, 0.3, 0.2, 0.1]];
         // Brute-force enumeration.
         let mut expect = 0.0;
         for x0 in 0..3 {
@@ -156,7 +152,7 @@ mod tests {
 
         // Hand enumeration of 1 - Y_M = P(G = 1).
         let mut expect = q[3]; // W = M+1 always makes G = 1
-        for w in 0..=m {
+        for (w, &qw) in q.iter().enumerate().take(m + 1) {
             // enumerate v1, v2 (only the first w defects matter)
             for v1 in 0..3 {
                 for v2 in 0..3 {
@@ -169,7 +165,7 @@ mod tests {
                     }
                     let f_val = (failed[0] && failed[1]) || failed[2];
                     if f_val {
-                        expect += q[w] * p[v1] * p[v2];
+                        expect += qw * p[v1] * p[v2];
                     }
                 }
             }

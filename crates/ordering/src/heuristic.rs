@@ -67,8 +67,8 @@ pub fn heuristic_input_order(netlist: &Netlist, heuristic: BitHeuristic) -> Vec<
     for v in &order {
         present[v.index()] = true;
     }
-    for i in 0..netlist.num_inputs() {
-        if !present[i] {
+    for (i, covered) in present.iter().enumerate() {
+        if !covered {
             order.push(VarId::new(i));
         }
     }
@@ -148,7 +148,8 @@ fn h4_order(netlist: &Netlist, output: NodeId) -> Vec<VarId> {
                         (non_visited, index_sum, pos, child)
                     })
                     .collect();
-                keyed.sort_by_key(|&(non_visited, index_sum, pos, _)| (non_visited, index_sum, pos));
+                keyed
+                    .sort_by_key(|&(non_visited, index_sum, pos, _)| (non_visited, index_sum, pos));
                 let children: Vec<NodeId> = keyed.into_iter().map(|(_, _, _, id)| id).collect();
                 stack.push(Frame::Children { children, next: 0 });
             }

@@ -118,15 +118,14 @@ pub fn compute_ordering(
             let mut keyed: Vec<(f64, usize)> = (0..groups.num_vars())
                 .map(|index| {
                     let group = groups.group(index);
-                    let avg = group
-                        .iter()
-                        .map(|v| positions[v.index()] as f64)
-                        .sum::<f64>()
+                    let avg = group.iter().map(|v| positions[v.index()] as f64).sum::<f64>()
                         / group.len() as f64;
                     (avg, index)
                 })
                 .collect();
-            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("averages are finite").then(a.1.cmp(&b.1)));
+            keyed.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("averages are finite").then(a.1.cmp(&b.1))
+            });
             keyed.into_iter().map(|(_, index)| index).collect()
         }
     };

@@ -169,10 +169,7 @@ impl OrderingSpec {
     /// The seven specifications evaluated in Table 2 (all multiple-valued
     /// orderings, each with `ml` bit groups).
     pub fn table2_specs() -> Vec<Self> {
-        MvOrdering::ALL
-            .iter()
-            .map(|&mv| Self { mv, group: GroupOrdering::MsbFirst })
-            .collect()
+        MvOrdering::ALL.iter().map(|&mv| Self { mv, group: GroupOrdering::MsbFirst }).collect()
     }
 
     /// The three specifications evaluated in Table 3 (`w` multiple-valued

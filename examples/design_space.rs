@@ -44,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let analysis = analyze(&system.fault_tree, &components, &lethal, &options)?;
         println!(
             "{:>8} {:>6} {:>10.4}",
-            alpha,
-            analysis.report.truncation,
-            analysis.report.yield_lower_bound
+            alpha, analysis.report.truncation, analysis.report.yield_lower_bound
         );
     }
     println!(

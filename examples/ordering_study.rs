@@ -10,7 +10,9 @@
 
 use soc_yield::benchmarks::esen;
 use soc_yield::defect::NegativeBinomial;
-use soc_yield::{analyze, analyze_direct, AnalysisOptions, GroupOrdering, MvOrdering, OrderingSpec};
+use soc_yield::{
+    analyze, analyze_direct, AnalysisOptions, GroupOrdering, MvOrdering, OrderingSpec,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = esen(4, 2);
@@ -55,11 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let direct = analyze_direct(&system.fault_tree, &components, &lethal, &options)?;
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>10.4}   (direct ROMDD construction)",
-        "w/ml",
-        "-",
-        "-",
-        direct.report.romdd_size,
-        direct.report.yield_lower_bound
+        "w/ml", "-", "-", direct.report.romdd_size, direct.report.yield_lower_bound
     );
     println!(
         "\nAll orderings yield the same value (the function is the same); only the \

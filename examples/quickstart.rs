@@ -46,10 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("exact truncated yield     : {exact:.6}");
 
     // 5. ...and against a Monte-Carlo simulation (statistical error only).
-    let sim = MonteCarloYield::new(&fault_tree, &components, &lethal, SimulationOptions::default())?;
+    let sim =
+        MonteCarloYield::new(&fault_tree, &components, &lethal, SimulationOptions::default())?;
     let estimate = sim.run(200_000, 42);
     let (lo, hi) = estimate.confidence_interval(1.96);
-    println!("Monte-Carlo estimate      : {:.6} (95% CI [{lo:.4}, {hi:.4}])", estimate.yield_estimate);
+    println!(
+        "Monte-Carlo estimate      : {:.6} (95% CI [{lo:.4}, {hi:.4}])",
+        estimate.yield_estimate
+    );
 
     // 6. The ROMDD itself can be exported for inspection.
     let dot = analysis.mdd.to_dot(analysis.romdd_root, Some(&analysis.mv_names));

@@ -1,0 +1,126 @@
+//! `#[derive(Serialize)]` for the offline serde shim.
+//!
+//! Implemented directly on top of `proc_macro` (no `syn`/`quote`, which
+//! are unavailable offline). Supports exactly what this workspace uses:
+//! non-generic structs with named fields. Anything else produces a
+//! compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting the struct's fields, in
+/// declaration order, into a JSON object.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(stream) => stream,
+        Err(message) => format!("compile_error!({message:?});").parse().expect("valid error"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name>`, skipping attributes and visibility.
+    let mut struct_at = None;
+    for (i, token) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(ident) = token {
+            match ident.to_string().as_str() {
+                "struct" => {
+                    struct_at = Some(i);
+                    break;
+                }
+                "enum" | "union" => {
+                    return Err("the serde shim derive supports only structs \
+                                with named fields"
+                        .to_string());
+                }
+                _ => {}
+            }
+        }
+    }
+    let struct_at = struct_at.ok_or("expected a struct definition")?;
+    let name = match tokens.get(struct_at + 1) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected a struct name".to_string()),
+    };
+    if matches!(tokens.get(struct_at + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("the serde shim derive does not support generic structs".to_string());
+    }
+
+    let body = tokens[struct_at + 2..]
+        .iter()
+        .find_map(|token| match token {
+            TokenTree::Group(group) if group.delimiter() == Delimiter::Brace => {
+                Some(group.stream())
+            }
+            _ => None,
+        })
+        .ok_or("the serde shim derive supports only structs with named fields")?;
+
+    let fields = parse_named_fields(body)?;
+    let mut pushes = String::new();
+    for field in &fields {
+        pushes.push_str(&format!(
+            "__fields.push(({field:?}.to_string(), \
+             ::serde::Serialize::to_json(&self.{field})));\n"
+        ));
+    }
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}\n"
+    );
+    output.parse().map_err(|e| format!("shim derive produced invalid Rust: {e:?}"))
+}
+
+/// Extracts field names from the token stream of a named-field struct
+/// body: `[#[attr]] [pub[(..)]] name : Type ,` repeated.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes.
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2; // `#` and the bracketed group
+            if i >= tokens.len() {
+                return Err("unexpected end of struct body after attribute".to_string());
+            }
+        }
+        // Skip visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected a field name, found `{other}`")),
+        };
+        fields.push(name);
+        // Skip `: Type` until a comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}

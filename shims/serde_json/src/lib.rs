@@ -1,0 +1,79 @@
+//! Minimal offline stand-in for `serde_json`: pretty/compact printing of
+//! values implementing the serde shim's `Serialize` trait.
+
+#![forbid(unsafe_code)]
+
+pub use serde::Value;
+
+/// Serialisation error. The shim's data model is total, so this is never
+/// actually produced; it exists so call sites can keep serde_json's
+/// `Result` signature.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_pretty_string())
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let pretty = value.to_json().to_pretty_string();
+    // The shim keeps this simple: strip the indentation produced by the
+    // pretty printer. Strings never span lines, so joining is safe.
+    Ok(pretty.lines().map(str::trim_start).collect::<Vec<_>>().join("").replace("\": ", "\":"))
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        benchmark: String,
+        lambda: f64,
+        truncation: usize,
+        monte_carlo_yield: Option<f64>,
+    }
+
+    #[test]
+    fn derive_and_pretty_print_round_trip() {
+        let rows = vec![
+            Row {
+                benchmark: "MS2".to_string(),
+                lambda: 1.0,
+                truncation: 6,
+                monte_carlo_yield: Some(0.25),
+            },
+            Row {
+                benchmark: "ESEN4x1".to_string(),
+                lambda: 2.0,
+                truncation: 10,
+                monte_carlo_yield: None,
+            },
+        ];
+        let text = super::to_string_pretty(rows.as_slice()).unwrap();
+        assert!(text.contains("\"benchmark\": \"MS2\""));
+        assert!(text.contains("\"lambda\": 1.0"));
+        assert!(text.contains("\"truncation\": 6"));
+        assert!(text.contains("\"monte_carlo_yield\": null"));
+        // Field order follows declaration order.
+        let b = text.find("\"benchmark\"").unwrap();
+        let l = text.find("\"lambda\"").unwrap();
+        assert!(b < l);
+    }
+
+    #[test]
+    fn compact_form_has_no_newlines() {
+        let text = super::to_string(&vec![1u32, 2, 3]).unwrap();
+        assert_eq!(text, "[1,2,3]");
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-engine consistency: the coded-ROBDD → ROMDD conversion route
+//! (both the top-down and the layered algorithm) and the direct ROMDD
+//! construction must produce the same decision diagram — and therefore
+//! identical yields — on the classic redundancy structures.
+
+use soc_yield::defect::{ComponentProbabilities, NegativeBinomial};
+use soc_yield::{analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, Netlist};
+
+/// Triple-modular-redundant system: fails when at least two replicas fail.
+fn tmr() -> (Netlist, ComponentProbabilities) {
+    let mut f = Netlist::new();
+    let a = f.input("replica_a");
+    let b = f.input("replica_b");
+    let c = f.input("replica_c");
+    let vote = f.at_least(2, [a, b, c]);
+    f.set_output(vote);
+    let comps = ComponentProbabilities::new(vec![1.0 / 3.0; 3]).unwrap();
+    (f, comps)
+}
+
+/// 1-out-of-2 system: fails only when both components fail.
+fn one_out_of_two() -> (Netlist, ComponentProbabilities) {
+    let mut f = Netlist::new();
+    let x1 = f.input("x1");
+    let x2 = f.input("x2");
+    let both = f.and([x1, x2]);
+    f.set_output(both);
+    let comps = ComponentProbabilities::new(vec![0.6, 0.4]).unwrap();
+    (f, comps)
+}
+
+fn check_engines_agree(netlist: &Netlist, comps: &ComponentProbabilities, label: &str) {
+    let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+    for epsilon in [1e-3, 1e-6] {
+        let top_down = AnalysisOptions {
+            epsilon,
+            conversion: ConversionAlgorithm::TopDown,
+            ..AnalysisOptions::default()
+        };
+        let layered = AnalysisOptions {
+            epsilon,
+            conversion: ConversionAlgorithm::Layered,
+            ..AnalysisOptions::default()
+        };
+
+        let via_top_down = analyze(netlist, comps, &lethal, &top_down).unwrap();
+        let via_layered = analyze(netlist, comps, &lethal, &layered).unwrap();
+        let direct = analyze_direct(netlist, comps, &lethal, &top_down).unwrap();
+
+        // Same reduced canonical diagram: node counts must agree exactly.
+        assert_eq!(
+            via_top_down.report.romdd_size, direct.report.romdd_size,
+            "{label} ε={epsilon}: conversion and direct ROMDD sizes differ"
+        );
+        assert_eq!(
+            via_top_down.report.romdd_size, via_layered.report.romdd_size,
+            "{label} ε={epsilon}: top-down and layered conversion sizes differ"
+        );
+
+        // Identical yields, far below the method's error bound.
+        let y = via_top_down.report.yield_lower_bound;
+        for (name, other) in [
+            ("layered conversion", via_layered.report.yield_lower_bound),
+            ("direct ROMDD", direct.report.yield_lower_bound),
+        ] {
+            assert!(
+                (y - other).abs() < 1e-12,
+                "{label} ε={epsilon}: coded-ROBDD route {y} vs {name} {other}"
+            );
+        }
+        assert!((0.0..=1.0).contains(&y), "{label}: yield {y} out of range");
+        assert!(via_top_down.report.error_bound <= epsilon);
+    }
+}
+
+#[test]
+fn tmr_yields_agree_across_engines() {
+    let (netlist, comps) = tmr();
+    check_engines_agree(&netlist, &comps, "TMR");
+}
+
+#[test]
+fn one_out_of_two_yields_agree_across_engines() {
+    let (netlist, comps) = one_out_of_two();
+    check_engines_agree(&netlist, &comps, "1-out-of-2");
+}
+
+#[test]
+fn tmr_beats_simplex_at_low_defect_density() {
+    // Sanity anchor: with few expected lethal defects, masking two-of-three
+    // failures must help compared to a single component carrying the same
+    // failure exposure.
+    let (netlist, comps) = tmr();
+    let lethal = NegativeBinomial::new(0.5, 4.0).unwrap();
+    let options = AnalysisOptions::default();
+    let tmr_yield = analyze(&netlist, &comps, &lethal, &options).unwrap().report.yield_lower_bound;
+
+    let mut simplex = Netlist::new();
+    let x = simplex.input("x");
+    simplex.set_output(x);
+    let simplex_comps = ComponentProbabilities::new(vec![1.0]).unwrap();
+    let simplex_yield =
+        analyze(&simplex, &simplex_comps, &lethal, &options).unwrap().report.yield_lower_bound;
+
+    assert!(
+        tmr_yield > simplex_yield,
+        "TMR ({tmr_yield}) should out-yield simplex ({simplex_yield}) at λ' = 0.5"
+    );
+}

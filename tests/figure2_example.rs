@@ -74,9 +74,8 @@ fn figure2_yield_matches_hand_enumeration_exact_baseline_and_simulation() {
 
     // Monte-Carlo simulation: only statistical error remains since the defect
     // count never exceeds the truncation point.
-    let sim =
-        MonteCarloYield::new(&fault_tree, &components, &lethal, SimulationOptions::default())
-            .unwrap();
+    let sim = MonteCarloYield::new(&fault_tree, &components, &lethal, SimulationOptions::default())
+        .unwrap();
     let estimate = sim.run(300_000, 7);
     assert!(
         (estimate.yield_estimate - expected).abs() < 5.0 * estimate.standard_error + 1e-3,
@@ -92,13 +91,10 @@ fn figure2_romdd_has_the_papers_variable_structure() {
     let fault_tree = figure2_fault_tree();
     let components = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
     let lethal = Empirical::new(vec![0.5, 0.3, 0.15]).unwrap();
-    let spec = soc_yield::OrderingSpec::new(
-        soc_yield::MvOrdering::Vw,
-        soc_yield::GroupOrdering::MsbFirst,
-    )
-    .unwrap();
-    let options =
-        AnalysisOptions { fixed_truncation: Some(2), spec, ..AnalysisOptions::default() };
+    let spec =
+        soc_yield::OrderingSpec::new(soc_yield::MvOrdering::Vw, soc_yield::GroupOrdering::MsbFirst)
+            .unwrap();
+    let options = AnalysisOptions { fixed_truncation: Some(2), spec, ..AnalysisOptions::default() };
     let analysis = analyze(&fault_tree, &components, &lethal, &options).unwrap();
     assert_eq!(analysis.mv_order, vec![1, 2, 0]);
     assert_eq!(analysis.mdd.domains(), &[3, 3, 4]);
@@ -107,5 +103,5 @@ fn figure2_romdd_has_the_papers_variable_structure() {
     // ROMDD of the same function under the same ordering, so it can only be
     // equal or smaller.
     let inner = analysis.mdd.inner_node_count(analysis.romdd_root);
-    assert!(inner <= 7 && inner >= 4, "unexpected ROMDD size {inner}");
+    assert!((4..=7).contains(&inner), "unexpected ROMDD size {inner}");
 }

@@ -34,9 +34,13 @@ fn ms2_matches_exact_baseline_and_simulation() {
     );
 
     // Monte-Carlo oracle within a few standard errors plus the truncation error.
-    let sim =
-        MonteCarloYield::new(&system.fault_tree, &components, &lethal, SimulationOptions::default())
-            .unwrap();
+    let sim = MonteCarloYield::new(
+        &system.fault_tree,
+        &components,
+        &lethal,
+        SimulationOptions::default(),
+    )
+    .unwrap();
     let estimate = sim.run(150_000, 11);
     let slack = 4.0 * estimate.standard_error + analysis.report.error_bound + 1e-3;
     assert!((estimate.yield_estimate - analysis.report.yield_lower_bound).abs() < slack);
@@ -76,9 +80,7 @@ fn esen4x2_layered_and_top_down_conversions_agree() {
     )
     .unwrap();
     assert_eq!(top_down.report.romdd_size, layered.report.romdd_size);
-    assert!(
-        (top_down.report.yield_lower_bound - layered.report.yield_lower_bound).abs() < 1e-12
-    );
+    assert!((top_down.report.yield_lower_bound - layered.report.yield_lower_bound).abs() < 1e-12);
 }
 
 #[test]

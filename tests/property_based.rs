@@ -91,7 +91,7 @@ proptest! {
                 h = h.wrapping_mul(0x100000001b3).wrapping_add(v as u64 + 1);
                 h ^= h >> 29;
             }
-            h % 3 == 0
+            h.is_multiple_of(3)
         };
         // Build the coded ROBDD by summing minterms.
         let mut bdd = BddManager::new(layout.num_bits());
