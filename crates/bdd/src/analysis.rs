@@ -2,7 +2,6 @@
 //! counts, supports, satisfying fractions and probability of the function
 //! being 1 under independent variable probabilities.
 
-use crate::hash::FxHashMap;
 use crate::manager::{BddId, BddManager};
 
 impl BddManager {
@@ -13,67 +12,28 @@ impl BddManager {
     /// Panics if the assignment is shorter than the largest level actually
     /// tested on the path followed.
     pub fn eval(&self, f: BddId, assignment: &[bool]) -> bool {
-        let mut cur = f;
-        while !cur.is_terminal() {
-            let level = self.level(cur).expect("non-terminal has a level");
-            cur = if assignment[level] { self.high(cur) } else { self.low(cur) };
-        }
-        cur.is_one()
+        self.dd.eval(f.0, |level| usize::from(assignment[level]))
     }
 
     /// Number of nodes reachable from `f`, **including** the terminal
     /// nodes reached. This matches the usual "BDD size" metric.
     pub fn node_count(&self, f: BddId) -> usize {
-        let mut seen: FxHashMap<BddId, ()> = FxHashMap::default();
-        let mut stack = vec![f];
-        while let Some(id) = stack.pop() {
-            if seen.insert(id, ()).is_some() || id.is_terminal() {
-                continue;
-            }
-            stack.push(self.low(id));
-            stack.push(self.high(id));
-        }
-        seen.len()
+        self.dd.node_count(f.0)
     }
 
     /// Number of *non-terminal* nodes reachable from `f`.
     pub fn inner_node_count(&self, f: BddId) -> usize {
-        let total = self.node_count(f);
-        let terminals = if f.is_terminal() {
-            1
-        } else {
-            // At least one terminal is always reachable from a non-terminal; both iff the
-            // function is non-constant, which is always the case for a reduced non-terminal root.
-            2
-        };
-        total.saturating_sub(terminals)
+        self.dd.inner_node_count(f.0)
     }
 
     /// All nodes reachable from `f` in depth-first order (each node once).
     pub fn reachable(&self, f: BddId) -> Vec<BddId> {
-        let mut seen: FxHashMap<BddId, ()> = FxHashMap::default();
-        let mut order = Vec::new();
-        let mut stack = vec![f];
-        while let Some(id) = stack.pop() {
-            if seen.insert(id, ()).is_some() {
-                continue;
-            }
-            order.push(id);
-            if !id.is_terminal() {
-                stack.push(self.low(id));
-                stack.push(self.high(id));
-            }
-        }
-        order
+        self.dd.reachable(f.0).into_iter().map(BddId).collect()
     }
 
     /// The set of variable levels appearing in `f`, in increasing order.
     pub fn support(&self, f: BddId) -> Vec<usize> {
-        let mut levels: Vec<usize> =
-            self.reachable(f).iter().filter_map(|&id| self.level(id)).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels
+        self.dd.support(f.0)
     }
 
     /// Fraction of the `2^num_levels` assignments that satisfy `f`
@@ -96,34 +56,15 @@ impl BddManager {
     /// Panics if `probabilities` is shorter than the number of levels in
     /// the support of `f`.
     pub fn probability(&self, f: BddId, probabilities: &[f64]) -> f64 {
-        let mut cache: FxHashMap<BddId, f64> = FxHashMap::default();
-        self.probability_memo(f, probabilities, &mut cache)
-    }
-
-    fn probability_memo(
-        &self,
-        f: BddId,
-        probabilities: &[f64],
-        cache: &mut FxHashMap<BddId, f64>,
-    ) -> f64 {
-        if f.is_one() {
-            return 1.0;
-        }
-        if f.is_zero() {
-            return 0.0;
-        }
-        if let Some(&p) = cache.get(&f) {
-            return p;
-        }
-        let level = self.level(f).expect("non-terminal has a level");
-        let p_var = probabilities[level];
-        let p_low = self.probability_memo(self.low(f), probabilities, cache);
-        let p_high = self.probability_memo(self.high(f), probabilities, cache);
-        // Variables skipped between this node and its children contribute a factor of
-        // (p + (1-p)) = 1, so they can be ignored.
-        let p = (1.0 - p_var) * p_low + p_var * p_high;
-        cache.insert(f, p);
-        p
+        // Variables skipped between a node and its children contribute a factor
+        // of (p + (1-p)) = 1, so the kernel can ignore them.
+        self.dd.probability(f.0, |level, value| {
+            if value == 1 {
+                probabilities[level]
+            } else {
+                1.0 - probabilities[level]
+            }
+        })
     }
 
     /// Counts the satisfying assignments of `f` over all `num_levels`

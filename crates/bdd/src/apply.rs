@@ -6,11 +6,12 @@
 
 use crate::manager::{BddId, BddManager, TERMINAL_LEVEL};
 
-/// Operation tags used as keys in the binary-operation cache.
+/// Operation tags used as keys in the kernel's operation cache.
 const OP_AND: u8 = 0;
 const OP_OR: u8 = 1;
 const OP_XOR: u8 = 2;
 const OP_NOT: u8 = 3;
+const OP_ITE: u8 = 4;
 
 impl BddManager {
     /// Logical negation.
@@ -21,8 +22,8 @@ impl BddManager {
         if f.is_one() {
             return BddId::ZERO;
         }
-        if let Some(&r) = self.op_cache.get(&(OP_NOT, f, f)) {
-            return r;
+        if let Some(r) = self.dd.cache_get((OP_NOT, f.0, f.0, 0)) {
+            return BddId(r);
         }
         let level = self.raw_level(f) as usize;
         let low = self.low(f);
@@ -30,7 +31,7 @@ impl BddManager {
         let nl = self.not(low);
         let nh = self.not(high);
         let r = self.mk(level, nl, nh);
-        self.op_cache.insert((OP_NOT, f, f), r);
+        self.dd.cache_insert((OP_NOT, f.0, f.0, 0), r.0);
         r
     }
 
@@ -103,8 +104,8 @@ impl BddManager {
         if g.is_one() && h.is_zero() {
             return f;
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
-            return r;
+        if let Some(r) = self.dd.cache_get((OP_ITE, f.0, g.0, h.0)) {
+            return BddId(r);
         }
         let top = self.raw_level(f).min(self.raw_level(g)).min(self.raw_level(h));
         debug_assert_ne!(top, TERMINAL_LEVEL);
@@ -114,7 +115,7 @@ impl BddManager {
         let low = self.ite(f0, g0, h0);
         let high = self.ite(f1, g1, h1);
         let r = self.mk(top as usize, low, high);
-        self.ite_cache.insert((f, g, h), r);
+        self.dd.cache_insert((OP_ITE, f.0, g.0, h.0), r.0);
         r
     }
 
@@ -233,8 +234,8 @@ impl BddManager {
         }
         // Commutative operations: normalise the operand order for better cache hit rates.
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.op_cache.get(&(op, a, b)) {
-            return r;
+        if let Some(r) = self.dd.cache_get((op, a.0, b.0, 0)) {
+            return BddId(r);
         }
         let top = self.raw_level(a).min(self.raw_level(b));
         let (a0, a1) = self.cofactors_at(a, top);
@@ -242,7 +243,7 @@ impl BddManager {
         let low = self.binary(op, a0, b0);
         let high = self.binary(op, a1, b1);
         let r = self.mk(top as usize, low, high);
-        self.op_cache.insert((op, a, b), r);
+        self.dd.cache_insert((op, a.0, b.0, 0), r.0);
         r
     }
 

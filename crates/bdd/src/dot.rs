@@ -1,6 +1,6 @@
 //! Graphviz (DOT) export of ROBDDs, for inspection and documentation.
 
-use std::fmt::Write as _;
+use socy_dd::dot::{level_label, DotWriter};
 
 use crate::manager::{BddId, BddManager};
 
@@ -11,29 +11,17 @@ impl BddManager {
     /// (variable = 1) edges. `var_names` optionally maps levels to
     /// human-readable names; levels without a name are rendered as `x<level>`.
     pub fn to_dot(&self, f: BddId, var_names: Option<&[String]>) -> String {
-        let mut out = String::new();
-        writeln!(out, "digraph robdd {{").expect("write to string");
-        writeln!(out, "  rankdir=TB;").expect("write to string");
-        writeln!(out, "  node0 [label=\"0\", shape=box];").expect("write to string");
-        writeln!(out, "  node1 [label=\"1\", shape=box];").expect("write to string");
+        let mut dot = DotWriter::new("robdd");
         for id in self.reachable(f) {
             if id.is_terminal() {
                 continue;
             }
             let level = self.level(id).expect("non-terminal");
-            let label = match var_names.and_then(|n| n.get(level)) {
-                Some(name) => name.clone(),
-                None => format!("x{level}"),
-            };
-            writeln!(out, "  node{} [label=\"{label}\", shape=circle];", id.index())
-                .expect("write to string");
-            writeln!(out, "  node{} -> node{} [style=dashed];", id.index(), self.low(id).index())
-                .expect("write to string");
-            writeln!(out, "  node{} -> node{};", id.index(), self.high(id).index())
-                .expect("write to string");
+            dot.node(id.0, &level_label(var_names, level));
+            dot.edge(id.0, self.low(id).0, Some("style=dashed"));
+            dot.edge(id.0, self.high(id).0, None);
         }
-        writeln!(out, "}}").expect("write to string");
-        out
+        dot.finish()
     }
 }
 

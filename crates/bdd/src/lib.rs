@@ -4,7 +4,8 @@
 //! generalized fault-tree function `G(w, v_1, …, v_M)` expressed in binary
 //! logic, and later converts it into the ROMDD it actually analyses. The
 //! original paper used the CMU BDD library; this crate provides an
-//! equivalent, self-contained engine:
+//! equivalent, self-contained engine as a thin boolean layer over the
+//! shared [`socy_dd`] hash-consing kernel:
 //!
 //! * hash-consed nodes with a unique table ([`BddManager`]);
 //! * the usual boolean operations (`not`, `and`, `or`, `xor`, `ite`) with
@@ -44,7 +45,9 @@ pub mod analysis;
 pub mod apply;
 pub mod build;
 pub mod dot;
-pub mod hash;
 pub mod manager;
+
+pub use socy_dd::hash;
+pub use socy_dd::DdStats;
 
 pub use manager::{BddId, BddManager};

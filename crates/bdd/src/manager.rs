@@ -1,8 +1,9 @@
-//! The [`BddManager`]: node arena, unique table and terminals.
+//! The [`BddManager`]: a thin boolean-logic layer over the shared
+//! [`socy_dd`] kernel (arena, unique table, operation cache).
 
 use std::fmt;
 
-use crate::hash::FxHashMap;
+use socy_dd::kernel::{DdKernel, DdStats};
 
 /// Identifier of a BDD node within a [`BddManager`].
 ///
@@ -13,9 +14,9 @@ pub struct BddId(pub(crate) u32);
 
 impl BddId {
     /// The FALSE terminal.
-    pub const ZERO: BddId = BddId(0);
+    pub const ZERO: BddId = BddId(socy_dd::ZERO);
     /// The TRUE terminal.
-    pub const ONE: BddId = BddId(1);
+    pub const ONE: BddId = BddId(socy_dd::ONE);
 
     /// Raw index of this node in the manager's arena.
     pub fn index(self) -> usize {
@@ -50,49 +51,24 @@ impl fmt::Display for BddId {
 
 /// Level used internally for terminal nodes (greater than every variable
 /// level, so terminals sort below all variables).
-pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
-
-/// A BDD node: variable level plus low (value-0) and high (value-1) children.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Node {
-    pub level: u32,
-    pub low: BddId,
-    pub high: BddId,
-}
+pub(crate) const TERMINAL_LEVEL: u32 = socy_dd::TERMINAL_LEVEL;
 
 /// A manager owning a forest of ROBDD nodes over a fixed number of
 /// variable levels.
 ///
 /// All functions created through one manager share structure via the
-/// unique table, which is what makes the representation canonical: two
-/// [`BddId`]s are equal **iff** they denote the same boolean function under
-/// the manager's variable order.
+/// kernel's unique table, which is what makes the representation
+/// canonical: two [`BddId`]s are equal **iff** they denote the same
+/// boolean function under the manager's variable order.
 #[derive(Debug, Clone)]
 pub struct BddManager {
-    pub(crate) nodes: Vec<Node>,
-    unique: FxHashMap<(u32, BddId, BddId), BddId>,
-    pub(crate) num_levels: u32,
-    /// Memoization caches for the apply operations (see `apply.rs`).
-    pub(crate) op_cache: FxHashMap<(u8, BddId, BddId), BddId>,
-    pub(crate) ite_cache: FxHashMap<(BddId, BddId, BddId), BddId>,
+    pub(crate) dd: DdKernel,
 }
 
 impl BddManager {
     /// Creates a manager over `num_levels` boolean variable levels.
     pub fn new(num_levels: usize) -> Self {
-        let nodes = vec![
-            // FALSE terminal
-            Node { level: TERMINAL_LEVEL, low: BddId::ZERO, high: BddId::ZERO },
-            // TRUE terminal
-            Node { level: TERMINAL_LEVEL, low: BddId::ONE, high: BddId::ONE },
-        ];
-        Self {
-            nodes,
-            unique: FxHashMap::default(),
-            num_levels: num_levels as u32,
-            op_cache: FxHashMap::default(),
-            ite_cache: FxHashMap::default(),
-        }
+        Self { dd: DdKernel::new(vec![2; num_levels]) }
     }
 
     /// The FALSE terminal.
@@ -107,23 +83,18 @@ impl BddManager {
 
     /// Number of variable levels this manager was created with.
     pub fn num_levels(&self) -> usize {
-        self.num_levels as usize
+        self.dd.num_levels()
     }
 
     /// Extends the manager with additional variable levels (appended after
     /// the existing ones). Existing nodes are unaffected.
     pub fn add_levels(&mut self, extra: usize) {
-        self.num_levels += extra as u32;
+        self.dd.add_levels(std::iter::repeat_n(2, extra));
     }
 
     /// The level tested by `id`, or `None` for terminals.
     pub fn level(&self, id: BddId) -> Option<usize> {
-        let l = self.nodes[id.index()].level;
-        if l == TERMINAL_LEVEL {
-            None
-        } else {
-            Some(l as usize)
-        }
+        self.dd.level(id.0)
     }
 
     /// The low (variable = 0) child of a non-terminal node.
@@ -133,7 +104,7 @@ impl BddManager {
     /// Panics if `id` is a terminal.
     pub fn low(&self, id: BddId) -> BddId {
         assert!(!id.is_terminal(), "terminals have no children");
-        self.nodes[id.index()].low
+        BddId(self.dd.child(id.0, 0))
     }
 
     /// The high (variable = 1) child of a non-terminal node.
@@ -143,11 +114,11 @@ impl BddManager {
     /// Panics if `id` is a terminal.
     pub fn high(&self, id: BddId) -> BddId {
         assert!(!id.is_terminal(), "terminals have no children");
-        self.nodes[id.index()].high
+        BddId(self.dd.child(id.0, 1))
     }
 
     pub(crate) fn raw_level(&self, id: BddId) -> u32 {
-        self.nodes[id.index()].level
+        self.dd.raw_level(id.0)
     }
 
     /// Returns (creating if necessary) the canonical node `(level, low, high)`.
@@ -161,22 +132,12 @@ impl BddManager {
     /// not strictly below `level` (which would violate the ordering
     /// invariant).
     pub fn mk(&mut self, level: usize, low: BddId, high: BddId) -> BddId {
-        assert!((level as u32) < self.num_levels, "level {level} out of range");
+        assert!(level < self.dd.num_levels(), "level {level} out of range");
         debug_assert!(
             self.raw_level(low) > level as u32 && self.raw_level(high) > level as u32,
             "children must test strictly lower levels"
         );
-        if low == high {
-            return low;
-        }
-        let key = (level as u32, low, high);
-        if let Some(&id) = self.unique.get(&key) {
-            return id;
-        }
-        let id = BddId(self.nodes.len() as u32);
-        self.nodes.push(Node { level: level as u32, low, high });
-        self.unique.insert(key, id);
-        id
+        BddId(self.dd.mk(level as u32, &[low.0, high.0]))
     }
 
     /// The positive literal of the variable at `level`.
@@ -212,15 +173,20 @@ impl BddManager {
     /// the *peak* number of live ROBDD nodes — the metric the paper reports
     /// as "ROBDD peak" (it determines peak memory consumption).
     pub fn peak_nodes(&self) -> usize {
-        self.nodes.len()
+        self.dd.peak_nodes()
+    }
+
+    /// Kernel statistics: peak nodes, unique-table entries and
+    /// operation-cache hit/miss counts.
+    pub fn stats(&self) -> DdStats {
+        self.dd.stats()
     }
 
     /// Clears the operation caches (the unique table is kept, so canonicity
     /// is unaffected). Useful between large independent builds to bound
     /// cache memory.
     pub fn clear_op_caches(&mut self) {
-        self.op_cache.clear();
-        self.ite_cache.clear();
+        self.dd.clear_op_cache();
     }
 }
 
@@ -295,5 +261,17 @@ mod tests {
         mgr.add_levels(2);
         assert_eq!(mgr.num_levels(), 3);
         let _ = mgr.var(2);
+    }
+
+    #[test]
+    fn stats_track_the_kernel() {
+        let mut mgr = BddManager::new(3);
+        let x = mgr.var(0);
+        let y = mgr.var(1);
+        let _ = mgr.and(x, y);
+        let stats = mgr.stats();
+        assert_eq!(stats.peak_nodes, mgr.peak_nodes());
+        assert_eq!(stats.unique_entries, mgr.peak_nodes() - 2);
+        assert!(stats.op_cache_misses > 0);
     }
 }

@@ -3,11 +3,13 @@
 //! benchmark instances, plus the two ablations:
 //!
 //! * coded-ROBDD route vs direct ROMDD construction,
-//! * top-down vs layered conversion algorithm.
+//! * top-down vs layered conversion algorithm,
+//! * ε sweep through [`Pipeline::sweep_epsilons`] (compile once, evaluate
+//!   three times) vs three independent [`analyze`] calls.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use soc_yield_core::{analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm};
+use soc_yield_core::{analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, Pipeline};
 use socy_benchmarks::{esen, ms, BenchmarkSystem};
 use socy_defect::NegativeBinomial;
 
@@ -82,5 +84,44 @@ fn bench_construction_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_construction_ablation);
+fn bench_sweep_vs_independent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epsilon_sweep");
+    group.sample_size(10);
+    let system = esen(4, 1);
+    let components = system.component_probabilities(1.0).expect("valid weights");
+    let lethal = NegativeBinomial::new(1.0, 4.0)
+        .expect("valid parameters")
+        .thinned(components.lethality())
+        .expect("valid lethality");
+    let epsilons = [1e-2, 1e-3, 1e-4];
+    group.bench_function("three_independent_analyze", |b| {
+        b.iter(|| {
+            epsilons
+                .iter()
+                .map(|&epsilon| {
+                    let options = AnalysisOptions { epsilon, ..AnalysisOptions::default() };
+                    analyze(&system.fault_tree, &components, &lethal, &options)
+                        .expect("analysis succeeds")
+                        .report
+                        .yield_lower_bound
+                })
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("pipeline_sweep", |b| {
+        b.iter(|| {
+            let mut pipeline =
+                Pipeline::new(&system.fault_tree, &components).expect("valid system");
+            pipeline
+                .sweep_epsilons(&lethal, &epsilons, &AnalysisOptions::default())
+                .expect("sweep succeeds")
+                .iter()
+                .map(|r| r.yield_lower_bound)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_construction_ablation, bench_sweep_vs_independent);
 criterion_main!(benches);

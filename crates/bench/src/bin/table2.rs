@@ -7,7 +7,7 @@
 //! instances up to 30 components — pass `--max-components 100` to attempt
 //! them all.
 
-use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, run_workload, ResultRow};
+use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, ResultRow, Runner};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
@@ -18,6 +18,7 @@ fn main() {
         "benchmark", "wv", "wvr", "vw", "vrw", "t", "w", "h"
     );
     let mut rows: Vec<ResultRow> = Vec::new();
+    let mut runner = Runner::new();
     for workload in paper_workloads(max_components) {
         let mut sizes = Vec::new();
         for mv in MvOrdering::ALL {
@@ -31,7 +32,7 @@ fn main() {
                 sizes.push("-".to_string());
                 continue;
             }
-            match run_workload(&workload, spec) {
+            match runner.run(&workload, spec) {
                 Ok(row) => {
                     sizes.push(row.romdd_size.to_string());
                     rows.push(row);

@@ -2,7 +2,7 @@
 //! orderings ml, lm and w, with the weight heuristic ordering the
 //! multiple-valued variables.
 
-use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, run_workload, ResultRow};
+use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, ResultRow, Runner};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
@@ -10,12 +10,13 @@ fn main() {
     println!("Table 3: coded ROBDD size per bit-group ordering (MV ordering: w)");
     println!("{:<18} {:>12} {:>12} {:>12}", "benchmark", "ml", "lm", "w");
     let mut rows: Vec<ResultRow> = Vec::new();
+    let mut runner = Runner::new();
     for workload in paper_workloads(max_components) {
         let mut sizes = Vec::new();
         for group in [GroupOrdering::MsbFirst, GroupOrdering::LsbFirst, GroupOrdering::Weight] {
             let spec = OrderingSpec::new(MvOrdering::Weight, group)
                 .expect("all three combine with the weight MV ordering");
-            match run_workload(&workload, spec) {
+            match runner.run(&workload, spec) {
                 Ok(row) => {
                     sizes.push(row.robdd_size.to_string());
                     rows.push(row);

@@ -8,9 +8,7 @@
 //! check a practitioner would perform.
 
 use serde::Serialize;
-use soc_yield_bench::{
-    maybe_write_json, paper_workloads, parse_cli, run_workload, ALPHA, LETHALITY,
-};
+use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, Runner, ALPHA, LETHALITY};
 use socy_defect::NegativeBinomial;
 use socy_ordering::OrderingSpec;
 use socy_sim::{MonteCarloYield, SimulationOptions};
@@ -26,6 +24,9 @@ struct Row {
     romdd_size: usize,
     yield_lower_bound: f64,
     error_bound: f64,
+    robdd_unique_entries: usize,
+    robdd_cache_hits: u64,
+    robdd_cache_misses: u64,
     monte_carlo_yield: Option<f64>,
     monte_carlo_std_error: Option<f64>,
 }
@@ -34,12 +35,23 @@ fn main() {
     let (max_components, json) = parse_cli(34);
     println!("Table 4: pipeline performance with heuristics w + ml");
     println!(
-        "{:<18} {:>3} {:>9} {:>12} {:>12} {:>10} {:>8} {:>10}",
-        "benchmark", "M", "time (s)", "ROBDD peak", "ROBDD", "ROMDD", "yield", "MC yield"
+        "{:<18} {:>3} {:>9} {:>12} {:>12} {:>10} {:>10} {:>11} {:>11} {:>8} {:>10}",
+        "benchmark",
+        "M",
+        "time (s)",
+        "ROBDD peak",
+        "ROBDD",
+        "ROMDD",
+        "unique",
+        "cache hit",
+        "cache miss",
+        "yield",
+        "MC yield"
     );
     let mut rows: Vec<Row> = Vec::new();
+    let mut runner = Runner::new();
     for workload in paper_workloads(max_components) {
-        let row = match run_workload(&workload, OrderingSpec::paper_default()) {
+        let row = match runner.run(&workload, OrderingSpec::paper_default()) {
             Ok(row) => row,
             Err(e) => {
                 eprintln!("{} failed: {e}", workload.label());
@@ -67,13 +79,16 @@ fn main() {
             None
         };
         println!(
-            "{:<18} {:>3} {:>9.2} {:>12} {:>12} {:>10} {:>8.3} {:>10}",
+            "{:<18} {:>3} {:>9.2} {:>12} {:>12} {:>10} {:>10} {:>11} {:>11} {:>8.3} {:>10}",
             workload.label(),
             row.truncation,
             row.seconds,
             row.robdd_peak,
             row.robdd_size,
             row.romdd_size,
+            row.robdd_unique_entries,
+            row.robdd_cache_hits,
+            row.robdd_cache_misses,
             row.yield_lower_bound,
             mc.map(|e| format!("{:.3}", e.yield_estimate)).unwrap_or_else(|| "-".to_string()),
         );
@@ -87,6 +102,9 @@ fn main() {
             romdd_size: row.romdd_size,
             yield_lower_bound: row.yield_lower_bound,
             error_bound: row.error_bound,
+            robdd_unique_entries: row.robdd_unique_entries,
+            robdd_cache_hits: row.robdd_cache_hits,
+            robdd_cache_misses: row.robdd_cache_misses,
             monte_carlo_yield: mc.map(|e| e.yield_estimate),
             monte_carlo_std_error: mc.map(|e| e.standard_error),
         });

@@ -3,11 +3,11 @@
 //! Two families of fault-tolerant systems-on-chip are generated, matching
 //! Section 3 of the paper:
 //!
-//! * [`ms`] — the `MSn` master/slave architecture: two master IP cores and
+//! * [`mod@ms`] — the `MSn` master/slave architecture: two master IP cores and
 //!   `n` clusters of two slave IP cores, interconnected through
 //!   communication modules attached to two redundant buses
 //!   (`C = 6 + 6n` components);
-//! * [`esen`] — the `ESEN n×m` architecture: IP cores attached through
+//! * [`mod@esen`] — the `ESEN n×m` architecture: IP cores attached through
 //!   concentrators to an extra-stage shuffle-exchange interconnection
 //!   network whose first- and last-stage switching elements are duplicated
 //!   (`C` matches Table 1 of the paper exactly: 14, 26, 34, 32, 56, 72 for

@@ -5,6 +5,13 @@
 //! the coded ROBDD, convert it to the ROMDD, and evaluate `P(G = 1)` to
 //! obtain the yield lower bound `Y_M = 1 − P(G = 1)`.
 //!
+//! [`Pipeline`] is the reusable form of the same computation for
+//! design-space studies: it compiles the fault tree / coded ROBDD /
+//! ROMDD once per `(ordering, conversion)` configuration and then
+//! [`sweep`](Pipeline::sweep)s over defect distributions and `ε` values
+//! by re-evaluating probabilities on the compiled diagram — a traversal
+//! linear in the ROMDD size instead of a full recompilation per point.
+//!
 //! [`analyze_direct`] is an alternative pipeline that skips the coded
 //! ROBDD and builds the ROMDD directly with multiple-valued operations; it
 //! is used for cross-validation and as an ablation of the paper's design
@@ -14,6 +21,7 @@
 use std::time::{Duration, Instant};
 
 use socy_bdd::BddManager;
+use socy_dd::DdStats;
 use socy_defect::truncation::{select_truncation, truncate_at, Truncation};
 use socy_defect::{ComponentProbabilities, DefectDistribution};
 use socy_faulttree::Netlist;
@@ -69,6 +77,12 @@ pub struct YieldReport {
     pub error_bound: f64,
     /// Truncation point `M` (number of lethal defects analysed).
     pub truncation: usize,
+    /// Truncation point the evaluated decision diagram was compiled at.
+    /// Equal to `truncation` for [`analyze`]; during a
+    /// [`Pipeline::sweep`] it can be larger, because a diagram compiled
+    /// at `M` answers every truncation `≤ M` by zero-padding the `w`
+    /// distribution (the size metrics below describe this diagram).
+    pub compiled_truncation: usize,
     /// Number of components `C`.
     pub num_components: usize,
     /// Number of gates in the binary-logic description of `G`.
@@ -81,13 +95,24 @@ pub struct YieldReport {
     pub robdd_peak: usize,
     /// Size (reachable nodes) of the ROMDD.
     pub romdd_size: usize,
+    /// Kernel statistics of the ROBDD manager that compiled `G`
+    /// (zeros for [`analyze_direct`], which never builds a coded ROBDD).
+    pub robdd_stats: DdStats,
+    /// Kernel statistics of the ROMDD manager.
+    pub romdd_stats: DdStats,
     /// Ordering specification that was used.
     pub spec: OrderingSpec,
-    /// Wall-clock time spent building the coded ROBDD.
+    /// Wall-clock time spent building the coded ROBDD (of the compile
+    /// that produced the evaluated diagram, whenever that compile ran).
     pub robdd_time: Duration,
     /// Wall-clock time spent converting to the ROMDD.
     pub conversion_time: Duration,
-    /// Total wall-clock time of the analysis.
+    /// Wall-clock time of this evaluation. For [`analyze`] and a
+    /// [`Pipeline::evaluate`] that had to compile, this includes the
+    /// compilation; points of a [`Pipeline::sweep`] never do, because the
+    /// sweep compiles every configuration up front — there the compile
+    /// cost is carried by `robdd_time` and `conversion_time` alone, so
+    /// `total_time` can be far smaller than either.
     pub total_time: Duration,
 }
 
@@ -107,6 +132,409 @@ pub struct YieldAnalysis {
     pub mv_order: Vec<usize>,
     /// Human-readable names of the diagram levels.
     pub mv_names: Vec<String>,
+}
+
+/// One compiled configuration: the generalized fault tree, its ordering
+/// and the converted ROMDD, plus the metrics of the (since dropped)
+/// ROBDD manager that produced it.
+#[derive(Debug)]
+struct CompiledModel {
+    spec: OrderingSpec,
+    conversion: ConversionAlgorithm,
+    truncation: usize,
+    g: GeneralizedFaultTree,
+    ordering: ComputedOrdering,
+    mdd: MddManager,
+    romdd_root: MddId,
+    coded_robdd_size: usize,
+    robdd_peak: usize,
+    robdd_stats: DdStats,
+    robdd_time: Duration,
+    conversion_time: Duration,
+}
+
+impl CompiledModel {
+    fn compile(
+        fault_tree: &Netlist,
+        truncation: usize,
+        spec: OrderingSpec,
+        conversion: ConversionAlgorithm,
+    ) -> Result<Self, CoreError> {
+        let g = GeneralizedFaultTree::build(fault_tree, truncation)?;
+        let ordering = compute_ordering(g.netlist(), g.groups(), &spec)?;
+
+        // Coded ROBDD of G.
+        let robdd_start = Instant::now();
+        let mut bdd = BddManager::new(g.netlist().num_inputs());
+        let build = bdd.build_netlist(g.netlist(), &ordering.var_level);
+        let robdd_time = robdd_start.elapsed();
+
+        // ROMDD conversion. The ROBDD manager is dropped at the end of this
+        // function: only its metrics survive, freeing the (typically much
+        // larger) ROBDD arena for the rest of the sweep.
+        let layout = g.layout(&ordering);
+        let conversion_start = Instant::now();
+        let mut mdd = MddManager::new(g.mdd_domains(&ordering));
+        let romdd_root = match conversion {
+            ConversionAlgorithm::TopDown => mdd.from_coded_bdd(&bdd, build.root, &layout),
+            ConversionAlgorithm::Layered => mdd.from_coded_bdd_layered(&bdd, build.root, &layout),
+        };
+        let conversion_time = conversion_start.elapsed();
+
+        Ok(Self {
+            spec,
+            conversion,
+            truncation,
+            ordering,
+            mdd,
+            romdd_root,
+            coded_robdd_size: build.size,
+            robdd_peak: build.peak,
+            robdd_stats: bdd.stats(),
+            robdd_time,
+            conversion_time,
+            g,
+        })
+    }
+
+    /// Evaluates the compiled diagram for one `(distribution, ε)` point.
+    ///
+    /// The requested truncation may be smaller than the compiled one: the
+    /// `w` distribution is zero-padded, which makes the extra defect
+    /// levels unreachable with probability 1 and reproduces `Y_M` of the
+    /// smaller truncation exactly (up to summation order).
+    fn evaluate(
+        &self,
+        truncation: &Truncation,
+        components: &ComponentProbabilities,
+        start: Instant,
+    ) -> (YieldReport, Vec<Vec<f64>>) {
+        let mut w_dist = truncation.masses().to_vec();
+        w_dist.resize(self.truncation + 1, 0.0);
+        w_dist.push(truncation.error_bound());
+        let probabilities: Vec<Vec<f64>> = self
+            .ordering
+            .mv_order
+            .iter()
+            .map(
+                |&mv| {
+                    if mv == 0 {
+                        w_dist.clone()
+                    } else {
+                        components.conditional_slice().to_vec()
+                    }
+                },
+            )
+            .collect();
+        let p_g = self.mdd.probability(self.romdd_root, &probabilities);
+        let report = YieldReport {
+            yield_lower_bound: 1.0 - p_g,
+            error_bound: truncation.error_bound(),
+            truncation: truncation.truncation(),
+            compiled_truncation: self.truncation,
+            num_components: self.g.num_components(),
+            g_gates: self.g.netlist().num_gates(),
+            binary_variables: self.g.netlist().num_inputs(),
+            coded_robdd_size: self.coded_robdd_size,
+            robdd_peak: self.robdd_peak,
+            romdd_size: self.mdd.node_count(self.romdd_root),
+            robdd_stats: self.robdd_stats,
+            romdd_stats: self.mdd.stats(),
+            spec: self.spec,
+            robdd_time: self.robdd_time,
+            conversion_time: self.conversion_time,
+            total_time: start.elapsed(),
+        };
+        (report, probabilities)
+    }
+}
+
+/// One point of a [`Pipeline::sweep`]: a lethal-defect distribution plus
+/// the analysis options to evaluate it under.
+#[derive(Clone, Copy)]
+pub struct SweepPoint<'a> {
+    /// Distribution of the number of lethal defects.
+    pub lethal: &'a dyn DefectDistribution,
+    /// Options (ε, ordering spec, conversion, fixed truncation).
+    pub options: AnalysisOptions,
+}
+
+impl std::fmt::Debug for SweepPoint<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPoint").field("options", &self.options).finish_non_exhaustive()
+    }
+}
+
+/// A reusable, sweepable yield-analysis pipeline for one system.
+///
+/// A [`Pipeline`] owns the fault tree and component model and caches one
+/// compiled decision diagram per `(ordering spec, conversion)`
+/// configuration. Because a diagram compiled at truncation `M` answers
+/// every truncation `≤ M` (see [`YieldReport::compiled_truncation`]),
+/// sweeping a design-space grid costs one compilation per configuration
+/// plus one linear-time probability evaluation per point — instead of
+/// the full truncate/encode/order/compile/convert chain per point that
+/// repeated [`analyze`] calls pay.
+///
+/// # Example
+///
+/// ```
+/// use soc_yield_core::{AnalysisOptions, Pipeline};
+/// use socy_defect::{ComponentProbabilities, NegativeBinomial};
+/// use socy_faulttree::Netlist;
+///
+/// // 1-out-of-2 system: it fails only when both components fail.
+/// let mut f = Netlist::new();
+/// let a = f.input("a");
+/// let b = f.input("b");
+/// let both = f.and([a, b]);
+/// f.set_output(both);
+/// let comps = ComponentProbabilities::new(vec![0.5, 0.5])?;
+///
+/// let mut pipeline = Pipeline::new(&f, &comps)?;
+/// let lethal = NegativeBinomial::new(1.0, 4.0)?;
+/// let reports =
+///     pipeline.sweep_epsilons(&lethal, &[1e-2, 1e-3, 1e-4], &AnalysisOptions::default())?;
+/// assert_eq!(reports.len(), 3);
+/// assert_eq!(pipeline.compiled_models(), 1, "one compile serves all three ε values");
+/// assert!(reports.windows(2).all(|w| w[0].truncation <= w[1].truncation));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Pipeline {
+    fault_tree: Netlist,
+    components: ComponentProbabilities,
+    models: Vec<CompiledModel>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline for `fault_tree` under the per-component
+    /// lethal-hit probabilities `components`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when the fault tree has no designated
+    /// output or its input count disagrees with the component model.
+    pub fn new(
+        fault_tree: &Netlist,
+        components: &ComponentProbabilities,
+    ) -> Result<Self, CoreError> {
+        fault_tree.output()?;
+        if fault_tree.num_inputs() != components.len() {
+            return Err(CoreError::ComponentCountMismatch {
+                fault_tree: fault_tree.num_inputs(),
+                components: components.len(),
+            });
+        }
+        Ok(Self {
+            fault_tree: fault_tree.clone(),
+            components: components.clone(),
+            models: Vec::new(),
+        })
+    }
+
+    /// The fault tree this pipeline analyses.
+    pub fn fault_tree(&self) -> &Netlist {
+        &self.fault_tree
+    }
+
+    /// The component probability model.
+    pub fn components(&self) -> &ComponentProbabilities {
+        &self.components
+    }
+
+    /// Number of decision diagrams currently compiled (one per
+    /// `(ordering spec, conversion)` configuration used so far).
+    pub fn compiled_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Drops all compiled diagrams, releasing their memory.
+    pub fn clear(&mut self) {
+        self.models.clear();
+    }
+
+    fn truncation_for(
+        &self,
+        lethal: &dyn DefectDistribution,
+        options: &AnalysisOptions,
+    ) -> Result<Truncation, CoreError> {
+        Ok(match options.fixed_truncation {
+            Some(m) => truncate_at(lethal, m)?,
+            None => select_truncation(lethal, options.epsilon)?,
+        })
+    }
+
+    /// Index of a model usable for truncation `m` under `(spec,
+    /// conversion)`, compiling (or recompiling at the larger `m`) when
+    /// necessary.
+    fn ensure_model(
+        &mut self,
+        m: usize,
+        spec: OrderingSpec,
+        conversion: ConversionAlgorithm,
+    ) -> Result<usize, CoreError> {
+        let same_config = |c: &CompiledModel| c.spec == spec && c.conversion == conversion;
+        if let Some(i) = self.models.iter().position(|c| same_config(c) && c.truncation >= m) {
+            return Ok(i);
+        }
+        let model = CompiledModel::compile(&self.fault_tree, m, spec, conversion)?;
+        match self.models.iter().position(same_config) {
+            Some(i) => {
+                self.models[i] = model;
+                Ok(i)
+            }
+            None => {
+                self.models.push(model);
+                Ok(self.models.len() - 1)
+            }
+        }
+    }
+
+    fn evaluate_full(
+        &mut self,
+        lethal: &dyn DefectDistribution,
+        options: &AnalysisOptions,
+    ) -> Result<(YieldReport, Vec<Vec<f64>>), CoreError> {
+        let start = Instant::now();
+        let truncation = self.truncation_for(lethal, options)?;
+        let idx = self.ensure_model(truncation.truncation(), options.spec, options.conversion)?;
+        Ok(self.models[idx].evaluate(&truncation, &self.components, start))
+    }
+
+    /// Evaluates one `(distribution, options)` point, reusing a compiled
+    /// diagram when one covers the required truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when the truncation point cannot be
+    /// reached or the ordering specification is invalid.
+    pub fn evaluate(
+        &mut self,
+        lethal: &dyn DefectDistribution,
+        options: &AnalysisOptions,
+    ) -> Result<YieldReport, CoreError> {
+        self.evaluate_full(lethal, options).map(|(report, _)| report)
+    }
+
+    /// Evaluates every point of a design-space sweep with artifact reuse:
+    /// each `(ordering spec, conversion)` configuration is compiled once,
+    /// at the largest truncation any of its points needs, and every point
+    /// then costs one probability evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first point whose truncation selection or compilation
+    /// fails; reports of earlier points are discarded.
+    pub fn sweep<'a, I>(&mut self, points: I) -> Result<Vec<YieldReport>, CoreError>
+    where
+        I: IntoIterator<Item = SweepPoint<'a>>,
+    {
+        let points: Vec<SweepPoint<'a>> = points.into_iter().collect();
+        let mut truncations = Vec::with_capacity(points.len());
+        for point in &points {
+            truncations.push(self.truncation_for(point.lethal, &point.options)?);
+        }
+        // Compile each configuration once, at the largest truncation it needs.
+        let mut maxima: Vec<(OrderingSpec, ConversionAlgorithm, usize)> = Vec::new();
+        for (point, trunc) in points.iter().zip(&truncations) {
+            let (spec, conversion) = (point.options.spec, point.options.conversion);
+            match maxima.iter_mut().find(|(s, c, _)| *s == spec && *c == conversion) {
+                Some((_, _, m)) => *m = (*m).max(trunc.truncation()),
+                None => maxima.push((spec, conversion, trunc.truncation())),
+            }
+        }
+        for (spec, conversion, m) in maxima {
+            self.ensure_model(m, spec, conversion)?;
+        }
+        points
+            .iter()
+            .zip(&truncations)
+            .map(|(point, trunc)| {
+                let start = Instant::now();
+                let idx = self.ensure_model(
+                    trunc.truncation(),
+                    point.options.spec,
+                    point.options.conversion,
+                )?;
+                Ok(self.models[idx].evaluate(trunc, &self.components, start).0)
+            })
+            .collect()
+    }
+
+    /// Sweeps the error requirement `ε` for one distribution, keeping the
+    /// other options fixed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::sweep`].
+    pub fn sweep_epsilons(
+        &mut self,
+        lethal: &dyn DefectDistribution,
+        epsilons: &[f64],
+        options: &AnalysisOptions,
+    ) -> Result<Vec<YieldReport>, CoreError> {
+        self.sweep(epsilons.iter().map(|&epsilon| SweepPoint {
+            lethal,
+            options: AnalysisOptions { epsilon, fixed_truncation: None, ..*options },
+        }))
+    }
+
+    /// Sweeps a set of lethal-defect distributions (e.g. a λ or α grid)
+    /// under fixed options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::sweep`].
+    pub fn sweep_distributions<'a, I>(
+        &mut self,
+        lethals: I,
+        options: &AnalysisOptions,
+    ) -> Result<Vec<YieldReport>, CoreError>
+    where
+        I: IntoIterator<Item = &'a dyn DefectDistribution>,
+    {
+        self.sweep(lethals.into_iter().map(|lethal| SweepPoint { lethal, options: *options }))
+    }
+}
+
+/// Runs the combinatorial yield method (coded ROBDD → ROMDD pipeline).
+///
+/// `fault_tree` is the gate-level fault tree `F` over the component failed
+/// states (input variable `i` ⇔ component `i`), `components` the lethal-hit
+/// probabilities `P_i`, and `lethal` the distribution of the number of
+/// **lethal** defects `Q'` (use
+/// [`socy_defect::NegativeBinomial::thinned`] or
+/// [`socy_defect::lethal::thin_empirical`] to obtain it from a raw defect
+/// distribution).
+///
+/// This is a one-shot convenience over [`Pipeline`]; design-space studies
+/// evaluating several `(distribution, ε, ordering)` points should build a
+/// [`Pipeline`] and [`sweep`](Pipeline::sweep) it instead.
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] when the fault tree is malformed, the component
+/// count disagrees with the probability model, the truncation point cannot
+/// be reached, or the ordering specification is invalid.
+pub fn analyze(
+    fault_tree: &Netlist,
+    components: &ComponentProbabilities,
+    lethal: &dyn DefectDistribution,
+    options: &AnalysisOptions,
+) -> Result<YieldAnalysis, CoreError> {
+    let mut pipeline = Pipeline::new(fault_tree, components)?;
+    let (report, probabilities) = pipeline.evaluate_full(lethal, options)?;
+    let model = pipeline.models.pop().expect("exactly one model was compiled");
+    let mv_names = model.g.mv_names(&model.ordering);
+    Ok(YieldAnalysis {
+        report,
+        mdd: model.mdd,
+        romdd_root: model.romdd_root,
+        probabilities,
+        mv_order: model.ordering.mv_order,
+        mv_names,
+    })
 }
 
 fn prepare(
@@ -131,81 +559,10 @@ fn prepare(
     Ok((g, ordering, truncation))
 }
 
-/// Runs the combinatorial yield method (coded ROBDD → ROMDD pipeline).
-///
-/// `fault_tree` is the gate-level fault tree `F` over the component failed
-/// states (input variable `i` ⇔ component `i`), `components` the lethal-hit
-/// probabilities `P_i`, and `lethal` the distribution of the number of
-/// **lethal** defects `Q'` (use
-/// [`socy_defect::NegativeBinomial::thinned`] or
-/// [`socy_defect::lethal::thin_empirical`] to obtain it from a raw defect
-/// distribution).
-///
-/// # Errors
-///
-/// Returns a [`CoreError`] when the fault tree is malformed, the component
-/// count disagrees with the probability model, the truncation point cannot
-/// be reached, or the ordering specification is invalid.
-pub fn analyze(
-    fault_tree: &Netlist,
-    components: &ComponentProbabilities,
-    lethal: &dyn DefectDistribution,
-    options: &AnalysisOptions,
-) -> Result<YieldAnalysis, CoreError> {
-    let start = Instant::now();
-    let (g, ordering, truncation) = prepare(fault_tree, components, lethal, options)?;
-
-    // Coded ROBDD of G.
-    let robdd_start = Instant::now();
-    let mut bdd = BddManager::new(g.netlist().num_inputs());
-    let build = bdd.build_netlist(g.netlist(), &ordering.var_level);
-    let robdd_time = robdd_start.elapsed();
-
-    // ROMDD conversion.
-    let layout = g.layout(&ordering);
-    let conversion_start = Instant::now();
-    let mut mdd = MddManager::new(g.mdd_domains(&ordering));
-    let romdd_root = match options.conversion {
-        ConversionAlgorithm::TopDown => mdd.from_coded_bdd(&bdd, build.root, &layout),
-        ConversionAlgorithm::Layered => mdd.from_coded_bdd_layered(&bdd, build.root, &layout),
-    };
-    let conversion_time = conversion_start.elapsed();
-
-    // Probability evaluation.
-    let probabilities = g.probability_vectors(&ordering, &truncation, components);
-    let p_g = mdd.probability(romdd_root, &probabilities);
-    let yield_lower_bound = 1.0 - p_g;
-
-    let report = YieldReport {
-        yield_lower_bound,
-        error_bound: truncation.error_bound(),
-        truncation: truncation.truncation(),
-        num_components: g.num_components(),
-        g_gates: g.netlist().num_gates(),
-        binary_variables: g.netlist().num_inputs(),
-        coded_robdd_size: build.size,
-        robdd_peak: build.peak,
-        romdd_size: mdd.node_count(romdd_root),
-        spec: options.spec,
-        robdd_time,
-        conversion_time,
-        total_time: start.elapsed(),
-    };
-    let mv_names = g.mv_names(&ordering);
-    Ok(YieldAnalysis {
-        report,
-        mdd,
-        romdd_root,
-        probabilities,
-        mv_order: ordering.mv_order,
-        mv_names,
-    })
-}
-
 /// Runs the yield analysis building the ROMDD *directly* with
 /// multiple-valued operations (no coded ROBDD). The report's
-/// `coded_robdd_size` and `robdd_peak` fields are zero in this mode; the
-/// `romdd_size` and the yield must agree with [`analyze`].
+/// `coded_robdd_size`, `robdd_peak` and `robdd_stats` fields are zero in
+/// this mode; the `romdd_size` and the yield must agree with [`analyze`].
 ///
 /// # Errors
 ///
@@ -252,12 +609,15 @@ pub fn analyze_direct(
         yield_lower_bound: 1.0 - p_g,
         error_bound: truncation.error_bound(),
         truncation: truncation.truncation(),
+        compiled_truncation: truncation.truncation(),
         num_components: g.num_components(),
         g_gates: g.netlist().num_gates(),
         binary_variables: g.netlist().num_inputs(),
         coded_robdd_size: 0,
         robdd_peak: 0,
         romdd_size: mdd.node_count(romdd_root),
+        robdd_stats: DdStats::default(),
+        romdd_stats: mdd.stats(),
         spec: options.spec,
         robdd_time: Duration::ZERO,
         conversion_time,
@@ -378,6 +738,7 @@ mod tests {
             analysis.report.yield_lower_bound
         );
         assert_eq!(analysis.report.truncation, 2);
+        assert_eq!(analysis.report.compiled_truncation, 2);
         assert!((analysis.report.error_bound - 0.05).abs() < 1e-12);
         assert!(analysis.report.coded_robdd_size > 0);
         assert!(analysis.report.robdd_peak >= analysis.report.coded_robdd_size);
@@ -386,6 +747,10 @@ mod tests {
         assert_eq!(analysis.mv_order.len(), 3);
         assert_eq!(analysis.mv_names.len(), 3);
         assert_eq!(analysis.probabilities.len(), 3);
+        // Kernel statistics are populated for both managers.
+        assert_eq!(analysis.report.robdd_stats.peak_nodes, analysis.report.robdd_peak);
+        assert!(analysis.report.robdd_stats.op_cache_misses > 0);
+        assert_eq!(analysis.report.romdd_stats.peak_nodes, analysis.mdd.peak_nodes());
     }
 
     #[test]
@@ -399,6 +764,7 @@ mod tests {
         assert!((coded.report.yield_lower_bound - direct.report.yield_lower_bound).abs() < 1e-12);
         // Both construct the same canonical ROMDD, so the sizes must agree too.
         assert_eq!(coded.report.romdd_size, direct.report.romdd_size);
+        assert_eq!(direct.report.robdd_stats, DdStats::default());
     }
 
     #[test]
@@ -478,6 +844,8 @@ mod tests {
         let lethal = NegativeBinomial::new(1.0, 0.25).unwrap();
         let err = analyze(&f, &comps, &lethal, &AnalysisOptions::default()).unwrap_err();
         assert!(matches!(err, CoreError::ComponentCountMismatch { .. }));
+        let err = Pipeline::new(&f, &comps).unwrap_err();
+        assert!(matches!(err, CoreError::ComponentCountMismatch { .. }));
     }
 
     #[test]
@@ -494,5 +862,109 @@ mod tests {
         let a_half = analyze(&f, &comps_half, &lethal_half, &AnalysisOptions::default()).unwrap();
         assert!(a_half.report.truncation < a_full.report.truncation);
         assert!(a_half.report.yield_lower_bound > a_full.report.yield_lower_bound);
+    }
+
+    #[test]
+    fn pipeline_evaluate_matches_analyze() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+        let one_shot = analyze(&f, &comps, &lethal, &options).unwrap();
+        let mut pipeline = Pipeline::new(&f, &comps).unwrap();
+        let report = pipeline.evaluate(&lethal, &options).unwrap();
+        assert_eq!(report.yield_lower_bound, one_shot.report.yield_lower_bound);
+        assert_eq!(report.romdd_size, one_shot.report.romdd_size);
+        assert_eq!(report.coded_robdd_size, one_shot.report.coded_robdd_size);
+        assert_eq!(report.robdd_peak, one_shot.report.robdd_peak);
+        // A second evaluation at the same point reuses the compiled model.
+        let again = pipeline.evaluate(&lethal, &options).unwrap();
+        assert_eq!(pipeline.compiled_models(), 1);
+        assert_eq!(again.yield_lower_bound, report.yield_lower_bound);
+    }
+
+    #[test]
+    fn sweep_reuses_one_compile_per_configuration() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = AnalysisOptions::default();
+        let epsilons = [1e-2, 1e-3, 1e-5];
+        let mut pipeline = Pipeline::new(&f, &comps).unwrap();
+        let reports = pipeline.sweep_epsilons(&lethal, &epsilons, &options).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(pipeline.compiled_models(), 1, "one diagram must serve all ε values");
+        let max_m = reports.iter().map(|r| r.truncation).max().unwrap();
+        for (report, &epsilon) in reports.iter().zip(&epsilons) {
+            assert!(report.error_bound <= epsilon);
+            assert_eq!(report.compiled_truncation, max_m);
+            // The padded evaluation must agree with a fresh exact-truncation run.
+            let exact =
+                analyze(&f, &comps, &lethal, &AnalysisOptions { epsilon, ..options }).unwrap();
+            assert_eq!(report.truncation, exact.report.truncation);
+            assert!(
+                (report.yield_lower_bound - exact.report.yield_lower_bound).abs() < 1e-12,
+                "ε={epsilon}: swept {} vs exact {}",
+                report.yield_lower_bound,
+                exact.report.yield_lower_bound
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_distributions_and_specs() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.25, 0.35, 0.4]).unwrap();
+        let nb1 = NegativeBinomial::new(0.5, 4.0).unwrap();
+        let nb2 = NegativeBinomial::new(1.5, 4.0).unwrap();
+        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+        let mut pipeline = Pipeline::new(&f, &comps).unwrap();
+        let reports = pipeline
+            .sweep_distributions(
+                [&nb1 as &dyn DefectDistribution, &nb2 as &dyn DefectDistribution],
+                &options,
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(pipeline.compiled_models(), 1);
+        assert!(reports[0].yield_lower_bound > reports[1].yield_lower_bound);
+        // A second ordering spec compiles its own model but reuses it across points.
+        let other_spec = OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).unwrap();
+        let points = [&nb1, &nb2].map(|lethal| SweepPoint {
+            lethal: lethal as &dyn DefectDistribution,
+            options: AnalysisOptions { spec: other_spec, ..options },
+        });
+        let other = pipeline.sweep(points).unwrap();
+        assert_eq!(pipeline.compiled_models(), 2);
+        for (a, b) in reports.iter().zip(&other) {
+            assert!((a.yield_lower_bound - b.yield_lower_bound).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_truncation_points_sweep_without_recompiling_downward() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = Empirical::new(vec![0.4, 0.3, 0.2, 0.05, 0.05]).unwrap();
+        let mut pipeline = Pipeline::new(&f, &comps).unwrap();
+        let base = AnalysisOptions::default();
+        let points = [4usize, 2, 3].map(|m| SweepPoint {
+            lethal: &lethal as &dyn DefectDistribution,
+            options: AnalysisOptions { fixed_truncation: Some(m), ..base },
+        });
+        let reports = pipeline.sweep(points).unwrap();
+        assert_eq!(pipeline.compiled_models(), 1);
+        assert_eq!(reports[0].compiled_truncation, 4);
+        assert_eq!(reports[1].truncation, 2);
+        for (report, m) in reports.iter().zip([4usize, 2, 3]) {
+            let exact = analyze(
+                &f,
+                &comps,
+                &lethal,
+                &AnalysisOptions { fixed_truncation: Some(m), ..base },
+            )
+            .unwrap();
+            assert!((report.yield_lower_bound - exact.report.yield_lower_bound).abs() < 1e-12);
+        }
     }
 }

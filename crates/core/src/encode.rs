@@ -35,7 +35,8 @@ pub struct GeneralizedFaultTree {
 
 impl GeneralizedFaultTree {
     /// Builds `G` for the fault tree `fault_tree` (whose inputs are the
-    /// component failed-state variables `x_1, …, x_C` in [`VarId`] order)
+    /// component failed-state variables `x_1, …, x_C` in
+    /// [`VarId`](socy_faulttree::VarId) order)
     /// and a truncation point of `truncation` lethal defects.
     ///
     /// # Errors

@@ -22,6 +22,12 @@
 //! 5. convert it into the **ROMDD** ([`socy_mdd`]);
 //! 6. evaluate `P(G = 1)` on the ROMDD and return `Y_M = 1 − P(G = 1)`.
 //!
+//! For design-space studies the [`Pipeline`] type runs the same method
+//! with artifact reuse: steps 1–5 are performed once per ordering
+//! configuration (at the largest truncation the study needs) and
+//! [`Pipeline::sweep`] then answers every `(distribution, ε)` point with
+//! a single linear-time probability evaluation on the compiled ROMDD.
+//!
 //! The crate also contains an exact (exponential) baseline for small
 //! systems (module [`exact`]), closed-form yields for elementary redundancy
 //! structures (module [`structures`]), and a direct-ROMDD construction used
@@ -60,8 +66,10 @@ pub mod reliability;
 pub mod structures;
 
 pub use analysis::{
-    analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, YieldAnalysis, YieldReport,
+    analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, Pipeline, SweepPoint,
+    YieldAnalysis, YieldReport,
 };
 pub use encode::GeneralizedFaultTree;
 pub use error::CoreError;
 pub use reliability::{analyze_reliability, ReliabilityReport};
+pub use socy_dd::DdStats;

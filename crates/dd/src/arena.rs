@@ -1,0 +1,163 @@
+//! The struct-of-arrays node arena.
+//!
+//! Nodes are addressed by dense `u32` ids; ids `0` and `1` are reserved
+//! for the FALSE and TRUE terminals. Every node stores its variable level
+//! and a range into one shared flat edge array, so a traversal touches
+//! three cache-friendly `Vec`s instead of chasing per-node allocations.
+//! The number of children of a node is a function of its level alone
+//! (2 everywhere for ROBDDs, the domain size for ROMDDs), which is what
+//! lets one arena serve both engines.
+
+/// Level used internally for the two terminal nodes (greater than every
+/// variable level, so terminals sort below all variables).
+pub const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// A struct-of-arrays arena of decision-diagram nodes.
+#[derive(Debug, Clone)]
+pub struct NodeArena {
+    /// Number of children of a node at each level.
+    arity: Vec<u32>,
+    /// Level of every node (`TERMINAL_LEVEL` for the two terminals).
+    levels: Vec<u32>,
+    /// Start of every node's children in `edges`.
+    edge_offset: Vec<u32>,
+    /// Flattened children of all non-terminal nodes.
+    edges: Vec<u32>,
+}
+
+impl NodeArena {
+    /// Creates an arena over levels with the given arities, containing
+    /// only the FALSE (id 0) and TRUE (id 1) terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arity is zero.
+    pub fn new(arities: Vec<u32>) -> Self {
+        assert!(arities.iter().all(|&a| a >= 1), "every level needs at least one child slot");
+        Self {
+            arity: arities,
+            levels: vec![TERMINAL_LEVEL; 2],
+            edge_offset: vec![0; 2],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of variable levels.
+    pub fn num_levels(&self) -> usize {
+        self.arity.len()
+    }
+
+    /// Number of children of a node at `level`.
+    pub fn arity(&self, level: usize) -> usize {
+        self.arity[level] as usize
+    }
+
+    /// Appends additional levels (after the existing ones) with the given
+    /// arities. Existing nodes are unaffected.
+    pub fn add_levels(&mut self, arities: impl IntoIterator<Item = u32>) {
+        for a in arities {
+            assert!(a >= 1, "every level needs at least one child slot");
+            self.arity.push(a);
+        }
+    }
+
+    /// Total number of nodes, including the two terminals.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Always false: the arena contains at least the terminals.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Raw level of a node (`TERMINAL_LEVEL` for terminals).
+    pub fn raw_level(&self, id: u32) -> u32 {
+        self.levels[id as usize]
+    }
+
+    /// The level tested by a node, or `None` for terminals.
+    pub fn level(&self, id: u32) -> Option<usize> {
+        let l = self.levels[id as usize];
+        if l == TERMINAL_LEVEL {
+            None
+        } else {
+            Some(l as usize)
+        }
+    }
+
+    /// The children of a node (empty for terminals).
+    pub fn children(&self, id: u32) -> &[u32] {
+        let level = self.levels[id as usize];
+        if level == TERMINAL_LEVEL {
+            &[]
+        } else {
+            let start = self.edge_offset[id as usize] as usize;
+            &self.edges[start..start + self.arity[level as usize] as usize]
+        }
+    }
+
+    /// The child followed when the node's variable takes `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal or `value` is outside the level's
+    /// arity.
+    pub fn child(&self, id: u32, value: usize) -> u32 {
+        self.children(id)[value]
+    }
+
+    /// Appends a node without any canonicity check (the unique table is
+    /// responsible for calling this at most once per key).
+    pub(crate) fn push(&mut self, level: u32, children: &[u32]) -> u32 {
+        debug_assert_eq!(children.len(), self.arity(level as usize), "arity mismatch at push");
+        let id = self.levels.len() as u32;
+        self.levels.push(level);
+        self.edge_offset.push(self.edges.len() as u32);
+        self.edges.extend_from_slice(children);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_only_at_birth() {
+        let arena = NodeArena::new(vec![2, 3]);
+        assert_eq!(arena.len(), 2);
+        assert!(!arena.is_empty());
+        assert_eq!(arena.num_levels(), 2);
+        assert_eq!(arena.arity(1), 3);
+        assert_eq!(arena.raw_level(0), TERMINAL_LEVEL);
+        assert_eq!(arena.level(1), None);
+        assert!(arena.children(0).is_empty());
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut arena = NodeArena::new(vec![2, 3]);
+        let n = arena.push(1, &[0, 1, 1]);
+        let m = arena.push(0, &[n, 0]);
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.level(n), Some(1));
+        assert_eq!(arena.children(n), &[0, 1, 1]);
+        assert_eq!(arena.children(m), &[n, 0]);
+        assert_eq!(arena.child(m, 0), n);
+    }
+
+    #[test]
+    fn add_levels_extends() {
+        let mut arena = NodeArena::new(vec![2]);
+        arena.add_levels([4, 2]);
+        assert_eq!(arena.num_levels(), 3);
+        assert_eq!(arena.arity(1), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_arity_rejected() {
+        let _ = NodeArena::new(vec![2, 0]);
+    }
+}

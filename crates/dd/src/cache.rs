@@ -1,0 +1,86 @@
+//! The memoization cache for recursive operations.
+//!
+//! One cache serves every operation of an engine: entries are keyed on an
+//! operation tag plus up to three operand node ids (binary operations
+//! leave the third operand `0`; ITE uses all three). The cache counts hits
+//! and misses so the analysis layer can report memoization effectiveness
+//! alongside the paper's size metrics.
+
+use crate::hash::FxHashMap;
+
+/// Cache key: operation tag plus up to three operand node ids.
+pub type OpKey = (u8, u32, u32, u32);
+
+/// A memoization cache with hit/miss accounting.
+#[derive(Debug, Clone, Default)]
+pub struct OpCache {
+    map: FxHashMap<OpKey, u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl OpCache {
+    /// Looks up a previously memoized result, counting the hit or miss.
+    pub fn get(&mut self, key: OpKey) -> Option<u32> {
+        let result = self.map.get(&key).copied();
+        if result.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        result
+    }
+
+    /// Memoizes the result of an operation.
+    pub fn insert(&mut self, key: OpKey, result: u32) {
+        self.map.insert(key, result);
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found a memoized result.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed (each typically followed by a recursive
+    /// computation and an [`OpCache::insert`]).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops all memoized entries (the hit/miss counters are kept, since
+    /// they describe the workload, not the current contents).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut cache = OpCache::default();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get((0, 2, 3, 0)), None);
+        cache.insert((0, 2, 3, 0), 7);
+        assert_eq!(cache.get((0, 2, 3, 0)), Some(7));
+        assert_eq!(cache.get((1, 2, 3, 0)), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 1, "stats survive a clear");
+    }
+}

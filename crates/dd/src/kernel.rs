@@ -1,0 +1,324 @@
+//! The [`DdKernel`]: arena + unique table + op cache behind the
+//! canonicalising `mk` constructor, plus the shared memoized traversals.
+
+use crate::arena::{NodeArena, TERMINAL_LEVEL};
+use crate::cache::{OpCache, OpKey};
+use crate::hash::FxHashMap;
+use crate::unique::UniqueTable;
+
+/// Node id of the FALSE terminal.
+pub const ZERO: u32 = 0;
+/// Node id of the TRUE terminal.
+pub const ONE: u32 = 1;
+
+/// Aggregate statistics of a kernel, reported by the analysis layer
+/// alongside the paper's Table-4 size metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DdStats {
+    /// Total nodes ever allocated, including the two terminals. The
+    /// kernel never garbage-collects, so this is the *peak* live node
+    /// count — the memory-limiting quantity of the method.
+    pub peak_nodes: usize,
+    /// Entries in the unique table (= non-terminal nodes).
+    pub unique_entries: usize,
+    /// Operation-cache lookups that found a memoized result.
+    pub op_cache_hits: u64,
+    /// Operation-cache lookups that missed.
+    pub op_cache_misses: u64,
+}
+
+/// A hash-consed decision-diagram kernel.
+///
+/// The kernel knows nothing about boolean connectives or multi-valued
+/// semantics; it provides canonical node construction ([`DdKernel::mk`]),
+/// memoization storage ([`DdKernel::cache_get`] /
+/// [`DdKernel::cache_insert`]) and the structural traversals shared by
+/// the ROBDD and ROMDD engines.
+#[derive(Debug, Clone)]
+pub struct DdKernel {
+    arena: NodeArena,
+    unique: UniqueTable,
+    op_cache: OpCache,
+}
+
+impl DdKernel {
+    /// Creates a kernel over levels with the given arities (2 for every
+    /// binary level, the domain size for multi-valued levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arity is zero.
+    pub fn new(arities: Vec<u32>) -> Self {
+        Self {
+            arena: NodeArena::new(arities),
+            unique: UniqueTable::default(),
+            op_cache: OpCache::default(),
+        }
+    }
+
+    /// Returns (creating if necessary) the canonical node
+    /// `(level, children)`.
+    ///
+    /// Applies the shared reduction rule: a node whose children are all
+    /// identical is redundant and the child is returned directly. The
+    /// caller is responsible for the ordering invariant (children must
+    /// test strictly greater levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the child count does not match the
+    /// level's arity.
+    pub fn mk(&mut self, level: u32, children: &[u32]) -> u32 {
+        debug_assert_eq!(
+            children.len(),
+            self.arena.arity(level as usize),
+            "child count must equal the arity of level {level}"
+        );
+        if children.iter().all(|&c| c == children[0]) {
+            return children[0];
+        }
+        self.unique.get_or_insert(&mut self.arena, level, children)
+    }
+
+    /// Number of variable levels.
+    pub fn num_levels(&self) -> usize {
+        self.arena.num_levels()
+    }
+
+    /// Arity (number of children) of nodes at `level`.
+    pub fn arity(&self, level: usize) -> usize {
+        self.arena.arity(level)
+    }
+
+    /// Appends additional levels with the given arities.
+    pub fn add_levels(&mut self, arities: impl IntoIterator<Item = u32>) {
+        self.arena.add_levels(arities);
+    }
+
+    /// Total number of nodes ever created, including the two terminals
+    /// (the peak, since the kernel never garbage-collects).
+    pub fn peak_nodes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Raw level of a node (`TERMINAL_LEVEL` for terminals).
+    pub fn raw_level(&self, id: u32) -> u32 {
+        self.arena.raw_level(id)
+    }
+
+    /// The level tested by a node, or `None` for terminals.
+    pub fn level(&self, id: u32) -> Option<usize> {
+        self.arena.level(id)
+    }
+
+    /// The children of a node (empty for terminals).
+    pub fn children(&self, id: u32) -> &[u32] {
+        self.arena.children(id)
+    }
+
+    /// The child followed when the node's variable takes `value`.
+    pub fn child(&self, id: u32, value: usize) -> u32 {
+        self.arena.child(id, value)
+    }
+
+    /// Looks up a memoized operation result (counted in the statistics).
+    pub fn cache_get(&mut self, key: OpKey) -> Option<u32> {
+        self.op_cache.get(key)
+    }
+
+    /// Memoizes an operation result.
+    pub fn cache_insert(&mut self, key: OpKey, result: u32) {
+        self.op_cache.insert(key, result);
+    }
+
+    /// Drops all memoized operation results (the unique table is kept, so
+    /// canonicity is unaffected).
+    pub fn clear_op_cache(&mut self) {
+        self.op_cache.clear();
+    }
+
+    /// Current kernel statistics.
+    pub fn stats(&self) -> DdStats {
+        DdStats {
+            peak_nodes: self.arena.len(),
+            unique_entries: self.unique.len(),
+            op_cache_hits: self.op_cache.hits(),
+            op_cache_misses: self.op_cache.misses(),
+        }
+    }
+
+    // ---- shared traversals -------------------------------------------------
+
+    /// All nodes reachable from `root` (each exactly once), root first.
+    pub fn reachable(&self, root: u32) -> Vec<u32> {
+        let mut seen: FxHashMap<u32, ()> = FxHashMap::default();
+        let mut order = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if seen.insert(id, ()).is_some() {
+                continue;
+            }
+            order.push(id);
+            stack.extend_from_slice(self.arena.children(id));
+        }
+        order
+    }
+
+    /// Number of nodes reachable from `root`, including terminals (the
+    /// usual "decision-diagram size" metric).
+    pub fn node_count(&self, root: u32) -> usize {
+        self.reachable(root).len()
+    }
+
+    /// Number of non-terminal nodes reachable from `root`.
+    pub fn inner_node_count(&self, root: u32) -> usize {
+        self.reachable(root).iter().filter(|&&id| id > ONE).count()
+    }
+
+    /// The set of variable levels appearing in `root`, in increasing
+    /// order.
+    pub fn support(&self, root: u32) -> Vec<usize> {
+        let mut levels: Vec<usize> =
+            self.reachable(root).iter().filter_map(|&id| self.arena.level(id)).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels
+    }
+
+    /// Follows one path from `root` to a terminal, choosing the branch
+    /// `pick(level)` at every decision node, and returns whether the TRUE
+    /// terminal was reached.
+    pub fn eval<P: FnMut(usize) -> usize>(&self, root: u32, mut pick: P) -> bool {
+        let mut cur = root;
+        while cur > ONE {
+            let level = self.arena.raw_level(cur) as usize;
+            debug_assert_ne!(self.arena.raw_level(cur), TERMINAL_LEVEL);
+            cur = self.arena.child(cur, pick(level));
+        }
+        cur == ONE
+    }
+
+    /// Probability that the function rooted at `root` evaluates to 1 when
+    /// the variable at each level `l` independently takes value `v` with
+    /// probability `weight(l, v)`.
+    ///
+    /// This is the computation at the heart of the yield method: one
+    /// memoized depth-first traversal, linear in the number of nodes.
+    /// Levels skipped by the diagram contribute a factor of 1 provided
+    /// each level's weights sum to 1; zero-weight branches are never
+    /// descended into.
+    pub fn probability<W: Fn(usize, usize) -> f64>(&self, root: u32, weight: W) -> f64 {
+        let mut cache: FxHashMap<u32, f64> = FxHashMap::default();
+        self.probability_memo(root, &weight, &mut cache)
+    }
+
+    fn probability_memo<W: Fn(usize, usize) -> f64>(
+        &self,
+        node: u32,
+        weight: &W,
+        cache: &mut FxHashMap<u32, f64>,
+    ) -> f64 {
+        if node == ONE {
+            return 1.0;
+        }
+        if node == ZERO {
+            return 0.0;
+        }
+        if let Some(&p) = cache.get(&node) {
+            return p;
+        }
+        let level = self.arena.raw_level(node) as usize;
+        let mut p = 0.0;
+        for (value, &child) in self.arena.children(node).iter().enumerate() {
+            let w = weight(level, value);
+            if w == 0.0 {
+                continue;
+            }
+            p += w * self.probability_memo(child, weight, cache);
+        }
+        cache.insert(node, p);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mk_is_canonical_and_reducing() {
+        let mut dd = DdKernel::new(vec![2, 3]);
+        let a = dd.mk(1, &[ZERO, ONE, ONE]);
+        let b = dd.mk(1, &[ZERO, ONE, ONE]);
+        assert_eq!(a, b);
+        assert_eq!(dd.peak_nodes(), 3);
+        assert_eq!(dd.mk(1, &[ONE, ONE, ONE]), ONE, "redundant node must reduce");
+        assert_eq!(dd.mk(0, &[a, a]), a);
+        assert_eq!(dd.level(a), Some(1));
+        assert_eq!(dd.raw_level(ONE), TERMINAL_LEVEL);
+        assert_eq!(dd.children(a), &[ZERO, ONE, ONE]);
+        assert_eq!(dd.child(a, 2), ONE);
+        assert_eq!(dd.arity(1), 3);
+        assert_eq!(dd.num_levels(), 2);
+    }
+
+    #[test]
+    fn traversals() {
+        let mut dd = DdKernel::new(vec![2, 3]);
+        let a = dd.mk(1, &[ZERO, ONE, ONE]);
+        let f = dd.mk(0, &[ZERO, a]);
+        assert_eq!(dd.node_count(f), 4);
+        assert_eq!(dd.inner_node_count(f), 2);
+        assert_eq!(dd.node_count(ONE), 1);
+        assert_eq!(dd.inner_node_count(ZERO), 0);
+        assert_eq!(dd.support(f), vec![0, 1]);
+        assert!(dd.support(ONE).is_empty());
+        let reach = dd.reachable(f);
+        assert_eq!(reach[0], f);
+        assert_eq!(reach.len(), 4);
+        assert!(dd.eval(f, |l| if l == 0 { 1 } else { 2 }));
+        assert!(!dd.eval(f, |_| 0));
+    }
+
+    #[test]
+    fn probability_matches_enumeration() {
+        let mut dd = DdKernel::new(vec![2, 3]);
+        let a = dd.mk(1, &[ZERO, ONE, ONE]); // x1 >= 1
+        let f = dd.mk(0, &[ZERO, a]); // x0 == 1 && x1 >= 1
+        let w = [vec![0.4, 0.6], vec![0.2, 0.3, 0.5]];
+        let p = dd.probability(f, |l, v| w[l][v]);
+        assert!((p - 0.6 * 0.8).abs() < 1e-12);
+        assert_eq!(dd.probability(ONE, |_, _| 0.0), 1.0);
+        assert_eq!(dd.probability(ZERO, |_, _| 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_weight_branches_are_skipped() {
+        let mut dd = DdKernel::new(vec![3]);
+        let f = dd.mk(0, &[ZERO, ONE, ZERO]);
+        // Value 2 has weight 0; its branch must not contribute.
+        let p = dd.probability(f, |_, v| [0.5, 0.5, 0.0][v]);
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_and_stats() {
+        let mut dd = DdKernel::new(vec![2]);
+        assert_eq!(dd.cache_get((0, 2, 3, 0)), None);
+        dd.cache_insert((0, 2, 3, 0), 5);
+        assert_eq!(dd.cache_get((0, 2, 3, 0)), Some(5));
+        let n = dd.mk(0, &[ZERO, ONE]);
+        let stats = dd.stats();
+        assert_eq!(stats.peak_nodes, 3);
+        assert_eq!(stats.unique_entries, 1);
+        assert_eq!(stats.op_cache_hits, 1);
+        assert_eq!(stats.op_cache_misses, 1);
+        dd.clear_op_cache();
+        assert_eq!(dd.cache_get((0, 2, 3, 0)), None);
+        assert_eq!(dd.mk(0, &[ZERO, ONE]), n);
+        // add_levels makes room for more variables.
+        dd.add_levels([4]);
+        assert_eq!(dd.num_levels(), 2);
+        let _ = dd.mk(1, &[ZERO, ONE, ONE, ZERO]);
+    }
+}

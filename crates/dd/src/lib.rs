@@ -1,0 +1,59 @@
+//! The shared hash-consed decision-diagram kernel used by the `socy-bdd`
+//! (ROBDD) and `socy-mdd` (ROMDD) engines.
+//!
+//! Coded ROBDDs and ROMDDs are two views of one discipline: a forest of
+//! nodes `(level, children…)` kept canonical by hash-consing plus the
+//! redundant-node reduction rule, operated on by memoized recursive
+//! procedures. This crate factors that discipline out of the two engines:
+//!
+//! * a cache-friendly struct-of-arrays node [`arena`](arena::NodeArena)
+//!   addressed by `u32` ids, storing every node's children in one flat
+//!   edge array;
+//! * an open-addressed [`unique table`](unique::UniqueTable) that stores
+//!   only node ids and resolves keys against the arena, so children are
+//!   never duplicated into hash-map keys;
+//! * an [`operation cache`](cache::OpCache) keyed on `(op, operands)` with
+//!   hit/miss statistics;
+//! * the [`DdKernel`] combining the three behind the
+//!   canonicalising [`mk`](DdKernel::mk) constructor;
+//! * shared memoized traversals (node counts, reachable-set iteration,
+//!   support, path evaluation, depth-first probability evaluation);
+//! * the [`FxHash`](hash) implementation both engines key their tables
+//!   with;
+//! * a shared Graphviz [`DOT writer`](dot::DotWriter).
+//!
+//! The engines stay responsible for everything domain-specific: boolean
+//! connectives, ITE and thresholds live in `socy-bdd`; multi-valued
+//! indicator constructors and the coded-ROBDD → ROMDD conversions live in
+//! `socy-mdd`.
+//!
+//! # Example
+//!
+//! ```
+//! use socy_dd::kernel::{DdKernel, ONE, ZERO};
+//!
+//! // Two levels: a binary variable above a ternary one.
+//! let mut dd = DdKernel::new(vec![2, 3]);
+//! let is2 = dd.mk(1, &[ZERO, ZERO, ONE]); // x1 == 2
+//! let f = dd.mk(0, &[ZERO, is2]); // x0 == 1 && x1 == 2
+//! assert_eq!(dd.node_count(f), 4);
+//! assert_eq!(dd.mk(0, &[ZERO, is2]), f, "hash-consing is canonical");
+//! assert_eq!(dd.mk(0, &[is2, is2]), is2, "redundant nodes are reduced");
+//! let p = dd.probability(f, |level, value| [[0.5, 0.5, 0.0], [0.2, 0.3, 0.5]][level][value]);
+//! assert!((p - 0.5 * 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod cache;
+pub mod dot;
+pub mod hash;
+pub mod kernel;
+pub mod unique;
+
+pub use arena::{NodeArena, TERMINAL_LEVEL};
+pub use cache::OpCache;
+pub use kernel::{DdKernel, DdStats, ONE, ZERO};
+pub use unique::UniqueTable;

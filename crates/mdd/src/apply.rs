@@ -20,14 +20,14 @@ impl MddManager {
         if f.is_one() {
             return MddId::ZERO;
         }
-        if let Some(&r) = self.op_cache.get(&(OP_NOT, f, f)) {
-            return r;
+        if let Some(r) = self.dd.cache_get((OP_NOT, f.0, f.0, 0)) {
+            return MddId(r);
         }
         let level = self.level(f).expect("non-terminal");
-        let children: Vec<MddId> = self.children(f).to_vec();
+        let children = self.children(f);
         let new_children: Vec<MddId> = children.into_iter().map(|c| self.not(c)).collect();
         let r = self.mk(level, new_children);
-        self.op_cache.insert((OP_NOT, f, f), r);
+        self.dd.cache_insert((OP_NOT, f.0, f.0, 0), r.0);
         r
     }
 
@@ -140,8 +140,8 @@ impl MddManager {
             _ => unreachable!("unknown op"),
         }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.op_cache.get(&(op, a, b)) {
-            return r;
+        if let Some(r) = self.dd.cache_get((op, a.0, b.0, 0)) {
+            return MddId(r);
         }
         let la = self.raw_level(a);
         let lb = self.raw_level(b);
@@ -155,7 +155,7 @@ impl MddManager {
             children.push(self.binary(op, ca, cb));
         }
         let r = self.mk(top as usize, children);
-        self.op_cache.insert((op, a, b), r);
+        self.dd.cache_insert((op, a.0, b.0, 0), r.0);
         r
     }
 }

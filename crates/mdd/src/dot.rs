@@ -1,6 +1,6 @@
 //! Graphviz (DOT) export of ROMDDs.
 
-use std::fmt::Write as _;
+use socy_dd::dot::{level_label, DotWriter};
 
 use crate::manager::{MddId, MddManager};
 
@@ -11,25 +11,16 @@ impl MddManager {
     /// of domain values following them, mirroring the edge-labelling used
     /// by the paper's figures. `var_names` optionally maps levels to names.
     pub fn to_dot(&self, f: MddId, var_names: Option<&[String]>) -> String {
-        let mut out = String::new();
-        writeln!(out, "digraph romdd {{").expect("write to string");
-        writeln!(out, "  rankdir=TB;").expect("write to string");
-        writeln!(out, "  node0 [label=\"0\", shape=box];").expect("write to string");
-        writeln!(out, "  node1 [label=\"1\", shape=box];").expect("write to string");
+        let mut dot = DotWriter::new("romdd");
         for id in self.reachable(f) {
             if id.is_terminal() {
                 continue;
             }
             let level = self.level(id).expect("non-terminal");
-            let label = match var_names.and_then(|n| n.get(level)) {
-                Some(name) => name.clone(),
-                None => format!("x{level}"),
-            };
-            writeln!(out, "  node{} [label=\"{label}\", shape=circle];", id.index())
-                .expect("write to string");
+            dot.node(id.0, &level_label(var_names, level));
             // Merge parallel edges by destination.
             let mut by_child: Vec<(MddId, Vec<usize>)> = Vec::new();
-            for (value, &child) in self.children(id).iter().enumerate() {
+            for (value, child) in self.children(id).into_iter().enumerate() {
                 match by_child.iter_mut().find(|(c, _)| *c == child) {
                     Some((_, values)) => values.push(value),
                     None => by_child.push((child, vec![value])),
@@ -37,18 +28,10 @@ impl MddManager {
             }
             for (child, values) in by_child {
                 let label: Vec<String> = values.iter().map(|v| v.to_string()).collect();
-                writeln!(
-                    out,
-                    "  node{} -> node{} [label=\"{}\"];",
-                    id.index(),
-                    child.index(),
-                    label.join(",")
-                )
-                .expect("write to string");
+                dot.edge(id.0, child.0, Some(&format!("label=\"{}\"", label.join(","))));
             }
         }
-        writeln!(out, "}}").expect("write to string");
-        out
+        dot.finish()
     }
 }
 

@@ -14,8 +14,8 @@
 //! the *remaining* multiple-valued variables only, so it maps to a unique
 //! ROMDD node — the memoization key is just the ROBDD node id.
 
-use socy_bdd::hash::FxHashMap;
 use socy_bdd::{BddId, BddManager};
+use socy_dd::hash::FxHashMap;
 
 use crate::coded::CodedLayout;
 use crate::manager::{MddId, MddManager};

@@ -15,8 +15,8 @@
 //! original implementation did), while the top-down version is the one the
 //! analysis pipeline uses by default.
 
-use socy_bdd::hash::FxHashMap;
 use socy_bdd::{BddId, BddManager};
+use socy_dd::hash::FxHashMap;
 
 use crate::coded::CodedLayout;
 use crate::from_bdd::follow_code;

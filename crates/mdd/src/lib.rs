@@ -7,7 +7,9 @@
 //! `{0, …, d_i − 1}` and every non-terminal node at level `i` has `d_i`
 //! outgoing edges, one per domain value. As with ROBDDs, hash-consing plus
 //! the redundant-node rule make the representation canonical for a fixed
-//! variable order.
+//! variable order; both disciplines are provided by the shared
+//! [`socy_dd`] kernel, over which this crate is a thin multi-valued
+//! layer.
 //!
 //! The yield method evaluates `P(G(W, V_1, …, V_M) = 1)` on the ROMDD of
 //! the generalized fault tree `G`; this crate provides:

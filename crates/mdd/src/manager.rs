@@ -1,9 +1,9 @@
-//! The [`MddManager`]: multi-valued variable domains, node arena, unique
-//! table, indicator constructors and evaluation.
+//! The [`MddManager`]: a thin multiple-valued layer (variable domains,
+//! indicator constructors, evaluation) over the shared [`socy_dd`] kernel.
 
 use std::fmt;
 
-use socy_bdd::hash::FxHashMap;
+use socy_dd::kernel::{DdKernel, DdStats};
 
 /// Identifier of an ROMDD node within an [`MddManager`].
 ///
@@ -13,9 +13,9 @@ pub struct MddId(pub(crate) u32);
 
 impl MddId {
     /// The FALSE terminal.
-    pub const ZERO: MddId = MddId(0);
+    pub const ZERO: MddId = MddId(socy_dd::ZERO);
     /// The TRUE terminal.
-    pub const ONE: MddId = MddId(1);
+    pub const ONE: MddId = MddId(socy_dd::ONE);
 
     /// Raw index of this node in the manager's arena.
     pub fn index(self) -> usize {
@@ -48,23 +48,15 @@ impl fmt::Display for MddId {
     }
 }
 
-pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Node {
-    pub level: u32,
-    pub children: Box<[MddId]>,
-}
+pub(crate) const TERMINAL_LEVEL: u32 = socy_dd::TERMINAL_LEVEL;
 
 /// A manager owning a forest of ROMDD nodes over a fixed sequence of
 /// multiple-valued variables (one per level, each with its own finite
 /// domain size).
 #[derive(Debug, Clone)]
 pub struct MddManager {
-    pub(crate) nodes: Vec<Node>,
-    unique: FxHashMap<(u32, Box<[MddId]>), MddId>,
+    pub(crate) dd: DdKernel,
     domains: Vec<usize>,
-    pub(crate) op_cache: FxHashMap<(u8, MddId, MddId), MddId>,
 }
 
 impl MddManager {
@@ -77,11 +69,8 @@ impl MddManager {
     /// Panics if any domain size is zero.
     pub fn new(domains: Vec<usize>) -> Self {
         assert!(domains.iter().all(|&d| d >= 1), "every domain must have at least one value");
-        let nodes = vec![
-            Node { level: TERMINAL_LEVEL, children: Box::new([]) },
-            Node { level: TERMINAL_LEVEL, children: Box::new([]) },
-        ];
-        Self { nodes, unique: FxHashMap::default(), domains, op_cache: FxHashMap::default() }
+        let dd = DdKernel::new(domains.iter().map(|&d| d as u32).collect());
+        Self { dd, domains }
     }
 
     /// The FALSE terminal.
@@ -120,16 +109,11 @@ impl MddManager {
 
     /// The level tested by `id`, or `None` for terminals.
     pub fn level(&self, id: MddId) -> Option<usize> {
-        let l = self.nodes[id.index()].level;
-        if l == TERMINAL_LEVEL {
-            None
-        } else {
-            Some(l as usize)
-        }
+        self.dd.level(id.0)
     }
 
     pub(crate) fn raw_level(&self, id: MddId) -> u32 {
-        self.nodes[id.index()].level
+        self.dd.raw_level(id.0)
     }
 
     /// The child followed when the variable at the node's level takes
@@ -141,7 +125,7 @@ impl MddManager {
     /// domain.
     pub fn child(&self, id: MddId, value: usize) -> MddId {
         assert!(!id.is_terminal(), "terminals have no children");
-        self.nodes[id.index()].children[value]
+        MddId(self.dd.child(id.0, value))
     }
 
     /// All children of a non-terminal node, indexed by domain value.
@@ -149,9 +133,9 @@ impl MddManager {
     /// # Panics
     ///
     /// Panics if `id` is a terminal.
-    pub fn children(&self, id: MddId) -> &[MddId] {
+    pub fn children(&self, id: MddId) -> Vec<MddId> {
         assert!(!id.is_terminal(), "terminals have no children");
-        &self.nodes[id.index()].children
+        self.dd.children(id.0).iter().map(|&c| MddId(c)).collect()
     }
 
     /// Returns (creating if necessary) the canonical node at `level` with
@@ -176,17 +160,8 @@ impl MddManager {
             children.iter().all(|c| self.raw_level(*c) > level as u32),
             "children must test strictly lower levels"
         );
-        if children.iter().all(|&c| c == children[0]) {
-            return children[0];
-        }
-        let key = (level as u32, children.clone().into_boxed_slice());
-        if let Some(&id) = self.unique.get(&key) {
-            return id;
-        }
-        let id = MddId(self.nodes.len() as u32);
-        self.nodes.push(Node { level: level as u32, children: key.1.clone() });
-        self.unique.insert(key, id);
-        id
+        let raw: Vec<u32> = children.iter().map(|c| c.0).collect();
+        MddId(self.dd.mk(level as u32, &raw))
     }
 
     /// Indicator of `x_level == value` (the paper's "filter gate" `= i`).
@@ -219,56 +194,39 @@ impl MddManager {
     /// Panics if the assignment is shorter than a level tested on the
     /// followed path or contains an out-of-domain value at such a level.
     pub fn eval(&self, f: MddId, assignment: &[usize]) -> bool {
-        let mut cur = f;
-        while !cur.is_terminal() {
-            let level = self.level(cur).expect("non-terminal");
-            cur = self.child(cur, assignment[level]);
-        }
-        cur.is_one()
+        self.dd.eval(f.0, |level| assignment[level])
     }
 
     /// Number of nodes reachable from `f`, including terminals.
     pub fn node_count(&self, f: MddId) -> usize {
-        self.reachable(f).len()
+        self.dd.node_count(f.0)
     }
 
     /// Number of non-terminal nodes reachable from `f`.
     pub fn inner_node_count(&self, f: MddId) -> usize {
-        self.reachable(f).iter().filter(|id| !id.is_terminal()).count()
+        self.dd.inner_node_count(f.0)
     }
 
     /// All nodes reachable from `f` (each exactly once), root first.
     pub fn reachable(&self, f: MddId) -> Vec<MddId> {
-        let mut seen: FxHashMap<MddId, ()> = FxHashMap::default();
-        let mut order = Vec::new();
-        let mut stack = vec![f];
-        while let Some(id) = stack.pop() {
-            if seen.insert(id, ()).is_some() {
-                continue;
-            }
-            order.push(id);
-            if !id.is_terminal() {
-                for &c in self.children(id).iter() {
-                    stack.push(c);
-                }
-            }
-        }
-        order
+        self.dd.reachable(f.0).into_iter().map(MddId).collect()
     }
 
     /// Total number of nodes ever created (the manager never collects
     /// garbage, so this is also the peak).
     pub fn peak_nodes(&self) -> usize {
-        self.nodes.len()
+        self.dd.peak_nodes()
+    }
+
+    /// Kernel statistics: peak nodes, unique-table entries and
+    /// operation-cache hit/miss counts.
+    pub fn stats(&self) -> DdStats {
+        self.dd.stats()
     }
 
     /// The set of levels appearing in `f`, in increasing order.
     pub fn support(&self, f: MddId) -> Vec<usize> {
-        let mut levels: Vec<usize> =
-            self.reachable(f).iter().filter_map(|&id| self.level(id)).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels
+        self.dd.support(f.0)
     }
 }
 
@@ -356,5 +314,17 @@ mod tests {
         let f = mgr.value_is(1, 1);
         assert!(mgr.eval(f, &[4, 1]));
         assert!(!mgr.eval(f, &[0, 0]));
+    }
+
+    #[test]
+    fn stats_track_the_kernel() {
+        let mut mgr = MddManager::new(vec![3, 3]);
+        let a = mgr.value_is(0, 1);
+        let b = mgr.value_is(1, 2);
+        let _ = mgr.and(a, b);
+        let stats = mgr.stats();
+        assert_eq!(stats.peak_nodes, mgr.peak_nodes());
+        assert_eq!(stats.unique_entries, mgr.peak_nodes() - 2);
+        assert!(stats.op_cache_misses > 0);
     }
 }

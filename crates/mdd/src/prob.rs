@@ -6,8 +6,6 @@
 //! computes `P(G = 1)` — exactly the procedure illustrated with the
 //! paper's Figure 2 example.
 
-use socy_bdd::hash::FxHashMap;
-
 use crate::manager::{MddId, MddManager};
 
 impl MddManager {
@@ -24,41 +22,15 @@ impl MddManager {
     /// Panics if `probabilities` is shorter than a level appearing in `f`
     /// or an entry has the wrong arity.
     pub fn probability(&self, f: MddId, probabilities: &[Vec<f64>]) -> f64 {
-        let mut cache: FxHashMap<MddId, f64> = FxHashMap::default();
-        self.probability_memo(f, probabilities, &mut cache)
-    }
-
-    fn probability_memo(
-        &self,
-        f: MddId,
-        probabilities: &[Vec<f64>],
-        cache: &mut FxHashMap<MddId, f64>,
-    ) -> f64 {
-        if f.is_one() {
-            return 1.0;
-        }
-        if f.is_zero() {
-            return 0.0;
-        }
-        if let Some(&p) = cache.get(&f) {
-            return p;
-        }
-        let level = self.level(f).expect("non-terminal");
-        let dist = &probabilities[level];
-        assert_eq!(
-            dist.len(),
-            self.domain(level),
-            "probability vector arity mismatch at level {level}"
-        );
-        let mut p = 0.0;
-        for (value, &pv) in dist.iter().enumerate() {
-            if pv == 0.0 {
-                continue;
-            }
-            p += pv * self.probability_memo(self.child(f, value), probabilities, cache);
-        }
-        cache.insert(f, p);
-        p
+        self.dd.probability(f.0, |level, value| {
+            let dist = &probabilities[level];
+            assert_eq!(
+                dist.len(),
+                self.domain(level),
+                "probability vector arity mismatch at level {level}"
+            );
+            dist[value]
+        })
     }
 }
 

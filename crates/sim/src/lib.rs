@@ -34,6 +34,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use socy_defect::truncation::select_truncation_capped;
 use socy_defect::{ComponentProbabilities, DefectDistribution, DefectError};
 use socy_faulttree::{Netlist, NetlistError};
 
@@ -41,7 +42,8 @@ use socy_faulttree::{Netlist, NetlistError};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulationOptions {
     /// Probability mass beyond which the lethal-defect count distribution
-    /// is truncated when building the sampling table.
+    /// is truncated when building the sampling table (the `ε` handed to
+    /// [`socy_defect::truncation::select_truncation_capped`]).
     pub tail_tolerance: f64,
     /// Hard cap on the number of lethal defects representable by the
     /// sampling table.
@@ -149,11 +151,14 @@ impl MonteCarloYield {
                 components: components.len(),
             });
         }
-        let support = lethal.quantile_upper(options.tail_tolerance, options.max_defects)?;
-        let mut count_cdf = Vec::with_capacity(support + 1);
+        // The sampling table is the truncated lethal-defect distribution; reuse
+        // the method's own truncation-point selection instead of re-deriving it.
+        let truncation =
+            select_truncation_capped(lethal, options.tail_tolerance, options.max_defects)?;
+        let mut count_cdf = Vec::with_capacity(truncation.truncation() + 1);
         let mut acc = 0.0;
-        for k in 0..=support {
-            acc += lethal.pmf(k);
+        for &q in truncation.masses() {
+            acc += q;
             count_cdf.push(acc.min(1.0));
         }
         let mut component_cdf = Vec::with_capacity(components.len());

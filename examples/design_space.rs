@@ -7,45 +7,58 @@
 //! and prints yield curves — the kind of study the paper argues needs
 //! "precise error control" rather than simulation.
 //!
+//! Both sweeps run through one [`Pipeline`], which compiles the coded
+//! ROBDD / ROMDD once (at the largest truncation any point needs) and
+//! answers every point with a linear-time probability evaluation.
+//!
 //! Run with: `cargo run --release --example design_space`
 
 use soc_yield::benchmarks::esen;
 use soc_yield::defect::NegativeBinomial;
-use soc_yield::{analyze, AnalysisOptions};
+use soc_yield::{AnalysisOptions, DefectDistribution, Pipeline};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = esen(4, 2);
     let components = system.component_probabilities(1.0)?;
+    let mut pipeline = Pipeline::new(&system.fault_tree, &components)?;
+    let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
 
     println!("Design-space study on {} (C = {})\n", system.name, system.num_components());
 
     // Sweep the expected number of defects at fixed clustering.
     println!("Yield vs expected lethal defects (α = 4):");
     println!("{:>8} {:>6} {:>10} {:>12}", "λ'", "M", "yield", "error bound");
-    for lambda in [0.25, 0.5, 1.0, 1.5, 2.0] {
-        let lethal = NegativeBinomial::new(lambda, 4.0)?.thinned(components.lethality())?;
-        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
-        let analysis = analyze(&system.fault_tree, &components, &lethal, &options)?;
+    let lambdas = [0.25, 0.5, 1.0, 1.5, 2.0];
+    let lambda_dists = lambdas
+        .iter()
+        .map(|&lambda| Ok(NegativeBinomial::new(lambda, 4.0)?.thinned(components.lethality())?))
+        .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
+    let reports = pipeline
+        .sweep_distributions(lambda_dists.iter().map(|d| d as &dyn DefectDistribution), &options)?;
+    for (lambda, report) in lambdas.iter().zip(&reports) {
         println!(
             "{:>8} {:>6} {:>10.4} {:>12.1e}",
-            lambda,
-            analysis.report.truncation,
-            analysis.report.yield_lower_bound,
-            analysis.report.error_bound
+            lambda, report.truncation, report.yield_lower_bound, report.error_bound
         );
     }
+    println!(
+        "(one compiled diagram served all {} points: compiled M = {})",
+        reports.len(),
+        reports[0].compiled_truncation
+    );
 
     // Sweep the clustering parameter at fixed defect density.
     println!("\nYield vs clustering parameter (λ' = 1):");
     println!("{:>8} {:>6} {:>10}", "α", "M", "yield");
-    for alpha in [0.5, 1.0, 2.0, 4.0, 8.0] {
-        let lethal = NegativeBinomial::new(1.0, alpha)?.thinned(components.lethality())?;
-        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
-        let analysis = analyze(&system.fault_tree, &components, &lethal, &options)?;
-        println!(
-            "{:>8} {:>6} {:>10.4}",
-            alpha, analysis.report.truncation, analysis.report.yield_lower_bound
-        );
+    let alphas = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let alpha_dists = alphas
+        .iter()
+        .map(|&alpha| Ok(NegativeBinomial::new(1.0, alpha)?.thinned(components.lethality())?))
+        .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
+    let reports = pipeline
+        .sweep_distributions(alpha_dists.iter().map(|d| d as &dyn DefectDistribution), &options)?;
+    for (alpha, report) in alphas.iter().zip(&reports) {
+        println!("{:>8} {:>6} {:>10.4}", alpha, report.truncation, report.yield_lower_bound);
     }
     println!(
         "\nStronger clustering (small α) concentrates defects on fewer dies, which \

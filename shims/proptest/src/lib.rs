@@ -204,7 +204,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// An inclusive size interval accepted by [`vec`].
+    /// An inclusive size interval accepted by [`fn@vec`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -11,6 +11,7 @@
 //! |---|---|---|
 //! | [`defect`] | `socy-defect` | defect-count distributions, lethal-defect mapping, truncation |
 //! | [`faulttree`] | `socy-faulttree` | gate-level fault-tree netlists |
+//! | [`dd`] | `socy-dd` | shared hash-consed decision-diagram kernel |
 //! | [`bdd`] | `socy-bdd` | ROBDD engine |
 //! | [`mdd`] | `socy-mdd` | ROMDD engine + coded-ROBDD conversion |
 //! | [`ordering`] | `socy-ordering` | variable-ordering heuristics |
@@ -51,6 +52,7 @@
 pub use soc_yield_core as core;
 pub use socy_bdd as bdd;
 pub use socy_benchmarks as benchmarks;
+pub use socy_dd as dd;
 pub use socy_defect as defect;
 pub use socy_faulttree as faulttree;
 pub use socy_mdd as mdd;
@@ -58,7 +60,8 @@ pub use socy_ordering as ordering;
 pub use socy_sim as sim;
 
 pub use soc_yield_core::{
-    analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, YieldAnalysis, YieldReport,
+    analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, DdStats, Pipeline, SweepPoint,
+    YieldAnalysis, YieldReport,
 };
 pub use socy_defect::{ComponentProbabilities, DefectDistribution, NegativeBinomial, Poisson};
 pub use socy_faulttree::Netlist;

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 
 use soc_yield::bdd::BddManager;
+use soc_yield::dd::kernel::DdKernel;
 use soc_yield::defect::truncation::truncate_at;
 use soc_yield::defect::{ComponentProbabilities, DefectDistribution, NegativeBinomial, Poisson};
 use soc_yield::mdd::{CodedLayout, MddManager};
@@ -167,6 +168,53 @@ proptest! {
         prop_assert!(low.report.yield_lower_bound >= 0.0 && low.report.yield_lower_bound <= 1.0);
         prop_assert!(low.report.error_bound <= 1e-3);
         prop_assert!(high.report.yield_lower_bound <= low.report.yield_lower_bound + 1e-3);
+    }
+
+    /// The shared unique table never holds two nodes with the same
+    /// `(level, children)` key and never stores a redundant node, for any
+    /// interleaving of `mk` calls over mixed-arity levels.
+    #[test]
+    fn unique_table_never_duplicates(domains in proptest::collection::vec(2usize..5, 1..5), seed in any::<u64>()) {
+        let mut dd = DdKernel::new(domains.iter().map(|&d| d as u32).collect());
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Build bottom-up so children always test strictly lower levels;
+        // `pool` holds the nodes usable as children of the current level.
+        let mut pool: Vec<u32> = vec![0, 1];
+        for level in (0..domains.len()).rev() {
+            let mut created = Vec::new();
+            for _ in 0..12 {
+                let children: Vec<u32> = (0..domains[level])
+                    .map(|_| pool[(next() % pool.len() as u64) as usize])
+                    .collect();
+                let node = dd.mk(level as u32, &children);
+                // Re-making the same key must return the identical id.
+                prop_assert_eq!(dd.mk(level as u32, &children), node);
+                if children.iter().all(|&c| c == children[0]) {
+                    prop_assert_eq!(node, children[0], "redundant node must reduce to its child");
+                } else {
+                    created.push(node);
+                }
+            }
+            pool.extend(created);
+        }
+        // Scan the arena: every non-terminal (level, children) key is unique,
+        // and no stored node is redundant.
+        let keys: Vec<(u32, Vec<u32>)> = (2..dd.peak_nodes() as u32)
+            .map(|id| (dd.raw_level(id), dd.children(id).to_vec()))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            prop_assert!(key.1.iter().any(|&c| c != key.1[0]), "node {} is redundant", i + 2);
+            for other in &keys[i + 1..] {
+                prop_assert_ne!(key, other, "duplicate (level, children) entry");
+            }
+        }
+        prop_assert_eq!(dd.stats().unique_entries, keys.len());
     }
 
     /// Exact baseline and decision-diagram pipeline agree on random small systems.
