@@ -3,7 +3,8 @@
 
 use std::fmt;
 
-use socy_dd::kernel::{DdKernel, DdStats};
+use socy_dd::kernel::{DdKernel, DdStats, GcStats, Ref};
+use socy_dd::reorder::{SiftConfig, SiftOutcome};
 
 /// Identifier of a BDD node within a [`BddManager`].
 ///
@@ -168,16 +169,22 @@ impl BddManager {
         }
     }
 
-    /// Total number of nodes ever created in this manager, including the
-    /// two terminals. Because the manager never garbage-collects, this is
-    /// the *peak* number of live ROBDD nodes — the metric the paper reports
-    /// as "ROBDD peak" (it determines peak memory consumption).
+    /// Largest number of simultaneously allocated nodes observed so far,
+    /// including the two terminals — the metric the paper reports as
+    /// "ROBDD peak" (it determines peak memory consumption). Until the
+    /// first [`BddManager::gc`] this equals the total nodes ever created.
     pub fn peak_nodes(&self) -> usize {
         self.dd.peak_nodes()
     }
 
-    /// Kernel statistics: peak nodes, unique-table entries and
-    /// operation-cache hit/miss counts.
+    /// Nodes currently allocated, including the two terminals (live
+    /// closures of all roots plus any garbage not yet collected).
+    pub fn allocated_nodes(&self) -> usize {
+        self.dd.allocated_nodes()
+    }
+
+    /// Kernel statistics: peak/live nodes, unique-table entries,
+    /// operation-cache hit/miss counts and collection totals.
     pub fn stats(&self) -> DdStats {
         self.dd.stats()
     }
@@ -187,6 +194,69 @@ impl BddManager {
     /// cache memory.
     pub fn clear_op_caches(&mut self) {
         self.dd.clear_op_cache();
+    }
+
+    // ---- garbage collection and reordering ---------------------------------
+
+    /// Registers `id` as an external root surviving every
+    /// [`BddManager::gc`] until the handle is passed to
+    /// [`BddManager::unprotect`].
+    pub fn protect(&mut self, id: BddId) -> Ref {
+        self.dd.protect(id.0)
+    }
+
+    /// Releases a protection and returns the root's current id.
+    pub fn unprotect(&mut self, handle: Ref) -> BddId {
+        BddId(self.dd.unprotect(handle))
+    }
+
+    /// Current id of a protected root (collections renumber node ids).
+    pub fn resolve(&self, handle: Ref) -> BddId {
+        BddId(self.dd.resolve(handle))
+    }
+
+    /// Mark-and-sweep garbage collection over the protected roots.
+    ///
+    /// Every [`BddId`] obtained before the collection is invalidated;
+    /// carry roots across with [`BddManager::protect`] /
+    /// [`BddManager::resolve`]. The recorded peak is unaffected.
+    pub fn gc(&mut self) -> GcStats {
+        self.dd.gc()
+    }
+
+    /// Dynamic variable reordering by sifting, minimising the node count
+    /// of the union of `roots` (each entry is updated to the root's id
+    /// after the run). Equivalent to
+    /// [`reorder_sift_grouped`](BddManager::reorder_sift_grouped) with
+    /// every level in its own block.
+    pub fn reorder_sift(&mut self, roots: &mut [BddId], config: &SiftConfig) -> SiftOutcome {
+        let ones = vec![1; self.num_levels()];
+        self.reorder_sift_grouped(roots, &ones, config)
+    }
+
+    /// Grouped sifting: contiguous blocks of levels (e.g. the bit groups
+    /// of a coded ROBDD) move as indivisible units, so group contiguity
+    /// invariants survive the reordering.
+    ///
+    /// After the run, level `l` tests the variable previously tested at
+    /// level `SiftOutcome::level_origin[l]`; callers evaluating by level
+    /// (e.g. [`BddManager::eval`]) must remap their assignments
+    /// accordingly. The swap garbage is collected before returning:
+    /// anything not reachable from `roots` or a separately protected root
+    /// is reclaimed and all prior [`BddId`]s are invalidated — `roots` is
+    /// updated in place with the post-collection ids.
+    pub fn reorder_sift_grouped(
+        &mut self,
+        roots: &mut [BddId],
+        block_sizes: &[usize],
+        config: &SiftConfig,
+    ) -> SiftOutcome {
+        let mut raw: Vec<u32> = roots.iter().map(|r| r.0).collect();
+        let outcome = self.dd.sift_blocks(&mut raw, block_sizes, config);
+        for (slot, &id) in roots.iter_mut().zip(&raw) {
+            *slot = BddId(id);
+        }
+        outcome
     }
 }
 
@@ -273,5 +343,57 @@ mod tests {
         assert_eq!(stats.peak_nodes, mgr.peak_nodes());
         assert_eq!(stats.unique_entries, mgr.peak_nodes() - 2);
         assert!(stats.op_cache_misses > 0);
+    }
+
+    #[test]
+    fn gc_keeps_protected_functions() {
+        let mut mgr = BddManager::new(4);
+        let vars: Vec<BddId> = (0..4).map(|i| mgr.var(i)).collect();
+        let keep = mgr.at_least(2, &vars);
+        let _drop = mgr.at_least(3, &vars); // garbage after the collection
+        let before = mgr.allocated_nodes();
+        let handle = mgr.protect(keep);
+        let gc = mgr.gc();
+        assert!(gc.reclaimed_nodes > 0);
+        assert!(mgr.allocated_nodes() < before);
+        assert_eq!(mgr.peak_nodes(), before, "peak survives the collection");
+        let keep = mgr.unprotect(handle);
+        for row in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| (row >> i) & 1 == 1).collect();
+            assert_eq!(mgr.eval(keep, &a), a.iter().filter(|&&v| v).count() >= 2);
+        }
+    }
+
+    #[test]
+    fn reorder_sift_shrinks_a_separated_order() {
+        // x0·x3 + x1·x4 + x2·x5 with the pair-separating order is the
+        // classic blow-up; sifting must interleave the pairs again.
+        let mut mgr = BddManager::new(6);
+        let mut f = mgr.zero();
+        for i in 0..3 {
+            let a = mgr.var(i);
+            let b = mgr.var(i + 3);
+            let pair = mgr.and(a, b);
+            f = mgr.or(f, pair);
+        }
+        let truth: Vec<bool> = (0..64u32)
+            .map(|row| {
+                let a: Vec<bool> = (0..6).map(|i| (row >> i) & 1 == 1).collect();
+                mgr.eval(f, &a)
+            })
+            .collect();
+        let before = mgr.node_count(f);
+        let mut roots = [f];
+        let outcome = mgr.reorder_sift(&mut roots, &SiftConfig { max_growth: 2.0, max_rounds: 4 });
+        let f = roots[0];
+        assert!(outcome.final_size < before, "{} -> {}", before, outcome.final_size);
+        assert_eq!(mgr.node_count(f), outcome.final_size);
+        assert_eq!(mgr.allocated_nodes(), outcome.final_size, "sift garbage was collected");
+        // Unchanged function modulo the reported level permutation.
+        for (row, &want) in truth.iter().enumerate() {
+            let by_var: Vec<bool> = (0..6).map(|i| (row >> i) & 1 == 1).collect();
+            let by_level: Vec<bool> = outcome.level_origin.iter().map(|&o| by_var[o]).collect();
+            assert_eq!(mgr.eval(f, &by_level), want);
+        }
     }
 }

@@ -1,0 +1,50 @@
+//! CI gate for the paper anchors: compares a freshly produced table JSON
+//! dump against its pinned fixture under `tests/fixtures/`, ignoring only
+//! the volatile wall-clock fields. Any drift in node counts, peaks,
+//! truncations, cache statistics or yields fails the build.
+//!
+//! Usage: `anchor_check <fixture.json> <actual.json> [...more pairs]`
+
+use soc_yield_bench::diff_anchors;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        eprintln!("usage: anchor_check <fixture.json> <actual.json> [...more pairs]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for pair in args.chunks(2) {
+        let (fixture_path, actual_path) = (&pair[0], &pair[1]);
+        let fixture = match std::fs::read_to_string(fixture_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read fixture {fixture_path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let actual = match std::fs::read_to_string(actual_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {actual_path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match diff_anchors(&fixture, &actual) {
+            None => println!("OK   {actual_path} matches {fixture_path}"),
+            Some(report) => {
+                eprintln!("FAIL {actual_path} drifted from {fixture_path}\n{report}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "paper anchors drifted — if the change is intentional, regenerate the fixtures \
+             with the table binaries (see .github/workflows/ci.yml, job `paper-anchors`)"
+        );
+        std::process::exit(1);
+    }
+}

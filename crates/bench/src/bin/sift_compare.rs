@@ -1,0 +1,92 @@
+//! Table-2-style comparison of static orderings against dynamic sifting:
+//! for each benchmark instance the coded-ROBDD and ROMDD sizes under a
+//! static specification are printed next to the sizes after group sifting
+//! improved the same base order (whole bit groups move as units, so the
+//! coded layout stays convertible).
+//!
+//! The paper fixes orderings up front; this experiment quantifies how
+//! much a Rudell-style dynamic reorder recovers when the up-front choice
+//! is mediocre (`wv/ml`) and how little it needs to fix when the choice
+//! is already good (`w/ml`).
+
+use serde::Serialize;
+use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, CliArgs, Runner};
+use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec, DEFAULT_SIFT_MAX_GROWTH};
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    lambda: f64,
+    ordering: String,
+    static_robdd: usize,
+    sifted_robdd: usize,
+    static_romdd: usize,
+    sifted_romdd: usize,
+    yield_lower_bound: f64,
+}
+
+fn main() {
+    let CliArgs { max_components, json, .. } = parse_cli(20);
+    println!("Static vs sifted orderings (growth bound {DEFAULT_SIFT_MAX_GROWTH}%)");
+    println!(
+        "{:<18} {:<6} {:>12} {:>12} {:>10} {:>10}",
+        "benchmark", "base", "ROBDD", "ROBDD+sift", "ROMDD", "ROMDD+sift"
+    );
+    let bases = [
+        OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).expect("valid combination"),
+        OrderingSpec::paper_default(),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut runner = Runner::new();
+    for workload in paper_workloads(max_components) {
+        if workload.lambda != 1.0 {
+            continue; // one λ' per instance keeps the comparison readable
+        }
+        for base in bases {
+            let sifted_spec = base.with_sifting(DEFAULT_SIFT_MAX_GROWTH);
+            let fixed = match runner.run(&workload, base) {
+                Ok(row) => row,
+                Err(e) => {
+                    eprintln!("{}: {base:?} failed: {e}", workload.label());
+                    continue;
+                }
+            };
+            let sifted = match runner.run_report(&workload, sifted_spec) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("{}: {:?} failed: {e}", workload.label(), sifted_spec);
+                    continue;
+                }
+            };
+            let presift = sifted.presift_robdd_size.expect("sifted runs record both sizes");
+            assert_eq!(
+                presift, fixed.robdd_size,
+                "the sifted run starts from the same static compile"
+            );
+            assert!(
+                (fixed.yield_lower_bound - sifted.yield_lower_bound).abs() < 1e-9,
+                "reordering must not change the yield"
+            );
+            println!(
+                "{:<18} {:<6} {:>12} {:>12} {:>10} {:>10}",
+                workload.label(),
+                base.label(),
+                fixed.robdd_size,
+                sifted.coded_robdd_size,
+                fixed.romdd_size,
+                sifted.romdd_size,
+            );
+            rows.push(Row {
+                benchmark: workload.system.name.clone(),
+                lambda: workload.lambda,
+                ordering: base.label(),
+                static_robdd: fixed.robdd_size,
+                sifted_robdd: sifted.coded_robdd_size,
+                static_romdd: fixed.romdd_size,
+                sifted_romdd: sifted.romdd_size,
+                yield_lower_bound: fixed.yield_lower_bound,
+            });
+        }
+    }
+    maybe_write_json(&json, &rows);
+}

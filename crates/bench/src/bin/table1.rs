@@ -2,7 +2,7 @@
 //! number of gates of the gate-level fault-tree descriptions).
 
 use serde::Serialize;
-use soc_yield_bench::{maybe_write_json, parse_cli};
+use soc_yield_bench::{maybe_write_json, parse_cli, CliArgs};
 
 #[derive(Serialize)]
 struct Row {
@@ -14,7 +14,7 @@ struct Row {
 }
 
 fn main() {
-    let (max_components, json) = parse_cli(usize::MAX);
+    let CliArgs { max_components, json, .. } = parse_cli(usize::MAX);
     // (name, C, gates) as printed in the paper's Table 1.
     let paper: &[(&str, usize, usize)] = &[
         ("MS2", 18, 27),

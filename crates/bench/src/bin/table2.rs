@@ -7,11 +7,11 @@
 //! instances up to 30 components — pass `--max-components 100` to attempt
 //! them all.
 
-use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, ResultRow, Runner};
+use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, CliArgs, ResultRow, Runner};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
-    let (max_components, json) = parse_cli(30);
+    let CliArgs { max_components, json, v_first_max } = parse_cli(30);
     println!("Table 2: ROMDD size per multiple-valued variable ordering (group order: ml)");
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -27,7 +27,7 @@ fn main() {
             // The v-first orderings explode on the larger instances; skip them there
             // (mirrors the paper's "—" entries) instead of exhausting memory.
             let skip = matches!(mv, MvOrdering::Vw | MvOrdering::Vrw)
-                && workload.system.num_components() > 30;
+                && workload.system.num_components() > v_first_max;
             if skip {
                 sizes.push("-".to_string());
                 continue;

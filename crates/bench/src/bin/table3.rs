@@ -2,11 +2,11 @@
 //! orderings ml, lm and w, with the weight heuristic ordering the
 //! multiple-valued variables.
 
-use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, ResultRow, Runner};
+use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, CliArgs, ResultRow, Runner};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
-    let (max_components, json) = parse_cli(34);
+    let CliArgs { max_components, json, .. } = parse_cli(34);
     println!("Table 3: coded ROBDD size per bit-group ordering (MV ordering: w)");
     println!("{:<18} {:>12} {:>12} {:>12}", "benchmark", "ml", "lm", "w");
     let mut rows: Vec<ResultRow> = Vec::new();

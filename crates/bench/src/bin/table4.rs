@@ -8,7 +8,9 @@
 //! check a practitioner would perform.
 
 use serde::Serialize;
-use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, Runner, ALPHA, LETHALITY};
+use soc_yield_bench::{
+    maybe_write_json, paper_workloads, parse_cli, CliArgs, Runner, ALPHA, LETHALITY,
+};
 use socy_defect::NegativeBinomial;
 use socy_ordering::OrderingSpec;
 use socy_sim::{MonteCarloYield, SimulationOptions};
@@ -32,7 +34,7 @@ struct Row {
 }
 
 fn main() {
-    let (max_components, json) = parse_cli(34);
+    let CliArgs { max_components, json, .. } = parse_cli(34);
     println!("Table 4: pipeline performance with heuristics w + ml");
     println!(
         "{:<18} {:>3} {:>9} {:>12} {:>12} {:>10} {:>10} {:>11} {:>11} {:>8} {:>10}",

@@ -193,16 +193,17 @@ impl Runner {
     }
 
     /// Runs one workload under one ordering spec, reusing the pipeline of
-    /// the previous call when it was for the same system.
+    /// the previous call when it was for the same system, and returns the
+    /// full [`YieldReport`].
     ///
     /// # Errors
     ///
     /// Propagates analysis or defect-model construction failures.
-    pub fn run(
+    pub fn run_report(
         &mut self,
         workload: &Workload,
         spec: OrderingSpec,
-    ) -> Result<ResultRow, HarnessError> {
+    ) -> Result<YieldReport, HarnessError> {
         let components = workload.system.component_probabilities(LETHALITY)?;
         let raw = NegativeBinomial::new(workload.lambda / LETHALITY, ALPHA)?;
         let lethal = raw.thinned(components.lethality())?;
@@ -213,7 +214,20 @@ impl Runner {
             self.current = Some((name.clone(), pipeline));
         }
         let (_, pipeline) = self.current.as_mut().expect("pipeline was just ensured");
-        let report = pipeline.evaluate(&lethal, &options)?;
+        Ok(pipeline.evaluate(&lethal, &options)?)
+    }
+
+    /// Like [`Runner::run_report`], condensed into a table [`ResultRow`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis or defect-model construction failures.
+    pub fn run(
+        &mut self,
+        workload: &Workload,
+        spec: OrderingSpec,
+    ) -> Result<ResultRow, HarnessError> {
+        let report = self.run_report(workload, spec)?;
         Ok(ResultRow::from_report(workload, &report))
     }
 }
@@ -233,23 +247,38 @@ pub fn fmt_seconds(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
+/// Common CLI options of the table binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Skip instances with more components than this.
+    pub max_components: usize,
+    /// Optional path for a machine-readable JSON dump of the rows.
+    pub json: Option<String>,
+    /// Largest instance (in components) for which the exploding v-first
+    /// orderings `vw` / `vrw` are attempted (`table2` only). They take
+    /// minutes and gigabytes beyond small instances — exactly the "—"
+    /// entries of the paper — so CI passes 0 here.
+    pub v_first_max: usize,
+}
+
 /// Parses the common CLI flags of the table binaries:
-/// `--max-components <C>` and `--json <path>`.
-///
-/// Returns `(max_components, json_path)`.
-pub fn parse_cli(default_max: usize) -> (usize, Option<String>) {
-    let mut max_components = default_max;
-    let mut json = None;
+/// `--max-components <C>`, `--json <path>` and `--v-first-max <C>`.
+pub fn parse_cli(default_max: usize) -> CliArgs {
+    let mut parsed = CliArgs { max_components: default_max, json: None, v_first_max: 30 };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--max-components" if i + 1 < args.len() => {
-                max_components = args[i + 1].parse().unwrap_or(default_max);
+                parsed.max_components = args[i + 1].parse().unwrap_or(default_max);
                 i += 2;
             }
             "--json" if i + 1 < args.len() => {
-                json = Some(args[i + 1].clone());
+                parsed.json = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--v-first-max" if i + 1 < args.len() => {
+                parsed.v_first_max = args[i + 1].parse().unwrap_or(parsed.v_first_max);
                 i += 2;
             }
             _ => {
@@ -258,7 +287,43 @@ pub fn parse_cli(default_max: usize) -> (usize, Option<String>) {
             }
         }
     }
-    (max_components, json)
+    parsed
+}
+
+/// Normalizes an anchor JSON dump for comparison: volatile wall-clock
+/// fields (`"seconds": …`) are dropped, everything else — node counts,
+/// peaks, yields, cache statistics — must match bit-for-bit.
+pub fn normalize_anchor_json(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|line| !line.trim_start().starts_with("\"seconds\":"))
+        .map(|line| line.trim_end().to_string())
+        .collect()
+}
+
+/// Diffs two anchor JSON dumps after normalization. Returns `None` when
+/// they agree and a human-readable description of the first divergence
+/// otherwise.
+pub fn diff_anchors(fixture: &str, actual: &str) -> Option<String> {
+    let fixture = normalize_anchor_json(fixture);
+    let actual = normalize_anchor_json(actual);
+    for (i, (f, a)) in fixture.iter().zip(&actual).enumerate() {
+        if f != a {
+            return Some(format!(
+                "first divergence at normalized line {}:\n  fixture: {}\n  actual:  {}",
+                i + 1,
+                f,
+                a
+            ));
+        }
+    }
+    if fixture.len() != actual.len() {
+        return Some(format!(
+            "row count drift: fixture has {} normalized lines, actual has {}",
+            fixture.len(),
+            actual.len()
+        ));
+    }
+    None
 }
 
 /// Writes rows as pretty-printed JSON to `path` when requested.
@@ -327,5 +392,21 @@ mod tests {
         assert_eq!(fmt_seconds(Duration::from_millis(1234)), "1.23");
         // maybe_write_json with None is a no-op.
         maybe_write_json::<ResultRow>(&None, &[]);
+    }
+
+    #[test]
+    fn anchor_diff_ignores_wall_clock_but_nothing_else() {
+        let fixture = "[\n  {\n    \"robdd_size\": 9897,\n    \"seconds\": 0.004,\n    \"yield_lower_bound\": 0.8528030506125002\n  }\n]";
+        let same_but_slower = "[\n  {\n    \"robdd_size\": 9897,\n    \"seconds\": 7.5,\n    \"yield_lower_bound\": 0.8528030506125002\n  }\n]";
+        assert_eq!(diff_anchors(fixture, same_but_slower), None);
+        let drifted = same_but_slower.replace("9897", "9898");
+        let report = diff_anchors(fixture, &drifted).expect("size drift must be caught");
+        assert!(report.contains("9897") && report.contains("9898"));
+        let truncated = "[\n  {\n    \"robdd_size\": 9897\n  }\n]";
+        let report = diff_anchors(fixture, truncated).expect("missing rows must be caught");
+        assert!(!report.is_empty());
+        // The last-ulp of the yield is part of the contract.
+        let ulp = same_but_slower.replace("0.8528030506125002", "0.8528030506125001");
+        assert!(diff_anchors(fixture, &ulp).is_some());
     }
 }

@@ -21,7 +21,7 @@
 use std::time::{Duration, Instant};
 
 use socy_bdd::BddManager;
-use socy_dd::DdStats;
+use socy_dd::{DdStats, SiftConfig};
 use socy_defect::truncation::{select_truncation, truncate_at, Truncation};
 use socy_defect::{ComponentProbabilities, DefectDistribution};
 use socy_faulttree::Netlist;
@@ -89,9 +89,17 @@ pub struct YieldReport {
     pub g_gates: usize,
     /// Number of binary variables of the coded ROBDD.
     pub binary_variables: usize,
-    /// Size (reachable nodes) of the final coded ROBDD.
+    /// Size (reachable nodes) of the final coded ROBDD. When the
+    /// specification requests sifting this is the *post-sift* size — the
+    /// pre-sift size is kept in
+    /// [`presift_robdd_size`](YieldReport::presift_robdd_size).
     pub coded_robdd_size: usize,
-    /// Peak number of ROBDD nodes allocated while compiling `G`.
+    /// Size of the coded ROBDD as compiled under the static base
+    /// ordering, before dynamic sifting improved it. `None` when the
+    /// specification did not request sifting.
+    pub presift_robdd_size: Option<usize>,
+    /// Peak number of ROBDD nodes allocated while compiling `G`
+    /// (including any transient growth during sifting).
     pub robdd_peak: usize,
     /// Size (reachable nodes) of the ROMDD.
     pub romdd_size: usize,
@@ -147,6 +155,7 @@ struct CompiledModel {
     mdd: MddManager,
     romdd_root: MddId,
     coded_robdd_size: usize,
+    presift_robdd_size: Option<usize>,
     robdd_peak: usize,
     robdd_stats: DdStats,
     robdd_time: Duration,
@@ -161,12 +170,39 @@ impl CompiledModel {
         conversion: ConversionAlgorithm,
     ) -> Result<Self, CoreError> {
         let g = GeneralizedFaultTree::build(fault_tree, truncation)?;
-        let ordering = compute_ordering(g.netlist(), g.groups(), &spec)?;
+        let mut ordering = compute_ordering(g.netlist(), g.groups(), &spec)?;
 
         // Coded ROBDD of G.
         let robdd_start = Instant::now();
         let mut bdd = BddManager::new(g.netlist().num_inputs());
-        let build = bdd.build_netlist(g.netlist(), &ordering.var_level);
+        let mut build = bdd.build_netlist(g.netlist(), &ordering.var_level);
+
+        // Dynamic sifting: move whole bit groups (so the layering
+        // requirement of the ROBDD → ROMDD conversion is preserved), then
+        // rewrite the computed ordering to the sifted arrangement — the
+        // layout, domains and probability vectors all derive from it.
+        let mut presift_robdd_size = None;
+        if let Some(max_growth) = spec.sift_max_growth() {
+            presift_robdd_size = Some(build.size);
+            let block_sizes: Vec<usize> =
+                ordering.mv_order.iter().map(|&mv| g.groups().group(mv).len()).collect();
+            let config =
+                SiftConfig { max_growth: f64::from(max_growth) / 100.0, ..SiftConfig::default() };
+            let mut roots = [build.root];
+            let outcome = bdd.reorder_sift_grouped(&mut roots, &block_sizes, &config);
+            build.root = roots[0];
+            let mut new_of_old = vec![0usize; outcome.level_origin.len()];
+            for (new, &old) in outcome.level_origin.iter().enumerate() {
+                new_of_old[old] = new;
+            }
+            for level in ordering.var_level.iter_mut() {
+                *level = new_of_old[*level];
+            }
+            ordering.mv_order =
+                outcome.block_origin.iter().map(|&b| ordering.mv_order[b]).collect();
+            build.size = outcome.final_size;
+            build.peak = bdd.peak_nodes();
+        }
         let robdd_time = robdd_start.elapsed();
 
         // ROMDD conversion. The ROBDD manager is dropped at the end of this
@@ -189,6 +225,7 @@ impl CompiledModel {
             mdd,
             romdd_root,
             coded_robdd_size: build.size,
+            presift_robdd_size,
             robdd_peak: build.peak,
             robdd_stats: bdd.stats(),
             robdd_time,
@@ -236,6 +273,7 @@ impl CompiledModel {
             g_gates: self.g.netlist().num_gates(),
             binary_variables: self.g.netlist().num_inputs(),
             coded_robdd_size: self.coded_robdd_size,
+            presift_robdd_size: self.presift_robdd_size,
             robdd_peak: self.robdd_peak,
             romdd_size: self.mdd.node_count(self.romdd_root),
             robdd_stats: self.robdd_stats,
@@ -563,6 +601,9 @@ fn prepare(
 /// multiple-valued operations (no coded ROBDD). The report's
 /// `coded_robdd_size`, `robdd_peak` and `robdd_stats` fields are zero in
 /// this mode; the `romdd_size` and the yield must agree with [`analyze`].
+/// A [`OrderingSpec::Sifted`] specification contributes only its static
+/// base here — dynamic sifting is a feature of the compiled
+/// coded-ROBDD pipeline.
 ///
 /// # Errors
 ///
@@ -614,6 +655,7 @@ pub fn analyze_direct(
         g_gates: g.netlist().num_gates(),
         binary_variables: g.netlist().num_inputs(),
         coded_robdd_size: 0,
+        presift_robdd_size: None,
         robdd_peak: 0,
         romdd_size: mdd.node_count(romdd_root),
         robdd_stats: DdStats::default(),
@@ -806,6 +848,51 @@ mod tests {
         }
         for y in &yields {
             assert!((y - yields[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sifted_spec_preserves_the_yield_and_reports_both_sizes() {
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = AnalysisOptions::default();
+        let fixed = analyze(&f, &comps, &lethal, &options).unwrap();
+        assert_eq!(fixed.report.presift_robdd_size, None, "static runs do not sift");
+        let sifted_options =
+            AnalysisOptions { spec: OrderingSpec::paper_default().with_sifting(300), ..options };
+        let sifted = analyze(&f, &comps, &lethal, &sifted_options).unwrap();
+        // Sifting permutes variables, never the function: the yield is a
+        // property of G and the distributions alone.
+        assert!(
+            (fixed.report.yield_lower_bound - sifted.report.yield_lower_bound).abs() < 1e-12,
+            "static {} vs sifted {}",
+            fixed.report.yield_lower_bound,
+            sifted.report.yield_lower_bound
+        );
+        let presift = sifted.report.presift_robdd_size.expect("sifted runs record both sizes");
+        assert_eq!(presift, fixed.report.coded_robdd_size);
+        assert!(sifted.report.coded_robdd_size <= presift, "sifting never ends worse");
+        assert!(sifted.report.spec.label().ends_with("+sift"));
+        // The sifted ROMDD still answers every evaluation consistently.
+        assert!(sifted.report.romdd_size > 0);
+        // A sweep through a pipeline with a sifted spec compiles once and
+        // agrees with static evaluations of the same ε points.
+        let epsilons = [1e-2, 1e-4];
+        let mut pipeline = Pipeline::new(&f, &comps).unwrap();
+        let reports = pipeline.sweep_epsilons(&lethal, &epsilons, &sifted_options).unwrap();
+        assert_eq!(pipeline.compiled_models(), 1);
+        for (report, &epsilon) in reports.iter().zip(&epsilons) {
+            assert!(report.presift_robdd_size.is_some());
+            let exact =
+                analyze(&f, &comps, &lethal, &AnalysisOptions { epsilon, ..options }).unwrap();
+            assert_eq!(report.truncation, exact.report.truncation);
+            assert!(
+                (report.yield_lower_bound - exact.report.yield_lower_bound).abs() < 1e-12,
+                "ε={epsilon}: sifted sweep {} vs static {}",
+                report.yield_lower_bound,
+                exact.report.yield_lower_bound
+            );
         }
     }
 

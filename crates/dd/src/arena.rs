@@ -117,6 +117,77 @@ impl NodeArena {
         self.edges.extend_from_slice(children);
         id
     }
+
+    /// Relabels a node to `level` without touching its children (used by
+    /// the adjacent-level swap when a node merely changes position). The
+    /// caller must ensure the child count matches the new level's arity.
+    pub(crate) fn set_level(&mut self, id: u32, level: u32) {
+        self.levels[id as usize] = level;
+    }
+
+    /// Swaps the arities of levels `l` and `l + 1` (the bookkeeping half of
+    /// an adjacent-level swap).
+    pub(crate) fn swap_arities(&mut self, l: usize) {
+        self.arity.swap(l, l + 1);
+    }
+
+    /// Rewrites a node in place with a new level and children. The new
+    /// children are appended to the edge array (the old slot is leaked
+    /// until the next [`NodeArena::compact`]), so the node's id — and with
+    /// it every parent reference — stays valid.
+    pub(crate) fn set_node(&mut self, id: u32, level: u32, children: &[u32]) {
+        debug_assert_eq!(children.len(), self.arity(level as usize), "arity mismatch at rewrite");
+        self.levels[id as usize] = level;
+        self.edge_offset[id as usize] = self.edges.len() as u32;
+        self.edges.extend_from_slice(children);
+    }
+
+    /// Compacts the arena to the nodes marked in `live`, renumbering the
+    /// survivors downward while preserving their relative order (so a
+    /// collection never changes iteration determinism). Returns the id
+    /// remap table: `remap[old] = new` for survivors, `u32::MAX` for
+    /// reclaimed nodes.
+    ///
+    /// `live` must be closed under the child relation and mark both
+    /// terminals. Ids are renumbered first and edges rewritten second:
+    /// after level swaps a parent can carry a *larger* id than a freshly
+    /// hash-consed child, so a single increasing pass would be wrong.
+    pub(crate) fn compact(&mut self, live: &[bool]) -> Vec<u32> {
+        debug_assert_eq!(live.len(), self.levels.len());
+        debug_assert!(live[0] && live[1], "terminals are always live");
+        let mut remap = vec![u32::MAX; self.levels.len()];
+        let mut next = 0u32;
+        for (old, &alive) in live.iter().enumerate() {
+            if alive {
+                remap[old] = next;
+                next += 1;
+            }
+        }
+        let mut levels = Vec::with_capacity(next as usize);
+        let mut edge_offset = Vec::with_capacity(next as usize);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (old, &alive) in live.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let level = self.levels[old];
+            levels.push(level);
+            edge_offset.push(edges.len() as u32);
+            if level != TERMINAL_LEVEL {
+                let start = self.edge_offset[old] as usize;
+                let width = self.arity[level as usize] as usize;
+                for &child in &self.edges[start..start + width] {
+                    let new_child = remap[child as usize];
+                    debug_assert_ne!(new_child, u32::MAX, "live set must be closed under children");
+                    edges.push(new_child);
+                }
+            }
+        }
+        self.levels = levels;
+        self.edge_offset = edge_offset;
+        self.edges = edges;
+        remap
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +230,42 @@ mod tests {
     #[should_panic]
     fn zero_arity_rejected() {
         let _ = NodeArena::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn rewrite_and_relabel() {
+        let mut arena = NodeArena::new(vec![2, 2]);
+        let n = arena.push(1, &[0, 1]);
+        arena.set_level(n, 0);
+        assert_eq!(arena.level(n), Some(0));
+        assert_eq!(arena.children(n), &[0, 1]);
+        arena.set_node(n, 1, &[1, 0]);
+        assert_eq!(arena.level(n), Some(1));
+        assert_eq!(arena.children(n), &[1, 0]);
+        arena.swap_arities(0);
+        assert_eq!(arena.arity(0), 2);
+    }
+
+    #[test]
+    fn compact_renumbers_survivors_in_order() {
+        let mut arena = NodeArena::new(vec![2, 2, 2]);
+        let a = arena.push(2, &[0, 1]);
+        let dead = arena.push(2, &[1, 0]);
+        let b = arena.push(1, &[a, 1]);
+        let c = arena.push(0, &[b, a]);
+        let mut live = vec![true; arena.len()];
+        live[dead as usize] = false;
+        let remap = arena.compact(&live);
+        assert_eq!(remap[dead as usize], u32::MAX);
+        assert_eq!(remap[0], 0);
+        assert_eq!(remap[1], 1);
+        assert_eq!(remap[a as usize], 2);
+        assert_eq!(remap[b as usize], 3);
+        assert_eq!(remap[c as usize], 4);
+        assert_eq!(arena.len(), 5);
+        // Children were remapped consistently.
+        assert_eq!(arena.children(remap[c as usize]), &[remap[b as usize], remap[a as usize]]);
+        assert_eq!(arena.children(remap[b as usize]), &[remap[a as usize], 1]);
+        assert_eq!(arena.children(remap[a as usize]), &[0, 1]);
     }
 }

@@ -62,6 +62,30 @@ impl OpCache {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Rewrites every entry through a garbage-collection id remap
+    /// (`remap[old] = new`, `u32::MAX` for reclaimed nodes). Entries
+    /// mentioning a reclaimed node are dropped — their ids may be reused
+    /// by future, unrelated nodes. Returns `(kept, dropped)` entry counts.
+    pub fn remap(&mut self, remap: &[u32]) -> (usize, usize) {
+        let before = self.map.len();
+        let old = std::mem::take(&mut self.map);
+        for ((op, a, b, c), r) in old {
+            let (Some(&a), Some(&b), Some(&c), Some(&r)) = (
+                remap.get(a as usize),
+                remap.get(b as usize),
+                remap.get(c as usize),
+                remap.get(r as usize),
+            ) else {
+                continue;
+            };
+            if a == u32::MAX || b == u32::MAX || c == u32::MAX || r == u32::MAX {
+                continue;
+            }
+            self.map.insert((op, a, b, c), r);
+        }
+        (self.map.len(), before - self.map.len())
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +106,20 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 1, "stats survive a clear");
+    }
+
+    #[test]
+    fn remap_drops_dead_entries_and_rewrites_live_ones() {
+        let mut cache = OpCache::default();
+        cache.insert((0, 2, 3, 0), 4); // all live
+        cache.insert((1, 5, 2, 0), 3); // operand 5 dies
+        cache.insert((2, 2, 2, 3), 5); // result 5 dies
+                                       // Nodes 0..=4 survive, 5 is reclaimed; 2 <-> 3 swap is impossible in
+                                       // a real compaction but exercises the rewrite.
+        let remap = [0, 1, 2, 3, 4, u32::MAX];
+        let (kept, dropped) = cache.remap(&remap);
+        assert_eq!((kept, dropped), (1, 2));
+        assert_eq!(cache.get((0, 2, 3, 0)), Some(4));
+        assert_eq!(cache.get((1, 5, 2, 0)), None);
     }
 }

@@ -1,5 +1,6 @@
 //! The [`DdKernel`]: arena + unique table + op cache behind the
-//! canonicalising `mk` constructor, plus the shared memoized traversals.
+//! canonicalising `mk` constructor, plus the shared memoized traversals,
+//! external root protection and the mark-and-sweep collector.
 
 use crate::arena::{NodeArena, TERMINAL_LEVEL};
 use crate::cache::{OpCache, OpKey};
@@ -15,16 +16,93 @@ pub const ONE: u32 = 1;
 /// alongside the paper's Table-4 size metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DdStats {
-    /// Total nodes ever allocated, including the two terminals. The
-    /// kernel never garbage-collects, so this is the *peak* live node
-    /// count — the memory-limiting quantity of the method.
+    /// Largest number of simultaneously allocated nodes observed so far,
+    /// including the two terminals — the memory-limiting quantity of the
+    /// method. Until the first [`DdKernel::gc`] this equals the total
+    /// nodes ever allocated.
     pub peak_nodes: usize,
+    /// Nodes currently allocated (live roots' closures plus any garbage
+    /// not yet collected), including the two terminals.
+    pub live_nodes: usize,
     /// Entries in the unique table (= non-terminal nodes).
     pub unique_entries: usize,
     /// Operation-cache lookups that found a memoized result.
     pub op_cache_hits: u64,
     /// Operation-cache lookups that missed.
     pub op_cache_misses: u64,
+    /// Number of garbage collections run so far.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed across all collections.
+    pub gc_reclaimed: u64,
+}
+
+/// Outcome of one [`DdKernel::gc`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Nodes surviving the sweep (including the two terminals).
+    pub live_nodes: usize,
+    /// Nodes reclaimed by the sweep.
+    pub reclaimed_nodes: usize,
+    /// Operation-cache entries remapped to the compacted ids.
+    pub cache_entries_kept: usize,
+    /// Operation-cache entries dropped because they mentioned a reclaimed
+    /// node.
+    pub cache_entries_dropped: usize,
+}
+
+/// A stable handle to a protected root, issued by [`DdKernel::protect`].
+///
+/// Handles survive garbage collection: a collection renumbers node ids,
+/// but [`DdKernel::resolve`] always returns the root's *current* id.
+/// Handles are `Copy` for convenience; releasing the same handle twice
+/// panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ref {
+    slot: u32,
+}
+
+/// RAII guard protecting one root for the guard's lifetime.
+///
+/// Dereferences to the kernel, so operations — including [`DdKernel::gc`]
+/// — can run while the guard is alive; [`Protect::root`] always yields the
+/// root's current id. Dropping the guard releases the protection.
+#[derive(Debug)]
+pub struct Protect<'k> {
+    kernel: &'k mut DdKernel,
+    handle: Ref,
+}
+
+impl Protect<'_> {
+    /// The underlying slot handle (valid while the guard is alive; do not
+    /// release it manually — the guard does so on drop).
+    pub fn handle(&self) -> Ref {
+        self.handle
+    }
+
+    /// Current id of the protected root (tracks collections).
+    pub fn root(&self) -> u32 {
+        self.kernel.resolve(self.handle)
+    }
+}
+
+impl std::ops::Deref for Protect<'_> {
+    type Target = DdKernel;
+
+    fn deref(&self) -> &DdKernel {
+        self.kernel
+    }
+}
+
+impl std::ops::DerefMut for Protect<'_> {
+    fn deref_mut(&mut self) -> &mut DdKernel {
+        self.kernel
+    }
+}
+
+impl Drop for Protect<'_> {
+    fn drop(&mut self) {
+        self.kernel.unprotect(self.handle);
+    }
 }
 
 /// A hash-consed decision-diagram kernel.
@@ -36,9 +114,18 @@ pub struct DdStats {
 /// the ROBDD and ROMDD engines.
 #[derive(Debug, Clone)]
 pub struct DdKernel {
-    arena: NodeArena,
-    unique: UniqueTable,
+    pub(crate) arena: NodeArena,
+    pub(crate) unique: UniqueTable,
     op_cache: OpCache,
+    /// Protected external roots (`None` marks a free slot).
+    roots: Vec<Option<u32>>,
+    free_root_slots: Vec<u32>,
+    /// Largest arena length observed at a collection (the arena only
+    /// shrinks at collections, so the overall peak is the maximum of this
+    /// and the current length).
+    peak_snapshot: usize,
+    gc_runs: u64,
+    gc_reclaimed: u64,
 }
 
 impl DdKernel {
@@ -53,6 +140,11 @@ impl DdKernel {
             arena: NodeArena::new(arities),
             unique: UniqueTable::default(),
             op_cache: OpCache::default(),
+            roots: Vec::new(),
+            free_root_slots: Vec::new(),
+            peak_snapshot: 0,
+            gc_runs: 0,
+            gc_reclaimed: 0,
         }
     }
 
@@ -95,9 +187,17 @@ impl DdKernel {
         self.arena.add_levels(arities);
     }
 
-    /// Total number of nodes ever created, including the two terminals
-    /// (the peak, since the kernel never garbage-collects).
+    /// Largest number of simultaneously allocated nodes observed so far,
+    /// including the two terminals. Without collections this equals the
+    /// total nodes ever created; [`DdKernel::gc`] reclaims nodes but never
+    /// lowers the recorded peak.
     pub fn peak_nodes(&self) -> usize {
+        self.peak_snapshot.max(self.arena.len())
+    }
+
+    /// Nodes currently allocated, including the two terminals (live
+    /// closures of all roots plus any garbage not yet collected).
+    pub fn allocated_nodes(&self) -> usize {
         self.arena.len()
     }
 
@@ -140,10 +240,132 @@ impl DdKernel {
     /// Current kernel statistics.
     pub fn stats(&self) -> DdStats {
         DdStats {
-            peak_nodes: self.arena.len(),
+            peak_nodes: self.peak_nodes(),
+            live_nodes: self.arena.len(),
             unique_entries: self.unique.len(),
             op_cache_hits: self.op_cache.hits(),
             op_cache_misses: self.op_cache.misses(),
+            gc_runs: self.gc_runs,
+            gc_reclaimed: self.gc_reclaimed,
+        }
+    }
+
+    // ---- garbage collection ------------------------------------------------
+
+    /// Registers `id` as an external root: it (and everything reachable
+    /// from it) survives every [`DdKernel::gc`] until the returned handle
+    /// is passed to [`DdKernel::unprotect`].
+    pub fn protect(&mut self, id: u32) -> Ref {
+        assert!((id as usize) < self.arena.len(), "cannot protect unknown node {id}");
+        match self.free_root_slots.pop() {
+            Some(slot) => {
+                self.roots[slot as usize] = Some(id);
+                Ref { slot }
+            }
+            None => {
+                self.roots.push(Some(id));
+                Ref { slot: (self.roots.len() - 1) as u32 }
+            }
+        }
+    }
+
+    /// Protects `id` for the lifetime of the returned guard (RAII form of
+    /// [`DdKernel::protect`]). The guard dereferences to the kernel.
+    pub fn protect_scoped(&mut self, id: u32) -> Protect<'_> {
+        let handle = self.protect(id);
+        Protect { kernel: self, handle }
+    }
+
+    /// Releases a protection and returns the root's current id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already released.
+    pub fn unprotect(&mut self, handle: Ref) -> u32 {
+        let id = self.roots[handle.slot as usize].take().expect("root handle was already released");
+        self.free_root_slots.push(handle.slot);
+        id
+    }
+
+    /// Current id of a protected root. Collections renumber node ids; this
+    /// always reflects the latest numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already released.
+    pub fn resolve(&self, handle: Ref) -> u32 {
+        self.roots[handle.slot as usize].expect("root handle was already released")
+    }
+
+    /// Currently protected root ids.
+    pub fn protected_roots(&self) -> Vec<u32> {
+        self.roots.iter().flatten().copied().collect()
+    }
+
+    /// Marks every node reachable from the given roots (terminals are
+    /// always marked) and returns the mark vector.
+    pub(crate) fn mark(&self, roots: &[u32]) -> Vec<bool> {
+        let mut live = vec![false; self.arena.len()];
+        live[ZERO as usize] = true;
+        live[ONE as usize] = true;
+        let mut stack: Vec<u32> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut live[id as usize], true) {
+                continue;
+            }
+            stack.extend_from_slice(self.arena.children(id));
+        }
+        live
+    }
+
+    /// Number of distinct nodes (terminals included) reachable from the
+    /// union of `roots` — the size metric the sifting driver minimises.
+    pub fn live_size(&self, roots: &[u32]) -> usize {
+        let mut seen = vec![false; self.arena.len()];
+        let mut stack: Vec<u32> = roots.to_vec();
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id as usize], true) {
+                continue;
+            }
+            count += 1;
+            stack.extend_from_slice(self.arena.children(id));
+        }
+        count
+    }
+
+    /// Mark-and-sweep garbage collection over the protected roots.
+    ///
+    /// Marks everything reachable from the roots registered via
+    /// [`DdKernel::protect`], sweeps the arena (compacting the surviving
+    /// ids downward while preserving their relative order), rebuilds the
+    /// unique table, and remaps the operation cache — entries mentioning a
+    /// reclaimed node are dropped, all others stay valid under the new
+    /// numbering.
+    ///
+    /// **All node ids obtained before the collection are invalidated**;
+    /// use root handles ([`DdKernel::resolve`]) to carry diagrams across a
+    /// collection. The recorded peak ([`DdKernel::peak_nodes`]) is
+    /// unaffected.
+    pub fn gc(&mut self) -> GcStats {
+        self.peak_snapshot = self.peak_snapshot.max(self.arena.len());
+        let live = self.mark(&self.protected_roots());
+        let before = self.arena.len();
+        let remap = self.arena.compact(&live);
+        let after = self.arena.len();
+        self.unique.rebuild(&self.arena);
+        let (kept, dropped) = self.op_cache.remap(&remap);
+        for slot in self.roots.iter_mut().flatten() {
+            *slot = remap[*slot as usize];
+            debug_assert_ne!(*slot, u32::MAX, "protected roots survive the sweep");
+        }
+        self.gc_runs += 1;
+        self.gc_reclaimed += (before - after) as u64;
+        GcStats {
+            live_nodes: after,
+            reclaimed_nodes: before - after,
+            cache_entries_kept: kept,
+            cache_entries_dropped: dropped,
         }
     }
 
@@ -320,5 +542,94 @@ mod tests {
         dd.add_levels([4]);
         assert_eq!(dd.num_levels(), 2);
         let _ = dd.mk(1, &[ZERO, ONE, ONE, ZERO]);
+    }
+
+    #[test]
+    fn gc_reclaims_unprotected_nodes_and_keeps_roots_valid() {
+        let mut dd = DdKernel::new(vec![2, 2, 2]);
+        let c = dd.mk(2, &[ZERO, ONE]);
+        let b = dd.mk(1, &[c, ONE]);
+        let f = dd.mk(0, &[b, c]);
+        // Garbage: a second diagram that is never protected.
+        let g1 = dd.mk(2, &[ONE, ZERO]);
+        let _g2 = dd.mk(0, &[g1, ONE]);
+        assert_eq!(dd.allocated_nodes(), 7);
+        let expected: Vec<bool> = (0..8).map(|row| dd.eval(f, |l| (row >> l) & 1)).collect();
+
+        let handle = dd.protect(f);
+        let stats = dd.gc();
+        assert_eq!(stats.reclaimed_nodes, 2);
+        assert_eq!(stats.live_nodes, 5);
+        assert_eq!(dd.allocated_nodes(), 5);
+        assert_eq!(dd.peak_nodes(), 7, "collections never lower the peak");
+        let f = dd.unprotect(handle);
+        for (row, &want) in expected.iter().enumerate() {
+            assert_eq!(dd.eval(f, |l| (row >> l) & 1), want);
+        }
+        // The unique table was rebuilt consistently: re-making the live
+        // nodes allocates nothing new.
+        let before = dd.allocated_nodes();
+        let c2 = dd.mk(2, &[ZERO, ONE]);
+        let b2 = dd.mk(1, &[c2, ONE]);
+        assert_eq!(dd.mk(0, &[b2, c2]), f);
+        assert_eq!(dd.allocated_nodes(), before);
+        let stats = dd.stats();
+        assert_eq!(stats.gc_runs, 1);
+        assert_eq!(stats.gc_reclaimed, 2);
+        assert_eq!(stats.live_nodes, 5);
+        assert_eq!(stats.peak_nodes, 7);
+    }
+
+    #[test]
+    fn gc_remaps_op_cache_entries() {
+        let mut dd = DdKernel::new(vec![2, 2]);
+        let a = dd.mk(1, &[ZERO, ONE]);
+        let dead = dd.mk(1, &[ONE, ZERO]);
+        let f = dd.mk(0, &[a, ONE]);
+        dd.cache_insert((7, f, a, 0), a);
+        dd.cache_insert((7, dead, a, 0), a);
+        let handle = dd.protect(f);
+        let stats = dd.gc();
+        assert_eq!(stats.reclaimed_nodes, 1);
+        assert_eq!(stats.cache_entries_kept, 1);
+        assert_eq!(stats.cache_entries_dropped, 1);
+        let f = dd.resolve(handle);
+        let a = dd.child(f, 0);
+        assert_eq!(dd.cache_get((7, f, a, 0)), Some(a));
+        dd.unprotect(handle);
+    }
+
+    #[test]
+    fn protect_scoped_guard_tracks_collections() {
+        let mut dd = DdKernel::new(vec![2]);
+        let f = dd.mk(0, &[ZERO, ONE]);
+        {
+            let mut guard = dd.protect_scoped(f);
+            let _ = guard.gc();
+            assert_eq!(guard.children(guard.root()), &[ZERO, ONE]);
+            assert_eq!(guard.protected_roots().len(), 1);
+        }
+        assert!(dd.protected_roots().is_empty(), "guard releases on drop");
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_unprotect_panics() {
+        let mut dd = DdKernel::new(vec![2]);
+        let f = dd.mk(0, &[ZERO, ONE]);
+        let handle = dd.protect(f);
+        dd.unprotect(handle);
+        dd.unprotect(handle);
+    }
+
+    #[test]
+    fn live_size_counts_the_union() {
+        let mut dd = DdKernel::new(vec![2, 2]);
+        let a = dd.mk(1, &[ZERO, ONE]);
+        let f = dd.mk(0, &[a, ONE]);
+        let g = dd.mk(0, &[ONE, a]);
+        assert_eq!(dd.live_size(&[f]), 4);
+        assert_eq!(dd.live_size(&[f, g]), 5, "shared structure is counted once");
+        assert_eq!(dd.live_size(&[]), 0);
     }
 }

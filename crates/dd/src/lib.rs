@@ -18,6 +18,12 @@
 //!   canonicalising [`mk`](DdKernel::mk) constructor;
 //! * shared memoized traversals (node counts, reachable-set iteration,
 //!   support, path evaluation, depth-first probability evaluation);
+//! * external root protection ([`kernel::Ref`] handles / [`kernel::Protect`]
+//!   guards) and a compacting mark-and-sweep collector
+//!   ([`DdKernel::gc`](kernel::DdKernel::gc));
+//! * dynamic variable reordering by sifting
+//!   ([`reorder`]: adjacent-level swaps, single-variable and grouped
+//!   block drivers with a bounded growth factor);
 //! * the [`FxHash`](hash) implementation both engines key their tables
 //!   with;
 //! * a shared Graphviz [`DOT writer`](dot::DotWriter).
@@ -51,9 +57,11 @@ pub mod cache;
 pub mod dot;
 pub mod hash;
 pub mod kernel;
+pub mod reorder;
 pub mod unique;
 
 pub use arena::{NodeArena, TERMINAL_LEVEL};
 pub use cache::OpCache;
-pub use kernel::{DdKernel, DdStats, ONE, ZERO};
+pub use kernel::{DdKernel, DdStats, GcStats, Protect, Ref, ONE, ZERO};
+pub use reorder::{SiftConfig, SiftOutcome};
 pub use unique::UniqueTable;

@@ -72,6 +72,79 @@ impl UniqueTable {
         }
     }
 
+    /// Inserts a node under its *current* arena key. The key must not be
+    /// present yet (used by the level-swap primitive after relabeling or
+    /// rewriting nodes, where distinctness is guaranteed by canonicity).
+    pub(crate) fn insert_new(&mut self, arena: &NodeArena, id: u32) {
+        if self.len * 4 >= self.buckets.len() * 3 {
+            self.grow(arena);
+        }
+        let mask = self.buckets.len() - 1;
+        let mut idx = hash_key(arena.raw_level(id), arena.children(id)) as usize & mask;
+        while self.buckets[idx] != EMPTY {
+            debug_assert!(
+                arena.raw_level(self.buckets[idx]) != arena.raw_level(id)
+                    || arena.children(self.buckets[idx]) != arena.children(id),
+                "insert_new must not duplicate an existing key"
+            );
+            idx = (idx + 1) & mask;
+        }
+        self.buckets[idx] = id;
+        self.len += 1;
+    }
+
+    /// Removes a node from the table. The arena must still hold the
+    /// level/children the node was inserted under (call this *before*
+    /// relabeling or rewriting it). Uses backward-shift deletion so later
+    /// probes stay correct without tombstones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not in the table.
+    pub(crate) fn remove(&mut self, arena: &NodeArena, id: u32) {
+        let mask = self.buckets.len() - 1;
+        let mut idx = hash_key(arena.raw_level(id), arena.children(id)) as usize & mask;
+        loop {
+            let slot = self.buckets[idx];
+            assert_ne!(slot, EMPTY, "node {id} is not registered in the unique table");
+            if slot == id {
+                break;
+            }
+            idx = (idx + 1) & mask;
+        }
+        self.buckets[idx] = EMPTY;
+        self.len -= 1;
+        // Re-seat the rest of the probe chain across the new hole.
+        let mut next = (idx + 1) & mask;
+        while self.buckets[next] != EMPTY {
+            let moved = self.buckets[next];
+            let home = hash_key(arena.raw_level(moved), arena.children(moved)) as usize & mask;
+            // `moved` may fill the hole iff its home position does not lie
+            // in the cyclic interval (hole, next].
+            if (next.wrapping_sub(home) & mask) >= (next.wrapping_sub(idx) & mask) {
+                self.buckets[idx] = moved;
+                self.buckets[next] = EMPTY;
+                idx = next;
+            }
+            next = (next + 1) & mask;
+        }
+    }
+
+    /// Discards the table and re-registers every non-terminal node of
+    /// `arena` (used after a compacting collection renumbers all ids).
+    pub(crate) fn rebuild(&mut self, arena: &NodeArena) {
+        let entries = arena.len().saturating_sub(2);
+        let mut size = INITIAL_BUCKETS;
+        while entries * 4 >= size * 3 {
+            size *= 2;
+        }
+        self.buckets = vec![EMPTY; size];
+        self.len = 0;
+        for id in 2..arena.len() as u32 {
+            self.insert_new(arena, id);
+        }
+    }
+
     fn grow(&mut self, arena: &NodeArena) {
         let new_size = self.buckets.len() * 2;
         let mut buckets = vec![EMPTY; new_size];
@@ -104,6 +177,55 @@ mod tests {
         let c = table.get_or_insert(&mut arena, 1, &[1, 0]);
         assert_ne!(a, c);
         assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut arena = NodeArena::new(vec![2; 64]);
+        let mut table = UniqueTable::default();
+        let ids: Vec<u32> =
+            (0..64u32).map(|i| table.get_or_insert(&mut arena, i, &[i % 2, 1 - i % 2])).collect();
+        // Remove half the nodes; the rest must still resolve.
+        for &id in ids.iter().step_by(2) {
+            table.remove(&arena, id);
+        }
+        assert_eq!(table.len(), 32);
+        for (i, &id) in ids.iter().enumerate().filter(|(i, _)| i % 2 == 1) {
+            let i = i as u32;
+            assert_eq!(table.get_or_insert(&mut arena, i, &[i % 2, 1 - i % 2]), id);
+        }
+        // Reinserting the removed ones restores them without new arena nodes.
+        let before = arena.len();
+        for &id in ids.iter().step_by(2) {
+            table.insert_new(&arena, id);
+        }
+        assert_eq!(arena.len(), before);
+        for (i, &id) in ids.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(table.get_or_insert(&mut arena, i, &[i % 2, 1 - i % 2]), id);
+        }
+    }
+
+    #[test]
+    fn rebuild_reindexes_everything() {
+        let mut arena = NodeArena::new(vec![2; 512]);
+        let mut table = UniqueTable::default();
+        let ids: Vec<u32> =
+            (0..512u32).map(|i| table.get_or_insert(&mut arena, i, &[0, 1])).collect();
+        table.rebuild(&arena);
+        assert_eq!(table.len(), 512);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(table.get_or_insert(&mut arena, i as u32, &[0, 1]), id);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_unknown_node_panics() {
+        let mut arena = NodeArena::new(vec![2]);
+        let mut table = UniqueTable::default();
+        let id = arena.push(0, &[0, 1]);
+        table.remove(&arena, id);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use std::fmt;
 
-use socy_dd::kernel::{DdKernel, DdStats};
+use socy_dd::kernel::{DdKernel, DdStats, GcStats, Ref};
+use socy_dd::reorder::{SiftConfig, SiftOutcome};
 
 /// Identifier of an ROMDD node within an [`MddManager`].
 ///
@@ -212,14 +213,21 @@ impl MddManager {
         self.dd.reachable(f.0).into_iter().map(MddId).collect()
     }
 
-    /// Total number of nodes ever created (the manager never collects
-    /// garbage, so this is also the peak).
+    /// Largest number of simultaneously allocated nodes observed so far,
+    /// including the two terminals. Until the first [`MddManager::gc`]
+    /// this equals the total nodes ever created.
     pub fn peak_nodes(&self) -> usize {
         self.dd.peak_nodes()
     }
 
-    /// Kernel statistics: peak nodes, unique-table entries and
-    /// operation-cache hit/miss counts.
+    /// Nodes currently allocated, including the two terminals (live
+    /// closures of all roots plus any garbage not yet collected).
+    pub fn allocated_nodes(&self) -> usize {
+        self.dd.allocated_nodes()
+    }
+
+    /// Kernel statistics: peak/live nodes, unique-table entries,
+    /// operation-cache hit/miss counts and collection totals.
     pub fn stats(&self) -> DdStats {
         self.dd.stats()
     }
@@ -227,6 +235,55 @@ impl MddManager {
     /// The set of levels appearing in `f`, in increasing order.
     pub fn support(&self, f: MddId) -> Vec<usize> {
         self.dd.support(f.0)
+    }
+
+    // ---- garbage collection and reordering ---------------------------------
+
+    /// Registers `id` as an external root surviving every
+    /// [`MddManager::gc`] until the handle is passed to
+    /// [`MddManager::unprotect`].
+    pub fn protect(&mut self, id: MddId) -> Ref {
+        self.dd.protect(id.0)
+    }
+
+    /// Releases a protection and returns the root's current id.
+    pub fn unprotect(&mut self, handle: Ref) -> MddId {
+        MddId(self.dd.unprotect(handle))
+    }
+
+    /// Current id of a protected root (collections renumber node ids).
+    pub fn resolve(&self, handle: Ref) -> MddId {
+        MddId(self.dd.resolve(handle))
+    }
+
+    /// Mark-and-sweep garbage collection over the protected roots.
+    ///
+    /// Every [`MddId`] obtained before the collection is invalidated;
+    /// carry roots across with [`MddManager::protect`] /
+    /// [`MddManager::resolve`]. The recorded peak is unaffected.
+    pub fn gc(&mut self) -> GcStats {
+        self.dd.gc()
+    }
+
+    /// Dynamic variable reordering by sifting, minimising the node count
+    /// of the union of `roots` (each entry is updated in place).
+    ///
+    /// Every multiple-valued variable moves as a unit, carrying its
+    /// domain along: after the run, level `l` holds the variable (and
+    /// domain) previously at level `SiftOutcome::level_origin[l]`, and
+    /// level-indexed inputs to [`MddManager::eval`] /
+    /// [`MddManager::probability`] must be permuted the same way. The
+    /// swap garbage is collected before returning: anything not reachable
+    /// from `roots` or a separately protected root is reclaimed and all
+    /// prior [`MddId`]s are invalidated.
+    pub fn reorder_sift(&mut self, roots: &mut [MddId], config: &SiftConfig) -> SiftOutcome {
+        let mut raw: Vec<u32> = roots.iter().map(|r| r.0).collect();
+        let outcome = self.dd.sift(&mut raw, config);
+        self.domains = outcome.level_origin.iter().map(|&o| self.domains[o]).collect();
+        for (slot, &id) in roots.iter_mut().zip(&raw) {
+            *slot = MddId(id);
+        }
+        outcome
     }
 }
 
@@ -326,5 +383,58 @@ mod tests {
         assert_eq!(stats.peak_nodes, mgr.peak_nodes());
         assert_eq!(stats.unique_entries, mgr.peak_nodes() - 2);
         assert!(stats.op_cache_misses > 0);
+    }
+
+    #[test]
+    fn gc_keeps_protected_functions() {
+        let mut mgr = MddManager::new(vec![3, 4]);
+        let a = mgr.value_at_least(0, 1);
+        let b = mgr.value_is(1, 2);
+        let keep = mgr.and(a, b);
+        let waste = mgr.value_pred(1, |v| v % 2 == 1);
+        let _ = mgr.or(waste, a);
+        let handle = mgr.protect(keep);
+        let gc = mgr.gc();
+        assert!(gc.reclaimed_nodes > 0);
+        let keep = mgr.unprotect(handle);
+        for x0 in 0..3 {
+            for x1 in 0..4 {
+                assert_eq!(mgr.eval(keep, &[x0, x1]), x0 >= 1 && x1 == 2);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_sift_permutes_domains_with_the_levels() {
+        // Three variables with distinct domains; the function couples
+        // levels 0 and 2, so sifting may move them together.
+        let mut mgr = MddManager::new(vec![2, 3, 4]);
+        let a = mgr.value_is(0, 1);
+        let c = mgr.value_is(2, 3);
+        let ac = mgr.and(a, c);
+        let b = mgr.value_at_least(1, 2);
+        let f = mgr.or(ac, b);
+        let mut truth = Vec::new();
+        for x0 in 0..2 {
+            for x1 in 0..3 {
+                for x2 in 0..4 {
+                    truth.push(((x0, x1, x2), mgr.eval(f, &[x0, x1, x2])));
+                }
+            }
+        }
+        let mut roots = [f];
+        let outcome = mgr.reorder_sift(&mut roots, &SiftConfig { max_growth: 3.0, max_rounds: 2 });
+        let f = roots[0];
+        // Domains follow their variables.
+        let original = [2usize, 3, 4];
+        for (level, &o) in outcome.level_origin.iter().enumerate() {
+            assert_eq!(mgr.domain(level), original[o]);
+        }
+        for ((x0, x1, x2), want) in truth {
+            let by_var = [x0, x1, x2];
+            let by_level: Vec<usize> = outcome.level_origin.iter().map(|&o| by_var[o]).collect();
+            assert_eq!(mgr.eval(f, &by_level), want);
+        }
+        assert_eq!(mgr.allocated_nodes(), mgr.node_count(f), "garbage was collected");
     }
 }

@@ -28,4 +28,6 @@ pub mod spec;
 
 pub use heuristic::{heuristic_input_order, BitHeuristic};
 pub use mv::{compute_ordering, ComputedOrdering, MvGroups};
-pub use spec::{GroupOrdering, MvOrdering, OrderingError, OrderingSpec};
+pub use spec::{
+    GroupOrdering, MvOrdering, OrderingError, OrderingSpec, StaticOrdering, DEFAULT_SIFT_MAX_GROWTH,
+};

@@ -81,7 +81,7 @@ pub fn compute_ordering(
     spec: &OrderingSpec,
 ) -> Result<ComputedOrdering, OrderingError> {
     if !spec.is_allowed() {
-        return Err(OrderingError::IncompatibleCombination { mv: spec.mv, group: spec.group });
+        return Err(OrderingError::IncompatibleCombination { mv: spec.mv(), group: spec.group() });
     }
     let num_inputs = netlist.num_inputs();
     // Validate that the groups partition the inputs.
@@ -104,11 +104,11 @@ pub fn compute_ordering(
     }
 
     // Heuristic positions of the binary variables, when any part of the spec needs them.
-    let heuristic = spec.mv.heuristic().or_else(|| spec.group.heuristic());
+    let heuristic = spec.mv().heuristic().or_else(|| spec.group().heuristic());
     let positions: Option<Vec<usize>> = heuristic.map(|h| bit_positions(netlist, h));
 
     let m = groups.v.len();
-    let mv_order: Vec<usize> = match spec.mv {
+    let mv_order: Vec<usize> = match spec.mv() {
         MvOrdering::Wv => std::iter::once(0).chain(1..=m).collect(),
         MvOrdering::Wvr => std::iter::once(0).chain((1..=m).rev()).collect(),
         MvOrdering::Vw => (1..=m).chain(std::iter::once(0)).collect(),
@@ -123,9 +123,7 @@ pub fn compute_ordering(
                     (avg, index)
                 })
                 .collect();
-            keyed.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0).expect("averages are finite").then(a.1.cmp(&b.1))
-            });
+            keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             keyed.into_iter().map(|(_, index)| index).collect()
         }
     };
@@ -135,7 +133,7 @@ pub fn compute_ordering(
     let mut next_level = 0usize;
     for &mv in &mv_order {
         let group = groups.group(mv);
-        let ordered: Vec<VarId> = match spec.group {
+        let ordered: Vec<VarId> = match spec.group() {
             GroupOrdering::MsbFirst => group.to_vec(),
             GroupOrdering::LsbFirst => group.iter().rev().copied().collect(),
             GroupOrdering::Topology | GroupOrdering::Weight | GroupOrdering::H4 => {
@@ -280,7 +278,10 @@ mod tests {
     fn errors_for_bad_groups_and_specs() {
         let (nl, groups) = toy();
         // Incompatible spec.
-        let bad_spec = OrderingSpec { mv: MvOrdering::Wv, group: GroupOrdering::Weight };
+        let bad_spec = OrderingSpec::Static(crate::spec::StaticOrdering {
+            mv: MvOrdering::Wv,
+            group: GroupOrdering::Weight,
+        });
         assert!(matches!(
             compute_ordering(&nl, &groups, &bad_spec),
             Err(OrderingError::IncompatibleCombination { .. })

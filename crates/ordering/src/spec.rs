@@ -123,36 +123,21 @@ impl fmt::Display for GroupOrdering {
     }
 }
 
-/// A complete ordering specification: how to order the multiple-valued
-/// variables and how to order the bits inside each encoding group.
+/// A static ordering choice: how to order the multiple-valued variables
+/// and how to order the bits inside each encoding group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct OrderingSpec {
+pub struct StaticOrdering {
     /// Ordering of the multiple-valued variables.
     pub mv: MvOrdering,
     /// Ordering of the bits within each group.
     pub group: GroupOrdering,
 }
 
-impl OrderingSpec {
-    /// Creates a specification, enforcing the paper's combination rules:
-    /// `ml` and `lm` group orderings combine with any multiple-valued
-    /// ordering, while a heuristic group ordering is only allowed together
-    /// with the *same* heuristic multiple-valued ordering.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`OrderingError::IncompatibleCombination`] for disallowed
-    /// pairs.
-    pub fn new(mv: MvOrdering, group: GroupOrdering) -> Result<Self, OrderingError> {
-        let spec = Self { mv, group };
-        if spec.is_allowed() {
-            Ok(spec)
-        } else {
-            Err(OrderingError::IncompatibleCombination { mv, group })
-        }
-    }
-
-    /// Whether this combination is one the paper permits.
+impl StaticOrdering {
+    /// Whether this combination is one the paper permits: `ml` and `lm`
+    /// group orderings combine with any multiple-valued ordering, while a
+    /// heuristic group ordering is only allowed together with the *same*
+    /// heuristic multiple-valued ordering.
     pub fn is_allowed(&self) -> bool {
         match self.group.heuristic() {
             None => true,
@@ -160,31 +145,149 @@ impl OrderingSpec {
         }
     }
 
+    /// A short `mv/group` label such as `w/ml`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.mv.mnemonic(), self.group.mnemonic())
+    }
+}
+
+impl fmt::Display for StaticOrdering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Default growth bound for [`OrderingSpec::Sifted`], in percent
+/// (`120` ⇒ the diagram may transiently grow to 1.2× while a variable
+/// searches for its best position — Rudell's classic setting).
+pub const DEFAULT_SIFT_MAX_GROWTH: u32 = 120;
+
+/// A complete ordering specification.
+///
+/// The paper fixes orderings up front ([`OrderingSpec::Static`]); the
+/// [`OrderingSpec::Sifted`] variant starts from such a static base and
+/// asks the pipeline to improve it afterwards by dynamic sifting on the
+/// compiled diagram (whole bit groups move as units, so the coded-ROBDD
+/// layering requirement is preserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderingSpec {
+    /// A fixed up-front ordering.
+    Static(StaticOrdering),
+    /// A static base ordering followed by dynamic sifting.
+    Sifted {
+        /// The static ordering compiled first.
+        base: StaticOrdering,
+        /// Growth bound of the sifting driver in percent (≥ 100); see
+        /// [`DEFAULT_SIFT_MAX_GROWTH`].
+        max_growth: u32,
+    },
+}
+
+impl OrderingSpec {
+    /// Creates a static specification, enforcing the paper's combination
+    /// rules (see [`StaticOrdering::is_allowed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrderingError::IncompatibleCombination`] for disallowed
+    /// pairs.
+    pub fn new(mv: MvOrdering, group: GroupOrdering) -> Result<Self, OrderingError> {
+        let base = StaticOrdering { mv, group };
+        if base.is_allowed() {
+            Ok(Self::Static(base))
+        } else {
+            Err(OrderingError::IncompatibleCombination { mv, group })
+        }
+    }
+
+    /// Creates a sifted specification with the given growth bound in
+    /// percent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrderingError::IncompatibleCombination`] for disallowed
+    /// base pairs and [`OrderingError::InvalidSiftBound`] when
+    /// `max_growth < 100`.
+    pub fn sifted(
+        mv: MvOrdering,
+        group: GroupOrdering,
+        max_growth: u32,
+    ) -> Result<Self, OrderingError> {
+        if max_growth < 100 {
+            return Err(OrderingError::InvalidSiftBound { max_growth });
+        }
+        Ok(Self::new(mv, group)?.with_sifting(max_growth))
+    }
+
+    /// This specification with sifting enabled at the given growth bound
+    /// in percent (values below 100 are clamped to 100).
+    pub fn with_sifting(self, max_growth: u32) -> Self {
+        Self::Sifted { base: self.base(), max_growth: max_growth.max(100) }
+    }
+
+    /// The static base ordering (for [`OrderingSpec::Sifted`], the order
+    /// compiled before sifting).
+    pub fn base(&self) -> StaticOrdering {
+        match *self {
+            Self::Static(base) | Self::Sifted { base, .. } => base,
+        }
+    }
+
+    /// Ordering of the multiple-valued variables (of the static base).
+    pub fn mv(&self) -> MvOrdering {
+        self.base().mv
+    }
+
+    /// Ordering of the bits within each group (of the static base).
+    pub fn group(&self) -> GroupOrdering {
+        self.base().group
+    }
+
+    /// The sifting growth bound in percent, or `None` for static specs.
+    pub fn sift_max_growth(&self) -> Option<u32> {
+        match *self {
+            Self::Static(_) => None,
+            Self::Sifted { max_growth, .. } => Some(max_growth),
+        }
+    }
+
+    /// Whether the base combination is one the paper permits.
+    pub fn is_allowed(&self) -> bool {
+        self.base().is_allowed()
+    }
+
     /// The default specification used by Table 4: weight heuristic for the
-    /// multiple-valued variables, most-significant-bit-first groups.
+    /// multiple-valued variables, most-significant-bit-first groups, no
+    /// sifting.
     pub fn paper_default() -> Self {
-        Self { mv: MvOrdering::Weight, group: GroupOrdering::MsbFirst }
+        Self::Static(StaticOrdering { mv: MvOrdering::Weight, group: GroupOrdering::MsbFirst })
     }
 
     /// The seven specifications evaluated in Table 2 (all multiple-valued
     /// orderings, each with `ml` bit groups).
     pub fn table2_specs() -> Vec<Self> {
-        MvOrdering::ALL.iter().map(|&mv| Self { mv, group: GroupOrdering::MsbFirst }).collect()
+        MvOrdering::ALL
+            .iter()
+            .map(|&mv| Self::Static(StaticOrdering { mv, group: GroupOrdering::MsbFirst }))
+            .collect()
     }
 
     /// The three specifications evaluated in Table 3 (`w` multiple-valued
     /// ordering with `ml`, `lm` and `w` bit groups).
     pub fn table3_specs() -> Vec<Self> {
-        vec![
-            Self { mv: MvOrdering::Weight, group: GroupOrdering::MsbFirst },
-            Self { mv: MvOrdering::Weight, group: GroupOrdering::LsbFirst },
-            Self { mv: MvOrdering::Weight, group: GroupOrdering::Weight },
-        ]
+        [GroupOrdering::MsbFirst, GroupOrdering::LsbFirst, GroupOrdering::Weight]
+            .iter()
+            .map(|&group| Self::Static(StaticOrdering { mv: MvOrdering::Weight, group }))
+            .collect()
     }
 
-    /// A short `mv/group` label such as `w/ml`.
+    /// A short label such as `w/ml`, with `+sift` appended for sifted
+    /// specifications.
     pub fn label(&self) -> String {
-        format!("{}/{}", self.mv.mnemonic(), self.group.mnemonic())
+        match self {
+            Self::Static(base) => base.label(),
+            Self::Sifted { base, .. } => format!("{}+sift", base.label()),
+        }
     }
 }
 
@@ -213,6 +316,12 @@ pub enum OrderingError {
         /// Number of primary inputs in the netlist.
         inputs: usize,
     },
+    /// A sifted specification was requested with a growth bound below
+    /// 100 percent (the diagram must be allowed to keep its size).
+    InvalidSiftBound {
+        /// The rejected bound, in percent.
+        max_growth: u32,
+    },
 }
 
 impl fmt::Display for OrderingError {
@@ -226,6 +335,10 @@ impl fmt::Display for OrderingError {
             OrderingError::GroupsDoNotPartitionInputs { covered, inputs } => write!(
                 f,
                 "variable groups cover {covered} binary variables but the netlist has {inputs} inputs"
+            ),
+            OrderingError::InvalidSiftBound { max_growth } => write!(
+                f,
+                "sift growth bound must be at least 100 percent, got {max_growth}"
             ),
         }
     }
@@ -277,5 +390,36 @@ mod tests {
         assert_eq!(MvOrdering::Wv.heuristic(), None);
         assert_eq!(GroupOrdering::H4.heuristic(), Some(BitHeuristic::H4));
         assert_eq!(GroupOrdering::LsbFirst.heuristic(), None);
+    }
+
+    #[test]
+    fn sifted_specs() {
+        let base = OrderingSpec::paper_default();
+        assert_eq!(base.sift_max_growth(), None);
+        let sifted = base.with_sifting(150);
+        assert_eq!(sifted.sift_max_growth(), Some(150));
+        assert_eq!(sifted.base(), base.base());
+        assert_eq!(sifted.mv(), MvOrdering::Weight);
+        assert_eq!(sifted.group(), GroupOrdering::MsbFirst);
+        assert!(sifted.is_allowed());
+        assert_eq!(sifted.label(), "w/ml+sift");
+        assert_eq!(format!("{sifted}"), "w/ml+sift");
+        // The constructor enforces both rules.
+        let ok =
+            OrderingSpec::sifted(MvOrdering::Wv, GroupOrdering::LsbFirst, DEFAULT_SIFT_MAX_GROWTH)
+                .unwrap();
+        assert_eq!(ok.label(), "wv/lm+sift");
+        assert!(matches!(
+            OrderingSpec::sifted(MvOrdering::Wv, GroupOrdering::Weight, 120),
+            Err(OrderingError::IncompatibleCombination { .. })
+        ));
+        let err =
+            OrderingSpec::sifted(MvOrdering::Weight, GroupOrdering::MsbFirst, 80).unwrap_err();
+        assert!(matches!(err, OrderingError::InvalidSiftBound { max_growth: 80 }));
+        assert!(format!("{err}").contains("at least 100"));
+        // with_sifting clamps instead of failing.
+        assert_eq!(base.with_sifting(50).sift_max_growth(), Some(100));
+        // Sifting an already-sifted spec replaces the bound.
+        assert_eq!(sifted.with_sifting(200).sift_max_growth(), Some(200));
     }
 }

@@ -204,7 +204,7 @@ impl MonteCarloYield {
 /// Inverse-CDF sampling: the smallest index whose cumulative probability
 /// exceeds `u`.
 fn sample_cdf(cdf: &[f64], u: f64) -> usize {
-    match cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("probabilities are finite")) {
+    match cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
         Ok(i) => (i + 1).min(cdf.len() - 1),
         Err(i) => i.min(cdf.len() - 1),
     }

@@ -15,7 +15,8 @@
 
 use soc_yield::benchmarks::esen;
 use soc_yield::defect::NegativeBinomial;
-use soc_yield::{AnalysisOptions, DefectDistribution, Pipeline};
+use soc_yield::ordering::{GroupOrdering, MvOrdering};
+use soc_yield::{AnalysisOptions, DefectDistribution, OrderingSpec, Pipeline};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = esen(4, 2);
@@ -64,6 +65,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nStronger clustering (small α) concentrates defects on fewer dies, which \
          *raises* the yield of the fault-tolerant design for the same defect density — \
          the effect the compound-Poisson defect models the paper builds on capture."
+    );
+
+    // Static vs sifted ordering: start from the mediocre `wv/ml` order and
+    // let the managed kernel recover a good one by group sifting.
+    println!("\nStatic vs dynamically sifted ordering (λ' = 1, base wv/ml):");
+    let lethal = NegativeBinomial::new(1.0, 4.0)?.thinned(components.lethality())?;
+    let base = OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst)?;
+    let fixed = pipeline.evaluate(&lethal, &AnalysisOptions { spec: base, ..options })?;
+    let sifted =
+        pipeline.evaluate(&lethal, &AnalysisOptions { spec: base.with_sifting(120), ..options })?;
+    println!("{:<28} {:>12} {:>10}", "ordering", "coded ROBDD", "ROMDD");
+    println!("{:<28} {:>12} {:>10}", fixed.spec.label(), fixed.coded_robdd_size, fixed.romdd_size);
+    println!(
+        "{:<28} {:>12} {:>10}",
+        sifted.spec.label(),
+        sifted.coded_robdd_size,
+        sifted.romdd_size
+    );
+    println!(
+        "(sifting shrank the coded ROBDD from {} to {} nodes; the yields agree to {:.1e})",
+        sifted.presift_robdd_size.expect("sifted run records the pre-sift size"),
+        sifted.coded_robdd_size,
+        (fixed.yield_lower_bound - sifted.yield_lower_bound).abs()
     );
     Ok(())
 }

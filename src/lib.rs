@@ -63,6 +63,7 @@ pub use soc_yield_core::{
     analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, DdStats, Pipeline, SweepPoint,
     YieldAnalysis, YieldReport,
 };
+pub use socy_dd::{GcStats, SiftConfig, SiftOutcome};
 pub use socy_defect::{ComponentProbabilities, DefectDistribution, NegativeBinomial, Poisson};
 pub use socy_faulttree::Netlist;
-pub use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
+pub use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec, StaticOrdering};

@@ -217,6 +217,98 @@ proptest! {
         prop_assert_eq!(dd.stats().unique_entries, keys.len());
     }
 
+    /// A random apply-heavy workload followed by `gc()` preserves every
+    /// protected root's evaluations, strictly shrinks (or preserves) the
+    /// live node count, and reclaims exactly the difference.
+    #[test]
+    fn gc_preserves_protected_roots((netlist, c) in arb_fault_tree(6), seed in any::<u64>()) {
+        let mut mgr = BddManager::new(c);
+        let order: Vec<usize> = (0..c).collect();
+        let build = mgr.build_netlist(&netlist, &order);
+        // Pile more random operations on top; most of the intermediate
+        // results become garbage.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut scratch = vec![build.root];
+        for i in 0..c {
+            let v = mgr.var(i);
+            scratch.push(v);
+        }
+        for _ in 0..24 {
+            let a = scratch[(next() % scratch.len() as u64) as usize];
+            let b = scratch[(next() % scratch.len() as u64) as usize];
+            let r = match next() % 4 {
+                0 => mgr.and(a, b),
+                1 => mgr.or(a, b),
+                2 => mgr.xor(a, b),
+                _ => mgr.not(a),
+            };
+            scratch.push(r);
+        }
+        let second = scratch[(next() % scratch.len() as u64) as usize];
+        let truth: Vec<(bool, bool)> = (0u32..1 << c)
+            .map(|row| {
+                let a: Vec<bool> = (0..c).map(|i| (row >> i) & 1 == 1).collect();
+                (mgr.eval(build.root, &a), mgr.eval(second, &a))
+            })
+            .collect();
+        let allocated_before = mgr.allocated_nodes();
+        let h1 = mgr.protect(build.root);
+        let h2 = mgr.protect(second);
+        let gc = mgr.gc();
+        prop_assert!(mgr.allocated_nodes() <= allocated_before, "gc never grows the arena");
+        prop_assert_eq!(mgr.allocated_nodes(), allocated_before - gc.reclaimed_nodes);
+        prop_assert_eq!(gc.live_nodes, mgr.allocated_nodes());
+        prop_assert_eq!(mgr.peak_nodes(), allocated_before, "the peak survives");
+        let root = mgr.unprotect(h1);
+        let second = mgr.unprotect(h2);
+        for (row, &(want_root, want_second)) in truth.iter().enumerate() {
+            let a: Vec<bool> = (0..c).map(|i| (row >> i) & 1 == 1).collect();
+            prop_assert_eq!(mgr.eval(root, &a), want_root);
+            prop_assert_eq!(mgr.eval(second, &a), want_second);
+        }
+        // A second collection with the same roots protected is a no-op.
+        let h1 = mgr.protect(root);
+        let h2 = mgr.protect(second);
+        let again = mgr.gc();
+        prop_assert_eq!(again.reclaimed_nodes, 0, "everything left is reachable");
+        mgr.unprotect(h2);
+        mgr.unprotect(h1);
+    }
+
+    /// Dynamic sifting never changes the function (up to the reported
+    /// level permutation) and never ends with more nodes than it started
+    /// with.
+    #[test]
+    fn sifting_preserves_functions((netlist, c) in arb_fault_tree(6)) {
+        use soc_yield::dd::SiftConfig;
+        let mut mgr = BddManager::new(c);
+        let order: Vec<usize> = (0..c).collect();
+        let build = mgr.build_netlist(&netlist, &order);
+        let truth: Vec<bool> = (0u32..1 << c)
+            .map(|row| {
+                let a: Vec<bool> = (0..c).map(|i| (row >> i) & 1 == 1).collect();
+                mgr.eval(build.root, &a)
+            })
+            .collect();
+        let before = mgr.node_count(build.root);
+        let mut roots = [build.root];
+        let outcome = mgr.reorder_sift(&mut roots, &SiftConfig { max_growth: 1.5, max_rounds: 2 });
+        let root = roots[0];
+        prop_assert!(outcome.final_size <= before);
+        prop_assert_eq!(mgr.node_count(root), outcome.final_size);
+        for (row, &want) in truth.iter().enumerate() {
+            let by_var: Vec<bool> = (0..c).map(|i| (row >> i) & 1 == 1).collect();
+            let by_level: Vec<bool> = outcome.level_origin.iter().map(|&o| by_var[o]).collect();
+            prop_assert_eq!(mgr.eval(root, &by_level), want);
+        }
+    }
+
     /// Exact baseline and decision-diagram pipeline agree on random small systems.
     #[test]
     fn exact_and_romdd_agree((netlist, c) in arb_fault_tree(5), lambda in 0.3f64..1.5) {
