@@ -51,3 +51,10 @@ pub use socy_dd::hash;
 pub use socy_dd::DdStats;
 
 pub use manager::{BddId, BddManager};
+
+// Each parallel sweep worker (socy-exec) owns private managers; assert
+// the thread bounds the executor relies on (see socy-dd for rationale).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BddManager>();
+};

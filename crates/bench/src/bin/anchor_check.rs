@@ -1,11 +1,28 @@
-//! CI gate for the paper anchors: compares a freshly produced table JSON
-//! dump against its pinned fixture under `tests/fixtures/`, ignoring only
-//! the volatile wall-clock fields. Any drift in node counts, peaks,
-//! truncations, cache statistics or yields fails the build.
+//! CI gate for the paper anchors and the perf-smoke sweep: compares a
+//! freshly produced JSON dump against its pinned fixture under
+//! `tests/fixtures/`, ignoring only the volatile wall-clock/environment
+//! fields (`seconds`, `*_seconds`, `threads`). Any drift in node counts,
+//! peaks, truncations, cache statistics or yields fails the build with a
+//! per-field report; missing or malformed files fail with a readable
+//! message instead of a panic.
 //!
 //! Usage: `anchor_check <fixture.json> <actual.json> [...more pairs]`
 
-use soc_yield_bench::diff_anchors;
+use soc_yield_bench::diff_anchor_values;
+
+fn read(path: &str, role: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {role} {path}: {e}"))
+}
+
+fn check_pair(fixture_path: &str, actual_path: &str) -> Result<(), String> {
+    let fixture = read(fixture_path, "fixture")?;
+    let actual = read(actual_path, "file")?;
+    match diff_anchor_values(&fixture, &actual) {
+        Err(message) => Err(message),
+        Ok(diffs) if diffs.is_empty() => Ok(()),
+        Ok(diffs) => Err(format!("{} divergent field(s):\n  {}", diffs.len(), diffs.join("\n  "))),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,34 +33,19 @@ fn main() {
     let mut failed = false;
     for pair in args.chunks(2) {
         let (fixture_path, actual_path) = (&pair[0], &pair[1]);
-        let fixture = match std::fs::read_to_string(fixture_path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("cannot read fixture {fixture_path}: {e}");
-                failed = true;
-                continue;
-            }
-        };
-        let actual = match std::fs::read_to_string(actual_path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("cannot read {actual_path}: {e}");
-                failed = true;
-                continue;
-            }
-        };
-        match diff_anchors(&fixture, &actual) {
-            None => println!("OK   {actual_path} matches {fixture_path}"),
-            Some(report) => {
-                eprintln!("FAIL {actual_path} drifted from {fixture_path}\n{report}");
+        match check_pair(fixture_path, actual_path) {
+            Ok(()) => println!("OK   {actual_path} matches {fixture_path}"),
+            Err(report) => {
+                eprintln!("FAIL {actual_path} vs {fixture_path}\n{report}");
                 failed = true;
             }
         }
     }
     if failed {
         eprintln!(
-            "paper anchors drifted — if the change is intentional, regenerate the fixtures \
-             with the table binaries (see .github/workflows/ci.yml, job `paper-anchors`)"
+            "anchors drifted — if the change is intentional, regenerate the fixtures \
+             with the table binaries / bench_matrix (see .github/workflows/ci.yml, jobs \
+             `paper-anchors` and `perf-smoke`)"
         );
         std::process::exit(1);
     }

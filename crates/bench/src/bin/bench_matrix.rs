@@ -1,0 +1,164 @@
+//! The repository's perf harness: runs a **pinned** medium-size design
+//! matrix through the parallel sweep engine and emits the
+//! machine-readable `BENCH_sweep.json` artifact (per-point wall clocks,
+//! totals, node/cache statistics) that seeds the repo's performance
+//! trajectory.
+//!
+//! * `--threads N` — worker pool size (`0` = all cores). All
+//!   deterministic fields are bit-identical for every value.
+//! * `--json <path>` — write the artifact (CI's `perf-smoke` job passes
+//!   `BENCH_sweep.json` and gates the deterministic fields against
+//!   `tests/fixtures/bench_sweep.json` with `anchor_check`).
+//! * `--baseline <path>` — additionally print a per-point
+//!   speedup/regression table against a previously saved artifact.
+//!
+//! The matrix is fixed on purpose, in three blocks sized for a CI smoke
+//! job (a few seconds single-threaded, 15 compilation chunks with no
+//! chunk dominating, so the speedup is visible at 2–4 threads):
+//!
+//! 1. **static λ'=1** — all five pinned benchmarks × {w/ml, wv/ml} ×
+//!    ε ∈ {1e-2, 1e-3};
+//! 2. **dense λ'=2** — the two small benchmarks (the larger ones take
+//!    minutes at M = 10, as Table 4 of the paper shows) × the same
+//!    specs/ε values;
+//! 3. **sifted** — ESEN4x1 under `w/ml+sift` (dynamic sifting is the
+//!    costly managed-kernel path; one small instance keeps it honest and
+//!    exercises GC accounting without dominating the wall clock).
+
+use soc_yield_bench::{
+    baseline_comparison, parse_cli, summary_line, system_spec, workload_distribution,
+    write_json_doc, BenchSweepDoc, CliArgs, Workload,
+};
+use socy_exec::{NamedDistribution, SweepBlock, SweepMatrix, TruncationRule};
+use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
+
+fn systems(names: &[&str]) -> Vec<socy_exec::SystemSpec> {
+    socy_benchmarks::paper_benchmarks()
+        .iter()
+        .filter(|s| names.contains(&s.name.as_str()))
+        .map(|s| system_spec(s).expect("benchmark weights are valid"))
+        .collect()
+}
+
+/// The same thinned distribution the table binaries use. All pinned
+/// benchmarks share the overall lethality `P_L`, so any representative
+/// system yields the block's distribution.
+fn lethal(lambda: f64) -> NamedDistribution {
+    let system = socy_benchmarks::paper_benchmarks().into_iter().next().expect("non-empty");
+    workload_distribution(&Workload { system, lambda }).expect("valid parameters")
+}
+
+/// Builds the pinned matrix. Every axis value is part of the fixture
+/// contract — changing any of them requires regenerating
+/// `tests/fixtures/bench_sweep.json`.
+fn pinned_matrix() -> SweepMatrix {
+    let static_specs = [
+        OrderingSpec::paper_default(),
+        OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).expect("valid pair"),
+    ];
+    let epsilons = [TruncationRule::Epsilon(1e-2), TruncationRule::Epsilon(1e-3)];
+    let mut matrix = SweepMatrix::new();
+
+    let mut sparse = SweepBlock::new();
+    sparse.systems = systems(&["MS2", "MS4", "ESEN4x1", "ESEN4x2", "ESEN4x4"]);
+    sparse.distributions.push(lethal(1.0));
+    sparse.specs.extend(static_specs);
+    sparse.rules.extend(epsilons);
+    matrix.add(sparse);
+
+    let mut dense = SweepBlock::new();
+    dense.systems = systems(&["MS2", "ESEN4x1"]);
+    dense.distributions.push(lethal(2.0));
+    dense.specs.extend(static_specs);
+    dense.rules.extend(epsilons);
+    matrix.add(dense);
+
+    let mut sifted = SweepBlock::new();
+    sifted.systems = systems(&["ESEN4x1"]);
+    sifted.distributions.push(lethal(1.0));
+    sifted.specs.push(OrderingSpec::paper_default().with_sifting(120));
+    sifted.rules.push(TruncationRule::Epsilon(1e-3));
+    matrix.add(sifted);
+
+    matrix
+}
+
+fn main() {
+    let CliArgs { json, threads, baseline, .. } = parse_cli(usize::MAX);
+    let matrix = pinned_matrix();
+    println!("bench_matrix: pinned perf sweep ({} design points)", matrix.len());
+    let outcome = matrix.run(threads);
+    let doc = BenchSweepDoc::from_outcome(&outcome);
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>10} {:>4} {:>12} {:>10} {:>10} {:>10}",
+        "benchmark", "dist", "spec", "rule", "M", "ROBDD peak", "ROMDD", "yield", "seconds"
+    );
+    for point in &doc.points {
+        println!(
+            "{:<10} {:>6} {:>6} {:>10} {:>4} {:>12} {:>10} {:>10.6} {:>10.6}",
+            point.benchmark,
+            point.distribution,
+            point.ordering,
+            point.rule,
+            point.truncation,
+            point.robdd_peak,
+            point.romdd_size,
+            point.yield_lower_bound,
+            point.seconds,
+        );
+    }
+    for worker in &outcome.summary.workers {
+        eprintln!(
+            "worker {}: {} chunks, {} points, busy {:.3} s",
+            worker.worker,
+            worker.chunks,
+            worker.points,
+            worker.busy.as_secs_f64()
+        );
+    }
+    println!(
+        "{} · compile {:.3} s · robdd cache hit rate {:.1}% · gc runs {}",
+        summary_line(&outcome.summary),
+        outcome.summary.compile_time.as_secs_f64(),
+        outcome.summary.robdd.cache_hit_rate() * 100.0,
+        outcome.summary.robdd.gc_runs,
+    );
+    // Write the artifact even when points failed: CI's `if: always()`
+    // upload step and local debugging both want the partial results.
+    if let Some(path) = &json {
+        match write_json_doc(path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if outcome.summary.failed_points > 0 {
+        for point in &outcome.points {
+            if let Err(e) = &point.result {
+                eprintln!("FAILED {e}");
+            }
+        }
+        eprintln!("{} design point(s) failed", outcome.summary.failed_points);
+        std::process::exit(1);
+    }
+
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match baseline_comparison(&text, &doc) {
+            Ok(table) => print!("{table}"),
+            Err(e) => {
+                eprintln!("baseline comparison failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -7,10 +7,13 @@
 //! The paper fixes orderings up front; this experiment quantifies how
 //! much a Rudell-style dynamic reorder recovers when the up-front choice
 //! is mediocre (`wv/ml`) and how little it needs to fix when the choice
-//! is already good (`w/ml`).
+//! is already good (`w/ml`). Each (static, sifted) pair is evaluated
+//! through the parallel sweep engine — `--threads N` sizes the pool.
 
 use serde::Serialize;
-use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, CliArgs, Runner};
+use soc_yield_bench::{
+    maybe_write_json, paper_workloads, parse_cli, run_table, summary_line, CliArgs, Workload,
+};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec, DEFAULT_SIFT_MAX_GROWTH};
 
 #[derive(Serialize)]
@@ -26,7 +29,7 @@ struct Row {
 }
 
 fn main() {
-    let CliArgs { max_components, json, .. } = parse_cli(20);
+    let CliArgs { max_components, json, threads, .. } = parse_cli(20);
     println!("Static vs sifted orderings (growth bound {DEFAULT_SIFT_MAX_GROWTH}%)");
     println!(
         "{:<18} {:<6} {:>12} {:>12} {:>10} {:>10}",
@@ -36,31 +39,35 @@ fn main() {
         OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).expect("valid combination"),
         OrderingSpec::paper_default(),
     ];
-    let mut rows: Vec<Row> = Vec::new();
-    let mut runner = Runner::new();
-    for workload in paper_workloads(max_components) {
-        if workload.lambda != 1.0 {
-            continue; // one λ' per instance keeps the comparison readable
+    // Each workload's cell holds the static and sifted variant of both
+    // bases, in interleaved order: [wv, wv+sift, w, w+sift].
+    let specs: Vec<OrderingSpec> =
+        bases.iter().flat_map(|&base| [base, base.with_sifting(DEFAULT_SIFT_MAX_GROWTH)]).collect();
+    let cells: Vec<(Workload, Vec<OrderingSpec>)> = paper_workloads(max_components)
+        .into_iter()
+        .filter(|w| w.lambda == 1.0) // one λ' per instance keeps the comparison readable
+        .map(|workload| (workload, specs.clone()))
+        .collect();
+    let outcome = match run_table(&cells, threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("sift comparison failed: {e}");
+            std::process::exit(1);
         }
-        for base in bases {
-            let sifted_spec = base.with_sifting(DEFAULT_SIFT_MAX_GROWTH);
-            let fixed = match runner.run(&workload, base) {
-                Ok(row) => row,
-                Err(e) => {
-                    eprintln!("{}: {base:?} failed: {e}", workload.label());
-                    continue;
-                }
-            };
-            let sifted = match runner.run_report(&workload, sifted_spec) {
-                Ok(report) => report,
-                Err(e) => {
-                    eprintln!("{}: {:?} failed: {e}", workload.label(), sifted_spec);
+    };
+    let mut rows: Vec<Row> = Vec::new();
+    for ((workload, _), results) in cells.iter().zip(&outcome.cells) {
+        for (base, pair) in bases.iter().zip(results.chunks(2)) {
+            let (fixed, sifted) = match (&pair[0], &pair[1]) {
+                (Ok(fixed), Ok(sifted)) => (fixed, sifted),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{}: {e}", workload.label());
                     continue;
                 }
             };
             let presift = sifted.presift_robdd_size.expect("sifted runs record both sizes");
             assert_eq!(
-                presift, fixed.robdd_size,
+                presift, fixed.coded_robdd_size,
                 "the sifted run starts from the same static compile"
             );
             assert!(
@@ -71,7 +78,7 @@ fn main() {
                 "{:<18} {:<6} {:>12} {:>12} {:>10} {:>10}",
                 workload.label(),
                 base.label(),
-                fixed.robdd_size,
+                fixed.coded_robdd_size,
                 sifted.coded_robdd_size,
                 fixed.romdd_size,
                 sifted.romdd_size,
@@ -80,7 +87,7 @@ fn main() {
                 benchmark: workload.system.name.clone(),
                 lambda: workload.lambda,
                 ordering: base.label(),
-                static_robdd: fixed.robdd_size,
+                static_robdd: fixed.coded_robdd_size,
                 sifted_robdd: sifted.coded_robdd_size,
                 static_romdd: fixed.romdd_size,
                 sifted_romdd: sifted.romdd_size,
@@ -88,5 +95,6 @@ fn main() {
             });
         }
     }
+    eprintln!("({})", summary_line(&outcome.summary));
     maybe_write_json(&json, &rows);
 }

@@ -5,40 +5,65 @@
 //! The `vw` / `vrw` orderings blow up quickly (the paper reports failures
 //! on the larger instances); by default this binary therefore only runs
 //! instances up to 30 components — pass `--max-components 100` to attempt
-//! them all.
+//! them all. All cells are evaluated through the parallel sweep engine;
+//! `--threads N` sizes its worker pool without changing a single number.
 
-use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, CliArgs, ResultRow, Runner};
+use soc_yield_bench::{
+    maybe_write_json, paper_workloads, parse_cli, run_table, summary_line, CliArgs, ResultRow,
+    Workload,
+};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
-    let CliArgs { max_components, json, v_first_max } = parse_cli(30);
+    let CliArgs { max_components, json, v_first_max, threads, .. } = parse_cli(30);
     println!("Table 2: ROMDD size per multiple-valued variable ordering (group order: ml)");
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "benchmark", "wv", "wvr", "vw", "vrw", "t", "w", "h"
     );
+    // The v-first orderings explode on the larger instances; skip them
+    // there (mirrors the paper's "—" entries) instead of exhausting
+    // memory.
+    let attempted = |mv: MvOrdering, workload: &Workload| {
+        !(matches!(mv, MvOrdering::Vw | MvOrdering::Vrw)
+            && workload.system.num_components() > v_first_max)
+    };
+    let cells: Vec<(Workload, Vec<OrderingSpec>)> = paper_workloads(max_components)
+        .into_iter()
+        .map(|workload| {
+            let specs = MvOrdering::ALL
+                .iter()
+                .filter(|&&mv| attempted(mv, &workload))
+                .map(|&mv| {
+                    OrderingSpec::new(mv, GroupOrdering::MsbFirst).expect("ml combines with all")
+                })
+                .collect();
+            (workload, specs)
+        })
+        .collect();
+    let outcome = match run_table(&cells, threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("table 2 failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut rows: Vec<ResultRow> = Vec::new();
-    let mut runner = Runner::new();
-    for workload in paper_workloads(max_components) {
+    for ((workload, _), results) in cells.iter().zip(&outcome.cells) {
+        let mut results = results.iter();
         let mut sizes = Vec::new();
         for mv in MvOrdering::ALL {
-            let spec =
-                OrderingSpec::new(mv, GroupOrdering::MsbFirst).expect("ml combines with all");
-            // The v-first orderings explode on the larger instances; skip them there
-            // (mirrors the paper's "—" entries) instead of exhausting memory.
-            let skip = matches!(mv, MvOrdering::Vw | MvOrdering::Vrw)
-                && workload.system.num_components() > v_first_max;
-            if skip {
+            if !attempted(mv, workload) {
                 sizes.push("-".to_string());
                 continue;
             }
-            match runner.run(&workload, spec) {
-                Ok(row) => {
-                    sizes.push(row.romdd_size.to_string());
-                    rows.push(row);
+            match results.next().expect("one result per attempted spec") {
+                Ok(report) => {
+                    sizes.push(report.romdd_size.to_string());
+                    rows.push(ResultRow::from_report(workload, report));
                 }
                 Err(e) => {
-                    eprintln!("{}: {spec} failed: {e}", workload.label());
+                    eprintln!("{}: {e}", workload.label());
                     sizes.push("-".to_string());
                 }
             }
@@ -55,5 +80,6 @@ fn main() {
             sizes[6]
         );
     }
+    eprintln!("({})", summary_line(&outcome.summary));
     maybe_write_json(&json, &rows);
 }

@@ -1,33 +1,55 @@
 //! Reproduces Table 3: coded-ROBDD size (number of nodes) for the bit-group
 //! orderings ml, lm and w, with the weight heuristic ordering the
-//! multiple-valued variables.
+//! multiple-valued variables. All cells are evaluated through the
+//! parallel sweep engine; `--threads N` sizes its worker pool without
+//! changing a single number.
 
-use soc_yield_bench::{maybe_write_json, paper_workloads, parse_cli, CliArgs, ResultRow, Runner};
+use soc_yield_bench::{
+    maybe_write_json, paper_workloads, parse_cli, run_table, summary_line, CliArgs, ResultRow,
+    Workload,
+};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
-    let CliArgs { max_components, json, .. } = parse_cli(34);
+    let CliArgs { max_components, json, threads, .. } = parse_cli(34);
     println!("Table 3: coded ROBDD size per bit-group ordering (MV ordering: w)");
     println!("{:<18} {:>12} {:>12} {:>12}", "benchmark", "ml", "lm", "w");
+    let specs: Vec<OrderingSpec> =
+        [GroupOrdering::MsbFirst, GroupOrdering::LsbFirst, GroupOrdering::Weight]
+            .iter()
+            .map(|&group| {
+                OrderingSpec::new(MvOrdering::Weight, group)
+                    .expect("all three combine with the weight MV ordering")
+            })
+            .collect();
+    let cells: Vec<(Workload, Vec<OrderingSpec>)> = paper_workloads(max_components)
+        .into_iter()
+        .map(|workload| (workload, specs.clone()))
+        .collect();
+    let outcome = match run_table(&cells, threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("table 3 failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut rows: Vec<ResultRow> = Vec::new();
-    let mut runner = Runner::new();
-    for workload in paper_workloads(max_components) {
+    for ((workload, _), results) in cells.iter().zip(&outcome.cells) {
         let mut sizes = Vec::new();
-        for group in [GroupOrdering::MsbFirst, GroupOrdering::LsbFirst, GroupOrdering::Weight] {
-            let spec = OrderingSpec::new(MvOrdering::Weight, group)
-                .expect("all three combine with the weight MV ordering");
-            match runner.run(&workload, spec) {
-                Ok(row) => {
-                    sizes.push(row.robdd_size.to_string());
-                    rows.push(row);
+        for result in results {
+            match result {
+                Ok(report) => {
+                    sizes.push(report.coded_robdd_size.to_string());
+                    rows.push(ResultRow::from_report(workload, report));
                 }
                 Err(e) => {
-                    eprintln!("{}: {spec} failed: {e}", workload.label());
+                    eprintln!("{}: {e}", workload.label());
                     sizes.push("-".to_string());
                 }
             }
         }
         println!("{:<18} {:>12} {:>12} {:>12}", workload.label(), sizes[0], sizes[1], sizes[2]);
     }
+    eprintln!("({})", summary_line(&outcome.summary));
     maybe_write_json(&json, &rows);
 }

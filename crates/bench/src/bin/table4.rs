@@ -5,11 +5,14 @@
 //!
 //! For the smaller instances the combinatorial result is cross-checked
 //! against a Monte-Carlo simulation (100k samples), mirroring the sanity
-//! check a practitioner would perform.
+//! check a practitioner would perform. The pipeline rows are evaluated
+//! through the parallel sweep engine (`--threads N`); the Monte-Carlo
+//! cross-check runs afterwards on the main thread.
 
 use serde::Serialize;
 use soc_yield_bench::{
-    maybe_write_json, paper_workloads, parse_cli, CliArgs, Runner, ALPHA, LETHALITY,
+    maybe_write_json, paper_workloads, parse_cli, run_table, summary_line, CliArgs, ResultRow,
+    Workload, ALPHA, LETHALITY,
 };
 use socy_defect::NegativeBinomial;
 use socy_ordering::OrderingSpec;
@@ -33,8 +36,26 @@ struct Row {
     monte_carlo_std_error: Option<f64>,
 }
 
+fn monte_carlo(workload: &Workload) -> Option<socy_sim::YieldEstimate> {
+    if workload.system.num_components() > 60 {
+        return None;
+    }
+    let components =
+        workload.system.component_probabilities(LETHALITY).expect("benchmark weights are valid");
+    let raw = NegativeBinomial::new(workload.lambda / LETHALITY, ALPHA).expect("valid parameters");
+    let lethal = raw.thinned(components.lethality()).expect("valid lethality");
+    MonteCarloYield::new(
+        &workload.system.fault_tree,
+        &components,
+        &lethal,
+        SimulationOptions::default(),
+    )
+    .ok()
+    .map(|sim| sim.run(100_000, 2003))
+}
+
 fn main() {
-    let CliArgs { max_components, json, .. } = parse_cli(34);
+    let CliArgs { max_components, json, threads, .. } = parse_cli(34);
     println!("Table 4: pipeline performance with heuristics w + ml");
     println!(
         "{:<18} {:>3} {:>9} {:>12} {:>12} {:>10} {:>10} {:>11} {:>11} {:>8} {:>10}",
@@ -50,41 +71,38 @@ fn main() {
         "yield",
         "MC yield"
     );
+    let cells: Vec<(Workload, Vec<OrderingSpec>)> = paper_workloads(max_components)
+        .into_iter()
+        .map(|workload| (workload, vec![OrderingSpec::paper_default()]))
+        .collect();
+    let outcome = match run_table(&cells, threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("table 4 failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut rows: Vec<Row> = Vec::new();
-    let mut runner = Runner::new();
-    for workload in paper_workloads(max_components) {
-        let row = match runner.run(&workload, OrderingSpec::paper_default()) {
-            Ok(row) => row,
+    for ((workload, _), results) in cells.iter().zip(&outcome.cells) {
+        let row = match &results[0] {
+            Ok(report) => ResultRow::from_report(workload, report),
             Err(e) => {
                 eprintln!("{} failed: {e}", workload.label());
                 continue;
             }
         };
+        // The paper's CPU-time column covers the whole pipeline. Each
+        // row here is one compile plus one evaluation, so their sum
+        // restores that semantic (a sweep report's `seconds` alone only
+        // times the evaluation).
+        let seconds = row.compile_seconds + row.seconds;
         // Monte-Carlo cross-check on moderately sized instances.
-        let mc = if workload.system.num_components() <= 60 {
-            let components = workload
-                .system
-                .component_probabilities(LETHALITY)
-                .expect("benchmark weights are valid");
-            let raw = NegativeBinomial::new(workload.lambda / LETHALITY, ALPHA)
-                .expect("valid parameters");
-            let lethal = raw.thinned(components.lethality()).expect("valid lethality");
-            MonteCarloYield::new(
-                &workload.system.fault_tree,
-                &components,
-                &lethal,
-                SimulationOptions::default(),
-            )
-            .ok()
-            .map(|sim| sim.run(100_000, 2003))
-        } else {
-            None
-        };
+        let mc = monte_carlo(workload);
         println!(
             "{:<18} {:>3} {:>9.2} {:>12} {:>12} {:>10} {:>10} {:>11} {:>11} {:>8.3} {:>10}",
             workload.label(),
             row.truncation,
-            row.seconds,
+            seconds,
             row.robdd_peak,
             row.robdd_size,
             row.romdd_size,
@@ -98,7 +116,7 @@ fn main() {
             benchmark: row.benchmark,
             lambda: row.lambda,
             truncation: row.truncation,
-            seconds: row.seconds,
+            seconds,
             robdd_peak: row.robdd_peak,
             robdd_size: row.robdd_size,
             romdd_size: row.romdd_size,
@@ -111,5 +129,6 @@ fn main() {
             monte_carlo_std_error: mc.map(|e| e.standard_error),
         });
     }
+    eprintln!("({})", summary_line(&outcome.summary));
     maybe_write_json(&json, &rows);
 }

@@ -9,12 +9,19 @@
 //!   orderings;
 //! * `table4` — full pipeline metrics (CPU time, ROBDD peak, ROBDD size,
 //!   ROMDD size, yield) with the `w` + `ml` heuristics, cross-checked
-//!   against the Monte-Carlo simulator on the smaller instances.
+//!   against the Monte-Carlo simulator on the smaller instances;
+//! * `sift_compare` — static orderings vs dynamic group sifting;
+//! * `bench_matrix` — the pinned perf matrix behind the repo's
+//!   `BENCH_sweep.json` trajectory artifact ([`BenchSweepDoc`]);
+//! * `anchor_check` — the CI gate diffing fresh JSON dumps against the
+//!   pinned fixtures ([`diff_anchors`]).
 //!
 //! Every binary accepts `--max-components <C>` to bound the instance sizes
 //! (the larger paper instances need several minutes and a few GiB of RAM,
-//! exactly as the original did on a Sun-Blade-1000), and `--json <path>`
-//! to additionally dump machine-readable rows.
+//! exactly as the original did on a Sun-Blade-1000), `--json <path>`
+//! to additionally dump machine-readable rows, and `--threads <N>` to
+//! size the parallel sweep engine's worker pool ([`run_table`]; results
+//! are bit-identical for every thread count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +33,10 @@ use serde::Serialize;
 use soc_yield_core::{AnalysisOptions, CoreError, Pipeline, YieldReport};
 use socy_benchmarks::BenchmarkSystem;
 use socy_defect::{DefectError, NegativeBinomial};
+use socy_exec::{
+    NamedDistribution, SweepBlock, SweepError, SweepMatrix, SweepOutcome, SweepSummary, SystemSpec,
+    TruncationRule,
+};
 use socy_ordering::OrderingSpec;
 
 /// Clustering parameter `α` used by all experiments. The paper's value is
@@ -110,8 +121,15 @@ pub struct ResultRow {
     pub robdd_cache_hits: u64,
     /// ROBDD operation-cache misses during the build.
     pub robdd_cache_misses: u64,
-    /// Total wall-clock seconds.
+    /// Wall-clock seconds of this row's evaluation. For rows produced by
+    /// a sweep this **excludes** the compile, which
+    /// [`compile_seconds`](ResultRow::compile_seconds) carries; for rows
+    /// produced by a one-shot [`Pipeline::evaluate`] that had to compile,
+    /// it includes it (see [`YieldReport::total_time`]).
     pub seconds: f64,
+    /// Wall-clock seconds of the compile that produced the evaluated
+    /// diagram (coded-ROBDD build + ROMDD conversion).
+    pub compile_seconds: f64,
 }
 
 impl ResultRow {
@@ -134,6 +152,7 @@ impl ResultRow {
             robdd_cache_hits: report.robdd_stats.op_cache_hits,
             robdd_cache_misses: report.robdd_stats.op_cache_misses,
             seconds: report.total_time.as_secs_f64(),
+            compile_seconds: (report.robdd_time + report.conversion_time).as_secs_f64(),
         }
     }
 }
@@ -233,13 +252,105 @@ impl Runner {
 }
 
 /// Runs the full pipeline for one workload under one ordering spec
-/// (one-shot; tables iterating many points should share a [`Runner`]).
+/// (one-shot; tables iterating many points should share a [`Runner`]
+/// or, better, batch everything into one [`run_table`] call).
 ///
 /// # Errors
 ///
 /// Propagates analysis or defect-model construction failures.
 pub fn run_workload(workload: &Workload, spec: OrderingSpec) -> Result<ResultRow, HarnessError> {
     Runner::new().run(workload, spec)
+}
+
+/// The [`SystemSpec`] of a benchmark workload (shared lethality
+/// [`LETHALITY`], like the tables).
+///
+/// # Errors
+///
+/// Propagates defect-model construction failures.
+pub fn system_spec(system: &BenchmarkSystem) -> Result<SystemSpec, HarnessError> {
+    let components = system.component_probabilities(LETHALITY)?;
+    Ok(SystemSpec::new(system.name.clone(), system.fault_tree.clone(), components))
+}
+
+/// The thinned lethal-defect distribution of a workload, named like the
+/// table rows (`λ'=1`).
+///
+/// # Errors
+///
+/// Propagates defect-model construction failures.
+pub fn workload_distribution(workload: &Workload) -> Result<NamedDistribution, HarnessError> {
+    let components = workload.system.component_probabilities(LETHALITY)?;
+    let raw = NegativeBinomial::new(workload.lambda / LETHALITY, ALPHA)?;
+    let lethal = raw.thinned(components.lethality())?;
+    Ok(NamedDistribution::new(format!("λ'={}", workload.lambda), lethal))
+}
+
+/// Result of [`run_table`]: per-cell reports in the same shape as the
+/// request, plus the engine's aggregate statistics.
+#[derive(Debug)]
+pub struct TableOutcome {
+    /// One entry per requested `(workload, specs)` cell, holding one
+    /// result per spec, in order.
+    pub cells: Vec<Vec<Result<YieldReport, SweepError>>>,
+    /// Aggregate execution statistics of the underlying sweep.
+    pub summary: SweepSummary,
+}
+
+/// Evaluates a whole table — a list of `(workload, ordering specs)`
+/// cells — through the parallel sweep engine ([`SweepMatrix::run`]) and
+/// regroups the reports per cell.
+///
+/// Each cell becomes its own [`SweepBlock`], so every printed row
+/// reports the metrics of a decision diagram compiled at exactly that
+/// row's truncation (the behaviour of the serial [`Runner`] tables, and
+/// of the paper's). The engine guarantees results are bit-identical for
+/// every `threads` value.
+///
+/// # Errors
+///
+/// Fails up front on defect-model construction errors; per-point
+/// analysis failures are reported inside the affected cell instead, so
+/// one exploding configuration does not take down the whole table.
+pub fn run_table(
+    cells: &[(Workload, Vec<OrderingSpec>)],
+    threads: usize,
+) -> Result<TableOutcome, HarnessError> {
+    let mut matrix = SweepMatrix::new();
+    for (workload, specs) in cells {
+        let mut block = SweepBlock::new();
+        block.systems.push(system_spec(&workload.system)?);
+        block.distributions.push(workload_distribution(workload)?);
+        block.specs = specs.clone();
+        block.rules.push(TruncationRule::Epsilon(EPSILON));
+        matrix.add(block);
+    }
+    let outcome = matrix.run(threads);
+    let summary = outcome.summary;
+    let mut points = outcome.points.into_iter();
+    let cells = cells
+        .iter()
+        .map(|(_, specs)| {
+            specs
+                .iter()
+                .map(|_| points.next().expect("one point per requested spec").result)
+                .collect()
+        })
+        .collect();
+    Ok(TableOutcome { cells, summary })
+}
+
+/// One-line execution summary printed by the table binaries, e.g.
+/// `12 points · 12 chunks · 4 threads · 1.23 s`.
+pub fn summary_line(summary: &SweepSummary) -> String {
+    format!(
+        "{} points · {} chunks · {} thread{} · {} s",
+        summary.points,
+        summary.chunks,
+        summary.threads,
+        if summary.threads == 1 { "" } else { "s" },
+        fmt_seconds(summary.wall_time),
+    )
 }
 
 /// Formats a duration as seconds with two decimals (Table 4 style).
@@ -259,12 +370,26 @@ pub struct CliArgs {
     /// minutes and gigabytes beyond small instances — exactly the "—"
     /// entries of the paper — so CI passes 0 here.
     pub v_first_max: usize,
+    /// Worker threads for the parallel sweep engine (`0` = all available
+    /// cores). Any value produces bit-identical tables; it only changes
+    /// the wall-clock time.
+    pub threads: usize,
+    /// Optional baseline `BENCH_sweep.json` to compare wall-clock times
+    /// against (`bench_matrix` only).
+    pub baseline: Option<String>,
 }
 
 /// Parses the common CLI flags of the table binaries:
-/// `--max-components <C>`, `--json <path>` and `--v-first-max <C>`.
+/// `--max-components <C>`, `--json <path>`, `--v-first-max <C>`,
+/// `--threads <N>` and `--baseline <path>`.
 pub fn parse_cli(default_max: usize) -> CliArgs {
-    let mut parsed = CliArgs { max_components: default_max, json: None, v_first_max: 30 };
+    let mut parsed = CliArgs {
+        max_components: default_max,
+        json: None,
+        v_first_max: 30,
+        threads: 0,
+        baseline: None,
+    };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -281,6 +406,14 @@ pub fn parse_cli(default_max: usize) -> CliArgs {
                 parsed.v_first_max = args[i + 1].parse().unwrap_or(parsed.v_first_max);
                 i += 2;
             }
+            "--threads" if i + 1 < args.len() => {
+                parsed.threads = args[i + 1].parse().unwrap_or(0);
+                i += 2;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                parsed.baseline = Some(args[i + 1].clone());
+                i += 2;
+            }
             _ => {
                 eprintln!("ignoring unknown argument `{}`", args[i]);
                 i += 1;
@@ -290,40 +423,329 @@ pub fn parse_cli(default_max: usize) -> CliArgs {
     parsed
 }
 
-/// Normalizes an anchor JSON dump for comparison: volatile wall-clock
-/// fields (`"seconds": …`) are dropped, everything else — node counts,
-/// peaks, yields, cache statistics — must match bit-for-bit.
-pub fn normalize_anchor_json(text: &str) -> Vec<String> {
-    text.lines()
-        .filter(|line| !line.trim_start().starts_with("\"seconds\":"))
-        .map(|line| line.trim_end().to_string())
-        .collect()
+/// Whether an anchor JSON field is volatile — wall-clock measurements
+/// and execution-environment knobs that legitimately differ from run to
+/// run and machine to machine. Everything else (node counts, peaks,
+/// truncations, cache statistics, yields) is gated bit-for-bit.
+pub fn is_volatile_anchor_field(name: &str) -> bool {
+    name == "seconds" || name == "threads" || name.ends_with("_seconds")
 }
 
-/// Diffs two anchor JSON dumps after normalization. Returns `None` when
-/// they agree and a human-readable description of the first divergence
-/// otherwise.
-pub fn diff_anchors(fixture: &str, actual: &str) -> Option<String> {
-    let fixture = normalize_anchor_json(fixture);
-    let actual = normalize_anchor_json(actual);
-    for (i, (f, a)) in fixture.iter().zip(&actual).enumerate() {
-        if f != a {
-            return Some(format!(
-                "first divergence at normalized line {}:\n  fixture: {}\n  actual:  {}",
-                i + 1,
-                f,
-                a
-            ));
+/// Maximum number of per-field divergences reported by
+/// [`diff_anchor_values`] before the tail is summarised.
+const MAX_REPORTED_DIVERGENCES: usize = 20;
+
+/// Structurally compares two anchor JSON documents, ignoring
+/// [volatile](is_volatile_anchor_field) fields, and returns one
+/// readable line per divergent field (`path: fixture … actual …`).
+/// Numbers must match bit-for-bit (floats are compared by their bit
+/// patterns, so even last-ulp yield drift is caught).
+///
+/// # Errors
+///
+/// Returns a readable message when either document is not valid JSON.
+pub fn diff_anchor_values(fixture: &str, actual: &str) -> Result<Vec<String>, String> {
+    let fixture =
+        serde_json::from_str(fixture).map_err(|e| format!("fixture is malformed: {e}"))?;
+    let actual = serde_json::from_str(actual).map_err(|e| format!("actual is malformed: {e}"))?;
+    let mut diffs = Vec::new();
+    diff_values(&fixture, &actual, "$", &mut diffs);
+    if diffs.len() > MAX_REPORTED_DIVERGENCES {
+        let more = diffs.len() - MAX_REPORTED_DIVERGENCES;
+        diffs.truncate(MAX_REPORTED_DIVERGENCES);
+        diffs.push(format!("… and {more} more divergent fields"));
+    }
+    Ok(diffs)
+}
+
+fn describe(value: &serde::Value) -> String {
+    match value {
+        serde::Value::Array(items) => format!("an array of {} items", items.len()),
+        serde::Value::Object(fields) => format!("an object with {} fields", fields.len()),
+        other => other.to_pretty_string(),
+    }
+}
+
+fn diff_values(fixture: &serde::Value, actual: &serde::Value, path: &str, out: &mut Vec<String>) {
+    use serde::Value;
+    match (fixture, actual) {
+        (Value::Array(f), Value::Array(a)) => {
+            if f.len() != a.len() {
+                out.push(format!("{path}: fixture has {} rows, actual has {}", f.len(), a.len()));
+            }
+            for (i, (fv, av)) in f.iter().zip(a).enumerate() {
+                diff_values(fv, av, &format!("{path}[{i}]"), out);
+            }
+        }
+        (Value::Object(f), Value::Object(a)) => {
+            for (name, fv) in f {
+                if is_volatile_anchor_field(name) {
+                    continue;
+                }
+                match a.iter().find(|(n, _)| n == name) {
+                    Some((_, av)) => diff_values(fv, av, &format!("{path}.{name}"), out),
+                    None => out.push(format!("{path}.{name}: missing from actual")),
+                }
+            }
+            for (name, _) in a {
+                if !is_volatile_anchor_field(name) && !f.iter().any(|(n, _)| n == name) {
+                    out.push(format!("{path}.{name}: not in fixture"));
+                }
+            }
+        }
+        // Floats are gated on exact bit patterns: the anchors pin the
+        // pipeline's arithmetic, not a tolerance band.
+        (Value::Float(f), Value::Float(a)) if f.to_bits() == a.to_bits() => {}
+        (Value::Float(_), Value::Float(_)) => {
+            out.push(format!("{path}: fixture {} actual {}", describe(fixture), describe(actual)));
+        }
+        (f, a) if f == a => {}
+        _ => {
+            out.push(format!("{path}: fixture {} actual {}", describe(fixture), describe(actual)));
         }
     }
-    if fixture.len() != actual.len() {
-        return Some(format!(
-            "row count drift: fixture has {} normalized lines, actual has {}",
-            fixture.len(),
-            actual.len()
+}
+
+/// Diffs two anchor JSON dumps, ignoring only
+/// [volatile](is_volatile_anchor_field) fields. Returns `None` when they
+/// agree and a human-readable per-field report otherwise (including when
+/// either document is malformed).
+pub fn diff_anchors(fixture: &str, actual: &str) -> Option<String> {
+    match diff_anchor_values(fixture, actual) {
+        Err(message) => Some(message),
+        Ok(diffs) if diffs.is_empty() => None,
+        Ok(diffs) => Some(diffs.join("\n")),
+    }
+}
+
+/// Schema tag of the `BENCH_sweep.json` perf artifact.
+pub const BENCH_SWEEP_SCHEMA: &str = "socy-bench-sweep/v1";
+
+/// One design point of the `BENCH_sweep.json` perf artifact. Every field
+/// except `seconds` is deterministic and gated by the `perf-smoke` CI
+/// job; `seconds` is the point's wall-clock evaluation time (for sweep
+/// points this excludes the shared compile, which `compile_seconds` of
+/// [`BenchSweepTotals`] accounts for).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSweepPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Lethal-defect distribution label (`λ'=1`).
+    pub distribution: String,
+    /// Ordering-spec label (`w/ml`).
+    pub ordering: String,
+    /// Truncation rule label (`ε=1e-3`).
+    pub rule: String,
+    /// Truncation point `M` of this point.
+    pub truncation: usize,
+    /// Truncation the evaluated diagram was compiled at.
+    pub compiled_truncation: usize,
+    /// Yield lower bound `Y_M`.
+    pub yield_lower_bound: f64,
+    /// Guaranteed absolute error bound.
+    pub error_bound: f64,
+    /// Coded-ROBDD size (reachable nodes).
+    pub robdd_size: usize,
+    /// Peak ROBDD nodes during construction.
+    pub robdd_peak: usize,
+    /// ROMDD size (reachable nodes).
+    pub romdd_size: usize,
+    /// ROBDD operation-cache hits of the compile.
+    pub robdd_cache_hits: u64,
+    /// ROBDD operation-cache misses of the compile.
+    pub robdd_cache_misses: u64,
+    /// Wall-clock seconds of this point's evaluation (volatile).
+    pub seconds: f64,
+}
+
+/// Aggregate section of the `BENCH_sweep.json` perf artifact. The
+/// `*_seconds` fields are wall-clock measurements (volatile); the rest
+/// is deterministic.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSweepTotals {
+    /// Design points evaluated.
+    pub points: usize,
+    /// Compilation chunks the matrix was partitioned into.
+    pub chunks: usize,
+    /// Points whose chunk failed.
+    pub failed_points: usize,
+    /// Largest single-manager ROBDD peak (memory high-water mark).
+    pub robdd_peak_max: usize,
+    /// Sum of per-manager ROBDD peaks.
+    pub robdd_peak_sum: u64,
+    /// ROBDD operation-cache hits across all compiles.
+    pub robdd_cache_hits: u64,
+    /// ROBDD operation-cache misses across all compiles.
+    pub robdd_cache_misses: u64,
+    /// ROBDD garbage collections across all compiles.
+    pub robdd_gc_runs: u64,
+    /// ROMDD operation-cache hits across all managers.
+    pub romdd_cache_hits: u64,
+    /// ROMDD operation-cache misses across all managers.
+    pub romdd_cache_misses: u64,
+    /// Wall-clock seconds of the whole run (volatile).
+    pub wall_seconds: f64,
+    /// Sum of the workers' busy seconds (volatile).
+    pub busy_seconds: f64,
+    /// Sum of the chunks' compile seconds — ROBDD build + ROMDD
+    /// conversion (volatile).
+    pub compile_seconds: f64,
+}
+
+/// The machine-readable `BENCH_sweep.json` document emitted by the
+/// `bench_matrix` binary: the repo's recorded perf trajectory. CI's
+/// `perf-smoke` job regenerates it on every PR and gates the
+/// deterministic fields against `tests/fixtures/bench_sweep.json` while
+/// uploading the measured wall-clock numbers as an artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSweepDoc {
+    /// Schema tag ([`BENCH_SWEEP_SCHEMA`]).
+    pub schema: String,
+    /// Worker threads used (volatile).
+    pub threads: usize,
+    /// Per-point measurements, in matrix order.
+    pub points: Vec<BenchSweepPoint>,
+    /// Aggregates.
+    pub totals: BenchSweepTotals,
+}
+
+impl BenchSweepDoc {
+    /// Condenses a finished sweep into the artifact document. Failed
+    /// points are skipped (they are visible in `totals.failed_points`).
+    pub fn from_outcome(outcome: &SweepOutcome) -> Self {
+        let summary = &outcome.summary;
+        let points = outcome
+            .points
+            .iter()
+            .filter_map(|point| {
+                let report = point.result.as_ref().ok()?;
+                Some(BenchSweepPoint {
+                    benchmark: point.labels.system.clone(),
+                    distribution: point.labels.distribution.clone(),
+                    ordering: point.labels.spec.label(),
+                    rule: point.labels.rule.label(),
+                    truncation: report.truncation,
+                    compiled_truncation: report.compiled_truncation,
+                    yield_lower_bound: report.yield_lower_bound,
+                    error_bound: report.error_bound,
+                    robdd_size: report.coded_robdd_size,
+                    robdd_peak: report.robdd_peak,
+                    romdd_size: report.romdd_size,
+                    robdd_cache_hits: report.robdd_stats.op_cache_hits,
+                    robdd_cache_misses: report.robdd_stats.op_cache_misses,
+                    seconds: report.total_time.as_secs_f64(),
+                })
+            })
+            .collect();
+        Self {
+            schema: BENCH_SWEEP_SCHEMA.to_string(),
+            threads: summary.threads,
+            points,
+            totals: BenchSweepTotals {
+                points: summary.points,
+                chunks: summary.chunks,
+                failed_points: summary.failed_points,
+                robdd_peak_max: summary.robdd.peak_nodes_max,
+                robdd_peak_sum: summary.robdd.peak_nodes_sum,
+                robdd_cache_hits: summary.robdd.op_cache_hits,
+                robdd_cache_misses: summary.robdd.op_cache_misses,
+                robdd_gc_runs: summary.robdd.gc_runs,
+                romdd_cache_hits: summary.romdd.op_cache_hits,
+                romdd_cache_misses: summary.romdd.op_cache_misses,
+                wall_seconds: summary.wall_time.as_secs_f64(),
+                busy_seconds: summary.busy_time.as_secs_f64(),
+                compile_seconds: summary.compile_time.as_secs_f64(),
+            },
+        }
+    }
+}
+
+/// Compares a freshly measured sweep against a baseline
+/// `BENCH_sweep.json` and renders a per-point speedup/regression table
+/// (wall-clock only; yield or size drift is reported loudly, since a
+/// perf comparison across different results is meaningless).
+///
+/// # Errors
+///
+/// Returns a readable message when the baseline is malformed or its
+/// schema tag is unknown.
+pub fn baseline_comparison(baseline: &str, current: &BenchSweepDoc) -> Result<String, String> {
+    let baseline =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline is malformed: {e}"))?;
+    let schema = baseline.get("schema").and_then(serde::Value::as_str).unwrap_or("<missing>");
+    if schema != BENCH_SWEEP_SCHEMA {
+        return Err(format!(
+            "baseline schema is `{schema}`, this binary understands `{BENCH_SWEEP_SCHEMA}`"
         ));
     }
-    None
+    let baseline_threads = baseline.get("threads").and_then(serde::Value::as_u64).unwrap_or(0);
+    let empty = Vec::new();
+    let rows = baseline.get("points").and_then(serde::Value::as_array).unwrap_or(&empty);
+    let key = |benchmark: &str, distribution: &str, ordering: &str, rule: &str| {
+        format!("{benchmark}|{distribution}|{ordering}|{rule}")
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "baseline: {} points at {} threads — current: {} points at {} threads\n",
+        rows.len(),
+        baseline_threads,
+        current.points.len(),
+        current.threads
+    ));
+    out.push_str(&format!(
+        "{:<44} {:>12} {:>12} {:>9}\n",
+        "point", "baseline s", "current s", "speedup"
+    ));
+    let mut matched = 0usize;
+    for point in &current.points {
+        let id = key(&point.benchmark, &point.distribution, &point.ordering, &point.rule);
+        let base = rows.iter().find(|row| {
+            let field = |name: &str| {
+                row.get(name).and_then(serde::Value::as_str).unwrap_or_default().to_string()
+            };
+            key(&field("benchmark"), &field("distribution"), &field("ordering"), &field("rule"))
+                == id
+        });
+        let Some(base) = base else {
+            out.push_str(&format!("{:<44} {:>12} {:>12} {:>9}\n", id, "-", "-", "new"));
+            continue;
+        };
+        matched += 1;
+        let base_yield = base.get("yield_lower_bound").and_then(serde::Value::as_f64);
+        if base_yield.map(f64::to_bits) != Some(point.yield_lower_bound.to_bits()) {
+            out.push_str(&format!(
+                "{id}: RESULT DRIFT — baseline yield {:?} vs current {} (timing comparison \
+                 suppressed)\n",
+                base_yield, point.yield_lower_bound
+            ));
+            continue;
+        }
+        let base_seconds = base.get("seconds").and_then(serde::Value::as_f64).unwrap_or(0.0);
+        let speedup =
+            if point.seconds > 0.0 { base_seconds / point.seconds } else { f64::INFINITY };
+        out.push_str(&format!(
+            "{:<44} {:>12.6} {:>12.6} {:>8.2}x\n",
+            id, base_seconds, point.seconds, speedup
+        ));
+    }
+    let base_wall = baseline
+        .get("totals")
+        .and_then(|t| t.get("wall_seconds"))
+        .and_then(serde::Value::as_f64)
+        .unwrap_or(0.0);
+    let wall_speedup = if current.totals.wall_seconds > 0.0 {
+        base_wall / current.totals.wall_seconds
+    } else {
+        f64::INFINITY
+    };
+    out.push_str(&format!(
+        "matched {matched}/{} points · wall clock {:.3} s → {:.3} s ({:.2}x)\n",
+        current.points.len(),
+        base_wall,
+        current.totals.wall_seconds,
+        wall_speedup
+    ));
+    Ok(out)
 }
 
 /// Writes rows as pretty-printed JSON to `path` when requested.
@@ -338,6 +760,17 @@ pub fn maybe_write_json<T: Serialize>(path: &Option<String>, rows: &[T]) {
             Err(e) => eprintln!("could not serialise results: {e}"),
         }
     }
+}
+
+/// Writes one serialisable document as pretty-printed JSON to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json_doc(path: &str, doc: &impl Serialize) -> std::io::Result<()> {
+    let json =
+        serde_json::to_string_pretty(doc).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, json)
 }
 
 #[cfg(test)]
@@ -392,6 +825,145 @@ mod tests {
         assert_eq!(fmt_seconds(Duration::from_millis(1234)), "1.23");
         // maybe_write_json with None is a no-op.
         maybe_write_json::<ResultRow>(&None, &[]);
+    }
+
+    #[test]
+    fn run_table_matches_the_serial_runner() {
+        let esen = socy_benchmarks::esen(4, 1);
+        let cells = vec![
+            (
+                Workload { system: esen.clone(), lambda: 1.0 },
+                vec![
+                    OrderingSpec::paper_default(),
+                    OrderingSpec::new(
+                        socy_ordering::MvOrdering::Wv,
+                        socy_ordering::GroupOrdering::MsbFirst,
+                    )
+                    .unwrap(),
+                ],
+            ),
+            (Workload { system: esen.clone(), lambda: 2.0 }, vec![OrderingSpec::paper_default()]),
+        ];
+        let outcome = run_table(&cells, 2).unwrap();
+        assert_eq!(outcome.cells.len(), 2);
+        assert_eq!(outcome.cells[0].len(), 2);
+        assert_eq!(outcome.cells[1].len(), 1);
+        assert_eq!(outcome.summary.points, 3);
+        assert_eq!(outcome.summary.chunks, 3);
+        // Cell-by-cell the parallel engine reproduces the serial Runner
+        // bit for bit (each cell compiles at its own truncation).
+        let mut runner = Runner::new();
+        for ((workload, specs), results) in cells.iter().zip(&outcome.cells) {
+            for (spec, result) in specs.iter().zip(results) {
+                let parallel = result.as_ref().unwrap();
+                let serial = runner.run_report(workload, *spec).unwrap();
+                assert_eq!(
+                    parallel.yield_lower_bound.to_bits(),
+                    serial.yield_lower_bound.to_bits()
+                );
+                assert_eq!(parallel.truncation, serial.truncation);
+                assert_eq!(parallel.compiled_truncation, serial.compiled_truncation);
+                assert_eq!(parallel.coded_robdd_size, serial.coded_robdd_size);
+                assert_eq!(parallel.robdd_peak, serial.robdd_peak);
+                assert_eq!(parallel.romdd_size, serial.romdd_size);
+            }
+        }
+        assert!(summary_line(&outcome.summary).contains("3 points · 3 chunks"));
+    }
+
+    #[test]
+    fn volatile_anchor_fields() {
+        assert!(is_volatile_anchor_field("seconds"));
+        assert!(is_volatile_anchor_field("threads"));
+        assert!(is_volatile_anchor_field("wall_seconds"));
+        assert!(is_volatile_anchor_field("compile_seconds"));
+        assert!(!is_volatile_anchor_field("points"));
+        assert!(!is_volatile_anchor_field("yield_lower_bound"));
+        assert!(!is_volatile_anchor_field("robdd_peak"));
+        // The structural diff applies the same volatile set.
+        let fixture = "{\n  \"threads\": 4,\n  \"robdd_size\": 9897,\n  \"busy_seconds\": 0.5\n}";
+        let rerun = "{\n  \"threads\": 1,\n  \"robdd_size\": 9897,\n  \"busy_seconds\": 9.5\n}";
+        assert_eq!(diff_anchors(fixture, rerun), None);
+    }
+
+    #[test]
+    fn semantic_anchor_diff_reports_every_divergent_field() {
+        let fixture = r#"[
+  {
+    "benchmark": "MS2",
+    "robdd_size": 100,
+    "seconds": 0.1,
+    "yield_lower_bound": 0.5
+  },
+  {
+    "benchmark": "MS4",
+    "robdd_size": 200,
+    "seconds": 0.2,
+    "yield_lower_bound": 0.25
+  }
+]"#;
+        let actual = fixture.replace("100", "101").replace("0.25", "0.26").replace("0.2,", "9.9,");
+        let diffs = diff_anchor_values(fixture, &actual).unwrap();
+        // Both real divergences are listed, the wall-clock one is not.
+        assert_eq!(diffs.len(), 2, "{diffs:?}");
+        assert!(diffs[0].contains("$[0].robdd_size") && diffs[0].contains("101"), "{diffs:?}");
+        assert!(diffs[1].contains("$[1].yield_lower_bound"), "{diffs:?}");
+        // Missing and extra fields are named.
+        let missing = fixture.replace("    \"robdd_size\": 100,\n", "");
+        let diffs = diff_anchor_values(fixture, &missing).unwrap();
+        assert!(diffs.iter().any(|d| d.contains("$[0].robdd_size") && d.contains("missing")));
+        let diffs = diff_anchor_values(&missing, fixture).unwrap();
+        assert!(diffs.iter().any(|d| d.contains("not in fixture")));
+    }
+
+    #[test]
+    fn anchor_diff_surfaces_malformed_documents_readably() {
+        let good = "[]";
+        let err = diff_anchor_values("{ not json", good).unwrap_err();
+        assert!(err.contains("fixture is malformed"), "{err}");
+        let err = diff_anchor_values(good, "[1, 2").unwrap_err();
+        assert!(err.contains("actual is malformed"), "{err}");
+        // diff_anchors (the binary's entry point) reports instead of panicking.
+        let report = diff_anchors("{ not json", good).unwrap();
+        assert!(report.contains("malformed"));
+    }
+
+    #[test]
+    fn bench_sweep_doc_and_baseline_comparison() {
+        use socy_exec::{NamedDistribution, SweepBlock, SweepMatrix, TruncationRule};
+        let mut block = SweepBlock::new();
+        block.systems.push(system_spec(&socy_benchmarks::esen(4, 1)).unwrap());
+        block
+            .distributions
+            .push(NamedDistribution::new("λ'=1", NegativeBinomial::new(1.0, ALPHA).unwrap()));
+        block.specs.push(OrderingSpec::paper_default());
+        block.rules.push(TruncationRule::Epsilon(1e-2));
+        block.rules.push(TruncationRule::Epsilon(1e-3));
+        let mut matrix = SweepMatrix::new();
+        matrix.add(block);
+        let outcome = matrix.run(2);
+        let doc = BenchSweepDoc::from_outcome(&outcome);
+        assert_eq!(doc.schema, BENCH_SWEEP_SCHEMA);
+        assert_eq!(doc.points.len(), 2);
+        assert_eq!(doc.totals.points, 2);
+        assert_eq!(doc.totals.chunks, 1);
+        assert!(doc.totals.robdd_peak_max > 0);
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        // The artifact gates itself cleanly (round trip, wall clock ignored).
+        assert_eq!(diff_anchors(&json, &json), None);
+        // A re-run differs only in volatile fields → still gates clean.
+        let rerun =
+            serde_json::to_string_pretty(&BenchSweepDoc::from_outcome(&matrix.run(1))).unwrap();
+        assert_eq!(diff_anchors(&json, &rerun), None, "thread count must not gate");
+        // Baseline comparison prints a speedup row per matched point.
+        let table = baseline_comparison(&json, &doc).unwrap();
+        assert!(table.contains("matched 2/2 points"), "{table}");
+        assert!(table.contains("ESEN4x1"));
+        // Malformed or wrong-schema baselines fail readably.
+        assert!(baseline_comparison("{", &doc).unwrap_err().contains("malformed"));
+        assert!(baseline_comparison("{\"schema\": \"other/v9\"}", &doc)
+            .unwrap_err()
+            .contains("other/v9"));
     }
 
     #[test]

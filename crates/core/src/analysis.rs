@@ -345,6 +345,16 @@ pub struct Pipeline {
     models: Vec<CompiledModel>,
 }
 
+// Parallel sweep workers (socy-exec) each own a Pipeline and ship the
+// reports over a channel; everything here is plain owned data, so the
+// thread bounds hold structurally. Asserted so a future regression fails
+// to compile here rather than in the executor.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Pipeline>();
+    assert_send_sync::<YieldReport>();
+};
+
 impl Pipeline {
     /// Creates a pipeline for `fault_tree` under the per-component
     /// lethal-hit probabilities `components`.

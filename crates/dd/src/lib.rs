@@ -65,3 +65,16 @@ pub use cache::OpCache;
 pub use kernel::{DdKernel, DdStats, GcStats, Protect, Ref, ONE, ZERO};
 pub use reorder::{SiftConfig, SiftOutcome};
 pub use unique::UniqueTable;
+
+// Parallel sweep workers (socy-exec) move kernels across threads. The
+// kernel is plain owned data — arena vectors, tables, counters; no
+// Rc/RefCell/raw pointers — so `Send + Sync` hold structurally. Assert
+// them here so any future interior-mutability regression fails to
+// compile at its source rather than in the executor.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DdKernel>();
+    assert_send_sync::<NodeArena>();
+    assert_send_sync::<UniqueTable>();
+    assert_send_sync::<OpCache>();
+};

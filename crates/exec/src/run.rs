@@ -1,0 +1,544 @@
+//! The parallel executor: partitions a [`SweepMatrix`] into compilation
+//! chunks, evaluates them on a scoped worker pool, and reassembles the
+//! reports deterministically in matrix order.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use soc_yield_core::{ConversionAlgorithm, DdStats, Pipeline, SweepPoint, YieldReport};
+use socy_defect::DefectDistribution;
+use socy_ordering::OrderingSpec;
+
+use crate::matrix::{PointLabels, SharedDistribution, SweepMatrix, SystemSpec, TruncationRule};
+
+/// One unit of parallel work: every point of one block that shares a
+/// `(system, ordering spec, conversion)` configuration — i.e. exactly one
+/// decision-diagram compilation, however many `(distribution, rule)`
+/// evaluations ride on it.
+struct Chunk<'m> {
+    system: &'m SystemSpec,
+    spec: OrderingSpec,
+    conversion: ConversionAlgorithm,
+    /// Global matrix indices of the chunk's points, in matrix order.
+    indices: Vec<usize>,
+    /// The `(distribution, rule)` pair of each point, parallel to
+    /// `indices`.
+    evals: Vec<(&'m dyn SharedDistribution, TruncationRule)>,
+}
+
+impl Chunk<'_> {
+    fn run(&self) -> Result<Vec<YieldReport>, String> {
+        let mut pipeline = Pipeline::new(&self.system.fault_tree, &self.system.components)
+            .map_err(|e| e.to_string())?;
+        let points = self.evals.iter().map(|&(dist, rule)| SweepPoint {
+            lethal: dist as &dyn DefectDistribution,
+            options: rule.options(self.spec, self.conversion),
+        });
+        pipeline.sweep(points).map_err(|e| e.to_string())
+    }
+}
+
+/// Splits the matrix into chunks, in matrix order of their first point.
+fn chunks(matrix: &SweepMatrix) -> Vec<Chunk<'_>> {
+    let mut out: Vec<Chunk<'_>> = Vec::new();
+    let mut index = 0usize;
+    for block in &matrix.blocks {
+        let conversions = block.conversions_or_default();
+        let first_chunk_of_block = out.len();
+        for system in &block.systems {
+            let first_chunk_of_system = out.len();
+            for dist in &block.distributions {
+                for (spec_at, &spec) in block.specs.iter().enumerate() {
+                    for (conv_at, &conversion) in conversions.iter().enumerate() {
+                        let chunk_at =
+                            first_chunk_of_system + spec_at * conversions.len() + conv_at;
+                        for &rule in &block.rules {
+                            if out.len() <= chunk_at {
+                                out.push(Chunk {
+                                    system,
+                                    spec,
+                                    conversion,
+                                    indices: Vec::new(),
+                                    evals: Vec::new(),
+                                });
+                            }
+                            out[chunk_at].indices.push(index);
+                            out[chunk_at].evals.push((&*dist.distribution, rule));
+                            index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(out[first_chunk_of_block..].iter().all(|c| !c.indices.is_empty()));
+    }
+    out
+}
+
+/// Failure of one design point (all points of a failed chunk share the
+/// message of the underlying compilation or evaluation error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Label of the failed point.
+    pub point: String,
+    /// The underlying error, stringified.
+    pub message: String,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.point, self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Result of one design point: its labels plus the report (or the error
+/// of its chunk).
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// Which point of the matrix this is.
+    pub labels: PointLabels,
+    /// The yield report, or the failure of the chunk that owned the
+    /// point.
+    pub result: Result<YieldReport, SweepError>,
+}
+
+/// Kernel statistics aggregated across every compiled decision diagram
+/// of a sweep (one entry absorbed per chunk).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DdAggregate {
+    /// Largest per-manager peak node count seen — the memory high-water
+    /// mark of the busiest single compilation.
+    pub peak_nodes_max: usize,
+    /// Sum of the per-manager peak node counts (total transient
+    /// allocation pressure of the sweep).
+    pub peak_nodes_sum: u64,
+    /// Sum of the per-manager unique-table entry counts.
+    pub unique_entries_sum: u64,
+    /// Operation-cache hits across all managers.
+    pub op_cache_hits: u64,
+    /// Operation-cache misses across all managers.
+    pub op_cache_misses: u64,
+    /// Garbage collections run across all managers.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by garbage collection across all managers.
+    pub gc_reclaimed: u64,
+}
+
+impl DdAggregate {
+    /// Folds one manager's statistics into the aggregate.
+    pub fn absorb(&mut self, stats: &DdStats) {
+        self.peak_nodes_max = self.peak_nodes_max.max(stats.peak_nodes);
+        self.peak_nodes_sum += stats.peak_nodes as u64;
+        self.unique_entries_sum += stats.unique_entries as u64;
+        self.op_cache_hits += stats.op_cache_hits;
+        self.op_cache_misses += stats.op_cache_misses;
+        self.gc_runs += stats.gc_runs;
+        self.gc_reclaimed += stats.gc_reclaimed;
+    }
+
+    /// Fraction of operation-cache lookups that hit, in `[0, 1]`
+    /// (`0` when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.op_cache_hits + self.op_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.op_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-worker execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Worker index, `0 .. threads`.
+    pub worker: usize,
+    /// Chunks this worker executed.
+    pub chunks: usize,
+    /// Design points this worker evaluated.
+    pub points: usize,
+    /// Wall-clock time the worker spent from spawn to exhaustion of the
+    /// chunk queue.
+    pub busy: Duration,
+}
+
+/// Aggregate statistics of one [`SweepMatrix::run`]: thread/chunk/point
+/// counts, wall-clock and per-worker times, and the kernel statistics of
+/// every ROBDD and ROMDD manager the sweep created, folded into one
+/// [`DdAggregate`] each.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// Total design points (successful or failed).
+    pub points: usize,
+    /// Number of compilation chunks the matrix was partitioned into.
+    pub chunks: usize,
+    /// Points whose chunk failed.
+    pub failed_points: usize,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+    /// Sum of the workers' busy times (≈ `wall_time × threads` when the
+    /// partition balances well).
+    pub busy_time: Duration,
+    /// Sum over chunks of the compile time (coded-ROBDD build + ROMDD
+    /// conversion) their reports carry.
+    pub compile_time: Duration,
+    /// Aggregated coded-ROBDD manager statistics.
+    pub robdd: DdAggregate,
+    /// Aggregated ROMDD manager statistics.
+    pub romdd: DdAggregate,
+    /// Per-worker breakdown, indexed by worker.
+    pub workers: Vec<WorkerSummary>,
+}
+
+/// Everything a [`SweepMatrix::run`] produced: per-point outcomes in
+/// matrix order plus the [`SweepSummary`].
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One outcome per design point, in matrix order.
+    pub points: Vec<PointOutcome>,
+    /// Aggregate statistics.
+    pub summary: SweepSummary,
+}
+
+impl SweepOutcome {
+    /// All reports in matrix order, or the failure of the *earliest*
+    /// failed point (deterministic regardless of worker scheduling).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SweepError`] of the first failed point in matrix
+    /// order.
+    pub fn reports(&self) -> Result<Vec<&YieldReport>, SweepError> {
+        self.points.iter().map(|p| p.result.as_ref().map_err(SweepError::clone)).collect()
+    }
+
+    /// Like [`SweepOutcome::reports`], but by value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SweepError`] of the first failed point in matrix
+    /// order.
+    pub fn into_reports(self) -> Result<Vec<YieldReport>, SweepError> {
+        self.points.into_iter().map(|p| p.result).collect()
+    }
+}
+
+enum Message {
+    Chunk { at: usize, result: Result<Vec<YieldReport>, String> },
+    Worker(WorkerSummary),
+}
+
+impl SweepMatrix {
+    /// Evaluates every design point of the matrix on `threads` workers
+    /// (`0` = the machine's available parallelism) and returns the
+    /// reports in matrix order plus a [`SweepSummary`].
+    ///
+    /// The matrix is partitioned into chunks of points sharing a
+    /// `(system, ordering spec, conversion)` configuration within one
+    /// block; each worker owns a private [`Pipeline`] (and hence private
+    /// ROBDD/ROMDD managers) per chunk and the chunks communicate only
+    /// through the result channel, so the outcome is **bit-identical for
+    /// every thread count** — including `1` — and identical to evaluating
+    /// each chunk with a serial [`Pipeline::sweep`].
+    pub fn run(&self, threads: usize) -> SweepOutcome {
+        let started = Instant::now();
+        let chunks = chunks(self);
+        let threads = effective_threads(threads, chunks.len());
+        let mut results: Vec<Option<Result<Vec<YieldReport>, String>>> = Vec::new();
+        results.resize_with(chunks.len(), || None);
+        let mut workers: Vec<WorkerSummary> = Vec::with_capacity(threads);
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Message>();
+        thread::scope(|scope| {
+            for worker in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let chunks = &chunks;
+                scope.spawn(move || {
+                    let spawned = Instant::now();
+                    let mut done_chunks = 0usize;
+                    let mut done_points = 0usize;
+                    loop {
+                        let at = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(at) else { break };
+                        let result = chunk.run();
+                        done_chunks += 1;
+                        done_points += chunk.indices.len();
+                        if tx.send(Message::Chunk { at, result }).is_err() {
+                            return; // collector gone; nothing left to report to
+                        }
+                    }
+                    let _ = tx.send(Message::Worker(WorkerSummary {
+                        worker,
+                        chunks: done_chunks,
+                        points: done_points,
+                        busy: spawned.elapsed(),
+                    }));
+                });
+            }
+            drop(tx);
+            // Deterministic reassembly: placement is keyed by chunk index,
+            // so arrival order (worker scheduling) cannot influence it.
+            for message in rx {
+                match message {
+                    Message::Chunk { at, result } => results[at] = Some(result),
+                    Message::Worker(summary) => workers.push(summary),
+                }
+            }
+        });
+        workers.sort_by_key(|w| w.worker);
+
+        self.assemble(chunks, results, started.elapsed(), threads, workers)
+    }
+
+    fn assemble(
+        &self,
+        chunks: Vec<Chunk<'_>>,
+        results: Vec<Option<Result<Vec<YieldReport>, String>>>,
+        wall_time: Duration,
+        threads: usize,
+        workers: Vec<WorkerSummary>,
+    ) -> SweepOutcome {
+        let labels = self.labels();
+        let mut points: Vec<Option<PointOutcome>> = Vec::new();
+        points.resize_with(labels.len(), || None);
+        let mut summary = SweepSummary {
+            threads,
+            points: labels.len(),
+            chunks: chunks.len(),
+            failed_points: 0,
+            wall_time,
+            busy_time: workers.iter().map(|w| w.busy).sum(),
+            compile_time: Duration::ZERO,
+            robdd: DdAggregate::default(),
+            romdd: DdAggregate::default(),
+            workers,
+        };
+        for (chunk, result) in chunks.iter().zip(results) {
+            let result = result.expect("every chunk sent exactly one result");
+            match result {
+                Ok(reports) => {
+                    debug_assert_eq!(reports.len(), chunk.indices.len());
+                    // One compiled model per chunk: fold its statistics in
+                    // once, from the last report (the ROMDD statistics are
+                    // cumulative across the chunk's evaluations).
+                    if let Some(last) = reports.last() {
+                        summary.robdd.absorb(&last.robdd_stats);
+                        summary.romdd.absorb(&last.romdd_stats);
+                        summary.compile_time += last.robdd_time + last.conversion_time;
+                    }
+                    for (&index, report) in chunk.indices.iter().zip(reports) {
+                        points[index] = Some(PointOutcome {
+                            labels: labels[index].clone(),
+                            result: Ok(report),
+                        });
+                    }
+                }
+                Err(message) => {
+                    summary.failed_points += chunk.indices.len();
+                    for &index in &chunk.indices {
+                        points[index] = Some(PointOutcome {
+                            labels: labels[index].clone(),
+                            result: Err(SweepError {
+                                point: labels[index].label(),
+                                message: message.clone(),
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+        let points =
+            points.into_iter().map(|p| p.expect("every point belongs to a chunk")).collect();
+        SweepOutcome { points, summary }
+    }
+}
+
+/// Resolves the requested worker count: `0` means the machine's available
+/// parallelism, and more workers than chunks are never spawned.
+pub fn effective_threads(requested: usize, chunks: usize) -> usize {
+    let requested = if requested == 0 {
+        thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        requested
+    };
+    requested.clamp(1, chunks.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{NamedDistribution, SweepBlock};
+    use socy_defect::{ComponentProbabilities, NegativeBinomial};
+    use socy_faulttree::Netlist;
+
+    fn figure2(name: &str) -> SystemSpec {
+        let mut nl = Netlist::new();
+        let x1 = nl.input("x1");
+        let x2 = nl.input("x2");
+        let x3 = nl.input("x3");
+        let a = nl.and([x1, x2]);
+        let f = nl.or([a, x3]);
+        nl.set_output(f);
+        SystemSpec::new(name, nl, ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap())
+    }
+
+    fn small_matrix() -> SweepMatrix {
+        let mut block = SweepBlock::new();
+        block.systems.push(figure2("F2a"));
+        block.systems.push(figure2("F2b"));
+        block
+            .distributions
+            .push(NamedDistribution::new("λ'=1", NegativeBinomial::new(1.0, 4.0).unwrap()));
+        block
+            .distributions
+            .push(NamedDistribution::new("λ'=2", NegativeBinomial::new(2.0, 4.0).unwrap()));
+        block.specs.push(OrderingSpec::paper_default());
+        block.rules.push(TruncationRule::Epsilon(1e-2));
+        block.rules.push(TruncationRule::Epsilon(1e-4));
+        let mut matrix = SweepMatrix::new();
+        matrix.add(block);
+        matrix
+    }
+
+    #[test]
+    fn chunking_groups_points_by_configuration() {
+        let matrix = small_matrix();
+        let chunks = chunks(&matrix);
+        // 2 systems × 1 spec × 1 conversion.
+        assert_eq!(chunks.len(), 2);
+        // Each chunk carries 2 distributions × 2 rules = 4 points.
+        assert_eq!(chunks[0].indices, vec![0, 1, 2, 3]);
+        assert_eq!(chunks[1].indices, vec![4, 5, 6, 7]);
+        assert_eq!(chunks[0].system.name, "F2a");
+        assert_eq!(chunks[1].system.name, "F2b");
+    }
+
+    #[test]
+    fn parallel_run_matches_single_worker_bit_for_bit() {
+        let matrix = small_matrix();
+        let serial = matrix.run(1);
+        assert_eq!(serial.summary.threads, 1);
+        assert_eq!(serial.summary.points, 8);
+        assert_eq!(serial.summary.chunks, 2);
+        assert_eq!(serial.summary.failed_points, 0);
+        for threads in [2, 4] {
+            let parallel = matrix.run(threads);
+            assert_eq!(parallel.summary.threads, 2, "clamped to the chunk count");
+            for (a, b) in serial.points.iter().zip(&parallel.points) {
+                assert_eq!(a.labels, b.labels);
+                let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+                assert_eq!(
+                    ra.yield_lower_bound.to_bits(),
+                    rb.yield_lower_bound.to_bits(),
+                    "{}",
+                    a.labels
+                );
+                assert_eq!(ra.truncation, rb.truncation);
+                assert_eq!(ra.compiled_truncation, rb.compiled_truncation);
+                assert_eq!(ra.coded_robdd_size, rb.coded_robdd_size);
+                assert_eq!(ra.romdd_size, rb.romdd_size);
+            }
+            // The aggregate kernel statistics are deterministic too.
+            assert_eq!(serial.summary.robdd, parallel.summary.robdd);
+            assert_eq!(serial.summary.romdd, parallel.summary.romdd);
+        }
+    }
+
+    #[test]
+    fn run_matches_a_serial_pipeline_sweep() {
+        let matrix = small_matrix();
+        let outcome = matrix.run(2);
+        let reports = outcome.reports().unwrap();
+        // Reference: one serial Pipeline::sweep per (system, spec) chunk.
+        let lethal1 = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let lethal2 = NegativeBinomial::new(2.0, 4.0).unwrap();
+        let spec = OrderingSpec::paper_default();
+        let system = figure2("F2a");
+        let mut pipeline = Pipeline::new(&system.fault_tree, &system.components).unwrap();
+        let points = [(1e-2, &lethal1), (1e-4, &lethal1), (1e-2, &lethal2), (1e-4, &lethal2)].map(
+            |(epsilon, lethal)| SweepPoint {
+                lethal: lethal as &dyn DefectDistribution,
+                options: TruncationRule::Epsilon(epsilon)
+                    .options(spec, ConversionAlgorithm::TopDown),
+            },
+        );
+        let reference = pipeline.sweep(points).unwrap();
+        for (swept, reference) in reports.iter().zip(&reference) {
+            assert_eq!(swept.yield_lower_bound.to_bits(), reference.yield_lower_bound.to_bits());
+            assert_eq!(swept.truncation, reference.truncation);
+            assert_eq!(swept.compiled_truncation, reference.compiled_truncation);
+            assert_eq!(swept.coded_robdd_size, reference.coded_robdd_size);
+            assert_eq!(swept.robdd_peak, reference.robdd_peak);
+            assert_eq!(swept.romdd_size, reference.romdd_size);
+        }
+    }
+
+    #[test]
+    fn failed_chunks_surface_per_point_errors_deterministically() {
+        let mut matrix = small_matrix();
+        // A block whose rule is unreachable: the sub-stochastic empirical
+        // distribution can never accumulate 1 − 1e-12 of mass, so the
+        // truncation selection fails.
+        let mut bad = SweepBlock::new();
+        bad.systems.push(figure2("BAD"));
+        bad.distributions.push(NamedDistribution::new(
+            "sub-stochastic",
+            socy_defect::Empirical::new(vec![0.5, 0.3]).unwrap(),
+        ));
+        bad.specs.push(OrderingSpec::paper_default());
+        bad.rules.push(TruncationRule::Epsilon(1e-12));
+        matrix.add(bad);
+        let outcome = matrix.run(3);
+        assert_eq!(outcome.summary.failed_points, 1);
+        assert_eq!(outcome.summary.points, 9);
+        let failed = &outcome.points[8];
+        let err = failed.result.as_ref().unwrap_err();
+        assert!(err.point.contains("BAD"), "{err}");
+        // reports()/into_reports() surface the earliest failure.
+        assert_eq!(outcome.reports().unwrap_err(), *err);
+        assert_eq!(outcome.clone().into_reports().unwrap_err(), *err);
+        // The healthy points are unaffected.
+        assert!(outcome.points[..8].iter().all(|p| p.result.is_ok()));
+    }
+
+    #[test]
+    fn worker_accounting_covers_all_chunks() {
+        let matrix = small_matrix();
+        let outcome = matrix.run(2);
+        let workers = &outcome.summary.workers;
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers.iter().map(|w| w.chunks).sum::<usize>(), 2);
+        assert_eq!(workers.iter().map(|w| w.points).sum::<usize>(), 8);
+        assert!(outcome.summary.busy_time >= workers[0].busy.max(workers[1].busy));
+        assert!(outcome.summary.robdd.peak_nodes_max > 0);
+        assert!(outcome.summary.robdd.cache_hit_rate() > 0.0);
+        assert!(outcome.summary.compile_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn effective_thread_resolution() {
+        assert_eq!(effective_threads(3, 10), 3);
+        assert_eq!(effective_threads(16, 4), 4);
+        assert_eq!(effective_threads(5, 0), 1);
+        assert!(effective_threads(0, usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn empty_matrix_runs_to_an_empty_outcome() {
+        let matrix = SweepMatrix::new();
+        let outcome = matrix.run(4);
+        assert!(outcome.points.is_empty());
+        assert_eq!(outcome.summary.points, 0);
+        assert_eq!(outcome.summary.chunks, 0);
+        assert_eq!(outcome.summary.threads, 1);
+    }
+}

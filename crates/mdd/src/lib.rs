@@ -53,3 +53,10 @@ pub mod prob;
 
 pub use coded::{CodedLayout, MvVarLayout};
 pub use manager::{MddId, MddManager};
+
+// Each parallel sweep worker (socy-exec) owns private managers; assert
+// the thread bounds the executor relies on (see socy-dd for rationale).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MddManager>();
+};

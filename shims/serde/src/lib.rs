@@ -44,6 +44,58 @@ impl Value {
         out
     }
 
+    /// Looks up a key in an object; `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields of an object, or `None` for non-objects.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Any numeric payload widened to `f64`; `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer payload, or `None` otherwise.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -255,5 +307,26 @@ mod tests {
     fn integral_floats_keep_a_decimal_point() {
         assert_eq!(Value::Float(1.0).to_pretty_string(), "1.0");
         assert_eq!(Value::Float(0.5).to_pretty_string(), "0.5");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let doc = Value::Object(vec![
+            ("name".to_string(), Value::String("MS2".to_string())),
+            ("count".to_string(), Value::UInt(3)),
+            ("delta".to_string(), Value::Int(-2)),
+            ("yield".to_string(), Value::Float(0.25)),
+            ("rows".to_string(), Value::Array(vec![Value::UInt(1), Value::UInt(2)])),
+        ]);
+        assert_eq!(doc.get("name").and_then(Value::as_str), Some("MS2"));
+        assert_eq!(doc.get("count").and_then(Value::as_u64), Some(3));
+        assert_eq!(doc.get("delta").and_then(Value::as_u64), None);
+        assert_eq!(doc.get("delta").and_then(Value::as_f64), Some(-2.0));
+        assert_eq!(doc.get("yield").and_then(Value::as_f64), Some(0.25));
+        assert_eq!(doc.get("rows").and_then(Value::as_array).map(<[Value]>::len), Some(2));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.as_object().map(<[(String, Value)]>::len), Some(5));
+        assert_eq!(Value::Null.get("name"), None);
+        assert_eq!(Value::Null.as_array(), None);
     }
 }

@@ -16,6 +16,7 @@
 //! | [`mdd`] | `socy-mdd` | ROMDD engine + coded-ROBDD conversion |
 //! | [`ordering`] | `socy-ordering` | variable-ordering heuristics |
 //! | [`core`] | `soc-yield-core` | the combinatorial yield method |
+//! | [`exec`] | `socy-exec` | parallel design-space sweep executor |
 //! | [`sim`] | `socy-sim` | Monte-Carlo yield simulation baseline |
 //! | [`benchmarks`] | `socy-benchmarks` | the MSn / ESEN benchmark generators |
 //!
@@ -54,6 +55,7 @@ pub use socy_bdd as bdd;
 pub use socy_benchmarks as benchmarks;
 pub use socy_dd as dd;
 pub use socy_defect as defect;
+pub use socy_exec as exec;
 pub use socy_faulttree as faulttree;
 pub use socy_mdd as mdd;
 pub use socy_ordering as ordering;
@@ -65,5 +67,9 @@ pub use soc_yield_core::{
 };
 pub use socy_dd::{GcStats, SiftConfig, SiftOutcome};
 pub use socy_defect::{ComponentProbabilities, DefectDistribution, NegativeBinomial, Poisson};
+pub use socy_exec::{
+    NamedDistribution, SweepBlock, SweepMatrix, SweepOutcome, SweepSummary, SystemSpec,
+    TruncationRule,
+};
 pub use socy_faulttree::Netlist;
 pub use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec, StaticOrdering};

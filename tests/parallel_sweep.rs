@@ -1,0 +1,255 @@
+//! Integration tests of the parallel sweep engine: parallel execution
+//! must be **bit-identical** to serial execution — same yields (to the
+//! last bit), same node counts, same truncations, same report ordering —
+//! for every worker count.
+//!
+//! The CI test job runs these under `SOCY_TEST_THREADS ∈ {1, 4}`, so the
+//! single-thread and multi-thread executor paths are both exercised on
+//! every PR; the env var adds a thread count to the compared set.
+
+use proptest::prelude::*;
+
+use soc_yield::defect::{ComponentProbabilities, NegativeBinomial};
+use soc_yield::ordering::{GroupOrdering, MvOrdering};
+use soc_yield::{
+    DefectDistribution, NamedDistribution, Netlist, OrderingSpec, Pipeline, SweepBlock,
+    SweepMatrix, SweepOutcome, SystemSpec, TruncationRule,
+};
+use soc_yield_core::SweepPoint;
+
+/// Thread counts to compare: 1, 2, 8, plus CI's `SOCY_TEST_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8];
+    if let Some(n) = std::env::var("SOCY_TEST_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if !counts.contains(&n) && n > 0 {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// F = x1·x2 + x3 (Figure 2 of the paper).
+fn figure2(name: &str) -> SystemSpec {
+    let mut nl = Netlist::new();
+    let x1 = nl.input("x1");
+    let x2 = nl.input("x2");
+    let x3 = nl.input("x3");
+    let a = nl.and([x1, x2]);
+    let f = nl.or([a, x3]);
+    nl.set_output(f);
+    SystemSpec::new(name, nl, ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap())
+}
+
+/// Triple-modular-redundant system: fails when ≥ 2 of 3 replicas fail.
+fn tmr(name: &str) -> SystemSpec {
+    let mut nl = Netlist::new();
+    let a = nl.input("a");
+    let b = nl.input("b");
+    let c = nl.input("c");
+    let vote = nl.at_least(2, [a, b, c]);
+    nl.set_output(vote);
+    SystemSpec::new(name, nl, ComponentProbabilities::new(vec![1.0 / 3.0; 3]).unwrap())
+}
+
+fn assert_bit_identical(serial: &SweepOutcome, parallel: &SweepOutcome, context: &str) {
+    assert_eq!(serial.points.len(), parallel.points.len(), "{context}: point counts");
+    for (s, p) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(s.labels, p.labels, "{context}: report ordering must not depend on threads");
+        match (&s.result, &p.result) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(
+                    s.yield_lower_bound.to_bits(),
+                    p.yield_lower_bound.to_bits(),
+                    "{context}: yield must be bit-identical"
+                );
+                assert_eq!(s.error_bound.to_bits(), p.error_bound.to_bits(), "{context}");
+                assert_eq!(s.truncation, p.truncation, "{context}");
+                assert_eq!(s.compiled_truncation, p.compiled_truncation, "{context}");
+                assert_eq!(s.coded_robdd_size, p.coded_robdd_size, "{context}");
+                assert_eq!(s.presift_robdd_size, p.presift_robdd_size, "{context}");
+                assert_eq!(s.robdd_peak, p.robdd_peak, "{context}");
+                assert_eq!(s.romdd_size, p.romdd_size, "{context}");
+                assert_eq!(s.robdd_stats, p.robdd_stats, "{context}");
+                assert_eq!(s.romdd_stats, p.romdd_stats, "{context}");
+            }
+            (Err(s), Err(p)) => assert_eq!(s, p, "{context}: errors must be deterministic"),
+            (s, p) => panic!(
+                "{context}: serial ok={} but parallel ok={} at {}",
+                s.is_ok(),
+                p.is_ok(),
+                serial.points.len()
+            ),
+        }
+    }
+    assert_eq!(serial.summary.robdd, parallel.summary.robdd, "{context}");
+    assert_eq!(serial.summary.romdd, parallel.summary.romdd, "{context}");
+    assert_eq!(serial.summary.chunks, parallel.summary.chunks, "{context}");
+    assert_eq!(serial.summary.failed_points, parallel.summary.failed_points, "{context}");
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial_across_systems_and_specs() {
+    let mut block = SweepBlock::new();
+    block.systems.push(figure2("figure2"));
+    block.systems.push(tmr("tmr"));
+    block
+        .distributions
+        .push(NamedDistribution::new("λ'=1", NegativeBinomial::new(1.0, 4.0).unwrap()));
+    block
+        .distributions
+        .push(NamedDistribution::new("λ'=2", NegativeBinomial::new(2.0, 4.0).unwrap()));
+    block.specs.push(OrderingSpec::paper_default());
+    block.specs.push(OrderingSpec::new(MvOrdering::Wv, GroupOrdering::LsbFirst).unwrap());
+    block.rules.extend([
+        TruncationRule::Epsilon(1e-2),
+        TruncationRule::Epsilon(1e-4),
+        TruncationRule::Fixed(4),
+    ]);
+    let mut matrix = SweepMatrix::new();
+    matrix.add(block);
+    assert_eq!(matrix.len(), 24);
+
+    let serial = matrix.run(1);
+    assert_eq!(serial.summary.points, 24);
+    assert_eq!(serial.summary.chunks, 4);
+    assert_eq!(serial.summary.failed_points, 0);
+    for threads in thread_counts() {
+        let parallel = matrix.run(threads);
+        assert_bit_identical(&serial, &parallel, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn engine_reports_match_direct_pipeline_sweeps() {
+    // The engine's contract: each (system, spec) chunk behaves exactly
+    // like a serial Pipeline::sweep over the chunk's points.
+    let system = figure2("figure2");
+    let lethal1 = NegativeBinomial::new(1.0, 4.0).unwrap();
+    let lethal2 = NegativeBinomial::new(2.0, 4.0).unwrap();
+    let specs = [OrderingSpec::paper_default(), OrderingSpec::paper_default().with_sifting(150)];
+    let rules = [TruncationRule::Epsilon(1e-2), TruncationRule::Epsilon(1e-3)];
+
+    let mut block = SweepBlock::new();
+    block.systems.push(system.clone());
+    block.distributions.push(NamedDistribution::new("λ'=1", lethal1));
+    block.distributions.push(NamedDistribution::new("λ'=2", lethal2));
+    block.specs.extend(specs);
+    block.rules.extend(rules);
+    let mut matrix = SweepMatrix::new();
+    matrix.add(block);
+    let outcome = matrix.run(8);
+    let engine_reports = outcome.reports().unwrap();
+
+    for (which, &spec) in specs.iter().enumerate() {
+        let mut pipeline = Pipeline::new(&system.fault_tree, &system.components).unwrap();
+        let points = [
+            (&lethal1, rules[0]),
+            (&lethal1, rules[1]),
+            (&lethal2, rules[0]),
+            (&lethal2, rules[1]),
+        ]
+        .map(|(lethal, rule)| SweepPoint {
+            lethal: lethal as &dyn DefectDistribution,
+            options: rule.options(spec, Default::default()),
+        });
+        let reference = pipeline.sweep(points).unwrap();
+        // Matrix order interleaves specs within each distribution:
+        // engine point (dist d, spec s, rule r) sits at d*4 + s*2 + r.
+        for (d, chunk_of_two) in reference.chunks(2).enumerate() {
+            for (r, reference) in chunk_of_two.iter().enumerate() {
+                let engine = engine_reports[d * 4 + which * 2 + r];
+                assert_eq!(
+                    engine.yield_lower_bound.to_bits(),
+                    reference.yield_lower_bound.to_bits()
+                );
+                assert_eq!(engine.truncation, reference.truncation);
+                assert_eq!(engine.compiled_truncation, reference.compiled_truncation);
+                assert_eq!(engine.coded_robdd_size, reference.coded_robdd_size);
+                assert_eq!(engine.presift_robdd_size, reference.presift_robdd_size);
+                assert_eq!(engine.robdd_peak, reference.robdd_peak);
+                assert_eq!(engine.romdd_size, reference.romdd_size);
+            }
+        }
+    }
+}
+
+/// Random fault tree over `c` components (same generator family as
+/// `property_based.rs`).
+fn arb_system(max_components: usize) -> impl Strategy<Value = SystemSpec> {
+    (2..=max_components, 1usize..5, any::<u64>()).prop_map(|(c, gates, seed)| {
+        let mut nl = Netlist::new();
+        let mut nodes: Vec<_> = (0..c).map(|i| nl.input(format!("x{i}"))).collect();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..gates {
+            let arity = 2 + (next() % 2) as usize;
+            let fanin: Vec<_> =
+                (0..arity).map(|_| nodes[(next() % nodes.len() as u64) as usize]).collect();
+            let gate = match next() % 3 {
+                0 => nl.and(fanin),
+                1 => nl.or(fanin),
+                _ => {
+                    let inner = nl.or(fanin);
+                    nl.not(inner)
+                }
+            };
+            nodes.push(gate);
+        }
+        let out = *nodes.last().expect("non-empty");
+        nl.set_output(out);
+        let components = ComponentProbabilities::new(vec![1.0 / c as f64; c]).unwrap();
+        SystemSpec::new(format!("random-{seed:x}"), nl, components)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Over random matrices — random systems, distributions, specs and
+    /// rules — parallel execution with 2 and 8 workers is bit-identical
+    /// to the single-worker run: yields, node counts, peaks, statistics
+    /// and report ordering.
+    #[test]
+    fn random_matrices_are_thread_count_invariant(
+        systems in proptest::collection::vec(arb_system(4), 1..3),
+        lambdas in proptest::collection::vec(0.3f64..2.0, 1..3),
+        alpha in 0.5f64..8.0,
+        epsilon_exp in 1u32..5,
+        fixed_m in 1usize..5,
+        second_spec in 0usize..3,
+    ) {
+        let mut block = SweepBlock::new();
+        for system in systems {
+            block.systems.push(system);
+        }
+        for (i, &lambda) in lambdas.iter().enumerate() {
+            block.distributions.push(NamedDistribution::new(
+                format!("λ'={i}"),
+                NegativeBinomial::new(lambda, alpha).unwrap(),
+            ));
+        }
+        block.specs.push(OrderingSpec::paper_default());
+        let second = [
+            OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).unwrap(),
+            OrderingSpec::new(MvOrdering::Wvr, GroupOrdering::LsbFirst).unwrap(),
+            OrderingSpec::new(MvOrdering::Topology, GroupOrdering::MsbFirst).unwrap(),
+        ][second_spec];
+        block.specs.push(second);
+        block.rules.push(TruncationRule::Epsilon(10f64.powi(-(epsilon_exp as i32))));
+        block.rules.push(TruncationRule::Fixed(fixed_m));
+        let mut matrix = SweepMatrix::new();
+        matrix.add(block);
+
+        let serial = matrix.run(1);
+        prop_assert_eq!(serial.summary.threads, 1);
+        for threads in [2usize, 8] {
+            let parallel = matrix.run(threads);
+            assert_bit_identical(&serial, &parallel, &format!("threads={threads}"));
+        }
+    }
+}
