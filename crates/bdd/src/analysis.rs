@@ -39,7 +39,7 @@ impl BddManager {
     /// Fraction of the `2^num_levels` assignments that satisfy `f`
     /// (the satisfying-assignment count normalised to a probability; equal
     /// to [`BddManager::probability`] with all probabilities ½).
-    pub fn satisfying_fraction(&self, f: BddId) -> f64 {
+    pub fn satisfying_fraction(&mut self, f: BddId) -> f64 {
         let probs = vec![0.5; self.num_levels()];
         self.probability(f, &probs)
     }
@@ -55,7 +55,7 @@ impl BddManager {
     ///
     /// Panics if `probabilities` is shorter than the number of levels in
     /// the support of `f`.
-    pub fn probability(&self, f: BddId, probabilities: &[f64]) -> f64 {
+    pub fn probability(&mut self, f: BddId, probabilities: &[f64]) -> f64 {
         // Variables skipped between a node and its children contribute a factor
         // of (p + (1-p)) = 1, so the kernel can ignore them.
         self.dd.probability(f.0, |level, value| {
@@ -70,7 +70,7 @@ impl BddManager {
     /// Counts the satisfying assignments of `f` over all `num_levels`
     /// variables (as an `f64`, since counts can exceed `u64` for very wide
     /// managers).
-    pub fn sat_count(&self, f: BddId) -> f64 {
+    pub fn sat_count(&mut self, f: BddId) -> f64 {
         self.satisfying_fraction(f) * 2f64.powi(self.num_levels() as i32)
     }
 
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn probability_terminal_cases() {
-        let mgr = BddManager::new(2);
+        let mut mgr = BddManager::new(2);
         assert_eq!(mgr.probability(mgr.one(), &[0.1, 0.2]), 1.0);
         assert_eq!(mgr.probability(mgr.zero(), &[0.1, 0.2]), 0.0);
     }

@@ -3,6 +3,13 @@
 //! All binary operations use the classic Shannon-expansion `apply`
 //! algorithm with memoization keyed on the operand node pair, so the cost
 //! of an operation is bounded by the product of the operand sizes.
+//!
+//! The apply kernels are **iterative**: one explicit work-stack machine
+//! (see the private `Frame` type) drives NOT, the binary connectives and
+//! ITE, with the stack and result buffers living in a scratch arena owned by the
+//! manager — a netlist compilation issuing millions of operations reuses
+//! the same two allocations instead of paying call-frame and allocation
+//! churn per recursion.
 
 use crate::manager::{BddId, BddManager, TERMINAL_LEVEL};
 
@@ -13,26 +20,68 @@ const OP_XOR: u8 = 2;
 const OP_NOT: u8 = 3;
 const OP_ITE: u8 = 4;
 
+/// One unit of work of the iterative apply machine.
+///
+/// `Eval` asks for the result of `op(a, b, c)` (unary and binary
+/// operations ignore the unused operands); `Combine` fires once both
+/// cofactor results are on the result stack and builds the node at
+/// `top`, memoizing it under the frame's key.
+#[derive(Debug, Clone, Copy)]
+enum Frame {
+    Eval {
+        op: u8,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    /// Like `Eval`, but the terminal rules and the cache were already
+    /// probed (by the inline child resolution) — go straight to the
+    /// Shannon expansion without a second cache probe.
+    Expand {
+        op: u8,
+        a: u32,
+        b: u32,
+    },
+    Combine {
+        op: u8,
+        a: u32,
+        b: u32,
+        c: u32,
+        top: u32,
+    },
+    /// `Combine` whose high cofactor resolved inline at expansion time;
+    /// only the low result is pending on the result stack.
+    CombineHigh {
+        op: u8,
+        a: u32,
+        b: u32,
+        top: u32,
+        high: u32,
+    },
+}
+
+/// Outcome of trying to resolve a binary subproblem without a frame.
+enum Immediate {
+    /// Terminal rule or cache hit: the result is known.
+    Resolved(u32),
+    /// Genuinely new subproblem (cache already probed): expand it.
+    Expand,
+    /// Needs the full `Eval` treatment (XOR's NOT redirections).
+    Defer,
+}
+
+/// Reusable buffers of the apply machine (held by the manager so
+/// consecutive operations allocate nothing).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ApplyScratch {
+    frames: Vec<Frame>,
+    results: Vec<u32>,
+}
+
 impl BddManager {
     /// Logical negation.
     pub fn not(&mut self, f: BddId) -> BddId {
-        if f.is_zero() {
-            return BddId::ONE;
-        }
-        if f.is_one() {
-            return BddId::ZERO;
-        }
-        if let Some(r) = self.dd.cache_get((OP_NOT, f.0, f.0, 0)) {
-            return BddId(r);
-        }
-        let level = self.raw_level(f) as usize;
-        let low = self.low(f);
-        let high = self.high(f);
-        let nl = self.not(low);
-        let nh = self.not(high);
-        let r = self.mk(level, nl, nh);
-        self.dd.cache_insert((OP_NOT, f.0, f.0, 0), r.0);
-        r
+        self.run_apply(OP_NOT, f.0, f.0, 0)
     }
 
     /// Logical conjunction `f ∧ g`.
@@ -91,32 +140,7 @@ impl BddManager {
 
     /// If-then-else `ite(f, g, h) = f·g + f̄·h`.
     pub fn ite(&mut self, f: BddId, g: BddId, h: BddId) -> BddId {
-        // Terminal cases.
-        if f.is_one() {
-            return g;
-        }
-        if f.is_zero() {
-            return h;
-        }
-        if g == h {
-            return g;
-        }
-        if g.is_one() && h.is_zero() {
-            return f;
-        }
-        if let Some(r) = self.dd.cache_get((OP_ITE, f.0, g.0, h.0)) {
-            return BddId(r);
-        }
-        let top = self.raw_level(f).min(self.raw_level(g)).min(self.raw_level(h));
-        debug_assert_ne!(top, TERMINAL_LEVEL);
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (g0, g1) = self.cofactors_at(g, top);
-        let (h0, h1) = self.cofactors_at(h, top);
-        let low = self.ite(f0, g0, h0);
-        let high = self.ite(f1, g1, h1);
-        let r = self.mk(top as usize, low, high);
-        self.dd.cache_insert((OP_ITE, f.0, g.0, h.0), r.0);
-        r
+        self.run_apply(OP_ITE, f.0, g.0, h.0)
     }
 
     /// "At least `k` of the operands are true" (threshold / voter function).
@@ -183,68 +207,275 @@ impl BddManager {
     }
 
     fn binary(&mut self, op: u8, f: BddId, g: BddId) -> BddId {
-        // Terminal / trivial cases.
+        self.run_apply(op, f.0, g.0, 0)
+    }
+
+    /// The explicit-stack apply machine serving NOT, AND, OR, XOR and
+    /// ITE.
+    ///
+    /// The work stack holds [`Frame`]s; every `Eval` either resolves
+    /// immediately (terminal rule or cache hit) by pushing onto the
+    /// result stack, or expands into its two cofactor `Eval`s below a
+    /// `Combine` that later builds and memoizes the node. Both stacks
+    /// live in the manager's scratch arena and are reused across calls.
+    fn run_apply(&mut self, op: u8, a: u32, b: u32, c: u32) -> BddId {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.frames.is_empty() && scratch.results.is_empty());
+        scratch.frames.push(Frame::Eval { op, a, b, c });
+        while let Some(frame) = scratch.frames.pop() {
+            match frame {
+                Frame::Eval { op, a, b, c } => self.eval_step(op, a, b, c, &mut scratch),
+                Frame::Expand { op, a, b } => self.expand_binary(op, a, b, &mut scratch),
+                Frame::Combine { op, a, b, c, top } => {
+                    let high = scratch.results.pop().expect("high cofactor result");
+                    let low = scratch.results.pop().expect("low cofactor result");
+                    let r = self.dd.mk(top, &[low, high]);
+                    self.dd.cache_insert((op, a, b, c), r);
+                    scratch.results.push(r);
+                }
+                Frame::CombineHigh { op, a, b, top, high } => {
+                    let low = scratch.results.pop().expect("low cofactor result");
+                    let r = self.dd.mk(top, &[low, high]);
+                    self.dd.cache_insert((op, a, b, 0), r);
+                    scratch.results.push(r);
+                }
+            }
+        }
+        let result = scratch.results.pop().expect("the root frame pushed a result");
+        debug_assert!(scratch.results.is_empty());
+        self.scratch = scratch;
+        BddId(result)
+    }
+
+    /// One `Eval` step: terminal rules, cache probe, or expansion.
+    fn eval_step(&mut self, op: u8, a: u32, b: u32, c: u32, scratch: &mut ApplyScratch) {
+        let (f, g, h) = (BddId(a), BddId(b), BddId(c));
+        if op == OP_NOT {
+            if f.is_zero() {
+                scratch.results.push(socy_dd::ONE);
+                return;
+            }
+            if f.is_one() {
+                scratch.results.push(socy_dd::ZERO);
+                return;
+            }
+            if let Some(r) = self.dd.cache_get((OP_NOT, a, a, 0)) {
+                scratch.results.push(r);
+                return;
+            }
+            let top = self.raw_level(f);
+            let (lo, hi) = (self.low(f).0, self.high(f).0);
+            // NOT keys carry the operand twice, matching its cache key.
+            scratch.frames.push(Frame::Combine { op, a, b: a, c: 0, top });
+            scratch.frames.push(Frame::Eval { op, a: hi, b: hi, c: 0 });
+            scratch.frames.push(Frame::Eval { op, a: lo, b: lo, c: 0 });
+            return;
+        }
+        if op == OP_ITE {
+            if f.is_one() {
+                scratch.results.push(b);
+                return;
+            }
+            if f.is_zero() {
+                scratch.results.push(c);
+                return;
+            }
+            if g == h {
+                scratch.results.push(b);
+                return;
+            }
+            if g.is_one() && h.is_zero() {
+                scratch.results.push(a);
+                return;
+            }
+            if let Some(r) = self.dd.cache_get((OP_ITE, a, b, c)) {
+                scratch.results.push(r);
+                return;
+            }
+            let top = self.raw_level(f).min(self.raw_level(g)).min(self.raw_level(h));
+            debug_assert_ne!(top, TERMINAL_LEVEL);
+            let (f0, f1) = self.cofactors_at(f, top);
+            let (g0, g1) = self.cofactors_at(g, top);
+            let (h0, h1) = self.cofactors_at(h, top);
+            scratch.frames.push(Frame::Combine { op, a, b, c, top });
+            scratch.frames.push(Frame::Eval { op, a: f1.0, b: g1.0, c: h1.0 });
+            scratch.frames.push(Frame::Eval { op, a: f0.0, b: g0.0, c: h0.0 });
+            return;
+        }
+        // Binary connectives: terminal / trivial rules first.
         match op {
             OP_AND => {
                 if f.is_zero() || g.is_zero() {
-                    return BddId::ZERO;
+                    scratch.results.push(socy_dd::ZERO);
+                    return;
                 }
                 if f.is_one() {
-                    return g;
+                    scratch.results.push(b);
+                    return;
                 }
                 if g.is_one() {
-                    return f;
+                    scratch.results.push(a);
+                    return;
                 }
                 if f == g {
-                    return f;
+                    scratch.results.push(a);
+                    return;
                 }
             }
             OP_OR => {
                 if f.is_one() || g.is_one() {
-                    return BddId::ONE;
+                    scratch.results.push(socy_dd::ONE);
+                    return;
                 }
                 if f.is_zero() {
-                    return g;
+                    scratch.results.push(b);
+                    return;
                 }
                 if g.is_zero() {
-                    return f;
+                    scratch.results.push(a);
+                    return;
                 }
                 if f == g {
-                    return f;
+                    scratch.results.push(a);
+                    return;
                 }
             }
             OP_XOR => {
                 if f.is_zero() {
-                    return g;
+                    scratch.results.push(b);
+                    return;
                 }
                 if g.is_zero() {
-                    return f;
+                    scratch.results.push(a);
+                    return;
                 }
                 if f == g {
-                    return BddId::ZERO;
+                    scratch.results.push(socy_dd::ZERO);
+                    return;
                 }
                 if f.is_one() {
-                    return self.not(g);
+                    // ¬g, evaluated by the same machine.
+                    scratch.frames.push(Frame::Eval { op: OP_NOT, a: b, b, c: 0 });
+                    return;
                 }
                 if g.is_one() {
-                    return self.not(f);
+                    scratch.frames.push(Frame::Eval { op: OP_NOT, a, b: a, c: 0 });
+                    return;
                 }
             }
             _ => unreachable!("unknown binary op"),
         }
-        // Commutative operations: normalise the operand order for better cache hit rates.
-        let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(r) = self.dd.cache_get((op, a.0, b.0, 0)) {
-            return BddId(r);
+        // Commutative operations: normalise the operand order for better
+        // cache hit rates.
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(r) = self.dd.cache_get((op, x, y, 0)) {
+            scratch.results.push(r);
+            return;
         }
-        let top = self.raw_level(a).min(self.raw_level(b));
-        let (a0, a1) = self.cofactors_at(a, top);
-        let (b0, b1) = self.cofactors_at(b, top);
-        let low = self.binary(op, a0, b0);
-        let high = self.binary(op, a1, b1);
-        let r = self.mk(top as usize, low, high);
-        self.dd.cache_insert((op, a.0, b.0, 0), r.0);
-        r
+        self.expand_binary(op, x, y, scratch);
+    }
+
+    /// Shannon expansion of a binary subproblem whose terminal rules and
+    /// cache probe already ran. Children that resolve immediately — by a
+    /// terminal rule or a cache hit — never become frames, so the common
+    /// mixed case costs one frame round-trip instead of three.
+    fn expand_binary(&mut self, op: u8, x: u32, y: u32, scratch: &mut ApplyScratch) {
+        // The connectives are commutative and keyed on the normalised
+        // pair; child subproblems arrive here unnormalised via
+        // `Frame::Expand`, so normalise again before keying the result.
+        let (x, y) = if x <= y { (x, y) } else { (y, x) };
+        let (f, g) = (BddId(x), BddId(y));
+        let top = self.raw_level(f).min(self.raw_level(g));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let low = self.immediate_binary(op, f0.0, g0.0);
+        let high = self.immediate_binary(op, f1.0, g1.0);
+        match (low, high) {
+            (Immediate::Resolved(lo), Immediate::Resolved(hi)) => {
+                let r = self.dd.mk(top, &[lo, hi]);
+                self.dd.cache_insert((op, x, y, 0), r);
+                scratch.results.push(r);
+            }
+            (Immediate::Resolved(lo), high) => {
+                scratch.frames.push(Frame::Combine { op, a: x, b: y, c: 0, top });
+                scratch.results.push(lo);
+                scratch.frames.push(match high {
+                    Immediate::Expand => Frame::Expand { op, a: f1.0, b: g1.0 },
+                    _ => Frame::Eval { op, a: f1.0, b: g1.0, c: 0 },
+                });
+            }
+            (low, Immediate::Resolved(hi)) => {
+                scratch.frames.push(Frame::CombineHigh { op, a: x, b: y, top, high: hi });
+                scratch.frames.push(match low {
+                    Immediate::Expand => Frame::Expand { op, a: f0.0, b: g0.0 },
+                    _ => Frame::Eval { op, a: f0.0, b: g0.0, c: 0 },
+                });
+            }
+            (low, high) => {
+                scratch.frames.push(Frame::Combine { op, a: x, b: y, c: 0, top });
+                scratch.frames.push(match high {
+                    Immediate::Expand => Frame::Expand { op, a: f1.0, b: g1.0 },
+                    _ => Frame::Eval { op, a: f1.0, b: g1.0, c: 0 },
+                });
+                scratch.frames.push(match low {
+                    Immediate::Expand => Frame::Expand { op, a: f0.0, b: g0.0 },
+                    _ => Frame::Eval { op, a: f0.0, b: g0.0, c: 0 },
+                });
+            }
+        }
+    }
+
+    /// Tries to resolve a binary subproblem without a frame: terminal /
+    /// trivial rules, then (operands normalised) one cache probe. The
+    /// `Expand` outcome means the probe missed — the caller must push an
+    /// [`Frame::Expand`], not an `Eval`, so the probe is not repeated.
+    fn immediate_binary(&mut self, op: u8, a: u32, b: u32) -> Immediate {
+        let (f, g) = (BddId(a), BddId(b));
+        match op {
+            OP_AND => {
+                if f.is_zero() || g.is_zero() {
+                    return Immediate::Resolved(socy_dd::ZERO);
+                }
+                if f.is_one() {
+                    return Immediate::Resolved(b);
+                }
+                if g.is_one() || f == g {
+                    return Immediate::Resolved(a);
+                }
+            }
+            OP_OR => {
+                if f.is_one() || g.is_one() {
+                    return Immediate::Resolved(socy_dd::ONE);
+                }
+                if f.is_zero() {
+                    return Immediate::Resolved(b);
+                }
+                if g.is_zero() || f == g {
+                    return Immediate::Resolved(a);
+                }
+            }
+            OP_XOR => {
+                if f.is_zero() {
+                    return Immediate::Resolved(b);
+                }
+                if g.is_zero() {
+                    return Immediate::Resolved(a);
+                }
+                if f == g {
+                    return Immediate::Resolved(socy_dd::ZERO);
+                }
+                if f.is_one() || g.is_one() {
+                    // Redirects to NOT: needs the full Eval treatment.
+                    return Immediate::Defer;
+                }
+            }
+            _ => unreachable!("unknown binary op"),
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        match self.dd.cache_get((op, x, y, 0)) {
+            Some(r) => Immediate::Resolved(r),
+            None => Immediate::Expand,
+        }
     }
 
     /// The cofactors of `f` with respect to the variable at raw level `top`

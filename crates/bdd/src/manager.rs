@@ -64,12 +64,27 @@ pub(crate) const TERMINAL_LEVEL: u32 = socy_dd::TERMINAL_LEVEL;
 #[derive(Debug, Clone)]
 pub struct BddManager {
     pub(crate) dd: DdKernel,
+    /// Reusable stacks of the iterative apply machine (see
+    /// [`crate::apply`]).
+    pub(crate) scratch: crate::apply::ApplyScratch,
 }
 
 impl BddManager {
     /// Creates a manager over `num_levels` boolean variable levels.
     pub fn new(num_levels: usize) -> Self {
-        Self { dd: DdKernel::new(vec![2; num_levels]) }
+        Self { dd: DdKernel::new(vec![2; num_levels]), scratch: Default::default() }
+    }
+
+    /// Creates a manager whose operation cache starts with `capacity`
+    /// slots and may grow up to `max_capacity` (both rounded to powers of
+    /// two; equal bounds pin the size). The cache is lossy, so any
+    /// capacity — even 1 — produces identical diagrams; smaller caches
+    /// only recompute more.
+    pub fn with_cache_capacity(num_levels: usize, capacity: usize, max_capacity: usize) -> Self {
+        Self {
+            dd: DdKernel::with_cache_capacity(vec![2; num_levels], capacity, max_capacity),
+            scratch: Default::default(),
+        }
     }
 
     /// The FALSE terminal.

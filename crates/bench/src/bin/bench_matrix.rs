@@ -118,10 +118,11 @@ fn main() {
         );
     }
     println!(
-        "{} · compile {:.3} s · robdd cache hit rate {:.1}% · gc runs {}",
+        "{} · compile {:.3} s · robdd cache hit {:.1}% evict {:.1}% · gc runs {}",
         summary_line(&outcome.summary),
         outcome.summary.compile_time.as_secs_f64(),
-        outcome.summary.robdd.cache_hit_rate() * 100.0,
+        outcome.summary.robdd.cache_hit_percent(),
+        outcome.summary.robdd.cache_evict_percent(),
         outcome.summary.robdd.gc_runs,
     );
     // Write the artifact even when points failed: CI's `if: always()`

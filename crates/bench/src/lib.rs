@@ -121,6 +121,14 @@ pub struct ResultRow {
     pub robdd_cache_hits: u64,
     /// ROBDD operation-cache misses during the build.
     pub robdd_cache_misses: u64,
+    /// ROBDD operation-cache evictions (lossy direct-mapped conflicts)
+    /// during the build.
+    pub robdd_cache_evictions: u64,
+    /// ROBDD operation-cache hit rate of the build, in percent.
+    pub robdd_cache_hit_percent: f64,
+    /// ROBDD operation-cache evict rate (evictions per insertion) of the
+    /// build, in percent.
+    pub robdd_cache_evict_percent: f64,
     /// Wall-clock seconds of this row's evaluation. For rows produced by
     /// a sweep this **excludes** the compile, which
     /// [`compile_seconds`](ResultRow::compile_seconds) carries; for rows
@@ -151,6 +159,9 @@ impl ResultRow {
             robdd_unique_entries: report.robdd_stats.unique_entries,
             robdd_cache_hits: report.robdd_stats.op_cache_hits,
             robdd_cache_misses: report.robdd_stats.op_cache_misses,
+            robdd_cache_evictions: report.robdd_stats.op_cache_evictions,
+            robdd_cache_hit_percent: report.robdd_stats.op_cache_hit_rate_percent(),
+            robdd_cache_evict_percent: report.robdd_stats.op_cache_evict_rate_percent(),
             seconds: report.total_time.as_secs_f64(),
             compile_seconds: (report.robdd_time + report.conversion_time).as_secs_f64(),
         }
@@ -554,6 +565,15 @@ pub struct BenchSweepPoint {
     pub robdd_cache_hits: u64,
     /// ROBDD operation-cache misses of the compile.
     pub robdd_cache_misses: u64,
+    /// ROBDD operation-cache evictions of the compile (the cache is
+    /// lossy and direct-mapped; evictions cost recomputation, never
+    /// correctness).
+    pub robdd_cache_evictions: u64,
+    /// ROBDD operation-cache hit rate of the compile, in percent.
+    pub robdd_cache_hit_percent: f64,
+    /// ROBDD operation-cache evict rate (evictions per insertion) of the
+    /// compile, in percent.
+    pub robdd_cache_evict_percent: f64,
     /// Wall-clock seconds of this point's evaluation (volatile).
     pub seconds: f64,
 }
@@ -577,12 +597,20 @@ pub struct BenchSweepTotals {
     pub robdd_cache_hits: u64,
     /// ROBDD operation-cache misses across all compiles.
     pub robdd_cache_misses: u64,
+    /// ROBDD operation-cache evictions across all compiles.
+    pub robdd_cache_evictions: u64,
+    /// ROBDD operation-cache hit rate across all compiles, in percent.
+    pub robdd_cache_hit_percent: f64,
+    /// ROBDD operation-cache evict rate across all compiles, in percent.
+    pub robdd_cache_evict_percent: f64,
     /// ROBDD garbage collections across all compiles.
     pub robdd_gc_runs: u64,
     /// ROMDD operation-cache hits across all managers.
     pub romdd_cache_hits: u64,
     /// ROMDD operation-cache misses across all managers.
     pub romdd_cache_misses: u64,
+    /// ROMDD operation-cache evictions across all managers.
+    pub romdd_cache_evictions: u64,
     /// Wall-clock seconds of the whole run (volatile).
     pub wall_seconds: f64,
     /// Sum of the workers' busy seconds (volatile).
@@ -633,6 +661,9 @@ impl BenchSweepDoc {
                     romdd_size: report.romdd_size,
                     robdd_cache_hits: report.robdd_stats.op_cache_hits,
                     robdd_cache_misses: report.robdd_stats.op_cache_misses,
+                    robdd_cache_evictions: report.robdd_stats.op_cache_evictions,
+                    robdd_cache_hit_percent: report.robdd_stats.op_cache_hit_rate_percent(),
+                    robdd_cache_evict_percent: report.robdd_stats.op_cache_evict_rate_percent(),
                     seconds: report.total_time.as_secs_f64(),
                 })
             })
@@ -649,9 +680,13 @@ impl BenchSweepDoc {
                 robdd_peak_sum: summary.robdd.peak_nodes_sum,
                 robdd_cache_hits: summary.robdd.op_cache_hits,
                 robdd_cache_misses: summary.robdd.op_cache_misses,
+                robdd_cache_evictions: summary.robdd.op_cache_evictions,
+                robdd_cache_hit_percent: summary.robdd.cache_hit_percent(),
+                robdd_cache_evict_percent: summary.robdd.cache_evict_percent(),
                 robdd_gc_runs: summary.robdd.gc_runs,
                 romdd_cache_hits: summary.romdd.op_cache_hits,
                 romdd_cache_misses: summary.romdd.op_cache_misses,
+                romdd_cache_evictions: summary.romdd.op_cache_evictions,
                 wall_seconds: summary.wall_time.as_secs_f64(),
                 busy_seconds: summary.busy_time.as_secs_f64(),
                 compile_seconds: summary.compile_time.as_secs_f64(),

@@ -1,0 +1,206 @@
+//! Criterion micro-benchmarks of the DD kernel's three hot paths on
+//! ESEN-style workloads: unique-table churn, the op-cache hit /
+//! conflict / miss paths, and the iterative explicit-stack apply against
+//! a recursive reference implementation.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use socy_bdd::{BddId, BddManager};
+use socy_benchmarks::esen;
+use socy_dd::kernel::{DdKernel, ONE, ZERO};
+use socy_faulttree::{GateKind, Netlist};
+
+/// ESEN 4x2 fault tree (26 components) — a mid-size coded-ROBDD-style
+/// workload that compiles in well under a millisecond, so the bench loop
+/// stays tight.
+fn workload() -> Netlist {
+    esen(4, 2).fault_tree
+}
+
+/// Recursive reference apply (the pre-iterative shape of the kernel):
+/// Shannon expansion with a lossless `HashMap` memo keyed like the
+/// kernel's op cache.
+fn recursive_bin(
+    mgr: &mut BddManager,
+    op: u8,
+    f: BddId,
+    g: BddId,
+    memo: &mut HashMap<(u8, BddId, BddId), BddId>,
+) -> BddId {
+    match op {
+        0 => {
+            // AND
+            if f.is_zero() || g.is_zero() {
+                return mgr.zero();
+            }
+            if f.is_one() {
+                return g;
+            }
+            if g.is_one() || f == g {
+                return f;
+            }
+        }
+        _ => {
+            // OR
+            if f.is_one() || g.is_one() {
+                return mgr.one();
+            }
+            if f.is_zero() {
+                return g;
+            }
+            if g.is_zero() || f == g {
+                return f;
+            }
+        }
+    }
+    let (a, b) = if f <= g { (f, g) } else { (g, f) };
+    if let Some(&r) = memo.get(&(op, a, b)) {
+        return r;
+    }
+    let la = mgr.level(a).unwrap();
+    let lb = mgr.level(b).unwrap();
+    let top = la.min(lb);
+    let (a0, a1) = if la == top { (mgr.low(a), mgr.high(a)) } else { (a, a) };
+    let (b0, b1) = if lb == top { (mgr.low(b), mgr.high(b)) } else { (b, b) };
+    let low = recursive_bin(mgr, op, a0, b0, memo);
+    let high = recursive_bin(mgr, op, a1, b1, memo);
+    let r = mgr.mk(top, low, high);
+    memo.insert((op, a, b), r);
+    r
+}
+
+/// Compiles a netlist with the recursive reference apply (AND/OR plus
+/// the `at_least` voters of the ESEN trees, built with the same DP over
+/// partial counts the manager uses).
+fn recursive_build(mgr: &mut BddManager, netlist: &Netlist) -> BddId {
+    let mut memo = HashMap::new();
+    let mut results: Vec<BddId> = Vec::with_capacity(netlist.len());
+    for (id, gate) in netlist.iter() {
+        let value = match gate.kind {
+            GateKind::Input => {
+                let var = netlist.var_of(id).expect("input has a variable");
+                mgr.var(var.index())
+            }
+            GateKind::Const(c) => mgr.constant(c),
+            GateKind::And => {
+                let mut acc = mgr.one();
+                for f in &gate.fanin {
+                    acc = recursive_bin(mgr, 0, acc, results[f.index()], &mut memo);
+                }
+                acc
+            }
+            GateKind::Or => {
+                let mut acc = mgr.zero();
+                for f in &gate.fanin {
+                    acc = recursive_bin(mgr, 1, acc, results[f.index()], &mut memo);
+                }
+                acc
+            }
+            GateKind::AtLeast(k) => {
+                let k = k as usize;
+                let mut state = vec![mgr.zero(); k + 1];
+                state[0] = mgr.one();
+                for f in &gate.fanin {
+                    let op = results[f.index()];
+                    for j in (1..=k).rev() {
+                        let with_op = recursive_bin(mgr, 0, state[j - 1], op, &mut memo);
+                        state[j] = recursive_bin(mgr, 1, state[j], with_op, &mut memo);
+                    }
+                }
+                state[k]
+            }
+            _ => unreachable!("ESEN fault trees use AND/OR/AtLeast gates"),
+        };
+        results.push(value);
+    }
+    results[netlist.output().expect("has output").index()]
+}
+
+fn bench_unique_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_kernel");
+    group.sample_size(20);
+    // Unique-table churn: a bottom-up mk storm over mixed keys exercises
+    // probe chains, Robin Hood displacement and growth.
+    group.bench_function("unique_table_churn", |b| {
+        b.iter(|| {
+            let mut dd = DdKernel::new(vec![2; 24]);
+            let mut pool: Vec<u32> = vec![ZERO, ONE];
+            let mut state = 0x9e3779b97f4a7c15u64;
+            for level in (0..24u32).rev() {
+                for _ in 0..256 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let lo = pool[(state % pool.len() as u64) as usize];
+                    let hi = pool[((state >> 32) % pool.len() as u64) as usize];
+                    let node = dd.mk(level, &[lo, hi]);
+                    if node > ONE {
+                        pool.push(node);
+                    }
+                }
+            }
+            dd.stats().unique_entries
+        })
+    });
+    group.finish();
+}
+
+fn bench_op_cache_paths(c: &mut Criterion) {
+    let netlist = workload();
+    let mut group = c.benchmark_group("dd_kernel");
+    group.sample_size(20);
+
+    // Hit path: the compile ran once; re-running every gate operation
+    // resolves from the warm cache.
+    let mut warm = BddManager::new(netlist.num_inputs());
+    let order: Vec<usize> = (0..netlist.num_inputs()).collect();
+    let _ = warm.build_netlist(&netlist, &order);
+    group.bench_function("op_cache_hit_path", |b| {
+        b.iter(|| warm.build_netlist(&netlist, &order).size)
+    });
+
+    // Miss path: the cache is cleared before every compile, so every
+    // subproblem misses once (the unique table stays warm — this isolates
+    // the probe-and-recompute cost).
+    let mut cold = BddManager::new(netlist.num_inputs());
+    group.bench_function("op_cache_miss_path", |b| {
+        b.iter(|| {
+            cold.clear_op_caches();
+            cold.build_netlist(&netlist, &order).size
+        })
+    });
+
+    // Conflict path: a capacity-1 cache turns every insertion into an
+    // eviction, the worst case of the direct-mapped design.
+    let mut thrash = BddManager::with_cache_capacity(netlist.num_inputs(), 1, 1);
+    group.bench_function("op_cache_conflict_path", |b| {
+        b.iter(|| thrash.build_netlist(&netlist, &order).size)
+    });
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let netlist = workload();
+    let order: Vec<usize> = (0..netlist.num_inputs()).collect();
+    let mut group = c.benchmark_group("dd_kernel");
+    group.sample_size(20);
+    group.bench_function("apply_iterative", |b| {
+        b.iter(|| {
+            let mut mgr = BddManager::new(netlist.num_inputs());
+            mgr.build_netlist(&netlist, &order).size
+        })
+    });
+    group.bench_function("apply_recursive_reference", |b| {
+        b.iter(|| {
+            let mut mgr = BddManager::new(netlist.num_inputs());
+            let root = recursive_build(&mut mgr, &netlist);
+            mgr.node_count(root)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unique_table, bench_op_cache_paths, bench_apply);
+criterion_main!(benches);

@@ -241,7 +241,7 @@ impl CompiledModel {
     /// levels unreachable with probability 1 and reproduces `Y_M` of the
     /// smaller truncation exactly (up to summation order).
     fn evaluate(
-        &self,
+        &mut self,
         truncation: &Truncation,
         components: &ComponentProbabilities,
         start: Instant,

@@ -1,26 +1,51 @@
 //! The struct-of-arrays node arena.
 //!
 //! Nodes are addressed by dense `u32` ids; ids `0` and `1` are reserved
-//! for the FALSE and TRUE terminals. Every node stores its variable level
-//! and a range into one shared flat edge array, so a traversal touches
-//! three cache-friendly `Vec`s instead of chasing per-node allocations.
-//! The number of children of a node is a function of its level alone
-//! (2 everywhere for ROBDDs, the domain size for ROMDDs), which is what
-//! lets one arena serve both engines.
+//! for the FALSE and TRUE terminals. Every node stores a packed 16-byte
+//! header carrying its variable level and its children: nodes with at
+//! most two children — every node of a coded ROBDD — keep them **inline
+//! in the header**, so the hot paths (unique-table compares, cofactor
+//! reads, traversals) touch exactly one memory location per node; wider
+//! multi-valued nodes spill into one shared flat edge array. The number
+//! of children of a node is a function of its level alone (2 everywhere
+//! for ROBDDs, the domain size for ROMDDs), which is what lets one arena
+//! serve both engines.
 
 /// Level used internally for the two terminal nodes (greater than every
 /// variable level, so terminals sort below all variables).
 pub const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// Number of children stored inline in a node's header.
+const INLINE_CHILDREN: usize = 2;
+
+/// Per-node header, packed into 16 bytes. Nodes whose arity is at most
+/// [`INLINE_CHILDREN`] store their children in `inline` and never touch
+/// the edge array; wider nodes store the start of their children in
+/// `edge_offset`.
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    /// Level of the node (`TERMINAL_LEVEL` for the two terminals).
+    level: u32,
+    /// Start of the node's children in `edges` (wide nodes only).
+    edge_offset: u32,
+    /// The children themselves, for nodes of arity ≤ 2.
+    inline: [u32; INLINE_CHILDREN],
+}
+
+impl Meta {
+    #[inline]
+    fn new(level: u32) -> Self {
+        Self { level, edge_offset: 0, inline: [0; INLINE_CHILDREN] }
+    }
+}
 
 /// A struct-of-arrays arena of decision-diagram nodes.
 #[derive(Debug, Clone)]
 pub struct NodeArena {
     /// Number of children of a node at each level.
     arity: Vec<u32>,
-    /// Level of every node (`TERMINAL_LEVEL` for the two terminals).
-    levels: Vec<u32>,
-    /// Start of every node's children in `edges`.
-    edge_offset: Vec<u32>,
+    /// Packed per-node headers (level + edge offset).
+    meta: Vec<Meta>,
     /// Flattened children of all non-terminal nodes.
     edges: Vec<u32>,
 }
@@ -34,12 +59,7 @@ impl NodeArena {
     /// Panics if any arity is zero.
     pub fn new(arities: Vec<u32>) -> Self {
         assert!(arities.iter().all(|&a| a >= 1), "every level needs at least one child slot");
-        Self {
-            arity: arities,
-            levels: vec![TERMINAL_LEVEL; 2],
-            edge_offset: vec![0; 2],
-            edges: Vec::new(),
-        }
+        Self { arity: arities, meta: vec![Meta::new(TERMINAL_LEVEL); 2], edges: Vec::new() }
     }
 
     /// Number of variable levels.
@@ -63,7 +83,7 @@ impl NodeArena {
 
     /// Total number of nodes, including the two terminals.
     pub fn len(&self) -> usize {
-        self.levels.len()
+        self.meta.len()
     }
 
     /// Always false: the arena contains at least the terminals.
@@ -73,12 +93,12 @@ impl NodeArena {
 
     /// Raw level of a node (`TERMINAL_LEVEL` for terminals).
     pub fn raw_level(&self, id: u32) -> u32 {
-        self.levels[id as usize]
+        self.meta[id as usize].level
     }
 
     /// The level tested by a node, or `None` for terminals.
     pub fn level(&self, id: u32) -> Option<usize> {
-        let l = self.levels[id as usize];
+        let l = self.meta[id as usize].level;
         if l == TERMINAL_LEVEL {
             None
         } else {
@@ -88,12 +108,16 @@ impl NodeArena {
 
     /// The children of a node (empty for terminals).
     pub fn children(&self, id: u32) -> &[u32] {
-        let level = self.levels[id as usize];
-        if level == TERMINAL_LEVEL {
-            &[]
+        let meta = &self.meta[id as usize];
+        if meta.level == TERMINAL_LEVEL {
+            return &[];
+        }
+        let width = self.arity[meta.level as usize] as usize;
+        if width <= INLINE_CHILDREN {
+            &meta.inline[..width]
         } else {
-            let start = self.edge_offset[id as usize] as usize;
-            &self.edges[start..start + self.arity[level as usize] as usize]
+            let start = meta.edge_offset as usize;
+            &self.edges[start..start + width]
         }
     }
 
@@ -111,10 +135,15 @@ impl NodeArena {
     /// responsible for calling this at most once per key).
     pub(crate) fn push(&mut self, level: u32, children: &[u32]) -> u32 {
         debug_assert_eq!(children.len(), self.arity(level as usize), "arity mismatch at push");
-        let id = self.levels.len() as u32;
-        self.levels.push(level);
-        self.edge_offset.push(self.edges.len() as u32);
-        self.edges.extend_from_slice(children);
+        let id = self.meta.len() as u32;
+        let mut meta = Meta::new(level);
+        if children.len() <= INLINE_CHILDREN {
+            meta.inline[..children.len()].copy_from_slice(children);
+        } else {
+            meta.edge_offset = self.edges.len() as u32;
+            self.edges.extend_from_slice(children);
+        }
+        self.meta.push(meta);
         id
     }
 
@@ -122,7 +151,7 @@ impl NodeArena {
     /// the adjacent-level swap when a node merely changes position). The
     /// caller must ensure the child count matches the new level's arity.
     pub(crate) fn set_level(&mut self, id: u32, level: u32) {
-        self.levels[id as usize] = level;
+        self.meta[id as usize].level = level;
     }
 
     /// Swaps the arities of levels `l` and `l + 1` (the bookkeeping half of
@@ -137,9 +166,14 @@ impl NodeArena {
     /// it every parent reference — stays valid.
     pub(crate) fn set_node(&mut self, id: u32, level: u32, children: &[u32]) {
         debug_assert_eq!(children.len(), self.arity(level as usize), "arity mismatch at rewrite");
-        self.levels[id as usize] = level;
-        self.edge_offset[id as usize] = self.edges.len() as u32;
-        self.edges.extend_from_slice(children);
+        let mut meta = Meta::new(level);
+        if children.len() <= INLINE_CHILDREN {
+            meta.inline[..children.len()].copy_from_slice(children);
+        } else {
+            meta.edge_offset = self.edges.len() as u32;
+            self.edges.extend_from_slice(children);
+        }
+        self.meta[id as usize] = meta;
     }
 
     /// Compacts the arena to the nodes marked in `live`, renumbering the
@@ -153,9 +187,9 @@ impl NodeArena {
     /// after level swaps a parent can carry a *larger* id than a freshly
     /// hash-consed child, so a single increasing pass would be wrong.
     pub(crate) fn compact(&mut self, live: &[bool]) -> Vec<u32> {
-        debug_assert_eq!(live.len(), self.levels.len());
+        debug_assert_eq!(live.len(), self.meta.len());
         debug_assert!(live[0] && live[1], "terminals are always live");
-        let mut remap = vec![u32::MAX; self.levels.len()];
+        let mut remap = vec![u32::MAX; self.meta.len()];
         let mut next = 0u32;
         for (old, &alive) in live.iter().enumerate() {
             if alive {
@@ -163,28 +197,45 @@ impl NodeArena {
                 next += 1;
             }
         }
-        let mut levels = Vec::with_capacity(next as usize);
-        let mut edge_offset = Vec::with_capacity(next as usize);
+        let mut meta = Vec::with_capacity(next as usize);
         let mut edges = Vec::with_capacity(self.edges.len());
         for (old, &alive) in live.iter().enumerate() {
             if !alive {
                 continue;
             }
-            let level = self.levels[old];
-            levels.push(level);
-            edge_offset.push(edges.len() as u32);
+            let level = self.meta[old].level;
+            let mut new_meta = Meta::new(level);
             if level != TERMINAL_LEVEL {
-                let start = self.edge_offset[old] as usize;
                 let width = self.arity[level as usize] as usize;
-                for &child in &self.edges[start..start + width] {
-                    let new_child = remap[child as usize];
-                    debug_assert_ne!(new_child, u32::MAX, "live set must be closed under children");
-                    edges.push(new_child);
+                if width <= INLINE_CHILDREN {
+                    for (slot, &child) in
+                        new_meta.inline[..width].iter_mut().zip(&self.meta[old].inline[..width])
+                    {
+                        let new_child = remap[child as usize];
+                        debug_assert_ne!(
+                            new_child,
+                            u32::MAX,
+                            "live set must be closed under children"
+                        );
+                        *slot = new_child;
+                    }
+                } else {
+                    new_meta.edge_offset = edges.len() as u32;
+                    let start = self.meta[old].edge_offset as usize;
+                    for &child in &self.edges[start..start + width] {
+                        let new_child = remap[child as usize];
+                        debug_assert_ne!(
+                            new_child,
+                            u32::MAX,
+                            "live set must be closed under children"
+                        );
+                        edges.push(new_child);
+                    }
                 }
             }
+            meta.push(new_meta);
         }
-        self.levels = levels;
-        self.edge_offset = edge_offset;
+        self.meta = meta;
         self.edges = edges;
         remap
     }

@@ -3,8 +3,7 @@
 //! external root protection and the mark-and-sweep collector.
 
 use crate::arena::{NodeArena, TERMINAL_LEVEL};
-use crate::cache::{OpCache, OpKey};
-use crate::hash::FxHashMap;
+use crate::cache::{OpCache, OpKey, OpTagStats, NUM_OP_TAGS};
 use crate::unique::UniqueTable;
 
 /// Node id of the FALSE terminal.
@@ -30,10 +29,42 @@ pub struct DdStats {
     pub op_cache_hits: u64,
     /// Operation-cache lookups that missed.
     pub op_cache_misses: u64,
+    /// Operation-cache insertions (each completed miss inserts once).
+    pub op_cache_insertions: u64,
+    /// Operation-cache insertions that displaced a live entry of a
+    /// different key (the cache is lossy and direct-mapped; evicted
+    /// results are recomputed on demand, never wrong).
+    pub op_cache_evictions: u64,
+    /// Hit/miss/eviction counters broken down by operation tag (the
+    /// engines' `op` bytes index this array).
+    pub per_op: [OpTagStats; NUM_OP_TAGS],
     /// Number of garbage collections run so far.
     pub gc_runs: u64,
     /// Total nodes reclaimed across all collections.
     pub gc_reclaimed: u64,
+}
+
+impl DdStats {
+    /// Fraction of operation-cache lookups that hit, as a percentage in
+    /// `[0, 100]` (`0` when no lookups happened).
+    pub fn op_cache_hit_rate_percent(&self) -> f64 {
+        let total = self.op_cache_hits + self.op_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.op_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of operation-cache insertions that evicted a live entry,
+    /// as a percentage in `[0, 100]` (`0` when nothing was inserted).
+    pub fn op_cache_evict_rate_percent(&self) -> f64 {
+        if self.op_cache_insertions == 0 {
+            0.0
+        } else {
+            100.0 * self.op_cache_evictions as f64 / self.op_cache_insertions as f64
+        }
+    }
 }
 
 /// Outcome of one [`DdKernel::gc`] run.
@@ -43,10 +74,9 @@ pub struct GcStats {
     pub live_nodes: usize,
     /// Nodes reclaimed by the sweep.
     pub reclaimed_nodes: usize,
-    /// Operation-cache entries remapped to the compacted ids.
-    pub cache_entries_kept: usize,
-    /// Operation-cache entries dropped because they mentioned a reclaimed
-    /// node.
+    /// Operation-cache entries invalidated by the collection's generation
+    /// bump (the sweep renumbers node ids, so every memoized result keyed
+    /// on old ids must die; the bump retires them all in O(1)).
     pub cache_entries_dropped: usize,
 }
 
@@ -126,6 +156,21 @@ pub struct DdKernel {
     peak_snapshot: usize,
     gc_runs: u64,
     gc_reclaimed: u64,
+    /// Reusable buffers of the memoized probability traversal, so a
+    /// design-space sweep evaluating thousands of points on one diagram
+    /// allocates nothing per point.
+    prob: ProbScratch,
+}
+
+/// Scratch of [`DdKernel::probability`]: a dense per-node value array
+/// validated by epoch stamps (no clearing between evaluations) plus the
+/// explicit traversal stack.
+#[derive(Debug, Clone, Default)]
+struct ProbScratch {
+    values: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
 }
 
 impl DdKernel {
@@ -136,15 +181,32 @@ impl DdKernel {
     ///
     /// Panics if any arity is zero.
     pub fn new(arities: Vec<u32>) -> Self {
+        Self::with_op_cache(arities, OpCache::default())
+    }
+
+    /// Creates a kernel whose operation cache starts with `capacity`
+    /// slots and may grow up to `max_capacity` under sustained conflict
+    /// pressure (both rounded to powers of two; pass `capacity ==
+    /// max_capacity` to pin the size). See [`OpCache::with_capacity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arity is zero.
+    pub fn with_cache_capacity(arities: Vec<u32>, capacity: usize, max_capacity: usize) -> Self {
+        Self::with_op_cache(arities, OpCache::with_capacity(capacity, max_capacity))
+    }
+
+    fn with_op_cache(arities: Vec<u32>, op_cache: OpCache) -> Self {
         Self {
             arena: NodeArena::new(arities),
             unique: UniqueTable::default(),
-            op_cache: OpCache::default(),
+            op_cache,
             roots: Vec::new(),
             free_root_slots: Vec::new(),
             peak_snapshot: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
+            prob: ProbScratch::default(),
         }
     }
 
@@ -232,9 +294,16 @@ impl DdKernel {
     }
 
     /// Drops all memoized operation results (the unique table is kept, so
-    /// canonicity is unaffected).
+    /// canonicity is unaffected). With the generation-tagged cache this is
+    /// a single tag bump, not a table walk.
     pub fn clear_op_cache(&mut self) {
         self.op_cache.clear();
+    }
+
+    /// Current slot count of the operation cache (it may have grown from
+    /// its initial capacity under conflict pressure).
+    pub fn op_cache_capacity(&self) -> usize {
+        self.op_cache.capacity()
     }
 
     /// Current kernel statistics.
@@ -245,6 +314,9 @@ impl DdKernel {
             unique_entries: self.unique.len(),
             op_cache_hits: self.op_cache.hits(),
             op_cache_misses: self.op_cache.misses(),
+            op_cache_insertions: self.op_cache.insertions(),
+            op_cache_evictions: self.op_cache.evictions(),
+            per_op: *self.op_cache.per_op_stats(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
         }
@@ -339,9 +411,10 @@ impl DdKernel {
     /// Marks everything reachable from the roots registered via
     /// [`DdKernel::protect`], sweeps the arena (compacting the surviving
     /// ids downward while preserving their relative order), rebuilds the
-    /// unique table, and remaps the operation cache — entries mentioning a
-    /// reclaimed node are dropped, all others stay valid under the new
-    /// numbering.
+    /// unique table, and invalidates the operation cache with a single
+    /// generation bump — the sweep renumbers node ids, so every memoized
+    /// result keyed on old ids is retired at once (a later lookup misses
+    /// and recomputes, which reproduces the identical canonical node).
     ///
     /// **All node ids obtained before the collection are invalidated**;
     /// use root handles ([`DdKernel::resolve`]) to carry diagrams across a
@@ -354,7 +427,7 @@ impl DdKernel {
         let remap = self.arena.compact(&live);
         let after = self.arena.len();
         self.unique.rebuild(&self.arena);
-        let (kept, dropped) = self.op_cache.remap(&remap);
+        let dropped = self.op_cache.invalidate_all();
         for slot in self.roots.iter_mut().flatten() {
             *slot = remap[*slot as usize];
             debug_assert_ne!(*slot, u32::MAX, "protected roots survive the sweep");
@@ -364,7 +437,6 @@ impl DdKernel {
         GcStats {
             live_nodes: after,
             reclaimed_nodes: before - after,
-            cache_entries_kept: kept,
             cache_entries_dropped: dropped,
         }
     }
@@ -373,11 +445,13 @@ impl DdKernel {
 
     /// All nodes reachable from `root` (each exactly once), root first.
     pub fn reachable(&self, root: u32) -> Vec<u32> {
-        let mut seen: FxHashMap<u32, ()> = FxHashMap::default();
+        // Dense visited bitmap: node ids are arena indices, so a flat
+        // Vec<bool> beats any hash set on these traversals.
+        let mut seen = vec![false; self.arena.len()];
         let mut order = Vec::new();
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            if seen.insert(id, ()).is_some() {
+            if std::mem::replace(&mut seen[id as usize], true) {
                 continue;
             }
             order.push(id);
@@ -429,37 +503,69 @@ impl DdKernel {
     /// Levels skipped by the diagram contribute a factor of 1 provided
     /// each level's weights sum to 1; zero-weight branches are never
     /// descended into.
-    pub fn probability<W: Fn(usize, usize) -> f64>(&self, root: u32, weight: W) -> f64 {
-        let mut cache: FxHashMap<u32, f64> = FxHashMap::default();
-        self.probability_memo(root, &weight, &mut cache)
-    }
-
-    fn probability_memo<W: Fn(usize, usize) -> f64>(
-        &self,
-        node: u32,
-        weight: &W,
-        cache: &mut FxHashMap<u32, f64>,
-    ) -> f64 {
-        if node == ONE {
+    ///
+    /// The traversal is iterative (explicit stack) and memoizes into a
+    /// dense epoch-stamped scratch array owned by the kernel, so repeated
+    /// evaluations — a design-space sweep re-weighting one compiled
+    /// diagram thousands of times — allocate nothing per call.
+    pub fn probability<W: Fn(usize, usize) -> f64>(&mut self, root: u32, weight: W) -> f64 {
+        if root == ONE {
             return 1.0;
         }
-        if node == ZERO {
+        if root == ZERO {
             return 0.0;
         }
-        if let Some(&p) = cache.get(&node) {
-            return p;
+        let scratch = &mut self.prob;
+        if scratch.epoch == u32::MAX {
+            scratch.stamp.fill(0);
+            scratch.epoch = 0;
         }
-        let level = self.arena.raw_level(node) as usize;
-        let mut p = 0.0;
-        for (value, &child) in self.arena.children(node).iter().enumerate() {
-            let w = weight(level, value);
-            if w == 0.0 {
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        let n = self.arena.len();
+        if scratch.values.len() < n {
+            scratch.values.resize(n, 0.0);
+            scratch.stamp.resize(n, 0);
+        }
+        scratch.stack.clear();
+        scratch.stack.push(root);
+        while let Some(&node) = scratch.stack.last() {
+            if scratch.stamp[node as usize] == epoch {
+                scratch.stack.pop();
                 continue;
             }
-            p += w * self.probability_memo(child, weight, cache);
+            let level = self.arena.raw_level(node) as usize;
+            let children = self.arena.children(node);
+            let before = scratch.stack.len();
+            for (value, &child) in children.iter().enumerate() {
+                if child > ONE
+                    && scratch.stamp[child as usize] != epoch
+                    && weight(level, value) != 0.0
+                {
+                    scratch.stack.push(child);
+                }
+            }
+            if scratch.stack.len() > before {
+                continue; // resolve the pending children first
+            }
+            scratch.stack.pop();
+            let mut p = 0.0;
+            for (value, &child) in children.iter().enumerate() {
+                let w = weight(level, value);
+                if w == 0.0 {
+                    continue;
+                }
+                let pv = match child {
+                    ONE => 1.0,
+                    ZERO => 0.0,
+                    _ => scratch.values[child as usize],
+                };
+                p += w * pv;
+            }
+            scratch.values[node as usize] = p;
+            scratch.stamp[node as usize] = epoch;
         }
-        cache.insert(node, p);
-        p
+        scratch.values[root as usize]
     }
 }
 
@@ -535,6 +641,12 @@ mod tests {
         assert_eq!(stats.unique_entries, 1);
         assert_eq!(stats.op_cache_hits, 1);
         assert_eq!(stats.op_cache_misses, 1);
+        assert_eq!(stats.op_cache_insertions, 1);
+        assert_eq!(stats.op_cache_evictions, 0);
+        assert_eq!(stats.per_op[0].hits, 1);
+        assert_eq!(stats.per_op[0].misses, 1);
+        assert!((stats.op_cache_hit_rate_percent() - 50.0).abs() < 1e-12);
+        assert_eq!(stats.op_cache_evict_rate_percent(), 0.0);
         dd.clear_op_cache();
         assert_eq!(dd.cache_get((0, 2, 3, 0)), None);
         assert_eq!(dd.mk(0, &[ZERO, ONE]), n);
@@ -581,7 +693,7 @@ mod tests {
     }
 
     #[test]
-    fn gc_remaps_op_cache_entries() {
+    fn gc_generation_bump_invalidates_op_cache() {
         let mut dd = DdKernel::new(vec![2, 2]);
         let a = dd.mk(1, &[ZERO, ONE]);
         let dead = dd.mk(1, &[ONE, ZERO]);
@@ -591,10 +703,15 @@ mod tests {
         let handle = dd.protect(f);
         let stats = dd.gc();
         assert_eq!(stats.reclaimed_nodes, 1);
-        assert_eq!(stats.cache_entries_kept, 1);
-        assert_eq!(stats.cache_entries_dropped, 1);
+        // The sweep renumbers ids, so the generation bump retires every
+        // memoized entry — the stale results must be unreachable under
+        // both the old and the refreshed keys.
+        assert_eq!(stats.cache_entries_dropped, 2);
         let f = dd.resolve(handle);
         let a = dd.child(f, 0);
+        assert_eq!(dd.cache_get((7, f, a, 0)), None, "generation bump drops all entries");
+        // The cache works normally under the new generation.
+        dd.cache_insert((7, f, a, 0), a);
         assert_eq!(dd.cache_get((7, f, a, 0)), Some(a));
         dd.unprotect(handle);
     }

@@ -7,13 +7,18 @@
 //! procedures. This crate factors that discipline out of the two engines:
 //!
 //! * a cache-friendly struct-of-arrays node [`arena`](arena::NodeArena)
-//!   addressed by `u32` ids, storing every node's children in one flat
-//!   edge array;
-//! * an open-addressed [`unique table`](unique::UniqueTable) that stores
-//!   only node ids and resolves keys against the arena, so children are
-//!   never duplicated into hash-map keys;
-//! * an [`operation cache`](cache::OpCache) keyed on `(op, operands)` with
-//!   hit/miss statistics;
+//!   addressed by `u32` ids, packing every node's level and (for arity
+//!   ≤ 2) its children into one 16-byte header, with wider multi-valued
+//!   nodes spilling into one flat edge array;
+//! * a per-level, Robin-Hood [`unique table`](unique::UniqueTable) with
+//!   cached hash bits that stores only node ids and resolves keys
+//!   against the arena, so children are never duplicated into hash-map
+//!   keys, growth never walks the arena, and adjacent levels swap in
+//!   O(interacting nodes);
+//! * a lossy, direct-mapped, generation-tagged
+//!   [`operation cache`](cache::OpCache) keyed on `(op, operands)` with
+//!   per-operation hit/miss/eviction statistics, bounded memory and O(1)
+//!   whole-cache invalidation;
 //! * the [`DdKernel`] combining the three behind the
 //!   canonicalising [`mk`](DdKernel::mk) constructor;
 //! * shared memoized traversals (node counts, reachable-set iteration,
@@ -61,7 +66,7 @@ pub mod reorder;
 pub mod unique;
 
 pub use arena::{NodeArena, TERMINAL_LEVEL};
-pub use cache::OpCache;
+pub use cache::{OpCache, OpTagStats, NUM_OP_TAGS};
 pub use kernel::{DdKernel, DdStats, GcStats, Protect, Ref, ONE, ZERO};
 pub use reorder::{SiftConfig, SiftOutcome};
 pub use unique::UniqueTable;

@@ -93,30 +93,24 @@ impl DdKernel {
         assert!(l + 1 < self.num_levels(), "level {} cannot be swapped down", l);
         let lu = l as u32;
         let ll = lu + 1;
-        let mut upper = Vec::new();
-        let mut lower = Vec::new();
-        for id in 2..self.arena.len() as u32 {
-            let level = self.arena.raw_level(id);
-            if level == lu {
-                upper.push(id);
-            } else if level == ll {
-                lower.push(id);
-            }
-        }
-        // Drop the stale keys while the arena still matches them.
-        for &id in upper.iter().chain(&lower) {
-            self.unique.remove(&self.arena, id);
-        }
         // Split the upper level against the *old* labeling: nodes with a
         // child at the old lower level must be rewritten, the rest only
-        // change position.
+        // change position. The per-level unique table enumerates the
+        // level directly — no arena scan.
+        let upper: Vec<u32> = self.unique.level_ids(l).collect();
         let mut moved = Vec::new();
         let mut interacting: Vec<(u32, Vec<u32>, Vec<bool>)> = Vec::new();
-        for &id in &upper {
-            let children = self.arena.children(id).to_vec();
-            let was_lower: Vec<bool> =
-                children.iter().map(|&c| self.arena.raw_level(c) == ll).collect();
-            if was_lower.iter().any(|&w| w) {
+        for id in upper {
+            let children = self.arena.children(id);
+            // Only interacting nodes need their children copied out (the
+            // rewrite below mutates the arena); the common `moved` case
+            // stays allocation-free.
+            if children.iter().any(|&c| self.arena.raw_level(c) == ll) {
+                let children = children.to_vec();
+                let was_lower: Vec<bool> =
+                    children.iter().map(|&c| self.arena.raw_level(c) == ll).collect();
+                // Drop the stale key while the arena still matches it.
+                self.unique.remove(&self.arena, id);
                 interacting.push((id, children, was_lower));
             } else {
                 moved.push(id);
@@ -124,14 +118,18 @@ impl DdKernel {
         }
         let a_up = self.arena.arity(l);
         let a_low = self.arena.arity(l + 1);
+        // Structural half of the swap, O(1): subtable keys are
+        // children-only, so nodes whose children are untouched — all of
+        // the old lower level and the non-interacting (`moved`) upper
+        // nodes — simply follow their subtable to the other level. Only
+        // the arena labels still need the per-node update.
+        self.unique.swap_levels(l);
         self.arena.swap_arities(l);
-        for &id in &lower {
+        for id in self.unique.level_ids(l) {
             self.arena.set_level(id, lu);
-            self.unique.insert_new(&self.arena, id);
         }
         for &id in &moved {
             self.arena.set_level(id, ll);
-            self.unique.insert_new(&self.arena, id);
         }
         // Rewrite each interacting node f = case(x_up; c_0, …): for every
         // value j of the swapped-in variable, the new child is

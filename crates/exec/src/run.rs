@@ -123,6 +123,11 @@ pub struct DdAggregate {
     pub op_cache_hits: u64,
     /// Operation-cache misses across all managers.
     pub op_cache_misses: u64,
+    /// Operation-cache insertions across all managers.
+    pub op_cache_insertions: u64,
+    /// Operation-cache evictions (lossy direct-mapped conflicts) across
+    /// all managers.
+    pub op_cache_evictions: u64,
     /// Garbage collections run across all managers.
     pub gc_runs: u64,
     /// Nodes reclaimed by garbage collection across all managers.
@@ -137,6 +142,8 @@ impl DdAggregate {
         self.unique_entries_sum += stats.unique_entries as u64;
         self.op_cache_hits += stats.op_cache_hits;
         self.op_cache_misses += stats.op_cache_misses;
+        self.op_cache_insertions += stats.op_cache_insertions;
+        self.op_cache_evictions += stats.op_cache_evictions;
         self.gc_runs += stats.gc_runs;
         self.gc_reclaimed += stats.gc_reclaimed;
     }
@@ -149,6 +156,21 @@ impl DdAggregate {
             0.0
         } else {
             self.op_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Operation-cache hit rate as a percentage in `[0, 100]`.
+    pub fn cache_hit_percent(&self) -> f64 {
+        100.0 * self.cache_hit_rate()
+    }
+
+    /// Fraction of operation-cache insertions that evicted a live entry,
+    /// as a percentage in `[0, 100]` (`0` when nothing was inserted).
+    pub fn cache_evict_percent(&self) -> f64 {
+        if self.op_cache_insertions == 0 {
+            0.0
+        } else {
+            100.0 * self.op_cache_evictions as f64 / self.op_cache_insertions as f64
         }
     }
 }

@@ -3,6 +3,11 @@
 //! These are used to build ROMDDs *directly* from a multiple-valued gate
 //! description — the cross-check path for the coded-ROBDD route the paper
 //! recommends — and by tests.
+//!
+//! Like the ROBDD connectives, the apply kernels are **iterative**: an
+//! explicit work-stack machine drives NOT and the binary connectives,
+//! with the n-ary cofactor results accumulated on a result stack held in
+//! a scratch arena owned by the manager (no allocation per operation).
 
 use crate::manager::{MddId, MddManager, TERMINAL_LEVEL};
 
@@ -11,24 +16,26 @@ const OP_OR: u8 = 1;
 const OP_XOR: u8 = 2;
 const OP_NOT: u8 = 3;
 
+/// One unit of work of the iterative apply machine. `Eval` asks for
+/// `op(a, b)` (NOT carries the operand twice); `Combine` fires once the
+/// level's `arity(top)` cofactor results are on the result stack.
+#[derive(Debug, Clone, Copy)]
+enum Frame {
+    Eval { op: u8, a: u32, b: u32 },
+    Combine { op: u8, a: u32, b: u32, top: u32 },
+}
+
+/// Reusable buffers of the apply machine.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ApplyScratch {
+    frames: Vec<Frame>,
+    results: Vec<u32>,
+}
+
 impl MddManager {
     /// Logical negation of a boolean-valued ROMDD.
     pub fn not(&mut self, f: MddId) -> MddId {
-        if f.is_zero() {
-            return MddId::ONE;
-        }
-        if f.is_one() {
-            return MddId::ZERO;
-        }
-        if let Some(r) = self.dd.cache_get((OP_NOT, f.0, f.0, 0)) {
-            return MddId(r);
-        }
-        let level = self.level(f).expect("non-terminal");
-        let children = self.children(f);
-        let new_children: Vec<MddId> = children.into_iter().map(|c| self.not(c)).collect();
-        let r = self.mk(level, new_children);
-        self.dd.cache_insert((OP_NOT, f.0, f.0, 0), r.0);
-        r
+        self.run_apply(OP_NOT, f.0, f.0)
     }
 
     /// Conjunction `f ∧ g`.
@@ -91,72 +98,128 @@ impl MddManager {
     }
 
     fn binary(&mut self, op: u8, f: MddId, g: MddId) -> MddId {
+        self.run_apply(op, f.0, g.0)
+    }
+
+    /// The explicit-stack apply machine serving NOT, AND, OR and XOR
+    /// over n-ary nodes. Cofactor `Eval`s are pushed in reverse domain
+    /// order, so their results accumulate on the result stack in value
+    /// order and `Combine` consumes exactly the tail `arity(top)` slots.
+    fn run_apply(&mut self, op: u8, a: u32, b: u32) -> MddId {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.frames.is_empty() && scratch.results.is_empty());
+        scratch.frames.push(Frame::Eval { op, a, b });
+        while let Some(frame) = scratch.frames.pop() {
+            match frame {
+                Frame::Eval { op, a, b } => self.eval_step(op, a, b, &mut scratch),
+                Frame::Combine { op, a, b, top } => {
+                    let domain = self.dd.arity(top as usize);
+                    let start = scratch.results.len() - domain;
+                    let r = self.dd.mk(top, &scratch.results[start..]);
+                    scratch.results.truncate(start);
+                    self.dd.cache_insert((op, a, b, 0), r);
+                    scratch.results.push(r);
+                }
+            }
+        }
+        let result = scratch.results.pop().expect("the root frame pushed a result");
+        debug_assert!(scratch.results.is_empty());
+        self.scratch = scratch;
+        MddId(result)
+    }
+
+    /// One `Eval` step: terminal rules, cache probe, or expansion.
+    fn eval_step(&mut self, op: u8, a: u32, b: u32, scratch: &mut ApplyScratch) {
+        let (f, g) = (MddId(a), MddId(b));
+        if op == OP_NOT {
+            if f.is_zero() {
+                scratch.results.push(socy_dd::ONE);
+                return;
+            }
+            if f.is_one() {
+                scratch.results.push(socy_dd::ZERO);
+                return;
+            }
+            if let Some(r) = self.dd.cache_get((OP_NOT, a, a, 0)) {
+                scratch.results.push(r);
+                return;
+            }
+            let top = self.raw_level(f);
+            scratch.frames.push(Frame::Combine { op, a, b: a, top });
+            for v in (0..self.dd.arity(top as usize)).rev() {
+                let child = self.dd.child(a, v);
+                scratch.frames.push(Frame::Eval { op, a: child, b: child });
+            }
+            return;
+        }
         match op {
             OP_AND => {
                 if f.is_zero() || g.is_zero() {
-                    return MddId::ZERO;
+                    scratch.results.push(socy_dd::ZERO);
+                    return;
                 }
                 if f.is_one() {
-                    return g;
+                    scratch.results.push(b);
+                    return;
                 }
-                if g.is_one() {
-                    return f;
-                }
-                if f == g {
-                    return f;
+                if g.is_one() || f == g {
+                    scratch.results.push(a);
+                    return;
                 }
             }
             OP_OR => {
                 if f.is_one() || g.is_one() {
-                    return MddId::ONE;
+                    scratch.results.push(socy_dd::ONE);
+                    return;
                 }
                 if f.is_zero() {
-                    return g;
+                    scratch.results.push(b);
+                    return;
                 }
-                if g.is_zero() {
-                    return f;
-                }
-                if f == g {
-                    return f;
+                if g.is_zero() || f == g {
+                    scratch.results.push(a);
+                    return;
                 }
             }
             OP_XOR => {
                 if f.is_zero() {
-                    return g;
+                    scratch.results.push(b);
+                    return;
                 }
                 if g.is_zero() {
-                    return f;
+                    scratch.results.push(a);
+                    return;
                 }
                 if f == g {
-                    return MddId::ZERO;
+                    scratch.results.push(socy_dd::ZERO);
+                    return;
                 }
                 if f.is_one() {
-                    return self.not(g);
+                    scratch.frames.push(Frame::Eval { op: OP_NOT, a: b, b });
+                    return;
                 }
                 if g.is_one() {
-                    return self.not(f);
+                    scratch.frames.push(Frame::Eval { op: OP_NOT, a, b: a });
+                    return;
                 }
             }
             _ => unreachable!("unknown op"),
         }
-        let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(r) = self.dd.cache_get((op, a.0, b.0, 0)) {
-            return MddId(r);
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(r) = self.dd.cache_get((op, x, y, 0)) {
+            scratch.results.push(r);
+            return;
         }
-        let la = self.raw_level(a);
-        let lb = self.raw_level(b);
+        let la = self.dd.raw_level(x);
+        let lb = self.dd.raw_level(y);
         let top = la.min(lb);
         debug_assert_ne!(top, TERMINAL_LEVEL);
-        let domain = self.domain(top as usize);
-        let mut children = Vec::with_capacity(domain);
-        for v in 0..domain {
-            let ca = if la == top { self.child(a, v) } else { a };
-            let cb = if lb == top { self.child(b, v) } else { b };
-            children.push(self.binary(op, ca, cb));
+        scratch.frames.push(Frame::Combine { op, a: x, b: y, top });
+        for v in (0..self.dd.arity(top as usize)).rev() {
+            let ca = if la == top { self.dd.child(x, v) } else { x };
+            let cb = if lb == top { self.dd.child(y, v) } else { y };
+            scratch.frames.push(Frame::Eval { op, a: ca, b: cb });
         }
-        let r = self.mk(top as usize, children);
-        self.dd.cache_insert((op, a.0, b.0, 0), r.0);
-        r
     }
 }
 

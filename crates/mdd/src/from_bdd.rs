@@ -15,10 +15,40 @@
 //! ROMDD node — the memoization key is just the ROBDD node id.
 
 use socy_bdd::{BddId, BddManager};
-use socy_dd::hash::FxHashMap;
 
 use crate::coded::CodedLayout;
 use crate::manager::{MddId, MddManager};
+
+/// Sentinel of the dense conversion memo ("not converted yet"). Node ids
+/// are arena indices, so `u32::MAX` can never be a real ROMDD id.
+const UNSET: u32 = u32::MAX;
+
+/// One unit of work of the iterative converter: `Visit` resolves a coded
+/// ROBDD node into the memo; `Build` fires once every node reached below
+/// the group's codewords is converted and hash-conses the ROMDD node.
+#[derive(Debug, Clone, Copy)]
+enum ConvFrame {
+    Visit(BddId),
+    Build {
+        node: BddId,
+        mv: u32,
+        /// Start of this node's per-value "below" ids in the scratch.
+        start: u32,
+    },
+}
+
+/// Reusable buffers of the iterative converter (held by the manager).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ConvScratch {
+    /// ROMDD id per ROBDD node id (`UNSET` until converted).
+    memo: Vec<u32>,
+    frames: Vec<ConvFrame>,
+    /// Flattened per-value codeword-simulation targets of the pending
+    /// `Build` frames.
+    below: Vec<u32>,
+    /// Staging for one `mk` call.
+    children: Vec<u32>,
+}
 
 impl MddManager {
     /// Converts the coded ROBDD rooted at `root` (owned by `bdd`) into an
@@ -27,6 +57,11 @@ impl MddManager {
     /// The manager's domains must match `layout.domains()`, and the ROBDD
     /// variable order must respect the layout's grouping (which
     /// [`CodedLayout::new`] validates).
+    ///
+    /// The converter is iterative (explicit work stack, reusable scratch
+    /// held by the manager) and memoizes through a dense per-ROBDD-node
+    /// array — the memo key is just the ROBDD node id, which the layering
+    /// requirement makes sound (see the module docs).
     ///
     /// # Panics
     ///
@@ -40,41 +75,53 @@ impl MddManager {
             "MddManager domains must match the coded layout"
         );
         let mv_of_bit = layout.mv_of_bit();
-        let mut memo: FxHashMap<BddId, MddId> = FxHashMap::default();
-        self.convert(bdd, root, layout, &mv_of_bit, &mut memo)
-    }
-
-    fn convert(
-        &mut self,
-        bdd: &BddManager,
-        node: BddId,
-        layout: &CodedLayout,
-        mv_of_bit: &[Option<usize>],
-        memo: &mut FxHashMap<BddId, MddId>,
-    ) -> MddId {
-        if node.is_zero() {
-            return MddId::ZERO;
+        // Precompute every group's codeword assignments once; the
+        // simulation below follows them per (node, value).
+        let assignments: Vec<Vec<Vec<(usize, bool)>>> = (0..layout.num_vars())
+            .map(|mv| (0..layout.vars[mv].domain).map(|v| layout.assignment_for(mv, v)).collect())
+            .collect();
+        let mut scratch = std::mem::take(&mut self.conv);
+        scratch.memo.clear();
+        scratch.memo.resize(bdd.allocated_nodes(), UNSET);
+        scratch.memo[BddId::ZERO.index()] = socy_dd::ZERO;
+        scratch.memo[BddId::ONE.index()] = socy_dd::ONE;
+        debug_assert!(scratch.frames.is_empty() && scratch.below.is_empty());
+        scratch.frames.push(ConvFrame::Visit(root));
+        while let Some(frame) = scratch.frames.pop() {
+            match frame {
+                ConvFrame::Visit(node) => {
+                    if scratch.memo[node.index()] != UNSET {
+                        continue;
+                    }
+                    let bit_level = bdd.level(node).expect("non-terminal");
+                    let mv = mv_of_bit.get(bit_level).copied().flatten().unwrap_or_else(|| {
+                        panic!("ROBDD level {bit_level} is not mapped by the layout")
+                    });
+                    let start = scratch.below.len() as u32;
+                    scratch.frames.push(ConvFrame::Build { node, mv: mv as u32, start });
+                    for assignment in &assignments[mv] {
+                        let below = follow_code(bdd, node, assignment);
+                        scratch.below.push(below.index() as u32);
+                        if scratch.memo[below.index()] == UNSET {
+                            scratch.frames.push(ConvFrame::Visit(below));
+                        }
+                    }
+                }
+                ConvFrame::Build { node, mv, start } => {
+                    scratch.children.clear();
+                    for &below in &scratch.below[start as usize..] {
+                        let converted = scratch.memo[below as usize];
+                        debug_assert_ne!(converted, UNSET, "children are converted before parents");
+                        scratch.children.push(converted);
+                    }
+                    scratch.below.truncate(start as usize);
+                    let result = self.dd.mk(mv, &scratch.children);
+                    scratch.memo[node.index()] = result;
+                }
+            }
         }
-        if node.is_one() {
-            return MddId::ONE;
-        }
-        if let Some(&m) = memo.get(&node) {
-            return m;
-        }
-        let bit_level = bdd.level(node).expect("non-terminal");
-        let mv = mv_of_bit
-            .get(bit_level)
-            .copied()
-            .flatten()
-            .unwrap_or_else(|| panic!("ROBDD level {bit_level} is not mapped by the layout"));
-        let domain = layout.vars[mv].domain;
-        let mut children = Vec::with_capacity(domain);
-        for value in 0..domain {
-            let below = follow_code(bdd, node, &layout.assignment_for(mv, value));
-            children.push(self.convert(bdd, below, layout, mv_of_bit, memo));
-        }
-        let result = self.mk(mv, children);
-        memo.insert(node, result);
+        let result = MddId(scratch.memo[root.index()]);
+        self.conv = scratch;
         result
     }
 }

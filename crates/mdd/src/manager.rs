@@ -57,7 +57,13 @@ pub(crate) const TERMINAL_LEVEL: u32 = socy_dd::TERMINAL_LEVEL;
 #[derive(Debug, Clone)]
 pub struct MddManager {
     pub(crate) dd: DdKernel,
-    domains: Vec<usize>,
+    pub(crate) domains: Vec<usize>,
+    /// Reusable stacks of the iterative apply machine (see
+    /// [`crate::apply`]).
+    pub(crate) scratch: crate::apply::ApplyScratch,
+    /// Reusable buffers of the iterative coded-ROBDD converter (see
+    /// [`crate::from_bdd`]).
+    pub(crate) conv: crate::from_bdd::ConvScratch,
 }
 
 impl MddManager {
@@ -71,7 +77,23 @@ impl MddManager {
     pub fn new(domains: Vec<usize>) -> Self {
         assert!(domains.iter().all(|&d| d >= 1), "every domain must have at least one value");
         let dd = DdKernel::new(domains.iter().map(|&d| d as u32).collect());
-        Self { dd, domains }
+        Self { dd, domains, scratch: Default::default(), conv: Default::default() }
+    }
+
+    /// Creates a manager whose operation cache starts with `capacity`
+    /// slots and may grow up to `max_capacity` (both rounded to powers of
+    /// two; equal bounds pin the size). The cache is lossy, so any
+    /// capacity — even 1 — produces identical diagrams; smaller caches
+    /// only recompute more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any domain size is zero.
+    pub fn with_cache_capacity(domains: Vec<usize>, capacity: usize, max_capacity: usize) -> Self {
+        assert!(domains.iter().all(|&d| d >= 1), "every domain must have at least one value");
+        let arities = domains.iter().map(|&d| d as u32).collect();
+        let dd = DdKernel::with_cache_capacity(arities, capacity, max_capacity);
+        Self { dd, domains, scratch: Default::default(), conv: Default::default() }
     }
 
     /// The FALSE terminal.

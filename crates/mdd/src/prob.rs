@@ -21,12 +21,13 @@ impl MddManager {
     ///
     /// Panics if `probabilities` is shorter than a level appearing in `f`
     /// or an entry has the wrong arity.
-    pub fn probability(&self, f: MddId, probabilities: &[Vec<f64>]) -> f64 {
+    pub fn probability(&mut self, f: MddId, probabilities: &[Vec<f64>]) -> f64 {
+        let domains = &self.domains;
         self.dd.probability(f.0, |level, value| {
             let dist = &probabilities[level];
             assert_eq!(
                 dist.len(),
-                self.domain(level),
+                domains[level],
                 "probability vector arity mismatch at level {level}"
             );
             dist[value]

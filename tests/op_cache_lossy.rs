@@ -1,0 +1,153 @@
+//! The lossy operation cache never changes results.
+//!
+//! The kernel's computed table is direct-mapped and generation-tagged:
+//! entries are evicted by conflicts and retired wholesale by GC's
+//! generation bump. Neither may ever change *what* is computed — only
+//! how often subproblems are recomputed — because every apply/ITE result
+//! is hash-consed canonically. These tests drive identical random
+//! workloads through managers with (a) the default auto-sizing cache,
+//! (b) a generously sized cache that never evicts (the lossless
+//! reference), and (c) a pathological capacity-1 cache, and require
+//! node-for-node identical diagrams from all three.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use soc_yield::bdd::{BddId, BddManager};
+
+/// Structural equality of two diagrams living in different managers:
+/// same levels, same branching, terminal-for-terminal.
+fn assert_isomorphic(a: &BddManager, ra: BddId, b: &BddManager, rb: BddId) {
+    fn go(
+        a: &BddManager,
+        na: BddId,
+        b: &BddManager,
+        nb: BddId,
+        memo: &mut HashMap<(usize, usize), ()>,
+    ) {
+        assert_eq!(na.is_zero(), nb.is_zero(), "terminal mismatch");
+        assert_eq!(na.is_one(), nb.is_one(), "terminal mismatch");
+        if na.is_terminal() {
+            return;
+        }
+        if memo.insert((na.index(), nb.index()), ()).is_some() {
+            return;
+        }
+        assert_eq!(a.level(na), b.level(nb), "level mismatch");
+        go(a, a.low(na), b, b.low(nb), memo);
+        go(a, a.high(na), b, b.high(nb), memo);
+    }
+    go(a, ra, b, rb, &mut HashMap::new());
+}
+
+/// Replays one pseudorandom apply/ITE workload on a manager and returns
+/// the pool of produced nodes.
+fn run_workload(mgr: &mut BddManager, vars: usize, ops: usize, seed: u64) -> Vec<BddId> {
+    let mut pool: Vec<BddId> = (0..vars).map(|i| mgr.var(i)).collect();
+    pool.push(mgr.zero());
+    pool.push(mgr.one());
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..ops {
+        let a = pool[(next() % pool.len() as u64) as usize];
+        let b = pool[(next() % pool.len() as u64) as usize];
+        let c = pool[(next() % pool.len() as u64) as usize];
+        let r = match next() % 5 {
+            0 => mgr.and(a, b),
+            1 => mgr.or(a, b),
+            2 => mgr.xor(a, b),
+            3 => mgr.not(a),
+            _ => mgr.ite(a, b, c),
+        };
+        pool.push(r);
+    }
+    pool
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identical workloads through the default, a lossless-sized, and a
+    /// capacity-1 cache produce node-for-node identical diagrams.
+    #[test]
+    fn lossy_cache_never_changes_results(vars in 2usize..7, ops in 8usize..48, seed in any::<u64>()) {
+        let mut default_mgr = BddManager::new(vars);
+        let mut roomy_mgr = BddManager::with_cache_capacity(vars, 1 << 20, 1 << 20);
+        let mut tiny_mgr = BddManager::with_cache_capacity(vars, 1, 1);
+        let default_pool = run_workload(&mut default_mgr, vars, ops, seed);
+        let roomy_pool = run_workload(&mut roomy_mgr, vars, ops, seed);
+        let tiny_pool = run_workload(&mut tiny_mgr, vars, ops, seed);
+
+        // The generous cache never evicted: it is a faithful stand-in for
+        // a lossless memo table on workloads of this size.
+        prop_assert_eq!(roomy_mgr.stats().op_cache_evictions, 0);
+        // The capacity-1 cache evicts on every insertion after the first
+        // (sanity: the workload actually exercises the lossy path
+        // whenever it inserts more than one entry).
+        let tiny = tiny_mgr.stats();
+        prop_assert!(tiny.op_cache_evictions > 0 || tiny.op_cache_insertions <= 1);
+
+        // Hash-consing is deterministic per manager, so identical
+        // workloads must even produce identical node ids across caches...
+        for ((d, r), t) in default_pool.iter().zip(&roomy_pool).zip(&tiny_pool) {
+            prop_assert_eq!(d, r);
+            prop_assert_eq!(d, t);
+        }
+        // ...and, structurally, node-for-node identical diagrams.
+        for ((&d, &r), &t) in default_pool.iter().zip(&roomy_pool).zip(&tiny_pool).rev().take(3) {
+            assert_isomorphic(&default_mgr, d, &roomy_mgr, r);
+            assert_isomorphic(&default_mgr, d, &tiny_mgr, t);
+            prop_assert_eq!(default_mgr.node_count(d), tiny_mgr.node_count(t));
+        }
+        // Peaks agree too: recomputation only re-finds canonical nodes.
+        prop_assert_eq!(default_mgr.peak_nodes(), roomy_mgr.peak_nodes());
+        prop_assert_eq!(default_mgr.peak_nodes(), tiny_mgr.peak_nodes());
+
+        // And every pool entry evaluates identically on all assignments.
+        let last = *default_pool.last().unwrap();
+        let last_tiny = *tiny_pool.last().unwrap();
+        for row in 0u32..(1 << vars) {
+            let a: Vec<bool> = (0..vars).map(|i| (row >> i) & 1 == 1).collect();
+            prop_assert_eq!(default_mgr.eval(last, &a), tiny_mgr.eval(last_tiny, &a));
+        }
+    }
+}
+
+/// GC's generation bump really invalidates stale entries: after a
+/// collection the same operation misses the cache (and recomputes the
+/// identical canonical node).
+#[test]
+fn gc_generation_bump_invalidates_op_cache() {
+    let mut mgr = BddManager::new(4);
+    let x = mgr.var(0);
+    let y = mgr.var(1);
+    let f = mgr.and(x, y);
+    // Warm: repeating the operation hits the cache.
+    let before = mgr.stats();
+    assert_eq!(mgr.and(x, y), f);
+    let warmed = mgr.stats();
+    assert_eq!(warmed.op_cache_hits, before.op_cache_hits + 1);
+    assert_eq!(warmed.op_cache_misses, before.op_cache_misses);
+
+    let handle = mgr.protect(f);
+    let gc = mgr.gc();
+    assert!(gc.cache_entries_dropped > 0, "the bump retires the live entries");
+    let f = mgr.unprotect(handle);
+
+    // Same operation after the collection: the generation bump forces a
+    // miss, and the recomputation reproduces the same canonical node.
+    let x = mgr.var(0);
+    let y = mgr.var(1);
+    let stats = mgr.stats();
+    let again = mgr.and(x, y);
+    let after = mgr.stats();
+    assert_eq!(again, f);
+    assert_eq!(after.op_cache_hits, stats.op_cache_hits, "stale entries must not hit");
+    assert!(after.op_cache_misses > stats.op_cache_misses);
+}
