@@ -34,8 +34,8 @@ use soc_yield_core::{AnalysisOptions, CoreError, Pipeline, YieldReport};
 use socy_benchmarks::BenchmarkSystem;
 use socy_defect::{DefectError, NegativeBinomial};
 use socy_exec::{
-    NamedDistribution, SweepBlock, SweepError, SweepMatrix, SweepOutcome, SweepSummary, SystemSpec,
-    TruncationRule,
+    NamedDistribution, PipelineLru, SweepBlock, SweepError, SweepMatrix, SweepOutcome,
+    SweepSummary, SystemSpec, TruncationRule,
 };
 use socy_ordering::OrderingSpec;
 
@@ -200,31 +200,59 @@ impl From<DefectError> for HarnessError {
     }
 }
 
-/// A harness that keeps the [`Pipeline`] of the benchmark system it is
-/// currently working on, so consecutive evaluations of the same system
-/// (another ordering spec, another λ' whose truncation a compiled diagram
-/// already covers) skip the truncate/encode/order/compile/convert chain.
+/// Default live-node budget of a [`Runner`]'s pipeline cache: enough to
+/// keep a handful of the paper's systems resident (their ROMDDs are
+/// hundreds to a few thousand nodes each) while bounding a long table
+/// run that touches every benchmark.
+pub const RUNNER_LIVE_NODE_BUDGET: usize = 1 << 16;
+
+/// A harness that keeps the [`Pipeline`]s of the benchmark systems it
+/// recently worked on in an LRU cache ([`PipelineLru`]), so consecutive
+/// evaluations of the same system (another ordering spec, another λ'
+/// whose truncation a compiled diagram already covers) skip the
+/// truncate/encode/order/compile/convert chain.
 ///
 /// A diagram is reused only when it covers the requested truncation at
 /// the same ordering spec; the shipped tables iterate λ' in ascending
 /// order, so every printed row reports the sizes of a diagram compiled
-/// at exactly that row's truncation, as the paper's tables do. Moving on
-/// to a different system drops the previous system's pipeline, so a long
-/// table run never accumulates every diagram it ever built.
-#[derive(Debug, Default)]
+/// at exactly that row's truncation, as the paper's tables do. Eviction
+/// is charged against **live** (post-GC) ROMDD nodes —
+/// [`Pipeline::live_nodes`], the same cost definition the `socy-serve`
+/// cache uses — never against the transient `peak_nodes` high-water
+/// mark, so a long-lived pipeline is not evicted for construction
+/// pressure it has already garbage-collected.
 pub struct Runner {
-    current: Option<(String, Pipeline)>,
+    cache: PipelineLru<String>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Runner {
-    /// Creates an empty runner.
+    /// Creates an empty runner with the default live-node budget
+    /// [`RUNNER_LIVE_NODE_BUDGET`].
     pub fn new() -> Self {
-        Self::default()
+        Self::with_budget(Some(RUNNER_LIVE_NODE_BUDGET))
     }
 
-    /// Runs one workload under one ordering spec, reusing the pipeline of
-    /// the previous call when it was for the same system, and returns the
-    /// full [`YieldReport`].
+    /// Creates an empty runner evicting down to `budget` summed live
+    /// nodes (`None` disables eviction).
+    pub fn with_budget(budget: Option<usize>) -> Self {
+        Self { cache: PipelineLru::new(budget) }
+    }
+
+    /// The underlying pipeline cache (for inspecting hit/miss/eviction
+    /// counters or residency).
+    pub fn cache(&self) -> &PipelineLru<String> {
+        &self.cache
+    }
+
+    /// Runs one workload under one ordering spec, reusing a cached
+    /// pipeline when one is resident for the same system, and returns
+    /// the full [`YieldReport`].
     ///
     /// # Errors
     ///
@@ -239,11 +267,9 @@ impl Runner {
         let lethal = raw.thinned(components.lethality())?;
         let options = AnalysisOptions { epsilon: EPSILON, spec, ..AnalysisOptions::default() };
         let name = &workload.system.name;
-        if self.current.as_ref().is_none_or(|(n, _)| n != name) {
-            let pipeline = Pipeline::new(&workload.system.fault_tree, &components)?;
-            self.current = Some((name.clone(), pipeline));
-        }
-        let (_, pipeline) = self.current.as_mut().expect("pipeline was just ensured");
+        let pipeline = self.cache.get_or_try_insert_with(name, || {
+            Pipeline::new(&workload.system.fault_tree, &components).map_err(HarnessError::from)
+        })?;
         Ok(pipeline.evaluate(&lethal, &options)?)
     }
 
@@ -846,13 +872,33 @@ mod tests {
         // λ' = 2 compiled at M = 10; the λ' = 1 point reuses that diagram.
         assert!(one.truncation > two.truncation);
         assert!(two.yield_lower_bound > one.yield_lower_bound);
-        // Switching systems evicts the previous pipeline (bounded memory).
+        assert_eq!(runner.cache().stats().hits, 1, "the λ'=1 point hit the resident pipeline");
+        // Switching systems keeps both resident — the budget is charged
+        // against live nodes, and these diagrams are small.
         let other = socy_benchmarks::ms(2);
         let _ = runner.run(&Workload { system: other, lambda: 1.0 }, spec).unwrap();
-        assert_eq!(runner.current.as_ref().unwrap().0, "MS2");
-        // Coming back to the first system recompiles and still agrees.
+        assert!(runner.cache().contains(&"MS2".to_string()));
+        assert!(runner.cache().contains(&"ESEN4x1".to_string()));
+        assert!(runner.cache().live_nodes() <= RUNNER_LIVE_NODE_BUDGET);
+        // Coming back to the first system reuses its diagrams and agrees.
         let again = runner.run(&Workload { system, lambda: 1.0 }, spec).unwrap();
         assert_eq!(again.yield_lower_bound, two.yield_lower_bound);
+        assert_eq!(runner.cache().stats().evictions, 0);
+    }
+
+    #[test]
+    fn runner_budget_evicts_least_recently_used_system() {
+        // A budget of one node cannot hold two systems: the older one is
+        // evicted as soon as the next arrives.
+        let mut runner = Runner::with_budget(Some(1));
+        let spec = OrderingSpec::paper_default();
+        let first = socy_benchmarks::esen(4, 1);
+        let _ = runner.run(&Workload { system: first.clone(), lambda: 1.0 }, spec).unwrap();
+        let _ =
+            runner.run(&Workload { system: socy_benchmarks::ms(2), lambda: 1.0 }, spec).unwrap();
+        assert!(!runner.cache().contains(&first.name));
+        assert!(runner.cache().contains(&"MS2".to_string()));
+        assert_eq!(runner.cache().stats().evictions, 1);
     }
 
     #[test]

@@ -343,6 +343,7 @@ pub struct Pipeline {
     fault_tree: Netlist,
     components: ComponentProbabilities,
     models: Vec<CompiledModel>,
+    compiles: usize,
 }
 
 // Parallel sweep workers (socy-exec) each own a Pipeline and ship the
@@ -378,6 +379,7 @@ impl Pipeline {
             fault_tree: fault_tree.clone(),
             components: components.clone(),
             models: Vec::new(),
+            compiles: 0,
         })
     }
 
@@ -395,6 +397,23 @@ impl Pipeline {
     /// `(ordering spec, conversion)` configuration used so far).
     pub fn compiled_models(&self) -> usize {
         self.models.len()
+    }
+
+    /// Total compilations this pipeline has performed over its lifetime,
+    /// including recompilations at a larger truncation. Stays constant
+    /// across evaluations served entirely from compiled diagrams —
+    /// callers (caches, tests) use the delta to prove an evaluation paid
+    /// no compilation.
+    pub fn compiles(&self) -> usize {
+        self.compiles
+    }
+
+    /// Live (post-GC) ROMDD nodes across all compiled models — the
+    /// steady-state memory cost of keeping this pipeline resident, as
+    /// opposed to the transient `peak_nodes` high-water mark. Cache
+    /// eviction budgets are charged against this.
+    pub fn live_nodes(&self) -> usize {
+        self.models.iter().map(|m| m.mdd.stats().live_nodes).sum()
     }
 
     /// Drops all compiled diagrams, releasing their memory.
@@ -427,6 +446,7 @@ impl Pipeline {
             return Ok(i);
         }
         let model = CompiledModel::compile(&self.fault_tree, m, spec, conversion)?;
+        self.compiles += 1;
         match self.models.iter().position(same_config) {
             Some(i) => {
                 self.models[i] = model;

@@ -28,16 +28,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod matrix;
 mod run;
 
+pub use cache::{CacheStats, PipelineLru};
 pub use matrix::{
     NamedDistribution, PointLabels, SharedDistribution, SweepBlock, SweepMatrix, SystemSpec,
     TruncationRule,
 };
 pub use run::{
-    effective_threads, DdAggregate, PointOutcome, SweepError, SweepOutcome, SweepSummary,
-    WorkerSummary,
+    effective_threads, ChunkError, CompiledPipeline, DdAggregate, PointOutcome, SweepError,
+    SweepOutcome, SweepSummary, WorkerSummary,
 };
 
 // The executor moves pipelines and reports across threads and shares the

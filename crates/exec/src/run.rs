@@ -3,6 +3,7 @@
 //! reports deterministically in matrix order.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
@@ -19,6 +20,8 @@ use crate::matrix::{PointLabels, SharedDistribution, SweepMatrix, SystemSpec, Tr
 /// decision-diagram compilation, however many `(distribution, rule)`
 /// evaluations ride on it.
 struct Chunk<'m> {
+    /// Index of the [`SweepBlock`](crate::SweepBlock) the chunk came from.
+    block: usize,
     system: &'m SystemSpec,
     spec: OrderingSpec,
     conversion: ConversionAlgorithm,
@@ -30,22 +33,61 @@ struct Chunk<'m> {
 }
 
 impl Chunk<'_> {
-    fn run(&self) -> Result<Vec<YieldReport>, String> {
+    fn run(&self) -> Result<(Vec<YieldReport>, Pipeline), String> {
         let mut pipeline = Pipeline::new(&self.system.fault_tree, &self.system.components)
             .map_err(|e| e.to_string())?;
         let points = self.evals.iter().map(|&(dist, rule)| SweepPoint {
             lethal: dist as &dyn DefectDistribution,
             options: rule.options(self.spec, self.conversion),
         });
-        pipeline.sweep(points).map_err(|e| e.to_string())
+        let reports = pipeline.sweep(points).map_err(|e| e.to_string())?;
+        Ok((reports, pipeline))
     }
+
+    /// Runs the chunk with unwinds contained: a panic anywhere inside
+    /// compilation or evaluation (e.g. a faulty user-supplied
+    /// distribution) becomes a [`ChunkFailure`] instead of poisoning the
+    /// worker pool. `AssertUnwindSafe` is sound here because a failed
+    /// chunk's pipeline is discarded wholesale — no state observed after
+    /// the catch can be half-updated.
+    fn run_contained(&self, keep_pipeline: bool) -> ChunkResult {
+        match catch_unwind(AssertUnwindSafe(|| self.run())) {
+            Ok(Ok((reports, pipeline))) => {
+                Ok((reports, if keep_pipeline { Some(pipeline) } else { None }))
+            }
+            Ok(Err(message)) => Err(ChunkFailure { message, panicked: false }),
+            Err(payload) => {
+                Err(ChunkFailure { message: panic_message(payload.as_ref()), panicked: true })
+            }
+        }
+    }
+}
+
+type ChunkResult = Result<(Vec<YieldReport>, Option<Pipeline>), ChunkFailure>;
+
+/// Extracts the human-readable message of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+/// How one chunk failed (internal: carried over the result channel, then
+/// expanded into a [`ChunkError`] with the chunk's coordinates).
+struct ChunkFailure {
+    message: String,
+    panicked: bool,
 }
 
 /// Splits the matrix into chunks, in matrix order of their first point.
 fn chunks(matrix: &SweepMatrix) -> Vec<Chunk<'_>> {
     let mut out: Vec<Chunk<'_>> = Vec::new();
     let mut index = 0usize;
-    for block in &matrix.blocks {
+    for (block_at, block) in matrix.blocks.iter().enumerate() {
         let conversions = block.conversions_or_default();
         let first_chunk_of_block = out.len();
         for system in &block.systems {
@@ -58,6 +100,7 @@ fn chunks(matrix: &SweepMatrix) -> Vec<Chunk<'_>> {
                         for &rule in &block.rules {
                             if out.len() <= chunk_at {
                                 out.push(Chunk {
+                                    block: block_at,
                                     system,
                                     spec,
                                     conversion,
@@ -95,6 +138,63 @@ impl fmt::Display for SweepError {
 }
 
 impl std::error::Error for SweepError {}
+
+/// Failure of one compilation chunk, with the chunk's coordinates in the
+/// matrix. One entry per failed chunk lands in
+/// [`SweepSummary::chunk_errors`]; the chunk's points additionally carry
+/// per-point [`SweepError`]s. A `panicked` error means the failure was an
+/// unwind caught inside the worker — the rest of the sweep completed
+/// normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkError {
+    /// Index of the [`SweepBlock`](crate::SweepBlock) within the matrix.
+    pub block: usize,
+    /// Name of the system the chunk was compiling.
+    pub system: String,
+    /// Variable-ordering specification of the chunk.
+    pub spec: OrderingSpec,
+    /// ROBDD→ROMDD conversion algorithm of the chunk.
+    pub conversion: ConversionAlgorithm,
+    /// The underlying error, stringified (panic message for unwinds).
+    pub message: String,
+    /// Whether the failure was a caught panic rather than a returned
+    /// error.
+    pub panicked: bool,
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunk (block {}, {}, {}, {:?}) {}: {}",
+            self.block,
+            self.system,
+            self.spec.label(),
+            self.conversion,
+            if self.panicked { "panicked" } else { "failed" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// A compiled [`Pipeline`] retained from a successful chunk of a
+/// [`SweepMatrix::run_keeping_pipelines`] call, keyed by the chunk's
+/// coordinates so callers (e.g. a serving cache) can reuse the diagrams
+/// for later evaluations without recompiling.
+pub struct CompiledPipeline {
+    /// Index of the [`SweepBlock`](crate::SweepBlock) within the matrix.
+    pub block: usize,
+    /// Name of the system the pipeline was compiled for.
+    pub system: String,
+    /// Variable-ordering specification the pipeline was compiled with.
+    pub spec: OrderingSpec,
+    /// ROBDD→ROMDD conversion algorithm the pipeline was compiled with.
+    pub conversion: ConversionAlgorithm,
+    /// The compiled pipeline, ready for linear-time re-evaluation.
+    pub pipeline: Pipeline,
+}
 
 /// Result of one design point: its labels plus the report (or the error
 /// of its chunk).
@@ -203,6 +303,10 @@ pub struct SweepSummary {
     pub chunks: usize,
     /// Points whose chunk failed.
     pub failed_points: usize,
+    /// One entry per failed chunk, in chunk (= matrix) order — including
+    /// chunks that *panicked* rather than returned an error. Empty for a
+    /// fully successful run.
+    pub chunk_errors: Vec<ChunkError>,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
     /// Sum of the workers' busy times (≈ `wall_time × threads` when the
@@ -253,7 +357,7 @@ impl SweepOutcome {
 }
 
 enum Message {
-    Chunk { at: usize, result: Result<Vec<YieldReport>, String> },
+    Chunk { at: usize, result: Box<ChunkResult> },
     Worker(WorkerSummary),
 }
 
@@ -270,10 +374,27 @@ impl SweepMatrix {
     /// every thread count** — including `1` — and identical to evaluating
     /// each chunk with a serial [`Pipeline::sweep`].
     pub fn run(&self, threads: usize) -> SweepOutcome {
+        self.run_inner(threads, false).0
+    }
+
+    /// Like [`SweepMatrix::run`], but additionally returns the compiled
+    /// [`Pipeline`] of every *successful* chunk (in chunk order), so a
+    /// caller-side cache can serve later evaluations of the same
+    /// `(system, ordering spec, conversion)` configuration without
+    /// recompiling — the paper's compile-once / evaluate-many economics.
+    pub fn run_keeping_pipelines(&self, threads: usize) -> (SweepOutcome, Vec<CompiledPipeline>) {
+        self.run_inner(threads, true)
+    }
+
+    fn run_inner(
+        &self,
+        threads: usize,
+        keep_pipelines: bool,
+    ) -> (SweepOutcome, Vec<CompiledPipeline>) {
         let started = Instant::now();
         let chunks = chunks(self);
         let threads = effective_threads(threads, chunks.len());
-        let mut results: Vec<Option<Result<Vec<YieldReport>, String>>> = Vec::new();
+        let mut results: Vec<Option<ChunkResult>> = Vec::new();
         results.resize_with(chunks.len(), || None);
         let mut workers: Vec<WorkerSummary> = Vec::with_capacity(threads);
 
@@ -291,10 +412,13 @@ impl SweepMatrix {
                     loop {
                         let at = next.fetch_add(1, Ordering::Relaxed);
                         let Some(chunk) = chunks.get(at) else { break };
-                        let result = chunk.run();
+                        // Unwinds are caught per chunk: one faulty chunk
+                        // must not take down the worker (or, transitively,
+                        // a daemon running the sweep).
+                        let result = chunk.run_contained(keep_pipelines);
                         done_chunks += 1;
                         done_points += chunk.indices.len();
-                        if tx.send(Message::Chunk { at, result }).is_err() {
+                        if tx.send(Message::Chunk { at, result: Box::new(result) }).is_err() {
                             return; // collector gone; nothing left to report to
                         }
                     }
@@ -311,7 +435,7 @@ impl SweepMatrix {
             // so arrival order (worker scheduling) cannot influence it.
             for message in rx {
                 match message {
-                    Message::Chunk { at, result } => results[at] = Some(result),
+                    Message::Chunk { at, result } => results[at] = Some(*result),
                     Message::Worker(summary) => workers.push(summary),
                 }
             }
@@ -324,19 +448,21 @@ impl SweepMatrix {
     fn assemble(
         &self,
         chunks: Vec<Chunk<'_>>,
-        results: Vec<Option<Result<Vec<YieldReport>, String>>>,
+        results: Vec<Option<ChunkResult>>,
         wall_time: Duration,
         threads: usize,
         workers: Vec<WorkerSummary>,
-    ) -> SweepOutcome {
+    ) -> (SweepOutcome, Vec<CompiledPipeline>) {
         let labels = self.labels();
         let mut points: Vec<Option<PointOutcome>> = Vec::new();
         points.resize_with(labels.len(), || None);
+        let mut pipelines: Vec<CompiledPipeline> = Vec::new();
         let mut summary = SweepSummary {
             threads,
             points: labels.len(),
             chunks: chunks.len(),
             failed_points: 0,
+            chunk_errors: Vec::new(),
             wall_time,
             busy_time: workers.iter().map(|w| w.busy).sum(),
             compile_time: Duration::ZERO,
@@ -345,9 +471,17 @@ impl SweepMatrix {
             workers,
         };
         for (chunk, result) in chunks.iter().zip(results) {
-            let result = result.expect("every chunk sent exactly one result");
+            // A missing result means the chunk's worker died before
+            // reporting (it cannot happen while `run_contained` catches
+            // unwinds, but a daemon must not die on "cannot happen").
+            let result = result.unwrap_or_else(|| {
+                Err(ChunkFailure {
+                    message: "chunk worker terminated without sending a result".to_string(),
+                    panicked: true,
+                })
+            });
             match result {
-                Ok(reports) => {
+                Ok((reports, pipeline)) => {
                     debug_assert_eq!(reports.len(), chunk.indices.len());
                     // One compiled model per chunk: fold its statistics in
                     // once, from the last report (the ROMDD statistics are
@@ -363,24 +497,58 @@ impl SweepMatrix {
                             result: Ok(report),
                         });
                     }
+                    if let Some(pipeline) = pipeline {
+                        pipelines.push(CompiledPipeline {
+                            block: chunk.block,
+                            system: chunk.system.name.clone(),
+                            spec: chunk.spec,
+                            conversion: chunk.conversion,
+                            pipeline,
+                        });
+                    }
                 }
-                Err(message) => {
+                Err(failure) => {
                     summary.failed_points += chunk.indices.len();
+                    summary.chunk_errors.push(ChunkError {
+                        block: chunk.block,
+                        system: chunk.system.name.clone(),
+                        spec: chunk.spec,
+                        conversion: chunk.conversion,
+                        message: failure.message.clone(),
+                        panicked: failure.panicked,
+                    });
                     for &index in &chunk.indices {
                         points[index] = Some(PointOutcome {
                             labels: labels[index].clone(),
                             result: Err(SweepError {
                                 point: labels[index].label(),
-                                message: message.clone(),
+                                message: failure.message.clone(),
                             }),
                         });
                     }
                 }
             }
         }
-        let points =
-            points.into_iter().map(|p| p.expect("every point belongs to a chunk")).collect();
-        SweepOutcome { points, summary }
+        let points = points
+            .into_iter()
+            .enumerate()
+            .map(|(index, point)| {
+                // By construction every point belongs to exactly one
+                // chunk; degrade to a per-point error rather than
+                // aborting if that invariant ever breaks.
+                point.unwrap_or_else(|| {
+                    summary.failed_points += 1;
+                    PointOutcome {
+                        labels: labels[index].clone(),
+                        result: Err(SweepError {
+                            point: labels[index].label(),
+                            message: "point was not covered by any chunk".to_string(),
+                        }),
+                    }
+                })
+            })
+            .collect();
+        (SweepOutcome { points, summary }, pipelines)
     }
 }
 
@@ -522,6 +690,13 @@ mod tests {
         let outcome = matrix.run(3);
         assert_eq!(outcome.summary.failed_points, 1);
         assert_eq!(outcome.summary.points, 9);
+        // The failed chunk is reported with its coordinates, as a
+        // returned error rather than a caught panic.
+        assert_eq!(outcome.summary.chunk_errors.len(), 1);
+        let chunk_error = &outcome.summary.chunk_errors[0];
+        assert_eq!(chunk_error.block, 1);
+        assert_eq!(chunk_error.system, "BAD");
+        assert!(!chunk_error.panicked);
         let failed = &outcome.points[8];
         let err = failed.result.as_ref().unwrap_err();
         assert!(err.point.contains("BAD"), "{err}");
@@ -530,6 +705,74 @@ mod tests {
         assert_eq!(outcome.clone().into_reports().unwrap_err(), *err);
         // The healthy points are unaffected.
         assert!(outcome.points[..8].iter().all(|p| p.result.is_ok()));
+    }
+
+    /// A defect distribution whose pmf unwinds — stands in for faulty
+    /// user-supplied code reaching the executor.
+    #[derive(Debug)]
+    struct PanicDist;
+
+    impl DefectDistribution for PanicDist {
+        fn pmf(&self, _k: usize) -> f64 {
+            panic!("deliberate test panic in pmf")
+        }
+
+        fn mean(&self) -> Option<f64> {
+            None
+        }
+    }
+
+    #[test]
+    fn panicking_chunk_is_contained_and_reported() {
+        let mut matrix = small_matrix();
+        let mut bad = SweepBlock::new();
+        bad.systems.push(figure2("PANIC"));
+        bad.distributions.push(NamedDistribution::new("boom", PanicDist));
+        bad.specs.push(OrderingSpec::paper_default());
+        bad.rules.push(TruncationRule::Epsilon(1e-3));
+        matrix.add(bad);
+        let outcome = matrix.run(2);
+        assert_eq!(outcome.summary.points, 9);
+        assert_eq!(outcome.summary.failed_points, 1);
+        assert_eq!(outcome.summary.chunk_errors.len(), 1);
+        let chunk_error = &outcome.summary.chunk_errors[0];
+        assert!(chunk_error.panicked, "{chunk_error}");
+        assert_eq!(chunk_error.block, 1);
+        assert_eq!(chunk_error.system, "PANIC");
+        assert!(chunk_error.message.contains("deliberate test panic"), "{chunk_error}");
+        // The panicking point carries a per-point error …
+        let failed = outcome.points[8].result.as_ref().unwrap_err();
+        assert!(failed.message.contains("deliberate test panic"), "{failed}");
+        // … while every healthy point matches a clean run bit for bit.
+        let clean = small_matrix().run(1);
+        for (a, b) in clean.points.iter().zip(&outcome.points) {
+            assert_eq!(
+                a.result.as_ref().unwrap().yield_lower_bound.to_bits(),
+                b.result.as_ref().unwrap().yield_lower_bound.to_bits(),
+                "{}",
+                a.labels
+            );
+        }
+    }
+
+    #[test]
+    fn kept_pipelines_reevaluate_bit_identically() {
+        let matrix = small_matrix();
+        let (outcome, pipelines) = matrix.run_keeping_pipelines(2);
+        assert_eq!(pipelines.len(), 2);
+        assert_eq!(pipelines[0].system, "F2a");
+        assert_eq!(pipelines[1].system, "F2b");
+        // Re-evaluating on a kept pipeline reuses the compiled diagrams
+        // and reproduces the sweep's result bit for bit.
+        let mut kept = pipelines.into_iter().next().unwrap();
+        let compiles_after_sweep = kept.pipeline.compiles();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = TruncationRule::Epsilon(1e-2).options(kept.spec, kept.conversion);
+        let report = kept.pipeline.evaluate(&lethal, &options).unwrap();
+        let reference = outcome.points[0].result.as_ref().unwrap();
+        assert_eq!(report.yield_lower_bound.to_bits(), reference.yield_lower_bound.to_bits());
+        assert_eq!(kept.pipeline.compiles(), compiles_after_sweep, "no recompilation");
+        assert!(kept.pipeline.live_nodes() > 0);
     }
 
     #[test]

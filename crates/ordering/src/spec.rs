@@ -61,6 +61,12 @@ impl MvOrdering {
             _ => None,
         }
     }
+
+    /// The ordering named by a table mnemonic (inverse of
+    /// [`MvOrdering::mnemonic`]).
+    pub fn from_mnemonic(mnemonic: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.mnemonic() == mnemonic)
+    }
 }
 
 impl fmt::Display for MvOrdering {
@@ -114,6 +120,12 @@ impl GroupOrdering {
             GroupOrdering::H4 => Some(BitHeuristic::H4),
             _ => None,
         }
+    }
+
+    /// The ordering named by a table mnemonic (inverse of
+    /// [`GroupOrdering::mnemonic`]).
+    pub fn from_mnemonic(mnemonic: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.mnemonic() == mnemonic)
     }
 }
 
@@ -289,6 +301,29 @@ impl OrderingSpec {
             Self::Sifted { base, .. } => format!("{}+sift", base.label()),
         }
     }
+
+    /// Parses a [`OrderingSpec::label`]-style string: `mv/group` with an
+    /// optional `+sift` suffix (sifting at [`DEFAULT_SIFT_MAX_GROWTH`]).
+    /// This is the wire format accepted by the `socy-serve` protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrderingError::UnknownLabel`] for unrecognised
+    /// mnemonics or malformed labels, and
+    /// [`OrderingError::IncompatibleCombination`] for pairs the paper
+    /// does not permit.
+    pub fn parse(label: &str) -> Result<Self, OrderingError> {
+        let unknown = || OrderingError::UnknownLabel { label: label.to_string() };
+        let (base, sift) = match label.strip_suffix("+sift") {
+            Some(base) => (base, true),
+            None => (label, false),
+        };
+        let (mv, group) = base.split_once('/').ok_or_else(unknown)?;
+        let mv = MvOrdering::from_mnemonic(mv).ok_or_else(unknown)?;
+        let group = GroupOrdering::from_mnemonic(group).ok_or_else(unknown)?;
+        let spec = Self::new(mv, group)?;
+        Ok(if sift { spec.with_sifting(DEFAULT_SIFT_MAX_GROWTH) } else { spec })
+    }
 }
 
 impl fmt::Display for OrderingSpec {
@@ -322,6 +357,12 @@ pub enum OrderingError {
         /// The rejected bound, in percent.
         max_growth: u32,
     },
+    /// A label handed to [`OrderingSpec::parse`] names no known
+    /// specification.
+    UnknownLabel {
+        /// The rejected label.
+        label: String,
+    },
 }
 
 impl fmt::Display for OrderingError {
@@ -340,6 +381,11 @@ impl fmt::Display for OrderingError {
                 f,
                 "sift growth bound must be at least 100 percent, got {max_growth}"
             ),
+            OrderingError::UnknownLabel { label } => write!(
+                f,
+                "unknown ordering label `{label}` (expected `mv/group` with an optional \
+                 `+sift` suffix, e.g. `w/ml` or `wv/lm+sift`)"
+            ),
         }
     }
 }
@@ -357,6 +403,28 @@ mod tests {
         assert_eq!(GroupOrdering::MsbFirst.to_string(), "ml");
         assert_eq!(GroupOrdering::LsbFirst.mnemonic(), "lm");
         assert_eq!(OrderingSpec::paper_default().label(), "w/ml");
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for mv in MvOrdering::ALL {
+            for group in [GroupOrdering::MsbFirst, GroupOrdering::LsbFirst] {
+                let spec = OrderingSpec::new(mv, group).unwrap();
+                assert_eq!(OrderingSpec::parse(&spec.label()).unwrap(), spec);
+                let sifted = spec.with_sifting(DEFAULT_SIFT_MAX_GROWTH);
+                assert_eq!(OrderingSpec::parse(&sifted.label()).unwrap(), sifted);
+            }
+        }
+        assert_eq!(OrderingSpec::parse("w/ml").unwrap(), OrderingSpec::paper_default());
+        for bad in ["", "w", "w/", "/ml", "q/ml", "w/q", "w-ml", "w/ml+lift"] {
+            let err = OrderingSpec::parse(bad).unwrap_err();
+            assert!(matches!(err, OrderingError::UnknownLabel { .. }), "{bad}: {err}");
+        }
+        // Parsing enforces the same combination rules as construction.
+        assert!(matches!(
+            OrderingSpec::parse("wv/w").unwrap_err(),
+            OrderingError::IncompatibleCombination { .. }
+        ));
     }
 
     #[test]

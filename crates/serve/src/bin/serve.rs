@@ -1,0 +1,107 @@
+//! `serve` — the yield-analysis daemon.
+//!
+//! Reads line-delimited JSON requests on stdin and writes one JSON
+//! response per line on stdout, in request order. A blank input line
+//! flushes the pending batch (all uncached requests of a batch run as one
+//! parallel sweep); EOF flushes and exits. See the `socy_serve` crate
+//! docs and the repository README for the request schema.
+
+use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
+
+use serde::Serialize;
+use socy_serve::{ServiceConfig, YieldService};
+
+const USAGE: &str = "\
+Usage: serve [--threads N] [--node-budget NODES] [--record PATH]
+
+Reads line-delimited JSON requests on stdin; a blank line flushes the
+pending batch, EOF flushes and exits. Writes one JSON response per line
+on stdout, in request order.
+
+  --threads N       worker threads for uncached requests (0 = all cores; default 0)
+  --node-budget N   live-node budget of the pipeline cache (0 = unbounded)
+  --record PATH     additionally write every response into PATH as one
+                    pretty-printed JSON array (for anchor_check replays)";
+
+fn main() -> ExitCode {
+    let mut config = ServiceConfig::default();
+    let mut record: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.threads = n,
+                None => return usage_error("--threads requires an integer"),
+            },
+            "--node-budget" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(0) => config.node_budget = None,
+                Some(n) => config.node_budget = Some(n),
+                None => return usage_error("--node-budget requires an integer"),
+            },
+            "--record" => match args.next() {
+                Some(path) => record = Some(path),
+                None => return usage_error("--record requires a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut service = YieldService::new(config);
+    let mut recorded: Vec<serde::Value> = Vec::new();
+    let mut batch: Vec<String> = Vec::new();
+    for line in io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            flush(&mut service, &mut batch, &mut recorded, record.is_some());
+        } else {
+            batch.push(line);
+        }
+    }
+    flush(&mut service, &mut batch, &mut recorded, record.is_some());
+
+    if let Some(path) = record {
+        let text = serde::Value::Array(recorded).to_pretty_string();
+        if let Err(error) = std::fs::write(&path, text + "\n") {
+            eprintln!("serve: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("serve: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Serves the pending batch: one response line per request, flushed so a
+/// pipe-connected client can read the answers before sending more.
+fn flush(
+    service: &mut YieldService,
+    batch: &mut Vec<String>,
+    recorded: &mut Vec<serde::Value>,
+    record: bool,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let responses = {
+        let lines: Vec<&str> = batch.iter().map(String::as_str).collect();
+        service.handle_batch(&lines)
+    };
+    batch.clear();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for response in &responses {
+        let _ = writeln!(out, "{}", response.to_json_line());
+    }
+    let _ = out.flush();
+    if record {
+        recorded.extend(responses.iter().map(Serialize::to_json));
+    }
+}

@@ -2,9 +2,11 @@
 //! crates.io access). It provides exactly what this workspace consumes:
 //!
 //! * a [`Serialize`] trait that renders a value into an owned JSON
-//!   [`Value`] tree, and
-//! * a `#[derive(Serialize)]` macro (from the sibling `serde_derive`
-//!   shim) for structs with named fields.
+//!   [`Value`] tree,
+//! * a [`Deserialize`] trait that rebuilds a value from such a tree
+//!   (used by the wire protocol of `socy-serve`), and
+//! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros (from the
+//!   sibling `serde_derive` shim) for structs with named fields.
 //!
 //! `serde_json::to_string_pretty` in the sibling `serde_json` shim
 //! pretty-prints that tree. The data model is intentionally tiny; it is
@@ -12,7 +14,7 @@
 
 #![forbid(unsafe_code)]
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// An owned JSON document.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +96,29 @@ impl Value {
             Value::Int(i) if i >= 0 => Some(i as u64),
             _ => None,
         }
+    }
+
+    /// A signed integer payload, or `None` otherwise (including unsigned
+    /// payloads beyond `i64::MAX`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, or `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -274,6 +299,125 @@ impl<T: Serialize + ?Sized> Serialize for &T {
 impl Serialize for Value {
     fn to_json(&self) -> Value {
         self.clone()
+    }
+}
+
+/// Failure to rebuild a typed value from a JSON [`Value`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A readable "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        let found = match found {
+            Value::Null => "null".to_string(),
+            Value::Bool(_) => "a boolean".to_string(),
+            Value::Int(_) | Value::UInt(_) => "an integer".to_string(),
+            Value::Float(_) => "a number".to_string(),
+            Value::String(_) => "a string".to_string(),
+            Value::Array(_) => "an array".to_string(),
+            Value::Object(_) => "an object".to_string(),
+        };
+        DeError(format!("expected {what}, found {found}"))
+    }
+
+    /// Prefixes the error with the field it occurred under.
+    #[must_use]
+    pub fn in_field(self, name: &str) -> Self {
+        DeError(format!("field `{name}`: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can rebuild themselves from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Converts a JSON value into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] naming the first mismatch between the JSON
+    /// shape and the target type.
+    fn from_json(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        value.as_bool().ok_or_else(|| DeError::expected("a boolean", value))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().ok_or_else(|| DeError::expected("a number", value))
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| DeError::expected(
+                        concat!("a non-negative integer fitting ", stringify!($t)),
+                        value,
+                    ))
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| DeError::expected(
+                        concat!("an integer fitting ", stringify!($t)),
+                        value,
+                    ))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for String {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        value.as_str().map(str::to_string).ok_or_else(|| DeError::expected("a string", value))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| DeError::expected("an array", value))?;
+        items.iter().map(T::from_json).collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
     }
 }
 

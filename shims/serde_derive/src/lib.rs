@@ -1,4 +1,5 @@
-//! `#[derive(Serialize)]` for the offline serde shim.
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim.
 //!
 //! Implemented directly on top of `proc_macro` (no `syn`/`quote`, which
 //! are unavailable offline). Supports exactly what this workspace uses:
@@ -11,13 +12,30 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// declaration order, into a JSON object.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    match expand(input) {
+    match expand(input, Direction::Serialize) {
         Ok(stream) => stream,
         Err(message) => format!("compile_error!({message:?});").parse().expect("valid error"),
     }
 }
 
-fn expand(input: TokenStream) -> Result<TokenStream, String> {
+/// Derives `serde::Deserialize` by reading the struct's fields by name
+/// from a JSON object. Missing fields deserialize from `null`, so
+/// `Option` fields default to `None` while required fields produce a
+/// readable "missing field" error.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match expand(input, Direction::Deserialize) {
+        Ok(stream) => stream,
+        Err(message) => format!("compile_error!({message:?});").parse().expect("valid error"),
+    }
+}
+
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, direction: Direction) -> Result<TokenStream, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
 
     // Locate `struct <Name>`, skipping attributes and visibility.
@@ -58,23 +76,51 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
         .ok_or("the serde shim derive supports only structs with named fields")?;
 
     let fields = parse_named_fields(body)?;
-    let mut pushes = String::new();
-    for field in &fields {
-        pushes.push_str(&format!(
-            "__fields.push(({field:?}.to_string(), \
-             ::serde::Serialize::to_json(&self.{field})));\n"
-        ));
-    }
-    let output = format!(
-        "impl ::serde::Serialize for {name} {{\n\
-             fn to_json(&self) -> ::serde::Value {{\n\
-                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
-                     = ::std::vec::Vec::new();\n\
-                 {pushes}\
-                 ::serde::Value::Object(__fields)\n\
-             }}\n\
-         }}\n"
-    );
+    let output = match direction {
+        Direction::Serialize => {
+            let mut pushes = String::new();
+            for field in &fields {
+                pushes.push_str(&format!(
+                    "__fields.push(({field:?}.to_string(), \
+                     ::serde::Serialize::to_json(&self.{field})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Direction::Deserialize => {
+            let mut reads = String::new();
+            for field in &fields {
+                reads.push_str(&format!(
+                    "{field}: match __fields.iter().find(|(k, _)| k == {field:?}) {{\n\
+                         Some((_, v)) => ::serde::Deserialize::from_json(v)\
+                             .map_err(|e| e.in_field({field:?}))?,\n\
+                         None => ::serde::Deserialize::from_json(&::serde::Value::Null)\
+                             .map_err(|_| ::serde::DeError(\
+                                 ::std::format!(\"missing field `{{}}`\", {field:?})))?,\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __fields = __value.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"an object\", __value))?;\n\
+                         ::std::result::Result::Ok(Self {{ {reads} }})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    };
     output.parse().map_err(|e| format!("shim derive produced invalid Rust: {e:?}"))
 }
 

@@ -59,6 +59,17 @@ pub fn from_str(text: &str) -> Result<Value, Error> {
     Ok(value)
 }
 
+/// Converts an already-parsed [`Value`] into a typed `T`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_json(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses a JSON document straight into a typed `T` ([`from_str`] then
+/// [`from_value`]).
+pub fn from_str_typed<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    from_value(&from_str(text)?)
+}
+
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
     while let Some(&b) = bytes.get(*pos) {
         if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -178,20 +189,49 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        // `from_str_radix` would accept a leading sign;
-                        // JSON requires exactly four hex digits.
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        let unit = parse_hex4(bytes, *pos + 1)
                             .ok_or_else(|| Error::parse(*pos, "invalid \\u escape"))?;
-                        // The shim only ever emits BMP escapes for control
-                        // characters; surrogate pairs are rejected.
-                        let c = char::from_u32(hex)
-                            .ok_or_else(|| Error::parse(*pos, "\\u escape is not a scalar"))?;
-                        out.push(c);
-                        *pos += 4;
+                        match unit {
+                            // A high surrogate must be immediately followed
+                            // by an escaped low surrogate; together they
+                            // encode one supplementary-plane scalar.
+                            0xd800..=0xdbff => {
+                                if bytes.get(*pos + 5) != Some(&b'\\')
+                                    || bytes.get(*pos + 6) != Some(&b'u')
+                                {
+                                    return Err(Error::parse(
+                                        *pos,
+                                        "unpaired high surrogate in \\u escape",
+                                    ));
+                                }
+                                let low = parse_hex4(bytes, *pos + 7)
+                                    .ok_or_else(|| Error::parse(*pos + 6, "invalid \\u escape"))?;
+                                if !(0xdc00..=0xdfff).contains(&low) {
+                                    return Err(Error::parse(
+                                        *pos,
+                                        "high surrogate not followed by a low surrogate",
+                                    ));
+                                }
+                                let scalar = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                out.push(
+                                    char::from_u32(scalar).expect("paired surrogates are scalar"),
+                                );
+                                *pos += 10;
+                            }
+                            0xdc00..=0xdfff => {
+                                return Err(Error::parse(
+                                    *pos,
+                                    "unpaired low surrogate in \\u escape",
+                                ));
+                            }
+                            _ => {
+                                let c = char::from_u32(unit).ok_or_else(|| {
+                                    Error::parse(*pos, "\\u escape is not a scalar")
+                                })?;
+                                out.push(c);
+                                *pos += 4;
+                            }
+                        }
                     }
                     _ => return Err(Error::parse(*pos, "invalid escape sequence")),
                 }
@@ -221,6 +261,16 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
     }
 }
 
+/// Reads exactly four hex digits starting at `at`. `from_str_radix`
+/// would accept a leading sign; JSON requires exactly four hex digits.
+fn parse_hex4(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes
+        .get(at..at + 4)
+        .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+}
+
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
@@ -240,9 +290,13 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
     let text = std::str::from_utf8(&bytes[start..*pos])
         .map_err(|_| Error::parse(start, "invalid number"))?;
     if is_float {
+        // `f64::from_str` silently saturates overflowing literals such as
+        // `1e999` to infinity; a wire protocol must reject them instead.
         text.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
             .map(Value::Float)
-            .map_err(|_| Error::parse(start, format!("invalid number `{text}`")))
+            .ok_or_else(|| Error::parse(start, format!("invalid number `{text}`")))
     } else if text.starts_with('-') {
         text.parse::<i64>()
             .map(Value::Int)
@@ -367,9 +421,66 @@ mod tests {
             "nan",
             "\"\\u+0AB\"",
             "\"\\u00\"",
+            // Lone surrogates, in either order, are not scalar values.
+            "\"\\ud83d\"",
+            "\"\\ude00\"",
+            "\"\\ude00\\ud83d\"",
+            "\"\\ud83d x\"",
+            "\"\\ud83d\\u0041\"",
+            // Overflowing floats must not silently become infinity.
+            "1e999",
+            "-1e999",
+            "1e-999e",
+            // Bare control characters must be escaped on the wire.
+            "\"a\u{01}b\"",
+            "\"line\nbreak\"",
         ] {
             let err = super::from_str(bad).unwrap_err();
             assert!(err.to_string().contains("JSON parse error"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn parse_accepts_surrogate_pair_escapes() {
+        let parsed = super::from_str("\"\\ud83d\\ude00 + \\uD83E\\uDD16\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("😀 + 🤖"));
+    }
+
+    #[test]
+    fn underflowing_floats_round_to_zero() {
+        // Underflow is not overflow: tiny magnitudes legitimately round
+        // to zero, matching every mainstream JSON parser.
+        assert_eq!(super::from_str("1e-999").unwrap(), serde::Value::Float(0.0));
+    }
+
+    #[derive(serde::Deserialize, Debug, PartialEq)]
+    struct TypedRow {
+        benchmark: String,
+        lambda: f64,
+        truncation: usize,
+        monte_carlo_yield: Option<f64>,
+    }
+
+    #[test]
+    fn typed_deserialization_round_trips() {
+        let row: TypedRow =
+            super::from_str_typed("{\"benchmark\": \"MS2\", \"lambda\": 1.5, \"truncation\": 6}")
+                .unwrap();
+        assert_eq!(
+            row,
+            TypedRow {
+                benchmark: "MS2".to_string(),
+                lambda: 1.5,
+                truncation: 6,
+                monte_carlo_yield: None,
+            }
+        );
+        let err = super::from_str_typed::<TypedRow>("{\"benchmark\": \"MS2\"}").unwrap_err();
+        assert!(err.to_string().contains("missing field `lambda`"), "{err}");
+        let err = super::from_str_typed::<TypedRow>(
+            "{\"benchmark\": 3, \"lambda\": 1, \"truncation\": 6}",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("benchmark"), "{err}");
     }
 }

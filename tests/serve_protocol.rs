@@ -1,0 +1,210 @@
+//! Integration tests of the `socy-serve` yield service: protocol
+//! round-trips, the compiled-pipeline cache (repeat = hit, bit-identical
+//! yield, zero compilation), and fault containment (a panicking request
+//! answers with an error while the daemon and concurrent requests keep
+//! working).
+
+use socy_serve::{Response, ServiceConfig, YieldService};
+
+fn service() -> YieldService {
+    let threads = std::env::var("SOCY_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    YieldService::new(ServiceConfig { threads, ..ServiceConfig::default() })
+}
+
+const NB: &str = r#"{"kind":"negative_binomial","lambda":1.0,"alpha":4.0}"#;
+
+fn analyze_ms2(id: &str) -> String {
+    format!(
+        r#"{{"type":"analyze","id":"{id}","system":{{"benchmark":"MS2"}},"distribution":{NB},"epsilon":0.001}}"#
+    )
+}
+
+#[test]
+fn every_request_type_round_trips() {
+    let mut service = service();
+
+    // analyze — a benchmark system, cold compilation.
+    let analyze = service.handle_line(&analyze_ms2("a1"));
+    assert_eq!(analyze.id.as_deref(), Some("a1"));
+    assert_eq!(analyze.kind, "analyze");
+    assert!(analyze.ok, "{:?}", analyze.error);
+    assert_eq!(analyze.compiled.as_deref(), Some("cold"));
+    let reports = analyze.reports.as_ref().unwrap();
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].yield_lower_bound > 0.0 && reports[0].yield_lower_bound < 1.0);
+    assert!(reports[0].error_bound <= 0.001);
+    assert_eq!(reports[0].ordering, "w/ml");
+    assert_eq!(reports[0].conversion, "top_down");
+    assert!(reports[0].romdd_live_nodes > 0);
+
+    // sweep — one compilation serves every ε; truncation grows with the
+    // accuracy requirement.
+    let sweep = service.handle_line(
+        r#"{"type":"sweep","id":"s1","system":{"benchmark":"ESEN4x1"},
+            "distribution":{"kind":"poisson","lambda":2.0},"epsilons":[0.01,0.001,0.0001]}"#,
+    );
+    assert!(sweep.ok, "{:?}", sweep.error);
+    assert_eq!(sweep.kind, "sweep");
+    let reports = sweep.reports.as_ref().unwrap();
+    assert_eq!(reports.len(), 3);
+    assert!(reports[0].truncation <= reports[1].truncation);
+    assert!(reports[1].truncation <= reports[2].truncation);
+    assert_eq!(reports[0].rule, "ε=1e-2");
+
+    // analyze — an inline system with a fixed truncation.
+    let inline = service.handle_line(
+        r#"{"id":"tmr","system":{"name":"tmr","netlist":
+            "input a\ninput b\ninput c\nf = atleast2 a b c\noutput f",
+            "components":[0.3,0.3,0.4]},
+            "distribution":{"kind":"empirical","masses":[0.5,0.3,0.2]},"fixed_truncation":2}"#,
+    );
+    assert!(inline.ok, "{:?}", inline.error);
+    assert_eq!(inline.reports.as_ref().unwrap()[0].truncation, 2);
+    assert_eq!(inline.reports.as_ref().unwrap()[0].rule, "M=2");
+
+    // stats — counters cover everything above.
+    let stats = service.handle_line(r#"{"type":"stats","id":"z"}"#);
+    assert!(stats.ok);
+    assert_eq!(stats.kind, "stats");
+    assert_eq!(stats.requests_served, Some(4));
+    let cache = stats.cache.as_ref().unwrap();
+    assert_eq!(cache.misses, 3);
+    assert_eq!(cache.insertions, 3);
+    assert_eq!(cache.resident, 3);
+    assert!(cache.live_nodes > 0);
+}
+
+#[test]
+fn repeated_request_is_served_from_the_cache_bit_identically() {
+    let mut service = service();
+    let first = service.handle_line(&analyze_ms2("r1"));
+    let second = service.handle_line(&analyze_ms2("r2"));
+    assert_eq!(first.compiled.as_deref(), Some("cold"));
+    // The repeat skips compilation entirely …
+    assert_eq!(second.compiled.as_deref(), Some("cached"));
+    let stats = service.cache().stats();
+    assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    // … and reproduces the yield bit for bit.
+    let (a, b) = (&first.reports.unwrap()[0], &second.reports.unwrap()[0]);
+    assert_eq!(a.yield_lower_bound.to_bits(), b.yield_lower_bound.to_bits());
+    assert_eq!(a.error_bound.to_bits(), b.error_bound.to_bits());
+    assert_eq!(a.truncation, b.truncation);
+    assert_eq!(a.romdd_size, b.romdd_size);
+}
+
+#[test]
+fn deeper_truncation_on_a_hit_is_reported_as_recompiled() {
+    let mut service = service();
+    let shallow = service.handle_line(
+        r#"{"id":"lo","system":{"benchmark":"MS2"},"distribution":{"kind":"poisson","lambda":0.5},"epsilon":0.01}"#,
+    );
+    let deep = service.handle_line(
+        r#"{"id":"hi","system":{"benchmark":"MS2"},"distribution":{"kind":"poisson","lambda":0.5},"epsilon":1e-9}"#,
+    );
+    assert_eq!(shallow.compiled.as_deref(), Some("cold"));
+    // Same pipeline (a cache hit), but the tighter ε needs a larger M
+    // than the diagram was compiled at — the extension is surfaced.
+    assert_eq!(deep.compiled.as_deref(), Some("recompiled"));
+    assert_eq!(service.cache().stats().hits, 1);
+    let (a, b) = (&shallow.reports.unwrap()[0], &deep.reports.unwrap()[0]);
+    assert!(b.truncation > a.truncation);
+    assert!(b.compiled_truncation >= b.truncation);
+}
+
+#[test]
+fn panicking_request_fails_alone_while_the_batch_and_daemon_survive() {
+    let mut service = service();
+    // One batch: a panicking (uncached) request next to a healthy one.
+    let boom = r#"{"id":"boom","system":{"benchmark":"MS4"},"distribution":{"kind":"panic"}}"#;
+    let good = format!(
+        r#"{{"id":"good","system":{{"benchmark":"MS6"}},"distribution":{NB},"epsilon":0.001}}"#
+    );
+    let responses = service.handle_batch(&[boom, &good]);
+    assert_eq!(responses.len(), 2);
+    let (boomed, good) = (&responses[0], &responses[1]);
+    assert!(!boomed.ok);
+    assert_eq!(boomed.kind, "error");
+    assert_eq!(boomed.panicked, Some(true));
+    assert!(
+        boomed.error.as_ref().unwrap().contains("deliberate fault injection"),
+        "{:?}",
+        boomed.error
+    );
+    assert!(good.ok, "{:?}", good.error);
+    assert_eq!(good.compiled.as_deref(), Some("cold"));
+    // Nothing half-compiled was cached for the failed request …
+    assert_eq!(service.cache().len(), 1);
+    // … and the daemon keeps serving afterwards.
+    let after = service.handle_line(&analyze_ms2("after"));
+    assert!(after.ok, "{:?}", after.error);
+}
+
+#[test]
+fn a_panicked_cache_hit_evicts_the_resident_pipeline() {
+    let mut service = service();
+    assert!(service.handle_line(&analyze_ms2("warm")).ok);
+    assert_eq!(service.cache().len(), 1);
+    // Same (system, spec, conversion) key, so this evaluates on the
+    // *resident* pipeline — and unwinds on the daemon thread.
+    let boomed = service.handle_line(
+        r#"{"id":"boom","system":{"benchmark":"MS2"},"distribution":{"kind":"panic"}}"#,
+    );
+    assert!(!boomed.ok);
+    assert_eq!(boomed.panicked, Some(true));
+    // The possibly half-updated pipeline was dropped, not trusted.
+    assert_eq!(service.cache().len(), 0);
+    let recovered = service.handle_line(&analyze_ms2("again"));
+    assert!(recovered.ok, "{:?}", recovered.error);
+    assert_eq!(recovered.compiled.as_deref(), Some("cold"));
+}
+
+#[test]
+fn malformed_and_unresolvable_requests_answer_with_errors() {
+    let mut service = service();
+    let garbage = service.handle_line("not json at all");
+    assert!(!garbage.ok);
+    assert_eq!(garbage.kind, "error");
+    assert_eq!(garbage.panicked, Some(false));
+    assert!(garbage.error.as_ref().unwrap().contains("invalid request"));
+
+    let unknown = service.handle_line(
+        r#"{"id":"u","system":{"benchmark":"MS99"},"distribution":{"kind":"poisson","lambda":1.0}}"#,
+    );
+    assert!(!unknown.ok);
+    assert_eq!(unknown.id.as_deref(), Some("u"));
+    assert!(unknown.error.as_ref().unwrap().contains("unknown benchmark"));
+
+    let bad_ordering = service.handle_line(
+        r#"{"id":"o","system":{"benchmark":"MS2"},"distribution":{"kind":"poisson","lambda":1.0},"ordering":"q/zz"}"#,
+    );
+    assert!(!bad_ordering.ok);
+    assert!(bad_ordering.error.as_ref().unwrap().contains("unknown ordering label"));
+
+    // Errors count as served requests but never touch the cache.
+    assert_eq!(service.requests_served(), 3);
+    assert_eq!(service.cache().len(), 0);
+
+    // Responses always serialize to a single line.
+    assert!(!garbage.to_json_line().contains('\n'));
+}
+
+#[test]
+fn responses_serialize_with_stable_field_names() {
+    let mut service = service();
+    let response: Response = service.handle_line(&analyze_ms2("wire"));
+    let line = response.to_json_line();
+    for field in [
+        "\"id\":\"wire\"",
+        "\"kind\":\"analyze\"",
+        "\"compiled\":\"cold\"",
+        "\"reports\":[",
+        "\"yield_lower_bound\":",
+        "\"cache\":{",
+        "\"latency_seconds\":",
+    ] {
+        assert!(line.contains(field), "missing {field} in {line}");
+    }
+    // The wire line round-trips through the JSON parser.
+    let value = serde_json::from_str(&line).unwrap();
+    assert_eq!(value.get("ok").and_then(serde_json::Value::as_bool), Some(true));
+}
