@@ -12,13 +12,14 @@
 //! churn per recursion.
 
 use crate::manager::{BddId, BddManager, TERMINAL_LEVEL};
+use socy_dd::{DdCtx, ONE, ZERO};
 
 /// Operation tags used as keys in the kernel's operation cache.
-const OP_AND: u8 = 0;
-const OP_OR: u8 = 1;
-const OP_XOR: u8 = 2;
-const OP_NOT: u8 = 3;
-const OP_ITE: u8 = 4;
+pub(crate) const OP_AND: u8 = 0;
+pub(crate) const OP_OR: u8 = 1;
+pub(crate) const OP_XOR: u8 = 2;
+pub(crate) const OP_NOT: u8 = 3;
+pub(crate) const OP_ITE: u8 = 4;
 
 /// One unit of work of the iterative apply machine.
 ///
@@ -81,7 +82,7 @@ pub(crate) struct ApplyScratch {
 impl BddManager {
     /// Logical negation.
     pub fn not(&mut self, f: BddId) -> BddId {
-        self.run_apply(OP_NOT, f.0, f.0, 0)
+        self.apply_root(OP_NOT, f.0, f.0, 0)
     }
 
     /// Logical conjunction `f ∧ g`.
@@ -140,7 +141,7 @@ impl BddManager {
 
     /// If-then-else `ite(f, g, h) = f·g + f̄·h`.
     pub fn ite(&mut self, f: BddId, g: BddId, h: BddId) -> BddId {
-        self.run_apply(OP_ITE, f.0, g.0, h.0)
+        self.apply_root(OP_ITE, f.0, g.0, h.0)
     }
 
     /// "At least `k` of the operands are true" (threshold / voter function).
@@ -207,285 +208,303 @@ impl BddManager {
     }
 
     fn binary(&mut self, op: u8, f: BddId, g: BddId) -> BddId {
-        self.run_apply(op, f.0, g.0, 0)
+        self.apply_root(op, f.0, g.0, 0)
     }
 
-    /// The explicit-stack apply machine serving NOT, AND, OR, XOR and
-    /// ITE.
-    ///
-    /// The work stack holds [`Frame`]s; every `Eval` either resolves
-    /// immediately (terminal rule or cache hit) by pushing onto the
-    /// result stack, or expands into its two cofactor `Eval`s below a
-    /// `Combine` that later builds and memoizes the node. Both stacks
-    /// live in the manager's scratch arena and are reused across calls.
-    fn run_apply(&mut self, op: u8, a: u32, b: u32, c: u32) -> BddId {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        debug_assert!(scratch.frames.is_empty() && scratch.results.is_empty());
-        scratch.frames.push(Frame::Eval { op, a, b, c });
-        while let Some(frame) = scratch.frames.pop() {
-            match frame {
-                Frame::Eval { op, a, b, c } => self.eval_step(op, a, b, c, &mut scratch),
-                Frame::Expand { op, a, b } => self.expand_binary(op, a, b, &mut scratch),
-                Frame::Combine { op, a, b, c, top } => {
-                    let high = scratch.results.pop().expect("high cofactor result");
-                    let low = scratch.results.pop().expect("low cofactor result");
-                    let r = self.dd.mk(top, &[low, high]);
-                    self.dd.cache_insert((op, a, b, c), r);
-                    scratch.results.push(r);
-                }
-                Frame::CombineHigh { op, a, b, top, high } => {
-                    let low = scratch.results.pop().expect("low cofactor result");
-                    let r = self.dd.mk(top, &[low, high]);
-                    self.dd.cache_insert((op, a, b, 0), r);
-                    scratch.results.push(r);
-                }
+    /// Runs the apply machine on the sequential kernel, reusing the
+    /// manager's scratch arena.
+    fn apply_root(&mut self, op: u8, a: u32, b: u32, c: u32) -> BddId {
+        if self.compile_threads > 1 {
+            if let Some(r) = crate::par::try_par_apply(self, op, a, b, c) {
+                return BddId(r);
             }
         }
-        let result = scratch.results.pop().expect("the root frame pushed a result");
-        debug_assert!(scratch.results.is_empty());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = run_apply(&mut self.dd, &mut scratch, op, a, b, c);
         self.scratch = scratch;
         BddId(result)
     }
+}
 
-    /// One `Eval` step: terminal rules, cache probe, or expansion.
-    fn eval_step(&mut self, op: u8, a: u32, b: u32, c: u32, scratch: &mut ApplyScratch) {
-        let (f, g, h) = (BddId(a), BddId(b), BddId(c));
-        if op == OP_NOT {
-            if f.is_zero() {
-                scratch.results.push(socy_dd::ONE);
-                return;
-            }
-            if f.is_one() {
-                scratch.results.push(socy_dd::ZERO);
-                return;
-            }
-            if let Some(r) = self.dd.cache_get((OP_NOT, a, a, 0)) {
+/// The explicit-stack apply machine serving NOT, AND, OR, XOR and ITE,
+/// generic over the kernel view: the sequential [`socy_dd::DdKernel`] or
+/// a parallel section's [`socy_dd::ParRef`] (where it acts as the leaf
+/// executor of the work-stealing pool).
+///
+/// The work stack holds [`Frame`]s; every `Eval` either resolves
+/// immediately (terminal rule or cache hit) by pushing onto the result
+/// stack, or expands into its two cofactor `Eval`s below a `Combine`
+/// that later builds and memoizes the node. Both stacks live in a
+/// caller-owned scratch arena and are reused across calls.
+pub(crate) fn run_apply<C: DdCtx>(
+    ctx: &mut C,
+    scratch: &mut ApplyScratch,
+    op: u8,
+    a: u32,
+    b: u32,
+    c: u32,
+) -> u32 {
+    debug_assert!(scratch.frames.is_empty() && scratch.results.is_empty());
+    scratch.frames.push(Frame::Eval { op, a, b, c });
+    while let Some(frame) = scratch.frames.pop() {
+        match frame {
+            Frame::Eval { op, a, b, c } => eval_step(ctx, op, a, b, c, scratch),
+            Frame::Expand { op, a, b } => expand_binary(ctx, op, a, b, scratch),
+            Frame::Combine { op, a, b, c, top } => {
+                let high = scratch.results.pop().expect("high cofactor result");
+                let low = scratch.results.pop().expect("low cofactor result");
+                let r = ctx.mk(top, &[low, high]);
+                ctx.cache_insert((op, a, b, c), r);
                 scratch.results.push(r);
-                return;
             }
-            let top = self.raw_level(f);
-            let (lo, hi) = (self.low(f).0, self.high(f).0);
-            // NOT keys carry the operand twice, matching its cache key.
-            scratch.frames.push(Frame::Combine { op, a, b: a, c: 0, top });
-            scratch.frames.push(Frame::Eval { op, a: hi, b: hi, c: 0 });
-            scratch.frames.push(Frame::Eval { op, a: lo, b: lo, c: 0 });
+            Frame::CombineHigh { op, a, b, top, high } => {
+                let low = scratch.results.pop().expect("low cofactor result");
+                let r = ctx.mk(top, &[low, high]);
+                ctx.cache_insert((op, a, b, 0), r);
+                scratch.results.push(r);
+            }
+        }
+    }
+    let result = scratch.results.pop().expect("the root frame pushed a result");
+    debug_assert!(scratch.results.is_empty());
+    result
+}
+
+/// One `Eval` step: terminal rules, cache probe, or expansion.
+fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, c: u32, scratch: &mut ApplyScratch) {
+    if op == OP_NOT {
+        if a == ZERO {
+            scratch.results.push(ONE);
             return;
         }
-        if op == OP_ITE {
-            if f.is_one() {
-                scratch.results.push(b);
-                return;
-            }
-            if f.is_zero() {
-                scratch.results.push(c);
-                return;
-            }
-            if g == h {
-                scratch.results.push(b);
-                return;
-            }
-            if g.is_one() && h.is_zero() {
-                scratch.results.push(a);
-                return;
-            }
-            if let Some(r) = self.dd.cache_get((OP_ITE, a, b, c)) {
-                scratch.results.push(r);
-                return;
-            }
-            let top = self.raw_level(f).min(self.raw_level(g)).min(self.raw_level(h));
-            debug_assert_ne!(top, TERMINAL_LEVEL);
-            let (f0, f1) = self.cofactors_at(f, top);
-            let (g0, g1) = self.cofactors_at(g, top);
-            let (h0, h1) = self.cofactors_at(h, top);
-            scratch.frames.push(Frame::Combine { op, a, b, c, top });
-            scratch.frames.push(Frame::Eval { op, a: f1.0, b: g1.0, c: h1.0 });
-            scratch.frames.push(Frame::Eval { op, a: f0.0, b: g0.0, c: h0.0 });
+        if a == ONE {
+            scratch.results.push(ZERO);
             return;
         }
-        // Binary connectives: terminal / trivial rules first.
-        match op {
-            OP_AND => {
-                if f.is_zero() || g.is_zero() {
-                    scratch.results.push(socy_dd::ZERO);
-                    return;
-                }
-                if f.is_one() {
-                    scratch.results.push(b);
-                    return;
-                }
-                if g.is_one() {
-                    scratch.results.push(a);
-                    return;
-                }
-                if f == g {
-                    scratch.results.push(a);
-                    return;
-                }
-            }
-            OP_OR => {
-                if f.is_one() || g.is_one() {
-                    scratch.results.push(socy_dd::ONE);
-                    return;
-                }
-                if f.is_zero() {
-                    scratch.results.push(b);
-                    return;
-                }
-                if g.is_zero() {
-                    scratch.results.push(a);
-                    return;
-                }
-                if f == g {
-                    scratch.results.push(a);
-                    return;
-                }
-            }
-            OP_XOR => {
-                if f.is_zero() {
-                    scratch.results.push(b);
-                    return;
-                }
-                if g.is_zero() {
-                    scratch.results.push(a);
-                    return;
-                }
-                if f == g {
-                    scratch.results.push(socy_dd::ZERO);
-                    return;
-                }
-                if f.is_one() {
-                    // ¬g, evaluated by the same machine.
-                    scratch.frames.push(Frame::Eval { op: OP_NOT, a: b, b, c: 0 });
-                    return;
-                }
-                if g.is_one() {
-                    scratch.frames.push(Frame::Eval { op: OP_NOT, a, b: a, c: 0 });
-                    return;
-                }
-            }
-            _ => unreachable!("unknown binary op"),
-        }
-        // Commutative operations: normalise the operand order for better
-        // cache hit rates.
-        let (x, y) = if a <= b { (a, b) } else { (b, a) };
-        if let Some(r) = self.dd.cache_get((op, x, y, 0)) {
+        if let Some(r) = ctx.cache_get((OP_NOT, a, a, 0)) {
             scratch.results.push(r);
             return;
         }
-        self.expand_binary(op, x, y, scratch);
+        let top = ctx.raw_level(a);
+        let (lo, hi) = (ctx.child(a, 0), ctx.child(a, 1));
+        // NOT keys carry the operand twice, matching its cache key.
+        scratch.frames.push(Frame::Combine { op, a, b: a, c: 0, top });
+        scratch.frames.push(Frame::Eval { op, a: hi, b: hi, c: 0 });
+        scratch.frames.push(Frame::Eval { op, a: lo, b: lo, c: 0 });
+        return;
     }
+    if op == OP_ITE {
+        if a == ONE {
+            scratch.results.push(b);
+            return;
+        }
+        if a == ZERO {
+            scratch.results.push(c);
+            return;
+        }
+        if b == c {
+            scratch.results.push(b);
+            return;
+        }
+        if b == ONE && c == ZERO {
+            scratch.results.push(a);
+            return;
+        }
+        if let Some(r) = ctx.cache_get((OP_ITE, a, b, c)) {
+            scratch.results.push(r);
+            return;
+        }
+        let top = ctx.raw_level(a).min(ctx.raw_level(b)).min(ctx.raw_level(c));
+        debug_assert_ne!(top, TERMINAL_LEVEL);
+        let (f0, f1) = cofactors_at(ctx, a, top);
+        let (g0, g1) = cofactors_at(ctx, b, top);
+        let (h0, h1) = cofactors_at(ctx, c, top);
+        scratch.frames.push(Frame::Combine { op, a, b, c, top });
+        scratch.frames.push(Frame::Eval { op, a: f1, b: g1, c: h1 });
+        scratch.frames.push(Frame::Eval { op, a: f0, b: g0, c: h0 });
+        return;
+    }
+    // Binary connectives: terminal / trivial rules first.
+    match op {
+        OP_AND => {
+            if a == ZERO || b == ZERO {
+                scratch.results.push(ZERO);
+                return;
+            }
+            if a == ONE {
+                scratch.results.push(b);
+                return;
+            }
+            if b == ONE {
+                scratch.results.push(a);
+                return;
+            }
+            if a == b {
+                scratch.results.push(a);
+                return;
+            }
+        }
+        OP_OR => {
+            if a == ONE || b == ONE {
+                scratch.results.push(ONE);
+                return;
+            }
+            if a == ZERO {
+                scratch.results.push(b);
+                return;
+            }
+            if b == ZERO {
+                scratch.results.push(a);
+                return;
+            }
+            if a == b {
+                scratch.results.push(a);
+                return;
+            }
+        }
+        OP_XOR => {
+            if a == ZERO {
+                scratch.results.push(b);
+                return;
+            }
+            if b == ZERO {
+                scratch.results.push(a);
+                return;
+            }
+            if a == b {
+                scratch.results.push(ZERO);
+                return;
+            }
+            if a == ONE {
+                // ¬g, evaluated by the same machine.
+                scratch.frames.push(Frame::Eval { op: OP_NOT, a: b, b, c: 0 });
+                return;
+            }
+            if b == ONE {
+                scratch.frames.push(Frame::Eval { op: OP_NOT, a, b: a, c: 0 });
+                return;
+            }
+        }
+        _ => unreachable!("unknown binary op"),
+    }
+    // Commutative operations: normalise the operand order for better
+    // cache hit rates.
+    let (x, y) = if a <= b { (a, b) } else { (b, a) };
+    if let Some(r) = ctx.cache_get((op, x, y, 0)) {
+        scratch.results.push(r);
+        return;
+    }
+    expand_binary(ctx, op, x, y, scratch);
+}
 
-    /// Shannon expansion of a binary subproblem whose terminal rules and
-    /// cache probe already ran. Children that resolve immediately — by a
-    /// terminal rule or a cache hit — never become frames, so the common
-    /// mixed case costs one frame round-trip instead of three.
-    fn expand_binary(&mut self, op: u8, x: u32, y: u32, scratch: &mut ApplyScratch) {
-        // The connectives are commutative and keyed on the normalised
-        // pair; child subproblems arrive here unnormalised via
-        // `Frame::Expand`, so normalise again before keying the result.
-        let (x, y) = if x <= y { (x, y) } else { (y, x) };
-        let (f, g) = (BddId(x), BddId(y));
-        let top = self.raw_level(f).min(self.raw_level(g));
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (g0, g1) = self.cofactors_at(g, top);
-        let low = self.immediate_binary(op, f0.0, g0.0);
-        let high = self.immediate_binary(op, f1.0, g1.0);
-        match (low, high) {
-            (Immediate::Resolved(lo), Immediate::Resolved(hi)) => {
-                let r = self.dd.mk(top, &[lo, hi]);
-                self.dd.cache_insert((op, x, y, 0), r);
-                scratch.results.push(r);
-            }
-            (Immediate::Resolved(lo), high) => {
-                scratch.frames.push(Frame::Combine { op, a: x, b: y, c: 0, top });
-                scratch.results.push(lo);
-                scratch.frames.push(match high {
-                    Immediate::Expand => Frame::Expand { op, a: f1.0, b: g1.0 },
-                    _ => Frame::Eval { op, a: f1.0, b: g1.0, c: 0 },
-                });
-            }
-            (low, Immediate::Resolved(hi)) => {
-                scratch.frames.push(Frame::CombineHigh { op, a: x, b: y, top, high: hi });
-                scratch.frames.push(match low {
-                    Immediate::Expand => Frame::Expand { op, a: f0.0, b: g0.0 },
-                    _ => Frame::Eval { op, a: f0.0, b: g0.0, c: 0 },
-                });
-            }
-            (low, high) => {
-                scratch.frames.push(Frame::Combine { op, a: x, b: y, c: 0, top });
-                scratch.frames.push(match high {
-                    Immediate::Expand => Frame::Expand { op, a: f1.0, b: g1.0 },
-                    _ => Frame::Eval { op, a: f1.0, b: g1.0, c: 0 },
-                });
-                scratch.frames.push(match low {
-                    Immediate::Expand => Frame::Expand { op, a: f0.0, b: g0.0 },
-                    _ => Frame::Eval { op, a: f0.0, b: g0.0, c: 0 },
-                });
-            }
+/// Shannon expansion of a binary subproblem whose terminal rules and
+/// cache probe already ran. Children that resolve immediately — by a
+/// terminal rule or a cache hit — never become frames, so the common
+/// mixed case costs one frame round-trip instead of three.
+fn expand_binary<C: DdCtx>(ctx: &mut C, op: u8, x: u32, y: u32, scratch: &mut ApplyScratch) {
+    // The connectives are commutative and keyed on the normalised
+    // pair; child subproblems arrive here unnormalised via
+    // `Frame::Expand`, so normalise again before keying the result.
+    let (x, y) = if x <= y { (x, y) } else { (y, x) };
+    let top = ctx.raw_level(x).min(ctx.raw_level(y));
+    let (f0, f1) = cofactors_at(ctx, x, top);
+    let (g0, g1) = cofactors_at(ctx, y, top);
+    let low = immediate_binary(ctx, op, f0, g0);
+    let high = immediate_binary(ctx, op, f1, g1);
+    match (low, high) {
+        (Immediate::Resolved(lo), Immediate::Resolved(hi)) => {
+            let r = ctx.mk(top, &[lo, hi]);
+            ctx.cache_insert((op, x, y, 0), r);
+            scratch.results.push(r);
+        }
+        (Immediate::Resolved(lo), high) => {
+            scratch.frames.push(Frame::Combine { op, a: x, b: y, c: 0, top });
+            scratch.results.push(lo);
+            scratch.frames.push(match high {
+                Immediate::Expand => Frame::Expand { op, a: f1, b: g1 },
+                _ => Frame::Eval { op, a: f1, b: g1, c: 0 },
+            });
+        }
+        (low, Immediate::Resolved(hi)) => {
+            scratch.frames.push(Frame::CombineHigh { op, a: x, b: y, top, high: hi });
+            scratch.frames.push(match low {
+                Immediate::Expand => Frame::Expand { op, a: f0, b: g0 },
+                _ => Frame::Eval { op, a: f0, b: g0, c: 0 },
+            });
+        }
+        (low, high) => {
+            scratch.frames.push(Frame::Combine { op, a: x, b: y, c: 0, top });
+            scratch.frames.push(match high {
+                Immediate::Expand => Frame::Expand { op, a: f1, b: g1 },
+                _ => Frame::Eval { op, a: f1, b: g1, c: 0 },
+            });
+            scratch.frames.push(match low {
+                Immediate::Expand => Frame::Expand { op, a: f0, b: g0 },
+                _ => Frame::Eval { op, a: f0, b: g0, c: 0 },
+            });
         }
     }
+}
 
-    /// Tries to resolve a binary subproblem without a frame: terminal /
-    /// trivial rules, then (operands normalised) one cache probe. The
-    /// `Expand` outcome means the probe missed — the caller must push an
-    /// [`Frame::Expand`], not an `Eval`, so the probe is not repeated.
-    fn immediate_binary(&mut self, op: u8, a: u32, b: u32) -> Immediate {
-        let (f, g) = (BddId(a), BddId(b));
-        match op {
-            OP_AND => {
-                if f.is_zero() || g.is_zero() {
-                    return Immediate::Resolved(socy_dd::ZERO);
-                }
-                if f.is_one() {
-                    return Immediate::Resolved(b);
-                }
-                if g.is_one() || f == g {
-                    return Immediate::Resolved(a);
-                }
+/// Tries to resolve a binary subproblem without a frame: terminal /
+/// trivial rules, then (operands normalised) one cache probe. The
+/// `Expand` outcome means the probe missed — the caller must push an
+/// [`Frame::Expand`], not an `Eval`, so the probe is not repeated.
+fn immediate_binary<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32) -> Immediate {
+    match op {
+        OP_AND => {
+            if a == ZERO || b == ZERO {
+                return Immediate::Resolved(ZERO);
             }
-            OP_OR => {
-                if f.is_one() || g.is_one() {
-                    return Immediate::Resolved(socy_dd::ONE);
-                }
-                if f.is_zero() {
-                    return Immediate::Resolved(b);
-                }
-                if g.is_zero() || f == g {
-                    return Immediate::Resolved(a);
-                }
+            if a == ONE {
+                return Immediate::Resolved(b);
             }
-            OP_XOR => {
-                if f.is_zero() {
-                    return Immediate::Resolved(b);
-                }
-                if g.is_zero() {
-                    return Immediate::Resolved(a);
-                }
-                if f == g {
-                    return Immediate::Resolved(socy_dd::ZERO);
-                }
-                if f.is_one() || g.is_one() {
-                    // Redirects to NOT: needs the full Eval treatment.
-                    return Immediate::Defer;
-                }
+            if b == ONE || a == b {
+                return Immediate::Resolved(a);
             }
-            _ => unreachable!("unknown binary op"),
         }
-        let (x, y) = if a <= b { (a, b) } else { (b, a) };
-        match self.dd.cache_get((op, x, y, 0)) {
-            Some(r) => Immediate::Resolved(r),
-            None => Immediate::Expand,
+        OP_OR => {
+            if a == ONE || b == ONE {
+                return Immediate::Resolved(ONE);
+            }
+            if a == ZERO {
+                return Immediate::Resolved(b);
+            }
+            if b == ZERO || a == b {
+                return Immediate::Resolved(a);
+            }
         }
+        OP_XOR => {
+            if a == ZERO {
+                return Immediate::Resolved(b);
+            }
+            if b == ZERO {
+                return Immediate::Resolved(a);
+            }
+            if a == b {
+                return Immediate::Resolved(ZERO);
+            }
+            if a == ONE || b == ONE {
+                // Redirects to NOT: needs the full Eval treatment.
+                return Immediate::Defer;
+            }
+        }
+        _ => unreachable!("unknown binary op"),
     }
+    let (x, y) = if a <= b { (a, b) } else { (b, a) };
+    match ctx.cache_get((op, x, y, 0)) {
+        Some(r) => Immediate::Resolved(r),
+        None => Immediate::Expand,
+    }
+}
 
-    /// The cofactors of `f` with respect to the variable at raw level `top`
-    /// (which must be ≤ the level of `f`'s top variable).
-    pub(crate) fn cofactors_at(&self, f: BddId, top: u32) -> (BddId, BddId) {
-        if f.is_terminal() || self.raw_level(f) != top {
-            (f, f)
-        } else {
-            (self.low(f), self.high(f))
-        }
+/// The cofactors of `f` with respect to the variable at raw level `top`
+/// (which must be ≤ the level of `f`'s top variable).
+pub(crate) fn cofactors_at<C: DdCtx>(ctx: &C, f: u32, top: u32) -> (u32, u32) {
+    if f <= ONE || ctx.raw_level(f) != top {
+        (f, f)
+    } else {
+        (ctx.child(f, 0), ctx.child(f, 1))
     }
 }
 

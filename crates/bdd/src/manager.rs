@@ -67,12 +67,27 @@ pub struct BddManager {
     /// Reusable stacks of the iterative apply machine (see
     /// [`crate::apply`]).
     pub(crate) scratch: crate::apply::ApplyScratch,
+    /// Worker threads for intra-operation parallel sections (1 = always
+    /// sequential; see [`crate::par`]).
+    pub(crate) compile_threads: usize,
+    /// Minimum operand size (capped node count) below which an operation
+    /// stays sequential even when `compile_threads > 1`.
+    pub(crate) par_grain: usize,
 }
+
+/// Default sequential-grain cutoff: operands smaller than this never
+/// open a parallel section (splitting overhead would dominate).
+pub const DEFAULT_PAR_GRAIN: usize = 4096;
 
 impl BddManager {
     /// Creates a manager over `num_levels` boolean variable levels.
     pub fn new(num_levels: usize) -> Self {
-        Self { dd: DdKernel::new(vec![2; num_levels]), scratch: Default::default() }
+        Self {
+            dd: DdKernel::new(vec![2; num_levels]),
+            scratch: Default::default(),
+            compile_threads: 1,
+            par_grain: DEFAULT_PAR_GRAIN,
+        }
     }
 
     /// Creates a manager whose operation cache starts with `capacity`
@@ -84,7 +99,31 @@ impl BddManager {
         Self {
             dd: DdKernel::with_cache_capacity(vec![2; num_levels], capacity, max_capacity),
             scratch: Default::default(),
+            compile_threads: 1,
+            par_grain: DEFAULT_PAR_GRAIN,
         }
+    }
+
+    /// Sets the number of worker threads used *inside* a single
+    /// apply/ITE call. `1` (the default) keeps every operation on the
+    /// calling thread; higher counts split large operations across a
+    /// work-stealing pool with canonical, thread-count-invariant results
+    /// (node counts and probabilities are bit-identical at every
+    /// setting).
+    pub fn set_compile_threads(&mut self, threads: usize) {
+        self.compile_threads = threads.max(1);
+    }
+
+    /// Worker threads used inside a single operation.
+    pub fn compile_threads(&self) -> usize {
+        self.compile_threads
+    }
+
+    /// Sets the sequential-grain cutoff: operations whose operands hold
+    /// fewer than `grain` nodes stay sequential even with
+    /// [`BddManager::set_compile_threads`] above 1.
+    pub fn set_par_grain(&mut self, grain: usize) {
+        self.par_grain = grain.max(1);
     }
 
     /// The FALSE terminal.
@@ -196,6 +235,13 @@ impl BddManager {
     /// closures of all roots plus any garbage not yet collected).
     pub fn allocated_nodes(&self) -> usize {
         self.dd.allocated_nodes()
+    }
+
+    /// Number of nodes reachable from `root`, but never counting past
+    /// `cap` — a cheap "is this operand at least this big?" probe (used
+    /// by the coded-ROBDD → ROMDD converter's parallel-grain gate).
+    pub fn node_count_capped(&self, root: BddId, cap: usize) -> usize {
+        self.dd.node_count_capped(&[root.0], cap)
     }
 
     /// Kernel statistics: peak/live nodes, unique-table entries,

@@ -1,0 +1,194 @@
+//! Parallel apply/ITE: splits one operation across a work-stealing pool
+//! over a [`socy_dd::ParSession`].
+//!
+//! The splitter mirrors the terminal rules of the sequential machine
+//! exactly (plus a read-only probe of the frozen op cache), Shannon-
+//! expanding at the top variable until enough leaves exist to keep the
+//! pool busy; each leaf then runs the ordinary explicit-stack
+//! [`crate::apply`] machine against the shared session. Hash-consing
+//! makes the result canonical and bit-identical at every thread count.
+
+use crate::apply::{cofactors_at, run_apply, ApplyScratch, OP_ITE, OP_NOT, OP_XOR};
+use crate::manager::BddManager;
+use socy_dd::kernel::DdKernel;
+use socy_dd::{run_tasks, ParSession, Split, ONE, ZERO};
+
+/// One apply subproblem: `(op, a, b, c)`, exactly the op-cache key shape.
+type Task = (u8, u32, u32, u32);
+
+/// Normalised binary subtask (the connectives are commutative, so
+/// sorting the operands makes task deduplication match cache keying).
+fn binary_task(op: u8, a: u32, b: u32) -> Task {
+    if a <= b {
+        (op, a, b, 0)
+    } else {
+        (op, b, a, 0)
+    }
+}
+
+/// Terminal rules + frozen-cache probe + one Shannon expansion, mirroring
+/// `eval_step` of the sequential machine rule for rule. Runs only on the
+/// frozen kernel, so every id in a task is a frozen arena id.
+fn split_task(dd: &DdKernel, task: &Task) -> Split<Task> {
+    let &(op, a, b, c) = task;
+    if op == OP_NOT {
+        if a == ZERO {
+            return Split::Done(ONE);
+        }
+        if a == ONE {
+            return Split::Done(ZERO);
+        }
+        if let Some(r) = dd.cache_peek((OP_NOT, a, a, 0)) {
+            return Split::Done(r);
+        }
+        let top = dd.raw_level(a);
+        let (lo, hi) = (dd.child(a, 0), dd.child(a, 1));
+        return Split::Branch { level: top, tasks: vec![(OP_NOT, lo, lo, 0), (OP_NOT, hi, hi, 0)] };
+    }
+    if op == OP_ITE {
+        if a == ONE {
+            return Split::Done(b);
+        }
+        if a == ZERO {
+            return Split::Done(c);
+        }
+        if b == c {
+            return Split::Done(b);
+        }
+        if b == ONE && c == ZERO {
+            return Split::Done(a);
+        }
+        if let Some(r) = dd.cache_peek((OP_ITE, a, b, c)) {
+            return Split::Done(r);
+        }
+        let top = dd.raw_level(a).min(dd.raw_level(b)).min(dd.raw_level(c));
+        let (f0, f1) = cofactors_at(dd, a, top);
+        let (g0, g1) = cofactors_at(dd, b, top);
+        let (h0, h1) = cofactors_at(dd, c, top);
+        return Split::Branch {
+            level: top,
+            tasks: vec![(OP_ITE, f0, g0, h0), (OP_ITE, f1, g1, h1)],
+        };
+    }
+    // Binary connectives (AND = 0, OR = 1, XOR = 2).
+    match op {
+        0 => {
+            if a == ZERO || b == ZERO {
+                return Split::Done(ZERO);
+            }
+            if a == ONE {
+                return Split::Done(b);
+            }
+            if b == ONE || a == b {
+                return Split::Done(a);
+            }
+        }
+        1 => {
+            if a == ONE || b == ONE {
+                return Split::Done(ONE);
+            }
+            if a == ZERO {
+                return Split::Done(b);
+            }
+            if b == ZERO || a == b {
+                return Split::Done(a);
+            }
+        }
+        OP_XOR => {
+            if a == ZERO {
+                return Split::Done(b);
+            }
+            if b == ZERO {
+                return Split::Done(a);
+            }
+            if a == b {
+                return Split::Done(ZERO);
+            }
+            if a == ONE {
+                return Split::Chain((OP_NOT, b, b, 0));
+            }
+            if b == ONE {
+                return Split::Chain((OP_NOT, a, a, 0));
+            }
+        }
+        _ => unreachable!("unknown binary op"),
+    }
+    let (_, x, y, _) = binary_task(op, a, b);
+    if let Some(r) = dd.cache_peek((op, x, y, 0)) {
+        return Split::Done(r);
+    }
+    let top = dd.raw_level(x).min(dd.raw_level(y));
+    let (f0, f1) = cofactors_at(dd, x, top);
+    let (g0, g1) = cofactors_at(dd, y, top);
+    Split::Branch { level: top, tasks: vec![binary_task(op, f0, g0), binary_task(op, f1, g1)] }
+}
+
+/// Runs `op(a, b, c)` as a parallel section when the operands are large
+/// enough to be worth it; returns `None` to fall back to the sequential
+/// machine. The returned id is a frozen arena id (the session is
+/// absorbed before returning).
+pub(crate) fn try_par_apply(mgr: &mut BddManager, op: u8, a: u32, b: u32, c: u32) -> Option<u32> {
+    let grain = mgr.par_grain;
+    if mgr.dd.node_count_capped(&[a, b, c], grain) < grain {
+        return None;
+    }
+    let threads = mgr.compile_threads;
+    let root = match op {
+        OP_NOT | OP_ITE => (op, a, b, c),
+        _ => binary_task(op, a, b),
+    };
+    let session = ParSession::new(&mgr.dd);
+    let kernel = session.kernel();
+    let got = run_tasks(
+        &session,
+        threads,
+        threads * 8,
+        root,
+        |task| split_task(kernel, task),
+        ApplyScratch::default,
+        |ctx, scratch, &(op, a, b, c)| run_apply(ctx, scratch, op, a, b, c),
+    );
+    let parts = session.into_parts();
+    let mut roots = [got];
+    mgr.dd.absorb_par(parts, &mut roots);
+    Some(roots[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::manager::{BddId, BddManager};
+
+    fn build(mgr: &mut BddManager) -> BddId {
+        let vars: Vec<BddId> = (0..14).map(|i| mgr.var(i)).collect();
+        let t = mgr.at_least(5, &vars);
+        let x = mgr.xor(vars[0], vars[13]);
+        let anded = mgr.and(t, x);
+        let n = mgr.not(anded);
+        mgr.ite(n, t, x)
+    }
+
+    #[test]
+    fn parallel_apply_is_bit_identical_across_thread_counts() {
+        let mut seq = BddManager::new(14);
+        let f_seq = build(&mut seq);
+        for threads in [2usize, 4] {
+            let mut par = BddManager::new(14);
+            par.set_compile_threads(threads);
+            par.set_par_grain(8); // tiny grain: force parallel sections on a small model
+            let f_par = build(&mut par);
+            assert_eq!(
+                par.inner_node_count(f_par),
+                seq.inner_node_count(f_seq),
+                "node counts must be thread-count-invariant"
+            );
+            for row in (0..1u32 << 14).step_by(97) {
+                let assignment: Vec<bool> = (0..14).map(|i| (row >> i) & 1 == 1).collect();
+                assert_eq!(par.eval(f_par, &assignment), seq.eval(f_seq, &assignment));
+            }
+            let stats = par.stats();
+            assert!(stats.par_sections > 0, "grain 8 must open parallel sections");
+            assert!(stats.par_tasks > 0);
+            assert_eq!(seq.stats().par_sections, 0, "sequential manager never parallelises");
+        }
+    }
+}

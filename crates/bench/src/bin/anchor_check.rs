@@ -1,23 +1,31 @@
 //! CI gate for the paper anchors and the perf-smoke sweep: compares a
 //! freshly produced JSON dump against its pinned fixture under
 //! `tests/fixtures/`, ignoring only the volatile wall-clock/environment
-//! fields (`seconds`, `*_seconds`, `threads`). Any drift in node counts,
-//! peaks, truncations, cache statistics or yields fails the build with a
-//! per-field report; missing or malformed files fail with a readable
-//! message instead of a panic.
+//! fields (`seconds`, `*_seconds`, `threads`, `compile_threads`, the
+//! `par_*` counters). Any drift in node counts, peaks, truncations,
+//! cache statistics or yields fails the build with a per-field report;
+//! missing or malformed files fail with a readable message instead of a
+//! panic.
 //!
-//! Usage: `anchor_check <fixture.json> <actual.json> [...more pairs]`
+//! With `--volatile-cache-counters` the `*_cache_*` tallies are exempt
+//! too: the concurrent op cache used at `--compile-threads > 1` is
+//! lossy, so its hit/miss/eviction counts are scheduling-dependent even
+//! though every result (yields, node counts, truncations) stays
+//! bit-identical — this is the mode CI uses to gate a parallel-compile
+//! run against the sequential fixture.
+//!
+//! Usage: `anchor_check [--volatile-cache-counters] <fixture.json> <actual.json> [...more pairs]`
 
-use soc_yield_bench::diff_anchor_values;
+use soc_yield_bench::diff_anchor_values_lax;
 
 fn read(path: &str, role: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {role} {path}: {e}"))
 }
 
-fn check_pair(fixture_path: &str, actual_path: &str) -> Result<(), String> {
+fn check_pair(fixture_path: &str, actual_path: &str, lax_cache: bool) -> Result<(), String> {
     let fixture = read(fixture_path, "fixture")?;
     let actual = read(actual_path, "file")?;
-    match diff_anchor_values(&fixture, &actual) {
+    match diff_anchor_values_lax(&fixture, &actual, lax_cache) {
         Err(message) => Err(message),
         Ok(diffs) if diffs.is_empty() => Ok(()),
         Ok(diffs) => Err(format!("{} divergent field(s):\n  {}", diffs.len(), diffs.join("\n  "))),
@@ -25,15 +33,27 @@ fn check_pair(fixture_path: &str, actual_path: &str) -> Result<(), String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut lax_cache = false;
+    args.retain(|arg| {
+        if arg == "--volatile-cache-counters" {
+            lax_cache = true;
+            false
+        } else {
+            true
+        }
+    });
     if args.is_empty() || !args.len().is_multiple_of(2) {
-        eprintln!("usage: anchor_check <fixture.json> <actual.json> [...more pairs]");
+        eprintln!(
+            "usage: anchor_check [--volatile-cache-counters] \
+             <fixture.json> <actual.json> [...more pairs]"
+        );
         std::process::exit(2);
     }
     let mut failed = false;
     for pair in args.chunks(2) {
         let (fixture_path, actual_path) = (&pair[0], &pair[1]);
-        match check_pair(fixture_path, actual_path) {
+        match check_pair(fixture_path, actual_path, lax_cache) {
             Ok(()) => println!("OK   {actual_path} matches {fixture_path}"),
             Err(report) => {
                 eprintln!("FAIL {actual_path} vs {fixture_path}\n{report}");

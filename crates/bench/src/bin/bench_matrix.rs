@@ -6,14 +6,20 @@
 //!
 //! * `--threads N` — worker pool size (`0` = all cores). All
 //!   deterministic fields are bit-identical for every value.
+//! * `--compile-threads N` — worker threads *inside* each chunk's
+//!   compilation (sharded unique table + work-stealing apply; default 1).
+//!   Orthogonal to `--threads`, and likewise bit-identical for every
+//!   value — only the lossy op cache's tallies and the `par_*` counters
+//!   are scheduling-dependent, which is why CI gates parallel-compile
+//!   runs with `anchor_check --volatile-cache-counters`.
 //! * `--json <path>` — write the artifact (CI's `perf-smoke` job passes
 //!   `BENCH_sweep.json` and gates the deterministic fields against
 //!   `tests/fixtures/bench_sweep.json` with `anchor_check`).
 //! * `--baseline <path>` — additionally print a per-point
 //!   speedup/regression table against a previously saved artifact.
 //!
-//! The matrix is fixed on purpose, in three blocks sized for a CI smoke
-//! job (a few seconds single-threaded, 15 compilation chunks with no
+//! The matrix is fixed on purpose, in four blocks sized for a CI smoke
+//! job (a few seconds single-threaded, 16 compilation chunks with no
 //! chunk dominating, so the speedup is visible at 2–4 threads):
 //!
 //! 1. **static λ'=1** — all five pinned benchmarks × {w/ml, wv/ml} ×
@@ -23,7 +29,11 @@
 //!    specs/ε values;
 //! 3. **sifted** — ESEN4x1 under `w/ml+sift` (dynamic sifting is the
 //!    costly managed-kernel path; one small instance keeps it honest and
-//!    exercises GC accounting without dominating the wall clock).
+//!    exercises GC accounting without dominating the wall clock);
+//! 4. **high-M single chunk** — ESEN4x2 dense (λ'=2, ε=1e-3): one big
+//!    compilation that the sweep-level pool cannot parallelise. This is
+//!    the point where `--compile-threads` matters — the intra-compile
+//!    parallel apply is the only speedup available to it.
 
 use soc_yield_bench::{
     baseline_comparison, parse_cli, summary_line, system_spec, workload_distribution,
@@ -80,13 +90,25 @@ fn pinned_matrix() -> SweepMatrix {
     sifted.rules.push(TruncationRule::Epsilon(1e-3));
     matrix.add(sifted);
 
+    let mut high_m = SweepBlock::new();
+    high_m.systems = systems(&["ESEN4x2"]);
+    high_m.distributions.push(lethal(2.0));
+    high_m.specs.push(OrderingSpec::paper_default());
+    high_m.rules.push(TruncationRule::Epsilon(1e-3));
+    matrix.add(high_m);
+
     matrix
 }
 
 fn main() {
-    let CliArgs { json, threads, baseline, .. } = parse_cli(usize::MAX);
-    let matrix = pinned_matrix();
-    println!("bench_matrix: pinned perf sweep ({} design points)", matrix.len());
+    let CliArgs { json, threads, compile_threads, baseline, .. } = parse_cli(usize::MAX);
+    let mut matrix = pinned_matrix();
+    matrix.compile_threads = compile_threads;
+    println!(
+        "bench_matrix: pinned perf sweep ({} design points, compile-threads {})",
+        matrix.len(),
+        compile_threads.max(1)
+    );
     let outcome = matrix.run(threads);
     let doc = BenchSweepDoc::from_outcome(&outcome);
 
@@ -125,6 +147,15 @@ fn main() {
         outcome.summary.robdd.cache_evict_percent(),
         outcome.summary.robdd.gc_runs,
     );
+    if outcome.summary.compile_threads > 1 {
+        println!(
+            "parallel compile: {} sections · {} tasks · {} steals · {} shard-lock contentions",
+            doc.totals.par_sections,
+            doc.totals.par_tasks,
+            doc.totals.par_steals,
+            doc.totals.par_shard_contention,
+        );
+    }
     // Write the artifact even when points failed: CI's `if: always()`
     // upload step and local debugging both want the partial results.
     if let Some(path) = &json {

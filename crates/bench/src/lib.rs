@@ -138,6 +138,19 @@ pub struct ResultRow {
     /// Wall-clock seconds of the compile that produced the evaluated
     /// diagram (coded-ROBDD build + ROMDD conversion).
     pub compile_seconds: f64,
+    /// Intra-compilation parallel sections opened while compiling this
+    /// row's diagrams (ROBDD + ROMDD managers; `0` under sequential
+    /// compilation). `par_*` fields track the compile-thread resource
+    /// knob, so the anchors treat them as volatile.
+    pub par_sections: u64,
+    /// Tasks those parallel sections were split into.
+    pub par_tasks: u64,
+    /// Work-stealing pool steals inside those sections
+    /// (scheduling-dependent).
+    pub par_steals: u64,
+    /// Contended unique-table shard acquisitions inside those sections
+    /// (scheduling-dependent).
+    pub par_shard_contention: u64,
 }
 
 impl ResultRow {
@@ -164,6 +177,11 @@ impl ResultRow {
             robdd_cache_evict_percent: report.robdd_stats.op_cache_evict_rate_percent(),
             seconds: report.total_time.as_secs_f64(),
             compile_seconds: (report.robdd_time + report.conversion_time).as_secs_f64(),
+            par_sections: report.robdd_stats.par_sections + report.romdd_stats.par_sections,
+            par_tasks: report.robdd_stats.par_tasks + report.romdd_stats.par_tasks,
+            par_steals: report.robdd_stats.par_steals + report.romdd_stats.par_steals,
+            par_shard_contention: report.robdd_stats.par_shard_contention
+                + report.romdd_stats.par_shard_contention,
         }
     }
 }
@@ -352,8 +370,10 @@ pub struct TableOutcome {
 pub fn run_table(
     cells: &[(Workload, Vec<OrderingSpec>)],
     threads: usize,
+    compile_threads: usize,
 ) -> Result<TableOutcome, HarnessError> {
     let mut matrix = SweepMatrix::new();
+    matrix.compile_threads = compile_threads;
     for (workload, specs) in cells {
         let mut block = SweepBlock::new();
         block.systems.push(system_spec(&workload.system)?);
@@ -411,6 +431,10 @@ pub struct CliArgs {
     /// cores). Any value produces bit-identical tables; it only changes
     /// the wall-clock time.
     pub threads: usize,
+    /// Worker threads *inside* each compilation (`1` = sequential
+    /// compilation, the default). Like `threads`, every value produces
+    /// bit-identical yields, node counts and truncations.
+    pub compile_threads: usize,
     /// Optional baseline `BENCH_sweep.json` to compare wall-clock times
     /// against (`bench_matrix` only).
     pub baseline: Option<String>,
@@ -418,13 +442,14 @@ pub struct CliArgs {
 
 /// Parses the common CLI flags of the table binaries:
 /// `--max-components <C>`, `--json <path>`, `--v-first-max <C>`,
-/// `--threads <N>` and `--baseline <path>`.
+/// `--threads <N>`, `--compile-threads <N>` and `--baseline <path>`.
 pub fn parse_cli(default_max: usize) -> CliArgs {
     let mut parsed = CliArgs {
         max_components: default_max,
         json: None,
         v_first_max: 30,
         threads: 0,
+        compile_threads: 1,
         baseline: None,
     };
     let args: Vec<String> = std::env::args().collect();
@@ -447,6 +472,10 @@ pub fn parse_cli(default_max: usize) -> CliArgs {
                 parsed.threads = args[i + 1].parse().unwrap_or(0);
                 i += 2;
             }
+            "--compile-threads" if i + 1 < args.len() => {
+                parsed.compile_threads = args[i + 1].parse().unwrap_or(1);
+                i += 2;
+            }
             "--baseline" if i + 1 < args.len() => {
                 parsed.baseline = Some(args[i + 1].clone());
                 i += 2;
@@ -462,10 +491,30 @@ pub fn parse_cli(default_max: usize) -> CliArgs {
 
 /// Whether an anchor JSON field is volatile — wall-clock measurements
 /// and execution-environment knobs that legitimately differ from run to
-/// run and machine to machine. Everything else (node counts, peaks,
-/// truncations, cache statistics, yields) is gated bit-for-bit.
+/// run and machine to machine. The `par_*` counters (parallel sections,
+/// tasks, steals, shard contention) track the compile-thread resource
+/// knob rather than the analysis, so they are volatile too. Everything
+/// else (node counts, peaks, truncations, cache statistics, yields) is
+/// gated bit-for-bit.
 pub fn is_volatile_anchor_field(name: &str) -> bool {
-    name == "seconds" || name == "threads" || name.ends_with("_seconds")
+    name == "seconds"
+        || name == "threads"
+        || name == "compile_threads"
+        || name.ends_with("_seconds")
+        || name.starts_with("par_")
+}
+
+/// Whether an anchor JSON field is an operation-cache counter
+/// (`*_cache_hits`, `*_cache_hit_percent`, …). Deterministic under
+/// sequential compilation — and therefore gated by default — but
+/// scheduling-dependent when `--compile-threads` exceeds 1, because the
+/// concurrent op cache is lossy (racing writers may drop publications,
+/// changing hit/miss/insertion tallies without affecting any result).
+/// The `--volatile-cache-counters` mode of `anchor_check` exempts them
+/// so CI can gate a parallel-compilation run against the sequential
+/// fixture.
+pub fn is_cache_counter_anchor_field(name: &str) -> bool {
+    name.contains("_cache_")
 }
 
 /// Maximum number of per-field divergences reported by
@@ -482,11 +531,29 @@ const MAX_REPORTED_DIVERGENCES: usize = 20;
 ///
 /// Returns a readable message when either document is not valid JSON.
 pub fn diff_anchor_values(fixture: &str, actual: &str) -> Result<Vec<String>, String> {
+    diff_anchor_values_lax(fixture, actual, false)
+}
+
+/// Like [`diff_anchor_values`], but when `volatile_cache_counters` is
+/// set, additionally exempts [cache-counter](is_cache_counter_anchor_field)
+/// fields — the mode CI uses to gate a `--compile-threads 2` run against
+/// the sequential fixture (yields, node counts and truncations stay
+/// gated bit-for-bit; only the lossy concurrent cache's tallies are
+/// excused).
+///
+/// # Errors
+///
+/// Returns a readable message when either document is not valid JSON.
+pub fn diff_anchor_values_lax(
+    fixture: &str,
+    actual: &str,
+    volatile_cache_counters: bool,
+) -> Result<Vec<String>, String> {
     let fixture =
         serde_json::from_str(fixture).map_err(|e| format!("fixture is malformed: {e}"))?;
     let actual = serde_json::from_str(actual).map_err(|e| format!("actual is malformed: {e}"))?;
     let mut diffs = Vec::new();
-    diff_values(&fixture, &actual, "$", &mut diffs);
+    diff_values(&fixture, &actual, "$", volatile_cache_counters, &mut diffs);
     if diffs.len() > MAX_REPORTED_DIVERGENCES {
         let more = diffs.len() - MAX_REPORTED_DIVERGENCES;
         diffs.truncate(MAX_REPORTED_DIVERGENCES);
@@ -503,29 +570,38 @@ fn describe(value: &serde::Value) -> String {
     }
 }
 
-fn diff_values(fixture: &serde::Value, actual: &serde::Value, path: &str, out: &mut Vec<String>) {
+fn diff_values(
+    fixture: &serde::Value,
+    actual: &serde::Value,
+    path: &str,
+    lax_cache: bool,
+    out: &mut Vec<String>,
+) {
     use serde::Value;
+    let exempt = |name: &str| {
+        is_volatile_anchor_field(name) || (lax_cache && is_cache_counter_anchor_field(name))
+    };
     match (fixture, actual) {
         (Value::Array(f), Value::Array(a)) => {
             if f.len() != a.len() {
                 out.push(format!("{path}: fixture has {} rows, actual has {}", f.len(), a.len()));
             }
             for (i, (fv, av)) in f.iter().zip(a).enumerate() {
-                diff_values(fv, av, &format!("{path}[{i}]"), out);
+                diff_values(fv, av, &format!("{path}[{i}]"), lax_cache, out);
             }
         }
         (Value::Object(f), Value::Object(a)) => {
             for (name, fv) in f {
-                if is_volatile_anchor_field(name) {
+                if exempt(name) {
                     continue;
                 }
                 match a.iter().find(|(n, _)| n == name) {
-                    Some((_, av)) => diff_values(fv, av, &format!("{path}.{name}"), out),
+                    Some((_, av)) => diff_values(fv, av, &format!("{path}.{name}"), lax_cache, out),
                     None => out.push(format!("{path}.{name}: missing from actual")),
                 }
             }
             for (name, _) in a {
-                if !is_volatile_anchor_field(name) && !f.iter().any(|(n, _)| n == name) {
+                if !exempt(name) && !f.iter().any(|(n, _)| n == name) {
                     out.push(format!("{path}.{name}: not in fixture"));
                 }
             }
@@ -600,6 +676,16 @@ pub struct BenchSweepPoint {
     /// ROBDD operation-cache evict rate (evictions per insertion) of the
     /// compile, in percent.
     pub robdd_cache_evict_percent: f64,
+    /// Parallel compile sections entered (ROBDD + ROMDD; volatile —
+    /// tracks the `--compile-threads` resource knob).
+    pub par_sections: u64,
+    /// Tasks executed inside parallel compile sections (volatile).
+    pub par_tasks: u64,
+    /// Work-steal events inside parallel compile sections (volatile).
+    pub par_steals: u64,
+    /// Unique-table shard-lock contention events inside parallel compile
+    /// sections (volatile).
+    pub par_shard_contention: u64,
     /// Wall-clock seconds of this point's evaluation (volatile).
     pub seconds: f64,
 }
@@ -637,6 +723,16 @@ pub struct BenchSweepTotals {
     pub romdd_cache_misses: u64,
     /// ROMDD operation-cache evictions across all managers.
     pub romdd_cache_evictions: u64,
+    /// Parallel compile sections entered across all managers (ROBDD +
+    /// ROMDD; volatile — tracks the `--compile-threads` resource knob).
+    pub par_sections: u64,
+    /// Tasks executed inside parallel compile sections (volatile).
+    pub par_tasks: u64,
+    /// Work-steal events inside parallel compile sections (volatile).
+    pub par_steals: u64,
+    /// Unique-table shard-lock contention events inside parallel compile
+    /// sections (volatile).
+    pub par_shard_contention: u64,
     /// Wall-clock seconds of the whole run (volatile).
     pub wall_seconds: f64,
     /// Sum of the workers' busy seconds (volatile).
@@ -657,6 +753,10 @@ pub struct BenchSweepDoc {
     pub schema: String,
     /// Worker threads used (volatile).
     pub threads: usize,
+    /// Worker threads used *inside* each compilation (volatile — a
+    /// resource knob; every other deterministic field is bit-identical
+    /// at every setting).
+    pub compile_threads: usize,
     /// Per-point measurements, in matrix order.
     pub points: Vec<BenchSweepPoint>,
     /// Aggregates.
@@ -690,6 +790,11 @@ impl BenchSweepDoc {
                     robdd_cache_evictions: report.robdd_stats.op_cache_evictions,
                     robdd_cache_hit_percent: report.robdd_stats.op_cache_hit_rate_percent(),
                     robdd_cache_evict_percent: report.robdd_stats.op_cache_evict_rate_percent(),
+                    par_sections: report.robdd_stats.par_sections + report.romdd_stats.par_sections,
+                    par_tasks: report.robdd_stats.par_tasks + report.romdd_stats.par_tasks,
+                    par_steals: report.robdd_stats.par_steals + report.romdd_stats.par_steals,
+                    par_shard_contention: report.robdd_stats.par_shard_contention
+                        + report.romdd_stats.par_shard_contention,
                     seconds: report.total_time.as_secs_f64(),
                 })
             })
@@ -697,6 +802,7 @@ impl BenchSweepDoc {
         Self {
             schema: BENCH_SWEEP_SCHEMA.to_string(),
             threads: summary.threads,
+            compile_threads: summary.compile_threads,
             points,
             totals: BenchSweepTotals {
                 points: summary.points,
@@ -713,6 +819,11 @@ impl BenchSweepDoc {
                 romdd_cache_hits: summary.romdd.op_cache_hits,
                 romdd_cache_misses: summary.romdd.op_cache_misses,
                 romdd_cache_evictions: summary.romdd.op_cache_evictions,
+                par_sections: summary.robdd.par_sections + summary.romdd.par_sections,
+                par_tasks: summary.robdd.par_tasks + summary.romdd.par_tasks,
+                par_steals: summary.robdd.par_steals + summary.romdd.par_steals,
+                par_shard_contention: summary.robdd.par_shard_contention
+                    + summary.romdd.par_shard_contention,
                 wall_seconds: summary.wall_time.as_secs_f64(),
                 busy_seconds: summary.busy_time.as_secs_f64(),
                 compile_seconds: summary.compile_time.as_secs_f64(),
@@ -925,7 +1036,7 @@ mod tests {
             ),
             (Workload { system: esen.clone(), lambda: 2.0 }, vec![OrderingSpec::paper_default()]),
         ];
-        let outcome = run_table(&cells, 2).unwrap();
+        let outcome = run_table(&cells, 2, 1).unwrap();
         assert_eq!(outcome.cells.len(), 2);
         assert_eq!(outcome.cells[0].len(), 2);
         assert_eq!(outcome.cells[1].len(), 1);
@@ -956,15 +1067,33 @@ mod tests {
     fn volatile_anchor_fields() {
         assert!(is_volatile_anchor_field("seconds"));
         assert!(is_volatile_anchor_field("threads"));
+        assert!(is_volatile_anchor_field("compile_threads"));
         assert!(is_volatile_anchor_field("wall_seconds"));
         assert!(is_volatile_anchor_field("compile_seconds"));
+        assert!(is_volatile_anchor_field("par_sections"));
+        assert!(is_volatile_anchor_field("par_tasks"));
+        assert!(is_volatile_anchor_field("par_steals"));
+        assert!(is_volatile_anchor_field("par_shard_contention"));
         assert!(!is_volatile_anchor_field("points"));
         assert!(!is_volatile_anchor_field("yield_lower_bound"));
         assert!(!is_volatile_anchor_field("robdd_peak"));
+        // Cache counters are gated strictly by default…
+        assert!(!is_volatile_anchor_field("robdd_cache_hits"));
+        assert!(is_cache_counter_anchor_field("robdd_cache_hits"));
+        assert!(is_cache_counter_anchor_field("romdd_cache_hit_percent"));
+        assert!(!is_cache_counter_anchor_field("robdd_size"));
         // The structural diff applies the same volatile set.
         let fixture = "{\n  \"threads\": 4,\n  \"robdd_size\": 9897,\n  \"busy_seconds\": 0.5\n}";
         let rerun = "{\n  \"threads\": 1,\n  \"robdd_size\": 9897,\n  \"busy_seconds\": 9.5\n}";
         assert_eq!(diff_anchors(fixture, rerun), None);
+        // …and exempted only under the lax parallel-compile mode, which
+        // still gates everything else bit-for-bit.
+        let fixture = "{\n  \"robdd_cache_hits\": 120,\n  \"robdd_size\": 9897\n}";
+        let parallel = "{\n  \"robdd_cache_hits\": 118,\n  \"robdd_size\": 9897\n}";
+        assert_eq!(diff_anchor_values_lax(fixture, parallel, true).unwrap(), Vec::<String>::new());
+        assert_eq!(diff_anchor_values_lax(fixture, parallel, false).unwrap().len(), 1);
+        let drifted = "{\n  \"robdd_cache_hits\": 118,\n  \"robdd_size\": 9898\n}";
+        assert_eq!(diff_anchor_values_lax(fixture, drifted, true).unwrap().len(), 1);
     }
 
     #[test]

@@ -168,6 +168,8 @@ impl CompiledModel {
         truncation: usize,
         spec: OrderingSpec,
         conversion: ConversionAlgorithm,
+        compile_threads: usize,
+        compile_grain: usize,
     ) -> Result<Self, CoreError> {
         let g = GeneralizedFaultTree::build(fault_tree, truncation)?;
         let mut ordering = compute_ordering(g.netlist(), g.groups(), &spec)?;
@@ -175,6 +177,10 @@ impl CompiledModel {
         // Coded ROBDD of G.
         let robdd_start = Instant::now();
         let mut bdd = BddManager::new(g.netlist().num_inputs());
+        bdd.set_compile_threads(compile_threads);
+        if compile_grain > 0 {
+            bdd.set_par_grain(compile_grain);
+        }
         let mut build = bdd.build_netlist(g.netlist(), &ordering.var_level);
 
         // Dynamic sifting: move whole bit groups (so the layering
@@ -211,6 +217,10 @@ impl CompiledModel {
         let layout = g.layout(&ordering);
         let conversion_start = Instant::now();
         let mut mdd = MddManager::new(g.mdd_domains(&ordering));
+        mdd.set_compile_threads(compile_threads);
+        if compile_grain > 0 {
+            mdd.set_par_grain(compile_grain);
+        }
         let romdd_root = match conversion {
             ConversionAlgorithm::TopDown => mdd.from_coded_bdd(&bdd, build.root, &layout),
             ConversionAlgorithm::Layered => mdd.from_coded_bdd_layered(&bdd, build.root, &layout),
@@ -344,6 +354,12 @@ pub struct Pipeline {
     components: ComponentProbabilities,
     models: Vec<CompiledModel>,
     compiles: usize,
+    /// Worker threads used *inside* each compilation's apply/conversion
+    /// calls (see [`Pipeline::set_compile_threads`]).
+    compile_threads: usize,
+    /// Sequential-grain cutoff of the parallel compile sections
+    /// (`0` = the managers' default; see [`Pipeline::set_compile_grain`]).
+    compile_grain: usize,
 }
 
 // Parallel sweep workers (socy-exec) each own a Pipeline and ship the
@@ -380,7 +396,43 @@ impl Pipeline {
             components: components.clone(),
             models: Vec::new(),
             compiles: 0,
+            compile_threads: 1,
+            compile_grain: 0,
         })
+    }
+
+    /// Sets the number of worker threads used *inside* a single
+    /// compilation (the apply/ITE calls building the coded ROBDD and the
+    /// ROBDD → ROMDD conversion). This is a resource knob, not an
+    /// analysis option: every yield, node count and probability is
+    /// bit-identical at every setting, so it deliberately lives outside
+    /// [`AnalysisOptions`] and does not participate in model reuse keys.
+    /// `1` (the default) keeps compilation fully sequential.
+    pub fn set_compile_threads(&mut self, threads: usize) {
+        self.compile_threads = threads.max(1);
+    }
+
+    /// Worker threads used inside a single compilation.
+    pub fn compile_threads(&self) -> usize {
+        self.compile_threads
+    }
+
+    /// Sets the sequential-grain cutoff of the parallel compile
+    /// sections: an apply/conversion only fans out across the compile
+    /// threads when its operands hold at least this many nodes, and
+    /// recursion below the cutoff stays sequential. Like the thread
+    /// count this is a pure resource knob — results are bit-identical at
+    /// every setting. `0` (the default) keeps the managers' built-in
+    /// grain; tests lower it to exercise the parallel paths on small
+    /// diagrams.
+    pub fn set_compile_grain(&mut self, grain: usize) {
+        self.compile_grain = grain;
+    }
+
+    /// Sequential-grain cutoff of the parallel compile sections
+    /// (`0` = manager default).
+    pub fn compile_grain(&self) -> usize {
+        self.compile_grain
     }
 
     /// The fault tree this pipeline analyses.
@@ -445,7 +497,14 @@ impl Pipeline {
         if let Some(i) = self.models.iter().position(|c| same_config(c) && c.truncation >= m) {
             return Ok(i);
         }
-        let model = CompiledModel::compile(&self.fault_tree, m, spec, conversion)?;
+        let model = CompiledModel::compile(
+            &self.fault_tree,
+            m,
+            spec,
+            conversion,
+            self.compile_threads,
+            self.compile_grain,
+        )?;
         self.compiles += 1;
         match self.models.iter().position(same_config) {
             Some(i) => {

@@ -1,0 +1,64 @@
+//! The [`DdCtx`] abstraction the engine apply/conversion machines run
+//! against.
+//!
+//! `socy-bdd` and `socy-mdd` implement their explicit-stack apply and
+//! conversion loops as free functions generic over this trait, so the
+//! exact same leaf code drives both the classic sequential kernel
+//! ([`DdKernel`] implements `DdCtx` by forwarding to its inherent
+//! methods — zero-cost, bit-identical to the pre-trait engines) and a
+//! worker's view of a concurrent parallel section
+//! ([`crate::par::ParRef`]).
+
+use crate::cache::OpKey;
+use crate::kernel::DdKernel;
+
+/// Node construction, traversal and operation-cache access as seen by a
+/// decision-diagram operation in flight.
+///
+/// Implementations must keep [`mk`](DdCtx::mk) canonicalising (the
+/// redundant-node rule plus hash-consing), and the cache is allowed to
+/// be lossy: `cache_get` may miss on a key that was inserted earlier,
+/// and `cache_insert` may be dropped. Correctness of the engines only
+/// relies on *hits being right*, never on hits happening.
+pub trait DdCtx {
+    /// The raw level word of `id` ([`crate::arena::TERMINAL_LEVEL`] for
+    /// terminals).
+    fn raw_level(&self, id: u32) -> u32;
+    /// The `value`-th child of non-terminal node `id`.
+    fn child(&self, id: u32, value: usize) -> u32;
+    /// Domain size (child count) of the variable at `level`.
+    fn arity(&self, level: usize) -> usize;
+    /// Canonical node constructor: reduces redundant nodes and
+    /// hash-conses the rest.
+    fn mk(&mut self, level: u32, children: &[u32]) -> u32;
+    /// Memoized-result lookup (may spuriously miss).
+    fn cache_get(&mut self, key: OpKey) -> Option<u32>;
+    /// Memoizes an operation result (may be dropped).
+    fn cache_insert(&mut self, key: OpKey, result: u32);
+}
+
+impl DdCtx for DdKernel {
+    fn raw_level(&self, id: u32) -> u32 {
+        DdKernel::raw_level(self, id)
+    }
+
+    fn child(&self, id: u32, value: usize) -> u32 {
+        DdKernel::child(self, id, value)
+    }
+
+    fn arity(&self, level: usize) -> usize {
+        DdKernel::arity(self, level)
+    }
+
+    fn mk(&mut self, level: u32, children: &[u32]) -> u32 {
+        DdKernel::mk(self, level, children)
+    }
+
+    fn cache_get(&mut self, key: OpKey) -> Option<u32> {
+        DdKernel::cache_get(self, key)
+    }
+
+    fn cache_insert(&mut self, key: OpKey, result: u32) {
+        DdKernel::cache_insert(self, key, result);
+    }
+}

@@ -42,6 +42,21 @@ pub struct DdStats {
     pub gc_runs: u64,
     /// Total nodes reclaimed across all collections.
     pub gc_reclaimed: u64,
+    /// Parallel apply/conversion sections run (see [`crate::par`]). Zero
+    /// whenever the engines compile with one thread, so single-thread
+    /// statistics stay bit-identical to the pre-parallel kernel.
+    pub par_sections: u64,
+    /// Leaf tasks executed by the work-stealing pool across all parallel
+    /// sections. Deterministic for a fixed input (the task tree is built
+    /// before the workers start).
+    pub par_tasks: u64,
+    /// Tasks a pool worker stole from another worker's deque.
+    /// Scheduling-dependent, hence nondeterministic across runs.
+    pub par_steals: u64,
+    /// Times a session unique-table shard lock was observed contended
+    /// (`try_lock` failed and the thread had to wait). Scheduling-
+    /// dependent, hence nondeterministic across runs.
+    pub par_shard_contention: u64,
 }
 
 impl DdStats {
@@ -156,6 +171,12 @@ pub struct DdKernel {
     peak_snapshot: usize,
     gc_runs: u64,
     gc_reclaimed: u64,
+    /// Counters of the parallel sections absorbed into this kernel (see
+    /// [`crate::par`] and [`DdStats`] for the field meanings).
+    pub(crate) par_sections: u64,
+    pub(crate) par_tasks: u64,
+    pub(crate) par_steals: u64,
+    pub(crate) par_shard_contention: u64,
     /// Reusable buffers of the memoized probability traversal, so a
     /// design-space sweep evaluating thousands of points on one diagram
     /// allocates nothing per point.
@@ -206,6 +227,10 @@ impl DdKernel {
             peak_snapshot: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
+            par_sections: 0,
+            par_tasks: 0,
+            par_steals: 0,
+            par_shard_contention: 0,
             prob: ProbScratch::default(),
         }
     }
@@ -293,6 +318,19 @@ impl DdKernel {
         self.op_cache.insert(key, result);
     }
 
+    /// Read-only cache probe that mutates no counters (usable through a
+    /// shared reference; the parallel sections of [`crate::par`] consult
+    /// the frozen pre-section cache this way).
+    pub fn cache_peek(&self, key: OpKey) -> Option<u32> {
+        self.op_cache.peek(key)
+    }
+
+    /// Shared access to the operation cache for the parallel session
+    /// machinery (stats folding at absorb time).
+    pub(crate) fn op_cache_mut(&mut self) -> &mut OpCache {
+        &mut self.op_cache
+    }
+
     /// Drops all memoized operation results (the unique table is kept, so
     /// canonicity is unaffected). With the generation-tagged cache this is
     /// a single tag bump, not a table walk.
@@ -319,6 +357,10 @@ impl DdKernel {
             per_op: *self.op_cache.per_op_stats(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
+            par_sections: self.par_sections,
+            par_tasks: self.par_tasks,
+            par_steals: self.par_steals,
+            par_shard_contention: self.par_shard_contention,
         }
     }
 
@@ -469,6 +511,28 @@ impl DdKernel {
     /// Number of non-terminal nodes reachable from `root`.
     pub fn inner_node_count(&self, root: u32) -> usize {
         self.reachable(root).iter().filter(|&&id| id > ONE).count()
+    }
+
+    /// Number of distinct nodes reachable from the union of `roots`,
+    /// but stopping as soon as the count reaches `cap`. The parallel
+    /// engines use this to decide whether an operand set is large enough
+    /// to be worth a parallel section without paying a full traversal on
+    /// small diagrams.
+    pub fn node_count_capped(&self, roots: &[u32], cap: usize) -> usize {
+        let mut seen = vec![false; self.arena.len()];
+        let mut stack: Vec<u32> = roots.to_vec();
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id as usize], true) {
+                continue;
+            }
+            count += 1;
+            if count >= cap {
+                return count;
+            }
+            stack.extend_from_slice(self.arena.children(id));
+        }
+        count
     }
 
     /// The set of variable levels appearing in `root`, in increasing

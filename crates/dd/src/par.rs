@@ -1,0 +1,899 @@
+//! Intra-compilation parallel sections: a concurrent overlay on a frozen
+//! [`DdKernel`].
+//!
+//! A *parallel section* runs one apply/ITE/conversion on N threads while
+//! the kernel itself is only borrowed shared (`&DdKernel`). New nodes are
+//! hash-consed into a [`ParSession`]: a sharded, independently-locked
+//! unique table plus a lossy seqlock operation cache. Ids handed out by a
+//! session carry [`PAR_BIT`] so they can never be mistaken for frozen
+//! arena ids; when the section finishes, [`DdKernel::absorb_par`] folds
+//! the session nodes back into the kernel (deepest level first, so
+//! children are always remapped before their parents) and rewrites the
+//! section's roots to ordinary arena ids.
+//!
+//! # Canonicity and determinism
+//!
+//! The session `mk` applies the same redundant-node rule as
+//! the kernel, first probes the frozen unique table lock-free when every
+//! child is frozen, and only then hash-conses into a shard. By induction
+//! over depth, every session entry is a *new* canonical node: an entry
+//! whose children are all frozen was checked against the frozen table at
+//! creation, and an entry with a session child cannot semantically equal
+//! any frozen node (frozen nodes only reference frozen children). The
+//! set of session entries is therefore exactly the closure of new
+//! canonical nodes over the distinct subproblems reached — independent
+//! of scheduling, lock timing and lost cache updates. Node counts, peak
+//! sizes, unique-table entries, yields and probabilities are bit-identical
+//! at every thread count; only cache hit/miss counters and the
+//! steal/contention counters vary run to run, and raw node ids may be
+//! assigned in a different order (nothing downstream depends on ids).
+//!
+//! The kernel is structurally quiesced during a section: the session
+//! holds `&DdKernel` while workers run, and absorbing requires
+//! `&mut DdKernel`, so the borrow checker rules out GC or a sifting swap
+//! overlapping a parallel section.
+
+use std::collections::VecDeque;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Mutex, TryLockError};
+
+use crate::cache::OpKey;
+use crate::ctx::DdCtx;
+use crate::hash::{FxHashMap, FxHasher};
+use crate::kernel::DdKernel;
+
+/// Bit 31 marks an id as session-local (frozen arena ids stay well below
+/// `2^31`: at 16 bytes per node header that would be a 32 GiB arena).
+pub const PAR_BIT: u32 = 1 << 31;
+const SHARD_BITS: u32 = 6;
+/// Number of independently-locked unique-table shards per session.
+pub const SHARD_COUNT: usize = 1 << SHARD_BITS;
+const IDX_BITS: u32 = 25;
+const IDX_MASK: u32 = (1 << IDX_BITS) - 1;
+const EMPTY: u32 = u32::MAX;
+/// Smallest seqlock op-cache size: `2^15` slots of 24 bytes.
+const MIN_CACHE_BITS: u32 = 15;
+/// Largest seqlock op-cache size (`2^21` slots, 48 MiB), matching the
+/// growth ceiling of the sequential [`crate::cache::OpCache`]. A
+/// direct-mapped cache much smaller than the operand diagrams thrashes,
+/// and a thrashing op cache makes apply superlinear — the cache is what
+/// keeps DD operations polynomial in the first place.
+const MAX_CACHE_BITS: u32 = 21;
+
+/// Whether `id` is a session-local id produced by a session `mk`
+/// (as opposed to a frozen arena id).
+#[inline]
+pub fn is_par(id: u32) -> bool {
+    id & PAR_BIT != 0
+}
+
+#[inline]
+fn encode(shard: usize, idx: u32) -> u32 {
+    debug_assert!(idx <= IDX_MASK, "session shard overflow: {idx} entries");
+    PAR_BIT | ((shard as u32) << IDX_BITS) | idx
+}
+
+#[inline]
+fn decode(id: u32) -> (usize, usize) {
+    debug_assert!(is_par(id));
+    ((id >> IDX_BITS) as usize & (SHARD_COUNT - 1), (id & IDX_MASK) as usize)
+}
+
+fn hash_node(level: u32, children: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(level);
+    for &c in children {
+        h.write_u32(c);
+    }
+    h.finish()
+}
+
+#[inline]
+fn fold32(h: u64) -> u32 {
+    (h ^ (h >> 32)) as u32
+}
+
+// ---- sharded session unique table ----------------------------------------
+
+/// One shard: an open-addressed, linear-probed index over entries stored
+/// in flat arrays (level + flattened children per entry).
+#[derive(Default)]
+struct Shard {
+    /// `(hash, slot)` buckets; `slot == EMPTY` means vacant. Capacity is
+    /// a power of two, kept under 3/4 load.
+    buckets: Vec<(u32, u32)>,
+    levels: Vec<u32>,
+    /// Prefix offsets into `children`; `starts.len() == levels.len() + 1`.
+    starts: Vec<u32>,
+    children: Vec<u32>,
+}
+
+impl Shard {
+    fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    fn key(&self, slot: usize) -> (u32, &[u32]) {
+        let lo = self.starts[slot] as usize;
+        let hi = self.starts[slot + 1] as usize;
+        (self.levels[slot], &self.children[lo..hi])
+    }
+
+    fn get_or_insert(&mut self, level: u32, children: &[u32], hash: u32) -> u32 {
+        if self.buckets.is_empty() {
+            self.starts.push(0);
+            self.buckets = vec![(0, EMPTY); 16];
+        } else if (self.len() + 1) * 4 > self.buckets.len() * 3 {
+            self.grow();
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let (h, slot) = self.buckets[i];
+            if slot == EMPTY {
+                let new = self.len() as u32;
+                self.levels.push(level);
+                self.children.extend_from_slice(children);
+                self.starts.push(self.children.len() as u32);
+                self.buckets[i] = (hash, new);
+                return new;
+            }
+            if h == hash && self.key(slot as usize) == (level, children) {
+                return slot;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let mut buckets = vec![(0u32, EMPTY); self.buckets.len() * 2];
+        let mask = buckets.len() - 1;
+        for &(h, slot) in self.buckets.iter().filter(|&&(_, s)| s != EMPTY) {
+            let mut i = h as usize & mask;
+            while buckets[i].1 != EMPTY {
+                i = (i + 1) & mask;
+            }
+            buckets[i] = (h, slot);
+        }
+        self.buckets = buckets;
+    }
+}
+
+// ---- seqlock operation cache ---------------------------------------------
+
+/// One lossy, direct-mapped cache slot published with a seqlock so
+/// concurrent readers never observe a torn entry.
+///
+/// Packing: `seq = version | result << 32` (version even when stable,
+/// odd while a writer holds the slot, `0` meaning never written — the
+/// cache is fresh per section, so no generation tag is needed),
+/// `lo = a | b << 32`, `hi = c | op << 32`. Readers double-check `seq`
+/// around the payload loads and compare the *full* key, so a lost or
+/// racing update can only cause a miss, never a wrong hit.
+#[derive(Default)]
+struct CacheSlot {
+    seq: AtomicU64,
+    lo: AtomicU64,
+    hi: AtomicU64,
+}
+
+// ---- session --------------------------------------------------------------
+
+/// Per-worker plain counters, folded into the session totals once per
+/// worker (shared atomics on the lookup hot path would ping-pong cache
+/// lines between cores).
+#[derive(Default)]
+struct ParLocalStats {
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_insertions: u64,
+    contention: u64,
+}
+
+/// A parallel section over a frozen kernel: the sharded unique table,
+/// the seqlock op cache and the section counters.
+///
+/// Create one per operation, run work through [`ParRef`] handles (one
+/// per worker), then convert with [`ParSession::into_parts`] and fold
+/// back via [`DdKernel::absorb_par`].
+pub struct ParSession<'k> {
+    kernel: &'k DdKernel,
+    shards: Vec<Mutex<Shard>>,
+    cache: Vec<CacheSlot>,
+    cache_mask: usize,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    contention: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_insertions: AtomicU64,
+}
+
+/// Counters accumulated by one parallel section, reported by
+/// [`ParSession::into_parts`] and folded into the kernel's statistics by
+/// [`DdKernel::absorb_par`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParRunStats {
+    /// Task-tree nodes built by the driver (leaves plus splits);
+    /// deterministic for a fixed input.
+    pub tasks: u64,
+    /// Leaf tasks a worker stole from another worker's deque
+    /// (scheduling-dependent).
+    pub steals: u64,
+    /// Shard-lock acquisitions that found the lock contended
+    /// (scheduling-dependent).
+    pub contention: u64,
+    /// Session op-cache hits (includes frozen-cache peeks that hit).
+    pub cache_hits: u64,
+    /// Session op-cache misses.
+    pub cache_misses: u64,
+    /// Session op-cache insertion attempts.
+    pub cache_insertions: u64,
+}
+
+/// The owned remains of a finished section: every shard's entries plus
+/// the section counters, ready for [`DdKernel::absorb_par`].
+pub struct ParParts {
+    shards: Vec<Shard>,
+    stats: ParRunStats,
+}
+
+impl<'k> ParSession<'k> {
+    /// Opens a parallel section over `kernel` with an op-cache sized to
+    /// the kernel: at least one slot per allocated arena node and no
+    /// smaller than the kernel's own (adaptively grown) sequential op
+    /// cache, clamped to `2^15..=2^21` slots. The size depends only on
+    /// kernel state at section open — never on scheduling — so it does
+    /// not perturb the determinism argument; it only moves cache hit
+    /// rates, which are volatile counters anyway.
+    pub fn new(kernel: &'k DdKernel) -> Self {
+        let want = kernel.allocated_nodes().max(kernel.op_cache_capacity()).max(1);
+        let bits = (usize::BITS - (want - 1).leading_zeros()).clamp(MIN_CACHE_BITS, MAX_CACHE_BITS);
+        Self::with_cache_bits(kernel, bits)
+    }
+
+    /// Opens a parallel section with `2^bits` op-cache slots.
+    pub fn with_cache_bits(kernel: &'k DdKernel, bits: u32) -> Self {
+        let slots = 1usize << bits;
+        ParSession {
+            kernel,
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::default())).collect(),
+            cache: (0..slots).map(|_| CacheSlot::default()).collect(),
+            cache_mask: slots - 1,
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// The frozen kernel this section runs over.
+    pub fn kernel(&self) -> &'k DdKernel {
+        self.kernel
+    }
+
+    /// A fresh worker handle onto this session.
+    pub fn make_ref<'s>(&'s self) -> ParRef<'s, 'k> {
+        ParRef { session: self, stats: ParLocalStats::default() }
+    }
+
+    /// Canonical node constructor for the section: redundant-node rule,
+    /// then a lock-free probe of the frozen unique table when every
+    /// child is frozen, then hash-consing into the owning shard.
+    fn mk(&self, level: u32, children: &[u32], stats: &mut ParLocalStats) -> u32 {
+        debug_assert_eq!(
+            children.len(),
+            self.kernel.arity(level as usize),
+            "mk expects exactly one child per domain value"
+        );
+        let first = children[0];
+        if children.iter().all(|&c| c == first) {
+            return first;
+        }
+        if children.iter().all(|&c| !is_par(c)) {
+            if let Some(id) = self.kernel.unique.find(&self.kernel.arena, level, children) {
+                return id;
+            }
+        }
+        let h = hash_node(level, children);
+        let shard = (h >> (64 - SHARD_BITS)) as usize;
+        let mut guard = match self.shards[shard].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                stats.contention += 1;
+                self.shards[shard].lock().unwrap_or_else(|poison| poison.into_inner())
+            }
+            Err(TryLockError::Poisoned(poison)) => poison.into_inner(),
+        };
+        encode(shard, guard.get_or_insert(level, children, fold32(h)))
+    }
+
+    fn cache_index(&self, key: OpKey) -> usize {
+        let (op, a, b, c) = key;
+        let mut h = FxHasher::default();
+        h.write_u8(op);
+        h.write_u32(a);
+        h.write_u32(b);
+        h.write_u32(c);
+        h.finish() as usize & self.cache_mask
+    }
+
+    fn cache_get(&self, key: OpKey) -> Option<u32> {
+        let slot = &self.cache[self.cache_index(key)];
+        let s1 = slot.seq.load(SeqCst);
+        if s1 & 1 == 1 || s1 as u32 == 0 {
+            return None;
+        }
+        let lo = slot.lo.load(SeqCst);
+        let hi = slot.hi.load(SeqCst);
+        if slot.seq.load(SeqCst) != s1 {
+            return None;
+        }
+        let (op, a, b, c) = key;
+        if lo == (a as u64 | (b as u64) << 32) && hi == (c as u64 | (op as u64) << 32) {
+            Some((s1 >> 32) as u32)
+        } else {
+            None
+        }
+    }
+
+    fn cache_insert(&self, key: OpKey, result: u32) {
+        let slot = &self.cache[self.cache_index(key)];
+        let s = slot.seq.load(SeqCst);
+        if s & 1 == 1 {
+            return; // another writer owns the slot: the cache is lossy.
+        }
+        if slot.seq.compare_exchange(s, s | 1, SeqCst, SeqCst).is_err() {
+            return;
+        }
+        let (op, a, b, c) = key;
+        slot.lo.store(a as u64 | (b as u64) << 32, SeqCst);
+        slot.hi.store(c as u64 | (op as u64) << 32, SeqCst);
+        let mut version = (s as u32).wrapping_add(2);
+        if version == 0 {
+            version = 2;
+        }
+        slot.seq.store(version as u64 | (result as u64) << 32, SeqCst);
+    }
+
+    /// Closes the section, returning the owned shard contents and the
+    /// accumulated counters.
+    pub fn into_parts(self) -> ParParts {
+        ParParts {
+            shards: self
+                .shards
+                .into_iter()
+                .map(|m| m.into_inner().unwrap_or_else(|poison| poison.into_inner()))
+                .collect(),
+            stats: ParRunStats {
+                tasks: self.tasks.load(SeqCst),
+                steals: self.steals.load(SeqCst),
+                contention: self.contention.load(SeqCst),
+                cache_hits: self.cache_hits.load(SeqCst),
+                cache_misses: self.cache_misses.load(SeqCst),
+                cache_insertions: self.cache_insertions.load(SeqCst),
+            },
+        }
+    }
+}
+
+/// One worker's handle onto a [`ParSession`]: implements [`DdCtx`] so the
+/// engines' explicit-stack machines run on it unchanged, and carries the
+/// worker-local counters.
+pub struct ParRef<'s, 'k> {
+    session: &'s ParSession<'k>,
+    stats: ParLocalStats,
+}
+
+impl ParRef<'_, '_> {
+    /// Folds the worker-local counters into the session totals. Call
+    /// once per worker when it finishes.
+    pub fn finish(self) {
+        let s = self.session;
+        s.cache_hits.fetch_add(self.stats.cache_hits, SeqCst);
+        s.cache_misses.fetch_add(self.stats.cache_misses, SeqCst);
+        s.cache_insertions.fetch_add(self.stats.cache_insertions, SeqCst);
+        s.contention.fetch_add(self.stats.contention, SeqCst);
+    }
+}
+
+impl DdCtx for ParRef<'_, '_> {
+    fn raw_level(&self, id: u32) -> u32 {
+        debug_assert!(!is_par(id), "session ids are never descended into");
+        self.session.kernel.raw_level(id)
+    }
+
+    fn child(&self, id: u32, value: usize) -> u32 {
+        debug_assert!(!is_par(id), "session ids are never descended into");
+        self.session.kernel.child(id, value)
+    }
+
+    fn arity(&self, level: usize) -> usize {
+        self.session.kernel.arity(level)
+    }
+
+    fn mk(&mut self, level: u32, children: &[u32]) -> u32 {
+        self.session.mk(level, children, &mut self.stats)
+    }
+
+    fn cache_get(&mut self, key: OpKey) -> Option<u32> {
+        let (_, a, b, c) = key;
+        if !is_par(a) && !is_par(b) && !is_par(c) {
+            if let Some(r) = self.session.kernel.cache_peek(key) {
+                self.stats.cache_hits += 1;
+                return Some(r);
+            }
+        }
+        match self.session.cache_get(key) {
+            Some(r) => {
+                self.stats.cache_hits += 1;
+                Some(r)
+            }
+            None => {
+                self.stats.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    fn cache_insert(&mut self, key: OpKey, result: u32) {
+        self.stats.cache_insertions += 1;
+        self.session.cache_insert(key, result);
+    }
+}
+
+// ---- absorbing a finished section ----------------------------------------
+
+impl DdKernel {
+    /// Folds a finished parallel section back into the kernel: re-conses
+    /// every session node deepest-level-first (children are strictly
+    /// deeper than their parents, so they are always remapped before any
+    /// parent references them), rewrites `roots` from session ids to
+    /// arena ids, and accumulates the section counters into the kernel
+    /// statistics.
+    pub fn absorb_par(&mut self, parts: ParParts, roots: &mut [u32]) {
+        let ParParts { shards, stats } = parts;
+        let mut order: Vec<(u32, u32, u32)> = Vec::new();
+        for (s, shard) in shards.iter().enumerate() {
+            for i in 0..shard.len() {
+                order.push((shard.levels[i], s as u32, i as u32));
+            }
+        }
+        // Deepest (largest) level first; shard/idx break ties so the
+        // pass is well-defined for a given session layout.
+        order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut maps: Vec<Vec<u32>> = shards.iter().map(|s| vec![u32::MAX; s.len()]).collect();
+        let mut scratch: Vec<u32> = Vec::new();
+        for &(level, s, i) in &order {
+            let (_, children) = shards[s as usize].key(i as usize);
+            scratch.clear();
+            for &c in children {
+                scratch.push(if is_par(c) {
+                    let (cs, ci) = decode(c);
+                    let mapped = maps[cs][ci];
+                    debug_assert_ne!(mapped, u32::MAX, "children absorb before parents");
+                    mapped
+                } else {
+                    c
+                });
+            }
+            let children = std::mem::take(&mut scratch);
+            let id = self.mk(level, &children);
+            scratch = children;
+            maps[s as usize][i as usize] = id;
+        }
+        for root in roots.iter_mut() {
+            if is_par(*root) {
+                let (s, i) = decode(*root);
+                *root = maps[s][i];
+                debug_assert_ne!(*root, u32::MAX, "roots resolve after the absorb pass");
+            }
+        }
+        self.par_sections += 1;
+        self.par_tasks += stats.tasks;
+        self.par_steals += stats.steals;
+        self.par_shard_contention += stats.contention;
+        self.op_cache_mut().add_external(
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_insertions,
+        );
+    }
+}
+
+// ---- work-stealing task driver -------------------------------------------
+
+/// How the splitter decomposes one task of type `T`.
+pub enum Split<T> {
+    /// The task resolves immediately to this (frozen) node id — a
+    /// terminal rule fired or the frozen op cache already held the
+    /// answer.
+    Done(u32),
+    /// The task reduces to another task with the same result (e.g. an
+    /// XOR-with-one redirecting to NOT).
+    Chain(T),
+    /// Shannon expansion at `level`: one subtask per domain value, whose
+    /// results become the children of `mk(level, …)`.
+    Branch {
+        /// The top variable the task splits on.
+        level: u32,
+        /// One subtask per domain value of `level`, in value order.
+        tasks: Vec<T>,
+    },
+}
+
+enum Kind {
+    Resolved(u32),
+    Leaf,
+    Chain(usize),
+    Branch { level: u32, children: Vec<usize> },
+}
+
+struct TaskNode<T> {
+    task: T,
+    kind: Kind,
+}
+
+fn intern<T: Clone + Eq + std::hash::Hash>(
+    task: T,
+    nodes: &mut Vec<TaskNode<T>>,
+    map: &mut FxHashMap<T, usize>,
+    queue: &mut VecDeque<usize>,
+) -> usize {
+    *map.entry(task.clone()).or_insert_with(|| {
+        nodes.push(TaskNode { task, kind: Kind::Leaf });
+        queue.push_back(nodes.len() - 1);
+        nodes.len() - 1
+    })
+}
+
+/// Runs one parallel operation over `session`.
+///
+/// Phase 1 (sequential): breadth-first expansion of the deduplicated
+/// task tree via `split` until at least `target_leaves` unexpanded tasks
+/// are pending (or the tree is exhausted); whatever remains unexpanded
+/// becomes the worker leaves. Phase 2: `threads` workers (the calling
+/// thread participates) drain round-robin-loaded deques, stealing from
+/// the back of other workers' deques when their own runs dry, and run
+/// `leaf` — typically a whole sequential explicit-stack engine — on each
+/// leaf with a per-worker `new_state()` scratch. Phase 3 (sequential):
+/// the task tree is combined bottom-up through the session `mk`.
+///
+/// Returns the session id of the root result (a frozen id when the root
+/// resolved to an existing node).
+pub fn run_tasks<T, S, FS, FN, FL>(
+    session: &ParSession<'_>,
+    threads: usize,
+    target_leaves: usize,
+    root: T,
+    mut split: FS,
+    new_state: FN,
+    leaf: FL,
+) -> u32
+where
+    T: Clone + Eq + std::hash::Hash + Send + Sync,
+    FS: FnMut(&T) -> Split<T>,
+    FN: Fn() -> S + Sync,
+    FL: Fn(&mut ParRef<'_, '_>, &mut S, &T) -> u32 + Sync,
+{
+    let threads = threads.max(1);
+    let mut nodes: Vec<TaskNode<T>> = Vec::new();
+    let mut map: FxHashMap<T, usize> = FxHashMap::default();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let root_idx = intern(root, &mut nodes, &mut map, &mut queue);
+    while queue.len() < target_leaves {
+        let Some(idx) = queue.pop_front() else { break };
+        let task = nodes[idx].task.clone();
+        let kind = match split(&task) {
+            Split::Done(id) => Kind::Resolved(id),
+            Split::Chain(t) => Kind::Chain(intern(t, &mut nodes, &mut map, &mut queue)),
+            Split::Branch { level, tasks } => Kind::Branch {
+                level,
+                children: tasks
+                    .into_iter()
+                    .map(|t| intern(t, &mut nodes, &mut map, &mut queue))
+                    .collect(),
+            },
+        };
+        nodes[idx].kind = kind;
+    }
+    session.tasks.fetch_add(nodes.len() as u64, SeqCst);
+
+    let results: Vec<AtomicU64> = (0..nodes.len()).map(|_| AtomicU64::new(0)).collect();
+    let leaves: Vec<usize> =
+        (0..nodes.len()).filter(|&i| matches!(nodes[i].kind, Kind::Leaf)).collect();
+    if !leaves.is_empty() {
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (n, &idx) in leaves.iter().enumerate() {
+            deques[n % threads].lock().unwrap_or_else(|p| p.into_inner()).push_back(idx);
+        }
+        let nodes = &nodes;
+        let results = &results;
+        let deques = &deques;
+        let new_state = &new_state;
+        let leaf = &leaf;
+        let worker = move |me: usize| {
+            let mut ctx = session.make_ref();
+            let mut state = new_state();
+            let mut stolen = 0u64;
+            loop {
+                let mut next = deques[me].lock().unwrap_or_else(|p| p.into_inner()).pop_front();
+                if next.is_none() {
+                    for other in 1..threads {
+                        let victim = (me + other) % threads;
+                        next = deques[victim].lock().unwrap_or_else(|p| p.into_inner()).pop_back();
+                        if next.is_some() {
+                            stolen += 1;
+                            break;
+                        }
+                    }
+                }
+                let Some(idx) = next else { break };
+                let r = leaf(&mut ctx, &mut state, &nodes[idx].task);
+                results[idx].store(r as u64 + 1, SeqCst);
+            }
+            session.steals.fetch_add(stolen, SeqCst);
+            ctx.finish();
+        };
+        let worker = &worker;
+        std::thread::scope(|scope| {
+            for w in 1..threads {
+                scope.spawn(move || worker(w));
+            }
+            worker(0);
+        });
+    }
+
+    // Bottom-up combine. Reverse creation order is not a topological
+    // order once tasks deduplicate (a shared subtask may precede one of
+    // its parents), so resolve with an explicit dependency stack.
+    //
+    // Work bound (the cycle check): every node has at most one unready
+    // visit — copies pushed by other parents sit below it on the stack,
+    // so by the time they surface it has resolved and they pop in one
+    // step. Hence total visits ≤ nodes + edges (a branch's children vec
+    // counts the SAME deduplicated subtask once per domain value, so
+    // edges — not nodes² — is the right scale), and pushes ≤ edges.
+    let edges: u64 = nodes
+        .iter()
+        .map(|n| match &n.kind {
+            Kind::Branch { children, .. } => children.len() as u64,
+            Kind::Chain(_) => 1,
+            _ => 0,
+        })
+        .sum();
+    let mut ctx = session.make_ref();
+    let mut stack = vec![root_idx];
+    let mut vals: Vec<u32> = Vec::new();
+    let mut budget = (nodes.len() as u64 + edges + 1).saturating_mul(3);
+    while let Some(&idx) = stack.last() {
+        budget -= 1;
+        assert!(budget > 0, "cycle in parallel task graph");
+        if results[idx].load(SeqCst) != 0 {
+            stack.pop();
+            continue;
+        }
+        match &nodes[idx].kind {
+            Kind::Resolved(id) => {
+                results[idx].store(*id as u64 + 1, SeqCst);
+                stack.pop();
+            }
+            Kind::Leaf => unreachable!("leaf results are filled by the worker phase"),
+            Kind::Chain(c) => {
+                let rv = results[*c].load(SeqCst);
+                if rv != 0 {
+                    results[idx].store(rv, SeqCst);
+                    stack.pop();
+                } else {
+                    stack.push(*c);
+                }
+            }
+            Kind::Branch { level, children } => {
+                let mut ready = true;
+                vals.clear();
+                for &c in children {
+                    let rv = results[c].load(SeqCst);
+                    if rv == 0 {
+                        ready = false;
+                        stack.push(c);
+                    } else if ready {
+                        vals.push((rv - 1) as u32);
+                    }
+                }
+                if ready {
+                    let r = ctx.mk(*level, &vals);
+                    results[idx].store(r as u64 + 1, SeqCst);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    let out = (results[root_idx].load(SeqCst) - 1) as u32;
+    ctx.finish();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{DdKernel, ONE, ZERO};
+
+    fn seeded_kernel() -> (DdKernel, Vec<u32>) {
+        let mut dd = DdKernel::new(vec![2; 8]);
+        let mut frozen = Vec::new();
+        for level in (4..8).rev() {
+            let lo = *frozen.last().unwrap_or(&ZERO);
+            frozen.push(dd.mk(level, &[lo, ONE]));
+        }
+        (dd, frozen)
+    }
+
+    #[test]
+    fn session_mk_hits_frozen_table_and_dedups_new_nodes() {
+        let (dd, frozen) = seeded_kernel();
+        let session = ParSession::new(&dd);
+        let mut ctx = session.make_ref();
+        // Redundancy rule.
+        assert_eq!(ctx.mk(0, &[frozen[0], frozen[0]]), frozen[0]);
+        // Lock-free frozen hit: level 7 node [ZERO, ONE] already exists.
+        assert_eq!(ctx.mk(7, &[ZERO, ONE]), frozen[0]);
+        // New node: stable session id with PAR_BIT, deduplicated.
+        let a = ctx.mk(3, &[frozen[0], frozen[1]]);
+        assert!(is_par(a));
+        assert_eq!(ctx.mk(3, &[frozen[0], frozen[1]]), a);
+        // A node referencing a session child also dedups.
+        let b = ctx.mk(2, &[a, ZERO]);
+        assert_eq!(ctx.mk(2, &[a, ZERO]), b);
+        ctx.finish();
+
+        let parts = session.into_parts();
+        let mut dd = dd;
+        let mut roots = [b, a, frozen[0]];
+        let before = dd.allocated_nodes();
+        dd.absorb_par(parts, &mut roots);
+        assert_eq!(dd.allocated_nodes(), before + 2, "exactly the two new nodes materialize");
+        assert_eq!(roots[2], frozen[0], "frozen roots pass through unchanged");
+        assert!(!is_par(roots[0]) && !is_par(roots[1]));
+        // Structure survives the remap.
+        assert_eq!(dd.child(roots[1], 0), frozen[0]);
+        assert_eq!(dd.child(roots[1], 1), frozen[1]);
+        assert_eq!(dd.child(roots[0], 0), roots[1]);
+        assert_eq!(dd.child(roots[0], 1), ZERO);
+        // Re-consing is canonical: the same keys now hit the frozen table.
+        assert_eq!(dd.mk(3, &[frozen[0], frozen[1]]), roots[1]);
+        let stats = dd.stats();
+        assert_eq!(stats.par_sections, 1);
+    }
+
+    #[test]
+    fn seqlock_cache_roundtrip_and_full_key_check() {
+        let (dd, _) = seeded_kernel();
+        let session = ParSession::with_cache_bits(&dd, 4);
+        session.cache_insert((1, 10, 20, 30), 99);
+        assert_eq!(session.cache_get((1, 10, 20, 30)), Some(99));
+        // Same slot, different key: full-key compare rejects it.
+        assert_eq!(session.cache_get((2, 10, 20, 30)), None);
+        // Overwrite through the same (or another) slot still reads back.
+        session.cache_insert((1, 10, 20, 30), 7);
+        assert_eq!(session.cache_get((1, 10, 20, 30)), Some(7));
+    }
+
+    #[test]
+    fn shard_stress_many_threads_hammer_shared_keys() {
+        let (dd, frozen) = seeded_kernel();
+        let session = ParSession::new(&dd);
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 400;
+        // Every thread builds the same key set (including one single hot
+        // key hammered every round, which lands in one shard) and records
+        // the ids it observed.
+        let observed: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let session = &session;
+            let frozen = &frozen;
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut ctx = session.make_ref();
+                        let mut ids = Vec::new();
+                        for round in 0..ROUNDS {
+                            // The hot key: identical for every thread and round.
+                            ids.push(ctx.mk(3, &[frozen[0], frozen[1]]));
+                            // A small rotating set shared across threads.
+                            let k = (round + t) % 4;
+                            ids.push(ctx.mk(2, &[frozen[k], ZERO]));
+                            ids.push(ctx.cache_get((0, round as u32, t as u32, 0)).unwrap_or(ZERO));
+                            ctx.cache_insert((0, round as u32, t as u32, 0), ONE);
+                        }
+                        ctx.finish();
+                        ids
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("stress worker panicked")).collect()
+        });
+        // All threads agree on every id: the hot key got exactly one id.
+        let hot = observed[0][0];
+        assert!(is_par(hot));
+        for ids in &observed {
+            assert_eq!(ids[0], hot);
+        }
+        let mut distinct: Vec<u32> =
+            observed.iter().flatten().copied().filter(|&id| is_par(id)).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 5, "one hot key plus four rotating keys");
+
+        let parts = session.into_parts();
+        let mut dd = dd;
+        let before = dd.allocated_nodes();
+        let mut roots = [hot];
+        dd.absorb_par(parts, &mut roots);
+        assert_eq!(dd.allocated_nodes(), before + 5, "absorb materializes exactly 5 nodes");
+        assert_eq!(dd.child(roots[0], 0), frozen[0]);
+    }
+
+    #[test]
+    fn driver_matches_sequential_reference() {
+        // Build the same diagram through the parallel driver and through
+        // direct sequential mk calls; they must agree node for node.
+        let dd = DdKernel::new(vec![2; 6]);
+        fn reference(dd: &mut DdKernel, level: u32, seed: u32) -> u32 {
+            if level == 4 {
+                return if seed.is_multiple_of(3) { ONE } else { ZERO };
+            }
+            let lo = reference(dd, level + 1, seed * 2);
+            let hi = reference(dd, level + 1, seed * 2 + 1);
+            dd.mk(level, &[lo, hi])
+        }
+        for threads in [1usize, 2, 4] {
+            let dd = dd.clone();
+            let session = ParSession::new(&dd);
+            let got = run_tasks(
+                &session,
+                threads,
+                threads * 8,
+                (0u32, 1u32),
+                |&(level, seed)| {
+                    if level == 4 {
+                        Split::Done(if seed.is_multiple_of(3) { ONE } else { ZERO })
+                    } else {
+                        Split::Branch {
+                            level,
+                            tasks: vec![(level + 1, seed * 2), (level + 1, seed * 2 + 1)],
+                        }
+                    }
+                },
+                || (),
+                |ctx, (), &(level, seed)| {
+                    fn go(ctx: &mut ParRef<'_, '_>, level: u32, seed: u32) -> u32 {
+                        if level == 4 {
+                            return if seed.is_multiple_of(3) { ONE } else { ZERO };
+                        }
+                        let lo = go(ctx, level + 1, seed * 2);
+                        let hi = go(ctx, level + 1, seed * 2 + 1);
+                        ctx.mk(level, &[lo, hi])
+                    }
+                    go(ctx, level, seed)
+                },
+            );
+            let parts = session.into_parts();
+            let mut dd = dd;
+            let mut roots = [got];
+            dd.absorb_par(parts, &mut roots);
+            let mut check = dd.clone();
+            assert_eq!(
+                reference(&mut check, 0, 1),
+                roots[0],
+                "driver at {threads} threads reproduces the sequential diagram"
+            );
+            assert_eq!(check.allocated_nodes(), dd.allocated_nodes(), "no extra nodes");
+            let stats = dd.stats();
+            assert_eq!(stats.par_sections, 1);
+            assert!(stats.par_tasks > 0);
+        }
+    }
+}

@@ -225,6 +225,19 @@ impl fmt::Display for PointLabels {
 pub struct SweepMatrix {
     /// The blocks, expanded in insertion order.
     pub blocks: Vec<SweepBlock>,
+    /// Worker threads used *inside* each chunk's compilation (the
+    /// apply/ITE calls building the coded ROBDD and the ROBDD → ROMDD
+    /// conversion); `0` or `1` keeps compilation sequential. Orthogonal
+    /// to the sweep's worker count: a resource knob, never an analysis
+    /// axis — yields and node counts are bit-identical at every setting
+    /// (see [`soc_yield_core::Pipeline::set_compile_threads`]).
+    pub compile_threads: usize,
+    /// Sequential-grain cutoff of the parallel compile sections (`0` =
+    /// the kernels' default; see
+    /// [`soc_yield_core::Pipeline::set_compile_grain`]). Like
+    /// `compile_threads`, a pure resource knob — tests lower it to
+    /// exercise the parallel paths on small diagrams.
+    pub compile_grain: usize,
 }
 
 impl SweepMatrix {

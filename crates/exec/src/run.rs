@@ -30,12 +30,20 @@ struct Chunk<'m> {
     /// The `(distribution, rule)` pair of each point, parallel to
     /// `indices`.
     evals: Vec<(&'m dyn SharedDistribution, TruncationRule)>,
+    /// Worker threads inside this chunk's compilation (from
+    /// [`SweepMatrix::compile_threads`]; `0` normalised to `1`).
+    compile_threads: usize,
+    /// Parallel-section grain cutoff (from [`SweepMatrix::compile_grain`];
+    /// `0` = kernel default).
+    compile_grain: usize,
 }
 
 impl Chunk<'_> {
     fn run(&self) -> Result<(Vec<YieldReport>, Pipeline), String> {
         let mut pipeline = Pipeline::new(&self.system.fault_tree, &self.system.components)
             .map_err(|e| e.to_string())?;
+        pipeline.set_compile_threads(self.compile_threads.max(1));
+        pipeline.set_compile_grain(self.compile_grain);
         let points = self.evals.iter().map(|&(dist, rule)| SweepPoint {
             lethal: dist as &dyn DefectDistribution,
             options: rule.options(self.spec, self.conversion),
@@ -106,6 +114,8 @@ fn chunks(matrix: &SweepMatrix) -> Vec<Chunk<'_>> {
                                     conversion,
                                     indices: Vec::new(),
                                     evals: Vec::new(),
+                                    compile_threads: matrix.compile_threads,
+                                    compile_grain: matrix.compile_grain,
                                 });
                             }
                             out[chunk_at].indices.push(index);
@@ -232,6 +242,18 @@ pub struct DdAggregate {
     pub gc_runs: u64,
     /// Nodes reclaimed by garbage collection across all managers.
     pub gc_reclaimed: u64,
+    /// Intra-compilation parallel sections opened across all managers
+    /// (always `0` when the matrix compiles sequentially).
+    pub par_sections: u64,
+    /// Tasks (splits + leaves) those parallel sections expanded into —
+    /// deterministic for a fixed matrix, like `par_sections`.
+    pub par_tasks: u64,
+    /// Tasks executed by a worker other than the one they were queued on.
+    /// Scheduling-dependent: nondeterministic run to run.
+    pub par_steals: u64,
+    /// Contended unique-table shard lock acquisitions inside parallel
+    /// sections. Scheduling-dependent: nondeterministic run to run.
+    pub par_shard_contention: u64,
 }
 
 impl DdAggregate {
@@ -246,6 +268,10 @@ impl DdAggregate {
         self.op_cache_evictions += stats.op_cache_evictions;
         self.gc_runs += stats.gc_runs;
         self.gc_reclaimed += stats.gc_reclaimed;
+        self.par_sections += stats.par_sections;
+        self.par_tasks += stats.par_tasks;
+        self.par_steals += stats.par_steals;
+        self.par_shard_contention += stats.par_shard_contention;
     }
 
     /// Fraction of operation-cache lookups that hit, in `[0, 1]`
@@ -297,6 +323,9 @@ pub struct WorkerSummary {
 pub struct SweepSummary {
     /// Number of worker threads used.
     pub threads: usize,
+    /// Worker threads used inside each chunk's compilation
+    /// ([`SweepMatrix::compile_threads`], normalised so `0` reads `1`).
+    pub compile_threads: usize,
     /// Total design points (successful or failed).
     pub points: usize,
     /// Number of compilation chunks the matrix was partitioned into.
@@ -459,6 +488,7 @@ impl SweepMatrix {
         let mut pipelines: Vec<CompiledPipeline> = Vec::new();
         let mut summary = SweepSummary {
             threads,
+            compile_threads: self.compile_threads.max(1),
             points: labels.len(),
             chunks: chunks.len(),
             failed_points: 0,

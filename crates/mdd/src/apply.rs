@@ -10,11 +10,12 @@
 //! a scratch arena owned by the manager (no allocation per operation).
 
 use crate::manager::{MddId, MddManager, TERMINAL_LEVEL};
+use socy_dd::{DdCtx, ONE, ZERO};
 
-const OP_AND: u8 = 0;
-const OP_OR: u8 = 1;
-const OP_XOR: u8 = 2;
-const OP_NOT: u8 = 3;
+pub(crate) const OP_AND: u8 = 0;
+pub(crate) const OP_OR: u8 = 1;
+pub(crate) const OP_XOR: u8 = 2;
+pub(crate) const OP_NOT: u8 = 3;
 
 /// One unit of work of the iterative apply machine. `Eval` asks for
 /// `op(a, b)` (NOT carries the operand twice); `Combine` fires once the
@@ -35,7 +36,7 @@ pub(crate) struct ApplyScratch {
 impl MddManager {
     /// Logical negation of a boolean-valued ROMDD.
     pub fn not(&mut self, f: MddId) -> MddId {
-        self.run_apply(OP_NOT, f.0, f.0)
+        self.apply_root(OP_NOT, f.0, f.0)
     }
 
     /// Conjunction `f ∧ g`.
@@ -98,128 +99,148 @@ impl MddManager {
     }
 
     fn binary(&mut self, op: u8, f: MddId, g: MddId) -> MddId {
-        self.run_apply(op, f.0, g.0)
+        self.apply_root(op, f.0, g.0)
     }
 
-    /// The explicit-stack apply machine serving NOT, AND, OR and XOR
-    /// over n-ary nodes. Cofactor `Eval`s are pushed in reverse domain
-    /// order, so their results accumulate on the result stack in value
-    /// order and `Combine` consumes exactly the tail `arity(top)` slots.
-    fn run_apply(&mut self, op: u8, a: u32, b: u32) -> MddId {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        debug_assert!(scratch.frames.is_empty() && scratch.results.is_empty());
-        scratch.frames.push(Frame::Eval { op, a, b });
-        while let Some(frame) = scratch.frames.pop() {
-            match frame {
-                Frame::Eval { op, a, b } => self.eval_step(op, a, b, &mut scratch),
-                Frame::Combine { op, a, b, top } => {
-                    let domain = self.dd.arity(top as usize);
-                    let start = scratch.results.len() - domain;
-                    let r = self.dd.mk(top, &scratch.results[start..]);
-                    scratch.results.truncate(start);
-                    self.dd.cache_insert((op, a, b, 0), r);
-                    scratch.results.push(r);
-                }
+    /// Runs the apply machine on the sequential kernel, reusing the
+    /// manager's scratch arena (or dispatches a parallel section for
+    /// large operands when compile-threads are enabled).
+    fn apply_root(&mut self, op: u8, a: u32, b: u32) -> MddId {
+        if self.compile_threads > 1 {
+            if let Some(r) = crate::par::try_par_apply(self, op, a, b) {
+                return MddId(r);
             }
         }
-        let result = scratch.results.pop().expect("the root frame pushed a result");
-        debug_assert!(scratch.results.is_empty());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = run_apply(&mut self.dd, &mut scratch, op, a, b);
         self.scratch = scratch;
         MddId(result)
     }
+}
 
-    /// One `Eval` step: terminal rules, cache probe, or expansion.
-    fn eval_step(&mut self, op: u8, a: u32, b: u32, scratch: &mut ApplyScratch) {
-        let (f, g) = (MddId(a), MddId(b));
-        if op == OP_NOT {
-            if f.is_zero() {
-                scratch.results.push(socy_dd::ONE);
-                return;
-            }
-            if f.is_one() {
-                scratch.results.push(socy_dd::ZERO);
-                return;
-            }
-            if let Some(r) = self.dd.cache_get((OP_NOT, a, a, 0)) {
+/// The explicit-stack apply machine serving NOT, AND, OR and XOR over
+/// n-ary nodes, generic over the kernel view (sequential kernel or a
+/// parallel section's worker handle, where it acts as the leaf
+/// executor). Cofactor `Eval`s are pushed in reverse domain order, so
+/// their results accumulate on the result stack in value order and
+/// `Combine` consumes exactly the tail `arity(top)` slots.
+pub(crate) fn run_apply<C: DdCtx>(
+    ctx: &mut C,
+    scratch: &mut ApplyScratch,
+    op: u8,
+    a: u32,
+    b: u32,
+) -> u32 {
+    debug_assert!(scratch.frames.is_empty() && scratch.results.is_empty());
+    scratch.frames.push(Frame::Eval { op, a, b });
+    while let Some(frame) = scratch.frames.pop() {
+        match frame {
+            Frame::Eval { op, a, b } => eval_step(ctx, op, a, b, scratch),
+            Frame::Combine { op, a, b, top } => {
+                let domain = ctx.arity(top as usize);
+                let start = scratch.results.len() - domain;
+                let r = ctx.mk(top, &scratch.results[start..]);
+                scratch.results.truncate(start);
+                ctx.cache_insert((op, a, b, 0), r);
                 scratch.results.push(r);
-                return;
             }
-            let top = self.raw_level(f);
-            scratch.frames.push(Frame::Combine { op, a, b: a, top });
-            for v in (0..self.dd.arity(top as usize)).rev() {
-                let child = self.dd.child(a, v);
-                scratch.frames.push(Frame::Eval { op, a: child, b: child });
-            }
+        }
+    }
+    let result = scratch.results.pop().expect("the root frame pushed a result");
+    debug_assert!(scratch.results.is_empty());
+    result
+}
+
+/// One `Eval` step: terminal rules, cache probe, or expansion.
+fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, scratch: &mut ApplyScratch) {
+    if op == OP_NOT {
+        if a == ZERO {
+            scratch.results.push(ONE);
             return;
         }
-        match op {
-            OP_AND => {
-                if f.is_zero() || g.is_zero() {
-                    scratch.results.push(socy_dd::ZERO);
-                    return;
-                }
-                if f.is_one() {
-                    scratch.results.push(b);
-                    return;
-                }
-                if g.is_one() || f == g {
-                    scratch.results.push(a);
-                    return;
-                }
-            }
-            OP_OR => {
-                if f.is_one() || g.is_one() {
-                    scratch.results.push(socy_dd::ONE);
-                    return;
-                }
-                if f.is_zero() {
-                    scratch.results.push(b);
-                    return;
-                }
-                if g.is_zero() || f == g {
-                    scratch.results.push(a);
-                    return;
-                }
-            }
-            OP_XOR => {
-                if f.is_zero() {
-                    scratch.results.push(b);
-                    return;
-                }
-                if g.is_zero() {
-                    scratch.results.push(a);
-                    return;
-                }
-                if f == g {
-                    scratch.results.push(socy_dd::ZERO);
-                    return;
-                }
-                if f.is_one() {
-                    scratch.frames.push(Frame::Eval { op: OP_NOT, a: b, b });
-                    return;
-                }
-                if g.is_one() {
-                    scratch.frames.push(Frame::Eval { op: OP_NOT, a, b: a });
-                    return;
-                }
-            }
-            _ => unreachable!("unknown op"),
+        if a == ONE {
+            scratch.results.push(ZERO);
+            return;
         }
-        let (x, y) = if a <= b { (a, b) } else { (b, a) };
-        if let Some(r) = self.dd.cache_get((op, x, y, 0)) {
+        if let Some(r) = ctx.cache_get((OP_NOT, a, a, 0)) {
             scratch.results.push(r);
             return;
         }
-        let la = self.dd.raw_level(x);
-        let lb = self.dd.raw_level(y);
-        let top = la.min(lb);
-        debug_assert_ne!(top, TERMINAL_LEVEL);
-        scratch.frames.push(Frame::Combine { op, a: x, b: y, top });
-        for v in (0..self.dd.arity(top as usize)).rev() {
-            let ca = if la == top { self.dd.child(x, v) } else { x };
-            let cb = if lb == top { self.dd.child(y, v) } else { y };
-            scratch.frames.push(Frame::Eval { op, a: ca, b: cb });
+        let top = ctx.raw_level(a);
+        scratch.frames.push(Frame::Combine { op, a, b: a, top });
+        for v in (0..ctx.arity(top as usize)).rev() {
+            let child = ctx.child(a, v);
+            scratch.frames.push(Frame::Eval { op, a: child, b: child });
         }
+        return;
+    }
+    match op {
+        OP_AND => {
+            if a == ZERO || b == ZERO {
+                scratch.results.push(ZERO);
+                return;
+            }
+            if a == ONE {
+                scratch.results.push(b);
+                return;
+            }
+            if b == ONE || a == b {
+                scratch.results.push(a);
+                return;
+            }
+        }
+        OP_OR => {
+            if a == ONE || b == ONE {
+                scratch.results.push(ONE);
+                return;
+            }
+            if a == ZERO {
+                scratch.results.push(b);
+                return;
+            }
+            if b == ZERO || a == b {
+                scratch.results.push(a);
+                return;
+            }
+        }
+        OP_XOR => {
+            if a == ZERO {
+                scratch.results.push(b);
+                return;
+            }
+            if b == ZERO {
+                scratch.results.push(a);
+                return;
+            }
+            if a == b {
+                scratch.results.push(ZERO);
+                return;
+            }
+            if a == ONE {
+                scratch.frames.push(Frame::Eval { op: OP_NOT, a: b, b });
+                return;
+            }
+            if b == ONE {
+                scratch.frames.push(Frame::Eval { op: OP_NOT, a, b: a });
+                return;
+            }
+        }
+        _ => unreachable!("unknown op"),
+    }
+    let (x, y) = if a <= b { (a, b) } else { (b, a) };
+    if let Some(r) = ctx.cache_get((op, x, y, 0)) {
+        scratch.results.push(r);
+        return;
+    }
+    let la = ctx.raw_level(x);
+    let lb = ctx.raw_level(y);
+    let top = la.min(lb);
+    debug_assert_ne!(top, TERMINAL_LEVEL);
+    scratch.frames.push(Frame::Combine { op, a: x, b: y, top });
+    for v in (0..ctx.arity(top as usize)).rev() {
+        let ca = if la == top { ctx.child(x, v) } else { x };
+        let cb = if lb == top { ctx.child(y, v) } else { y };
+        scratch.frames.push(Frame::Eval { op, a: ca, b: cb });
     }
 }
 

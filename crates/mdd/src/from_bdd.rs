@@ -15,6 +15,7 @@
 //! ROMDD node — the memoization key is just the ROBDD node id.
 
 use socy_bdd::{BddId, BddManager};
+use socy_dd::DdCtx;
 
 use crate::coded::CodedLayout;
 use crate::manager::{MddId, MddManager};
@@ -22,6 +23,16 @@ use crate::manager::{MddId, MddManager};
 /// Sentinel of the dense conversion memo ("not converted yet"). Node ids
 /// are arena indices, so `u32::MAX` can never be a real ROMDD id.
 const UNSET: u32 = u32::MAX;
+
+/// Operation tag of conversion results in a parallel section's cache
+/// (tags 0–3 are the connectives, 4 is ITE in the ROBDD engine). Keyed
+/// on the *ROBDD* node id, which the layering requirement makes sound —
+/// only used inside one conversion's session cache, never the kernel's.
+pub(crate) const OP_CONV: u8 = 5;
+
+/// Precomputed codeword assignments: `assignments[mv][value]` is the
+/// sorted `(bit_level, bit)` list encoding `value` for group `mv`.
+pub(crate) type GroupAssignments = Vec<Vec<Vec<(usize, bool)>>>;
 
 /// One unit of work of the iterative converter: `Visit` resolves a coded
 /// ROBDD node into the memo; `Build` fires once every node reached below
@@ -77,53 +88,107 @@ impl MddManager {
         let mv_of_bit = layout.mv_of_bit();
         // Precompute every group's codeword assignments once; the
         // simulation below follows them per (node, value).
-        let assignments: Vec<Vec<Vec<(usize, bool)>>> = (0..layout.num_vars())
+        let assignments: GroupAssignments = (0..layout.num_vars())
             .map(|mv| (0..layout.vars[mv].domain).map(|v| layout.assignment_for(mv, v)).collect())
             .collect();
-        let mut scratch = std::mem::take(&mut self.conv);
-        scratch.memo.clear();
-        scratch.memo.resize(bdd.allocated_nodes(), UNSET);
-        scratch.memo[BddId::ZERO.index()] = socy_dd::ZERO;
-        scratch.memo[BddId::ONE.index()] = socy_dd::ONE;
-        debug_assert!(scratch.frames.is_empty() && scratch.below.is_empty());
-        scratch.frames.push(ConvFrame::Visit(root));
-        while let Some(frame) = scratch.frames.pop() {
-            match frame {
-                ConvFrame::Visit(node) => {
-                    if scratch.memo[node.index()] != UNSET {
-                        continue;
-                    }
-                    let bit_level = bdd.level(node).expect("non-terminal");
-                    let mv = mv_of_bit.get(bit_level).copied().flatten().unwrap_or_else(|| {
-                        panic!("ROBDD level {bit_level} is not mapped by the layout")
-                    });
-                    let start = scratch.below.len() as u32;
-                    scratch.frames.push(ConvFrame::Build { node, mv: mv as u32, start });
-                    for assignment in &assignments[mv] {
-                        let below = follow_code(bdd, node, assignment);
-                        scratch.below.push(below.index() as u32);
-                        if scratch.memo[below.index()] == UNSET {
-                            scratch.frames.push(ConvFrame::Visit(below));
-                        }
-                    }
-                }
-                ConvFrame::Build { node, mv, start } => {
-                    scratch.children.clear();
-                    for &below in &scratch.below[start as usize..] {
-                        let converted = scratch.memo[below as usize];
-                        debug_assert_ne!(converted, UNSET, "children are converted before parents");
-                        scratch.children.push(converted);
-                    }
-                    scratch.below.truncate(start as usize);
-                    let result = self.dd.mk(mv, &scratch.children);
-                    scratch.memo[node.index()] = result;
-                }
+        if self.compile_threads > 1 {
+            if let Some(r) = crate::par::try_par_convert(self, bdd, root, &assignments, &mv_of_bit)
+            {
+                return MddId(r);
             }
         }
-        let result = MddId(scratch.memo[root.index()]);
+        let mut scratch = std::mem::take(&mut self.conv);
+        scratch.prepare(bdd);
+        let result = convert_with_ctx(
+            &mut self.dd,
+            bdd,
+            root,
+            &assignments,
+            &mv_of_bit,
+            &mut scratch,
+            false,
+        );
         self.conv = scratch;
-        result
+        MddId(result)
     }
+}
+
+impl ConvScratch {
+    /// Resets the memo for a fresh conversion out of `bdd` (terminals
+    /// pre-seeded, everything else unconverted).
+    pub(crate) fn prepare(&mut self, bdd: &BddManager) {
+        self.memo.clear();
+        self.memo.resize(bdd.allocated_nodes(), UNSET);
+        self.memo[BddId::ZERO.index()] = socy_dd::ZERO;
+        self.memo[BddId::ONE.index()] = socy_dd::ONE;
+    }
+}
+
+/// The iterative top-down converter, generic over the kernel view: the
+/// sequential kernel, or a parallel section's worker handle — there it
+/// acts as the leaf executor, with `use_cache` sharing converted
+/// subtrees across workers through the section's lossy cache (keyed
+/// [`OP_CONV`] on the ROBDD node id).
+///
+/// `scratch.memo` must be prepared for `bdd` (see [`ConvScratch::prepare`])
+/// and is *kept* across calls — a worker converts many subtrees against
+/// one memo.
+pub(crate) fn convert_with_ctx<C: DdCtx>(
+    ctx: &mut C,
+    bdd: &BddManager,
+    root: BddId,
+    assignments: &GroupAssignments,
+    mv_of_bit: &[Option<usize>],
+    scratch: &mut ConvScratch,
+    use_cache: bool,
+) -> u32 {
+    debug_assert!(scratch.frames.is_empty() && scratch.below.is_empty());
+    scratch.frames.push(ConvFrame::Visit(root));
+    while let Some(frame) = scratch.frames.pop() {
+        match frame {
+            ConvFrame::Visit(node) => {
+                if scratch.memo[node.index()] != UNSET {
+                    continue;
+                }
+                if use_cache {
+                    let id = node.index() as u32;
+                    if let Some(r) = ctx.cache_get((OP_CONV, id, id, 0)) {
+                        scratch.memo[node.index()] = r;
+                        continue;
+                    }
+                }
+                let bit_level = bdd.level(node).expect("non-terminal");
+                let mv = mv_of_bit.get(bit_level).copied().flatten().unwrap_or_else(|| {
+                    panic!("ROBDD level {bit_level} is not mapped by the layout")
+                });
+                let start = scratch.below.len() as u32;
+                scratch.frames.push(ConvFrame::Build { node, mv: mv as u32, start });
+                for assignment in &assignments[mv] {
+                    let below = follow_code(bdd, node, assignment);
+                    scratch.below.push(below.index() as u32);
+                    if scratch.memo[below.index()] == UNSET {
+                        scratch.frames.push(ConvFrame::Visit(below));
+                    }
+                }
+            }
+            ConvFrame::Build { node, mv, start } => {
+                scratch.children.clear();
+                for &below in &scratch.below[start as usize..] {
+                    let converted = scratch.memo[below as usize];
+                    debug_assert_ne!(converted, UNSET, "children are converted before parents");
+                    scratch.children.push(converted);
+                }
+                scratch.below.truncate(start as usize);
+                let result = ctx.mk(mv, &scratch.children);
+                if use_cache {
+                    let id = node.index() as u32;
+                    ctx.cache_insert((OP_CONV, id, id, 0), result);
+                }
+                scratch.memo[node.index()] = result;
+            }
+        }
+    }
+    scratch.memo[root.index()]
 }
 
 /// Walks down from `node` assigning the group bits given by `assignment`

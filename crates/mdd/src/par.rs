@@ -1,0 +1,354 @@
+//! Parallel sections for the ROMDD engine: the n-ary apply connectives
+//! and the coded-ROBDD → ROMDD conversion, split across a work-stealing
+//! pool over a [`socy_dd::ParSession`].
+//!
+//! Both follow the same shape as the ROBDD engine's parallel apply: a
+//! splitter mirrors the sequential machine's terminal rules exactly
+//! (plus a read-only probe of the frozen op cache where one exists),
+//! expanding at the top variable — per *domain value*, so the fan-out is
+//! the variable's arity — until enough leaves exist to keep the pool
+//! busy; each leaf then runs the ordinary explicit-stack machine against
+//! the shared session. Hash-consing makes the result canonical and
+//! bit-identical at every thread count.
+//!
+//! Conversion leaves keep a per-worker dense memo (a `ConvScratch`)
+//! alive across all tasks the worker executes, and additionally share
+//! converted subtrees *across* workers through the session's lossy cache
+//! keyed `OP_CONV` on the ROBDD node id (sound by the layering
+//! requirement; see [`crate::from_bdd`]).
+
+use crate::apply::{run_apply, ApplyScratch, OP_NOT, OP_XOR};
+use crate::from_bdd::{convert_with_ctx, follow_code, ConvScratch, GroupAssignments};
+use crate::manager::MddManager;
+use socy_bdd::{BddId, BddManager};
+use socy_dd::kernel::DdKernel;
+use socy_dd::{run_tasks, ParSession, Split, ONE, ZERO};
+
+/// One apply subproblem `(op, a, b)` (NOT carries the operand twice) —
+/// the op-cache key shape minus the unused third operand.
+type ApplyTask = (u8, u32, u32);
+
+/// Normalised binary subtask (the connectives are commutative, so
+/// sorting the operands makes task deduplication match cache keying).
+fn binary_task(op: u8, a: u32, b: u32) -> ApplyTask {
+    if a <= b {
+        (op, a, b)
+    } else {
+        (op, b, a)
+    }
+}
+
+/// Terminal rules + frozen-cache probe + one expansion across the top
+/// variable's domain, mirroring `eval_step` of the sequential machine
+/// rule for rule. Runs only on the frozen kernel, so every id in a task
+/// is a frozen arena id.
+fn split_apply(dd: &DdKernel, task: &ApplyTask) -> Split<ApplyTask> {
+    let &(op, a, b) = task;
+    if op == OP_NOT {
+        if a == ZERO {
+            return Split::Done(ONE);
+        }
+        if a == ONE {
+            return Split::Done(ZERO);
+        }
+        if let Some(r) = dd.cache_peek((OP_NOT, a, a, 0)) {
+            return Split::Done(r);
+        }
+        let top = dd.raw_level(a);
+        let tasks = (0..dd.arity(top as usize))
+            .map(|v| {
+                let c = dd.child(a, v);
+                (OP_NOT, c, c)
+            })
+            .collect();
+        return Split::Branch { level: top, tasks };
+    }
+    // Binary connectives (AND = 0, OR = 1, XOR = 2).
+    match op {
+        0 => {
+            if a == ZERO || b == ZERO {
+                return Split::Done(ZERO);
+            }
+            if a == ONE {
+                return Split::Done(b);
+            }
+            if b == ONE || a == b {
+                return Split::Done(a);
+            }
+        }
+        1 => {
+            if a == ONE || b == ONE {
+                return Split::Done(ONE);
+            }
+            if a == ZERO {
+                return Split::Done(b);
+            }
+            if b == ZERO || a == b {
+                return Split::Done(a);
+            }
+        }
+        OP_XOR => {
+            if a == ZERO {
+                return Split::Done(b);
+            }
+            if b == ZERO {
+                return Split::Done(a);
+            }
+            if a == b {
+                return Split::Done(ZERO);
+            }
+            if a == ONE {
+                return Split::Chain((OP_NOT, b, b));
+            }
+            if b == ONE {
+                return Split::Chain((OP_NOT, a, a));
+            }
+        }
+        _ => unreachable!("unknown binary op"),
+    }
+    let (_, x, y) = binary_task(op, a, b);
+    if let Some(r) = dd.cache_peek((op, x, y, 0)) {
+        return Split::Done(r);
+    }
+    let la = dd.raw_level(x);
+    let lb = dd.raw_level(y);
+    let top = la.min(lb);
+    let tasks = (0..dd.arity(top as usize))
+        .map(|v| {
+            let ca = if la == top { dd.child(x, v) } else { x };
+            let cb = if lb == top { dd.child(y, v) } else { y };
+            binary_task(op, ca, cb)
+        })
+        .collect();
+    Split::Branch { level: top, tasks }
+}
+
+/// Runs `op(a, b)` as a parallel section when the operands are large
+/// enough to be worth it; returns `None` to fall back to the sequential
+/// machine. The returned id is a frozen arena id (the session is
+/// absorbed before returning).
+pub(crate) fn try_par_apply(mgr: &mut MddManager, op: u8, a: u32, b: u32) -> Option<u32> {
+    let grain = mgr.par_grain;
+    if mgr.dd.node_count_capped(&[a, b], grain) < grain {
+        return None;
+    }
+    let threads = mgr.compile_threads;
+    let root = if op == OP_NOT { (OP_NOT, a, a) } else { binary_task(op, a, b) };
+    let session = ParSession::new(&mgr.dd);
+    let kernel = session.kernel();
+    let got = run_tasks(
+        &session,
+        threads,
+        threads * 8,
+        root,
+        |task| split_apply(kernel, task),
+        ApplyScratch::default,
+        |ctx, scratch, &(op, a, b)| run_apply(ctx, scratch, op, a, b),
+    );
+    let parts = session.into_parts();
+    let mut roots = [got];
+    mgr.dd.absorb_par(parts, &mut roots);
+    Some(roots[0])
+}
+
+/// One conversion subproblem: a coded-ROBDD node. The layering
+/// requirement makes the node id alone a sound task identity (see
+/// [`crate::from_bdd`]), so task deduplication is exact.
+fn split_convert(
+    bdd: &BddManager,
+    node: &BddId,
+    assignments: &GroupAssignments,
+    mv_of_bit: &[Option<usize>],
+) -> Split<BddId> {
+    let node = *node;
+    if node.is_zero() {
+        return Split::Done(ZERO);
+    }
+    if node.is_one() {
+        return Split::Done(ONE);
+    }
+    let bit_level = bdd.level(node).expect("non-terminal");
+    let mv = mv_of_bit
+        .get(bit_level)
+        .copied()
+        .flatten()
+        .unwrap_or_else(|| panic!("ROBDD level {bit_level} is not mapped by the layout"));
+    let tasks =
+        assignments[mv].iter().map(|assignment| follow_code(bdd, node, assignment)).collect();
+    Split::Branch { level: mv as u32, tasks }
+}
+
+/// Runs the coded-ROBDD → ROMDD conversion as a parallel section when
+/// the source ROBDD is large enough to be worth it; returns `None` to
+/// fall back to the sequential converter. Each worker keeps one
+/// `ConvScratch` (dense memo over the ROBDD arena) for all its leaf
+/// tasks, and the session cache shares converted subtrees across
+/// workers under `OP_CONV` keys — lossily, which only costs
+/// recomputation, never canonicity.
+pub(crate) fn try_par_convert(
+    mgr: &mut MddManager,
+    bdd: &BddManager,
+    root: BddId,
+    assignments: &GroupAssignments,
+    mv_of_bit: &[Option<usize>],
+) -> Option<u32> {
+    let grain = mgr.par_grain;
+    if bdd.node_count_capped(root, grain) < grain {
+        return None;
+    }
+    let threads = mgr.compile_threads;
+    let session = ParSession::new(&mgr.dd);
+    let got = run_tasks(
+        &session,
+        threads,
+        threads * 8,
+        root,
+        |node| split_convert(bdd, node, assignments, mv_of_bit),
+        || {
+            let mut scratch = ConvScratch::default();
+            scratch.prepare(bdd);
+            scratch
+        },
+        |ctx, scratch, &node| {
+            convert_with_ctx(ctx, bdd, node, assignments, mv_of_bit, scratch, true)
+        },
+    );
+    let parts = session.into_parts();
+    let mut roots = [got];
+    mgr.dd.absorb_par(parts, &mut roots);
+    Some(roots[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::coded::CodedLayout;
+    use crate::manager::{MddId, MddManager};
+    use socy_bdd::{BddId, BddManager};
+
+    fn build(mgr: &mut MddManager) -> MddId {
+        let domains = mgr.domains().to_vec();
+        let lits: Vec<MddId> = (0..domains.len()).map(|i| mgr.value_at_least(i, 1)).collect();
+        let t = mgr.at_least(3, &lits);
+        let x = mgr.xor(lits[0], lits[domains.len() - 1]);
+        let anded = mgr.and(t, x);
+        let n = mgr.not(anded);
+        mgr.or(n, t)
+    }
+
+    fn eval_all(mgr: &MddManager, f: MddId) -> Vec<bool> {
+        let domains = mgr.domains().to_vec();
+        let mut out = Vec::new();
+        let mut assignment = vec![0usize; domains.len()];
+        loop {
+            out.push(mgr.eval(f, &assignment));
+            let mut i = 0;
+            loop {
+                if i == domains.len() {
+                    return out;
+                }
+                assignment[i] += 1;
+                if assignment[i] < domains[i] {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_apply_is_bit_identical_across_thread_counts() {
+        let domains = vec![3usize, 4, 2, 3, 3, 2];
+        let mut seq = MddManager::new(domains.clone());
+        let f_seq = build(&mut seq);
+        let truth = eval_all(&seq, f_seq);
+        for threads in [2usize, 4] {
+            let mut par = MddManager::new(domains.clone());
+            par.set_compile_threads(threads);
+            par.set_par_grain(8); // tiny grain: force parallel sections on a small model
+            let f_par = build(&mut par);
+            assert_eq!(
+                par.inner_node_count(f_par),
+                seq.inner_node_count(f_seq),
+                "node counts must be thread-count-invariant"
+            );
+            assert_eq!(eval_all(&par, f_par), truth);
+            let stats = par.stats();
+            assert!(stats.par_sections > 0, "grain 8 must open parallel sections");
+            assert!(stats.par_tasks > 0);
+        }
+        assert_eq!(seq.stats().par_sections, 0, "sequential manager never parallelises");
+    }
+
+    /// Coded ROBDD of a function over the layout's variables, built by
+    /// explicit case analysis (small inputs only).
+    fn coded_bdd_of<F: Fn(&[usize]) -> bool>(layout: &CodedLayout, f: &F) -> (BddManager, BddId) {
+        let mut bdd = BddManager::new(layout.num_bits());
+        let domains = layout.domains();
+        let mut root = bdd.zero();
+        let mut assignment = vec![0usize; domains.len()];
+        loop {
+            if f(&assignment) {
+                let mut term = bdd.one();
+                for (var, &value) in assignment.iter().enumerate() {
+                    for (level, bit) in layout.assignment_for(var, value) {
+                        let lit = bdd.literal(level, bit);
+                        term = bdd.and(term, lit);
+                    }
+                }
+                root = bdd.or(root, term);
+            }
+            let mut i = 0;
+            loop {
+                if i == domains.len() {
+                    return (bdd, root);
+                }
+                assignment[i] += 1;
+                if assignment[i] < domains[i] {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_conversion_is_bit_identical_across_thread_counts() {
+        let layout = CodedLayout::binary_msb_first(&[3, 4, 2, 3, 3]);
+        let f = |a: &[usize]| (a[0] + a[1] + a[2] + a[3] + a[4]) % 3 == 1 || a[1] == 3;
+        let (bdd, root) = coded_bdd_of(&layout, &f);
+        let mut seq = MddManager::new(layout.domains());
+        let m_seq = seq.from_coded_bdd(&bdd, root, &layout);
+        let truth = eval_all(&seq, m_seq);
+        for threads in [2usize, 4] {
+            let mut par = MddManager::new(layout.domains());
+            par.set_compile_threads(threads);
+            par.set_par_grain(4); // tiny grain: force the parallel converter
+            let m_par = par.from_coded_bdd(&bdd, root, &layout);
+            assert_eq!(
+                par.inner_node_count(m_par),
+                seq.inner_node_count(m_seq),
+                "node counts must be thread-count-invariant"
+            );
+            assert_eq!(eval_all(&par, m_par), truth);
+            assert!(par.stats().par_sections > 0, "grain 4 must open a parallel section");
+        }
+        assert_eq!(seq.stats().par_sections, 0);
+    }
+
+    #[test]
+    fn parallel_conversion_is_canonical_within_one_manager() {
+        // Converting twice in the same parallel manager yields the same id,
+        // and matches a sequential conversion in a fresh manager node-for-node.
+        let layout = CodedLayout::binary_msb_first(&[4, 4, 3]);
+        let f = |a: &[usize]| a[0] * a[1] >= 4 || a[2] == 1;
+        let (bdd, root) = coded_bdd_of(&layout, &f);
+        let mut par = MddManager::new(layout.domains());
+        par.set_compile_threads(3);
+        par.set_par_grain(4);
+        let a = par.from_coded_bdd(&bdd, root, &layout);
+        let b = par.from_coded_bdd(&bdd, root, &layout);
+        assert_eq!(a, b, "conversion must be canonical across repeated runs");
+    }
+}

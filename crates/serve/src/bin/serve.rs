@@ -13,16 +13,18 @@ use serde::Serialize;
 use socy_serve::{ServiceConfig, YieldService};
 
 const USAGE: &str = "\
-Usage: serve [--threads N] [--node-budget NODES] [--record PATH]
+Usage: serve [--threads N] [--compile-threads N] [--node-budget NODES] [--record PATH]
 
 Reads line-delimited JSON requests on stdin; a blank line flushes the
 pending batch, EOF flushes and exits. Writes one JSON response per line
 on stdout, in request order.
 
-  --threads N       worker threads for uncached requests (0 = all cores; default 0)
-  --node-budget N   live-node budget of the pipeline cache (0 = unbounded)
-  --record PATH     additionally write every response into PATH as one
-                    pretty-printed JSON array (for anchor_check replays)";
+  --threads N          worker threads for uncached requests (0 = all cores; default 0)
+  --compile-threads N  worker threads inside each compilation (default 1;
+                       results are bit-identical at every setting)
+  --node-budget N      live-node budget of the pipeline cache (0 = unbounded)
+  --record PATH        additionally write every response into PATH as one
+                       pretty-printed JSON array (for anchor_check replays)";
 
 fn main() -> ExitCode {
     let mut config = ServiceConfig::default();
@@ -33,6 +35,10 @@ fn main() -> ExitCode {
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.threads = n,
                 None => return usage_error("--threads requires an integer"),
+            },
+            "--compile-threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.compile_threads = n,
+                None => return usage_error("--compile-threads requires an integer"),
             },
             "--node-budget" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(0) => config.node_budget = None,

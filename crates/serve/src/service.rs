@@ -52,11 +52,16 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Live-node budget of the pipeline cache (`None` = unbounded).
     pub node_budget: Option<usize>,
+    /// Worker threads *inside* each compilation (`0` or `1` = sequential
+    /// compilation). A resource knob, never part of the cache key:
+    /// compiled diagrams and yields are bit-identical at every setting
+    /// (see [`SweepMatrix::compile_threads`]).
+    pub compile_threads: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { threads: 0, node_budget: Some(DEFAULT_NODE_BUDGET) }
+        Self { threads: 0, node_budget: Some(DEFAULT_NODE_BUDGET), compile_threads: 1 }
     }
 }
 
@@ -328,6 +333,7 @@ struct MissMeta {
 pub struct YieldService {
     cache: PipelineLru<PipelineKey>,
     threads: usize,
+    compile_threads: usize,
     requests_served: u64,
 }
 
@@ -337,6 +343,7 @@ impl YieldService {
         Self {
             cache: PipelineLru::new(config.node_budget),
             threads: config.threads,
+            compile_threads: config.compile_threads,
             requests_served: 0,
         }
     }
@@ -520,6 +527,7 @@ impl YieldService {
         }
         let started = Instant::now();
         let mut matrix = SweepMatrix::new();
+        matrix.compile_threads = self.compile_threads;
         let mut metas: Vec<MissMeta> = Vec::with_capacity(misses.len());
         for (at, plan) in misses {
             let EvalPlan { id, kind, key, system, distribution, dist_label, rules } = plan;

@@ -1,0 +1,246 @@
+//! Integration tests of intra-compilation parallelism: compiling with
+//! `compile_threads > 1` (sharded concurrent unique table, lossy
+//! concurrent op cache, work-stealing apply/conversion) must be
+//! **bit-identical** to sequential compilation — same yields (to the
+//! last bit), same error bounds, same truncations, same node counts and
+//! peaks — for every thread count.
+//!
+//! Only the operation-cache tallies (the concurrent cache is lossy, so
+//! racing writers may drop publications) and the steal/contention
+//! counters are scheduling-dependent; everything this file compares is
+//! not, and the comparisons deliberately use canonical quantities, never
+//! raw node ids.
+//!
+//! The CI test job runs these under `SOCY_TEST_COMPILE_THREADS ∈ {1, 4}`
+//! (mirroring `SOCY_TEST_THREADS` of `parallel_sweep.rs`), so the
+//! sequential and parallel compile paths are both exercised on every PR;
+//! the env var adds a compile-thread count to the compared set.
+
+use proptest::prelude::*;
+
+use soc_yield::defect::{ComponentProbabilities, NegativeBinomial};
+use soc_yield::ordering::{GroupOrdering, MvOrdering};
+use soc_yield::{
+    NamedDistribution, Netlist, OrderingSpec, SweepBlock, SweepMatrix, SweepOutcome, SystemSpec,
+    TruncationRule,
+};
+
+/// Compile-thread counts to compare: 1, 2, 4, plus CI's
+/// `SOCY_TEST_COMPILE_THREADS`.
+fn compile_thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    if let Some(n) =
+        std::env::var("SOCY_TEST_COMPILE_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&n) && n > 0 {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// A paper benchmark as a sweep system (same construction as the bench
+/// harness, at the paper's lethality 1).
+fn benchmark(system: &soc_yield::benchmarks::BenchmarkSystem) -> SystemSpec {
+    let components = system.component_probabilities(1.0).expect("valid weights");
+    SystemSpec::new(system.name.clone(), system.fault_tree.clone(), components)
+}
+
+/// Compares everything that must not depend on the compile-thread count:
+/// results bit-for-bit, node counts, peaks, unique-table sizes, GC
+/// accounting and the deterministic parallel counters. The op-cache
+/// tallies and the steal/contention counters are intentionally absent.
+fn assert_compile_bit_identical(serial: &SweepOutcome, parallel: &SweepOutcome, context: &str) {
+    assert_eq!(serial.points.len(), parallel.points.len(), "{context}: point counts");
+    for (s, p) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(s.labels, p.labels, "{context}: report ordering must not depend on threads");
+        match (&s.result, &p.result) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(
+                    s.yield_lower_bound.to_bits(),
+                    p.yield_lower_bound.to_bits(),
+                    "{context}: yield must be bit-identical"
+                );
+                assert_eq!(s.error_bound.to_bits(), p.error_bound.to_bits(), "{context}");
+                assert_eq!(s.truncation, p.truncation, "{context}");
+                assert_eq!(s.compiled_truncation, p.compiled_truncation, "{context}");
+                assert_eq!(s.coded_robdd_size, p.coded_robdd_size, "{context}");
+                assert_eq!(s.presift_robdd_size, p.presift_robdd_size, "{context}");
+                assert_eq!(s.robdd_peak, p.robdd_peak, "{context}");
+                assert_eq!(s.romdd_size, p.romdd_size, "{context}");
+                for (s, p, which) in [
+                    (&s.robdd_stats, &p.robdd_stats, "robdd"),
+                    (&s.romdd_stats, &p.romdd_stats, "romdd"),
+                ] {
+                    assert_eq!(s.peak_nodes, p.peak_nodes, "{context}: {which} peak");
+                    assert_eq!(s.live_nodes, p.live_nodes, "{context}: {which} live");
+                    assert_eq!(s.unique_entries, p.unique_entries, "{context}: {which} unique");
+                    assert_eq!(s.gc_runs, p.gc_runs, "{context}: {which} gc runs");
+                    assert_eq!(s.gc_reclaimed, p.gc_reclaimed, "{context}: {which} gc reclaimed");
+                }
+            }
+            (Err(s), Err(p)) => assert_eq!(s, p, "{context}: errors must be deterministic"),
+            (s, p) => {
+                panic!("{context}: serial ok={} but parallel ok={}", s.is_ok(), p.is_ok())
+            }
+        }
+    }
+    assert_eq!(serial.summary.chunks, parallel.summary.chunks, "{context}");
+    assert_eq!(serial.summary.failed_points, parallel.summary.failed_points, "{context}");
+    for (s, p, which) in [
+        (&serial.summary.robdd, &parallel.summary.robdd, "robdd"),
+        (&serial.summary.romdd, &parallel.summary.romdd, "romdd"),
+    ] {
+        assert_eq!(s.peak_nodes_max, p.peak_nodes_max, "{context}: {which}");
+        assert_eq!(s.peak_nodes_sum, p.peak_nodes_sum, "{context}: {which}");
+        assert_eq!(s.unique_entries_sum, p.unique_entries_sum, "{context}: {which}");
+        assert_eq!(s.gc_runs, p.gc_runs, "{context}: {which}");
+        assert_eq!(s.gc_reclaimed, p.gc_reclaimed, "{context}: {which}");
+    }
+}
+
+/// The real-size path: two paper benchmarks whose coded ROBDDs exceed
+/// the default parallel grain, so `compile_threads > 1` genuinely enters
+/// the sharded-session code (asserted via `par_sections`).
+#[test]
+fn benchmark_compilation_is_bit_identical_across_compile_threads() {
+    let mut block = SweepBlock::new();
+    block.systems.push(benchmark(&soc_yield::benchmarks::esen(4, 1)));
+    block.systems.push(benchmark(&soc_yield::benchmarks::esen(4, 2)));
+    block
+        .distributions
+        .push(NamedDistribution::new("λ'=1", NegativeBinomial::new(1.0, 4.0).unwrap()));
+    block.specs.push(OrderingSpec::paper_default());
+    block.rules.push(TruncationRule::Epsilon(1e-3));
+    let mut matrix = SweepMatrix::new();
+    matrix.add(block);
+
+    let serial = matrix.run(1);
+    assert_eq!(serial.summary.failed_points, 0);
+    assert_eq!(serial.summary.robdd.par_sections, 0, "sequential compile must not fan out");
+    for compile_threads in compile_thread_counts() {
+        matrix.compile_threads = compile_threads;
+        let parallel = matrix.run(1);
+        let context = format!("compile_threads={compile_threads}");
+        assert_compile_bit_identical(&serial, &parallel, &context);
+        if compile_threads > 1 {
+            let sections =
+                parallel.summary.robdd.par_sections + parallel.summary.romdd.par_sections;
+            assert!(sections > 0, "{context}: benchmarks exceed the grain, must fan out");
+        }
+    }
+    matrix.compile_threads = 0;
+}
+
+/// Parallel compile inside a parallel sweep: the two thread pools are
+/// orthogonal and neither may change a single bit.
+#[test]
+fn parallel_compile_composes_with_the_parallel_sweep() {
+    let mut block = SweepBlock::new();
+    block.systems.push(benchmark(&soc_yield::benchmarks::esen(4, 1)));
+    block.systems.push(benchmark(&soc_yield::benchmarks::ms(2)));
+    block
+        .distributions
+        .push(NamedDistribution::new("λ'=1", NegativeBinomial::new(1.0, 4.0).unwrap()));
+    block.specs.push(OrderingSpec::paper_default());
+    block.specs.push(OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).unwrap());
+    block.rules.push(TruncationRule::Epsilon(1e-2));
+    block.rules.push(TruncationRule::Epsilon(1e-3));
+    let mut matrix = SweepMatrix::new();
+    matrix.add(block);
+
+    let serial = matrix.run(1);
+    matrix.compile_threads = 4;
+    let parallel = matrix.run(4);
+    assert_compile_bit_identical(&serial, &parallel, "threads=4 × compile_threads=4");
+}
+
+/// Random fault tree over `c` components (same generator family as
+/// `parallel_sweep.rs` / `property_based.rs`).
+fn arb_system(max_components: usize) -> impl Strategy<Value = SystemSpec> {
+    (2..=max_components, 1usize..5, any::<u64>()).prop_map(|(c, gates, seed)| {
+        let mut nl = Netlist::new();
+        let mut nodes: Vec<_> = (0..c).map(|i| nl.input(format!("x{i}"))).collect();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..gates {
+            let arity = 2 + (next() % 2) as usize;
+            let fanin: Vec<_> =
+                (0..arity).map(|_| nodes[(next() % nodes.len() as u64) as usize]).collect();
+            let gate = match next() % 3 {
+                0 => nl.and(fanin),
+                1 => nl.or(fanin),
+                _ => {
+                    let inner = nl.or(fanin);
+                    nl.not(inner)
+                }
+            };
+            nodes.push(gate);
+        }
+        let out = *nodes.last().expect("non-empty");
+        nl.set_output(out);
+        let components = ComponentProbabilities::new(vec![1.0 / c as f64; c]).unwrap();
+        SystemSpec::new(format!("random-{seed:x}"), nl, components)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Over random systems, distributions and rules, compiling with 2
+    /// and 4 threads is bit-identical to the sequential compile. The
+    /// grain cutoff is lowered to 2 nodes so even these small diagrams
+    /// genuinely take the parallel path (with the default grain the gate
+    /// would keep them sequential and the property would hold
+    /// vacuously).
+    #[test]
+    fn random_systems_are_compile_thread_invariant(
+        systems in proptest::collection::vec(arb_system(5), 1..3),
+        lambda in 0.3f64..2.0,
+        alpha in 0.5f64..8.0,
+        epsilon_exp in 1u32..5,
+        fixed_m in 1usize..5,
+        second_spec in 0usize..3,
+    ) {
+        let mut block = SweepBlock::new();
+        for system in systems {
+            block.systems.push(system);
+        }
+        block.distributions.push(NamedDistribution::new(
+            "λ'",
+            NegativeBinomial::new(lambda, alpha).unwrap(),
+        ));
+        block.specs.push(OrderingSpec::paper_default());
+        let second = [
+            OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).unwrap(),
+            OrderingSpec::new(MvOrdering::Wvr, GroupOrdering::LsbFirst).unwrap(),
+            OrderingSpec::new(MvOrdering::Topology, GroupOrdering::MsbFirst).unwrap(),
+        ][second_spec];
+        block.specs.push(second);
+        block.rules.push(TruncationRule::Epsilon(10f64.powi(-(epsilon_exp as i32))));
+        block.rules.push(TruncationRule::Fixed(fixed_m));
+        let mut matrix = SweepMatrix::new();
+        matrix.add(block);
+        matrix.compile_grain = 2;
+
+        let serial = matrix.run(1);
+        for compile_threads in compile_thread_counts() {
+            if compile_threads == 1 {
+                continue;
+            }
+            matrix.compile_threads = compile_threads;
+            let parallel = matrix.run(1);
+            assert_compile_bit_identical(
+                &serial,
+                &parallel,
+                &format!("compile_threads={compile_threads}"),
+            );
+        }
+        matrix.compile_threads = 0;
+    }
+}
