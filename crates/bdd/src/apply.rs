@@ -12,7 +12,7 @@
 //! churn per recursion.
 
 use crate::manager::{BddId, BddManager, TERMINAL_LEVEL};
-use socy_dd::{DdCtx, ONE, ZERO};
+use socy_dd::{is_complemented, negate, negate_if, strip, DdCtx, ONE, ZERO};
 
 /// Operation tags used as keys in the kernel's operation cache.
 pub(crate) const OP_AND: u8 = 0;
@@ -59,6 +59,11 @@ enum Frame {
         top: u32,
         high: u32,
     },
+    /// Complemented-edge mode only: negates the result on top of the
+    /// stack. Pushed *below* the frames computing a normalised
+    /// subproblem whose answer is the complement of the requested one
+    /// (XOR parity stripping, ITE with a complemented then-branch).
+    Negate,
 }
 
 /// Outcome of trying to resolve a binary subproblem without a frame.
@@ -80,8 +85,13 @@ pub(crate) struct ApplyScratch {
 }
 
 impl BddManager {
-    /// Logical negation.
+    /// Logical negation. With complemented edges (the default) this is
+    /// O(1): it flips the complement bit of the edge without touching a
+    /// single node.
     pub fn not(&mut self, f: BddId) -> BddId {
+        if self.dd.complement_enabled() {
+            return BddId(negate(f.0));
+        }
         self.apply_root(OP_NOT, f.0, f.0, 0)
     }
 
@@ -263,6 +273,10 @@ pub(crate) fn run_apply<C: DdCtx>(
                 ctx.cache_insert((op, a, b, 0), r);
                 scratch.results.push(r);
             }
+            Frame::Negate => {
+                let r = scratch.results.pop().expect("negate operand result");
+                scratch.results.push(negate(r));
+            }
         }
     }
     let result = scratch.results.pop().expect("the root frame pushed a result");
@@ -271,8 +285,29 @@ pub(crate) fn run_apply<C: DdCtx>(
 }
 
 /// One `Eval` step: terminal rules, cache probe, or expansion.
-fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, c: u32, scratch: &mut ApplyScratch) {
+///
+/// In complemented-edge mode the step additionally applies the standard
+/// negation normalizations before keying the cache: `x ⊕ ¬y = ¬(x ⊕ y)`
+/// (keys carry the plain pair plus an output complement),
+/// `ite(¬f, g, h) = ite(f, h, g)` and `ite(f, ¬g, ¬h) = ¬ite(f, g, h)`.
+/// Every normalization is gated on [`DdCtx::complement`], so
+/// complement-off runs take byte-identical paths to the pre-complement
+/// machine.
+fn eval_step<C: DdCtx>(
+    ctx: &mut C,
+    op: u8,
+    mut a: u32,
+    mut b: u32,
+    mut c: u32,
+    scratch: &mut ApplyScratch,
+) {
     if op == OP_NOT {
+        if ctx.complement() {
+            // O(1); only reachable through legacy callers — the public
+            // entry points negate edges directly in complement mode.
+            scratch.results.push(negate(a));
+            return;
+        }
         if a == ZERO {
             scratch.results.push(ONE);
             return;
@@ -302,6 +337,12 @@ fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, c: u32, scratch: &mu
             scratch.results.push(c);
             return;
         }
+        let cpl = ctx.complement();
+        if cpl && is_complemented(a) {
+            // ite(¬f, g, h) = ite(f, h, g): keep the predicate regular.
+            a = negate(a);
+            std::mem::swap(&mut b, &mut c);
+        }
         if b == c {
             scratch.results.push(b);
             return;
@@ -310,8 +351,23 @@ fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, c: u32, scratch: &mu
             scratch.results.push(a);
             return;
         }
+        if cpl && b == ZERO && c == ONE {
+            scratch.results.push(negate(a));
+            return;
+        }
+        let mut neg = false;
+        if cpl && is_complemented(b) {
+            // ite(f, ¬g, ¬h) = ¬ite(f, g, h): one canonical cache entry
+            // serves both output parities.
+            b = negate(b);
+            c = negate(c);
+            neg = true;
+        }
         if let Some(r) = ctx.cache_get((OP_ITE, a, b, c)) {
-            scratch.results.push(r);
+            if neg {
+                ctx.note_complement_hit();
+            }
+            scratch.results.push(negate_if(neg, r));
             return;
         }
         let top = ctx.raw_level(a).min(ctx.raw_level(b)).min(ctx.raw_level(c));
@@ -319,6 +375,9 @@ fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, c: u32, scratch: &mu
         let (f0, f1) = cofactors_at(ctx, a, top);
         let (g0, g1) = cofactors_at(ctx, b, top);
         let (h0, h1) = cofactors_at(ctx, c, top);
+        if neg {
+            scratch.frames.push(Frame::Negate);
+        }
         scratch.frames.push(Frame::Combine { op, a, b, c, top });
         scratch.frames.push(Frame::Eval { op, a: f1, b: g1, c: h1 });
         scratch.frames.push(Frame::Eval { op, a: f0, b: g0, c: h0 });
@@ -343,6 +402,11 @@ fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, c: u32, scratch: &mu
                 scratch.results.push(a);
                 return;
             }
+            if ctx.complement() && a == negate(b) {
+                // f ∧ ¬f = 0.
+                scratch.results.push(ZERO);
+                return;
+            }
         }
         OP_OR => {
             if a == ONE || b == ONE {
@@ -361,6 +425,11 @@ fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, c: u32, scratch: &mu
                 scratch.results.push(a);
                 return;
             }
+            if ctx.complement() && a == negate(b) {
+                // f ∨ ¬f = 1.
+                scratch.results.push(ONE);
+                return;
+            }
         }
         OP_XOR => {
             if a == ZERO {
@@ -375,14 +444,48 @@ fn eval_step<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32, c: u32, scratch: &mu
                 scratch.results.push(ZERO);
                 return;
             }
-            if a == ONE {
-                // ¬g, evaluated by the same machine.
-                scratch.frames.push(Frame::Eval { op: OP_NOT, a: b, b, c: 0 });
-                return;
-            }
-            if b == ONE {
-                scratch.frames.push(Frame::Eval { op: OP_NOT, a, b: a, c: 0 });
-                return;
+            if ctx.complement() {
+                if a == negate(b) {
+                    scratch.results.push(ONE);
+                    return;
+                }
+                if a == ONE {
+                    scratch.results.push(negate(b));
+                    return;
+                }
+                if b == ONE {
+                    scratch.results.push(negate(a));
+                    return;
+                }
+                if is_complemented(a) || is_complemented(b) {
+                    // x ⊕ ¬y = ¬(x ⊕ y): key on the plain pair and
+                    // complement the output when the parities differ.
+                    let neg = is_complemented(a) ^ is_complemented(b);
+                    let (sa, sb) = (strip(a), strip(b));
+                    let (x, y) = if sa <= sb { (sa, sb) } else { (sb, sa) };
+                    if let Some(r) = ctx.cache_get((op, x, y, 0)) {
+                        if neg {
+                            ctx.note_complement_hit();
+                        }
+                        scratch.results.push(negate_if(neg, r));
+                        return;
+                    }
+                    if neg {
+                        scratch.frames.push(Frame::Negate);
+                    }
+                    scratch.frames.push(Frame::Expand { op, a: x, b: y });
+                    return;
+                }
+            } else {
+                if a == ONE {
+                    // ¬g, evaluated by the same machine.
+                    scratch.frames.push(Frame::Eval { op: OP_NOT, a: b, b, c: 0 });
+                    return;
+                }
+                if b == ONE {
+                    scratch.frames.push(Frame::Eval { op: OP_NOT, a, b: a, c: 0 });
+                    return;
+                }
             }
         }
         _ => unreachable!("unknown binary op"),
@@ -462,6 +565,9 @@ fn immediate_binary<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32) -> Immediate 
             if b == ONE || a == b {
                 return Immediate::Resolved(a);
             }
+            if ctx.complement() && a == negate(b) {
+                return Immediate::Resolved(ZERO);
+            }
         }
         OP_OR => {
             if a == ONE || b == ONE {
@@ -472,6 +578,9 @@ fn immediate_binary<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32) -> Immediate 
             }
             if b == ZERO || a == b {
                 return Immediate::Resolved(a);
+            }
+            if ctx.complement() && a == negate(b) {
+                return Immediate::Resolved(ONE);
             }
         }
         OP_XOR => {
@@ -484,7 +593,34 @@ fn immediate_binary<C: DdCtx>(ctx: &mut C, op: u8, a: u32, b: u32) -> Immediate 
             if a == b {
                 return Immediate::Resolved(ZERO);
             }
-            if a == ONE || b == ONE {
+            if ctx.complement() {
+                if a == negate(b) {
+                    return Immediate::Resolved(ONE);
+                }
+                if a == ONE {
+                    return Immediate::Resolved(negate(b));
+                }
+                if b == ONE {
+                    return Immediate::Resolved(negate(a));
+                }
+                if is_complemented(a) || is_complemented(b) {
+                    // Probe under the parity-stripped key; a miss defers
+                    // to `eval_step`, which redoes this normalization and
+                    // queues the complementing frame.
+                    let neg = is_complemented(a) ^ is_complemented(b);
+                    let (sa, sb) = (strip(a), strip(b));
+                    let (x, y) = if sa <= sb { (sa, sb) } else { (sb, sa) };
+                    return match ctx.cache_get((op, x, y, 0)) {
+                        Some(r) => {
+                            if neg {
+                                ctx.note_complement_hit();
+                            }
+                            Immediate::Resolved(negate_if(neg, r))
+                        }
+                        None => Immediate::Defer,
+                    };
+                }
+            } else if a == ONE || b == ONE {
                 // Redirects to NOT: needs the full Eval treatment.
                 return Immediate::Defer;
             }

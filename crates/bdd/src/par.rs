@@ -11,7 +11,7 @@
 use crate::apply::{cofactors_at, run_apply, ApplyScratch, OP_ITE, OP_NOT, OP_XOR};
 use crate::manager::BddManager;
 use socy_dd::kernel::DdKernel;
-use socy_dd::{run_tasks, ParSession, Split, ONE, ZERO};
+use socy_dd::{is_complemented, negate, negate_if, run_tasks, strip, ParSession, Split, ONE, ZERO};
 
 /// One apply subproblem: `(op, a, b, c)`, exactly the op-cache key shape.
 type Task = (u8, u32, u32, u32);
@@ -28,10 +28,20 @@ fn binary_task(op: u8, a: u32, b: u32) -> Task {
 
 /// Terminal rules + frozen-cache probe + one Shannon expansion, mirroring
 /// `eval_step` of the sequential machine rule for rule. Runs only on the
-/// frozen kernel, so every id in a task is a frozen arena id.
+/// frozen kernel, so every id in a task is a frozen arena id (possibly a
+/// complemented edge onto one).
+///
+/// A subtask's value is consumed directly by its parent `Branch`, so the
+/// splitter may only rewrite operands *result-preservingly* (the ITE
+/// ¬f-swap qualifies; output-complementing normalizations do not — those
+/// are applied to cache-probe keys only, negating any hit).
 fn split_task(dd: &DdKernel, task: &Task) -> Split<Task> {
-    let &(op, a, b, c) = task;
+    let &(op, mut a, mut b, mut c) = task;
+    let cpl = dd.complement_enabled();
     if op == OP_NOT {
+        if cpl {
+            return Split::Done(negate(a));
+        }
         if a == ZERO {
             return Split::Done(ONE);
         }
@@ -52,14 +62,31 @@ fn split_task(dd: &DdKernel, task: &Task) -> Split<Task> {
         if a == ZERO {
             return Split::Done(c);
         }
+        if cpl && is_complemented(a) {
+            // ite(¬f, g, h) = ite(f, h, g): result-preserving.
+            a = negate(a);
+            std::mem::swap(&mut b, &mut c);
+        }
         if b == c {
             return Split::Done(b);
         }
         if b == ONE && c == ZERO {
             return Split::Done(a);
         }
-        if let Some(r) = dd.cache_peek((OP_ITE, a, b, c)) {
-            return Split::Done(r);
+        if cpl && b == ZERO && c == ONE {
+            return Split::Done(negate(a));
+        }
+        // The leaves key ITE entries with a regular then-branch; probe
+        // under that normalization and undo it on the value.
+        let mut neg = false;
+        let (kb, kc) = if cpl && is_complemented(b) {
+            neg = true;
+            (negate(b), negate(c))
+        } else {
+            (b, c)
+        };
+        if let Some(r) = dd.cache_peek((OP_ITE, a, kb, kc)) {
+            return Split::Done(negate_if(neg, r));
         }
         let top = dd.raw_level(a).min(dd.raw_level(b)).min(dd.raw_level(c));
         let (f0, f1) = cofactors_at(dd, a, top);
@@ -82,6 +109,9 @@ fn split_task(dd: &DdKernel, task: &Task) -> Split<Task> {
             if b == ONE || a == b {
                 return Split::Done(a);
             }
+            if cpl && a == negate(b) {
+                return Split::Done(ZERO);
+            }
         }
         1 => {
             if a == ONE || b == ONE {
@@ -92,6 +122,9 @@ fn split_task(dd: &DdKernel, task: &Task) -> Split<Task> {
             }
             if b == ZERO || a == b {
                 return Split::Done(a);
+            }
+            if cpl && a == negate(b) {
+                return Split::Done(ONE);
             }
         }
         OP_XOR => {
@@ -104,11 +137,40 @@ fn split_task(dd: &DdKernel, task: &Task) -> Split<Task> {
             if a == b {
                 return Split::Done(ZERO);
             }
-            if a == ONE {
-                return Split::Chain((OP_NOT, b, b, 0));
-            }
-            if b == ONE {
-                return Split::Chain((OP_NOT, a, a, 0));
+            if cpl {
+                if a == negate(b) {
+                    return Split::Done(ONE);
+                }
+                if a == ONE {
+                    return Split::Done(negate(b));
+                }
+                if b == ONE {
+                    return Split::Done(negate(a));
+                }
+                if is_complemented(a) || is_complemented(b) {
+                    // The leaves key XOR on the parity-stripped pair.
+                    let neg = is_complemented(a) ^ is_complemented(b);
+                    let (_, x, y, _) = binary_task(op, strip(a), strip(b));
+                    if let Some(r) = dd.cache_peek((op, x, y, 0)) {
+                        return Split::Done(negate_if(neg, r));
+                    }
+                    // Expand the original operands: cofactor subtasks of
+                    // (a, b) recombine to xor(a, b) itself.
+                    let top = dd.raw_level(a).min(dd.raw_level(b));
+                    let (f0, f1) = cofactors_at(dd, a, top);
+                    let (g0, g1) = cofactors_at(dd, b, top);
+                    return Split::Branch {
+                        level: top,
+                        tasks: vec![binary_task(op, f0, g0), binary_task(op, f1, g1)],
+                    };
+                }
+            } else {
+                if a == ONE {
+                    return Split::Chain((OP_NOT, b, b, 0));
+                }
+                if b == ONE {
+                    return Split::Chain((OP_NOT, a, a, 0));
+                }
             }
         }
         _ => unreachable!("unknown binary op"),

@@ -2,10 +2,10 @@
 //! freshly produced JSON dump against its pinned fixture under
 //! `tests/fixtures/`, ignoring only the volatile wall-clock/environment
 //! fields (`seconds`, `*_seconds`, `threads`, `compile_threads`, the
-//! `par_*` counters). Any drift in node counts, peaks, truncations,
-//! cache statistics or yields fails the build with a per-field report;
-//! missing or malformed files fail with a readable message instead of a
-//! panic.
+//! `par_*` and `*complement_hits` counters). Any drift in node counts,
+//! peaks, truncations, cache statistics or yields fails the build with
+//! a per-field report; missing or malformed files fail with a readable
+//! message instead of a panic.
 //!
 //! With `--volatile-cache-counters` the `*_cache_*` tallies are exempt
 //! too: the concurrent op cache used at `--compile-threads > 1` is
@@ -14,18 +14,41 @@
 //! bit-identical — this is the mode CI uses to gate a parallel-compile
 //! run against the sequential fixture.
 //!
-//! Usage: `anchor_check [--volatile-cache-counters] <fixture.json> <actual.json> [...more pairs]`
+//! With `--complement-invariant` only the complement-*invariant* fields
+//! are gated: the ROBDD-side node counts (`robdd_size`, `robdd_peak`,
+//! `robdd_unique_entries`, …) and all cache counters are exempt, while
+//! yields, error bounds, truncations and ROMDD node counts must still
+//! match bit-for-bit. This is the mode CI uses to gate a
+//! `--no-complement-edges` regeneration against the complement-enabled
+//! fixture, proving the complemented-edge toggle is a pure
+//! representation knob.
+//!
+//! Usage: `anchor_check [--volatile-cache-counters | --complement-invariant]
+//! <fixture.json> <actual.json> [...more pairs]`
 
-use soc_yield_bench::diff_anchor_values_lax;
+use soc_yield_bench::{diff_anchor_values_complement_invariant, diff_anchor_values_lax};
+
+/// Which field-exemption policy the comparison runs under.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Strict,
+    VolatileCacheCounters,
+    ComplementInvariant,
+}
 
 fn read(path: &str, role: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {role} {path}: {e}"))
 }
 
-fn check_pair(fixture_path: &str, actual_path: &str, lax_cache: bool) -> Result<(), String> {
+fn check_pair(fixture_path: &str, actual_path: &str, mode: Mode) -> Result<(), String> {
     let fixture = read(fixture_path, "fixture")?;
     let actual = read(actual_path, "file")?;
-    match diff_anchor_values_lax(&fixture, &actual, lax_cache) {
+    let diffs = match mode {
+        Mode::Strict => diff_anchor_values_lax(&fixture, &actual, false),
+        Mode::VolatileCacheCounters => diff_anchor_values_lax(&fixture, &actual, true),
+        Mode::ComplementInvariant => diff_anchor_values_complement_invariant(&fixture, &actual),
+    };
+    match diffs {
         Err(message) => Err(message),
         Ok(diffs) if diffs.is_empty() => Ok(()),
         Ok(diffs) => Err(format!("{} divergent field(s):\n  {}", diffs.len(), diffs.join("\n  "))),
@@ -34,18 +57,24 @@ fn check_pair(fixture_path: &str, actual_path: &str, lax_cache: bool) -> Result<
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut lax_cache = false;
-    args.retain(|arg| {
-        if arg == "--volatile-cache-counters" {
-            lax_cache = true;
+    let mut mode = Mode::Strict;
+    let mut conflicting = false;
+    args.retain(|arg| match arg.as_str() {
+        "--volatile-cache-counters" => {
+            conflicting |= mode == Mode::ComplementInvariant;
+            mode = Mode::VolatileCacheCounters;
             false
-        } else {
-            true
         }
+        "--complement-invariant" => {
+            conflicting |= mode == Mode::VolatileCacheCounters;
+            mode = Mode::ComplementInvariant;
+            false
+        }
+        _ => true,
     });
-    if args.is_empty() || !args.len().is_multiple_of(2) {
+    if conflicting || args.is_empty() || !args.len().is_multiple_of(2) {
         eprintln!(
-            "usage: anchor_check [--volatile-cache-counters] \
+            "usage: anchor_check [--volatile-cache-counters | --complement-invariant] \
              <fixture.json> <actual.json> [...more pairs]"
         );
         std::process::exit(2);
@@ -53,7 +82,7 @@ fn main() {
     let mut failed = false;
     for pair in args.chunks(2) {
         let (fixture_path, actual_path) = (&pair[0], &pair[1]);
-        match check_pair(fixture_path, actual_path, lax_cache) {
+        match check_pair(fixture_path, actual_path, mode) {
             Ok(()) => println!("OK   {actual_path} matches {fixture_path}"),
             Err(report) => {
                 eprintln!("FAIL {actual_path} vs {fixture_path}\n{report}");

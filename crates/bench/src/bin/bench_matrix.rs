@@ -101,9 +101,11 @@ fn pinned_matrix() -> SweepMatrix {
 }
 
 fn main() {
-    let CliArgs { json, threads, compile_threads, baseline, .. } = parse_cli(usize::MAX);
+    let CliArgs { json, threads, compile_threads, baseline, complement_edges, .. } =
+        parse_cli(usize::MAX);
     let mut matrix = pinned_matrix();
     matrix.compile_threads = compile_threads;
+    matrix.complement_edges = complement_edges;
     println!(
         "bench_matrix: pinned perf sweep ({} design points, compile-threads {})",
         matrix.len(),

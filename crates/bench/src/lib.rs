@@ -129,6 +129,10 @@ pub struct ResultRow {
     /// ROBDD operation-cache evict rate (evictions per insertion) of the
     /// build, in percent.
     pub robdd_cache_evict_percent: f64,
+    /// ROBDD operation-cache hits obtained through a complemented-edge
+    /// negation normalization (`0` when complemented edges are off).
+    /// Counts cache behaviour, so the anchors treat it as volatile.
+    pub robdd_complement_hits: u64,
     /// Wall-clock seconds of this row's evaluation. For rows produced by
     /// a sweep this **excludes** the compile, which
     /// [`compile_seconds`](ResultRow::compile_seconds) carries; for rows
@@ -175,6 +179,7 @@ impl ResultRow {
             robdd_cache_evictions: report.robdd_stats.op_cache_evictions,
             robdd_cache_hit_percent: report.robdd_stats.op_cache_hit_rate_percent(),
             robdd_cache_evict_percent: report.robdd_stats.op_cache_evict_rate_percent(),
+            robdd_complement_hits: report.robdd_stats.complement_hits,
             seconds: report.total_time.as_secs_f64(),
             compile_seconds: (report.robdd_time + report.conversion_time).as_secs_f64(),
             par_sections: report.robdd_stats.par_sections + report.romdd_stats.par_sections,
@@ -371,9 +376,11 @@ pub fn run_table(
     cells: &[(Workload, Vec<OrderingSpec>)],
     threads: usize,
     compile_threads: usize,
+    complement_edges: bool,
 ) -> Result<TableOutcome, HarnessError> {
     let mut matrix = SweepMatrix::new();
     matrix.compile_threads = compile_threads;
+    matrix.complement_edges = complement_edges;
     for (workload, specs) in cells {
         let mut block = SweepBlock::new();
         block.systems.push(system_spec(&workload.system)?);
@@ -438,11 +445,18 @@ pub struct CliArgs {
     /// Optional baseline `BENCH_sweep.json` to compare wall-clock times
     /// against (`bench_matrix` only).
     pub baseline: Option<String>,
+    /// Whether the ROBDD kernel uses complemented edges (`true` unless
+    /// `--no-complement-edges` is passed). A representation knob:
+    /// yields, error bounds, truncations and ROMDD node counts are
+    /// bit-identical in both modes; only ROBDD-side node counts and
+    /// cache statistics differ.
+    pub complement_edges: bool,
 }
 
 /// Parses the common CLI flags of the table binaries:
 /// `--max-components <C>`, `--json <path>`, `--v-first-max <C>`,
-/// `--threads <N>`, `--compile-threads <N>` and `--baseline <path>`.
+/// `--threads <N>`, `--compile-threads <N>`, `--baseline <path>` and
+/// `--no-complement-edges`.
 pub fn parse_cli(default_max: usize) -> CliArgs {
     let mut parsed = CliArgs {
         max_components: default_max,
@@ -451,6 +465,7 @@ pub fn parse_cli(default_max: usize) -> CliArgs {
         threads: 0,
         compile_threads: 1,
         baseline: None,
+        complement_edges: true,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -480,6 +495,10 @@ pub fn parse_cli(default_max: usize) -> CliArgs {
                 parsed.baseline = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--no-complement-edges" => {
+                parsed.complement_edges = false;
+                i += 1;
+            }
             _ => {
                 eprintln!("ignoring unknown argument `{}`", args[i]);
                 i += 1;
@@ -493,8 +512,11 @@ pub fn parse_cli(default_max: usize) -> CliArgs {
 /// and execution-environment knobs that legitimately differ from run to
 /// run and machine to machine. The `par_*` counters (parallel sections,
 /// tasks, steals, shard contention) track the compile-thread resource
-/// knob rather than the analysis, so they are volatile too. Everything
-/// else (node counts, peaks, truncations, cache statistics, yields) is
+/// knob rather than the analysis, so they are volatile too, as is
+/// `*complement_hits` — a cache-behaviour tally that is only nonzero
+/// with complemented edges on and, like every cache counter, is
+/// scheduling-dependent under parallel compilation. Everything else
+/// (node counts, peaks, truncations, cache statistics, yields) is
 /// gated bit-for-bit.
 pub fn is_volatile_anchor_field(name: &str) -> bool {
     name == "seconds"
@@ -502,6 +524,7 @@ pub fn is_volatile_anchor_field(name: &str) -> bool {
         || name == "compile_threads"
         || name.ends_with("_seconds")
         || name.starts_with("par_")
+        || name.ends_with("complement_hits")
 }
 
 /// Whether an anchor JSON field is an operation-cache counter
@@ -515,6 +538,19 @@ pub fn is_volatile_anchor_field(name: &str) -> bool {
 /// fixture.
 pub fn is_cache_counter_anchor_field(name: &str) -> bool {
     name.contains("_cache_")
+}
+
+/// Whether an anchor JSON field legitimately *changes* when complemented
+/// edges are toggled: the ROBDD-side node counts (`robdd_size`,
+/// `robdd_peak`, `robdd_unique_entries`, the `robdd_peak_*` aggregates)
+/// — complemented edges share one node between each function and its
+/// negation, so the physical diagram shrinks — plus every cache counter
+/// (the two modes probe different keys). Everything the paper reports
+/// — yields, error bounds, truncations, ROMDD node counts — is
+/// complement-invariant and stays gated bit-for-bit by the
+/// `--complement-invariant` mode of `anchor_check`.
+pub fn is_complement_variant_anchor_field(name: &str) -> bool {
+    name.starts_with("robdd_") || is_cache_counter_anchor_field(name)
 }
 
 /// Maximum number of per-field divergences reported by
@@ -549,11 +585,65 @@ pub fn diff_anchor_values_lax(
     actual: &str,
     volatile_cache_counters: bool,
 ) -> Result<Vec<String>, String> {
+    diff_anchor_values_with(
+        fixture,
+        actual,
+        DiffPolicy { lax_cache: volatile_cache_counters, complement_invariant: false },
+    )
+}
+
+/// Like [`diff_anchor_values`], but compares only
+/// complement-*invariant* fields: the
+/// [complement-variant](is_complement_variant_anchor_field) ROBDD node
+/// counts and all cache counters are exempted, while yields, error
+/// bounds, truncations and ROMDD node counts stay gated bit-for-bit.
+/// This is the `--complement-invariant` mode of `anchor_check`, which
+/// CI uses to gate a `--no-complement-edges` regeneration against the
+/// complement-enabled fixture — proving the toggle is a pure
+/// representation knob.
+///
+/// # Errors
+///
+/// Returns a readable message when either document is not valid JSON.
+pub fn diff_anchor_values_complement_invariant(
+    fixture: &str,
+    actual: &str,
+) -> Result<Vec<String>, String> {
+    diff_anchor_values_with(
+        fixture,
+        actual,
+        DiffPolicy { lax_cache: false, complement_invariant: true },
+    )
+}
+
+/// Field-exemption policy of one anchor comparison (volatile fields are
+/// always exempt).
+#[derive(Clone, Copy)]
+struct DiffPolicy {
+    /// Additionally exempt cache counters (parallel-compilation mode).
+    lax_cache: bool,
+    /// Additionally exempt complement-variant fields (dual-mode gate).
+    complement_invariant: bool,
+}
+
+impl DiffPolicy {
+    fn exempt(self, name: &str) -> bool {
+        is_volatile_anchor_field(name)
+            || (self.lax_cache && is_cache_counter_anchor_field(name))
+            || (self.complement_invariant && is_complement_variant_anchor_field(name))
+    }
+}
+
+fn diff_anchor_values_with(
+    fixture: &str,
+    actual: &str,
+    policy: DiffPolicy,
+) -> Result<Vec<String>, String> {
     let fixture =
         serde_json::from_str(fixture).map_err(|e| format!("fixture is malformed: {e}"))?;
     let actual = serde_json::from_str(actual).map_err(|e| format!("actual is malformed: {e}"))?;
     let mut diffs = Vec::new();
-    diff_values(&fixture, &actual, "$", volatile_cache_counters, &mut diffs);
+    diff_values(&fixture, &actual, "$", policy, &mut diffs);
     if diffs.len() > MAX_REPORTED_DIVERGENCES {
         let more = diffs.len() - MAX_REPORTED_DIVERGENCES;
         diffs.truncate(MAX_REPORTED_DIVERGENCES);
@@ -574,34 +664,31 @@ fn diff_values(
     fixture: &serde::Value,
     actual: &serde::Value,
     path: &str,
-    lax_cache: bool,
+    policy: DiffPolicy,
     out: &mut Vec<String>,
 ) {
     use serde::Value;
-    let exempt = |name: &str| {
-        is_volatile_anchor_field(name) || (lax_cache && is_cache_counter_anchor_field(name))
-    };
     match (fixture, actual) {
         (Value::Array(f), Value::Array(a)) => {
             if f.len() != a.len() {
                 out.push(format!("{path}: fixture has {} rows, actual has {}", f.len(), a.len()));
             }
             for (i, (fv, av)) in f.iter().zip(a).enumerate() {
-                diff_values(fv, av, &format!("{path}[{i}]"), lax_cache, out);
+                diff_values(fv, av, &format!("{path}[{i}]"), policy, out);
             }
         }
         (Value::Object(f), Value::Object(a)) => {
             for (name, fv) in f {
-                if exempt(name) {
+                if policy.exempt(name) {
                     continue;
                 }
                 match a.iter().find(|(n, _)| n == name) {
-                    Some((_, av)) => diff_values(fv, av, &format!("{path}.{name}"), lax_cache, out),
+                    Some((_, av)) => diff_values(fv, av, &format!("{path}.{name}"), policy, out),
                     None => out.push(format!("{path}.{name}: missing from actual")),
                 }
             }
             for (name, _) in a {
-                if !exempt(name) && !f.iter().any(|(n, _)| n == name) {
+                if !policy.exempt(name) && !f.iter().any(|(n, _)| n == name) {
                     out.push(format!("{path}.{name}: not in fixture"));
                 }
             }
@@ -676,6 +763,10 @@ pub struct BenchSweepPoint {
     /// ROBDD operation-cache evict rate (evictions per insertion) of the
     /// compile, in percent.
     pub robdd_cache_evict_percent: f64,
+    /// ROBDD operation-cache hits obtained through a complemented-edge
+    /// negation normalization (volatile — `0` with complemented edges
+    /// off, scheduling-dependent under parallel compilation).
+    pub robdd_complement_hits: u64,
     /// Parallel compile sections entered (ROBDD + ROMDD; volatile —
     /// tracks the `--compile-threads` resource knob).
     pub par_sections: u64,
@@ -715,6 +806,9 @@ pub struct BenchSweepTotals {
     pub robdd_cache_hit_percent: f64,
     /// ROBDD operation-cache evict rate across all compiles, in percent.
     pub robdd_cache_evict_percent: f64,
+    /// ROBDD operation-cache hits obtained through a complemented-edge
+    /// negation normalization across all compiles (volatile).
+    pub robdd_complement_hits: u64,
     /// ROBDD garbage collections across all compiles.
     pub robdd_gc_runs: u64,
     /// ROMDD operation-cache hits across all managers.
@@ -790,6 +884,7 @@ impl BenchSweepDoc {
                     robdd_cache_evictions: report.robdd_stats.op_cache_evictions,
                     robdd_cache_hit_percent: report.robdd_stats.op_cache_hit_rate_percent(),
                     robdd_cache_evict_percent: report.robdd_stats.op_cache_evict_rate_percent(),
+                    robdd_complement_hits: report.robdd_stats.complement_hits,
                     par_sections: report.robdd_stats.par_sections + report.romdd_stats.par_sections,
                     par_tasks: report.robdd_stats.par_tasks + report.romdd_stats.par_tasks,
                     par_steals: report.robdd_stats.par_steals + report.romdd_stats.par_steals,
@@ -815,6 +910,7 @@ impl BenchSweepDoc {
                 robdd_cache_evictions: summary.robdd.op_cache_evictions,
                 robdd_cache_hit_percent: summary.robdd.cache_hit_percent(),
                 robdd_cache_evict_percent: summary.robdd.cache_evict_percent(),
+                robdd_complement_hits: summary.robdd.complement_hits,
                 robdd_gc_runs: summary.robdd.gc_runs,
                 romdd_cache_hits: summary.romdd.op_cache_hits,
                 romdd_cache_misses: summary.romdd.op_cache_misses,
@@ -1036,7 +1132,7 @@ mod tests {
             ),
             (Workload { system: esen.clone(), lambda: 2.0 }, vec![OrderingSpec::paper_default()]),
         ];
-        let outcome = run_table(&cells, 2, 1).unwrap();
+        let outcome = run_table(&cells, 2, 1, true).unwrap();
         assert_eq!(outcome.cells.len(), 2);
         assert_eq!(outcome.cells[0].len(), 2);
         assert_eq!(outcome.cells[1].len(), 1);

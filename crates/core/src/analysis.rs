@@ -170,6 +170,7 @@ impl CompiledModel {
         conversion: ConversionAlgorithm,
         compile_threads: usize,
         compile_grain: usize,
+        complement_edges: bool,
     ) -> Result<Self, CoreError> {
         let g = GeneralizedFaultTree::build(fault_tree, truncation)?;
         let mut ordering = compute_ordering(g.netlist(), g.groups(), &spec)?;
@@ -177,6 +178,9 @@ impl CompiledModel {
         // Coded ROBDD of G.
         let robdd_start = Instant::now();
         let mut bdd = BddManager::new(g.netlist().num_inputs());
+        if !complement_edges {
+            bdd.set_complement(false);
+        }
         bdd.set_compile_threads(compile_threads);
         if compile_grain > 0 {
             bdd.set_par_grain(compile_grain);
@@ -360,6 +364,9 @@ pub struct Pipeline {
     /// Sequential-grain cutoff of the parallel compile sections
     /// (`0` = the managers' default; see [`Pipeline::set_compile_grain`]).
     compile_grain: usize,
+    /// Whether the ROBDD kernel uses complemented (negative) edges
+    /// (see [`Pipeline::set_complement_edges`]).
+    complement_edges: bool,
 }
 
 // Parallel sweep workers (socy-exec) each own a Pipeline and ship the
@@ -398,6 +405,7 @@ impl Pipeline {
             compiles: 0,
             compile_threads: 1,
             compile_grain: 0,
+            complement_edges: true,
         })
     }
 
@@ -433,6 +441,25 @@ impl Pipeline {
     /// (`0` = manager default).
     pub fn compile_grain(&self) -> usize {
         self.compile_grain
+    }
+
+    /// Enables or disables complemented (negative) edges in the ROBDD
+    /// kernel used to compile the coded ROBDD. Like the thread count
+    /// this is a representation knob, not an analysis option: every
+    /// yield, error bound, truncation and ROMDD node count is
+    /// bit-identical in both modes, so it lives outside
+    /// [`AnalysisOptions`] and does not participate in model reuse
+    /// keys. Only the *ROBDD-side* node counts (`coded_robdd_size`,
+    /// `robdd_peak`) and cache statistics differ — complemented edges
+    /// share a node between each function and its negation. Defaults
+    /// to `true`; takes effect on the next compilation.
+    pub fn set_complement_edges(&mut self, on: bool) {
+        self.complement_edges = on;
+    }
+
+    /// Whether compilations use complemented edges in the ROBDD kernel.
+    pub fn complement_edges(&self) -> bool {
+        self.complement_edges
     }
 
     /// The fault tree this pipeline analyses.
@@ -504,6 +531,7 @@ impl Pipeline {
             conversion,
             self.compile_threads,
             self.compile_grain,
+            self.complement_edges,
         )?;
         self.compiles += 1;
         match self.models.iter().position(same_config) {

@@ -11,6 +11,8 @@
 //! for ROBDDs, the domain size for ROMDDs), which is what lets one arena
 //! serve both engines.
 
+use crate::edge::{strip, CPL_BIT};
+
 /// Level used internally for the two terminal nodes (greater than every
 /// variable level, so terminals sort below all variables).
 pub const TERMINAL_LEVEL: u32 = u32::MAX;
@@ -91,14 +93,17 @@ impl NodeArena {
         false
     }
 
-    /// Raw level of a node (`TERMINAL_LEVEL` for terminals).
+    /// Raw level of a node (`TERMINAL_LEVEL` for terminals). Accepts
+    /// complemented edges: a function and its negation share one
+    /// physical node, hence one level.
     pub fn raw_level(&self, id: u32) -> u32 {
-        self.meta[id as usize].level
+        self.meta[strip(id) as usize].level
     }
 
-    /// The level tested by a node, or `None` for terminals.
+    /// The level tested by a node, or `None` for terminals. Accepts
+    /// complemented edges.
     pub fn level(&self, id: u32) -> Option<usize> {
-        let l = self.meta[id as usize].level;
+        let l = self.meta[strip(id) as usize].level;
         if l == TERMINAL_LEVEL {
             None
         } else {
@@ -106,9 +111,10 @@ impl NodeArena {
         }
     }
 
-    /// The children of a node (empty for terminals).
+    /// The *stored* children of a node (empty for terminals) — the raw
+    /// edge values, without applying any complement parity of `id`.
     pub fn children(&self, id: u32) -> &[u32] {
-        let meta = &self.meta[id as usize];
+        let meta = &self.meta[strip(id) as usize];
         if meta.level == TERMINAL_LEVEL {
             return &[];
         }
@@ -211,25 +217,25 @@ impl NodeArena {
                     for (slot, &child) in
                         new_meta.inline[..width].iter_mut().zip(&self.meta[old].inline[..width])
                     {
-                        let new_child = remap[child as usize];
+                        let new_child = remap[strip(child) as usize];
                         debug_assert_ne!(
                             new_child,
                             u32::MAX,
                             "live set must be closed under children"
                         );
-                        *slot = new_child;
+                        *slot = new_child | (child & CPL_BIT);
                     }
                 } else {
                     new_meta.edge_offset = edges.len() as u32;
                     let start = self.meta[old].edge_offset as usize;
                     for &child in &self.edges[start..start + width] {
-                        let new_child = remap[child as usize];
+                        let new_child = remap[strip(child) as usize];
                         debug_assert_ne!(
                             new_child,
                             u32::MAX,
                             "live set must be closed under children"
                         );
-                        edges.push(new_child);
+                        edges.push(new_child | (child & CPL_BIT));
                     }
                 }
             }

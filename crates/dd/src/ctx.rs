@@ -35,6 +35,16 @@ pub trait DdCtx {
     fn cache_get(&mut self, key: OpKey) -> Option<u32>;
     /// Memoizes an operation result (may be dropped).
     fn cache_insert(&mut self, key: OpKey, result: u32);
+    /// Whether complemented-edge mode is on (see
+    /// [`DdKernel::set_complement`]). The engines gate every negation
+    /// normalization on this, so complement-off runs stay bit-identical
+    /// to the pre-complement kernel.
+    fn complement(&self) -> bool {
+        false
+    }
+    /// Records one op-cache hit obtained through negation normalization
+    /// (counted into [`crate::DdStats::complement_hits`]).
+    fn note_complement_hit(&mut self) {}
 }
 
 impl DdCtx for DdKernel {
@@ -60,5 +70,13 @@ impl DdCtx for DdKernel {
 
     fn cache_insert(&mut self, key: OpKey, result: u32) {
         DdKernel::cache_insert(self, key, result);
+    }
+
+    fn complement(&self) -> bool {
+        self.complement_enabled()
+    }
+
+    fn note_complement_hit(&mut self) {
+        self.complement_hits += 1;
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::arena::{NodeArena, TERMINAL_LEVEL};
 use crate::cache::{OpCache, OpKey, OpTagStats, NUM_OP_TAGS};
+use crate::edge::{is_complemented, negate, negate_if, strip, CPL_BIT};
 use crate::unique::UniqueTable;
 
 /// Node id of the FALSE terminal.
@@ -57,6 +58,11 @@ pub struct DdStats {
     /// (`try_lock` failed and the thread had to wait). Scheduling-
     /// dependent, hence nondeterministic across runs.
     pub par_shard_contention: u64,
+    /// Operation-cache hits obtained through complemented-edge negation
+    /// normalization (the memoized result answered the negated form of
+    /// the query and was flipped for free). Zero whenever complement
+    /// mode is off (see [`DdKernel::set_complement`]).
+    pub complement_hits: u64,
 }
 
 impl DdStats {
@@ -177,6 +183,14 @@ pub struct DdKernel {
     pub(crate) par_tasks: u64,
     pub(crate) par_steals: u64,
     pub(crate) par_shard_contention: u64,
+    /// Complement-normalized cache hits (see [`DdStats::complement_hits`]).
+    pub(crate) complement_hits: u64,
+    /// Complemented-edge mode: when on, [`DdKernel::mk`] enforces the
+    /// regular-high canonical form of [`crate::edge`] and returns
+    /// complemented edges where that halves the diagram. Only meaningful
+    /// for all-binary kernels (the ROBDD engine); the ROMDD engine leaves
+    /// it off.
+    complement: bool,
     /// Reusable buffers of the memoized probability traversal, so a
     /// design-space sweep evaluating thousands of points on one diagram
     /// allocates nothing per point.
@@ -231,8 +245,36 @@ impl DdKernel {
             par_tasks: 0,
             par_steals: 0,
             par_shard_contention: 0,
+            complement_hits: 0,
+            complement: false,
             prob: ProbScratch::default(),
         }
+    }
+
+    /// Switches complemented-edge mode on or off. Must be called before
+    /// any non-terminal node exists: flipping the canonical form under
+    /// live nodes would silently break id-equality-is-function-equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena already holds non-terminal nodes, or if any
+    /// level has arity other than 2 while enabling (complement edges are
+    /// a binary-diagram notion).
+    pub fn set_complement(&mut self, on: bool) {
+        assert!(self.arena.len() == 2, "complement mode must be chosen before nodes are created");
+        if on {
+            assert!(
+                (0..self.num_levels()).all(|l| self.arity(l) == 2),
+                "complement edges require an all-binary kernel"
+            );
+        }
+        self.complement = on;
+    }
+
+    /// Whether complemented-edge mode is on (see
+    /// [`DdKernel::set_complement`]).
+    pub fn complement_enabled(&self) -> bool {
+        self.complement
     }
 
     /// Returns (creating if necessary) the canonical node
@@ -255,6 +297,23 @@ impl DdKernel {
         );
         if children.iter().all(|&c| c == children[0]) {
             return children[0];
+        }
+        self.cons(level, children)
+    }
+
+    /// Hash-conses `(level, children)` after the redundancy check,
+    /// enforcing the complemented-edge canonical form when the mode is
+    /// on: a node whose high child is complemented or `ZERO` is stored
+    /// with both children negated and returned as a complemented edge
+    /// (see [`crate::edge`]).
+    pub(crate) fn cons(&mut self, level: u32, children: &[u32]) -> u32 {
+        if self.complement
+            && children.len() == 2
+            && (is_complemented(children[1]) || children[1] == ZERO)
+        {
+            let flipped = [negate(children[0]), negate(children[1])];
+            let id = self.unique.get_or_insert(&mut self.arena, level, &flipped);
+            return id | CPL_BIT;
         }
         self.unique.get_or_insert(&mut self.arena, level, children)
     }
@@ -298,14 +357,19 @@ impl DdKernel {
         self.arena.level(id)
     }
 
-    /// The children of a node (empty for terminals).
+    /// The *stored* children of a node (empty for terminals) — raw edge
+    /// values as they sit in the arena, without the complement parity of
+    /// `id` applied. Structural traversals (marking, counting) want this
+    /// view; semantic cofactors want [`DdKernel::child`].
     pub fn children(&self, id: u32) -> &[u32] {
         self.arena.children(id)
     }
 
-    /// The child followed when the node's variable takes `value`.
+    /// The child followed when the node's variable takes `value`, with
+    /// the complement parity of `id` propagated: the returned edge
+    /// denotes the cofactor of the *function* `id` denotes.
     pub fn child(&self, id: u32, value: usize) -> u32 {
-        self.arena.child(id, value)
+        negate_if(is_complemented(id), self.arena.child(id, value))
     }
 
     /// Looks up a memoized operation result (counted in the statistics).
@@ -361,6 +425,7 @@ impl DdKernel {
             par_tasks: self.par_tasks,
             par_steals: self.par_steals,
             par_shard_contention: self.par_shard_contention,
+            complement_hits: self.complement_hits,
         }
     }
 
@@ -370,7 +435,7 @@ impl DdKernel {
     /// from it) survives every [`DdKernel::gc`] until the returned handle
     /// is passed to [`DdKernel::unprotect`].
     pub fn protect(&mut self, id: u32) -> Ref {
-        assert!((id as usize) < self.arena.len(), "cannot protect unknown node {id}");
+        assert!((strip(id) as usize) < self.arena.len(), "cannot protect unknown node {id}");
         match self.free_root_slots.pop() {
             Some(slot) => {
                 self.roots[slot as usize] = Some(id);
@@ -424,6 +489,7 @@ impl DdKernel {
         live[ONE as usize] = true;
         let mut stack: Vec<u32> = roots.to_vec();
         while let Some(id) = stack.pop() {
+            let id = strip(id);
             if std::mem::replace(&mut live[id as usize], true) {
                 continue;
             }
@@ -439,6 +505,7 @@ impl DdKernel {
         let mut stack: Vec<u32> = roots.to_vec();
         let mut count = 0usize;
         while let Some(id) = stack.pop() {
+            let id = strip(id);
             if std::mem::replace(&mut seen[id as usize], true) {
                 continue;
             }
@@ -471,8 +538,9 @@ impl DdKernel {
         self.unique.rebuild(&self.arena);
         let dropped = self.op_cache.invalidate_all();
         for slot in self.roots.iter_mut().flatten() {
-            *slot = remap[*slot as usize];
-            debug_assert_ne!(*slot, u32::MAX, "protected roots survive the sweep");
+            let phys = remap[strip(*slot) as usize];
+            debug_assert_ne!(phys, u32::MAX, "protected roots survive the sweep");
+            *slot = phys | (*slot & CPL_BIT);
         }
         self.gc_runs += 1;
         self.gc_reclaimed += (before - after) as u64;
@@ -485,7 +553,10 @@ impl DdKernel {
 
     // ---- shared traversals -------------------------------------------------
 
-    /// All nodes reachable from `root` (each exactly once), root first.
+    /// All *physical* nodes reachable from `root` (each exactly once,
+    /// complement bits stripped), root first. With complement edges a
+    /// node and its negation share one physical entry, so this is the
+    /// stored-size view — the metric the paper's node counts report.
     pub fn reachable(&self, root: u32) -> Vec<u32> {
         // Dense visited bitmap: node ids are arena indices, so a flat
         // Vec<bool> beats any hash set on these traversals.
@@ -493,6 +564,7 @@ impl DdKernel {
         let mut order = Vec::new();
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
+            let id = strip(id);
             if std::mem::replace(&mut seen[id as usize], true) {
                 continue;
             }
@@ -523,6 +595,7 @@ impl DdKernel {
         let mut stack: Vec<u32> = roots.to_vec();
         let mut count = 0usize;
         while let Some(id) = stack.pop() {
+            let id = strip(id);
             if std::mem::replace(&mut seen[id as usize], true) {
                 continue;
             }
@@ -553,7 +626,9 @@ impl DdKernel {
         while cur > ONE {
             let level = self.arena.raw_level(cur) as usize;
             debug_assert_ne!(self.arena.raw_level(cur), TERMINAL_LEVEL);
-            cur = self.arena.child(cur, pick(level));
+            // Propagate the edge's complement parity into the cofactor;
+            // terminals normalize exactly, so the loop test stays `> ONE`.
+            cur = negate_if(is_complemented(cur), self.arena.child(cur, pick(level)));
         }
         cur == ONE
     }
@@ -591,8 +666,11 @@ impl DdKernel {
             scratch.values.resize(n, 0.0);
             scratch.stamp.resize(n, 0);
         }
+        // Memoization is per *physical* node: the value stored is the
+        // probability of the stored (uncomplemented) function, and each
+        // complemented edge crossed contributes `1 - p` on the way out.
         scratch.stack.clear();
-        scratch.stack.push(root);
+        scratch.stack.push(strip(root));
         while let Some(&node) = scratch.stack.last() {
             if scratch.stamp[node as usize] == epoch {
                 scratch.stack.pop();
@@ -602,11 +680,12 @@ impl DdKernel {
             let children = self.arena.children(node);
             let before = scratch.stack.len();
             for (value, &child) in children.iter().enumerate() {
-                if child > ONE
-                    && scratch.stamp[child as usize] != epoch
+                let phys = strip(child);
+                if phys > ONE
+                    && scratch.stamp[phys as usize] != epoch
                     && weight(level, value) != 0.0
                 {
-                    scratch.stack.push(child);
+                    scratch.stack.push(phys);
                 }
             }
             if scratch.stack.len() > before {
@@ -622,14 +701,26 @@ impl DdKernel {
                 let pv = match child {
                     ONE => 1.0,
                     ZERO => 0.0,
-                    _ => scratch.values[child as usize],
+                    _ => {
+                        let stored = scratch.values[strip(child) as usize];
+                        if is_complemented(child) {
+                            1.0 - stored
+                        } else {
+                            stored
+                        }
+                    }
                 };
                 p += w * pv;
             }
             scratch.values[node as usize] = p;
             scratch.stamp[node as usize] = epoch;
         }
-        scratch.values[root as usize]
+        let p = scratch.values[strip(root) as usize];
+        if is_complemented(root) {
+            1.0 - p
+        } else {
+            p
+        }
     }
 }
 

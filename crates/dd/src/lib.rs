@@ -61,6 +61,7 @@ pub mod arena;
 pub mod cache;
 pub mod ctx;
 pub mod dot;
+pub mod edge;
 pub mod hash;
 pub mod kernel;
 pub mod par;
@@ -70,6 +71,7 @@ pub mod unique;
 pub use arena::{NodeArena, TERMINAL_LEVEL};
 pub use cache::{OpCache, OpTagStats, NUM_OP_TAGS};
 pub use ctx::DdCtx;
+pub use edge::{is_complemented, negate, negate_if, strip, CPL_BIT};
 pub use kernel::{DdKernel, DdStats, GcStats, Protect, Ref, ONE, ZERO};
 pub use par::{is_par, run_tasks, ParRef, ParSession, Split};
 pub use reorder::{SiftConfig, SiftOutcome};

@@ -40,8 +40,9 @@ use std::sync::{Mutex, TryLockError};
 
 use crate::cache::OpKey;
 use crate::ctx::DdCtx;
+use crate::edge::{is_complemented, negate, negate_if, CPL_BIT};
 use crate::hash::{FxHashMap, FxHasher};
-use crate::kernel::DdKernel;
+use crate::kernel::{DdKernel, ZERO};
 
 /// Bit 31 marks an id as session-local (frozen arena ids stay well below
 /// `2^31`: at 16 bytes per node header that would be a 32 GiB arena).
@@ -49,7 +50,10 @@ pub const PAR_BIT: u32 = 1 << 31;
 const SHARD_BITS: u32 = 6;
 /// Number of independently-locked unique-table shards per session.
 pub const SHARD_COUNT: usize = 1 << SHARD_BITS;
-const IDX_BITS: u32 = 25;
+/// Session-id layout: `PAR_BIT | CPL_BIT? | shard << IDX_BITS | idx`.
+/// 24 index bits leave bit 30 free for [`crate::edge::CPL_BIT`], so a
+/// session id can carry a complement exactly like a frozen id.
+const IDX_BITS: u32 = 24;
 const IDX_MASK: u32 = (1 << IDX_BITS) - 1;
 const EMPTY: u32 = u32::MAX;
 /// Smallest seqlock op-cache size: `2^15` slots of 24 bytes.
@@ -77,6 +81,8 @@ fn encode(shard: usize, idx: u32) -> u32 {
 #[inline]
 fn decode(id: u32) -> (usize, usize) {
     debug_assert!(is_par(id));
+    // The shard mask and the index mask both exclude CPL_BIT (bit 30),
+    // so complemented session ids decode to the same physical entry.
     ((id >> IDX_BITS) as usize & (SHARD_COUNT - 1), (id & IDX_MASK) as usize)
 }
 
@@ -189,6 +195,7 @@ struct ParLocalStats {
     cache_misses: u64,
     cache_insertions: u64,
     contention: u64,
+    complement_hits: u64,
 }
 
 /// A parallel section over a frozen kernel: the sharded unique table,
@@ -208,6 +215,7 @@ pub struct ParSession<'k> {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_insertions: AtomicU64,
+    complement_hits: AtomicU64,
 }
 
 /// Counters accumulated by one parallel section, reported by
@@ -230,6 +238,9 @@ pub struct ParRunStats {
     pub cache_misses: u64,
     /// Session op-cache insertion attempts.
     pub cache_insertions: u64,
+    /// Cache hits obtained through complemented-edge negation
+    /// normalization (see [`crate::DdStats::complement_hits`]).
+    pub complement_hits: u64,
 }
 
 /// The owned remains of a finished section: every shard's entries plus
@@ -267,6 +278,7 @@ impl<'k> ParSession<'k> {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_insertions: AtomicU64::new(0),
+            complement_hits: AtomicU64::new(0),
         }
     }
 
@@ -293,6 +305,21 @@ impl<'k> ParSession<'k> {
         if children.iter().all(|&c| c == first) {
             return first;
         }
+        // Complemented-edge canonical form, mirroring the kernel's
+        // `cons`: a complemented-or-ZERO high child flips both children
+        // and returns a complemented edge, so the frozen-table probe
+        // below always looks up the stored (regular-high) form.
+        if self.kernel.complement_enabled()
+            && children.len() == 2
+            && (is_complemented(children[1]) || children[1] == ZERO)
+        {
+            let flipped = [negate(children[0]), negate(children[1])];
+            return self.cons(level, &flipped, stats) | CPL_BIT;
+        }
+        self.cons(level, children, stats)
+    }
+
+    fn cons(&self, level: u32, children: &[u32], stats: &mut ParLocalStats) -> u32 {
         if children.iter().all(|&c| !is_par(c)) {
             if let Some(id) = self.kernel.unique.find(&self.kernel.arena, level, children) {
                 return id;
@@ -375,6 +402,7 @@ impl<'k> ParSession<'k> {
                 cache_hits: self.cache_hits.load(SeqCst),
                 cache_misses: self.cache_misses.load(SeqCst),
                 cache_insertions: self.cache_insertions.load(SeqCst),
+                complement_hits: self.complement_hits.load(SeqCst),
             },
         }
     }
@@ -397,6 +425,7 @@ impl ParRef<'_, '_> {
         s.cache_misses.fetch_add(self.stats.cache_misses, SeqCst);
         s.cache_insertions.fetch_add(self.stats.cache_insertions, SeqCst);
         s.contention.fetch_add(self.stats.contention, SeqCst);
+        s.complement_hits.fetch_add(self.stats.complement_hits, SeqCst);
     }
 }
 
@@ -443,6 +472,14 @@ impl DdCtx for ParRef<'_, '_> {
         self.stats.cache_insertions += 1;
         self.session.cache_insert(key, result);
     }
+
+    fn complement(&self) -> bool {
+        self.session.kernel.complement_enabled()
+    }
+
+    fn note_complement_hit(&mut self) {
+        self.stats.complement_hits += 1;
+    }
 }
 
 // ---- absorbing a finished section ----------------------------------------
@@ -475,27 +512,35 @@ impl DdKernel {
                     let (cs, ci) = decode(c);
                     let mapped = maps[cs][ci];
                     debug_assert_ne!(mapped, u32::MAX, "children absorb before parents");
-                    mapped
+                    // Session children may carry a complement; the map
+                    // holds plain ids, so reapply the edge's parity.
+                    negate_if(is_complemented(c), mapped)
                 } else {
                     c
                 });
             }
             let children = std::mem::take(&mut scratch);
             let id = self.mk(level, &children);
+            // Session entries are stored in canonical regular-high form,
+            // which the remap preserves, so re-consing never flips and
+            // the map entry is always a plain arena id.
+            debug_assert!(!is_complemented(id), "absorbed session entries stay plain");
             scratch = children;
             maps[s as usize][i as usize] = id;
         }
         for root in roots.iter_mut() {
             if is_par(*root) {
                 let (s, i) = decode(*root);
-                *root = maps[s][i];
-                debug_assert_ne!(*root, u32::MAX, "roots resolve after the absorb pass");
+                let mapped = maps[s][i];
+                debug_assert_ne!(mapped, u32::MAX, "roots resolve after the absorb pass");
+                *root = negate_if(is_complemented(*root), mapped);
             }
         }
         self.par_sections += 1;
         self.par_tasks += stats.tasks;
         self.par_steals += stats.steals;
         self.par_shard_contention += stats.contention;
+        self.complement_hits += stats.complement_hits;
         self.op_cache_mut().add_external(
             stats.cache_hits,
             stats.cache_misses,

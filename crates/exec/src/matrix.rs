@@ -221,7 +221,7 @@ impl fmt::Display for PointLabels {
 /// assert!(reports[1].truncation >= reports[0].truncation);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SweepMatrix {
     /// The blocks, expanded in insertion order.
     pub blocks: Vec<SweepBlock>,
@@ -238,6 +238,20 @@ pub struct SweepMatrix {
     /// `compile_threads`, a pure resource knob — tests lower it to
     /// exercise the parallel paths on small diagrams.
     pub compile_grain: usize,
+    /// Whether the ROBDD kernel of each chunk's compilation uses
+    /// complemented (negative) edges (see
+    /// [`soc_yield_core::Pipeline::set_complement_edges`]). A
+    /// representation knob, never an analysis axis — yields, error
+    /// bounds, truncations and ROMDD node counts are bit-identical in
+    /// both modes; only ROBDD-side node counts and cache statistics
+    /// differ. Defaults to `true`.
+    pub complement_edges: bool,
+}
+
+impl Default for SweepMatrix {
+    fn default() -> Self {
+        Self { blocks: Vec::new(), compile_threads: 0, compile_grain: 0, complement_edges: true }
+    }
 }
 
 impl SweepMatrix {

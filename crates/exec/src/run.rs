@@ -36,6 +36,9 @@ struct Chunk<'m> {
     /// Parallel-section grain cutoff (from [`SweepMatrix::compile_grain`];
     /// `0` = kernel default).
     compile_grain: usize,
+    /// Whether the ROBDD kernel uses complemented edges (from
+    /// [`SweepMatrix::complement_edges`]).
+    complement_edges: bool,
 }
 
 impl Chunk<'_> {
@@ -44,6 +47,7 @@ impl Chunk<'_> {
             .map_err(|e| e.to_string())?;
         pipeline.set_compile_threads(self.compile_threads.max(1));
         pipeline.set_compile_grain(self.compile_grain);
+        pipeline.set_complement_edges(self.complement_edges);
         let points = self.evals.iter().map(|&(dist, rule)| SweepPoint {
             lethal: dist as &dyn DefectDistribution,
             options: rule.options(self.spec, self.conversion),
@@ -116,6 +120,7 @@ fn chunks(matrix: &SweepMatrix) -> Vec<Chunk<'_>> {
                                     evals: Vec::new(),
                                     compile_threads: matrix.compile_threads,
                                     compile_grain: matrix.compile_grain,
+                                    complement_edges: matrix.complement_edges,
                                 });
                             }
                             out[chunk_at].indices.push(index);
@@ -238,6 +243,10 @@ pub struct DdAggregate {
     /// Operation-cache evictions (lossy direct-mapped conflicts) across
     /// all managers.
     pub op_cache_evictions: u64,
+    /// Operation-cache hits obtained through a complemented-edge
+    /// negation normalization across all managers (always `0` for
+    /// ROMDD managers and when complemented edges are disabled).
+    pub complement_hits: u64,
     /// Garbage collections run across all managers.
     pub gc_runs: u64,
     /// Nodes reclaimed by garbage collection across all managers.
@@ -266,6 +275,7 @@ impl DdAggregate {
         self.op_cache_misses += stats.op_cache_misses;
         self.op_cache_insertions += stats.op_cache_insertions;
         self.op_cache_evictions += stats.op_cache_evictions;
+        self.complement_hits += stats.complement_hits;
         self.gc_runs += stats.gc_runs;
         self.gc_reclaimed += stats.gc_reclaimed;
         self.par_sections += stats.par_sections;

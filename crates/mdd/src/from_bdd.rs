@@ -26,9 +26,20 @@ const UNSET: u32 = u32::MAX;
 
 /// Operation tag of conversion results in a parallel section's cache
 /// (tags 0–3 are the connectives, 4 is ITE in the ROBDD engine). Keyed
-/// on the *ROBDD* node id, which the layering requirement makes sound —
-/// only used inside one conversion's session cache, never the kernel's.
+/// on the *ROBDD* edge value — the node id including any complement
+/// bit, since `f` and `¬f` convert to different ROMDD nodes — which the
+/// layering requirement makes sound; only used inside one conversion's
+/// session cache, never the kernel's.
 pub(crate) const OP_CONV: u8 = 5;
+
+/// Index of a coded-ROBDD edge in the dense conversion memo: with
+/// complemented edges one physical node can be reached under both
+/// parities and converts to two different ROMDD nodes, so the memo holds
+/// two slots per physical node — `(strip(id) << 1) | parity`.
+#[inline]
+fn memo_index(raw_edge: u32) -> usize {
+    ((socy_dd::strip(raw_edge) as usize) << 1) | usize::from(socy_dd::is_complemented(raw_edge))
+}
 
 /// Precomputed codeword assignments: `assignments[mv][value]` is the
 /// sorted `(bit_level, bit)` list encoding `value` for group `mv`.
@@ -115,12 +126,13 @@ impl MddManager {
 
 impl ConvScratch {
     /// Resets the memo for a fresh conversion out of `bdd` (terminals
-    /// pre-seeded, everything else unconverted).
+    /// pre-seeded, everything else unconverted). Two slots per physical
+    /// ROBDD node — one per complement parity (see [`memo_index`]).
     pub(crate) fn prepare(&mut self, bdd: &BddManager) {
         self.memo.clear();
-        self.memo.resize(bdd.allocated_nodes(), UNSET);
-        self.memo[BddId::ZERO.index()] = socy_dd::ZERO;
-        self.memo[BddId::ONE.index()] = socy_dd::ONE;
+        self.memo.resize(2 * bdd.allocated_nodes(), UNSET);
+        self.memo[memo_index(BddId::ZERO.index() as u32)] = socy_dd::ZERO;
+        self.memo[memo_index(BddId::ONE.index() as u32)] = socy_dd::ONE;
     }
 }
 
@@ -147,13 +159,13 @@ pub(crate) fn convert_with_ctx<C: DdCtx>(
     while let Some(frame) = scratch.frames.pop() {
         match frame {
             ConvFrame::Visit(node) => {
-                if scratch.memo[node.index()] != UNSET {
+                if scratch.memo[memo_index(node.index() as u32)] != UNSET {
                     continue;
                 }
                 if use_cache {
                     let id = node.index() as u32;
                     if let Some(r) = ctx.cache_get((OP_CONV, id, id, 0)) {
-                        scratch.memo[node.index()] = r;
+                        scratch.memo[memo_index(id)] = r;
                         continue;
                     }
                 }
@@ -166,7 +178,7 @@ pub(crate) fn convert_with_ctx<C: DdCtx>(
                 for assignment in &assignments[mv] {
                     let below = follow_code(bdd, node, assignment);
                     scratch.below.push(below.index() as u32);
-                    if scratch.memo[below.index()] == UNSET {
+                    if scratch.memo[memo_index(below.index() as u32)] == UNSET {
                         scratch.frames.push(ConvFrame::Visit(below));
                     }
                 }
@@ -174,7 +186,7 @@ pub(crate) fn convert_with_ctx<C: DdCtx>(
             ConvFrame::Build { node, mv, start } => {
                 scratch.children.clear();
                 for &below in &scratch.below[start as usize..] {
-                    let converted = scratch.memo[below as usize];
+                    let converted = scratch.memo[memo_index(below)];
                     debug_assert_ne!(converted, UNSET, "children are converted before parents");
                     scratch.children.push(converted);
                 }
@@ -184,11 +196,11 @@ pub(crate) fn convert_with_ctx<C: DdCtx>(
                     let id = node.index() as u32;
                     ctx.cache_insert((OP_CONV, id, id, 0), result);
                 }
-                scratch.memo[node.index()] = result;
+                scratch.memo[memo_index(node.index() as u32)] = result;
             }
         }
     }
-    scratch.memo[root.index()]
+    scratch.memo[memo_index(root.index() as u32)]
 }
 
 /// Walks down from `node` assigning the group bits given by `assignment`

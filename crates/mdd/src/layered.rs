@@ -59,15 +59,20 @@ impl MddManager {
         };
 
         // Collect the entry nodes of every layer: the root plus every node whose
-        // incoming edge crosses a layer boundary.
+        // incoming edge crosses a layer boundary. The walk is over *edge
+        // values*, not physical nodes: with complemented edges one
+        // physical node can be reached under both parities, and each
+        // parity denotes the complement function of the other — two
+        // distinct entries converting to two different ROMDD nodes.
+        // (`low`/`high` propagate the edge's parity into the cofactors.)
         let mut entries: Vec<Vec<BddId>> = vec![Vec::new(); layout.num_vars()];
         let mut seen_entry: FxHashMap<BddId, ()> = FxHashMap::default();
         entries[layer_of(root)].push(root);
         seen_entry.insert(root, ());
-        for node in bdd.reachable(root) {
-            if node.is_terminal() {
-                continue;
-            }
+        let mut visited: FxHashMap<BddId, ()> = FxHashMap::default();
+        let mut stack = vec![root];
+        visited.insert(root, ());
+        while let Some(node) = stack.pop() {
             let node_layer = layer_of(node);
             for child in [bdd.low(node), bdd.high(node)] {
                 if child.is_terminal() {
@@ -75,6 +80,9 @@ impl MddManager {
                 }
                 if layer_of(child) != node_layer && seen_entry.insert(child, ()).is_none() {
                     entries[layer_of(child)].push(child);
+                }
+                if visited.insert(child, ()).is_none() {
+                    stack.push(child);
                 }
             }
         }

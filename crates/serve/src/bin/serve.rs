@@ -13,7 +13,8 @@ use serde::Serialize;
 use socy_serve::{ServiceConfig, YieldService};
 
 const USAGE: &str = "\
-Usage: serve [--threads N] [--compile-threads N] [--node-budget NODES] [--record PATH]
+Usage: serve [--threads N] [--compile-threads N] [--no-complement-edges]
+             [--node-budget NODES] [--record PATH]
 
 Reads line-delimited JSON requests on stdin; a blank line flushes the
 pending batch, EOF flushes and exits. Writes one JSON response per line
@@ -22,6 +23,9 @@ on stdout, in request order.
   --threads N          worker threads for uncached requests (0 = all cores; default 0)
   --compile-threads N  worker threads inside each compilation (default 1;
                        results are bit-identical at every setting)
+  --no-complement-edges
+                       disable complemented edges in the ROBDD kernel
+                       (yields and ROMDD sizes are bit-identical either way)
   --node-budget N      live-node budget of the pipeline cache (0 = unbounded)
   --record PATH        additionally write every response into PATH as one
                        pretty-printed JSON array (for anchor_check replays)";
@@ -40,6 +44,7 @@ fn main() -> ExitCode {
                 Some(n) => config.compile_threads = n,
                 None => return usage_error("--compile-threads requires an integer"),
             },
+            "--no-complement-edges" => config.complement_edges = false,
             "--node-budget" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(0) => config.node_budget = None,
                 Some(n) => config.node_budget = Some(n),

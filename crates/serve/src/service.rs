@@ -57,11 +57,22 @@ pub struct ServiceConfig {
     /// compiled diagrams and yields are bit-identical at every setting
     /// (see [`SweepMatrix::compile_threads`]).
     pub compile_threads: usize,
+    /// Whether compilations use complemented edges in the ROBDD kernel
+    /// (default `true`). A representation knob, never part of the cache
+    /// key: yields, error bounds, truncations and ROMDD node counts are
+    /// bit-identical in both modes (see
+    /// [`SweepMatrix::complement_edges`]).
+    pub complement_edges: bool,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { threads: 0, node_budget: Some(DEFAULT_NODE_BUDGET), compile_threads: 1 }
+        Self {
+            threads: 0,
+            node_budget: Some(DEFAULT_NODE_BUDGET),
+            compile_threads: 1,
+            complement_edges: true,
+        }
     }
 }
 
@@ -334,6 +345,7 @@ pub struct YieldService {
     cache: PipelineLru<PipelineKey>,
     threads: usize,
     compile_threads: usize,
+    complement_edges: bool,
     requests_served: u64,
 }
 
@@ -344,6 +356,7 @@ impl YieldService {
             cache: PipelineLru::new(config.node_budget),
             threads: config.threads,
             compile_threads: config.compile_threads,
+            complement_edges: config.complement_edges,
             requests_served: 0,
         }
     }
@@ -528,6 +541,7 @@ impl YieldService {
         let started = Instant::now();
         let mut matrix = SweepMatrix::new();
         matrix.compile_threads = self.compile_threads;
+        matrix.complement_edges = self.complement_edges;
         let mut metas: Vec<MissMeta> = Vec::with_capacity(misses.len());
         for (at, plan) in misses {
             let EvalPlan { id, kind, key, system, distribution, dist_label, rules } = plan;

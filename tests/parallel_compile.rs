@@ -39,6 +39,16 @@ fn compile_thread_counts() -> Vec<usize> {
     counts
 }
 
+/// CI's `SOCY_TEST_COMPLEMENT` (0 or 1; default on): which
+/// complement-edge mode the benchmark comparisons run under. Both modes
+/// must be bit-identical across compile-thread counts — the comparisons
+/// here are serial-vs-parallel within one mode, so either setting is a
+/// valid reference (`tests/complement_equivalence.rs` gates the
+/// cross-mode equality itself).
+fn env_complement() -> bool {
+    std::env::var("SOCY_TEST_COMPLEMENT").map_or(true, |v| v.trim() != "0")
+}
+
 /// A paper benchmark as a sweep system (same construction as the bench
 /// harness, at the paper's lethality 1).
 fn benchmark(system: &soc_yield::benchmarks::BenchmarkSystem) -> SystemSpec {
@@ -113,6 +123,7 @@ fn benchmark_compilation_is_bit_identical_across_compile_threads() {
     block.specs.push(OrderingSpec::paper_default());
     block.rules.push(TruncationRule::Epsilon(1e-3));
     let mut matrix = SweepMatrix::new();
+    matrix.complement_edges = env_complement();
     matrix.add(block);
 
     let serial = matrix.run(1);
@@ -147,6 +158,7 @@ fn parallel_compile_composes_with_the_parallel_sweep() {
     block.rules.push(TruncationRule::Epsilon(1e-2));
     block.rules.push(TruncationRule::Epsilon(1e-3));
     let mut matrix = SweepMatrix::new();
+    matrix.complement_edges = env_complement();
     matrix.add(block);
 
     let serial = matrix.run(1);
