@@ -23,10 +23,22 @@
 //! fixture, proving the complemented-edge toggle is a pure
 //! representation knob.
 //!
-//! Usage: `anchor_check [--volatile-cache-counters | --complement-invariant]
-//! <fixture.json> <actual.json> [...more pairs]`
+//! With `--delta-equivalence` the same result fields as
+//! `--complement-invariant` are gated, plus the execution-shape totals
+//! (`chunks`) are exempt: an incremental `sweep_deltas` run compiles a
+//! delta family as **one** chunk while the `--scratch-deltas`
+//! materialized run compiles one chunk per variant, yet every reported
+//! yield, truncation and ROMDD node count must be bit-identical. This is
+//! the mode CI uses to prove the incremental what-if path equivalent to
+//! from-scratch compilation.
+//!
+//! Usage: `anchor_check [--volatile-cache-counters | --complement-invariant |
+//! --delta-equivalence] <fixture.json> <actual.json> [...more pairs]`
 
-use soc_yield_bench::{diff_anchor_values_complement_invariant, diff_anchor_values_lax};
+use soc_yield_bench::{
+    diff_anchor_values_complement_invariant, diff_anchor_values_delta_equivalence,
+    diff_anchor_values_lax,
+};
 
 /// Which field-exemption policy the comparison runs under.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -34,6 +46,7 @@ enum Mode {
     Strict,
     VolatileCacheCounters,
     ComplementInvariant,
+    DeltaEquivalence,
 }
 
 fn read(path: &str, role: &str) -> Result<String, String> {
@@ -47,6 +60,7 @@ fn check_pair(fixture_path: &str, actual_path: &str, mode: Mode) -> Result<(), S
         Mode::Strict => diff_anchor_values_lax(&fixture, &actual, false),
         Mode::VolatileCacheCounters => diff_anchor_values_lax(&fixture, &actual, true),
         Mode::ComplementInvariant => diff_anchor_values_complement_invariant(&fixture, &actual),
+        Mode::DeltaEquivalence => diff_anchor_values_delta_equivalence(&fixture, &actual),
     };
     match diffs {
         Err(message) => Err(message),
@@ -59,23 +73,21 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = Mode::Strict;
     let mut conflicting = false;
-    args.retain(|arg| match arg.as_str() {
-        "--volatile-cache-counters" => {
-            conflicting |= mode == Mode::ComplementInvariant;
-            mode = Mode::VolatileCacheCounters;
-            false
-        }
-        "--complement-invariant" => {
-            conflicting |= mode == Mode::VolatileCacheCounters;
-            mode = Mode::ComplementInvariant;
-            false
-        }
-        _ => true,
+    args.retain(|arg| {
+        let selected = match arg.as_str() {
+            "--volatile-cache-counters" => Mode::VolatileCacheCounters,
+            "--complement-invariant" => Mode::ComplementInvariant,
+            "--delta-equivalence" => Mode::DeltaEquivalence,
+            _ => return true,
+        };
+        conflicting |= mode != Mode::Strict && mode != selected;
+        mode = selected;
+        false
     });
     if conflicting || args.is_empty() || !args.len().is_multiple_of(2) {
         eprintln!(
-            "usage: anchor_check [--volatile-cache-counters | --complement-invariant] \
-             <fixture.json> <actual.json> [...more pairs]"
+            "usage: anchor_check [--volatile-cache-counters | --complement-invariant | \
+             --delta-equivalence] <fixture.json> <actual.json> [...more pairs]"
         );
         std::process::exit(2);
     }

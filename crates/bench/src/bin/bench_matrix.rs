@@ -17,8 +17,11 @@
 //!   `tests/fixtures/bench_sweep.json` with `anchor_check`).
 //! * `--baseline <path>` — additionally print a per-point
 //!   speedup/regression table against a previously saved artifact.
+//! * `--scratch-deltas` — materialize the what-if block's variants as
+//!   standalone systems (one full compilation each) instead of the
+//!   incremental delta path; used by CI's delta-equivalence gate.
 //!
-//! The matrix is fixed on purpose, in four blocks sized for a CI smoke
+//! The matrix is fixed on purpose, in five blocks sized for a CI smoke
 //! job (a few seconds single-threaded, 16 compilation chunks with no
 //! chunk dominating, so the speedup is visible at 2–4 threads):
 //!
@@ -34,12 +37,24 @@
 //!    compilation that the sweep-level pool cannot parallelise. This is
 //!    the point where `--compile-threads` matters — the intra-compile
 //!    parallel apply is the only speedup available to it.
+//! 5. **what-if deltas** — ESEN4x1 plus a family of nine one-component
+//!    what-if variants (the unchanged base, four half-probability and
+//!    four immune components), evaluated through the incremental
+//!    [`Pipeline::sweep_deltas`](soc_yield_core::Pipeline::sweep_deltas)
+//!    path: the base compiles once and every variant re-evaluates on the
+//!    resident diagram. `--scratch-deltas` materializes each variant as
+//!    its own standalone system instead (one full compile per variant,
+//!    identical folded point labels); CI gates the two runs against each
+//!    other with `anchor_check --delta-equivalence`, proving the delta
+//!    path bit-identical to from-scratch compilation — and the recorded
+//!    wall-clock ratio of the block is the measured what-if speedup.
 
 use soc_yield_bench::{
     baseline_comparison, parse_cli, summary_line, system_spec, workload_distribution,
-    write_json_doc, BenchSweepDoc, CliArgs, Workload,
+    write_json_doc, BenchSweepDoc, CliArgs, Workload, EPSILON,
 };
-use socy_exec::{NamedDistribution, SweepBlock, SweepMatrix, TruncationRule};
+use soc_yield_core::SystemDelta;
+use socy_exec::{NamedDistribution, SweepBlock, SweepMatrix, SystemSpec, TruncationRule};
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn systems(names: &[&str]) -> Vec<socy_exec::SystemSpec> {
@@ -58,10 +73,32 @@ fn lethal(lambda: f64) -> NamedDistribution {
     workload_distribution(&Workload { system, lambda }).expect("valid parameters")
 }
 
+/// The pinned what-if family: the unchanged base plus eight
+/// one-component variants (four halved probabilities, four immune
+/// components). Overrides only ever *lower* `P_i`, so the total raw
+/// mass stays valid for every variant.
+fn delta_family(base: &SystemSpec) -> Vec<SystemDelta> {
+    let mut deltas = vec![SystemDelta::named("base")];
+    for i in 0..4 {
+        deltas.push(
+            SystemDelta::named(format!("x{i}-half"))
+                .with_component_probability(i, base.components.raw(i) / 2.0),
+        );
+    }
+    for i in 4..8 {
+        deltas.push(SystemDelta::named(format!("x{i}-immune")).with_component_probability(i, 0.0));
+    }
+    deltas
+}
+
 /// Builds the pinned matrix. Every axis value is part of the fixture
 /// contract — changing any of them requires regenerating
 /// `tests/fixtures/bench_sweep.json`.
-fn pinned_matrix() -> SweepMatrix {
+///
+/// With `scratch_deltas` the what-if block is replaced by one holding a
+/// standalone materialized system per variant — identical folded point
+/// labels, one full compilation each instead of one shared base.
+fn pinned_matrix(scratch_deltas: bool) -> SweepMatrix {
     let static_specs = [
         OrderingSpec::paper_default(),
         OrderingSpec::new(MvOrdering::Wv, GroupOrdering::MsbFirst).expect("valid pair"),
@@ -97,19 +134,41 @@ fn pinned_matrix() -> SweepMatrix {
     high_m.rules.push(TruncationRule::Epsilon(1e-3));
     matrix.add(high_m);
 
+    let mut what_if = SweepBlock::new();
+    let base = systems(&["ESEN4x1"]).pop().expect("pinned benchmark exists");
+    let deltas = delta_family(&base);
+    if scratch_deltas {
+        what_if.systems = deltas
+            .iter()
+            .map(|delta| {
+                let (fault_tree, components) = delta
+                    .materialize(&base.fault_tree, &base.components)
+                    .expect("pinned deltas are valid");
+                // Named like the folded delta points so `anchor_check
+                // --delta-equivalence` can line the two runs up.
+                SystemSpec::new(format!("{}·Δ{}", base.name, delta.name()), fault_tree, components)
+            })
+            .collect();
+    } else {
+        what_if.systems.push(base);
+        what_if.deltas = deltas;
+    }
+    what_if.distributions.push(lethal(1.0));
+    what_if.specs.push(OrderingSpec::paper_default());
+    what_if.rules.push(TruncationRule::Epsilon(EPSILON));
+    matrix.add(what_if);
+
     matrix
 }
 
 fn main() {
-    let CliArgs { json, threads, compile_threads, baseline, complement_edges, .. } =
-        parse_cli(usize::MAX);
-    let mut matrix = pinned_matrix();
-    matrix.compile_threads = compile_threads;
-    matrix.complement_edges = complement_edges;
+    let CliArgs { json, threads, options, baseline, scratch_deltas, .. } = parse_cli(usize::MAX);
+    let mut matrix = pinned_matrix(scratch_deltas);
+    matrix.options = options;
     println!(
         "bench_matrix: pinned perf sweep ({} design points, compile-threads {})",
         matrix.len(),
-        compile_threads.max(1)
+        options.compile_threads().max(1)
     );
     let outcome = matrix.run(threads);
     let doc = BenchSweepDoc::from_outcome(&outcome);

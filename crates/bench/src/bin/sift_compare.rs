@@ -29,8 +29,7 @@ struct Row {
 }
 
 fn main() {
-    let CliArgs { max_components, json, threads, compile_threads, complement_edges, .. } =
-        parse_cli(20);
+    let CliArgs { max_components, json, threads, options, .. } = parse_cli(20);
     println!("Static vs sifted orderings (growth bound {DEFAULT_SIFT_MAX_GROWTH}%)");
     println!(
         "{:<18} {:<6} {:>12} {:>12} {:>10} {:>10}",
@@ -49,7 +48,7 @@ fn main() {
         .filter(|w| w.lambda == 1.0) // one λ' per instance keeps the comparison readable
         .map(|workload| (workload, specs.clone()))
         .collect();
-    let outcome = match run_table(&cells, threads, compile_threads, complement_edges) {
+    let outcome = match run_table(&cells, threads, options) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("sift comparison failed: {e}");

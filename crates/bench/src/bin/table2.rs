@@ -15,15 +15,7 @@ use soc_yield_bench::{
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
-    let CliArgs {
-        max_components,
-        json,
-        v_first_max,
-        threads,
-        compile_threads,
-        complement_edges,
-        ..
-    } = parse_cli(30);
+    let CliArgs { max_components, json, v_first_max, threads, options, .. } = parse_cli(30);
     println!("Table 2: ROMDD size per multiple-valued variable ordering (group order: ml)");
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -49,7 +41,7 @@ fn main() {
             (workload, specs)
         })
         .collect();
-    let outcome = match run_table(&cells, threads, compile_threads, complement_edges) {
+    let outcome = match run_table(&cells, threads, options) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("table 2 failed: {e}");

@@ -11,8 +11,7 @@ use soc_yield_bench::{
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
-    let CliArgs { max_components, json, threads, compile_threads, complement_edges, .. } =
-        parse_cli(34);
+    let CliArgs { max_components, json, threads, options, .. } = parse_cli(34);
     println!("Table 3: coded ROBDD size per bit-group ordering (MV ordering: w)");
     println!("{:<18} {:>12} {:>12} {:>12}", "benchmark", "ml", "lm", "w");
     let specs: Vec<OrderingSpec> =
@@ -27,7 +26,7 @@ fn main() {
         .into_iter()
         .map(|workload| (workload, specs.clone()))
         .collect();
-    let outcome = match run_table(&cells, threads, compile_threads, complement_edges) {
+    let outcome = match run_table(&cells, threads, options) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("table 3 failed: {e}");

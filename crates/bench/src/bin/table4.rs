@@ -55,8 +55,7 @@ fn monte_carlo(workload: &Workload) -> Option<socy_sim::YieldEstimate> {
 }
 
 fn main() {
-    let CliArgs { max_components, json, threads, compile_threads, complement_edges, .. } =
-        parse_cli(34);
+    let CliArgs { max_components, json, threads, options, .. } = parse_cli(34);
     println!("Table 4: pipeline performance with heuristics w + ml");
     println!(
         "{:<18} {:>3} {:>9} {:>12} {:>12} {:>10} {:>10} {:>11} {:>11} {:>8} {:>10}",
@@ -76,7 +75,7 @@ fn main() {
         .into_iter()
         .map(|workload| (workload, vec![OrderingSpec::paper_default()]))
         .collect();
-    let outcome = match run_table(&cells, threads, compile_threads, complement_edges) {
+    let outcome = match run_table(&cells, threads, options) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("table 4 failed: {e}");

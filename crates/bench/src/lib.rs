@@ -30,7 +30,7 @@ use std::time::Duration;
 
 use serde::Serialize;
 
-use soc_yield_core::{AnalysisOptions, CoreError, Pipeline, YieldReport};
+use soc_yield_core::{AnalysisOptions, CompileOptions, CoreError, Pipeline, YieldReport};
 use socy_benchmarks::BenchmarkSystem;
 use socy_defect::{DefectError, NegativeBinomial};
 use socy_exec::{
@@ -375,12 +375,10 @@ pub struct TableOutcome {
 pub fn run_table(
     cells: &[(Workload, Vec<OrderingSpec>)],
     threads: usize,
-    compile_threads: usize,
-    complement_edges: bool,
+    options: CompileOptions,
 ) -> Result<TableOutcome, HarnessError> {
     let mut matrix = SweepMatrix::new();
-    matrix.compile_threads = compile_threads;
-    matrix.complement_edges = complement_edges;
+    matrix.options = options;
     for (workload, specs) in cells {
         let mut block = SweepBlock::new();
         block.systems.push(system_spec(&workload.system)?);
@@ -438,71 +436,69 @@ pub struct CliArgs {
     /// cores). Any value produces bit-identical tables; it only changes
     /// the wall-clock time.
     pub threads: usize,
-    /// Worker threads *inside* each compilation (`1` = sequential
-    /// compilation, the default). Like `threads`, every value produces
-    /// bit-identical yields, node counts and truncations.
-    pub compile_threads: usize,
+    /// The shared kernel knobs (`--compile-threads`, `--compile-grain`,
+    /// `--no-complement-edges`, `--op-cache-capacity`): one
+    /// [`CompileOptions`] value parsed through
+    /// [`CompileOptions::parse_cli_flag`] — the same helper the `serve`
+    /// binary uses, so both CLIs expose exactly one flag surface. Every
+    /// knob is bit-identical on the result side.
+    pub options: CompileOptions,
     /// Optional baseline `BENCH_sweep.json` to compare wall-clock times
     /// against (`bench_matrix` only).
     pub baseline: Option<String>,
-    /// Whether the ROBDD kernel uses complemented edges (`true` unless
-    /// `--no-complement-edges` is passed). A representation knob:
-    /// yields, error bounds, truncations and ROMDD node counts are
-    /// bit-identical in both modes; only ROBDD-side node counts and
-    /// cache statistics differ.
-    pub complement_edges: bool,
+    /// Compile every what-if delta of the pinned matrix from scratch as
+    /// its own materialized system instead of taking the incremental
+    /// delta path (`bench_matrix --scratch-deltas`; the CI gate diffs
+    /// the two modes).
+    pub scratch_deltas: bool,
 }
 
 /// Parses the common CLI flags of the table binaries:
 /// `--max-components <C>`, `--json <path>`, `--v-first-max <C>`,
-/// `--threads <N>`, `--compile-threads <N>`, `--baseline <path>` and
-/// `--no-complement-edges`.
+/// `--threads <N>`, `--baseline <path>`, `--scratch-deltas`, plus the
+/// shared [`CompileOptions`] surface (`--compile-threads <N>`,
+/// `--compile-grain <N>`, `--no-complement-edges`,
+/// `--op-cache-capacity <N>` — see [`CompileOptions::CLI_HELP`]).
 pub fn parse_cli(default_max: usize) -> CliArgs {
     let mut parsed = CliArgs {
         max_components: default_max,
         json: None,
         v_first_max: 30,
         threads: 0,
-        compile_threads: 1,
+        options: CompileOptions::default(),
         baseline: None,
-        complement_edges: true,
+        scratch_deltas: false,
     };
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--max-components" if i + 1 < args.len() => {
-                parsed.max_components = args[i + 1].parse().unwrap_or(default_max);
-                i += 2;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match parsed.options.parse_cli_flag(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(message) => {
+                eprintln!("{message}");
+                continue;
             }
-            "--json" if i + 1 < args.len() => {
-                parsed.json = Some(args[i + 1].clone());
-                i += 2;
+        }
+        match arg.as_str() {
+            "--max-components" => {
+                if let Some(v) = args.next() {
+                    parsed.max_components = v.parse().unwrap_or(default_max);
+                }
             }
-            "--v-first-max" if i + 1 < args.len() => {
-                parsed.v_first_max = args[i + 1].parse().unwrap_or(parsed.v_first_max);
-                i += 2;
+            "--json" => parsed.json = args.next(),
+            "--v-first-max" => {
+                if let Some(v) = args.next() {
+                    parsed.v_first_max = v.parse().unwrap_or(parsed.v_first_max);
+                }
             }
-            "--threads" if i + 1 < args.len() => {
-                parsed.threads = args[i + 1].parse().unwrap_or(0);
-                i += 2;
+            "--threads" => {
+                if let Some(v) = args.next() {
+                    parsed.threads = v.parse().unwrap_or(0);
+                }
             }
-            "--compile-threads" if i + 1 < args.len() => {
-                parsed.compile_threads = args[i + 1].parse().unwrap_or(1);
-                i += 2;
-            }
-            "--baseline" if i + 1 < args.len() => {
-                parsed.baseline = Some(args[i + 1].clone());
-                i += 2;
-            }
-            "--no-complement-edges" => {
-                parsed.complement_edges = false;
-                i += 1;
-            }
-            _ => {
-                eprintln!("ignoring unknown argument `{}`", args[i]);
-                i += 1;
-            }
+            "--baseline" => parsed.baseline = args.next(),
+            "--scratch-deltas" => parsed.scratch_deltas = true,
+            other => eprintln!("ignoring unknown argument `{other}`"),
         }
     }
     parsed
@@ -588,7 +584,11 @@ pub fn diff_anchor_values_lax(
     diff_anchor_values_with(
         fixture,
         actual,
-        DiffPolicy { lax_cache: volatile_cache_counters, complement_invariant: false },
+        DiffPolicy {
+            lax_cache: volatile_cache_counters,
+            complement_invariant: false,
+            execution_shape: false,
+        },
     )
 }
 
@@ -612,7 +612,34 @@ pub fn diff_anchor_values_complement_invariant(
     diff_anchor_values_with(
         fixture,
         actual,
-        DiffPolicy { lax_cache: false, complement_invariant: true },
+        DiffPolicy { lax_cache: false, complement_invariant: true, execution_shape: false },
+    )
+}
+
+/// Like [`diff_anchor_values`], but compares only the fields the
+/// incremental delta path must reproduce: on top of the
+/// complement-invariant exemptions (the retained base manager
+/// accumulates nodes across delta rebuilds, so ROBDD peaks and cache
+/// tallies legitimately differ from per-variant fresh compiles), the
+/// execution-shape field `chunks` is exempt — a delta family runs as
+/// one chunk while its from-scratch materialization runs one chunk per
+/// variant. Yields, error bounds, truncations, ROMDD node counts and
+/// the point labels stay gated bit-for-bit. This is the
+/// `--delta-equivalence` mode of `anchor_check`, which CI uses to gate
+/// a `bench_matrix --scratch-deltas` regeneration against the
+/// delta-path fixture.
+///
+/// # Errors
+///
+/// Returns a readable message when either document is not valid JSON.
+pub fn diff_anchor_values_delta_equivalence(
+    fixture: &str,
+    actual: &str,
+) -> Result<Vec<String>, String> {
+    diff_anchor_values_with(
+        fixture,
+        actual,
+        DiffPolicy { lax_cache: false, complement_invariant: true, execution_shape: true },
     )
 }
 
@@ -624,6 +651,10 @@ struct DiffPolicy {
     lax_cache: bool,
     /// Additionally exempt complement-variant fields (dual-mode gate).
     complement_invariant: bool,
+    /// Additionally exempt the matrix partitioning shape (`chunks`) —
+    /// the delta-equivalence gate compares a one-chunk delta family
+    /// against its chunk-per-variant materialization.
+    execution_shape: bool,
 }
 
 impl DiffPolicy {
@@ -631,6 +662,7 @@ impl DiffPolicy {
         is_volatile_anchor_field(name)
             || (self.lax_cache && is_cache_counter_anchor_field(name))
             || (self.complement_invariant && is_complement_variant_anchor_field(name))
+            || (self.execution_shape && name == "chunks")
     }
 }
 
@@ -728,7 +760,11 @@ pub const BENCH_SWEEP_SCHEMA: &str = "socy-bench-sweep/v1";
 /// [`BenchSweepTotals`] accounts for).
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchSweepPoint {
-    /// Benchmark name.
+    /// Benchmark name. Points produced by a what-if delta fold the delta
+    /// name into the label (`ESEN4x1·Δx0-half`), so the point key
+    /// `benchmark|distribution|ordering|rule` stays unique and a
+    /// from-scratch regeneration of the same variant (a standalone
+    /// system carrying the identical folded name) lines up with it.
     pub benchmark: String,
     /// Lethal-defect distribution label (`λ'=1`).
     pub distribution: String,
@@ -867,8 +903,12 @@ impl BenchSweepDoc {
             .iter()
             .filter_map(|point| {
                 let report = point.result.as_ref().ok()?;
+                let benchmark = match &point.labels.delta {
+                    None => point.labels.system.clone(),
+                    Some(delta) => format!("{}·Δ{delta}", point.labels.system),
+                };
                 Some(BenchSweepPoint {
-                    benchmark: point.labels.system.clone(),
+                    benchmark,
                     distribution: point.labels.distribution.clone(),
                     ordering: point.labels.spec.label(),
                     rule: point.labels.rule.label(),
@@ -1132,7 +1172,7 @@ mod tests {
             ),
             (Workload { system: esen.clone(), lambda: 2.0 }, vec![OrderingSpec::paper_default()]),
         ];
-        let outcome = run_table(&cells, 2, 1, true).unwrap();
+        let outcome = run_table(&cells, 2, CompileOptions::default()).unwrap();
         assert_eq!(outcome.cells.len(), 2);
         assert_eq!(outcome.cells[0].len(), 2);
         assert_eq!(outcome.cells[1].len(), 1);

@@ -21,13 +21,14 @@
 use std::time::{Duration, Instant};
 
 use socy_bdd::BddManager;
-use socy_dd::{DdStats, SiftConfig};
+use socy_dd::{CompileOptions, DdStats, SiftConfig};
 use socy_defect::truncation::{select_truncation, truncate_at, Truncation};
 use socy_defect::{ComponentProbabilities, DefectDistribution};
 use socy_faulttree::Netlist;
 use socy_mdd::{MddId, MddManager};
 use socy_ordering::{compute_ordering, ComputedOrdering, OrderingSpec};
 
+use crate::delta::SystemDelta;
 use crate::encode::GeneralizedFaultTree;
 use crate::error::CoreError;
 
@@ -142,9 +143,23 @@ pub struct YieldAnalysis {
     pub mv_names: Vec<String>,
 }
 
+/// The base compilation's ROBDD manager, kept alive for incremental
+/// what-if recompilation: rebuilding a structurally-close variant in this
+/// manager turns every gate function shared with the base into a unique
+/// table / op-cache hit, so only the changed cofactor pays apply/ITE
+/// work. The root handle keeps the base diagram protected against any
+/// future garbage collection.
+#[derive(Debug)]
+struct RetainedRobdd {
+    bdd: BddManager,
+    _root: socy_dd::Ref,
+}
+
 /// One compiled configuration: the generalized fault tree, its ordering
-/// and the converted ROMDD, plus the metrics of the (since dropped)
-/// ROBDD manager that produced it.
+/// and the converted ROMDD, plus the metrics of the ROBDD manager that
+/// produced it. The ROBDD manager itself is normally dropped after the
+/// conversion (freeing the typically much larger ROBDD arena), unless it
+/// was retained for incremental delta recompilation.
 #[derive(Debug)]
 struct CompiledModel {
     spec: OrderingSpec,
@@ -160,6 +175,34 @@ struct CompiledModel {
     robdd_stats: DdStats,
     robdd_time: Duration,
     conversion_time: Duration,
+    retained: Option<RetainedRobdd>,
+}
+
+fn new_bdd_manager(num_levels: usize, options: &CompileOptions) -> BddManager {
+    let mut bdd = match options.op_cache_capacity() {
+        0 => BddManager::new(num_levels),
+        cap => BddManager::with_cache_capacity(num_levels, cap, cap),
+    };
+    if !options.complement_edges() {
+        bdd.set_complement(false);
+    }
+    bdd.set_compile_threads(options.compile_threads());
+    if options.compile_grain() > 0 {
+        bdd.set_par_grain(options.compile_grain());
+    }
+    bdd
+}
+
+fn new_mdd_manager(domains: Vec<usize>, options: &CompileOptions) -> MddManager {
+    let mut mdd = match options.op_cache_capacity() {
+        0 => MddManager::new(domains),
+        cap => MddManager::with_cache_capacity(domains, cap, cap),
+    };
+    mdd.set_compile_threads(options.compile_threads());
+    if options.compile_grain() > 0 {
+        mdd.set_par_grain(options.compile_grain());
+    }
+    mdd
 }
 
 impl CompiledModel {
@@ -168,23 +211,15 @@ impl CompiledModel {
         truncation: usize,
         spec: OrderingSpec,
         conversion: ConversionAlgorithm,
-        compile_threads: usize,
-        compile_grain: usize,
-        complement_edges: bool,
+        options: &CompileOptions,
+        retain_robdd: bool,
     ) -> Result<Self, CoreError> {
         let g = GeneralizedFaultTree::build(fault_tree, truncation)?;
         let mut ordering = compute_ordering(g.netlist(), g.groups(), &spec)?;
 
         // Coded ROBDD of G.
         let robdd_start = Instant::now();
-        let mut bdd = BddManager::new(g.netlist().num_inputs());
-        if !complement_edges {
-            bdd.set_complement(false);
-        }
-        bdd.set_compile_threads(compile_threads);
-        if compile_grain > 0 {
-            bdd.set_par_grain(compile_grain);
-        }
+        let mut bdd = new_bdd_manager(g.netlist().num_inputs(), options);
         let mut build = bdd.build_netlist(g.netlist(), &ordering.var_level);
 
         // Dynamic sifting: move whole bit groups (so the layering
@@ -215,22 +250,26 @@ impl CompiledModel {
         }
         let robdd_time = robdd_start.elapsed();
 
-        // ROMDD conversion. The ROBDD manager is dropped at the end of this
+        // ROMDD conversion. Unless retained for incremental delta
+        // recompilation, the ROBDD manager is dropped at the end of this
         // function: only its metrics survive, freeing the (typically much
         // larger) ROBDD arena for the rest of the sweep.
         let layout = g.layout(&ordering);
         let conversion_start = Instant::now();
-        let mut mdd = MddManager::new(g.mdd_domains(&ordering));
-        mdd.set_compile_threads(compile_threads);
-        if compile_grain > 0 {
-            mdd.set_par_grain(compile_grain);
-        }
+        let mut mdd = new_mdd_manager(g.mdd_domains(&ordering), options);
         let romdd_root = match conversion {
             ConversionAlgorithm::TopDown => mdd.from_coded_bdd(&bdd, build.root, &layout),
             ConversionAlgorithm::Layered => mdd.from_coded_bdd_layered(&bdd, build.root, &layout),
         };
         let conversion_time = conversion_start.elapsed();
 
+        let robdd_stats = bdd.stats();
+        let retained = if retain_robdd {
+            let root = bdd.protect(build.root);
+            Some(RetainedRobdd { bdd, _root: root })
+        } else {
+            None
+        };
         Ok(Self {
             spec,
             conversion,
@@ -241,10 +280,11 @@ impl CompiledModel {
             coded_robdd_size: build.size,
             presift_robdd_size,
             robdd_peak: build.peak,
-            robdd_stats: bdd.stats(),
+            robdd_stats,
             robdd_time,
             conversion_time,
             g,
+            retained,
         })
     }
 
@@ -298,6 +338,97 @@ impl CompiledModel {
             total_time: start.elapsed(),
         };
         (report, probabilities)
+    }
+
+    /// Evaluates a *structural* delta incrementally: the variant fault
+    /// tree's generalized `G` is rebuilt inside the retained ROBDD
+    /// manager, where hash-consing and the retained op cache make every
+    /// subfunction shared with the base an O(1) hit — only the swapped
+    /// cofactor pays apply/ITE work. The rebuilt coded ROBDD is then
+    /// converted into a fresh ROMDD and evaluated, which reproduces a
+    /// from-scratch compile of the variant bit for bit (same canonical
+    /// diagram, same per-node float operations).
+    ///
+    /// Returns `Ok(None)` when the incremental path cannot be taken
+    /// soundly and the caller must fall back to a full fresh compile:
+    /// when no ROBDD manager was retained, when the specification sifts
+    /// dynamically (the base's sifted order reflects the base structure,
+    /// so a from-scratch variant compile could legitimately sift
+    /// differently), or when the variant's own computed static ordering
+    /// differs from the base's (structure-dependent heuristics such as
+    /// the paper-default weight heuristic can order a variant
+    /// differently, and the retained manager's levels are fixed).
+    fn evaluate_structural_delta(
+        &mut self,
+        variant: &Netlist,
+        truncation: &Truncation,
+        components: &ComponentProbabilities,
+        options: &CompileOptions,
+        start: Instant,
+    ) -> Result<Option<YieldReport>, CoreError> {
+        if self.spec.sift_max_growth().is_some() {
+            return Ok(None);
+        }
+        let Some(retained) = self.retained.as_mut() else { return Ok(None) };
+        let g = GeneralizedFaultTree::build(variant, self.truncation)?;
+        let ordering = compute_ordering(g.netlist(), g.groups(), &self.spec)?;
+        if ordering.var_level != self.ordering.var_level
+            || ordering.mv_order != self.ordering.mv_order
+        {
+            return Ok(None);
+        }
+
+        let robdd_start = Instant::now();
+        let build = retained.bdd.build_netlist(g.netlist(), &ordering.var_level);
+        let robdd_time = robdd_start.elapsed();
+
+        let layout = g.layout(&ordering);
+        let conversion_start = Instant::now();
+        let mut mdd = new_mdd_manager(g.mdd_domains(&ordering), options);
+        let romdd_root = match self.conversion {
+            ConversionAlgorithm::TopDown => mdd.from_coded_bdd(&retained.bdd, build.root, &layout),
+            ConversionAlgorithm::Layered => {
+                mdd.from_coded_bdd_layered(&retained.bdd, build.root, &layout)
+            }
+        };
+        let conversion_time = conversion_start.elapsed();
+
+        let mut w_dist = truncation.masses().to_vec();
+        w_dist.resize(self.truncation + 1, 0.0);
+        w_dist.push(truncation.error_bound());
+        let probabilities: Vec<Vec<f64>> = ordering
+            .mv_order
+            .iter()
+            .map(
+                |&mv| {
+                    if mv == 0 {
+                        w_dist.clone()
+                    } else {
+                        components.conditional_slice().to_vec()
+                    }
+                },
+            )
+            .collect();
+        let p_g = mdd.probability(romdd_root, &probabilities);
+        Ok(Some(YieldReport {
+            yield_lower_bound: 1.0 - p_g,
+            error_bound: truncation.error_bound(),
+            truncation: truncation.truncation(),
+            compiled_truncation: self.truncation,
+            num_components: g.num_components(),
+            g_gates: g.netlist().num_gates(),
+            binary_variables: g.netlist().num_inputs(),
+            coded_robdd_size: build.size,
+            presift_robdd_size: None,
+            robdd_peak: build.peak,
+            romdd_size: mdd.node_count(romdd_root),
+            robdd_stats: retained.bdd.stats(),
+            romdd_stats: mdd.stats(),
+            spec: self.spec,
+            robdd_time,
+            conversion_time,
+            total_time: start.elapsed(),
+        }))
     }
 }
 
@@ -358,15 +489,10 @@ pub struct Pipeline {
     components: ComponentProbabilities,
     models: Vec<CompiledModel>,
     compiles: usize,
-    /// Worker threads used *inside* each compilation's apply/conversion
-    /// calls (see [`Pipeline::set_compile_threads`]).
-    compile_threads: usize,
-    /// Sequential-grain cutoff of the parallel compile sections
-    /// (`0` = the managers' default; see [`Pipeline::set_compile_grain`]).
-    compile_grain: usize,
-    /// Whether the ROBDD kernel uses complemented (negative) edges
-    /// (see [`Pipeline::set_complement_edges`]).
-    complement_edges: bool,
+    delta_rebuilds: usize,
+    /// Kernel knobs every compilation of this pipeline runs under
+    /// (see [`Pipeline::set_options`]).
+    options: CompileOptions,
 }
 
 // Parallel sweep workers (socy-exec) each own a Pipeline and ship the
@@ -403,63 +529,75 @@ impl Pipeline {
             components: components.clone(),
             models: Vec::new(),
             compiles: 0,
-            compile_threads: 1,
-            compile_grain: 0,
-            complement_edges: true,
+            delta_rebuilds: 0,
+            options: CompileOptions::default(),
         })
     }
 
-    /// Sets the number of worker threads used *inside* a single
-    /// compilation (the apply/ITE calls building the coded ROBDD and the
-    /// ROBDD → ROMDD conversion). This is a resource knob, not an
-    /// analysis option: every yield, node count and probability is
-    /// bit-identical at every setting, so it deliberately lives outside
-    /// [`AnalysisOptions`] and does not participate in model reuse keys.
-    /// `1` (the default) keeps compilation fully sequential.
+    /// Creates a pipeline that compiles under the given kernel
+    /// [`CompileOptions`] (see [`Pipeline::new`] for the errors).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::new`].
+    pub fn with_options(
+        fault_tree: &Netlist,
+        components: &ComponentProbabilities,
+        options: CompileOptions,
+    ) -> Result<Self, CoreError> {
+        let mut pipeline = Self::new(fault_tree, components)?;
+        pipeline.options = options;
+        Ok(pipeline)
+    }
+
+    /// Sets the kernel knobs (compile threads, parallel grain,
+    /// complemented edges, op-cache capacity) every subsequent
+    /// compilation runs under. These are resource/representation knobs,
+    /// not analysis options: every yield, error bound, truncation and
+    /// ROMDD node count is bit-identical at every setting, so they
+    /// deliberately live outside [`AnalysisOptions`] and never
+    /// participate in model reuse keys.
+    pub fn set_options(&mut self, options: CompileOptions) {
+        self.options = options;
+    }
+
+    /// The kernel knobs compilations run under.
+    pub fn options(&self) -> CompileOptions {
+        self.options
+    }
+
+    /// Compat shim over [`Pipeline::set_options`] /
+    /// [`CompileOptions::with_compile_threads`].
     pub fn set_compile_threads(&mut self, threads: usize) {
-        self.compile_threads = threads.max(1);
+        self.options = self.options.with_compile_threads(threads);
     }
 
     /// Worker threads used inside a single compilation.
     pub fn compile_threads(&self) -> usize {
-        self.compile_threads
+        self.options.compile_threads()
     }
 
-    /// Sets the sequential-grain cutoff of the parallel compile
-    /// sections: an apply/conversion only fans out across the compile
-    /// threads when its operands hold at least this many nodes, and
-    /// recursion below the cutoff stays sequential. Like the thread
-    /// count this is a pure resource knob — results are bit-identical at
-    /// every setting. `0` (the default) keeps the managers' built-in
-    /// grain; tests lower it to exercise the parallel paths on small
-    /// diagrams.
+    /// Compat shim over [`Pipeline::set_options`] /
+    /// [`CompileOptions::with_compile_grain`].
     pub fn set_compile_grain(&mut self, grain: usize) {
-        self.compile_grain = grain;
+        self.options = self.options.with_compile_grain(grain);
     }
 
     /// Sequential-grain cutoff of the parallel compile sections
     /// (`0` = manager default).
     pub fn compile_grain(&self) -> usize {
-        self.compile_grain
+        self.options.compile_grain()
     }
 
-    /// Enables or disables complemented (negative) edges in the ROBDD
-    /// kernel used to compile the coded ROBDD. Like the thread count
-    /// this is a representation knob, not an analysis option: every
-    /// yield, error bound, truncation and ROMDD node count is
-    /// bit-identical in both modes, so it lives outside
-    /// [`AnalysisOptions`] and does not participate in model reuse
-    /// keys. Only the *ROBDD-side* node counts (`coded_robdd_size`,
-    /// `robdd_peak`) and cache statistics differ — complemented edges
-    /// share a node between each function and its negation. Defaults
-    /// to `true`; takes effect on the next compilation.
+    /// Compat shim over [`Pipeline::set_options`] /
+    /// [`CompileOptions::with_complement_edges`].
     pub fn set_complement_edges(&mut self, on: bool) {
-        self.complement_edges = on;
+        self.options = self.options.with_complement_edges(on);
     }
 
     /// Whether compilations use complemented edges in the ROBDD kernel.
     pub fn complement_edges(&self) -> bool {
-        self.complement_edges
+        self.options.complement_edges()
     }
 
     /// The fault tree this pipeline analyses.
@@ -513,25 +651,40 @@ impl Pipeline {
 
     /// Index of a model usable for truncation `m` under `(spec,
     /// conversion)`, compiling (or recompiling at the larger `m`) when
-    /// necessary.
-    fn ensure_model(
+    /// necessary. With `retain_robdd` the model must additionally hold
+    /// its ROBDD manager for incremental delta recompilation; a resident
+    /// model that dropped its manager is recompiled once with retention.
+    fn ensure_model_inner(
         &mut self,
         m: usize,
         spec: OrderingSpec,
         conversion: ConversionAlgorithm,
+        retain_robdd: bool,
     ) -> Result<usize, CoreError> {
         let same_config = |c: &CompiledModel| c.spec == spec && c.conversion == conversion;
-        if let Some(i) = self.models.iter().position(|c| same_config(c) && c.truncation >= m) {
+        if let Some(i) = self.models.iter().position(|c| {
+            same_config(c) && c.truncation >= m && (!retain_robdd || c.retained.is_some())
+        }) {
             return Ok(i);
         }
+        // Never shrink: a deeper resident diagram keeps serving every
+        // smaller truncation, so recompiles (for depth or retention)
+        // happen at the largest truncation seen for this configuration.
+        let m = self
+            .models
+            .iter()
+            .filter(|c| same_config(c))
+            .map(|c| c.truncation)
+            .max()
+            .unwrap_or(0)
+            .max(m);
         let model = CompiledModel::compile(
             &self.fault_tree,
             m,
             spec,
             conversion,
-            self.compile_threads,
-            self.compile_grain,
-            self.complement_edges,
+            &self.options,
+            retain_robdd,
         )?;
         self.compiles += 1;
         match self.models.iter().position(same_config) {
@@ -544,6 +697,18 @@ impl Pipeline {
                 Ok(self.models.len() - 1)
             }
         }
+    }
+
+    /// Index of a model usable for truncation `m` under `(spec,
+    /// conversion)`, compiling (or recompiling at the larger `m`) when
+    /// necessary.
+    fn ensure_model(
+        &mut self,
+        m: usize,
+        spec: OrderingSpec,
+        conversion: ConversionAlgorithm,
+    ) -> Result<usize, CoreError> {
+        self.ensure_model_inner(m, spec, conversion, false)
     }
 
     fn evaluate_full(
@@ -650,6 +815,103 @@ impl Pipeline {
         I: IntoIterator<Item = &'a dyn DefectDistribution>,
     {
         self.sweep(lethals.into_iter().map(|lethal| SweepPoint { lethal, options: *options }))
+    }
+
+    /// Incremental recompilations performed by
+    /// [`sweep_deltas`](Pipeline::sweep_deltas): structural variants
+    /// rebuilt inside a retained ROBDD manager instead of compiled from
+    /// scratch. Like [`compiles`](Pipeline::compiles), callers use the
+    /// delta of this counter to prove which path an evaluation took.
+    pub fn delta_rebuilds(&self) -> usize {
+        self.delta_rebuilds
+    }
+
+    /// Evaluates a family of what-if [`SystemDelta`]s against the base
+    /// system, under one `(distribution, options)` point so the whole
+    /// family shares one truncation `M`.
+    ///
+    /// The base configuration is compiled (or reused) once; each delta is
+    /// then served by the cheapest sound path:
+    ///
+    /// * **swap-only deltas** (distribution overrides, lethality flips,
+    ///   whole-model replacements — no structural change) re-evaluate the
+    ///   resident ROMDD with the materialized component probabilities:
+    ///   zero kernel work, a traversal linear in the ROMDD size.
+    /// * **structural deltas** (subtree swaps) are rebuilt inside the
+    ///   retained base ROBDD manager, where hash-consing turns every
+    ///   subfunction shared with the base into a cache hit — only the
+    ///   changed cofactor pays apply/ITE work
+    ///   ([`delta_rebuilds`](Pipeline::delta_rebuilds) counts these).
+    /// * when the incremental path is unsound for a structural delta
+    ///   (sifted specification, or the variant's own computed ordering
+    ///   differs from the base's), it falls back to a full fresh compile
+    ///   of the materialized variant, counted by
+    ///   [`compiles`](Pipeline::compiles).
+    ///
+    /// Every path reproduces a from-scratch compile of the materialized
+    /// variant bit for bit — same yields, error bounds, truncations and
+    /// ROMDD node counts — provided the base was compiled at exactly the
+    /// family's truncation (always true for a pipeline whose first use is
+    /// the delta sweep; a deeper resident diagram answers with the usual
+    /// zero-padded evaluation instead, exact up to summation order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when the truncation selection or a
+    /// compilation fails, or a delta is inconsistent with the base system
+    /// ([`CoreError::InvalidDelta`]).
+    pub fn sweep_deltas(
+        &mut self,
+        lethal: &dyn DefectDistribution,
+        options: &AnalysisOptions,
+        deltas: &[SystemDelta],
+    ) -> Result<Vec<YieldReport>, CoreError> {
+        let truncation = self.truncation_for(lethal, options)?;
+        // Retaining the base ROBDD manager only pays off when a
+        // structural delta can actually use it (sifted bases never can).
+        let needs_retained =
+            options.spec.sift_max_growth().is_none() && deltas.iter().any(|d| !d.is_swap_only());
+        let idx = self.ensure_model_inner(
+            truncation.truncation(),
+            options.spec,
+            options.conversion,
+            needs_retained,
+        )?;
+        let mut reports = Vec::with_capacity(deltas.len());
+        for delta in deltas {
+            let start = Instant::now();
+            if delta.is_swap_only() {
+                let components = delta.materialize_components(&self.components)?;
+                reports.push(self.models[idx].evaluate(&truncation, &components, start).0);
+                continue;
+            }
+            let (variant, components) = delta.materialize(&self.fault_tree, &self.components)?;
+            if let Some(report) = self.models[idx].evaluate_structural_delta(
+                &variant,
+                &truncation,
+                &components,
+                &self.options,
+                start,
+            )? {
+                self.delta_rebuilds += 1;
+                reports.push(report);
+                continue;
+            }
+            // Unsound to recompile incrementally: compile the variant
+            // from scratch. The variant model is deliberately not cached
+            // in `models` — it describes a different system.
+            let mut model = CompiledModel::compile(
+                &variant,
+                truncation.truncation(),
+                options.spec,
+                options.conversion,
+                &self.options,
+                false,
+            )?;
+            self.compiles += 1;
+            reports.push(model.evaluate(&truncation, &components, start).0);
+        }
+        Ok(reports)
     }
 }
 
@@ -1143,6 +1405,93 @@ mod tests {
         for (a, b) in reports.iter().zip(&other) {
             assert!((a.yield_lower_bound - b.yield_lower_bound).abs() < 1e-12);
         }
+    }
+
+    /// The OR of the same three inputs as [`figure2`] — a replacement
+    /// module for its x1·x2 subtree.
+    fn or_module() -> Netlist {
+        let mut nl = Netlist::new();
+        let x1 = nl.input("x1");
+        let x2 = nl.input("x2");
+        nl.input("x3");
+        let or = nl.or([x1, x2]);
+        nl.set_output(or);
+        nl
+    }
+
+    fn and_gate_of(f: &Netlist) -> socy_faulttree::NodeId {
+        use socy_faulttree::GateKind;
+        f.iter().find(|(_, g)| matches!(g.kind, GateKind::And)).expect("has an AND gate").0
+    }
+
+    #[test]
+    fn delta_sweep_matches_from_scratch_compiles() {
+        use crate::delta::SystemDelta;
+
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+
+        let deltas = [
+            SystemDelta::named("base"),
+            SystemDelta::named("x2-weak").with_component_probability(1, 0.25),
+            SystemDelta::named("x3-immune").with_component_probability(2, 0.0),
+            SystemDelta::named("and-becomes-or")
+                .with_subtree_swap(&f, and_gate_of(&f), &or_module())
+                .unwrap(),
+        ];
+
+        let mut pipeline = Pipeline::new(&f, &comps).unwrap();
+        let reports = pipeline.sweep_deltas(&lethal, &options, &deltas).unwrap();
+        assert_eq!(reports.len(), deltas.len());
+        assert_eq!(pipeline.compiles(), 1, "the family shares one base compile");
+        assert_eq!(pipeline.delta_rebuilds(), 1, "the structural delta rebuilt incrementally");
+
+        for (report, delta) in reports.iter().zip(&deltas) {
+            let (variant, components) = delta.materialize(&f, &comps).unwrap();
+            let scratch = analyze(&variant, &components, &lethal, &options).unwrap();
+            assert_eq!(
+                report.yield_lower_bound,
+                scratch.report.yield_lower_bound,
+                "{}: delta path must be bit-identical to a from-scratch compile",
+                delta.name()
+            );
+            assert_eq!(report.truncation, scratch.report.truncation, "{}", delta.name());
+            assert_eq!(report.error_bound, scratch.report.error_bound, "{}", delta.name());
+            assert_eq!(report.romdd_size, scratch.report.romdd_size, "{}", delta.name());
+        }
+        // The base point reproduces the plain evaluation.
+        let plain = analyze(&f, &comps, &lethal, &options).unwrap();
+        assert_eq!(reports[0].yield_lower_bound, plain.report.yield_lower_bound);
+        // Swap-only deltas move the yield in the expected direction.
+        assert!(reports[2].yield_lower_bound > reports[0].yield_lower_bound);
+    }
+
+    #[test]
+    fn sifted_delta_sweep_falls_back_to_fresh_compiles() {
+        use crate::delta::SystemDelta;
+
+        let f = figure2();
+        let comps = ComponentProbabilities::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        let options = AnalysisOptions {
+            epsilon: 1e-2,
+            spec: OrderingSpec::paper_default().with_sifting(300),
+            ..AnalysisOptions::default()
+        };
+        let deltas = [SystemDelta::named("or-swap")
+            .with_subtree_swap(&f, and_gate_of(&f), &or_module())
+            .unwrap()];
+
+        let mut pipeline = Pipeline::new(&f, &comps).unwrap();
+        let reports = pipeline.sweep_deltas(&lethal, &options, &deltas).unwrap();
+        assert_eq!(pipeline.delta_rebuilds(), 0, "sifted bases never rebuild incrementally");
+        assert_eq!(pipeline.compiles(), 2, "base compile plus the fallback variant compile");
+        let (variant, components) = deltas[0].materialize(&f, &comps).unwrap();
+        let scratch = analyze(&variant, &components, &lethal, &options).unwrap();
+        assert_eq!(reports[0].yield_lower_bound, scratch.report.yield_lower_bound);
+        assert_eq!(reports[0].romdd_size, scratch.report.romdd_size);
     }
 
     #[test]

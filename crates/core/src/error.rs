@@ -26,6 +26,10 @@ pub enum CoreError {
     },
     /// The fault tree has no components at all.
     EmptySystem,
+    /// A what-if delta is inconsistent with the base system it refers to
+    /// (unknown component index, mismatched input count, malformed
+    /// subtree replacement).
+    InvalidDelta(String),
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +43,7 @@ impl fmt::Display for CoreError {
                 "fault tree has {fault_tree} components but the probability model has {components}"
             ),
             CoreError::EmptySystem => write!(f, "the system has no components"),
+            CoreError::InvalidDelta(message) => write!(f, "invalid system delta: {message}"),
         }
     }
 }

@@ -64,6 +64,7 @@ pub mod dot;
 pub mod edge;
 pub mod hash;
 pub mod kernel;
+pub mod options;
 pub mod par;
 pub mod reorder;
 pub mod unique;
@@ -73,6 +74,7 @@ pub use cache::{OpCache, OpTagStats, NUM_OP_TAGS};
 pub use ctx::DdCtx;
 pub use edge::{is_complemented, negate, negate_if, strip, CPL_BIT};
 pub use kernel::{DdKernel, DdStats, GcStats, Protect, Ref, ONE, ZERO};
+pub use options::CompileOptions;
 pub use par::{is_par, run_tasks, ParRef, ParSession, Split};
 pub use reorder::{SiftConfig, SiftOutcome};
 pub use unique::UniqueTable;

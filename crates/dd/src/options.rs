@@ -1,0 +1,229 @@
+//! The unified kernel-knob surface: [`CompileOptions`].
+//!
+//! Every layer that compiles decision diagrams — `CompiledModel` and
+//! `Pipeline` in `soc-yield-core`, `SweepMatrix` in `socy-exec`,
+//! `ServiceConfig` in `socy-serve`, the bench/serve CLIs — used to mirror
+//! the same per-knob fields (`compile_threads`, `compile_grain`,
+//! `complement_edges`) and setters. [`CompileOptions`] is the single
+//! source of truth for those knobs now: one value is built at the edge
+//! (CLI flags, wire requests, test setup) and carried down the stack
+//! unchanged.
+//!
+//! Every knob here is a *resource or representation* choice, never an
+//! analysis option: yields, error bounds, truncations and ROMDD node
+//! counts are bit-identical at every setting, which is why none of these
+//! participate in model-reuse or cache keys.
+
+/// Knobs of a decision-diagram compilation, carried as one value through
+/// the pipeline/executor/service layers.
+///
+/// Built with builder-style `with_*` constructors:
+///
+/// ```
+/// use socy_dd::CompileOptions;
+///
+/// let options = CompileOptions::new().with_compile_threads(4).with_complement_edges(false);
+/// assert_eq!(options.compile_threads(), 4);
+/// assert!(!options.complement_edges());
+/// assert_eq!(CompileOptions::default(), CompileOptions::new());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompileOptions {
+    compile_threads: usize,
+    compile_grain: usize,
+    complement_edges: bool,
+    op_cache_capacity: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self { compile_threads: 1, compile_grain: 0, complement_edges: true, op_cache_capacity: 0 }
+    }
+}
+
+impl CompileOptions {
+    /// The default options: sequential compilation, manager-default
+    /// parallel grain and op-cache capacity, complemented edges on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads used *inside* a single
+    /// compilation (the apply/ITE calls building the coded ROBDD and the
+    /// ROBDD → ROMDD conversion). Values are clamped to ≥ 1; `1` keeps
+    /// compilation fully sequential. Results are bit-identical at every
+    /// setting.
+    #[must_use]
+    pub fn with_compile_threads(mut self, threads: usize) -> Self {
+        self.compile_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the sequential-grain cutoff of the parallel compile sections:
+    /// an apply/conversion only fans out across the compile threads when
+    /// its operands hold at least this many nodes. `0` (the default)
+    /// keeps the managers' built-in grain; tests lower it to exercise the
+    /// parallel paths on small diagrams.
+    #[must_use]
+    pub fn with_compile_grain(mut self, grain: usize) -> Self {
+        self.compile_grain = grain;
+        self
+    }
+
+    /// Enables or disables complemented (negative) edges in the ROBDD
+    /// kernel. A pure representation knob: yields, error bounds,
+    /// truncations and ROMDD node counts are bit-identical in both
+    /// modes; only the ROBDD-side node counts and cache statistics
+    /// differ. Defaults to `true`.
+    #[must_use]
+    pub fn with_complement_edges(mut self, on: bool) -> Self {
+        self.complement_edges = on;
+        self
+    }
+
+    /// Pins the operation-cache capacity (slots, rounded to a power of
+    /// two) of the managers created for a compilation. `0` (the default)
+    /// keeps the managers' adaptive default capacity.
+    #[must_use]
+    pub fn with_op_cache_capacity(mut self, slots: usize) -> Self {
+        self.op_cache_capacity = slots;
+        self
+    }
+
+    /// Worker threads used inside a single compilation (≥ 1).
+    pub fn compile_threads(&self) -> usize {
+        self.compile_threads
+    }
+
+    /// Sequential-grain cutoff of the parallel compile sections
+    /// (`0` = manager default).
+    pub fn compile_grain(&self) -> usize {
+        self.compile_grain
+    }
+
+    /// Whether compilations use complemented edges in the ROBDD kernel.
+    pub fn complement_edges(&self) -> bool {
+        self.complement_edges
+    }
+
+    /// Pinned op-cache capacity in slots (`0` = manager default).
+    pub fn op_cache_capacity(&self) -> usize {
+        self.op_cache_capacity
+    }
+
+    /// The shared CLI flag surface. Both `socy-bench`'s `parse_cli` and
+    /// the `serve` binary feed their argument loops through this single
+    /// helper, so a future knob is added (and documented) in exactly one
+    /// place.
+    pub const CLI_HELP: &'static str = "\
+  --compile-threads N  worker threads inside each compilation (default 1;
+                       results are bit-identical at every setting)
+  --compile-grain N    sequential-grain cutoff of the parallel compile
+                       sections (0 = manager default)
+  --no-complement-edges
+                       disable complemented edges in the ROBDD kernel
+                       (yields and ROMDD sizes are bit-identical either way)
+  --op-cache-capacity N
+                       pin the managers' operation-cache capacity in slots
+                       (0 = adaptive default)";
+
+    /// Consumes one CLI argument if it belongs to the shared
+    /// compile-option surface. `next` supplies the following argument for
+    /// flags that take a value. Returns `Ok(true)` when `arg` was
+    /// recognized and applied, `Ok(false)` when it is not a compile
+    /// option (the caller handles it), and `Err` with a usage message
+    /// when a value is missing or malformed.
+    ///
+    /// ```
+    /// use socy_dd::CompileOptions;
+    ///
+    /// let mut options = CompileOptions::new();
+    /// let mut rest = vec!["4".to_string()].into_iter();
+    /// assert_eq!(options.parse_cli_flag("--compile-threads", &mut rest), Ok(true));
+    /// assert_eq!(options.parse_cli_flag("--no-complement-edges", &mut rest), Ok(true));
+    /// assert_eq!(options.parse_cli_flag("--json", &mut rest), Ok(false));
+    /// assert_eq!(options.compile_threads(), 4);
+    /// assert!(!options.complement_edges());
+    /// ```
+    pub fn parse_cli_flag(
+        &mut self,
+        arg: &str,
+        next: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        let mut integer = |flag: &str| {
+            next.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| format!("{flag} requires an integer"))
+        };
+        match arg {
+            "--compile-threads" => {
+                *self = self.with_compile_threads(integer("--compile-threads")?);
+            }
+            "--compile-grain" => *self = self.with_compile_grain(integer("--compile-grain")?),
+            "--no-complement-edges" => *self = self.with_complement_edges(false),
+            "--op-cache-capacity" => {
+                *self = self.with_op_cache_capacity(integer("--op-cache-capacity")?);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_getters_round_trip() {
+        let options = CompileOptions::new()
+            .with_compile_threads(8)
+            .with_compile_grain(32)
+            .with_complement_edges(false)
+            .with_op_cache_capacity(1 << 12);
+        assert_eq!(options.compile_threads(), 8);
+        assert_eq!(options.compile_grain(), 32);
+        assert!(!options.complement_edges());
+        assert_eq!(options.op_cache_capacity(), 1 << 12);
+        // Threads are clamped to >= 1, matching the old setters.
+        assert_eq!(CompileOptions::new().with_compile_threads(0).compile_threads(), 1);
+    }
+
+    #[test]
+    fn cli_flags_cover_every_knob() {
+        let mut options = CompileOptions::new();
+        let argv = [
+            "--compile-threads",
+            "4",
+            "--compile-grain",
+            "2",
+            "--no-complement-edges",
+            "--op-cache-capacity",
+            "64",
+        ];
+        let mut args = argv.iter().map(ToString::to_string);
+        while let Some(arg) = args.next() {
+            assert_eq!(options.parse_cli_flag(&arg, &mut args), Ok(true), "{arg}");
+        }
+        assert_eq!(
+            options,
+            CompileOptions::new()
+                .with_compile_threads(4)
+                .with_compile_grain(2)
+                .with_complement_edges(false)
+                .with_op_cache_capacity(64)
+        );
+    }
+
+    #[test]
+    fn cli_errors_and_unknown_flags() {
+        let mut options = CompileOptions::new();
+        let mut empty = Vec::<String>::new().into_iter();
+        assert!(options.parse_cli_flag("--compile-threads", &mut empty).is_err());
+        let mut junk = vec!["abc".to_string()].into_iter();
+        assert!(options.parse_cli_flag("--compile-grain", &mut junk).is_err());
+        let mut none = Vec::<String>::new().into_iter();
+        assert_eq!(options.parse_cli_flag("--threads", &mut none), Ok(false));
+        assert_eq!(options, CompileOptions::new(), "failed parses leave the options unchanged");
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use soc_yield_core::{AnalysisOptions, ConversionAlgorithm};
+use soc_yield_core::{AnalysisOptions, CompileOptions, ConversionAlgorithm, SystemDelta};
 use socy_defect::{ComponentProbabilities, DefectDistribution};
 use socy_faulttree::Netlist;
 use socy_ordering::OrderingSpec;
@@ -123,6 +123,15 @@ pub struct SweepBlock {
     pub conversions: Vec<ConversionAlgorithm>,
     /// The truncation rules (ε values and/or fixed `M`s).
     pub rules: Vec<TruncationRule>,
+    /// What-if variants of the block's systems. When non-empty, every
+    /// `(system, distribution, spec, conversion, rule)` combination
+    /// expands to one point *per delta* (delta axis innermost), and each
+    /// family is evaluated with
+    /// [`Pipeline::sweep_deltas`](soc_yield_core::Pipeline::sweep_deltas):
+    /// the base system compiles once per chunk and the variants ride on
+    /// it incrementally. Add `SystemDelta::named("base")` to keep the
+    /// unmodified system among the points.
+    pub deltas: Vec<SystemDelta>,
 }
 
 impl SweepBlock {
@@ -147,6 +156,7 @@ impl SweepBlock {
             * self.specs.len()
             * self.conversions_or_default().len()
             * self.rules.len()
+            * self.deltas.len().max(1)
     }
 
     /// Whether the block expands to no points at all.
@@ -168,12 +178,22 @@ pub struct PointLabels {
     pub conversion: ConversionAlgorithm,
     /// Truncation rule.
     pub rule: TruncationRule,
+    /// Name of the what-if [`SystemDelta`] this point evaluates, when the
+    /// block has a delta axis.
+    pub delta: Option<String>,
 }
 
 impl PointLabels {
-    /// A compact one-line label, e.g. `ESEN4x2 · λ'=1 · w/ml · ε=1e-3`.
+    /// A compact one-line label, e.g. `ESEN4x2 · λ'=1 · w/ml · ε=1e-3`
+    /// (delta points append their variant name: `… · Δip2-hot`).
     pub fn label(&self) -> String {
-        format!("{} · {} · {} · {}", self.system, self.distribution, self.spec, self.rule)
+        let mut label =
+            format!("{} · {} · {} · {}", self.system, self.distribution, self.spec, self.rule);
+        if let Some(delta) = &self.delta {
+            label.push_str(" · Δ");
+            label.push_str(delta);
+        }
+        label
     }
 }
 
@@ -221,37 +241,17 @@ impl fmt::Display for PointLabels {
 /// assert!(reports[1].truncation >= reports[0].truncation);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct SweepMatrix {
     /// The blocks, expanded in insertion order.
     pub blocks: Vec<SweepBlock>,
-    /// Worker threads used *inside* each chunk's compilation (the
-    /// apply/ITE calls building the coded ROBDD and the ROBDD → ROMDD
-    /// conversion); `0` or `1` keeps compilation sequential. Orthogonal
-    /// to the sweep's worker count: a resource knob, never an analysis
-    /// axis — yields and node counts are bit-identical at every setting
-    /// (see [`soc_yield_core::Pipeline::set_compile_threads`]).
-    pub compile_threads: usize,
-    /// Sequential-grain cutoff of the parallel compile sections (`0` =
-    /// the kernels' default; see
-    /// [`soc_yield_core::Pipeline::set_compile_grain`]). Like
-    /// `compile_threads`, a pure resource knob — tests lower it to
-    /// exercise the parallel paths on small diagrams.
-    pub compile_grain: usize,
-    /// Whether the ROBDD kernel of each chunk's compilation uses
-    /// complemented (negative) edges (see
-    /// [`soc_yield_core::Pipeline::set_complement_edges`]). A
-    /// representation knob, never an analysis axis — yields, error
-    /// bounds, truncations and ROMDD node counts are bit-identical in
-    /// both modes; only ROBDD-side node counts and cache statistics
-    /// differ. Defaults to `true`.
-    pub complement_edges: bool,
-}
-
-impl Default for SweepMatrix {
-    fn default() -> Self {
-        Self { blocks: Vec::new(), compile_threads: 0, compile_grain: 0, complement_edges: true }
-    }
+    /// The kernel knobs (compile threads, parallel grain, complemented
+    /// edges, op-cache capacity) every chunk's compilation runs under —
+    /// one [`CompileOptions`] value instead of mirrored per-knob fields.
+    /// Resource/representation knobs, never an analysis axis: yields,
+    /// error bounds, truncations and ROMDD node counts are bit-identical
+    /// at every setting. Orthogonal to the sweep's worker count.
+    pub options: CompileOptions,
 }
 
 impl SweepMatrix {
@@ -281,18 +281,26 @@ impl SweepMatrix {
         let mut labels = Vec::with_capacity(self.len());
         for block in &self.blocks {
             let conversions = block.conversions_or_default();
+            let deltas: Vec<Option<String>> = if block.deltas.is_empty() {
+                vec![None]
+            } else {
+                block.deltas.iter().map(|d| Some(d.name().to_string())).collect()
+            };
             for system in &block.systems {
                 for dist in &block.distributions {
                     for &spec in &block.specs {
                         for &conversion in &conversions {
                             for &rule in &block.rules {
-                                labels.push(PointLabels {
-                                    system: system.name.clone(),
-                                    distribution: dist.name.clone(),
-                                    spec,
-                                    conversion,
-                                    rule,
-                                });
+                                for delta in &deltas {
+                                    labels.push(PointLabels {
+                                        system: system.name.clone(),
+                                        distribution: dist.name.clone(),
+                                        spec,
+                                        conversion,
+                                        rule,
+                                        delta: delta.clone(),
+                                    });
+                                }
                             }
                         }
                     }

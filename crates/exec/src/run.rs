@@ -9,7 +9,9 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use soc_yield_core::{ConversionAlgorithm, DdStats, Pipeline, SweepPoint, YieldReport};
+use soc_yield_core::{
+    CompileOptions, ConversionAlgorithm, DdStats, Pipeline, SweepPoint, SystemDelta, YieldReport,
+};
 use socy_defect::DefectDistribution;
 use socy_ordering::OrderingSpec;
 
@@ -18,41 +20,49 @@ use crate::matrix::{PointLabels, SharedDistribution, SweepMatrix, SystemSpec, Tr
 /// One unit of parallel work: every point of one block that shares a
 /// `(system, ordering spec, conversion)` configuration — i.e. exactly one
 /// decision-diagram compilation, however many `(distribution, rule)`
-/// evaluations ride on it.
+/// evaluations (times the block's delta axis, if any) ride on it.
 struct Chunk<'m> {
     /// Index of the [`SweepBlock`](crate::SweepBlock) the chunk came from.
     block: usize,
     system: &'m SystemSpec,
     spec: OrderingSpec,
     conversion: ConversionAlgorithm,
-    /// Global matrix indices of the chunk's points, in matrix order.
+    /// Global matrix indices of the chunk's points, in matrix order —
+    /// one per `(eval, delta)` combination when the block has deltas.
     indices: Vec<usize>,
-    /// The `(distribution, rule)` pair of each point, parallel to
-    /// `indices`.
+    /// The distinct `(distribution, rule)` evaluations of the chunk.
     evals: Vec<(&'m dyn SharedDistribution, TruncationRule)>,
-    /// Worker threads inside this chunk's compilation (from
-    /// [`SweepMatrix::compile_threads`]; `0` normalised to `1`).
-    compile_threads: usize,
-    /// Parallel-section grain cutoff (from [`SweepMatrix::compile_grain`];
-    /// `0` = kernel default).
-    compile_grain: usize,
-    /// Whether the ROBDD kernel uses complemented edges (from
-    /// [`SweepMatrix::complement_edges`]).
-    complement_edges: bool,
+    /// The block's what-if delta family (empty = plain sweep).
+    deltas: &'m [SystemDelta],
+    /// Kernel knobs of this chunk's compilations (from
+    /// [`SweepMatrix::options`]).
+    options: CompileOptions,
 }
 
 impl Chunk<'_> {
     fn run(&self) -> Result<(Vec<YieldReport>, Pipeline), String> {
-        let mut pipeline = Pipeline::new(&self.system.fault_tree, &self.system.components)
-            .map_err(|e| e.to_string())?;
-        pipeline.set_compile_threads(self.compile_threads.max(1));
-        pipeline.set_compile_grain(self.compile_grain);
-        pipeline.set_complement_edges(self.complement_edges);
-        let points = self.evals.iter().map(|&(dist, rule)| SweepPoint {
-            lethal: dist as &dyn DefectDistribution,
-            options: rule.options(self.spec, self.conversion),
-        });
-        let reports = pipeline.sweep(points).map_err(|e| e.to_string())?;
+        let mut pipeline =
+            Pipeline::with_options(&self.system.fault_tree, &self.system.components, self.options)
+                .map_err(|e| e.to_string())?;
+        if self.deltas.is_empty() {
+            let points = self.evals.iter().map(|&(dist, rule)| SweepPoint {
+                lethal: dist as &dyn DefectDistribution,
+                options: rule.options(self.spec, self.conversion),
+            });
+            let reports = pipeline.sweep(points).map_err(|e| e.to_string())?;
+            return Ok((reports, pipeline));
+        }
+        // Delta families: the base system compiles once (kept resident in
+        // the pipeline across evals), every variant rides on it.
+        let mut reports = Vec::with_capacity(self.indices.len());
+        for &(dist, rule) in &self.evals {
+            let options = rule.options(self.spec, self.conversion);
+            reports.extend(
+                pipeline
+                    .sweep_deltas(dist as &dyn DefectDistribution, &options, self.deltas)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
         Ok((reports, pipeline))
     }
 
@@ -118,14 +128,15 @@ fn chunks(matrix: &SweepMatrix) -> Vec<Chunk<'_>> {
                                     conversion,
                                     indices: Vec::new(),
                                     evals: Vec::new(),
-                                    compile_threads: matrix.compile_threads,
-                                    compile_grain: matrix.compile_grain,
-                                    complement_edges: matrix.complement_edges,
+                                    deltas: &block.deltas,
+                                    options: matrix.options,
                                 });
                             }
-                            out[chunk_at].indices.push(index);
                             out[chunk_at].evals.push((&*dist.distribution, rule));
-                            index += 1;
+                            for _ in 0..block.deltas.len().max(1) {
+                                out[chunk_at].indices.push(index);
+                                index += 1;
+                            }
                         }
                     }
                 }
@@ -333,8 +344,8 @@ pub struct WorkerSummary {
 pub struct SweepSummary {
     /// Number of worker threads used.
     pub threads: usize,
-    /// Worker threads used inside each chunk's compilation
-    /// ([`SweepMatrix::compile_threads`], normalised so `0` reads `1`).
+    /// Worker threads used inside each chunk's compilation (from
+    /// [`SweepMatrix::options`]).
     pub compile_threads: usize,
     /// Total design points (successful or failed).
     pub points: usize,
@@ -498,7 +509,7 @@ impl SweepMatrix {
         let mut pipelines: Vec<CompiledPipeline> = Vec::new();
         let mut summary = SweepSummary {
             threads,
-            compile_threads: self.compile_threads.max(1),
+            compile_threads: self.options.compile_threads(),
             points: labels.len(),
             chunks: chunks.len(),
             failed_points: 0,
@@ -813,6 +824,59 @@ mod tests {
         assert_eq!(report.yield_lower_bound.to_bits(), reference.yield_lower_bound.to_bits());
         assert_eq!(kept.pipeline.compiles(), compiles_after_sweep, "no recompilation");
         assert!(kept.pipeline.live_nodes() > 0);
+    }
+
+    #[test]
+    fn delta_blocks_expand_and_match_materialized_systems() {
+        let base = figure2("F2");
+        let mut block = SweepBlock::new();
+        block.systems.push(base.clone());
+        block
+            .distributions
+            .push(NamedDistribution::new("λ'=1", NegativeBinomial::new(1.0, 4.0).unwrap()));
+        block.specs.push(OrderingSpec::paper_default());
+        block.rules.push(TruncationRule::Epsilon(1e-3));
+        block.deltas.extend([
+            SystemDelta::named("base"),
+            SystemDelta::named("x1-hot").with_component_probability(0, 0.1),
+            SystemDelta::named("x3-immune").with_component_probability(2, 0.0),
+        ]);
+        let mut matrix = SweepMatrix::new();
+        matrix.add(block);
+        assert_eq!(matrix.len(), 3, "one point per delta");
+        let labels = matrix.labels();
+        assert_eq!(labels[1].delta.as_deref(), Some("x1-hot"));
+        assert!(labels[1].label().contains("Δx1-hot"));
+
+        let outcome = matrix.run(1);
+        assert_eq!(outcome.summary.chunks, 1, "the family shares one chunk");
+        let reports = outcome.reports().unwrap();
+        // Each point is bit-identical to sweeping the materialized
+        // standalone system.
+        let deltas = &matrix.blocks[0].deltas;
+        let lethal = NegativeBinomial::new(1.0, 4.0).unwrap();
+        for (report, delta) in reports.iter().zip(deltas) {
+            let (ft, comps) = delta.materialize(&base.fault_tree, &base.components).unwrap();
+            let mut pipeline = Pipeline::new(&ft, &comps).unwrap();
+            let options = TruncationRule::Epsilon(1e-3)
+                .options(OrderingSpec::paper_default(), ConversionAlgorithm::TopDown);
+            let scratch = pipeline.evaluate(&lethal, &options).unwrap();
+            assert_eq!(
+                report.yield_lower_bound.to_bits(),
+                scratch.yield_lower_bound.to_bits(),
+                "Δ{}",
+                delta.name()
+            );
+            assert_eq!(report.romdd_size, scratch.romdd_size);
+        }
+        // Worker scheduling cannot perturb delta families either.
+        let parallel = matrix.run(2);
+        for (a, b) in outcome.points.iter().zip(&parallel.points) {
+            assert_eq!(
+                a.result.as_ref().unwrap().yield_lower_bound.to_bits(),
+                b.result.as_ref().unwrap().yield_lower_bound.to_bits()
+            );
+        }
     }
 
     #[test]

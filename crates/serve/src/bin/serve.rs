@@ -10,41 +10,40 @@ use std::io::{self, BufRead, Write};
 use std::process::ExitCode;
 
 use serde::Serialize;
-use socy_serve::{ServiceConfig, YieldService};
+use socy_serve::{CompileOptions, ServiceConfig, YieldService};
 
-const USAGE: &str = "\
-Usage: serve [--threads N] [--compile-threads N] [--no-complement-edges]
-             [--node-budget NODES] [--record PATH]
+const USAGE_HEAD: &str = "\
+Usage: serve [--threads N] [--node-budget NODES] [--record PATH]
+             [compile options]
 
 Reads line-delimited JSON requests on stdin; a blank line flushes the
 pending batch, EOF flushes and exits. Writes one JSON response per line
 on stdout, in request order.
 
   --threads N          worker threads for uncached requests (0 = all cores; default 0)
-  --compile-threads N  worker threads inside each compilation (default 1;
-                       results are bit-identical at every setting)
-  --no-complement-edges
-                       disable complemented edges in the ROBDD kernel
-                       (yields and ROMDD sizes are bit-identical either way)
   --node-budget N      live-node budget of the pipeline cache (0 = unbounded)
   --record PATH        additionally write every response into PATH as one
                        pretty-printed JSON array (for anchor_check replays)";
+
+fn usage() -> String {
+    format!("{USAGE_HEAD}\n{}", CompileOptions::CLI_HELP)
+}
 
 fn main() -> ExitCode {
     let mut config = ServiceConfig::default();
     let mut record: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match config.options.parse_cli_flag(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(message) => return usage_error(&message),
+        }
         match arg.as_str() {
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.threads = n,
                 None => return usage_error("--threads requires an integer"),
             },
-            "--compile-threads" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => config.compile_threads = n,
-                None => return usage_error("--compile-threads requires an integer"),
-            },
-            "--no-complement-edges" => config.complement_edges = false,
             "--node-budget" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(0) => config.node_budget = None,
                 Some(n) => config.node_budget = Some(n),
@@ -55,7 +54,7 @@ fn main() -> ExitCode {
                 None => return usage_error("--record requires a path"),
             },
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
             other => return usage_error(&format!("unknown argument `{other}`")),
@@ -86,7 +85,7 @@ fn main() -> ExitCode {
 }
 
 fn usage_error(message: &str) -> ExitCode {
-    eprintln!("serve: {message}\n{USAGE}");
+    eprintln!("serve: {message}\n{}", usage());
     ExitCode::from(2)
 }
 

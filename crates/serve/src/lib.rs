@@ -22,8 +22,11 @@
 pub mod protocol;
 pub mod service;
 
-pub use protocol::{CacheBody, DistributionSpec, EvalRequest, ReportBody, Request, Response};
-pub use service::{
-    conversion_label, parse_conversion, resolve_distribution, resolve_system, PanicDistribution,
-    PipelineKey, ServiceConfig, YieldService, DEFAULT_NODE_BUDGET,
+pub use protocol::{
+    CacheBody, DistributionSpec, EvalRequest, OptionsBody, ReportBody, Request, Response,
 };
+pub use service::{
+    conversion_label, parse_conversion, resolve_delta, resolve_distribution, resolve_system,
+    PanicDistribution, PipelineKey, ServiceConfig, YieldService, DEFAULT_NODE_BUDGET,
+};
+pub use soc_yield_core::CompileOptions;

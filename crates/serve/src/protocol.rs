@@ -21,6 +21,10 @@ pub enum Request {
     /// Evaluate one system under a list of `ε` values (one compilation,
     /// many linear-time evaluations — the paper's compile-once economics).
     Sweep(EvalRequest),
+    /// Evaluate a family of what-if deltas against one base system (one
+    /// report per delta). Against a resident base pipeline the family
+    /// needs no compilation at all (`"compiled":"delta"`).
+    AnalyzeDelta(EvalRequest),
     /// Report service counters and cache statistics.
     Stats {
         /// Client-chosen identifier echoed back in the response.
@@ -39,6 +43,7 @@ impl serde::Deserialize for Request {
         match kind {
             "analyze" => Ok(Request::Analyze(EvalRequest::from_json(value)?)),
             "sweep" => Ok(Request::Sweep(EvalRequest::from_json(value)?)),
+            "analyze_delta" => Ok(Request::AnalyzeDelta(EvalRequest::from_json(value)?)),
             "stats" => Ok(Request::Stats {
                 id: match value.get("id") {
                     None => None,
@@ -46,7 +51,8 @@ impl serde::Deserialize for Request {
                 },
             }),
             other => Err(DeError(format!(
-                "unknown request type `{other}` (expected `analyze`, `sweep` or `stats`)"
+                "unknown request type `{other}` (expected `analyze`, `sweep`, `analyze_delta` \
+                 or `stats`)"
             ))),
         }
     }
@@ -79,6 +85,13 @@ pub struct EvalRequest {
     pub sift_max_growth: Option<u32>,
     /// Coded-ROBDD → ROMDD conversion: `top_down` (default) or `layered`.
     pub conversion: Option<String>,
+    /// What-if variants of the base system (`analyze_delta` only, one
+    /// report per entry). Each entry is
+    /// `{"name", "overrides": [{"component": <index|input name>,
+    /// "probability": P}], "netlist": <variant fault tree>}` with
+    /// `overrides` and `netlist` both optional — see
+    /// [`crate::service::resolve_delta`].
+    pub deltas: Option<Vec<Value>>,
 }
 
 /// Wire description of a lethal-defect distribution.
@@ -110,8 +123,10 @@ pub struct Response {
     pub ok: bool,
     /// How the evaluation obtained its compiled pipeline: `cold` (compiled
     /// by this request), `cached` (served from the LRU with zero
-    /// compilation) or `recompiled` (cached pipeline had to extend its
-    /// truncation). Null for stats/error responses.
+    /// compilation), `recompiled` (cached pipeline had to extend its
+    /// truncation or retain its ROBDD manager) or `delta` (a what-if
+    /// family answered entirely on the resident base — zero
+    /// compilations). Null for stats/error responses.
     pub compiled: Option<String>,
     /// One report per evaluated design point (one for `analyze`, one per
     /// `ε` for `sweep`).
@@ -122,10 +137,39 @@ pub struct Response {
     pub panicked: Option<bool>,
     /// Total requests the service has accepted (stats responses).
     pub requests_served: Option<u64>,
+    /// The service's active [`soc_yield_core::CompileOptions`] knobs
+    /// (stats responses).
+    pub options: Option<OptionsBody>,
     /// Pipeline-cache counters at response time.
     pub cache: Option<CacheBody>,
     /// Wall-clock time spent serving this request (volatile).
     pub latency_seconds: f64,
+}
+
+/// The compile-option knobs echoed on stats responses — the wire view of
+/// [`soc_yield_core::CompileOptions`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct OptionsBody {
+    /// Worker threads inside each compilation.
+    pub compile_threads: usize,
+    /// Sequential-grain cutoff of the parallel compile sections
+    /// (`0` = manager default).
+    pub compile_grain: usize,
+    /// Whether compilations use complemented edges in the ROBDD kernel.
+    pub complement_edges: bool,
+    /// Pinned op-cache capacity in slots (`0` = manager default).
+    pub op_cache_capacity: usize,
+}
+
+impl From<soc_yield_core::CompileOptions> for OptionsBody {
+    fn from(options: soc_yield_core::CompileOptions) -> Self {
+        Self {
+            compile_threads: options.compile_threads(),
+            compile_grain: options.compile_grain(),
+            complement_edges: options.complement_edges(),
+            op_cache_capacity: options.op_cache_capacity(),
+        }
+    }
 }
 
 impl Response {
@@ -147,6 +191,7 @@ impl Response {
             error: None,
             panicked: None,
             requests_served: None,
+            options: None,
             cache: Some(cache),
             latency_seconds: latency.as_secs_f64(),
         }
@@ -170,6 +215,7 @@ impl Response {
             error: Some(message),
             panicked: Some(panicked),
             requests_served: None,
+            options: None,
             cache,
             latency_seconds: latency.as_secs_f64(),
         }
@@ -179,6 +225,7 @@ impl Response {
     pub fn stats(
         id: Option<String>,
         requests_served: u64,
+        options: OptionsBody,
         cache: CacheBody,
         latency: Duration,
     ) -> Self {
@@ -191,6 +238,7 @@ impl Response {
             error: None,
             panicked: None,
             requests_served: Some(requests_served),
+            options: Some(options),
             cache: Some(cache),
             latency_seconds: latency.as_secs_f64(),
         }
@@ -239,6 +287,9 @@ pub struct ReportBody {
     pub conversion: String,
     /// Truncation-rule label (e.g. `ε=1e-3` or `M=6`).
     pub rule: String,
+    /// Name of the what-if delta this report evaluates (`analyze_delta`
+    /// responses; null otherwise).
+    pub delta: Option<String>,
 }
 
 /// Pipeline-cache and service counters carried on stats (and every

@@ -27,7 +27,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use serde::{Deserialize, Value};
-use soc_yield_core::{AnalysisOptions, ConversionAlgorithm, Pipeline, YieldReport};
+use soc_yield_core::{
+    AnalysisOptions, CompileOptions, ConversionAlgorithm, Pipeline, SystemDelta, YieldReport,
+};
 use socy_benchmarks::paper_benchmarks;
 use socy_defect::{
     ComponentProbabilities, DefectDistribution, Empirical, NegativeBinomial, Poisson,
@@ -39,7 +41,9 @@ use socy_exec::{
 use socy_faulttree::Netlist;
 use socy_ordering::OrderingSpec;
 
-use crate::protocol::{CacheBody, DistributionSpec, EvalRequest, ReportBody, Request, Response};
+use crate::protocol::{
+    CacheBody, DistributionSpec, EvalRequest, OptionsBody, ReportBody, Request, Response,
+};
 
 /// Default live-node budget of the pipeline cache (the bench harness uses
 /// the same bound for its `Runner`).
@@ -52,17 +56,12 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Live-node budget of the pipeline cache (`None` = unbounded).
     pub node_budget: Option<usize>,
-    /// Worker threads *inside* each compilation (`0` or `1` = sequential
-    /// compilation). A resource knob, never part of the cache key:
-    /// compiled diagrams and yields are bit-identical at every setting
-    /// (see [`SweepMatrix::compile_threads`]).
-    pub compile_threads: usize,
-    /// Whether compilations use complemented edges in the ROBDD kernel
-    /// (default `true`). A representation knob, never part of the cache
-    /// key: yields, error bounds, truncations and ROMDD node counts are
-    /// bit-identical in both modes (see
-    /// [`SweepMatrix::complement_edges`]).
-    pub complement_edges: bool,
+    /// The kernel knobs every compilation runs under (compile threads,
+    /// parallel grain, complemented edges, op-cache capacity) — one
+    /// [`CompileOptions`] value instead of mirrored per-knob fields.
+    /// Never part of the cache key: compiled diagrams and yields are
+    /// bit-identical at every setting (see [`SweepMatrix::options`]).
+    pub options: CompileOptions,
 }
 
 impl Default for ServiceConfig {
@@ -70,8 +69,7 @@ impl Default for ServiceConfig {
         Self {
             threads: 0,
             node_budget: Some(DEFAULT_NODE_BUDGET),
-            compile_threads: 1,
-            complement_edges: true,
+            options: CompileOptions::default(),
         }
     }
 }
@@ -223,6 +221,60 @@ pub fn resolve_distribution(
     }
 }
 
+/// Resolves one entry of a request's `deltas` array into a
+/// [`SystemDelta`] against the base system's fault tree.
+///
+/// Accepted shape: `{"name": <label>, "overrides": [{"component":
+/// <index or input name>, "probability": P}], "netlist": <variant
+/// netlist text>}` — `overrides` and `netlist` are both optional (an
+/// entry with neither re-evaluates the unmodified base system).
+///
+/// # Errors
+///
+/// Returns a readable message for missing names, unknown component
+/// names, out-of-range probabilities and malformed variant netlists.
+pub fn resolve_delta(value: &Value, base: &Netlist) -> Result<SystemDelta, String> {
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "each delta requires a string `name`".to_string())?;
+    let mut delta = SystemDelta::named(name);
+    if let Some(overrides) = value.get("overrides") {
+        let entries = overrides
+            .as_array()
+            .ok_or_else(|| "delta field `overrides` must be an array".to_string())?;
+        for entry in entries {
+            let probability = entry
+                .get("probability")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| "each override requires a numeric `probability`".to_string())?;
+            let component = entry
+                .get("component")
+                .ok_or_else(|| "each override requires a `component`".to_string())?;
+            let index = if let Some(i) = component.as_u64() {
+                i as usize
+            } else if let Some(input) = component.as_str() {
+                base.var_by_name(input)
+                    .ok_or_else(|| format!("delta `{name}`: unknown component `{input}`"))?
+                    .index()
+            } else {
+                return Err(
+                    "override field `component` must be an index or an input name".to_string()
+                );
+            };
+            delta = delta.with_component_probability(index, probability);
+        }
+    }
+    if let Some(netlist) = value.get("netlist") {
+        let text =
+            netlist.as_str().ok_or_else(|| "delta field `netlist` must be a string".to_string())?;
+        let variant = Netlist::from_text(text)
+            .map_err(|e| format!("delta `{name}`: invalid netlist: {e}"))?;
+        delta = delta.with_fault_tree(variant);
+    }
+    Ok(delta)
+}
+
 /// A fully resolved evaluation request, ready to hit the cache or the
 /// executor.
 struct EvalPlan {
@@ -233,10 +285,24 @@ struct EvalPlan {
     distribution: Box<dyn SharedDistribution>,
     dist_label: String,
     rules: Vec<TruncationRule>,
+    deltas: Vec<SystemDelta>,
 }
 
 fn resolve(kind: &'static str, req: EvalRequest) -> Result<EvalPlan, String> {
     let (system, identity) = resolve_system(&req.system)?;
+    let deltas = match (kind, &req.deltas) {
+        ("analyze_delta", Some(entries)) if !entries.is_empty() => entries
+            .iter()
+            .map(|v| resolve_delta(v, &system.fault_tree))
+            .collect::<Result<Vec<_>, String>>()?,
+        ("analyze_delta", _) => {
+            return Err("analyze_delta requests require a non-empty `deltas` array".to_string())
+        }
+        (_, Some(_)) => {
+            return Err("field `deltas` is only valid on type `analyze_delta`".to_string())
+        }
+        (_, None) => Vec::new(),
+    };
     let (distribution, dist_label) = resolve_distribution(&req.distribution)?;
     let mut spec = OrderingSpec::parse(req.ordering.as_deref().unwrap_or("w/ml"))
         .map_err(|e| e.to_string())?;
@@ -289,6 +355,7 @@ fn resolve(kind: &'static str, req: EvalRequest) -> Result<EvalPlan, String> {
         distribution,
         dist_label,
         rules,
+        deltas,
     })
 }
 
@@ -296,6 +363,7 @@ fn report_body(
     report: &YieldReport,
     conversion: ConversionAlgorithm,
     rule: &TruncationRule,
+    delta: Option<String>,
 ) -> ReportBody {
     ReportBody {
         yield_lower_bound: report.yield_lower_bound,
@@ -313,6 +381,7 @@ fn report_body(
         ordering: report.spec.label(),
         conversion: conversion_label(conversion).to_string(),
         rule: rule.label(),
+        delta,
     }
 }
 
@@ -344,8 +413,7 @@ struct MissMeta {
 pub struct YieldService {
     cache: PipelineLru<PipelineKey>,
     threads: usize,
-    compile_threads: usize,
-    complement_edges: bool,
+    options: CompileOptions,
     requests_served: u64,
 }
 
@@ -355,10 +423,14 @@ impl YieldService {
         Self {
             cache: PipelineLru::new(config.node_budget),
             threads: config.threads,
-            compile_threads: config.compile_threads,
-            complement_edges: config.complement_edges,
+            options: config.options,
             requests_served: 0,
         }
+    }
+
+    /// The compile options every compilation runs under.
+    pub fn options(&self) -> CompileOptions {
+        self.options
     }
 
     /// The pipeline cache (for inspection; the service owns mutation).
@@ -413,6 +485,9 @@ impl YieldService {
                 Ok(Request::Sweep(req)) => {
                     self.route(at, "sweep", req, started, &mut responses, &mut misses);
                 }
+                Ok(Request::AnalyzeDelta(req)) => {
+                    self.route(at, "analyze_delta", req, started, &mut responses, &mut misses);
+                }
             }
         }
         self.run_misses(misses, &mut responses);
@@ -420,6 +495,7 @@ impl YieldService {
             responses[at] = Some(Response::stats(
                 id,
                 self.requests_served,
+                OptionsBody::from(self.options),
                 self.cache_body(),
                 started.elapsed(),
             ));
@@ -476,6 +552,9 @@ impl YieldService {
     /// Evaluates a request on the resident pipeline — no compilation
     /// unless the request's truncation exceeds what the diagram was
     /// compiled at (then the extension is reported as `recompiled`).
+    /// Delta requests that resolve entirely against the resident diagram
+    /// (incremental rebuilds and swap-only re-evaluations) are reported
+    /// as `delta`.
     fn evaluate_hit(&mut self, plan: &EvalPlan, started: Instant) -> Response {
         let compiles_before = self.cache.peek(&plan.key).map_or(0, Pipeline::compiles);
         let outcome = {
@@ -486,19 +565,47 @@ impl YieldService {
                     .iter()
                     .map(|rule| {
                         let options = rule.options(plan.key.spec, plan.key.conversion);
-                        pipeline
-                            .evaluate(lethal, &options)
-                            .map(|report| report_body(&report, plan.key.conversion, rule))
-                            .map_err(|e| e.to_string())
+                        if plan.deltas.is_empty() {
+                            pipeline
+                                .evaluate(lethal, &options)
+                                .map(|report| {
+                                    vec![report_body(&report, plan.key.conversion, rule, None)]
+                                })
+                                .map_err(|e| e.to_string())
+                        } else {
+                            pipeline
+                                .sweep_deltas(lethal, &options, &plan.deltas)
+                                .map(|reports| {
+                                    reports
+                                        .iter()
+                                        .zip(&plan.deltas)
+                                        .map(|(report, delta)| {
+                                            report_body(
+                                                report,
+                                                plan.key.conversion,
+                                                rule,
+                                                Some(delta.name().to_string()),
+                                            )
+                                        })
+                                        .collect()
+                                })
+                                .map_err(|e| e.to_string())
+                        }
                     })
-                    .collect::<Result<Vec<_>, String>>()
+                    .collect::<Result<Vec<Vec<_>>, String>>()
+                    .map(|nested| nested.into_iter().flatten().collect::<Vec<_>>())
             }))
         };
         match outcome {
             Ok(Ok(reports)) => {
                 let compiles_after = self.cache.peek(&plan.key).map_or(0, Pipeline::compiles);
-                let compiled =
-                    if compiles_after == compiles_before { "cached" } else { "recompiled" };
+                let compiled = if compiles_after != compiles_before {
+                    "recompiled"
+                } else if plan.deltas.is_empty() {
+                    "cached"
+                } else {
+                    "delta"
+                };
                 Response::eval(
                     plan.kind,
                     plan.id.clone(),
@@ -540,18 +647,18 @@ impl YieldService {
         }
         let started = Instant::now();
         let mut matrix = SweepMatrix::new();
-        matrix.compile_threads = self.compile_threads;
-        matrix.complement_edges = self.complement_edges;
+        matrix.options = self.options;
         let mut metas: Vec<MissMeta> = Vec::with_capacity(misses.len());
         for (at, plan) in misses {
-            let EvalPlan { id, kind, key, system, distribution, dist_label, rules } = plan;
+            let EvalPlan { id, kind, key, system, distribution, dist_label, rules, deltas } = plan;
             let mut block = SweepBlock::new();
             block.systems.push(system);
             block.distributions.push(NamedDistribution { name: dist_label, distribution });
             block.specs.push(key.spec);
             block.conversions.push(key.conversion);
-            metas.push(MissMeta { at, id, kind, key, points: rules.len() });
+            metas.push(MissMeta { at, id, kind, key, points: rules.len() * deltas.len().max(1) });
             block.rules = rules;
+            block.deltas = deltas;
             matrix.add(block);
         }
         let (outcome, pipelines) = matrix.run_keeping_pipelines(self.threads);
@@ -583,7 +690,14 @@ impl YieldService {
                         reports
                             .iter()
                             .zip(points)
-                            .map(|(r, p)| report_body(r, meta.key.conversion, &p.labels.rule))
+                            .map(|(r, p)| {
+                                report_body(
+                                    r,
+                                    meta.key.conversion,
+                                    &p.labels.rule,
+                                    p.labels.delta.clone(),
+                                )
+                            })
                             .collect(),
                         self.cache_body(),
                         elapsed,

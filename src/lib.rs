@@ -62,8 +62,8 @@ pub use socy_ordering as ordering;
 pub use socy_sim as sim;
 
 pub use soc_yield_core::{
-    analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, DdStats, Pipeline, SweepPoint,
-    YieldAnalysis, YieldReport,
+    analyze, analyze_direct, swap_subtree, AnalysisOptions, CompileOptions, ConversionAlgorithm,
+    DdStats, Pipeline, SweepPoint, SystemDelta, YieldAnalysis, YieldReport,
 };
 pub use socy_dd::{GcStats, SiftConfig, SiftOutcome};
 pub use socy_defect::{ComponentProbabilities, DefectDistribution, NegativeBinomial, Poisson};

@@ -35,8 +35,8 @@ fn benchmark(system: &soc_yield::benchmarks::BenchmarkSystem) -> SystemSpec {
 /// (static and sifted), both conversion algorithms, two ε rules.
 fn matrix(complement_edges: bool, compile_threads: usize) -> SweepMatrix {
     let mut m = SweepMatrix::new();
-    m.complement_edges = complement_edges;
-    m.compile_threads = compile_threads;
+    m.options =
+        m.options.with_complement_edges(complement_edges).with_compile_threads(compile_threads);
     let mut block = SweepBlock::new();
     block.systems.push(benchmark(&esen(4, 1)));
     block.systems.push(benchmark(&ms(2)));

@@ -1,0 +1,239 @@
+//! Bit-level equivalence of the incremental what-if path.
+//!
+//! [`Pipeline::sweep_deltas`] promises that every delta result is
+//! **bit-identical** to a from-scratch compile of the materialized
+//! variant: swap-only deltas re-evaluate the resident ROMDD with
+//! re-derived conditionals, structural deltas rebuild only the affected
+//! function inside the retained ROBDD manager — but the numbers (and
+//! the ROMDD node counts) must be indistinguishable from paying a full
+//! compilation per variant. These tests enforce that promise across
+//! randomized families under every kernel mode (sequential/parallel
+//! compilation × complement edges on/off), and pin the headline speedup
+//! on the bench harness's ESEN4x1 what-if family.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use soc_yield::benchmarks::esen;
+use soc_yield::defect::NegativeBinomial;
+use soc_yield::faulttree::Netlist;
+use soc_yield::{
+    AnalysisOptions, CompileOptions, ComponentProbabilities, Pipeline, SystemDelta, YieldReport,
+};
+
+/// The four kernel modes every family is checked under.
+const MODES: [(usize, bool); 4] = [(1, true), (1, false), (4, true), (4, false)];
+
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A small random fault tree over `c` components (the same generator
+/// shape as `complement_equivalence.rs`, inverters included so
+/// complement edges actually appear in the diagrams).
+fn build_tree(c: usize, gates: usize, state: &mut u64) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut nodes: Vec<_> = (0..c).map(|i| nl.input(format!("x{i}"))).collect();
+    for _ in 0..gates {
+        let arity = 2 + (next(state) % 2) as usize;
+        let fanin: Vec<_> =
+            (0..arity).map(|_| nodes[(next(state) % nodes.len() as u64) as usize]).collect();
+        let gate = match next(state) % 3 {
+            0 => nl.and(fanin),
+            1 => nl.or(fanin),
+            _ => {
+                let inner = nl.or(fanin);
+                nl.not(inner)
+            }
+        };
+        nodes.push(gate);
+    }
+    let out = *nodes.last().expect("non-empty");
+    nl.set_output(out);
+    nl
+}
+
+/// Random per-component raw probabilities with total mass well inside
+/// `(0, 1]`, so lowering any `P_i` (the only kind of override the
+/// families use) keeps the model valid.
+fn random_components(c: usize, state: &mut u64) -> ComponentProbabilities {
+    let raw: Vec<f64> = (0..c).map(|_| (next(state) % 1000 + 1) as f64 / 1000.0).collect();
+    let total: f64 = raw.iter().sum();
+    let scaled: Vec<f64> = raw.iter().map(|p| p / (total * 1.25)).collect();
+    ComponentProbabilities::new(scaled).expect("normalized mass is valid")
+}
+
+fn assert_bit_identical(delta: &YieldReport, scratch: &YieldReport, context: &str) {
+    assert_eq!(
+        delta.yield_lower_bound.to_bits(),
+        scratch.yield_lower_bound.to_bits(),
+        "{}: yield must be bit-identical (delta {} vs scratch {})",
+        context,
+        delta.yield_lower_bound,
+        scratch.yield_lower_bound
+    );
+    assert_eq!(
+        delta.error_bound.to_bits(),
+        scratch.error_bound.to_bits(),
+        "{}: error bound",
+        context
+    );
+    assert_eq!(delta.truncation, scratch.truncation, "{}: truncation", context);
+    assert_eq!(
+        delta.compiled_truncation, scratch.compiled_truncation,
+        "{}: compiled truncation",
+        context
+    );
+    assert_eq!(delta.romdd_size, scratch.romdd_size, "{}: ROMDD size", context);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A randomized family — the unchanged base, a halved component, an
+    /// immune component, and a structural fault-tree swap — evaluated
+    /// incrementally must match per-variant from-scratch pipelines bit
+    /// for bit, under all four kernel modes.
+    #[test]
+    fn random_delta_families_match_from_scratch_compiles(
+        c in 2usize..=5,
+        gates in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let base_tree = build_tree(c, gates, &mut state);
+        let variant_tree = build_tree(c, gates, &mut state);
+        let components = random_components(c, &mut state);
+        let lethal = NegativeBinomial::new(1.0, 4.0).expect("valid parameters");
+        let deltas = vec![
+            SystemDelta::named("base"),
+            SystemDelta::named("half")
+                .with_component_probability(0, components.raw(0) / 2.0),
+            SystemDelta::named("immune").with_component_probability(c - 1, 0.0),
+            SystemDelta::named("swap").with_fault_tree(variant_tree),
+        ];
+        let analysis = AnalysisOptions { epsilon: 1e-2, ..AnalysisOptions::default() };
+        for (compile_threads, complement) in MODES {
+            let options = CompileOptions::default()
+                .with_compile_threads(compile_threads)
+                .with_complement_edges(complement);
+            let mut pipeline = Pipeline::with_options(&base_tree, &components, options)
+                .expect("valid base system");
+            let family = pipeline
+                .sweep_deltas(&lethal, &analysis, &deltas)
+                .expect("delta sweep succeeds");
+            prop_assert_eq!(family.len(), deltas.len());
+            for (delta, report) in deltas.iter().zip(&family) {
+                let (tree, comps) =
+                    delta.materialize(&base_tree, &components).expect("consistent delta");
+                let mut scratch = Pipeline::with_options(&tree, &comps, options)
+                    .expect("valid materialized variant");
+                let fresh = scratch.evaluate(&lethal, &analysis).expect("scratch evaluation");
+                let context = format!(
+                    "Δ{} (compile-threads {compile_threads}, complement {complement})",
+                    delta.name()
+                );
+                assert_bit_identical(report, &fresh, &context);
+            }
+        }
+    }
+}
+
+/// The bench harness's pinned what-if family: ESEN4x1 plus eight
+/// one-component variants. One shared compilation must answer all nine
+/// points, bit-identical to nine from-scratch compilations — and at
+/// least 5× faster, which is the headline the README and
+/// `BENCH_4_delta.json` report.
+#[test]
+fn pinned_esen_family_is_5x_faster_than_recompiling_and_bit_identical() {
+    let system = esen(4, 1);
+    let components = system.component_probabilities(1.0).expect("valid weights");
+    let lethal = NegativeBinomial::new(1.0, 4.0).expect("valid parameters");
+    let analysis = AnalysisOptions { epsilon: 1e-3, ..AnalysisOptions::default() };
+
+    let mut deltas = vec![SystemDelta::named("base")];
+    for i in 0..4 {
+        deltas.push(
+            SystemDelta::named(format!("x{i}-half"))
+                .with_component_probability(i, components.raw(i) / 2.0),
+        );
+    }
+    for i in 4..8 {
+        deltas.push(SystemDelta::named(format!("x{i}-immune")).with_component_probability(i, 0.0));
+    }
+
+    // Untimed warmup compile: the first compilation of the process pays
+    // one-off allocator/page-fault costs that would be charged to the
+    // incremental side only and mask the real ratio.
+    Pipeline::new(&system.fault_tree, &components)
+        .expect("valid base system")
+        .evaluate(&lethal, &analysis)
+        .expect("warmup evaluation");
+
+    // Timings are min-of-trials: the test binary shares the machine with
+    // the rest of the suite, and a single scheduling hiccup inside the
+    // short incremental run would otherwise dominate the ratio. The
+    // minimum approximates the unloaded cost of each path.
+    let mut incremental = Duration::MAX;
+    let mut family = Vec::new();
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut pipeline =
+            Pipeline::new(&system.fault_tree, &components).expect("valid base system");
+        family = pipeline.sweep_deltas(&lethal, &analysis, &deltas).expect("delta sweep succeeds");
+        incremental = incremental.min(start.elapsed());
+        assert_eq!(family.len(), deltas.len());
+        assert_eq!(
+            pipeline.compiles(),
+            1,
+            "a swap-only family must be served by exactly one compilation"
+        );
+    }
+
+    let mut scratch = Duration::MAX;
+    for trial in 0..2 {
+        let mut total = Duration::ZERO;
+        for (delta, report) in deltas.iter().zip(&family) {
+            let start = Instant::now();
+            let (tree, comps) =
+                delta.materialize(&system.fault_tree, &components).expect("consistent delta");
+            let mut fresh_pipeline = Pipeline::new(&tree, &comps).expect("valid variant");
+            let fresh = fresh_pipeline.evaluate(&lethal, &analysis).expect("scratch evaluation");
+            total += start.elapsed();
+            if trial > 0 {
+                continue;
+            }
+            assert_eq!(
+                report.yield_lower_bound.to_bits(),
+                fresh.yield_lower_bound.to_bits(),
+                "Δ{}: yield must be bit-identical (delta {} vs scratch {})",
+                delta.name(),
+                report.yield_lower_bound,
+                fresh.yield_lower_bound
+            );
+            assert_eq!(
+                report.error_bound.to_bits(),
+                fresh.error_bound.to_bits(),
+                "Δ{}",
+                delta.name()
+            );
+            assert_eq!(report.truncation, fresh.truncation, "Δ{}", delta.name());
+            assert_eq!(report.romdd_size, fresh.romdd_size, "Δ{}", delta.name());
+        }
+        scratch = scratch.min(total);
+    }
+
+    // Nine full compilations against one: the ISSUE pins ≥ 5× (observed
+    // ratios sit near the 9× chunk count; the slack absorbs scheduler
+    // noise on loaded CI runners).
+    assert!(
+        scratch >= incremental * 5,
+        "what-if speedup below 5×: incremental {:?} vs scratch {:?}",
+        incremental,
+        scratch
+    );
+}

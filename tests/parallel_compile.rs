@@ -123,14 +123,14 @@ fn benchmark_compilation_is_bit_identical_across_compile_threads() {
     block.specs.push(OrderingSpec::paper_default());
     block.rules.push(TruncationRule::Epsilon(1e-3));
     let mut matrix = SweepMatrix::new();
-    matrix.complement_edges = env_complement();
+    matrix.options = matrix.options.with_complement_edges(env_complement());
     matrix.add(block);
 
     let serial = matrix.run(1);
     assert_eq!(serial.summary.failed_points, 0);
     assert_eq!(serial.summary.robdd.par_sections, 0, "sequential compile must not fan out");
     for compile_threads in compile_thread_counts() {
-        matrix.compile_threads = compile_threads;
+        matrix.options = matrix.options.with_compile_threads(compile_threads);
         let parallel = matrix.run(1);
         let context = format!("compile_threads={compile_threads}");
         assert_compile_bit_identical(&serial, &parallel, &context);
@@ -140,7 +140,6 @@ fn benchmark_compilation_is_bit_identical_across_compile_threads() {
             assert!(sections > 0, "{context}: benchmarks exceed the grain, must fan out");
         }
     }
-    matrix.compile_threads = 0;
 }
 
 /// Parallel compile inside a parallel sweep: the two thread pools are
@@ -158,11 +157,11 @@ fn parallel_compile_composes_with_the_parallel_sweep() {
     block.rules.push(TruncationRule::Epsilon(1e-2));
     block.rules.push(TruncationRule::Epsilon(1e-3));
     let mut matrix = SweepMatrix::new();
-    matrix.complement_edges = env_complement();
+    matrix.options = matrix.options.with_complement_edges(env_complement());
     matrix.add(block);
 
     let serial = matrix.run(1);
-    matrix.compile_threads = 4;
+    matrix.options = matrix.options.with_compile_threads(4);
     let parallel = matrix.run(4);
     assert_compile_bit_identical(&serial, &parallel, "threads=4 × compile_threads=4");
 }
@@ -238,14 +237,14 @@ proptest! {
         block.rules.push(TruncationRule::Fixed(fixed_m));
         let mut matrix = SweepMatrix::new();
         matrix.add(block);
-        matrix.compile_grain = 2;
+        matrix.options = matrix.options.with_compile_grain(2);
 
         let serial = matrix.run(1);
         for compile_threads in compile_thread_counts() {
             if compile_threads == 1 {
                 continue;
             }
-            matrix.compile_threads = compile_threads;
+            matrix.options = matrix.options.with_compile_threads(compile_threads);
             let parallel = matrix.run(1);
             assert_compile_bit_identical(
                 &serial,
@@ -253,6 +252,5 @@ proptest! {
                 &format!("compile_threads={compile_threads}"),
             );
         }
-        matrix.compile_threads = 0;
     }
 }

@@ -111,6 +111,139 @@ fn deeper_truncation_on_a_hit_is_reported_as_recompiled() {
     assert!(b.compiled_truncation >= b.truncation);
 }
 
+const PAIR_NETLIST: &str = r"input a\ninput b\nf = and a b\noutput f";
+
+fn pair_analyze(id: &str, components: &str) -> String {
+    format!(
+        r#"{{"type":"analyze","id":"{id}","system":{{"name":"pair","netlist":"{PAIR_NETLIST}","components":{components}}},"distribution":{NB},"epsilon":0.001}}"#
+    )
+}
+
+fn pair_delta_family(id: &str) -> String {
+    format!(
+        r#"{{"type":"analyze_delta","id":"{id}","system":{{"name":"pair","netlist":"{PAIR_NETLIST}","components":[0.3,0.4]}},"distribution":{NB},"epsilon":0.001,"deltas":[{{"name":"base"}},{{"name":"a-weak","overrides":[{{"component":0,"probability":0.1}}]}},{{"name":"b-strong","overrides":[{{"component":"b","probability":0.2}}]}}]}}"#
+    )
+}
+
+#[test]
+fn analyze_delta_matches_materialized_variants_bit_for_bit() {
+    let mut service = service();
+    let family = service.handle_line(&pair_delta_family("d1"));
+    assert!(family.ok, "{:?}", family.error);
+    assert_eq!(family.kind, "analyze_delta");
+    // The whole family compiles the base system exactly once.
+    assert_eq!(family.compiled.as_deref(), Some("cold"));
+    let reports = family.reports.as_ref().unwrap();
+    assert_eq!(reports.len(), 3);
+    let names: Vec<_> = reports.iter().map(|r| r.delta.as_deref()).collect();
+    assert_eq!(names, [Some("base"), Some("a-weak"), Some("b-strong")]);
+
+    // Every delta report is bit-identical to analyzing the materialized
+    // variant from scratch.
+    for (report, components) in reports.iter().zip(["[0.3,0.4]", "[0.1,0.4]", "[0.3,0.2]"]) {
+        let scratch = service.handle_line(&pair_analyze("scratch", components));
+        assert!(scratch.ok, "{:?}", scratch.error);
+        let fresh = &scratch.reports.as_ref().unwrap()[0];
+        assert_eq!(report.yield_lower_bound.to_bits(), fresh.yield_lower_bound.to_bits());
+        assert_eq!(report.error_bound.to_bits(), fresh.error_bound.to_bits());
+        assert_eq!(report.truncation, fresh.truncation);
+        assert_eq!(report.romdd_size, fresh.romdd_size);
+    }
+}
+
+#[test]
+fn delta_family_on_a_resident_base_needs_no_compilation() {
+    let mut service = service();
+    let cold = service.handle_line(&pair_delta_family("warm"));
+    assert_eq!(cold.compiled.as_deref(), Some("cold"));
+    // Same base key: the family resolves entirely on the resident
+    // pipeline — swap-only deltas are pure re-evaluations.
+    let hit = service.handle_line(&pair_delta_family("hot"));
+    assert!(hit.ok, "{:?}", hit.error);
+    assert_eq!(hit.compiled.as_deref(), Some("delta"));
+    assert_eq!(service.cache().stats().hits, 1);
+    let (a, b) = (cold.reports.unwrap(), hit.reports.unwrap());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.yield_lower_bound.to_bits(), y.yield_lower_bound.to_bits());
+        assert_eq!(x.romdd_size, y.romdd_size);
+    }
+}
+
+#[test]
+fn structural_delta_requests_swap_subtrees_against_the_resident_base() {
+    let mut service = service();
+    // A structural delta replaces the whole fault tree of the variant.
+    let structural = format!(
+        r#"{{"type":"analyze_delta","id":"sw","system":{{"name":"pair","netlist":"{PAIR_NETLIST}","components":[0.3,0.4]}},"distribution":{NB},"epsilon":0.001,"deltas":[{{"name":"or-variant","netlist":"input a\ninput b\nf = or a b\noutput f"}}]}}"#
+    );
+    let cold = service.handle_line(&structural);
+    assert!(cold.ok, "{:?}", cold.error);
+    assert_eq!(cold.compiled.as_deref(), Some("cold"));
+    let report = &cold.reports.as_ref().unwrap()[0];
+    assert_eq!(report.delta.as_deref(), Some("or-variant"));
+    // Bit-identical to compiling the or-variant from scratch.
+    let scratch = service.handle_line(&format!(
+        r#"{{"type":"analyze","id":"s","system":{{"name":"orpair","netlist":"input a\ninput b\nf = or a b\noutput f","components":[0.3,0.4]}},"distribution":{NB},"epsilon":0.001}}"#
+    ));
+    let fresh = &scratch.reports.as_ref().unwrap()[0];
+    assert_eq!(report.yield_lower_bound.to_bits(), fresh.yield_lower_bound.to_bits());
+    assert_eq!(report.truncation, fresh.truncation);
+    assert_eq!(report.romdd_size, fresh.romdd_size);
+    // Replays against the now-resident base stay incremental: either a
+    // delta rebuild on the retained manager or a contained recompile.
+    let again = service.handle_line(&structural);
+    assert!(again.ok, "{:?}", again.error);
+    let label = again.compiled.as_deref().unwrap();
+    assert!(label == "delta" || label == "recompiled", "{label}");
+    assert_eq!(
+        again.reports.as_ref().unwrap()[0].yield_lower_bound.to_bits(),
+        fresh.yield_lower_bound.to_bits()
+    );
+}
+
+#[test]
+fn delta_requests_validate_their_shape() {
+    let mut service = service();
+    // `deltas` is exclusive to analyze_delta …
+    let misplaced = service.handle_line(&format!(
+        r#"{{"type":"analyze","id":"m","system":{{"benchmark":"MS2"}},"distribution":{NB},"deltas":[{{"name":"x"}}]}}"#
+    ));
+    assert!(!misplaced.ok);
+    assert!(misplaced.error.as_ref().unwrap().contains("analyze_delta"), "{:?}", misplaced.error);
+    // … and analyze_delta requires a non-empty family.
+    let empty = service.handle_line(&format!(
+        r#"{{"type":"analyze_delta","id":"e","system":{{"benchmark":"MS2"}},"distribution":{NB}}}"#
+    ));
+    assert!(!empty.ok);
+    assert!(empty.error.as_ref().unwrap().contains("non-empty"), "{:?}", empty.error);
+    // Component names resolve against the base netlist.
+    let unknown = service.handle_line(&format!(
+        r#"{{"type":"analyze_delta","id":"u","system":{{"name":"pair","netlist":"{PAIR_NETLIST}","components":[0.3,0.4]}},"distribution":{NB},"deltas":[{{"name":"bad","overrides":[{{"component":"zz","probability":0.1}}]}}]}}"#
+    ));
+    assert!(!unknown.ok);
+    assert!(unknown.error.as_ref().unwrap().contains("unknown component"), "{:?}", unknown.error);
+    // Errors never touch the cache.
+    assert_eq!(service.cache().len(), 0);
+}
+
+#[test]
+fn stats_responses_echo_the_active_compile_options() {
+    let threads = std::env::var("SOCY_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let mut service = YieldService::new(ServiceConfig {
+        threads,
+        options: socy_serve::CompileOptions::new()
+            .with_compile_threads(2)
+            .with_complement_edges(false),
+        ..ServiceConfig::default()
+    });
+    let stats = service.handle_line(r#"{"type":"stats","id":"o"}"#);
+    assert!(stats.ok);
+    let line = stats.to_json_line();
+    assert!(line.contains(r#""options":{"#), "{line}");
+    assert!(line.contains(r#""compile_threads":2"#), "{line}");
+    assert!(line.contains(r#""complement_edges":false"#), "{line}");
+}
+
 #[test]
 fn panicking_request_fails_alone_while_the_batch_and_daemon_survive() {
     let mut service = service();
