@@ -285,6 +285,14 @@ impl BddManager {
         self.dd.stats()
     }
 
+    /// Arms (or, with `None`, disarms) the kernel's resource governor:
+    /// every subsequent node materialisation — sequential or through a
+    /// parallel section — reports to it. See
+    /// [`DdKernel::set_governor`](socy_dd::DdKernel::set_governor).
+    pub fn set_governor(&mut self, governor: Option<socy_dd::Governor>) {
+        self.dd.set_governor(governor);
+    }
+
     /// Clears the operation caches (the unique table is kept, so canonicity
     /// is unaffected). Useful between large independent builds to bound
     /// cache memory.

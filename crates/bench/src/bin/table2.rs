@@ -3,37 +3,34 @@
 //! (bit groups ordered most-significant-first throughout).
 //!
 //! The `vw` / `vrw` orderings blow up quickly (the paper reports failures
-//! on the larger instances); by default this binary therefore only runs
-//! instances up to 30 components — pass `--max-components 100` to attempt
-//! them all. All cells are evaluated through the parallel sweep engine;
-//! `--threads N` sizes its worker pool without changing a single number.
+//! on the larger instances). Every cell is attempted; pass
+//! `--node-budget N` (and/or `--deadline-ms MS`) to bound each
+//! compilation — a cell whose governed compile trips its budget degrades
+//! to a deterministic Monte-Carlo confidence interval instead of
+//! exhausting memory, printed as `bounds` and dumped with
+//! `fidelity: "bounds"` (where the paper prints "—", this prints an
+//! answer with an honest error bar). All cells are evaluated through the
+//! parallel sweep engine; `--threads N` sizes its worker pool without
+//! changing a single number.
 
 use soc_yield_bench::{
-    maybe_write_json, paper_workloads, parse_cli, run_table, summary_line, CliArgs, ResultRow,
-    Workload,
+    bounds_row, maybe_write_json, paper_workloads, parse_cli, run_table, summary_line, CliArgs,
+    ResultRow, Workload,
 };
 use socy_ordering::{GroupOrdering, MvOrdering, OrderingSpec};
 
 fn main() {
-    let CliArgs { max_components, json, v_first_max, threads, options, .. } = parse_cli(30);
+    let CliArgs { max_components, json, threads, options, .. } = parse_cli(30);
     println!("Table 2: ROMDD size per multiple-valued variable ordering (group order: ml)");
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "benchmark", "wv", "wvr", "vw", "vrw", "t", "w", "h"
     );
-    // The v-first orderings explode on the larger instances; skip them
-    // there (mirrors the paper's "—" entries) instead of exhausting
-    // memory.
-    let attempted = |mv: MvOrdering, workload: &Workload| {
-        !(matches!(mv, MvOrdering::Vw | MvOrdering::Vrw)
-            && workload.system.num_components() > v_first_max)
-    };
     let cells: Vec<(Workload, Vec<OrderingSpec>)> = paper_workloads(max_components)
         .into_iter()
         .map(|workload| {
             let specs = MvOrdering::ALL
                 .iter()
-                .filter(|&&mv| attempted(mv, &workload))
                 .map(|&mv| {
                     OrderingSpec::new(mv, GroupOrdering::MsbFirst).expect("ml combines with all")
                 })
@@ -49,19 +46,26 @@ fn main() {
         }
     };
     let mut rows: Vec<ResultRow> = Vec::new();
-    for ((workload, _), results) in cells.iter().zip(&outcome.cells) {
-        let mut results = results.iter();
+    for ((workload, specs), results) in cells.iter().zip(&outcome.cells) {
         let mut sizes = Vec::new();
-        for mv in MvOrdering::ALL {
-            if !attempted(mv, workload) {
-                sizes.push("-".to_string());
-                continue;
-            }
-            match results.next().expect("one result per attempted spec") {
+        for (spec, result) in specs.iter().zip(results) {
+            match result {
                 Ok(report) => {
                     sizes.push(report.romdd_size.to_string());
                     rows.push(ResultRow::from_report(workload, report));
                 }
+                // A tripped resource budget degrades to Monte-Carlo
+                // bounds: the cell still answers, with fidelity "bounds".
+                Err(e) if e.resource => match bounds_row(workload, *spec) {
+                    Ok(row) => {
+                        sizes.push("bounds".to_string());
+                        rows.push(row);
+                    }
+                    Err(fallback) => {
+                        eprintln!("{}: {e}; bounds fallback failed: {fallback}", workload.label());
+                        sizes.push("-".to_string());
+                    }
+                },
                 Err(e) => {
                     eprintln!("{}: {e}", workload.label());
                     sizes.push("-".to_string());

@@ -30,7 +30,9 @@ use std::time::Duration;
 
 use serde::Serialize;
 
-use soc_yield_core::{AnalysisOptions, CompileOptions, CoreError, Pipeline, YieldReport};
+use soc_yield_core::{
+    AnalysisOptions, CompileOptions, CoreError, DegradeLadder, Pipeline, YieldReport,
+};
 use socy_benchmarks::BenchmarkSystem;
 use socy_defect::{DefectError, NegativeBinomial};
 use socy_exec::{
@@ -115,6 +117,12 @@ pub struct ResultRow {
     pub yield_lower_bound: f64,
     /// Guaranteed absolute error bound.
     pub error_bound: f64,
+    /// Fidelity of this row's answer: `exact` for a compiled evaluation,
+    /// `bounds` for a Monte-Carlo confidence interval produced when the
+    /// governed compilation tripped its resource budget (then
+    /// `yield_lower_bound` is the lower CI bound, `error_bound` the CI
+    /// width, and the diagram-size fields are zero).
+    pub fidelity: String,
     /// Entries in the ROBDD manager's unique table after the build.
     pub robdd_unique_entries: usize,
     /// ROBDD operation-cache hits during the build.
@@ -173,6 +181,7 @@ impl ResultRow {
             romdd_size: report.romdd_size,
             yield_lower_bound: report.yield_lower_bound,
             error_bound: report.error_bound,
+            fidelity: report.fidelity.tag(),
             robdd_unique_entries: report.robdd_stats.unique_entries,
             robdd_cache_hits: report.robdd_stats.op_cache_hits,
             robdd_cache_misses: report.robdd_stats.op_cache_misses,
@@ -322,6 +331,28 @@ pub fn run_workload(workload: &Workload, spec: OrderingSpec) -> Result<ResultRow
     Runner::new().run(workload, spec)
 }
 
+/// Answers one table cell with deterministic Monte-Carlo confidence
+/// bounds (`fidelity: "bounds"`) instead of a compiled evaluation — the
+/// graceful-degradation fallback the tables use when a governed
+/// compilation trips its resource budget (the exploding `vw` / `vrw`
+/// orderings under a pinned `--node-budget`). The bounds depend only on
+/// the fault tree and the defect model, never on the diagrams, so the
+/// row is bit-identical at every thread count and complement mode and
+/// can be pinned as an anchor fixture.
+///
+/// # Errors
+///
+/// Propagates simulation or defect-model construction failures.
+pub fn bounds_row(workload: &Workload, spec: OrderingSpec) -> Result<ResultRow, HarnessError> {
+    let components = workload.system.component_probabilities(LETHALITY)?;
+    let raw = NegativeBinomial::new(workload.lambda / LETHALITY, ALPHA)?;
+    let lethal = raw.thinned(components.lethality())?;
+    let options = AnalysisOptions { epsilon: EPSILON, spec, ..AnalysisOptions::default() };
+    let pipeline = Pipeline::new(&workload.system.fault_tree, &components)?;
+    let report = pipeline.evaluate_bounds(&lethal, &options, &DegradeLadder::bounds_only())?;
+    Ok(ResultRow::from_report(workload, &report))
+}
+
 /// The [`SystemSpec`] of a benchmark workload (shared lethality
 /// [`LETHALITY`], like the tables).
 ///
@@ -427,17 +458,13 @@ pub struct CliArgs {
     pub max_components: usize,
     /// Optional path for a machine-readable JSON dump of the rows.
     pub json: Option<String>,
-    /// Largest instance (in components) for which the exploding v-first
-    /// orderings `vw` / `vrw` are attempted (`table2` only). They take
-    /// minutes and gigabytes beyond small instances — exactly the "—"
-    /// entries of the paper — so CI passes 0 here.
-    pub v_first_max: usize,
     /// Worker threads for the parallel sweep engine (`0` = all available
     /// cores). Any value produces bit-identical tables; it only changes
     /// the wall-clock time.
     pub threads: usize,
-    /// The shared kernel knobs (`--compile-threads`, `--compile-grain`,
-    /// `--no-complement-edges`, `--op-cache-capacity`): one
+    /// The shared kernel knobs and resource limits (`--compile-threads`,
+    /// `--compile-grain`, `--no-complement-edges`, `--op-cache-capacity`,
+    /// `--node-budget`, `--deadline-ms`): one
     /// [`CompileOptions`] value parsed through
     /// [`CompileOptions::parse_cli_flag`] — the same helper the `serve`
     /// binary uses, so both CLIs expose exactly one flag surface. Every
@@ -454,16 +481,16 @@ pub struct CliArgs {
 }
 
 /// Parses the common CLI flags of the table binaries:
-/// `--max-components <C>`, `--json <path>`, `--v-first-max <C>`,
-/// `--threads <N>`, `--baseline <path>`, `--scratch-deltas`, plus the
-/// shared [`CompileOptions`] surface (`--compile-threads <N>`,
+/// `--max-components <C>`, `--json <path>`, `--threads <N>`,
+/// `--baseline <path>`, `--scratch-deltas`, plus the shared
+/// [`CompileOptions`] surface (`--compile-threads <N>`,
 /// `--compile-grain <N>`, `--no-complement-edges`,
-/// `--op-cache-capacity <N>` — see [`CompileOptions::CLI_HELP`]).
+/// `--op-cache-capacity <N>`, `--node-budget <N>`, `--deadline-ms <MS>`
+/// — see [`CompileOptions::CLI_HELP`]).
 pub fn parse_cli(default_max: usize) -> CliArgs {
     let mut parsed = CliArgs {
         max_components: default_max,
         json: None,
-        v_first_max: 30,
         threads: 0,
         options: CompileOptions::default(),
         baseline: None,
@@ -486,11 +513,6 @@ pub fn parse_cli(default_max: usize) -> CliArgs {
                 }
             }
             "--json" => parsed.json = args.next(),
-            "--v-first-max" => {
-                if let Some(v) = args.next() {
-                    parsed.v_first_max = v.parse().unwrap_or(parsed.v_first_max);
-                }
-            }
             "--threads" => {
                 if let Some(v) = args.next() {
                     parsed.threads = v.parse().unwrap_or(0);
@@ -780,6 +802,9 @@ pub struct BenchSweepPoint {
     pub yield_lower_bound: f64,
     /// Guaranteed absolute error bound.
     pub error_bound: f64,
+    /// Fidelity of this point's answer (`exact`, `degraded:<rung>` or
+    /// `bounds` — see [`soc_yield_core::Fidelity::tag`]).
+    pub fidelity: String,
     /// Coded-ROBDD size (reachable nodes).
     pub robdd_size: usize,
     /// Peak ROBDD nodes during construction.
@@ -916,6 +941,7 @@ impl BenchSweepDoc {
                     compiled_truncation: report.compiled_truncation,
                     yield_lower_bound: report.yield_lower_bound,
                     error_bound: report.error_bound,
+                    fidelity: report.fidelity.tag(),
                     robdd_size: report.coded_robdd_size,
                     robdd_peak: report.robdd_peak,
                     romdd_size: report.romdd_size,

@@ -21,16 +21,32 @@
 use std::time::{Duration, Instant};
 
 use socy_bdd::BddManager;
-use socy_dd::{CompileOptions, DdStats, SiftConfig};
+use socy_dd::{
+    catch_governed, CancelToken, CompileOptions, DdError, DdStats, Governor, SiftConfig,
+};
 use socy_defect::truncation::{select_truncation, truncate_at, Truncation};
 use socy_defect::{ComponentProbabilities, DefectDistribution};
 use socy_faulttree::Netlist;
 use socy_mdd::{MddId, MddManager};
 use socy_ordering::{compute_ordering, ComputedOrdering, OrderingSpec};
+use socy_sim::{MonteCarloYield, SimError, SimulationOptions};
 
+use crate::degrade::{DegradeLadder, Fidelity};
 use crate::delta::SystemDelta;
 use crate::encode::GeneralizedFaultTree;
 use crate::error::CoreError;
+
+/// Maps a Monte-Carlo setup error onto the equivalent [`CoreError`]
+/// (the two crates validate the same preconditions).
+fn sim_error(e: SimError) -> CoreError {
+    match e {
+        SimError::FaultTree(e) => CoreError::FaultTree(e),
+        SimError::Defect(e) => CoreError::Defect(e),
+        SimError::ComponentCountMismatch { fault_tree, components } => {
+            CoreError::ComponentCountMismatch { fault_tree, components }
+        }
+    }
+}
 
 /// Which coded-ROBDD → ROMDD conversion algorithm to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -123,6 +139,11 @@ pub struct YieldReport {
     /// cost is carried by `robdd_time` and `conversion_time` alone, so
     /// `total_time` can be far smaller than either.
     pub total_time: Duration,
+    /// How this report was obtained: the exact method under the
+    /// requested options, a degraded rung of a [`DegradeLadder`], or
+    /// Monte-Carlo confidence bounds (then `yield_lower_bound` is the
+    /// lower confidence limit and `error_bound` the interval width).
+    pub fidelity: Fidelity,
 }
 
 /// Result of [`analyze`]: the report plus the artifacts (ROMDD manager,
@@ -206,6 +227,14 @@ fn new_mdd_manager(domains: Vec<usize>, options: &CompileOptions) -> MddManager 
 }
 
 impl CompiledModel {
+    /// Compiles one configuration under the resource limits of
+    /// `options`: a governor (when any limit is set, or a cancellation
+    /// token supplied) is armed on both managers, so one node budget and
+    /// one deadline bound the ROBDD build *and* the ROMDD conversion
+    /// combined. A trip aborts with [`CoreError::Resource`]; the
+    /// half-built managers are local to this call and dropped, so the
+    /// caller observes no state change — an immediate retry compiles
+    /// bit-identically to an undisturbed run.
     fn compile(
         fault_tree: &Netlist,
         truncation: usize,
@@ -213,6 +242,33 @@ impl CompiledModel {
         conversion: ConversionAlgorithm,
         options: &CompileOptions,
         retain_robdd: bool,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, CoreError> {
+        let governor = Governor::from_options(options, cancel.cloned());
+        match catch_governed(governor.as_ref(), || {
+            Self::compile_inner(
+                fault_tree,
+                truncation,
+                spec,
+                conversion,
+                options,
+                retain_robdd,
+                governor.as_ref(),
+            )
+        }) {
+            Ok(result) => result,
+            Err(trip) => Err(CoreError::Resource(trip)),
+        }
+    }
+
+    fn compile_inner(
+        fault_tree: &Netlist,
+        truncation: usize,
+        spec: OrderingSpec,
+        conversion: ConversionAlgorithm,
+        options: &CompileOptions,
+        retain_robdd: bool,
+        governor: Option<&Governor>,
     ) -> Result<Self, CoreError> {
         let g = GeneralizedFaultTree::build(fault_tree, truncation)?;
         let mut ordering = compute_ordering(g.netlist(), g.groups(), &spec)?;
@@ -220,6 +276,7 @@ impl CompiledModel {
         // Coded ROBDD of G.
         let robdd_start = Instant::now();
         let mut bdd = new_bdd_manager(g.netlist().num_inputs(), options);
+        bdd.set_governor(governor.cloned());
         let mut build = bdd.build_netlist(g.netlist(), &ordering.var_level);
 
         // Dynamic sifting: move whole bit groups (so the layering
@@ -257,11 +314,18 @@ impl CompiledModel {
         let layout = g.layout(&ordering);
         let conversion_start = Instant::now();
         let mut mdd = new_mdd_manager(g.mdd_domains(&ordering), options);
+        mdd.set_governor(governor.cloned());
         let romdd_root = match conversion {
             ConversionAlgorithm::TopDown => mdd.from_coded_bdd(&bdd, build.root, &layout),
             ConversionAlgorithm::Layered => mdd.from_coded_bdd_layered(&bdd, build.root, &layout),
         };
         let conversion_time = conversion_start.elapsed();
+
+        // The compile completed within its limits: disarm before the
+        // managers outlive this governed run (a retained manager must
+        // not carry a spent budget into later delta rebuilds).
+        bdd.set_governor(None);
+        mdd.set_governor(None);
 
         let robdd_stats = bdd.stats();
         let retained = if retain_robdd {
@@ -336,6 +400,7 @@ impl CompiledModel {
             robdd_time: self.robdd_time,
             conversion_time: self.conversion_time,
             total_time: start.elapsed(),
+            fidelity: Fidelity::Exact,
         };
         (report, probabilities)
     }
@@ -364,6 +429,7 @@ impl CompiledModel {
         truncation: &Truncation,
         components: &ComponentProbabilities,
         options: &CompileOptions,
+        cancel: Option<&CancelToken>,
         start: Instant,
     ) -> Result<Option<YieldReport>, CoreError> {
         if self.spec.sift_max_growth().is_some() {
@@ -378,20 +444,42 @@ impl CompiledModel {
             return Ok(None);
         }
 
-        let robdd_start = Instant::now();
-        let build = retained.bdd.build_netlist(g.netlist(), &ordering.var_level);
-        let robdd_time = robdd_start.elapsed();
+        let conversion = self.conversion;
+        let governor = Governor::from_options(options, cancel.cloned());
+        retained.bdd.set_governor(governor.clone());
+        let outcome = catch_governed(governor.as_ref(), || {
+            let robdd_start = Instant::now();
+            let build = retained.bdd.build_netlist(g.netlist(), &ordering.var_level);
+            let robdd_time = robdd_start.elapsed();
 
-        let layout = g.layout(&ordering);
-        let conversion_start = Instant::now();
-        let mut mdd = new_mdd_manager(g.mdd_domains(&ordering), options);
-        let romdd_root = match self.conversion {
-            ConversionAlgorithm::TopDown => mdd.from_coded_bdd(&retained.bdd, build.root, &layout),
-            ConversionAlgorithm::Layered => {
-                mdd.from_coded_bdd_layered(&retained.bdd, build.root, &layout)
+            let layout = g.layout(&ordering);
+            let conversion_start = Instant::now();
+            let mut mdd = new_mdd_manager(g.mdd_domains(&ordering), options);
+            mdd.set_governor(governor.clone());
+            let romdd_root = match conversion {
+                ConversionAlgorithm::TopDown => {
+                    mdd.from_coded_bdd(&retained.bdd, build.root, &layout)
+                }
+                ConversionAlgorithm::Layered => {
+                    mdd.from_coded_bdd_layered(&retained.bdd, build.root, &layout)
+                }
+            };
+            mdd.set_governor(None);
+            (build, robdd_time, mdd, romdd_root, conversion_start.elapsed())
+        });
+        retained.bdd.set_governor(None);
+        let (build, robdd_time, mut mdd, romdd_root, conversion_time) = match outcome {
+            Ok(parts) => parts,
+            Err(trip) => {
+                // The aborted rebuild left garbage in the retained
+                // manager; collect it so only the (root-protected) base
+                // diagram remains and the manager is reusable — a later
+                // rebuild of the same variant is bit-identical to one in
+                // an undisturbed manager.
+                retained.bdd.gc();
+                return Err(CoreError::Resource(trip));
             }
         };
-        let conversion_time = conversion_start.elapsed();
 
         let mut w_dist = truncation.masses().to_vec();
         w_dist.resize(self.truncation + 1, 0.0);
@@ -428,6 +516,7 @@ impl CompiledModel {
             robdd_time,
             conversion_time,
             total_time: start.elapsed(),
+            fidelity: Fidelity::Exact,
         }))
     }
 }
@@ -493,6 +582,9 @@ pub struct Pipeline {
     /// Kernel knobs every compilation of this pipeline runs under
     /// (see [`Pipeline::set_options`]).
     options: CompileOptions,
+    /// Cooperative cancellation token checked by every governed
+    /// compilation (see [`Pipeline::set_cancel_token`]).
+    cancel: Option<CancelToken>,
 }
 
 // Parallel sweep workers (socy-exec) each own a Pipeline and ship the
@@ -531,6 +623,7 @@ impl Pipeline {
             compiles: 0,
             delta_rebuilds: 0,
             options: CompileOptions::default(),
+            cancel: None,
         })
     }
 
@@ -564,6 +657,16 @@ impl Pipeline {
     /// The kernel knobs compilations run under.
     pub fn options(&self) -> CompileOptions {
         self.options
+    }
+
+    /// Installs a cooperative cancellation token checked by every
+    /// subsequent governed compilation. Cancelling the token makes
+    /// in-flight and future compilations fail with
+    /// [`CoreError::Resource`]`(`[`DdError::Cancelled`]`)`; evaluations
+    /// served from already-compiled diagrams are unaffected. Pass `None`
+    /// to detach.
+    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
     }
 
     /// Compat shim over [`Pipeline::set_options`] /
@@ -685,6 +788,7 @@ impl Pipeline {
             conversion,
             &self.options,
             retain_robdd,
+            self.cancel.as_ref(),
         )?;
         self.compiles += 1;
         match self.models.iter().position(same_config) {
@@ -891,6 +995,7 @@ impl Pipeline {
                 &truncation,
                 &components,
                 &self.options,
+                self.cancel.as_ref(),
                 start,
             )? {
                 self.delta_rebuilds += 1;
@@ -907,11 +1012,119 @@ impl Pipeline {
                 options.conversion,
                 &self.options,
                 false,
+                self.cancel.as_ref(),
             )?;
             self.compiles += 1;
             reports.push(model.evaluate(&truncation, &components, start).0);
         }
         Ok(reports)
+    }
+
+    /// Evaluates one point like [`Pipeline::evaluate`], but retreats down
+    /// `ladder` instead of failing when the governed compilation exceeds
+    /// its resource limits ([`CompileOptions::node_budget`] /
+    /// [`CompileOptions::deadline_ms`]).
+    ///
+    /// Each exact-method rung recompiles under the same limits (fresh
+    /// governor per attempt) with the rung's cheaper
+    /// [`AnalysisOptions`]; when every rung is over budget the analysis
+    /// falls back to [`Pipeline::evaluate_bounds`]. The returned report's
+    /// [`fidelity`](YieldReport::fidelity) says which rung answered.
+    ///
+    /// Cancellation is never degraded around: a cancelled compilation
+    /// returns [`CoreError::Resource`]`(`[`DdError::Cancelled`]`)`
+    /// immediately — the caller asked for the work to stop, not for a
+    /// cheaper version of it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] on cancellation or when the analysis fails
+    /// for a non-resource reason (malformed inputs, unreachable
+    /// truncation, invalid ordering) — resource exhaustion itself is
+    /// always absorbed by the Monte-Carlo fallback.
+    pub fn evaluate_governed(
+        &mut self,
+        lethal: &dyn DefectDistribution,
+        options: &AnalysisOptions,
+        ladder: &DegradeLadder,
+    ) -> Result<YieldReport, CoreError> {
+        match self.evaluate(lethal, options) {
+            Ok(report) => return Ok(report),
+            Err(CoreError::Resource(DdError::Cancelled)) => {
+                return Err(CoreError::Resource(DdError::Cancelled));
+            }
+            Err(CoreError::Resource(_)) => {}
+            Err(e) => return Err(e),
+        }
+        for step in &ladder.steps {
+            let degraded = step.apply(options);
+            match self.evaluate(lethal, &degraded) {
+                Ok(mut report) => {
+                    report.fidelity = Fidelity::Degraded { step: *step };
+                    return Ok(report);
+                }
+                Err(CoreError::Resource(DdError::Cancelled)) => {
+                    return Err(CoreError::Resource(DdError::Cancelled));
+                }
+                Err(CoreError::Resource(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.evaluate_bounds(lethal, options, ladder)
+    }
+
+    /// Estimates the yield by `socy-sim` Monte-Carlo sampling — the final
+    /// rung of the degradation ladder, and directly useful when a caller
+    /// wants statistical bounds without attempting a compile at all
+    /// (e.g. a request with a zero time budget).
+    ///
+    /// The returned report carries [`Fidelity::Bounds`]:
+    /// `yield_lower_bound` is the lower confidence limit at `ladder.z`
+    /// standard errors and `error_bound` the interval width. Diagram-side
+    /// fields (sizes, stats, times) are zero — no diagram was built. For
+    /// a fixed `(samples, seed)` the bounds are deterministic and
+    /// independent of thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when the fault tree or defect model is
+    /// malformed.
+    pub fn evaluate_bounds(
+        &self,
+        lethal: &dyn DefectDistribution,
+        options: &AnalysisOptions,
+        ladder: &DegradeLadder,
+    ) -> Result<YieldReport, CoreError> {
+        let start = Instant::now();
+        let sim = MonteCarloYield::new(
+            &self.fault_tree,
+            &self.components,
+            lethal,
+            SimulationOptions::default(),
+        )
+        .map_err(sim_error)?;
+        let estimate = sim.run(ladder.samples, ladder.seed);
+        let (lower, upper) = estimate.confidence_interval(ladder.z);
+        Ok(YieldReport {
+            yield_lower_bound: lower,
+            error_bound: upper - lower,
+            truncation: 0,
+            compiled_truncation: 0,
+            num_components: self.components.len(),
+            g_gates: 0,
+            binary_variables: 0,
+            coded_robdd_size: 0,
+            presift_robdd_size: None,
+            robdd_peak: 0,
+            romdd_size: 0,
+            robdd_stats: DdStats::default(),
+            romdd_stats: DdStats::default(),
+            spec: options.spec,
+            robdd_time: Duration::ZERO,
+            conversion_time: Duration::ZERO,
+            total_time: start.elapsed(),
+            fidelity: Fidelity::Bounds { lower, upper },
+        })
     }
 }
 
@@ -1043,6 +1256,7 @@ pub fn analyze_direct(
         robdd_time: Duration::ZERO,
         conversion_time,
         total_time: start.elapsed(),
+        fidelity: Fidelity::Exact,
     };
     let mv_names = g.mv_names(&ordering);
     Ok(YieldAnalysis {

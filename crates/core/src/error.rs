@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use socy_dd::DdError;
 use socy_defect::DefectError;
 use socy_faulttree::NetlistError;
 use socy_ordering::OrderingError;
@@ -30,6 +31,12 @@ pub enum CoreError {
     /// (unknown component index, mismatched input count, malformed
     /// subtree replacement).
     InvalidDelta(String),
+    /// A governed compilation exceeded its resource limits (node budget,
+    /// deadline) or was cancelled. The manager the compilation ran in is
+    /// left consistent — callers may retry, degrade through a
+    /// [`crate::degrade::DegradeLadder`] or answer with Monte-Carlo
+    /// bounds.
+    Resource(DdError),
 }
 
 impl fmt::Display for CoreError {
@@ -44,6 +51,7 @@ impl fmt::Display for CoreError {
             ),
             CoreError::EmptySystem => write!(f, "the system has no components"),
             CoreError::InvalidDelta(message) => write!(f, "invalid system delta: {message}"),
+            CoreError::Resource(e) => write!(f, "resource limit: {e}"),
         }
     }
 }
@@ -54,8 +62,15 @@ impl std::error::Error for CoreError {
             CoreError::FaultTree(e) => Some(e),
             CoreError::Defect(e) => Some(e),
             CoreError::Ordering(e) => Some(e),
+            CoreError::Resource(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<DdError> for CoreError {
+    fn from(e: DdError) -> Self {
+        CoreError::Resource(e)
     }
 }
 
@@ -93,8 +108,11 @@ mod tests {
         let e = CoreError::ComponentCountMismatch { fault_tree: 3, components: 2 };
         assert!(format!("{e}").contains('3'));
         assert!(format!("{}", CoreError::EmptySystem).contains("no components"));
+        let e: CoreError = DdError::Cancelled.into();
+        assert!(format!("{e}").contains("resource limit"));
         use std::error::Error;
         assert!(CoreError::EmptySystem.source().is_none());
         assert!(CoreError::from(NetlistError::NoOutput).source().is_some());
+        assert!(CoreError::from(DdError::Cancelled).source().is_some());
     }
 }

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod degrade;
 pub mod delta;
 pub mod encode;
 pub mod error;
@@ -70,8 +71,9 @@ pub use analysis::{
     analyze, analyze_direct, AnalysisOptions, ConversionAlgorithm, Pipeline, SweepPoint,
     YieldAnalysis, YieldReport,
 };
+pub use degrade::{DegradeLadder, DegradeStep, Fidelity};
 pub use delta::{swap_subtree, SystemDelta};
 pub use encode::GeneralizedFaultTree;
 pub use error::CoreError;
 pub use reliability::{analyze_reliability, ReliabilityReport};
-pub use socy_dd::{CompileOptions, DdStats};
+pub use socy_dd::{CancelToken, CompileOptions, DdError, DdStats};

@@ -5,6 +5,7 @@
 use crate::arena::{NodeArena, TERMINAL_LEVEL};
 use crate::cache::{OpCache, OpKey, OpTagStats, NUM_OP_TAGS};
 use crate::edge::{is_complemented, negate, negate_if, strip, CPL_BIT};
+use crate::govern::Governor;
 use crate::unique::UniqueTable;
 
 /// Node id of the FALSE terminal.
@@ -195,6 +196,10 @@ pub struct DdKernel {
     /// design-space sweep evaluating thousands of points on one diagram
     /// allocates nothing per point.
     prob: ProbScratch,
+    /// Resource governor checked at every node materialisation (`None` —
+    /// the default — means unbounded). Clones of a kernel share the
+    /// governor's counters, matching the budget's per-compilation scope.
+    pub(crate) governor: Option<Governor>,
 }
 
 /// Scratch of [`DdKernel::probability`]: a dense per-node value array
@@ -248,7 +253,22 @@ impl DdKernel {
             complement_hits: 0,
             complement: false,
             prob: ProbScratch::default(),
+            governor: None,
         }
+    }
+
+    /// Arms (or, with `None`, disarms) the resource governor every
+    /// subsequent node materialisation reports to. Arm clones of one
+    /// [`Governor`] on every manager of a logical compilation so one
+    /// budget bounds their combined growth; disarm before reusing a
+    /// manager outside the governed run.
+    pub fn set_governor(&mut self, governor: Option<Governor>) {
+        self.governor = governor;
+    }
+
+    /// The currently armed resource governor, if any.
+    pub fn governor(&self) -> Option<&Governor> {
+        self.governor.as_ref()
     }
 
     /// Switches complemented-edge mode on or off. Must be called before
@@ -307,15 +327,26 @@ impl DdKernel {
     /// with both children negated and returned as a complemented edge
     /// (see [`crate::edge`]).
     pub(crate) fn cons(&mut self, level: u32, children: &[u32]) -> u32 {
-        if self.complement
+        let before = self.arena.len();
+        let id = if self.complement
             && children.len() == 2
             && (is_complemented(children[1]) || children[1] == ZERO)
         {
             let flipped = [negate(children[0]), negate(children[1])];
-            let id = self.unique.get_or_insert(&mut self.arena, level, &flipped);
-            return id | CPL_BIT;
+            self.unique.get_or_insert(&mut self.arena, level, &flipped) | CPL_BIT
+        } else {
+            self.unique.get_or_insert(&mut self.arena, level, children)
+        };
+        // Report to the governor only after the node is fully inserted:
+        // an abort unwinding from here leaves the arena and unique table
+        // consistent (the node is ordinary garbage for the next gc).
+        if let Some(governor) = &self.governor {
+            let grown = self.arena.len() - before;
+            if grown > 0 {
+                governor.on_alloc(grown as u64);
+            }
         }
-        self.unique.get_or_insert(&mut self.arena, level, children)
+        id
     }
 
     /// Number of variable levels.

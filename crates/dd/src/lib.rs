@@ -62,6 +62,7 @@ pub mod cache;
 pub mod ctx;
 pub mod dot;
 pub mod edge;
+pub mod govern;
 pub mod hash;
 pub mod kernel;
 pub mod options;
@@ -73,6 +74,7 @@ pub use arena::{NodeArena, TERMINAL_LEVEL};
 pub use cache::{OpCache, OpTagStats, NUM_OP_TAGS};
 pub use ctx::DdCtx;
 pub use edge::{is_complemented, negate, negate_if, strip, CPL_BIT};
+pub use govern::{catch_governed, CancelToken, DdError, Governor, GovernorLimits};
 pub use kernel::{DdKernel, DdStats, GcStats, Protect, Ref, ONE, ZERO};
 pub use options::CompileOptions;
 pub use par::{is_par, run_tasks, ParRef, ParSession, Split};

@@ -33,11 +33,22 @@ pub struct CompileOptions {
     compile_grain: usize,
     complement_edges: bool,
     op_cache_capacity: usize,
+    node_budget: usize,
+    deadline_ms: u64,
+    fail_after: u64,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        Self { compile_threads: 1, compile_grain: 0, complement_edges: true, op_cache_capacity: 0 }
+        Self {
+            compile_threads: 1,
+            compile_grain: 0,
+            complement_edges: true,
+            op_cache_capacity: 0,
+            node_budget: 0,
+            deadline_ms: 0,
+            fail_after: 0,
+        }
     }
 }
 
@@ -90,6 +101,40 @@ impl CompileOptions {
         self
     }
 
+    /// Caps the nodes a single governed compilation may materialise
+    /// across its ROBDD and ROMDD managers combined. `0` (the default)
+    /// leaves growth unbounded. Exceeding the budget aborts the
+    /// compilation with a typed `BudgetExceeded` error — never a panic or
+    /// an allocation failure — and callers degrade or answer with
+    /// Monte-Carlo bounds (see the `soc-yield-core` degradation ladder).
+    /// Unlike the other knobs this one is *not* representation-neutral:
+    /// it decides whether a compilation completes at all.
+    #[must_use]
+    pub fn with_node_budget(mut self, nodes: usize) -> Self {
+        self.node_budget = nodes;
+        self
+    }
+
+    /// Sets the wall-clock deadline of a single compilation in
+    /// milliseconds (`0`, the default, means none). A compilation past
+    /// its deadline aborts with a typed `Deadline` error at its next
+    /// governor poll.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Arms the deterministic fail point: the compilation's governor
+    /// forces a `BudgetExceeded` trip at exactly the `n`th node
+    /// materialisation (`0`, the default, disarms it). Fault injection
+    /// for abort-path tests; never set in production configurations.
+    #[must_use]
+    pub fn with_fail_after(mut self, n: u64) -> Self {
+        self.fail_after = n;
+        self
+    }
+
     /// Worker threads used inside a single compilation (≥ 1).
     pub fn compile_threads(&self) -> usize {
         self.compile_threads
@@ -111,6 +156,22 @@ impl CompileOptions {
         self.op_cache_capacity
     }
 
+    /// Node budget of a single compilation (`0` = unbounded).
+    pub fn node_budget(&self) -> usize {
+        self.node_budget
+    }
+
+    /// Wall-clock deadline of a single compilation in milliseconds
+    /// (`0` = none).
+    pub fn deadline_ms(&self) -> u64 {
+        self.deadline_ms
+    }
+
+    /// Fail point: forced trip at the `n`th materialisation (`0` = off).
+    pub fn fail_after(&self) -> u64 {
+        self.fail_after
+    }
+
     /// The shared CLI flag surface. Both `socy-bench`'s `parse_cli` and
     /// the `serve` binary feed their argument loops through this single
     /// helper, so a future knob is added (and documented) in exactly one
@@ -125,7 +186,12 @@ impl CompileOptions {
                        (yields and ROMDD sizes are bit-identical either way)
   --op-cache-capacity N
                        pin the managers' operation-cache capacity in slots
-                       (0 = adaptive default)";
+                       (0 = adaptive default)
+  --node-budget N      cap the nodes one compilation may materialise
+                       (0 = unbounded); over-budget compilations degrade
+                       to Monte-Carlo bounds instead of erroring
+  --deadline-ms N      wall-clock deadline per compilation in milliseconds
+                       (0 = none)";
 
     /// Consumes one CLI argument if it belongs to the shared
     /// compile-option surface. `next` supplies the following argument for
@@ -164,6 +230,10 @@ impl CompileOptions {
             "--op-cache-capacity" => {
                 *self = self.with_op_cache_capacity(integer("--op-cache-capacity")?);
             }
+            "--node-budget" => *self = self.with_node_budget(integer("--node-budget")?),
+            "--deadline-ms" => {
+                *self = self.with_deadline_ms(integer("--deadline-ms")? as u64);
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -180,11 +250,17 @@ mod tests {
             .with_compile_threads(8)
             .with_compile_grain(32)
             .with_complement_edges(false)
-            .with_op_cache_capacity(1 << 12);
+            .with_op_cache_capacity(1 << 12)
+            .with_node_budget(1 << 20)
+            .with_deadline_ms(250)
+            .with_fail_after(17);
         assert_eq!(options.compile_threads(), 8);
         assert_eq!(options.compile_grain(), 32);
         assert!(!options.complement_edges());
         assert_eq!(options.op_cache_capacity(), 1 << 12);
+        assert_eq!(options.node_budget(), 1 << 20);
+        assert_eq!(options.deadline_ms(), 250);
+        assert_eq!(options.fail_after(), 17);
         // Threads are clamped to >= 1, matching the old setters.
         assert_eq!(CompileOptions::new().with_compile_threads(0).compile_threads(), 1);
     }
@@ -200,6 +276,10 @@ mod tests {
             "--no-complement-edges",
             "--op-cache-capacity",
             "64",
+            "--node-budget",
+            "4096",
+            "--deadline-ms",
+            "1500",
         ];
         let mut args = argv.iter().map(ToString::to_string);
         while let Some(arg) = args.next() {
@@ -212,6 +292,8 @@ mod tests {
                 .with_compile_grain(2)
                 .with_complement_edges(false)
                 .with_op_cache_capacity(64)
+                .with_node_budget(4096)
+                .with_deadline_ms(1500)
         );
     }
 

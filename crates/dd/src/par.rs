@@ -35,12 +35,14 @@
 
 use std::collections::VecDeque;
 use std::hash::Hasher;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Mutex, TryLockError};
 
 use crate::cache::OpKey;
 use crate::ctx::DdCtx;
 use crate::edge::{is_complemented, negate, negate_if, CPL_BIT};
+use crate::govern::{Governor, GovernorAbort};
 use crate::hash::{FxHashMap, FxHasher};
 use crate::kernel::{DdKernel, ZERO};
 
@@ -327,15 +329,30 @@ impl<'k> ParSession<'k> {
         }
         let h = hash_node(level, children);
         let shard = (h >> (64 - SHARD_BITS)) as usize;
-        let mut guard = match self.shards[shard].try_lock() {
-            Ok(guard) => guard,
-            Err(TryLockError::WouldBlock) => {
-                stats.contention += 1;
-                self.shards[shard].lock().unwrap_or_else(|poison| poison.into_inner())
-            }
-            Err(TryLockError::Poisoned(poison)) => poison.into_inner(),
+        let (id, grown) = {
+            let mut guard = match self.shards[shard].try_lock() {
+                Ok(guard) => guard,
+                Err(TryLockError::WouldBlock) => {
+                    stats.contention += 1;
+                    self.shards[shard].lock().unwrap_or_else(|poison| poison.into_inner())
+                }
+                Err(TryLockError::Poisoned(poison)) => poison.into_inner(),
+            };
+            let before = guard.len();
+            let id = encode(shard, guard.get_or_insert(level, children, fold32(h)));
+            (id, guard.len() - before)
         };
-        encode(shard, guard.get_or_insert(level, children, fold32(h)))
+        // Governed materialisations report *after* the shard lock drops
+        // (a governor abort unwinding while the guard is held would
+        // poison the shard for the other workers) and *after* the entry
+        // is fully inserted, so an aborted session is merely dropped
+        // un-absorbed — the frozen kernel was never touched.
+        if grown > 0 {
+            if let Some(governor) = &self.kernel.governor {
+                governor.on_alloc(grown as u64);
+            }
+        }
+        id
     }
 
     fn cache_index(&self, key: OpKey) -> usize {
@@ -665,7 +682,13 @@ where
             let mut ctx = session.make_ref();
             let mut state = new_state();
             let mut stolen = 0u64;
+            let governor = session.kernel.governor.as_ref();
             loop {
+                // A trip on any worker drains the whole pool: finishing
+                // the remaining leaves could only burn more budget.
+                if governor.is_some_and(Governor::is_tripped) {
+                    break;
+                }
                 let mut next = deques[me].lock().unwrap_or_else(|p| p.into_inner()).pop_front();
                 if next.is_none() {
                     for other in 1..threads {
@@ -678,8 +701,18 @@ where
                     }
                 }
                 let Some(idx) = next else { break };
-                let r = leaf(&mut ctx, &mut state, &nodes[idx].task);
-                results[idx].store(r as u64 + 1, SeqCst);
+                // Catch governor aborts locally — `std::thread::scope`
+                // replaces a spawned thread's payload with its own
+                // message — and re-raise the trip on the driving thread
+                // after the scope (the `poll` below). Ordinary panics
+                // keep propagating unchanged.
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| leaf(&mut ctx, &mut state, &nodes[idx].task)));
+                match outcome {
+                    Ok(r) => results[idx].store(r as u64 + 1, SeqCst),
+                    Err(payload) if payload.is::<GovernorAbort>() => break,
+                    Err(payload) => resume_unwind(payload),
+                }
             }
             session.steals.fetch_add(stolen, SeqCst);
             ctx.finish();
@@ -691,6 +724,11 @@ where
             }
             worker(0);
         });
+    }
+    // Re-raise a worker-side trip on the calling thread before the
+    // combine phase touches the (incomplete) leaf results.
+    if let Some(governor) = &session.kernel.governor {
+        governor.poll();
     }
 
     // Bottom-up combine. Reverse creation order is not a topological

@@ -215,6 +215,23 @@ impl DdKernel {
     ) -> SiftOutcome {
         assert!(config.max_growth >= 1.0, "max_growth must be at least 1");
         assert!(config.max_rounds >= 1, "at least one round is required");
+        // Sifting is paused under the governor: swaps rewrite existing
+        // nodes through `cons` without growing the live diagram beyond
+        // the bounded `max_growth`, and a trip mid-swap would leave a
+        // level half-rewritten. The budget governs *construction*; the
+        // reorderer is already self-bounding.
+        let governor = self.governor.take();
+        let outcome = self.sift_blocks_inner(roots, block_sizes, config);
+        self.governor = governor;
+        outcome
+    }
+
+    fn sift_blocks_inner(
+        &mut self,
+        roots: &mut [u32],
+        block_sizes: &[usize],
+        config: &SiftConfig,
+    ) -> SiftOutcome {
         assert!(block_sizes.iter().all(|&s| s >= 1), "blocks must be non-empty");
         assert_eq!(
             block_sizes.iter().sum::<usize>(),

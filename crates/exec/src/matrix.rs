@@ -4,7 +4,9 @@
 
 use std::fmt;
 
-use soc_yield_core::{AnalysisOptions, CompileOptions, ConversionAlgorithm, SystemDelta};
+use soc_yield_core::{
+    AnalysisOptions, CancelToken, CompileOptions, ConversionAlgorithm, SystemDelta,
+};
 use socy_defect::{ComponentProbabilities, DefectDistribution};
 use socy_faulttree::Netlist;
 use socy_ordering::OrderingSpec;
@@ -251,7 +253,18 @@ pub struct SweepMatrix {
     /// Resource/representation knobs, never an analysis axis: yields,
     /// error bounds, truncations and ROMDD node counts are bit-identical
     /// at every setting. Orthogonal to the sweep's worker count.
+    ///
+    /// The resource limits ([`CompileOptions::node_budget`] /
+    /// [`CompileOptions::deadline_ms`]) apply **per chunk compilation**
+    /// (each chunk owns a private pipeline and every compile runs under a
+    /// fresh governor), so one over-budget configuration fails its own
+    /// chunk without starving the rest of the sweep.
     pub options: CompileOptions,
+    /// Cooperative cancellation token observed by every chunk's governed
+    /// compilations: cancelling it makes remaining chunks fail fast with
+    /// resource-flagged [`ChunkError`](crate::ChunkError)s instead of
+    /// compiling to completion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SweepMatrix {

@@ -10,7 +10,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use soc_yield_core::{
-    CompileOptions, ConversionAlgorithm, DdStats, Pipeline, SweepPoint, SystemDelta, YieldReport,
+    CancelToken, CompileOptions, ConversionAlgorithm, CoreError, DdStats, Pipeline, SweepPoint,
+    SystemDelta, YieldReport,
 };
 use socy_defect::DefectDistribution;
 use socy_ordering::OrderingSpec;
@@ -35,21 +36,26 @@ struct Chunk<'m> {
     /// The block's what-if delta family (empty = plain sweep).
     deltas: &'m [SystemDelta],
     /// Kernel knobs of this chunk's compilations (from
-    /// [`SweepMatrix::options`]).
+    /// [`SweepMatrix::options`]). The resource limits apply per
+    /// compilation, i.e. per chunk — an over-budget chunk fails alone.
     options: CompileOptions,
+    /// Cancellation token of the matrix (from [`SweepMatrix::cancel`]),
+    /// observed by this chunk's governed compilations.
+    cancel: Option<CancelToken>,
 }
 
 impl Chunk<'_> {
-    fn run(&self) -> Result<(Vec<YieldReport>, Pipeline), String> {
+    fn run(&self) -> Result<(Vec<YieldReport>, Pipeline), ChunkFailure> {
         let mut pipeline =
             Pipeline::with_options(&self.system.fault_tree, &self.system.components, self.options)
-                .map_err(|e| e.to_string())?;
+                .map_err(ChunkFailure::from_core)?;
+        pipeline.set_cancel_token(self.cancel.clone());
         if self.deltas.is_empty() {
             let points = self.evals.iter().map(|&(dist, rule)| SweepPoint {
                 lethal: dist as &dyn DefectDistribution,
                 options: rule.options(self.spec, self.conversion),
             });
-            let reports = pipeline.sweep(points).map_err(|e| e.to_string())?;
+            let reports = pipeline.sweep(points).map_err(ChunkFailure::from_core)?;
             return Ok((reports, pipeline));
         }
         // Delta families: the base system compiles once (kept resident in
@@ -60,7 +66,7 @@ impl Chunk<'_> {
             reports.extend(
                 pipeline
                     .sweep_deltas(dist as &dyn DefectDistribution, &options, self.deltas)
-                    .map_err(|e| e.to_string())?,
+                    .map_err(ChunkFailure::from_core)?,
             );
         }
         Ok((reports, pipeline))
@@ -77,10 +83,12 @@ impl Chunk<'_> {
             Ok(Ok((reports, pipeline))) => {
                 Ok((reports, if keep_pipeline { Some(pipeline) } else { None }))
             }
-            Ok(Err(message)) => Err(ChunkFailure { message, panicked: false }),
-            Err(payload) => {
-                Err(ChunkFailure { message: panic_message(payload.as_ref()), panicked: true })
-            }
+            Ok(Err(failure)) => Err(failure),
+            Err(payload) => Err(ChunkFailure {
+                message: panic_message(payload.as_ref()),
+                panicked: true,
+                resource: false,
+            }),
         }
     }
 }
@@ -103,6 +111,20 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 struct ChunkFailure {
     message: String,
     panicked: bool,
+    resource: bool,
+}
+
+impl ChunkFailure {
+    /// A failure from a returned pipeline error, preserving whether it
+    /// was resource exhaustion (budget/deadline/cancel) so callers can
+    /// degrade instead of treating the chunk as broken.
+    fn from_core(e: CoreError) -> Self {
+        ChunkFailure {
+            message: e.to_string(),
+            panicked: false,
+            resource: matches!(e, CoreError::Resource(_)),
+        }
+    }
 }
 
 /// Splits the matrix into chunks, in matrix order of their first point.
@@ -130,6 +152,7 @@ fn chunks(matrix: &SweepMatrix) -> Vec<Chunk<'_>> {
                                     evals: Vec::new(),
                                     deltas: &block.deltas,
                                     options: matrix.options,
+                                    cancel: matrix.cancel.clone(),
                                 });
                             }
                             out[chunk_at].evals.push((&*dist.distribution, rule));
@@ -155,6 +178,10 @@ pub struct SweepError {
     pub point: String,
     /// The underlying error, stringified.
     pub message: String,
+    /// Whether the failure was resource exhaustion (budget, deadline or
+    /// cancellation) — see [`ChunkError::resource`]. Resource-failed
+    /// points are safe to answer with Monte-Carlo bounds instead.
+    pub resource: bool,
 }
 
 impl fmt::Display for SweepError {
@@ -186,6 +213,12 @@ pub struct ChunkError {
     /// Whether the failure was a caught panic rather than a returned
     /// error.
     pub panicked: bool,
+    /// Whether the failure was resource exhaustion — a governed
+    /// compilation exceeding its node budget or deadline, or a
+    /// cancellation ([`CoreError::Resource`]). Resource failures leave
+    /// the chunk's manager consistent; callers may retry with a larger
+    /// budget or degrade to Monte-Carlo bounds.
+    pub resource: bool,
 }
 
 impl fmt::Display for ChunkError {
@@ -529,6 +562,7 @@ impl SweepMatrix {
                 Err(ChunkFailure {
                     message: "chunk worker terminated without sending a result".to_string(),
                     panicked: true,
+                    resource: false,
                 })
             });
             match result {
@@ -567,6 +601,7 @@ impl SweepMatrix {
                         conversion: chunk.conversion,
                         message: failure.message.clone(),
                         panicked: failure.panicked,
+                        resource: failure.resource,
                     });
                     for &index in &chunk.indices {
                         points[index] = Some(PointOutcome {
@@ -574,6 +609,7 @@ impl SweepMatrix {
                             result: Err(SweepError {
                                 point: labels[index].label(),
                                 message: failure.message.clone(),
+                                resource: failure.resource,
                             }),
                         });
                     }
@@ -594,6 +630,7 @@ impl SweepMatrix {
                         result: Err(SweepError {
                             point: labels[index].label(),
                             message: "point was not covered by any chunk".to_string(),
+                            resource: false,
                         }),
                     }
                 })
@@ -872,6 +909,53 @@ mod tests {
         // Worker scheduling cannot perturb delta families either.
         let parallel = matrix.run(2);
         for (a, b) in outcome.points.iter().zip(&parallel.points) {
+            assert_eq!(
+                a.result.as_ref().unwrap().yield_lower_bound.to_bits(),
+                b.result.as_ref().unwrap().yield_lower_bound.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn over_budget_chunks_fail_with_resource_flagged_errors() {
+        let mut matrix = small_matrix();
+        // 2 nodes cannot hold any compiled diagram of the test systems.
+        matrix.options = matrix.options.with_node_budget(2);
+        let outcome = matrix.run(2);
+        assert_eq!(outcome.summary.failed_points, 8);
+        assert_eq!(outcome.summary.chunk_errors.len(), 2);
+        for chunk_error in &outcome.summary.chunk_errors {
+            assert!(chunk_error.resource, "{chunk_error}");
+            assert!(!chunk_error.panicked, "{chunk_error}");
+            assert!(chunk_error.message.contains("node budget"), "{chunk_error}");
+        }
+        // Ordinary (non-resource) failures keep resource = false.
+        let mut bad = small_matrix();
+        bad.blocks[0].rules = vec![TruncationRule::Epsilon(1e-12)];
+        bad.blocks[0].distributions =
+            vec![NamedDistribution::new("sub", socy_defect::Empirical::new(vec![0.5]).unwrap())];
+        let outcome = bad.run(1);
+        assert!(outcome.summary.chunk_errors.iter().all(|e| !e.resource));
+    }
+
+    #[test]
+    fn cancelled_matrix_fails_every_chunk_as_a_resource_error() {
+        let mut matrix = small_matrix();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        matrix.cancel = Some(cancel);
+        let outcome = matrix.run(2);
+        assert_eq!(outcome.summary.failed_points, outcome.summary.points);
+        assert!(!outcome.summary.chunk_errors.is_empty());
+        for chunk_error in &outcome.summary.chunk_errors {
+            assert!(chunk_error.resource, "{chunk_error}");
+            assert!(chunk_error.message.contains("cancelled"), "{chunk_error}");
+        }
+        // An untouched token changes nothing: bit-identical to no token.
+        let mut live = small_matrix();
+        live.cancel = Some(CancelToken::new());
+        let clean = small_matrix().run(1);
+        for (a, b) in live.run(1).points.iter().zip(&clean.points) {
             assert_eq!(
                 a.result.as_ref().unwrap().yield_lower_bound.to_bits(),
                 b.result.as_ref().unwrap().yield_lower_bound.to_bits()

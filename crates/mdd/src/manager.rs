@@ -300,6 +300,14 @@ impl MddManager {
         self.dd.stats()
     }
 
+    /// Arms (or, with `None`, disarms) the kernel's resource governor:
+    /// every subsequent node materialisation — sequential or through a
+    /// parallel section — reports to it. See
+    /// [`DdKernel::set_governor`](socy_dd::DdKernel::set_governor).
+    pub fn set_governor(&mut self, governor: Option<socy_dd::Governor>) {
+        self.dd.set_governor(governor);
+    }
+
     /// The set of levels appearing in `f`, in increasing order.
     pub fn support(&self, f: MddId) -> Vec<usize> {
         self.dd.support(f.0)

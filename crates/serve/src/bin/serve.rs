@@ -13,17 +13,19 @@ use serde::Serialize;
 use socy_serve::{CompileOptions, ServiceConfig, YieldService};
 
 const USAGE_HEAD: &str = "\
-Usage: serve [--threads N] [--node-budget NODES] [--record PATH]
+Usage: serve [--threads N] [--cache-node-budget NODES] [--record PATH]
              [compile options]
 
 Reads line-delimited JSON requests on stdin; a blank line flushes the
 pending batch, EOF flushes and exits. Writes one JSON response per line
 on stdout, in request order.
 
-  --threads N          worker threads for uncached requests (0 = all cores; default 0)
-  --node-budget N      live-node budget of the pipeline cache (0 = unbounded)
-  --record PATH        additionally write every response into PATH as one
-                       pretty-printed JSON array (for anchor_check replays)";
+  --threads N            worker threads for uncached requests (0 = all cores; default 0)
+  --cache-node-budget N  live-node budget of the pipeline cache (0 = unbounded);
+                         distinct from --node-budget, which caps each governed
+                         compilation
+  --record PATH          additionally write every response into PATH as one
+                         pretty-printed JSON array (for anchor_check replays)";
 
 fn usage() -> String {
     format!("{USAGE_HEAD}\n{}", CompileOptions::CLI_HELP)
@@ -44,10 +46,10 @@ fn main() -> ExitCode {
                 Some(n) => config.threads = n,
                 None => return usage_error("--threads requires an integer"),
             },
-            "--node-budget" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+            "--cache-node-budget" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(0) => config.node_budget = None,
                 Some(n) => config.node_budget = Some(n),
-                None => return usage_error("--node-budget requires an integer"),
+                None => return usage_error("--cache-node-budget requires an integer"),
             },
             "--record" => match args.next() {
                 Some(path) => record = Some(path),

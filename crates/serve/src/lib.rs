@@ -23,10 +23,11 @@ pub mod protocol;
 pub mod service;
 
 pub use protocol::{
-    CacheBody, DistributionSpec, EvalRequest, OptionsBody, ReportBody, Request, Response,
+    CacheBody, DistributionSpec, EvalRequest, GovernorBody, OptionsBody, ReportBody, Request,
+    Response,
 };
 pub use service::{
     conversion_label, parse_conversion, resolve_delta, resolve_distribution, resolve_system,
     PanicDistribution, PipelineKey, ServiceConfig, YieldService, DEFAULT_NODE_BUDGET,
 };
-pub use soc_yield_core::CompileOptions;
+pub use soc_yield_core::{CancelToken, CompileOptions};

@@ -30,6 +30,13 @@ pub enum Request {
         /// Client-chosen identifier echoed back in the response.
         id: Option<String>,
     },
+    /// Abort the current batch: every uncached evaluation of the batch
+    /// fails fast with a `cancelled` error instead of compiling to
+    /// completion (answers already produced are unaffected).
+    Cancel {
+        /// Client-chosen identifier echoed back in the response.
+        id: Option<String>,
+    },
 }
 
 impl serde::Deserialize for Request {
@@ -44,15 +51,16 @@ impl serde::Deserialize for Request {
             "analyze" => Ok(Request::Analyze(EvalRequest::from_json(value)?)),
             "sweep" => Ok(Request::Sweep(EvalRequest::from_json(value)?)),
             "analyze_delta" => Ok(Request::AnalyzeDelta(EvalRequest::from_json(value)?)),
-            "stats" => Ok(Request::Stats {
-                id: match value.get("id") {
+            "stats" | "cancel" => {
+                let id = match value.get("id") {
                     None => None,
                     Some(v) => Option::<String>::from_json(v).map_err(|e| e.in_field("id"))?,
-                },
-            }),
+                };
+                Ok(if kind == "stats" { Request::Stats { id } } else { Request::Cancel { id } })
+            }
             other => Err(DeError(format!(
-                "unknown request type `{other}` (expected `analyze`, `sweep`, `analyze_delta` \
-                 or `stats`)"
+                "unknown request type `{other}` (expected `analyze`, `sweep`, `analyze_delta`, \
+                 `stats` or `cancel`)"
             ))),
         }
     }
@@ -92,6 +100,15 @@ pub struct EvalRequest {
     /// `overrides` and `netlist` both optional — see
     /// [`crate::service::resolve_delta`].
     pub deltas: Option<Vec<Value>>,
+    /// Per-request wall-clock budget in milliseconds for the compilation
+    /// this request may trigger. `0` skips compilation entirely and
+    /// answers with Monte-Carlo confidence bounds
+    /// (`"fidelity":"bounds"`); a positive budget compiles under a
+    /// deadline and degrades to bounds when it expires.
+    pub timeout_ms: Option<u64>,
+    /// Per-request node budget for the compilation this request may
+    /// trigger; over-budget requests degrade to Monte-Carlo bounds.
+    pub node_budget: Option<u64>,
 }
 
 /// Wire description of a lethal-defect distribution.
@@ -140,10 +157,24 @@ pub struct Response {
     /// The service's active [`soc_yield_core::CompileOptions`] knobs
     /// (stats responses).
     pub options: Option<OptionsBody>,
+    /// Resource-governor counters (stats responses).
+    pub governor: Option<GovernorBody>,
     /// Pipeline-cache counters at response time.
     pub cache: Option<CacheBody>,
     /// Wall-clock time spent serving this request (volatile).
     pub latency_seconds: f64,
+}
+
+/// Resource-governance counters carried on stats responses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct GovernorBody {
+    /// Governed compilations that exceeded a node budget or deadline.
+    pub budget_exceeded: u64,
+    /// Requests answered at non-exact fidelity (degraded rungs or
+    /// Monte-Carlo bounds).
+    pub degraded: u64,
+    /// Evaluations aborted by a batch cancellation.
+    pub cancelled: u64,
 }
 
 /// The compile-option knobs echoed on stats responses — the wire view of
@@ -192,6 +223,7 @@ impl Response {
             panicked: None,
             requests_served: None,
             options: None,
+            governor: None,
             cache: Some(cache),
             latency_seconds: latency.as_secs_f64(),
         }
@@ -216,6 +248,7 @@ impl Response {
             panicked: Some(panicked),
             requests_served: None,
             options: None,
+            governor: None,
             cache,
             latency_seconds: latency.as_secs_f64(),
         }
@@ -226,6 +259,7 @@ impl Response {
         id: Option<String>,
         requests_served: u64,
         options: OptionsBody,
+        governor: GovernorBody,
         cache: CacheBody,
         latency: Duration,
     ) -> Self {
@@ -239,6 +273,25 @@ impl Response {
             panicked: None,
             requests_served: Some(requests_served),
             options: Some(options),
+            governor: Some(governor),
+            cache: Some(cache),
+            latency_seconds: latency.as_secs_f64(),
+        }
+    }
+
+    /// The acknowledgement of a `cancel` request.
+    pub fn cancelled(id: Option<String>, cache: CacheBody, latency: Duration) -> Self {
+        Response {
+            id,
+            kind: "cancel".to_string(),
+            ok: true,
+            compiled: None,
+            reports: None,
+            error: None,
+            panicked: None,
+            requests_served: None,
+            options: None,
+            governor: None,
             cache: Some(cache),
             latency_seconds: latency.as_secs_f64(),
         }
@@ -290,6 +343,11 @@ pub struct ReportBody {
     /// Name of the what-if delta this report evaluates (`analyze_delta`
     /// responses; null otherwise).
     pub delta: Option<String>,
+    /// How the answer was obtained: `exact` (the requested options),
+    /// `degraded:<rung>` (a cheaper exact variant) or `bounds`
+    /// (Monte-Carlo confidence interval — `yield_lower_bound` is the
+    /// lower confidence limit and `error_bound` the interval width).
+    pub fidelity: String,
 }
 
 /// Pipeline-cache and service counters carried on stats (and every
@@ -345,6 +403,31 @@ mod tests {
         match parse(r#"{"type":"stats","id":"z"}"#).unwrap() {
             Request::Stats { id } => assert_eq!(id.as_deref(), Some("z")),
             other => panic!("expected stats, got {other:?}"),
+        }
+        match parse(r#"{"type":"cancel","id":"c"}"#).unwrap() {
+            Request::Cancel { id } => assert_eq!(id.as_deref(), Some("c")),
+            other => panic!("expected cancel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resource_overrides_parse_on_eval_requests() {
+        let body = r#""system":{"benchmark":"MS2"},"distribution":{"kind":"poisson","lambda":1.0}"#;
+        let governed =
+            parse(&format!(r#"{{"id":"g","timeout_ms":250,"node_budget":4096,{body}}}"#)).unwrap();
+        match governed {
+            Request::Analyze(req) => {
+                assert_eq!(req.timeout_ms, Some(250));
+                assert_eq!(req.node_budget, Some(4096));
+            }
+            other => panic!("expected analyze, got {other:?}"),
+        }
+        match parse(&format!("{{{body}}}")).unwrap() {
+            Request::Analyze(req) => {
+                assert_eq!(req.timeout_ms, None);
+                assert_eq!(req.node_budget, None);
+            }
+            other => panic!("expected analyze, got {other:?}"),
         }
     }
 

@@ -28,7 +28,8 @@ use std::time::Instant;
 
 use serde::{Deserialize, Value};
 use soc_yield_core::{
-    AnalysisOptions, CompileOptions, ConversionAlgorithm, Pipeline, SystemDelta, YieldReport,
+    AnalysisOptions, CancelToken, CompileOptions, ConversionAlgorithm, CoreError, DdError,
+    DegradeLadder, Pipeline, SystemDelta, YieldReport,
 };
 use socy_benchmarks::paper_benchmarks;
 use socy_defect::{
@@ -42,7 +43,8 @@ use socy_faulttree::Netlist;
 use socy_ordering::OrderingSpec;
 
 use crate::protocol::{
-    CacheBody, DistributionSpec, EvalRequest, OptionsBody, ReportBody, Request, Response,
+    CacheBody, DistributionSpec, EvalRequest, GovernorBody, OptionsBody, ReportBody, Request,
+    Response,
 };
 
 /// Default live-node budget of the pipeline cache (the bench harness uses
@@ -284,12 +286,33 @@ struct EvalPlan {
     system: SystemSpec,
     distribution: Box<dyn SharedDistribution>,
     dist_label: String,
+    /// The wire distribution the request named, kept so a resource-failed
+    /// evaluation can re-resolve it for the Monte-Carlo bounds fallback.
+    dist_spec: DistributionSpec,
     rules: Vec<TruncationRule>,
     deltas: Vec<SystemDelta>,
+    /// Per-request wall-clock budget (`Some(0)` = answer with bounds
+    /// without compiling at all).
+    timeout_ms: Option<u64>,
+    /// Per-request node budget for the triggered compilation.
+    node_budget: Option<u64>,
+}
+
+impl EvalPlan {
+    /// Whether the request carries per-request resource limits and must
+    /// take the governed direct path instead of the shared batch matrix.
+    fn governed(&self) -> bool {
+        self.timeout_ms.is_some() || self.node_budget.is_some()
+    }
 }
 
 fn resolve(kind: &'static str, req: EvalRequest) -> Result<EvalPlan, String> {
     let (system, identity) = resolve_system(&req.system)?;
+    if (req.timeout_ms.is_some() || req.node_budget.is_some()) && kind == "analyze_delta" {
+        return Err("per-request `timeout_ms`/`node_budget` are not supported on `analyze_delta` \
+             (the Monte-Carlo fallback cannot answer what-if families)"
+            .to_string());
+    }
     let deltas = match (kind, &req.deltas) {
         ("analyze_delta", Some(entries)) if !entries.is_empty() => entries
             .iter()
@@ -354,8 +377,11 @@ fn resolve(kind: &'static str, req: EvalRequest) -> Result<EvalPlan, String> {
         system,
         distribution,
         dist_label,
+        dist_spec: req.distribution,
         rules,
         deltas,
+        timeout_ms: req.timeout_ms,
+        node_budget: req.node_budget,
     })
 }
 
@@ -382,6 +408,7 @@ fn report_body(
         conversion: conversion_label(conversion).to_string(),
         rule: rule.label(),
         delta,
+        fidelity: report.fidelity.tag(),
     }
 }
 
@@ -397,13 +424,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Bookkeeping for one uncached request while its block runs through the
-/// executor.
+/// executor. Carries enough of the resolved request (system, wire
+/// distribution, rules) to retry a resource-failed evaluation as a
+/// Monte-Carlo bounds fallback without the consumed plan.
 struct MissMeta {
     at: usize,
     id: Option<String>,
     kind: &'static str,
     key: PipelineKey,
     points: usize,
+    system: SystemSpec,
+    dist_spec: DistributionSpec,
+    rules: Vec<TruncationRule>,
+    has_deltas: bool,
 }
 
 /// The long-running yield-analysis service behind the `serve` binary: a
@@ -415,6 +448,12 @@ pub struct YieldService {
     threads: usize,
     options: CompileOptions,
     requests_served: u64,
+    governor: GovernorBody,
+    /// Cancellation token of the batch currently being served; a `cancel`
+    /// request (or an external holder of [`YieldService::cancel_token`])
+    /// cancels it, failing the batch's in-flight and pending governed
+    /// compilations fast. Re-armed at the start of every batch.
+    batch_cancel: CancelToken,
 }
 
 impl YieldService {
@@ -425,7 +464,25 @@ impl YieldService {
             threads: config.threads,
             options: config.options,
             requests_served: 0,
+            governor: GovernorBody::default(),
+            batch_cancel: CancelToken::new(),
         }
+    }
+
+    /// The cancellation token of the batch currently being served.
+    /// Cancelling it (e.g. from a signal handler when the client hangs
+    /// up mid-batch) aborts the batch's governed compilations; the
+    /// affected requests answer with `cancelled` errors. The token is
+    /// replaced at the start of every batch, so a cancelled batch does
+    /// not poison the next one.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.batch_cancel.clone()
+    }
+
+    /// Resource-governance counters accumulated over the service's
+    /// lifetime (also carried on `stats` responses).
+    pub fn governor_counters(&self) -> GovernorBody {
+        self.governor
     }
 
     /// The compile options every compilation runs under.
@@ -457,6 +514,9 @@ impl YieldService {
     /// executed on the worker pool; `stats` requests are answered last,
     /// so their counters reflect the whole batch.
     pub fn handle_batch(&mut self, lines: &[&str]) -> Vec<Response> {
+        // Fresh token per batch: a cancelled batch must not poison the
+        // next one.
+        self.batch_cancel = CancelToken::new();
         let mut responses: Vec<Option<Response>> = Vec::new();
         responses.resize_with(lines.len(), || None);
         let mut misses: Vec<(usize, EvalPlan)> = Vec::new();
@@ -479,6 +539,11 @@ impl YieldService {
                     ));
                 }
                 Ok(Request::Stats { id }) => stats_requests.push((at, id, started)),
+                Ok(Request::Cancel { id }) => {
+                    self.batch_cancel.cancel();
+                    responses[at] =
+                        Some(Response::cancelled(id, self.cache_body(), started.elapsed()));
+                }
                 Ok(Request::Analyze(req)) => {
                     self.route(at, "analyze", req, started, &mut responses, &mut misses);
                 }
@@ -496,6 +561,7 @@ impl YieldService {
                 id,
                 self.requests_served,
                 OptionsBody::from(self.options),
+                self.governor,
                 self.cache_body(),
                 started.elapsed(),
             ));
@@ -536,16 +602,101 @@ impl YieldService {
                     started.elapsed(),
                 ));
             }
+            // A zero time budget asks for statistical bounds without
+            // touching the diagrams at all — not even a cache hit.
+            Ok(plan) if plan.timeout_ms == Some(0) => {
+                responses[at] = Some(self.evaluate_governed(&plan, started));
+            }
             // `get` counts the request's one hit or miss and refreshes
             // the LRU position; later accesses go through the uncounted
             // `peek` path.
             Ok(plan) => {
                 if self.cache.get(&plan.key).is_some() {
                     responses[at] = Some(self.evaluate_hit(&plan, started));
+                } else if plan.governed() {
+                    // Per-request limits cannot ride the shared batch
+                    // matrix (its compilations share one CompileOptions);
+                    // compile under the request's own governor instead.
+                    responses[at] = Some(self.evaluate_governed(&plan, started));
                 } else {
                     misses.push((at, plan));
                 }
             }
+        }
+    }
+
+    /// Evaluates a request under its own resource limits, degrading to
+    /// Monte-Carlo confidence bounds when the governed compilation
+    /// exceeds them (`timeout_ms: 0` goes straight to bounds). The
+    /// compiled pipeline is deliberately not cached: a budget-truncated
+    /// compile is not representative of the configuration.
+    fn evaluate_governed(&mut self, plan: &EvalPlan, started: Instant) -> Response {
+        let mut options = self.options;
+        if let Some(budget) = plan.node_budget {
+            options = options.with_node_budget(budget as usize);
+        }
+        if let Some(deadline) = plan.timeout_ms {
+            options = options.with_deadline_ms(deadline);
+        }
+        // Bounds-only ladder: whether an intermediate exact rung fits a
+        // budget depends on thread count and machine speed, but the
+        // Monte-Carlo bounds are deterministic — so governed responses
+        // can be pinned as fixtures.
+        let ladder = DegradeLadder::bounds_only();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut pipeline =
+                Pipeline::with_options(&plan.system.fault_tree, &plan.system.components, options)?;
+            pipeline.set_cancel_token(Some(self.batch_cancel.clone()));
+            let lethal: &dyn DefectDistribution = &*plan.distribution;
+            let mut reports = Vec::with_capacity(plan.rules.len());
+            for rule in &plan.rules {
+                let analysis = rule.options(plan.key.spec, plan.key.conversion);
+                let report = if plan.timeout_ms == Some(0) {
+                    pipeline.evaluate_bounds(lethal, &analysis, &ladder)?
+                } else {
+                    pipeline.evaluate_governed(lethal, &analysis, &ladder)?
+                };
+                reports.push(report_body(&report, plan.key.conversion, rule, None));
+            }
+            Ok::<Vec<ReportBody>, CoreError>(reports)
+        }));
+        match outcome {
+            Ok(Ok(reports)) => {
+                let degraded = reports.iter().filter(|r| r.fidelity != "exact").count() as u64;
+                self.governor.degraded += degraded;
+                if degraded > 0 && plan.timeout_ms != Some(0) {
+                    // A non-exact answer under a positive budget means a
+                    // governed compile tripped its limit.
+                    self.governor.budget_exceeded += 1;
+                }
+                Response::eval(
+                    plan.kind,
+                    plan.id.clone(),
+                    "governed",
+                    reports,
+                    self.cache_body(),
+                    started.elapsed(),
+                )
+            }
+            Ok(Err(error)) => {
+                if matches!(error, CoreError::Resource(DdError::Cancelled)) {
+                    self.governor.cancelled += 1;
+                }
+                Response::failure(
+                    plan.id.clone(),
+                    error.to_string(),
+                    false,
+                    Some(self.cache_body()),
+                    started.elapsed(),
+                )
+            }
+            Err(payload) => Response::failure(
+                plan.id.clone(),
+                panic_message(payload.as_ref()),
+                true,
+                Some(self.cache_body()),
+                started.elapsed(),
+            ),
         }
     }
 
@@ -648,15 +799,37 @@ impl YieldService {
         let started = Instant::now();
         let mut matrix = SweepMatrix::new();
         matrix.options = self.options;
+        matrix.cancel = Some(self.batch_cancel.clone());
         let mut metas: Vec<MissMeta> = Vec::with_capacity(misses.len());
         for (at, plan) in misses {
-            let EvalPlan { id, kind, key, system, distribution, dist_label, rules, deltas } = plan;
+            let EvalPlan {
+                id,
+                kind,
+                key,
+                system,
+                distribution,
+                dist_label,
+                dist_spec,
+                rules,
+                deltas,
+                ..
+            } = plan;
             let mut block = SweepBlock::new();
-            block.systems.push(system);
+            block.systems.push(system.clone());
             block.distributions.push(NamedDistribution { name: dist_label, distribution });
             block.specs.push(key.spec);
             block.conversions.push(key.conversion);
-            metas.push(MissMeta { at, id, kind, key, points: rules.len() * deltas.len().max(1) });
+            metas.push(MissMeta {
+                at,
+                id,
+                kind,
+                key,
+                points: rules.len() * deltas.len().max(1),
+                system,
+                dist_spec,
+                rules: rules.clone(),
+                has_deltas: !deltas.is_empty(),
+            });
             block.rules = rules;
             block.deltas = deltas;
             matrix.add(block);
@@ -674,13 +847,27 @@ impl YieldService {
             offset += meta.points;
             let chunk_error = outcome.summary.chunk_errors.iter().find(|c| c.block == block);
             let response = if let Some(chunk) = chunk_error {
-                Response::failure(
-                    meta.id.clone(),
-                    chunk.message.clone(),
-                    chunk.panicked,
-                    Some(self.cache_body()),
-                    elapsed,
-                )
+                if chunk.resource && self.batch_cancel.is_cancelled() {
+                    self.governor.cancelled += 1;
+                } else if chunk.resource {
+                    self.governor.budget_exceeded += 1;
+                }
+                // An over-budget (but not cancelled) compilation degrades
+                // to Monte-Carlo bounds instead of failing the request.
+                let fallback = if chunk.resource && !self.batch_cancel.is_cancelled() {
+                    self.bounds_fallback(meta, elapsed)
+                } else {
+                    None
+                };
+                fallback.unwrap_or_else(|| {
+                    Response::failure(
+                        meta.id.clone(),
+                        chunk.message.clone(),
+                        chunk.panicked,
+                        Some(self.cache_body()),
+                        elapsed,
+                    )
+                })
             } else {
                 match points.iter().map(|p| p.result.as_ref()).collect::<Result<Vec<_>, _>>() {
                     Ok(reports) => Response::eval(
@@ -713,6 +900,40 @@ impl YieldService {
             };
             responses[meta.at] = Some(response);
         }
+    }
+
+    /// Answers a resource-failed uncached request with Monte-Carlo
+    /// confidence bounds (`"fidelity":"bounds"`). Returns `None` when the
+    /// fallback itself cannot apply — what-if families have no
+    /// simulation equivalent, and a distribution that no longer resolves
+    /// should surface the original resource error.
+    fn bounds_fallback(
+        &mut self,
+        meta: &MissMeta,
+        elapsed: std::time::Duration,
+    ) -> Option<Response> {
+        if meta.has_deltas {
+            return None;
+        }
+        let (distribution, _) = resolve_distribution(&meta.dist_spec).ok()?;
+        let pipeline = Pipeline::new(&meta.system.fault_tree, &meta.system.components).ok()?;
+        let ladder = DegradeLadder::bounds_only();
+        let lethal: &dyn DefectDistribution = &*distribution;
+        let mut reports = Vec::with_capacity(meta.rules.len());
+        for rule in &meta.rules {
+            let analysis = rule.options(meta.key.spec, meta.key.conversion);
+            let report = pipeline.evaluate_bounds(lethal, &analysis, &ladder).ok()?;
+            reports.push(report_body(&report, meta.key.conversion, rule, None));
+        }
+        self.governor.degraded += reports.len() as u64;
+        Some(Response::eval(
+            meta.kind,
+            meta.id.clone(),
+            "bounds",
+            reports,
+            self.cache_body(),
+            elapsed,
+        ))
     }
 }
 

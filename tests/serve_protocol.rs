@@ -322,6 +322,136 @@ fn malformed_and_unresolvable_requests_answer_with_errors() {
 }
 
 #[test]
+fn a_tiny_per_request_node_budget_degrades_to_bounds() {
+    let mut service = service();
+    let line = format!(
+        r#"{{"type":"analyze","id":"g1","system":{{"benchmark":"MS2"}},"distribution":{NB},"epsilon":0.001,"node_budget":1}}"#
+    );
+    let response = service.handle_line(&line);
+    assert!(response.ok, "{:?}", response.error);
+    assert_eq!(response.compiled.as_deref(), Some("governed"));
+    let report = &response.reports.as_ref().unwrap()[0];
+    assert_eq!(report.fidelity, "bounds");
+    assert!(report.yield_lower_bound > 0.0 && report.yield_lower_bound < 1.0);
+    assert!(report.error_bound > 0.0);
+    // A budget-truncated compile is not representative — never cached.
+    assert_eq!(service.cache().len(), 0);
+    let stats = service.handle_line(r#"{"type":"stats","id":"z"}"#);
+    let governor = stats.governor.unwrap();
+    assert_eq!(governor.budget_exceeded, 1);
+    assert_eq!(governor.degraded, 1);
+    assert_eq!(governor.cancelled, 0);
+}
+
+#[test]
+fn a_generous_per_request_budget_answers_exactly_on_the_governed_path() {
+    let mut service = service();
+    let line = format!(
+        r#"{{"type":"analyze","id":"g2","system":{{"benchmark":"MS2"}},"distribution":{NB},"epsilon":0.001,"node_budget":10000000}}"#
+    );
+    let governed = service.handle_line(&line);
+    assert!(governed.ok, "{:?}", governed.error);
+    assert_eq!(governed.compiled.as_deref(), Some("governed"));
+    assert_eq!(governed.reports.as_ref().unwrap()[0].fidelity, "exact");
+    // A budget that never trips matches the ungoverned answer bit for bit.
+    let plain = service.handle_line(&analyze_ms2("p"));
+    let (a, b) = (&governed.reports.unwrap()[0], &plain.reports.unwrap()[0]);
+    assert_eq!(a.yield_lower_bound.to_bits(), b.yield_lower_bound.to_bits());
+    assert_eq!(a.error_bound.to_bits(), b.error_bound.to_bits());
+    assert_eq!(a.romdd_size, b.romdd_size);
+    let stats = service.handle_line(r#"{"type":"stats","id":"z"}"#);
+    let governor = stats.governor.unwrap();
+    assert_eq!((governor.budget_exceeded, governor.degraded, governor.cancelled), (0, 0, 0));
+}
+
+#[test]
+fn a_zero_timeout_answers_with_deterministic_monte_carlo_bounds() {
+    let mut service = service();
+    let line = format!(
+        r#"{{"type":"analyze","id":"t0","system":{{"benchmark":"MS2"}},"distribution":{NB},"epsilon":0.001,"timeout_ms":0}}"#
+    );
+    let first = service.handle_line(&line);
+    assert!(first.ok, "{:?}", first.error);
+    assert_eq!(first.compiled.as_deref(), Some("governed"));
+    let bounds = &first.reports.as_ref().unwrap()[0];
+    assert_eq!(bounds.fidelity, "bounds");
+    // `timeout_ms: 0` never compiles — no diagrams, no cache entry …
+    assert_eq!(bounds.romdd_size, 0);
+    assert_eq!(service.cache().len(), 0);
+    // … and the fixed-seed simulation makes the replay bit-identical.
+    let second = service.handle_line(&line);
+    let again = &second.reports.as_ref().unwrap()[0];
+    assert_eq!(bounds.yield_lower_bound.to_bits(), again.yield_lower_bound.to_bits());
+    assert_eq!(bounds.error_bound.to_bits(), again.error_bound.to_bits());
+    // The interval brackets the exact (compiled) yield.
+    let exact = service.handle_line(&analyze_ms2("x"));
+    let y = exact.reports.as_ref().unwrap()[0].yield_lower_bound;
+    assert!(
+        bounds.yield_lower_bound <= y && y <= bounds.yield_lower_bound + bounds.error_bound,
+        "exact {y} outside [{}, {}]",
+        bounds.yield_lower_bound,
+        bounds.yield_lower_bound + bounds.error_bound
+    );
+}
+
+#[test]
+fn a_cancel_line_fails_the_batchs_misses_and_the_next_batch_recovers() {
+    let mut service = service();
+    let analyze = analyze_ms2("v1");
+    let cancel = r#"{"type":"cancel","id":"c1"}"#;
+    let responses = service.handle_batch(&[&analyze, cancel]);
+    // The cancel request itself acknowledges …
+    assert!(responses[1].ok);
+    assert_eq!(responses[1].kind, "cancel");
+    assert_eq!(responses[1].id.as_deref(), Some("c1"));
+    // … and the uncached analyze in the same batch fails as cancelled
+    // (misses run after the parse loop, so the cancel reaches them).
+    let failed = &responses[0];
+    assert!(!failed.ok);
+    assert!(failed.error.as_ref().unwrap().contains("cancelled"), "{:?}", failed.error);
+    assert_eq!(service.cache().len(), 0);
+    let stats = service.handle_line(r#"{"type":"stats","id":"z"}"#);
+    assert!(stats.governor.unwrap().cancelled >= 1);
+    // The token is re-armed per batch: the next request is unaffected.
+    let after = service.handle_line(&analyze_ms2("v2"));
+    assert!(after.ok, "{:?}", after.error);
+    assert_eq!(after.compiled.as_deref(), Some("cold"));
+}
+
+#[test]
+fn service_level_budgets_fall_back_to_bounds_on_cold_misses() {
+    let threads = std::env::var("SOCY_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let mut service = YieldService::new(ServiceConfig {
+        threads,
+        options: socy_serve::CompileOptions::new().with_node_budget(2),
+        ..ServiceConfig::default()
+    });
+    let response = service.handle_line(&analyze_ms2("b1"));
+    assert!(response.ok, "{:?}", response.error);
+    // The executor chunk tripped its budget; the service answered with
+    // Monte-Carlo bounds instead of failing the request.
+    assert_eq!(response.compiled.as_deref(), Some("bounds"));
+    assert_eq!(response.reports.as_ref().unwrap()[0].fidelity, "bounds");
+    assert_eq!(service.cache().len(), 0);
+    let stats = service.handle_line(r#"{"type":"stats","id":"z"}"#);
+    let governor = stats.governor.unwrap();
+    assert_eq!(governor.budget_exceeded, 1);
+    assert_eq!(governor.degraded, 1);
+}
+
+#[test]
+fn resource_overrides_are_rejected_on_delta_families() {
+    let mut service = service();
+    let line = format!(
+        r#"{{"type":"analyze_delta","id":"rd","system":{{"name":"pair","netlist":"{PAIR_NETLIST}","components":[0.3,0.4]}},"distribution":{NB},"timeout_ms":5,"deltas":[{{"name":"base"}}]}}"#
+    );
+    let rejected = service.handle_line(&line);
+    assert!(!rejected.ok);
+    assert!(rejected.error.as_ref().unwrap().contains("analyze_delta"), "{:?}", rejected.error);
+    assert_eq!(service.cache().len(), 0);
+}
+
+#[test]
 fn responses_serialize_with_stable_field_names() {
     let mut service = service();
     let response: Response = service.handle_line(&analyze_ms2("wire"));
